@@ -1,0 +1,159 @@
+#![allow(clippy::field_reassign_with_default)] // private-field models are configured post-Default
+
+//! Criterion microbenchmarks for the hot paths of every subsystem:
+//! tokenization, n-gram extraction, diff + greedy rewrite matching, the
+//! statistics store (build, lookup, snapshot codec), logistic-regression
+//! training, and click-model fitting.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use microbrowse_click::{ClickModel, DbnModel, UbmModel};
+use microbrowse_core::rewrite::{canonical_rewrite_key, RewriteExtractor};
+use microbrowse_core::serveweight::serve_weights;
+use microbrowse_ml::{Dataset, Example, LogReg, LogRegConfig, SparseVec};
+use microbrowse_store::file::{from_bytes, to_bytes};
+use microbrowse_store::{FeatureKey, StatsDb};
+use microbrowse_synth::sessions::{generate_sessions, SessionConfig};
+use microbrowse_synth::{generate, GeneratorConfig};
+use microbrowse_text::{Interner, NGramExtractor, Snippet, Tokenizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_text(c: &mut Criterion) {
+    let tokenizer = Tokenizer::default();
+    let line = "Find Cheap Flights to New York — 20% off, no reservation costs!";
+    let mut group = c.benchmark_group("text");
+    group.throughput(Throughput::Bytes(line.len() as u64));
+    group.bench_function("tokenize_normalized", |b| {
+        b.iter(|| tokenizer.tokenize_normalized(black_box(line)))
+    });
+
+    let mut interner = Interner::new();
+    let snip = Snippet::creative(
+        "xyz airlines",
+        "find cheap flights to new york today",
+        "no reservation costs and great rates for travelers",
+    )
+    .tokenize(&tokenizer, &mut interner);
+    group.bench_function("ngram_extract_1to3", |b| {
+        b.iter_batched(
+            || interner.clone(),
+            |mut it| NGramExtractor::default().extract(black_box(&snip), &mut it),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let tokenizer = Tokenizer::default();
+    let mut interner = Interner::new();
+    let r = Snippet::creative(
+        "xyz airlines",
+        "find cheap flights to new york today",
+        "no reservation costs and great rates",
+    )
+    .tokenize(&tokenizer, &mut interner);
+    let s = Snippet::creative(
+        "xyz airlines",
+        "flying to new york get discounts today",
+        "no reservation costs and great rates",
+    )
+    .tokenize(&tokenizer, &mut interner);
+    let mut db = StatsDb::new();
+    for _ in 0..50 {
+        db.record(canonical_rewrite_key("find cheap", "get discounts"), true);
+        db.record(canonical_rewrite_key("flights", "flying"), true);
+    }
+    c.bench_function("rewrite/diff_and_greedy_match", |b| {
+        b.iter_batched(
+            || interner.clone(),
+            |mut it| RewriteExtractor::default().extract(black_box(&r), black_box(&s), &db, &mut it),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    let mut db = StatsDb::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..20_000u32 {
+        db.record(FeatureKey::term(format!("term {}", i % 5_000)), rng.gen_bool(0.6));
+    }
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| db.log_odds(black_box(&FeatureKey::term("term 1234")), 1.0))
+    });
+    group.bench_function("lookup_miss", |b| {
+        b.iter(|| db.log_odds(black_box(&FeatureKey::term("never seen")), 1.0))
+    });
+    let bytes = to_bytes(&db);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("snapshot_encode", |b| b.iter(|| to_bytes(black_box(&db))));
+    group.bench_function("snapshot_decode", |b| b.iter(|| from_bytes(black_box(&bytes)).unwrap()));
+    group.finish();
+}
+
+fn bench_logreg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut data = Dataset::with_dim(1_000);
+    for _ in 0..2_000 {
+        let pairs: Vec<(u32, f64)> = (0..30)
+            .map(|_| (rng.gen_range(0..1_000), if rng.gen_bool(0.5) { 1.0 } else { -1.0 }))
+            .collect();
+        let x = SparseVec::from_pairs(pairs);
+        let label = rng.gen_bool(0.5);
+        data.push(Example::new(x, label));
+    }
+    let cfg = LogRegConfig { epochs: 1, ..Default::default() };
+    c.bench_function("logreg/one_epoch_2k_examples", |b| {
+        b.iter(|| LogReg::fit(black_box(&data), &cfg))
+    });
+}
+
+fn bench_clickmodels(c: &mut Criterion) {
+    let (sessions, _) = generate_sessions(&SessionConfig {
+        num_sessions: 2_000,
+        ..SessionConfig::default()
+    });
+    let mut group = c.benchmark_group("clickmodels");
+    group.bench_function("ubm_em_iteration_2k_sessions", |b| {
+        b.iter(|| {
+            let mut m = UbmModel::default();
+            m.em_iterations = 1;
+            m.fit(black_box(&sessions));
+            m
+        })
+    });
+    group.bench_function("dbn_em_iteration_2k_sessions", |b| {
+        b.iter(|| {
+            let mut m = DbnModel::default();
+            m.em_iterations = 1;
+            m.fit(black_box(&sessions));
+            m
+        })
+    });
+    group.finish();
+}
+
+fn bench_synth(c: &mut Criterion) {
+    let cfg = GeneratorConfig { num_adgroups: 100, ..Default::default() };
+    c.bench_function("synth/generate_100_adgroups", |b| b.iter(|| generate(black_box(&cfg))));
+
+    let synth = generate(&cfg);
+    c.bench_with_input(
+        BenchmarkId::new("serveweight", "per_adgroup"),
+        &synth.corpus.adgroups[0],
+        |b, g| b.iter(|| serve_weights(black_box(g))),
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_text,
+    bench_rewrite,
+    bench_store,
+    bench_logreg,
+    bench_clickmodels,
+    bench_synth
+);
+criterion_main!(benches);

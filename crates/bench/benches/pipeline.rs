@@ -1,0 +1,88 @@
+//! Criterion benchmarks for pipeline-level stages on a realistic corpus:
+//! statistics build (Phase 1), featurization, and end-to-end training of a
+//! flat and a coupled classifier (Phase 2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use microbrowse_core::classifier::{ModelSpec, TrainConfig, TrainedClassifier};
+use microbrowse_core::features::Featurizer;
+use microbrowse_core::pipeline::{run_experiment, ExperimentConfig};
+use microbrowse_core::statsbuild::{build_stats, StatsBuildConfig, TokenizedCorpus};
+use microbrowse_core::{PairFilter, Placement};
+use microbrowse_synth::{generate, GeneratorConfig};
+
+fn corpus() -> microbrowse_core::AdCorpus {
+    generate(&GeneratorConfig {
+        num_adgroups: 200,
+        placement: Placement::Top,
+        seed: 42,
+        ..Default::default()
+    })
+    .corpus
+}
+
+fn bench_stats_build(c: &mut Criterion) {
+    let corpus = corpus();
+    let tc = TokenizedCorpus::build(&corpus);
+    let pairs = corpus.extract_pairs(&PairFilter::default());
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("stats_build_{threads}thread"), |b| {
+            let cfg = StatsBuildConfig { threads, ..Default::default() };
+            b.iter(|| build_stats(black_box(&tc), black_box(&pairs), &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_featurize_and_train(c: &mut Criterion) {
+    let corpus = corpus();
+    let tc = TokenizedCorpus::build(&corpus);
+    let pairs = corpus.extract_pairs(&PairFilter::default());
+    let stats = build_stats(&tc, &pairs, &StatsBuildConfig::default());
+    let tok_pairs: Vec<_> = pairs
+        .iter()
+        .map(|p| (tc.snippet(p.r).clone(), tc.snippet(p.s).clone(), p.r_better))
+        .collect();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("featurize_m6", |b| {
+        b.iter_batched(
+            || tc.interner.clone(),
+            |mut interner| {
+                let mut fz = Featurizer::new(ModelSpec::m6(), &stats);
+                fz.encode_batch(black_box(&tok_pairs), &mut interner)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let mut interner = tc.interner.clone();
+    let mut fz_flat = Featurizer::new(ModelSpec::m5(), &stats);
+    let flat = fz_flat.encode_batch(&tok_pairs, &mut interner);
+    let mut fz_pos = Featurizer::new(ModelSpec::m6(), &stats);
+    let coupled = fz_pos.encode_batch(&tok_pairs, &mut interner);
+    let cfg = TrainConfig::default();
+    group.bench_function("train_flat_m5", |b| {
+        b.iter(|| TrainedClassifier::train(&ModelSpec::m5(), black_box(&flat), None, None, &cfg))
+    });
+    group.bench_function("train_coupled_m6", |b| {
+        b.iter(|| TrainedClassifier::train(&ModelSpec::m6(), black_box(&coupled), None, None, &cfg))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let corpus = corpus();
+    let cfg = ExperimentConfig { folds: 3, ..Default::default() };
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("experiment_m4_3fold_200adgroups", |b| {
+        b.iter(|| run_experiment(black_box(&corpus), ModelSpec::m4(), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats_build, bench_featurize_and_train, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Ablations of the design choices DESIGN.md calls out, on top of the
+//! Table 2 setting:
+//!
+//! 1. **Stats-DB initialization** (the paper's "+init"): M6 with and
+//!    without warm starts from the feature statistics database.
+//! 2. **Rewrite matching strategy**: greedy DB-scored matching (the paper)
+//!    vs whole-span matching vs no matching at all, under M4.
+//! 3. **Laplace smoothing α** of the statistics database.
+//! 4. **Coupled optimizer**: joint SGD vs the paper's alternating scheme.
+//! 5. **Fold hygiene**: grouped-by-adgroup folds vs naive stratified folds
+//!    (quantifies the leakage a careless split would add).
+//!
+//! ```text
+//! cargo run --release -p microbrowse-bench --bin ablations [-- --adgroups N --seed S]
+//! ```
+
+use microbrowse_bench::{corpus_config, experiment_config, Args};
+use microbrowse_core::pipeline::{run_experiment, ExperimentConfig};
+use microbrowse_core::report::{f3, Table};
+use microbrowse_core::rewrite::{MatchStrategy, RewriteConfig};
+use microbrowse_core::{ModelSpec, Placement};
+use microbrowse_ml::coupled::CoupledOptimizer;
+use microbrowse_synth::generate;
+
+fn main() {
+    let args = Args::parse();
+    let adgroups: usize = args.get("adgroups", 1_000);
+    let seed: u64 = args.get("seed", 42);
+
+    eprintln!("generating corpus ({adgroups} adgroups)…");
+    let synth = generate(&corpus_config(adgroups, Placement::Top, seed));
+    let base = experiment_config(seed);
+
+    let mut table = Table::new(["Ablation", "Variant", "F-Measure", "Accuracy"]);
+    let mut run = |ablation: &str, variant: &str, spec: ModelSpec, cfg: &ExperimentConfig| {
+        eprintln!("{ablation} / {variant}…");
+        let out = run_experiment(&synth.corpus, spec, cfg);
+        table.add_row([
+            ablation.to_string(),
+            variant.to_string(),
+            f3(out.mean.f1),
+            f3(out.mean.accuracy),
+        ]);
+        out.mean.f1
+    };
+
+    // 1. Stats-DB initialization.
+    let with_init = run("stats-db init", "on (paper)", ModelSpec::m6(), &base);
+    let no_init =
+        run("stats-db init", "off", ModelSpec { init_from_stats: false, ..ModelSpec::m6() }, &base);
+
+    // 2. Rewrite matching strategy (M4 isolates the rewrite channel).
+    let greedy = run("rewrite matching", "greedy (paper)", ModelSpec::m4(), &base);
+    let whole = {
+        let cfg = ExperimentConfig {
+            rewrite: RewriteConfig { strategy: MatchStrategy::WholeSpan, ..Default::default() },
+            ..base.clone()
+        };
+        run("rewrite matching", "whole-span", ModelSpec::m4(), &cfg)
+    };
+    let none = {
+        let cfg = ExperimentConfig {
+            rewrite: RewriteConfig { strategy: MatchStrategy::NoMatch, ..Default::default() },
+            ..base.clone()
+        };
+        run("rewrite matching", "none (terms fall out)", ModelSpec::m4(), &cfg)
+    };
+
+    // 3. Laplace smoothing of the statistics database.
+    for alpha in [0.1, 1.0, 10.0] {
+        let mut cfg = base.clone();
+        cfg.train.stats_alpha = alpha;
+        run("laplace alpha", &format!("α = {alpha}"), ModelSpec::m6(), &cfg);
+    }
+
+    // 4. Coupled optimizer.
+    let joint = run("coupled optimizer", "joint SGD", ModelSpec::m4(), &base);
+    let alternating = {
+        let mut cfg = base.clone();
+        cfg.train.coupled = CoupledOptimizer::Alternating { rounds: 4 };
+        run("coupled optimizer", "alternating (paper)", ModelSpec::m4(), &cfg)
+    };
+
+    // 5. Fold hygiene.
+    let grouped = run("cv folds", "grouped by adgroup", ModelSpec::m5(), &base);
+    let leaky = {
+        let cfg = ExperimentConfig { group_folds_by_adgroup: false, ..base.clone() };
+        run("cv folds", "naive stratified (leaky)", ModelSpec::m5(), &cfg)
+    };
+
+    println!("\nAblations ({} adgroups, seed {seed})\n", synth.corpus.num_adgroups());
+    println!("{}", table.render());
+
+    println!("observations:");
+    println!(
+        "  stats-db init: {:+.3} F ({}; the paper reports a benefit on its corpus — on the\n    synthetic corpus the fold-local statistics largely duplicate what SGD learns)",
+        with_init - no_init,
+        if with_init >= no_init { "helps here" } else { "neutral-to-slightly-negative here" },
+    );
+    println!(
+        "  rewrite matching: greedy {:.3} vs whole-span {:.3} vs none {:.3}\n    (greedy >= whole-span: {}; synthetic rewrites are slot-aligned, so positional\n    unigram leftovers already carry most phrase information)",
+        greedy,
+        whole,
+        none,
+        if greedy >= whole { "yes" } else { "no" },
+    );
+    println!(
+        "  coupled optimizer: joint {:.3} vs alternating {:.3} ({:+.3})",
+        joint,
+        alternating,
+        joint - alternating
+    );
+    println!(
+        "  fold hygiene: naive folds inflate F by {:+.3} — leakage the grouped split removes",
+        leaky - grouped
+    );
+    // The one hard internal-validity check: adgroup leakage must be visible.
+    assert!(
+        leaky > grouped,
+        "grouped folds should score below leaky folds ({grouped:.3} vs {leaky:.3})"
+    );
+}

@@ -1,0 +1,102 @@
+//! Reproduces **Figure 3**: "Learned term position weights (line 1,2,3)".
+//!
+//! ```text
+//! cargo run --release -p microbrowse-bench --bin figure3 [-- --adgroups N --seed S]
+//! ```
+//!
+//! Trains the full micro-browsing model (M6) on the synthetic corpus and
+//! prints the learned position weight for each `(line, in-line position)`
+//! term group, next to the generator's ground-truth examination probability.
+//! Expected shape: weights decay with in-line position, and line 1 > line 2
+//! > line 3 — the curves of the paper's Figure 3.
+
+use microbrowse_bench::{corpus_config, experiment_config, Args, DEFAULT_ADGROUPS};
+use microbrowse_core::features::{PositionVocab, TERM_POS_BUCKETS};
+use microbrowse_core::pipeline::run_experiment;
+use microbrowse_core::report::Table;
+use microbrowse_core::{ModelSpec, Placement};
+use microbrowse_synth::generate;
+
+fn main() {
+    let args = Args::parse();
+    let adgroups: usize = args.get("adgroups", DEFAULT_ADGROUPS);
+    let seed: u64 = args.get("seed", 42);
+
+    eprintln!("generating corpus ({adgroups} adgroups) and fitting M6…");
+    let synth = generate(&corpus_config(adgroups, Placement::Top, seed));
+    let out = run_experiment(&synth.corpus, ModelSpec::m6(), &experiment_config(seed));
+    let weights = out.position_weights.expect("M6 reports position weights");
+
+    let lines = 3usize;
+    let mut table = Table::new(["pos", "line1 w", "line2 w", "line3 w", "| truth e1", "e2", "e3"]);
+    for posn in 0..TERM_POS_BUCKETS {
+        let mut row = vec![format!("{posn}")];
+        for line in 0..lines {
+            let g = PositionVocab::term_group(microbrowse_store::key::SnippetPos::new(
+                line as u8, posn,
+            ));
+            row.push(format!("{:+.3}", weights[g as usize]));
+        }
+        row.push(format!(
+            "| {:.3}",
+            synth.truth.attention.exam_prob(0, posn as usize)
+        ));
+        for line in 1..lines {
+            row.push(format!("{:.3}", synth.truth.attention.exam_prob(line, posn as usize)));
+        }
+        table.add_row(row);
+    }
+    println!("\nFigure 3 — learned term position weights vs ground-truth attention\n");
+    println!("{}", table.render());
+
+    // Shape checks: within-line decay and across-line ordering, averaged
+    // over the first few positions (later buckets may have thin support).
+    let avg = |line: usize, range: std::ops::Range<u16>| -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0.0;
+        for posn in range {
+            let g = PositionVocab::term_group(microbrowse_store::key::SnippetPos::new(
+                line as u8, posn,
+            ));
+            acc += weights[g as usize];
+            n += 1.0;
+        }
+        acc / n
+    };
+    // Across-line comparisons use the first three positions: salient slots
+    // sit early in every template, so later buckets have thin support and
+    // their weights are mostly the optimizer's prior.
+    let checks = [
+        ("line1 early > line1 late", avg(0, 0..3) > avg(0, 5..8)),
+        ("line2 early > line2 late", avg(1, 0..3) > avg(1, 5..8)),
+        ("line1 > line2 (early positions)", avg(0, 0..3) > avg(1, 0..3)),
+        ("line2 > line3 (early positions)", avg(1, 0..3) > avg(2, 0..3)),
+    ];
+    println!("shape checks:");
+    for (desc, ok) in checks {
+        println!("  [{}] {desc}", if ok { "ok" } else { "MISS" });
+    }
+
+    // §VI proposes validating the learned positions against eye-tracking
+    // focus maps; our generator's attention curve is the in-silico
+    // equivalent. Rank-correlate within each line (bucket-level weights are
+    // noisy, but the within-line ordering is the claim Figure 3 makes).
+    println!("\nSpearman rank correlation, learned position weights vs ground-truth attention:");
+    let mut rhos = Vec::new();
+    for line in 0..lines {
+        let mut learned = Vec::new();
+        let mut truth = Vec::new();
+        for posn in 0..TERM_POS_BUCKETS {
+            let g = PositionVocab::term_group(microbrowse_store::key::SnippetPos::new(
+                line as u8, posn,
+            ));
+            learned.push(weights[g as usize]);
+            truth.push(synth.truth.attention.exam_prob(line, posn as usize));
+        }
+        let rho = microbrowse_ml::spearman(&learned, &truth);
+        println!("  line {}: ρ = {rho:+.3}", line + 1);
+        rhos.push(rho);
+    }
+    let mean_rho = rhos.iter().sum::<f64>() / rhos.len() as f64;
+    println!("  mean ρ = {mean_rho:+.3} (positive = learned weights track the attention decay)");
+}

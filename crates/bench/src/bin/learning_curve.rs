@@ -1,0 +1,64 @@
+//! Learning curve: F-measure of M1 / M4 / M6 as the corpus grows.
+//!
+//! ```text
+//! cargo run --release -p microbrowse-bench --bin learning_curve [-- --seed S]
+//! ```
+//!
+//! Not a paper table (ADCORPUS has one fixed size), but the natural
+//! extension experiment: it shows where each feature family saturates and
+//! that the position-aware models keep improving after the bag-of-terms
+//! model has flattened out.
+
+use microbrowse_bench::{corpus_config, experiment_config, Args};
+use microbrowse_core::pipeline::run_experiment;
+use microbrowse_core::report::{f3, Table};
+use microbrowse_core::{ModelSpec, Placement};
+use microbrowse_synth::generate;
+
+fn main() {
+    let args = Args::parse();
+    let seed: u64 = args.get("seed", 42);
+    let sizes = [250usize, 500, 1_000, 2_000, 4_000];
+    let specs = [ModelSpec::m1(), ModelSpec::m4(), ModelSpec::m6()];
+
+    let mut table = Table::new(["adgroups", "pairs", "M1 F", "M4 F", "M6 F"]);
+    let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
+    for &n in &sizes {
+        eprintln!("corpus size {n}…");
+        let synth = generate(&corpus_config(n, Placement::Top, seed));
+        let cfg = experiment_config(seed);
+        let mut fs = Vec::new();
+        let mut pairs = 0;
+        for spec in specs {
+            let out = run_experiment(&synth.corpus, spec, &cfg);
+            pairs = out.num_pairs;
+            fs.push(out.mean.f1);
+        }
+        table.add_row([
+            n.to_string(),
+            pairs.to_string(),
+            f3(fs[0]),
+            f3(fs[1]),
+            f3(fs[2]),
+        ]);
+        rows.push((n, fs));
+    }
+    println!("\nLearning curve (seed {seed})\n");
+    println!("{}", table.render());
+
+    let first = &rows.first().expect("at least one size").1;
+    let last = &rows.last().expect("at least one size").1;
+    println!("shape checks:");
+    println!(
+        "  [{}] every model improves with data (M1 {} → {}, M4 {} → {})",
+        if last[0] > first[0] && last[1] > first[1] { "ok" } else { "MISS" },
+        f3(first[0]),
+        f3(last[0]),
+        f3(first[1]),
+        f3(last[1]),
+    );
+    println!(
+        "  [{}] M4 leads at full size",
+        if last[1] >= last[0] && last[1] >= last[2] { "ok" } else { "MISS" }
+    );
+}

@@ -1,0 +1,77 @@
+//! Reproduces **Table 4**: "Accuracy of creative classification in
+//! different configuration (Top vs. Rhs)".
+//!
+//! ```text
+//! cargo run --release -p microbrowse-bench --bin table4 [-- --adgroups N --seed S]
+//! ```
+//!
+//! Two corpora of equal size are generated, one under the Top-placement
+//! attention profile and one under the lighter-skim RHS profile, and M1–M6
+//! are cross-validated on each. Expected shape: the same model ordering in
+//! both columns, with Top accuracy slightly above RHS ("the accuracy of the
+//! classifier using the top ads data is slightly higher than that of rhs
+//! data") — on RHS the creative text explains less of the CTR variance, so
+//! every text model faces noisier labels.
+
+use microbrowse_bench::{corpus_config, experiment_config, paper, Args, DEFAULT_ADGROUPS};
+use microbrowse_core::pipeline::run_all_models;
+use microbrowse_core::report::{pct, Table};
+use microbrowse_core::Placement;
+use microbrowse_synth::generate;
+
+fn main() {
+    let args = Args::parse();
+    let adgroups: usize = args.get("adgroups", DEFAULT_ADGROUPS);
+    let seed: u64 = args.get("seed", 42);
+    let cfg = experiment_config(seed);
+
+    eprintln!("generating Top corpus ({adgroups} adgroups)…");
+    let top = generate(&corpus_config(adgroups, Placement::Top, seed));
+    eprintln!("running M1–M6 on Top…");
+    let top_outcomes = run_all_models(&top.corpus, &cfg);
+
+    eprintln!("generating Rhs corpus ({adgroups} adgroups)…");
+    let rhs = generate(&corpus_config(adgroups, Placement::Rhs, seed.wrapping_add(1)));
+    eprintln!("running M1–M6 on Rhs…");
+    let rhs_outcomes = run_all_models(&rhs.corpus, &cfg);
+
+    let mut table = Table::new(["Feature", "Top", "Rhs", "| paper Top", "paper Rhs"]);
+    for ((t, r), (name, pt, pr)) in
+        top_outcomes.iter().zip(&rhs_outcomes).zip(paper::TABLE4)
+    {
+        assert_eq!(t.spec.name, name);
+        table.add_row([
+            t.spec.label(),
+            pct(t.mean.accuracy),
+            pct(r.mean.accuracy),
+            format!("| {}", pct(pt)),
+            pct(pr),
+        ]);
+    }
+    println!(
+        "\nTable 4 — accuracy by placement ({} Top pairs, {} Rhs pairs)\n",
+        top_outcomes[0].num_pairs, rhs_outcomes[0].num_pairs
+    );
+    println!("{}", table.render());
+
+    let mean_top: f64 =
+        top_outcomes.iter().map(|o| o.mean.accuracy).sum::<f64>() / top_outcomes.len() as f64;
+    let mean_rhs: f64 =
+        rhs_outcomes.iter().map(|o| o.mean.accuracy).sum::<f64>() / rhs_outcomes.len() as f64;
+    let per_model_wins = top_outcomes
+        .iter()
+        .zip(&rhs_outcomes)
+        .filter(|(t, r)| t.mean.accuracy >= r.mean.accuracy)
+        .count();
+    println!("shape checks:");
+    println!(
+        "  [{}] mean Top accuracy ({:.3}) > mean Rhs accuracy ({:.3})",
+        if mean_top > mean_rhs { "ok" } else { "MISS" },
+        mean_top,
+        mean_rhs
+    );
+    println!(
+        "  [{}] Top >= Rhs for most models ({per_model_wins}/6)",
+        if per_model_wins >= 4 { "ok" } else { "MISS" }
+    );
+}

@@ -1,0 +1,298 @@
+//! `microbrowse` — train, persist, and serve snippet classifiers from the
+//! command line.
+//!
+//! ```text
+//! microbrowse train    --model out.mbm --stats out.mbs [--spec m4] [--adgroups 1000] [--seed 42]
+//! microbrowse eval     --model out.mbm --stats out.mbs [--adgroups 300] [--seed 99]
+//! microbrowse score    --model out.mbm --stats out.mbs --r "l1|l2|l3" --s "l1|l2|l3"
+//! microbrowse rank     --model out.mbm --stats out.mbs --creative "…" --creative "…" [...]
+//! microbrowse optimize --model out.mbm --stats out.mbs --base "l1|l2|l3" \
+//!                      --rewrite "find cheap=save 20%" [--rewrite …] [--swap-lines 1,2]
+//! ```
+//!
+//! Creatives are passed as `|`-separated lines. `train` generates a
+//! synthetic ADCORPUS (there is no public corpus; see DESIGN.md §3), builds
+//! the Phase-1 statistics database, trains the chosen classifier variant,
+//! and writes both artifacts; the other subcommands only ever read them.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use microbrowse_core::classifier::{ModelSpec, TrainConfig, TrainedClassifier};
+use microbrowse_core::features::Featurizer;
+use microbrowse_core::optimize::{optimize_creative, Edit, OptimizeConfig};
+use microbrowse_core::serve::{DeployedModel, Scorer};
+use microbrowse_core::statsbuild::{build_stats, StatsBuildConfig, TokenizedCorpus};
+use microbrowse_core::{PairFilter, Placement};
+use microbrowse_store::{read_snapshot, write_snapshot, StatsDb};
+use microbrowse_synth::{generate, GeneratorConfig};
+use microbrowse_text::Snippet;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "score" => cmd_score(&flags),
+        "rank" => cmd_rank(&flags),
+        "optimize" => cmd_optimize(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  microbrowse train    --model FILE --stats FILE [--spec m1..m6] [--adgroups N] [--seed S]
+  microbrowse eval     --model FILE --stats FILE [--adgroups N] [--seed S]
+  microbrowse score    --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3'
+  microbrowse rank     --model FILE --stats FILE --creative '…' --creative '…' [...]
+  microbrowse optimize --model FILE --stats FILE --base 'l1|l2|l3'
+                       [--rewrite 'from=to']... [--swap-lines A,B]... [--move-front 'phrase']...";
+
+/// Repeated `--flag value` pairs.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let name = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            let value =
+                args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
+            pairs.push((name.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.pairs.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v:?}")),
+        }
+    }
+}
+
+fn parse_snippet(text: &str) -> Snippet {
+    Snippet::from_lines(text.split('|').map(str::trim))
+}
+
+fn spec_by_name(name: &str) -> Result<ModelSpec, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "m1" => ModelSpec::m1(),
+        "m2" => ModelSpec::m2(),
+        "m3" => ModelSpec::m3(),
+        "m4" => ModelSpec::m4(),
+        "m5" => ModelSpec::m5(),
+        "m6" => ModelSpec::m6(),
+        other => return Err(format!("unknown spec {other:?} (expected m1..m6)")),
+    })
+}
+
+fn load_artifacts(flags: &Flags) -> Result<(DeployedModel, StatsDb), String> {
+    let model_path = PathBuf::from(flags.require("model")?);
+    let stats_path = PathBuf::from(flags.require("stats")?);
+    let model = DeployedModel::load(&model_path).map_err(|e| e.to_string())?;
+    let stats = read_snapshot(&stats_path).map_err(|e| e.to_string())?;
+    Ok((model, stats))
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let model_path = PathBuf::from(flags.require("model")?);
+    let stats_path = PathBuf::from(flags.require("stats")?);
+    let spec = spec_by_name(flags.get("spec").unwrap_or("m4"))?;
+    let adgroups: usize = flags.parse_or("adgroups", 1000)?;
+    let seed: u64 = flags.parse_or("seed", 42)?;
+
+    eprintln!("generating synthetic ADCORPUS ({adgroups} adgroups, seed {seed})…");
+    let synth = generate(&GeneratorConfig {
+        num_adgroups: adgroups,
+        placement: Placement::Top,
+        seed,
+        ..Default::default()
+    });
+    let tc = TokenizedCorpus::build(&synth.corpus);
+    let pairs = synth.corpus.extract_pairs(&PairFilter::default());
+    eprintln!("building statistics over {} pairs…", pairs.len());
+    let stats = build_stats(&tc, &pairs, &StatsBuildConfig::default());
+
+    eprintln!("training {}…", spec.label());
+    let cfg = TrainConfig::default();
+    let mut interner = tc.interner.clone();
+    let mut featurizer = Featurizer::new(spec, &stats);
+    let tok_pairs: Vec<_> = pairs
+        .iter()
+        .map(|p| (tc.snippet(p.r).clone(), tc.snippet(p.s).clone(), p.r_better))
+        .collect();
+    let data = featurizer.encode_batch(&tok_pairs, &mut interner);
+    let mut init_terms =
+        featurizer.init_term_weights(&interner, cfg.stats_alpha, cfg.init_min_support);
+    for w in &mut init_terms {
+        *w *= cfg.init_scale;
+    }
+    let init_pos = featurizer.init_pos_weights(cfg.stats_alpha);
+    let classifier =
+        TrainedClassifier::train(&spec, &data, Some(init_terms), Some(init_pos), &cfg);
+    let vocab = featurizer.export_vocab(&interner);
+
+    let deployed = DeployedModel { spec, classifier, vocab };
+    deployed.save(&model_path).map_err(|e| e.to_string())?;
+    write_snapshot(&stats, &stats_path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} features) and {} ({} statistics)",
+        model_path.display(),
+        deployed.vocab.len(),
+        stats_path.display(),
+        stats.len()
+    );
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> Result<(), String> {
+    let (model, stats) = load_artifacts(flags)?;
+    let adgroups: usize = flags.parse_or("adgroups", 300)?;
+    let seed: u64 = flags.parse_or("seed", 99)?;
+
+    eprintln!("generating held-out corpus ({adgroups} adgroups, seed {seed})…");
+    let synth = generate(&GeneratorConfig {
+        num_adgroups: adgroups,
+        placement: Placement::Top,
+        seed,
+        ..Default::default()
+    });
+    let pairs = synth.corpus.extract_pairs(&PairFilter::default());
+    let mut scorer = Scorer::new(&model, &stats);
+
+    let mut correct = 0usize;
+    let by_id = |id| {
+        synth
+            .corpus
+            .adgroups
+            .iter()
+            .flat_map(|g| &g.creatives)
+            .find(|c| c.id == id)
+            .expect("pair ids come from this corpus")
+    };
+    for p in &pairs {
+        let predicted_r = scorer.predict_pair(&by_id(p.r).snippet, &by_id(p.s).snippet);
+        if predicted_r == p.r_better {
+            correct += 1;
+        }
+    }
+    println!(
+        "{}: accuracy {:.3} on {} held-out pairs",
+        model.spec.label(),
+        correct as f64 / pairs.len().max(1) as f64,
+        pairs.len()
+    );
+    Ok(())
+}
+
+fn cmd_score(flags: &Flags) -> Result<(), String> {
+    let (model, stats) = load_artifacts(flags)?;
+    let r = parse_snippet(flags.require("r")?);
+    let s = parse_snippet(flags.require("s")?);
+    let mut scorer = Scorer::new(&model, &stats);
+    let margin = scorer.score_pair(&r, &s);
+    println!("score(R→S) = {margin:+.4} (positive ⇒ R expected to out-click S)");
+    println!("prediction: {} wins", if margin > 0.0 { "R" } else { "S" });
+    Ok(())
+}
+
+fn cmd_rank(flags: &Flags) -> Result<(), String> {
+    let (model, stats) = load_artifacts(flags)?;
+    let creatives: Vec<Snippet> =
+        flags.get_all("creative").into_iter().map(parse_snippet).collect();
+    if creatives.len() < 2 {
+        return Err("rank needs at least two --creative flags".into());
+    }
+    let mut scorer = Scorer::new(&model, &stats);
+    let order = scorer.rank(&creatives);
+    println!("ranking (best first):");
+    for (place, &idx) in order.iter().enumerate() {
+        println!("  #{}: creative {} — {:?}", place + 1, idx + 1, creatives[idx].to_string());
+    }
+    Ok(())
+}
+
+fn cmd_optimize(flags: &Flags) -> Result<(), String> {
+    let (model, stats) = load_artifacts(flags)?;
+    let base = parse_snippet(flags.require("base")?);
+
+    let mut edits = Vec::new();
+    for rw in flags.get_all("rewrite") {
+        let (from, to) =
+            rw.split_once('=').ok_or_else(|| format!("--rewrite wants 'from=to', got {rw:?}"))?;
+        edits.push(Edit::ReplacePhrase { from: from.trim().into(), to: to.trim().into() });
+    }
+    for sw in flags.get_all("swap-lines") {
+        let (a, b) = sw
+            .split_once(',')
+            .ok_or_else(|| format!("--swap-lines wants 'A,B', got {sw:?}"))?;
+        let a: usize = a.trim().parse().map_err(|_| format!("bad line index {a:?}"))?;
+        let b: usize = b.trim().parse().map_err(|_| format!("bad line index {b:?}"))?;
+        edits.push(Edit::SwapLines { a, b });
+    }
+    for phrase in flags.get_all("move-front") {
+        edits.push(Edit::MoveToFront { phrase: phrase.trim().into() });
+    }
+    if edits.is_empty() {
+        return Err("optimize needs at least one --rewrite / --swap-lines / --move-front".into());
+    }
+
+    let mut scorer = Scorer::new(&model, &stats);
+    let outcome = optimize_creative(&mut scorer, &base, &edits, &OptimizeConfig::default());
+    println!("base creative:\n{base}\n");
+    println!("optimized creative:\n{}\n", outcome.best);
+    println!(
+        "accepted {} edit(s), total log-odds margin {:+.3}:",
+        outcome.accepted.len(),
+        outcome.total_margin
+    );
+    for e in &outcome.accepted {
+        match e {
+            Edit::ReplacePhrase { from, to } => println!("  rewrite '{from}' → '{to}'"),
+            Edit::SwapLines { a, b } => println!("  swap lines {a} and {b}"),
+            Edit::MoveToFront { phrase } => println!("  move '{phrase}' to the front"),
+        }
+    }
+    Ok(())
+}

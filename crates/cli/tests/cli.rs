@@ -1,0 +1,103 @@
+//! End-to-end test of the `microbrowse` binary: train → persist → eval →
+//! score → rank → optimize, through real files and real process spawns.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_microbrowse")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn microbrowse")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("microbrowse-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn full_cli_workflow() {
+    let model = tmp("model.mbm");
+    let stats = tmp("stats.mbs");
+    let model_s = model.to_str().unwrap();
+    let stats_s = stats.to_str().unwrap();
+
+    // train (small corpus to keep the test quick)
+    let out = run(&[
+        "train", "--model", model_s, "--stats", stats_s, "--spec", "m4", "--adgroups", "400",
+        "--seed", "5",
+    ]);
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists() && stats.exists());
+
+    // eval on a held-out corpus: must beat chance comfortably
+    let out = run(&["eval", "--model", model_s, "--stats", stats_s, "--adgroups", "80", "--seed", "6"]);
+    assert!(out.status.success(), "eval failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let acc: f64 = stdout
+        .split("accuracy ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|tok| tok.parse().ok())
+        .unwrap_or_else(|| panic!("no accuracy in {stdout:?}"));
+    assert!(acc > 0.55, "held-out accuracy {acc} barely above chance");
+
+    // score: the 20%-off creative must beat the fine-print one
+    let out = run(&[
+        "score", "--model", model_s, "--stats", stats_s,
+        "--r", "skyhop travel|today save 20% for travelers flights to tokyo|no reservation costs today more legroom",
+        "--s", "skyhop travel|today check availability for travelers flights to tokyo|fees may apply today more legroom",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("R wins"), "score output: {stdout}");
+
+    // rank: three creatives, the strong one first
+    let out = run(&[
+        "rank", "--model", model_s, "--stats", stats_s,
+        "--creative", "skyhop travel|today save 20% for travelers flights to tokyo|no reservation costs today more legroom",
+        "--creative", "skyhop travel|today check availability for travelers flights to tokyo|fees may apply today more legroom",
+        "--creative", "skyhop travel|today browse deals for travelers flights to tokyo|great rates today more legroom",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The fine-print creative (check availability / fees may apply) is the
+    // unambiguous loser; a small-corpus model may shuffle the two winners.
+    let last = stdout.lines().find(|l| l.contains("#3")).expect("ranking line");
+    assert!(last.contains("creative 2"), "expected the fees creative last: {stdout}");
+
+    // optimize: both genuinely-improving rewrites get accepted
+    let out = run(&[
+        "optimize", "--model", model_s, "--stats", stats_s,
+        "--base", "skyhop travel|today find cheap for travelers flights to tokyo|basic fare rules today great rates",
+        "--rewrite", "find cheap=save 20%",
+        "--rewrite", "basic fare rules=free checked bags",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("save 20%"), "optimize output: {stdout}");
+    assert!(stdout.contains("accepted 2 edit(s)"), "optimize output: {stdout}");
+
+    std::fs::remove_file(&model).ok();
+    std::fs::remove_file(&stats).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let out = run(&["score", "--model", "/nonexistent.mbm", "--stats", "/nonexistent.mbs",
+        "--r", "a|b|c", "--s", "a|b|d"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    let out = run(&["train", "--model", "/tmp/x.mbm"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--stats"));
+}

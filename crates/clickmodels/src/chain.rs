@@ -1,0 +1,336 @@
+//! Shared machinery for cascade-family ("monotone chain") click models.
+//!
+//! Cascade, DCM, CCM, and DBN all share one structural assumption (the
+//! cascade hypothesis, §II-B): the user scans ranks top-down without skips,
+//! and once she stops examining, every lower rank stays unexamined —
+//! `Pr(E_i = 1 | E_{i-1} = 0) = 0`. The latent examination configuration of
+//! a session is therefore fully described by a single integer: the number of
+//! examined prefix ranks `k`. With result pages of depth ≤ ~10, posteriors
+//! over `k` can be computed *exactly* by enumeration, which is what this
+//! module does — no approximate inference needed.
+//!
+//! A concrete model supplies a [`ChainSpec`] per session:
+//! * `emit[i]`   — `P(C_i = 1 | E_i = 1)` (perceived relevance /
+//!   attractiveness of the doc at rank i),
+//! * `cont_click[i]` / `cont_noclick[i]` — `P(E_{i+1} = 1 | E_i = 1, C_i)`.
+//!
+//! and gets back exact posteriors, conditional click probabilities (for
+//! log-likelihood/perplexity), and marginal click probabilities (for CTR
+//! prediction).
+
+/// Per-session chain parameters supplied by a concrete model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainSpec {
+    /// `P(C_i = 1 | E_i = 1)` for each rank.
+    pub emit: Vec<f64>,
+    /// `P(E_{i+1} = 1 | E_i = 1, C_i = 1)` for each rank.
+    pub cont_click: Vec<f64>,
+    /// `P(E_{i+1} = 1 | E_i = 1, C_i = 0)` for each rank.
+    pub cont_noclick: Vec<f64>,
+}
+
+impl ChainSpec {
+    /// Depth of the result list this spec describes.
+    pub fn depth(&self) -> usize {
+        self.emit.len()
+    }
+
+    fn validate(&self, clicks: Option<&[bool]>) {
+        assert_eq!(self.cont_click.len(), self.depth());
+        assert_eq!(self.cont_noclick.len(), self.depth());
+        if let Some(c) = clicks {
+            assert_eq!(c.len(), self.depth());
+        }
+        debug_assert!(self
+            .emit
+            .iter()
+            .chain(&self.cont_click)
+            .chain(&self.cont_noclick)
+            .all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[inline]
+    fn cont(&self, i: usize, clicked: bool) -> f64 {
+        if clicked {
+            self.cont_click[i]
+        } else {
+            self.cont_noclick[i]
+        }
+    }
+}
+
+/// Exact posterior over the examination prefix, given observed clicks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPosterior {
+    /// `examined[i] = P(E_i = 1 | clicks)`.
+    pub examined: Vec<f64>,
+    /// Total session likelihood `P(clicks)` under the spec.
+    pub likelihood: f64,
+}
+
+impl ChainPosterior {
+    /// Posterior mass on "the user continued from rank i to rank i+1".
+    /// Defined for `i + 1 < depth`; equals `examined[i + 1]`.
+    pub fn continued_from(&self, i: usize) -> f64 {
+        self.examined.get(i + 1).copied().unwrap_or(0.0)
+    }
+
+    /// Posterior mass on "the user examined rank i but stopped there"
+    /// (undefined at the final rank, where stop/continue is unidentified —
+    /// callers should not accumulate transition statistics for it).
+    pub fn stopped_at(&self, i: usize) -> f64 {
+        (self.examined[i] - self.continued_from(i)).max(0.0)
+    }
+}
+
+/// Compute the exact posterior over examination prefixes.
+///
+/// `k` (the number of examined ranks) ranges over `last_click+1 ..= n`; each
+/// hypothesis has likelihood
+/// `Π_{i<k} emit-term(i) · Π_{i<k-1} cont(i, c_i) · stop-term(k)`.
+pub fn posterior_examined(spec: &ChainSpec, clicks: &[bool]) -> ChainPosterior {
+    spec.validate(Some(clicks));
+    let n = spec.depth();
+    if n == 0 {
+        return ChainPosterior { examined: Vec::new(), likelihood: 1.0 };
+    }
+    let min_k = clicks.iter().rposition(|&c| c).map_or(1, |lc| lc + 1).max(1);
+
+    // L(k) for k = min_k ..= n, built incrementally.
+    let mut weights = vec![0.0f64; n + 1];
+    let mut prefix = 1.0f64; // Π emit-terms for examined ranks, Π cont for transitions taken
+    for (i, &clicked) in clicks.iter().enumerate() {
+        let p = spec.emit[i];
+        prefix *= if clicked { p } else { 1.0 - p };
+        let k = i + 1; // hypothesis: exactly ranks 0..=i examined
+        if k >= min_k {
+            let stop = if k < n { 1.0 - spec.cont(i, clicked) } else { 1.0 };
+            weights[k] = prefix * stop;
+        }
+        if k < n {
+            prefix *= spec.cont(i, clicked);
+        }
+    }
+
+    let total: f64 = weights.iter().sum();
+    let likelihood = total;
+    if total <= 0.0 {
+        // Degenerate spec (e.g. continue prob 0 before an observed click).
+        // Fall back to the minimal consistent configuration.
+        let mut examined = vec![0.0; n];
+        for e in examined.iter_mut().take(min_k) {
+            *e = 1.0;
+        }
+        return ChainPosterior { examined, likelihood: 0.0 };
+    }
+    for w in &mut weights {
+        *w /= total;
+    }
+    // P(E_i = 1) = Σ_{k >= i+1} P(k).
+    let mut examined = vec![0.0f64; n];
+    let mut suffix = 0.0;
+    for i in (0..n).rev() {
+        suffix += weights[i + 1];
+        examined[i] = suffix;
+    }
+    ChainPosterior { examined, likelihood }
+}
+
+/// Conditional click probabilities `P(C_i = 1 | C_{<i})` via forward
+/// filtering of the "chain still alive" probability.
+pub fn conditional_click_probs(spec: &ChainSpec, clicks: &[bool]) -> Vec<f64> {
+    spec.validate(Some(clicks));
+    let n = spec.depth();
+    let mut out = Vec::with_capacity(n);
+    let mut alive = 1.0f64; // P(E_i = 1 | clicks before i)
+    for (i, &clicked) in clicks.iter().enumerate() {
+        let r = spec.emit[i];
+        let p_click = alive * r;
+        out.push(p_click);
+        if clicked {
+            // A click proves examination.
+            alive = spec.cont(i, true);
+        } else {
+            let p_alive_given_noclick = if 1.0 - p_click > 1e-300 {
+                alive * (1.0 - r) / (1.0 - p_click)
+            } else {
+                0.0
+            };
+            alive = p_alive_given_noclick * spec.cont(i, false);
+        }
+        alive = alive.clamp(0.0, 1.0);
+    }
+    out
+}
+
+/// Marginal (unconditional) click probabilities `P(C_i = 1)`, obtained by
+/// marginalizing over click histories.
+pub fn marginal_click_probs(spec: &ChainSpec) -> Vec<f64> {
+    spec.validate(None);
+    let n = spec.depth();
+    let mut out = Vec::with_capacity(n);
+    let mut alive = 1.0f64; // P(E_i = 1)
+    for i in 0..n {
+        let r = spec.emit[i];
+        out.push(alive * r);
+        let cont = r * spec.cont(i, true) + (1.0 - r) * spec.cont(i, false);
+        alive *= cont;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_spec(n: usize, r: f64, cont: f64) -> ChainSpec {
+        ChainSpec {
+            emit: vec![r; n],
+            cont_click: vec![cont; n],
+            cont_noclick: vec![cont; n],
+        }
+    }
+
+    #[test]
+    fn cascade_posterior_is_deterministic() {
+        // Pure cascade: continue iff no click. Click at rank 1 ⇒ ranks 0,1
+        // examined with certainty, rank 2 unexamined.
+        let spec = ChainSpec {
+            emit: vec![0.3, 0.5, 0.9],
+            cont_click: vec![0.0; 3],
+            cont_noclick: vec![1.0; 3],
+        };
+        let post = posterior_examined(&spec, &[false, true, false]);
+        assert!((post.examined[0] - 1.0).abs() < 1e-12);
+        assert!((post.examined[1] - 1.0).abs() < 1e-12);
+        assert!(post.examined[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_click_full_continue_examines_all() {
+        let spec = uniform_spec(4, 0.2, 1.0);
+        let post = posterior_examined(&spec, &[false; 4]);
+        for w in &post.examined {
+            assert!((w - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn posterior_is_monotone_decreasing() {
+        let spec = uniform_spec(6, 0.3, 0.7);
+        let post = posterior_examined(&spec, &[true, false, false, false, false, false]);
+        for w in post.examined.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not monotone: {:?}", post.examined);
+        }
+        // Click forces examination at that rank.
+        assert!((post.examined[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stopped_plus_continued_equals_examined() {
+        let spec = uniform_spec(5, 0.4, 0.6);
+        let post = posterior_examined(&spec, &[false, true, false, false, false]);
+        for i in 0..4 {
+            let total = post.stopped_at(i) + post.continued_from(i);
+            assert!((total - post.examined[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn likelihood_matches_conditional_product() {
+        // P(clicks) from the posterior normalizer must equal the product of
+        // conditional click probabilities.
+        let spec = ChainSpec {
+            emit: vec![0.3, 0.6, 0.2, 0.5],
+            cont_click: vec![0.5, 0.4, 0.3, 0.2],
+            cont_noclick: vec![0.9, 0.8, 0.7, 0.6],
+        };
+        for clicks in [
+            vec![false, false, false, false],
+            vec![true, false, false, false],
+            vec![false, true, false, true],
+            vec![true, true, true, true],
+        ] {
+            let post = posterior_examined(&spec, &clicks);
+            let cond = conditional_click_probs(&spec, &clicks);
+            let product: f64 = cond
+                .iter()
+                .zip(&clicks)
+                .map(|(&p, &c)| if c { p } else { 1.0 - p })
+                .product();
+            assert!(
+                (post.likelihood - product).abs() < 1e-10,
+                "clicks {clicks:?}: {} vs {}",
+                post.likelihood,
+                product
+            );
+        }
+    }
+
+    #[test]
+    fn session_likelihoods_sum_to_one() {
+        // Over all 2^n click patterns, P(clicks) must sum to 1.
+        let spec = ChainSpec {
+            emit: vec![0.35, 0.55, 0.15],
+            cont_click: vec![0.4, 0.3, 0.2],
+            cont_noclick: vec![0.8, 0.7, 0.6],
+        };
+        let n = 3;
+        let mut total = 0.0;
+        for mask in 0u32..(1 << n) {
+            let clicks: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            total += posterior_examined(&spec, &clicks).likelihood;
+        }
+        assert!((total - 1.0).abs() < 1e-10, "total {total}");
+    }
+
+    #[test]
+    fn marginals_match_enumeration() {
+        let spec = ChainSpec {
+            emit: vec![0.4, 0.3, 0.6],
+            cont_click: vec![0.2, 0.5, 0.1],
+            cont_noclick: vec![0.9, 0.6, 0.4],
+        };
+        let n = 3;
+        let mut by_enum = vec![0.0f64; n];
+        for mask in 0u32..(1 << n) {
+            let clicks: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let p = posterior_examined(&spec, &clicks).likelihood;
+            for (i, &c) in clicks.iter().enumerate() {
+                if c {
+                    by_enum[i] += p;
+                }
+            }
+        }
+        let marginals = marginal_click_probs(&spec);
+        for i in 0..n {
+            assert!(
+                (marginals[i] - by_enum[i]).abs() < 1e-10,
+                "rank {i}: {} vs {}",
+                marginals[i],
+                by_enum[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_depth() {
+        let spec = uniform_spec(0, 0.5, 0.5);
+        assert!(posterior_examined(&spec, &[]).examined.is_empty());
+        assert!(conditional_click_probs(&spec, &[]).is_empty());
+        assert!(marginal_click_probs(&spec).is_empty());
+    }
+
+    #[test]
+    fn impossible_observation_degrades_gracefully() {
+        // Continue prob 0 after rank 0, but a click observed at rank 1.
+        let spec = ChainSpec {
+            emit: vec![0.5, 0.5],
+            cont_click: vec![0.0, 0.0],
+            cont_noclick: vec![0.0, 0.0],
+        };
+        let post = posterior_examined(&spec, &[false, true]);
+        assert_eq!(post.likelihood, 0.0);
+        assert_eq!(post.examined, vec![1.0, 1.0]);
+    }
+}

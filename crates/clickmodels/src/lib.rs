@@ -1,0 +1,51 @@
+//! Macro user-browsing (click) models.
+//!
+//! Section II of the paper surveys the click-model families its
+//! micro-browsing model builds on; this crate implements them from their
+//! defining equations so that the workspace has runnable baselines and a
+//! substrate for simulating realistic result-page behaviour:
+//!
+//! | Model | Source | Examination assumption |
+//! |-------|--------|------------------------|
+//! | [`PositionModel`] | Richardson et al. '07 / Craswell et al. '08 | depends only on rank |
+//! | [`CascadeModel`] | Craswell et al. '08 | sequential scan, stop at first click |
+//! | [`DcmModel`] | Guo et al. '09 (DCM) | continue after click w.p. λ_rank |
+//! | [`UbmModel`] | Dupret & Piwowarski '08 (UBM) | depends on distance from previous click |
+//! | [`CcmModel`] | Guo et al. '09 (CCM) | continue prob depends on click + relevance |
+//! | [`DbnModel`] | Chapelle & Zhang '09 (DBN) | continue unless satisfied after click |
+//!
+//! All of the cascade-family models (cascade, DCM, CCM, DBN) share the
+//! monotone-examination structure — once a user stops, everything below is
+//! unexamined — which this crate exploits for exact EM: the latent
+//! examination configuration is just a stopping rank, so posteriors are
+//! computed by enumerating at most `max_rank + 1` suffixes per session
+//! ([`chain`]).
+//!
+//! Evaluation ([`eval`]) follows the click-model literature: conditional
+//! per-position log-likelihood and perplexity (overall and per rank).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cascade;
+pub mod ccm;
+pub mod chain;
+pub mod dbn;
+pub mod dcm;
+pub mod eval;
+pub mod gcm;
+pub mod model;
+pub mod position;
+pub mod session;
+pub mod ubm;
+
+pub use cascade::CascadeModel;
+pub use ccm::CcmModel;
+pub use dbn::DbnModel;
+pub use dcm::DcmModel;
+pub use eval::{evaluate, EvalReport};
+pub use gcm::GcmModel;
+pub use model::ClickModel;
+pub use position::PositionModel;
+pub use session::{DocId, QueryId, Session, SessionSet};
+pub use ubm::UbmModel;

@@ -1,0 +1,117 @@
+//! Property-based tests for the click-model substrate, centred on the
+//! monotone-chain machinery every cascade-family model shares.
+
+use microbrowse_click::chain::{
+    conditional_click_probs, marginal_click_probs, posterior_examined, ChainSpec,
+};
+use microbrowse_click::{ClickModel, DbnModel, DcmModel, PositionModel, QueryId, Session, SessionSet};
+use proptest::prelude::*;
+
+fn arb_spec(n: usize) -> impl Strategy<Value = ChainSpec> {
+    (
+        prop::collection::vec(0.02f64..0.98, n),
+        prop::collection::vec(0.02f64..0.98, n),
+        prop::collection::vec(0.02f64..0.98, n),
+    )
+        .prop_map(|(emit, cont_click, cont_noclick)| ChainSpec { emit, cont_click, cont_noclick })
+}
+
+fn arb_clicks(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), n)
+}
+
+proptest! {
+    /// Posterior examination probabilities are valid, monotone, and pinned
+    /// to 1 at and above every observed click.
+    #[test]
+    fn chain_posterior_invariants(spec in arb_spec(6), clicks in arb_clicks(6)) {
+        let post = posterior_examined(&spec, &clicks);
+        for w in &post.examined {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(w));
+        }
+        for pair in post.examined.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-12, "not monotone: {:?}", post.examined);
+        }
+        if let Some(last_click) = clicks.iter().rposition(|&c| c) {
+            for i in 0..=last_click {
+                prop_assert!((post.examined[i] - 1.0).abs() < 1e-9,
+                    "click at {last_click} must force examination at {i}");
+            }
+        }
+    }
+
+    /// The posterior normalizer equals the product of conditional click
+    /// probabilities — two independent computations of P(clicks).
+    #[test]
+    fn chain_likelihood_consistency(spec in arb_spec(5), clicks in arb_clicks(5)) {
+        let post = posterior_examined(&spec, &clicks);
+        let cond = conditional_click_probs(&spec, &clicks);
+        let product: f64 = cond
+            .iter()
+            .zip(&clicks)
+            .map(|(&p, &c)| if c { p } else { 1.0 - p })
+            .product();
+        prop_assert!((post.likelihood - product).abs() < 1e-9,
+            "{} vs {}", post.likelihood, product);
+    }
+
+    /// Session likelihoods over all 2^n click patterns sum to 1, and the
+    /// marginals match click-pattern enumeration.
+    #[test]
+    fn chain_is_a_probability_distribution(spec in arb_spec(4)) {
+        let n = spec.depth();
+        let mut total = 0.0;
+        let mut by_rank = vec![0.0f64; n];
+        for mask in 0u32..(1 << n) {
+            let clicks: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let p = posterior_examined(&spec, &clicks).likelihood;
+            prop_assert!(p >= -1e-12);
+            total += p;
+            for (i, &c) in clicks.iter().enumerate() {
+                if c {
+                    by_rank[i] += p;
+                }
+            }
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+        let marginals = marginal_click_probs(&spec);
+        for i in 0..n {
+            prop_assert!((marginals[i] - by_rank[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Every model's conditional click probabilities are probabilities, for
+    /// arbitrary (unfitted and fitted) parameter states.
+    #[test]
+    fn model_outputs_are_probabilities(
+        click_patterns in prop::collection::vec(arb_clicks(5), 5..30),
+        fit_first in any::<bool>(),
+    ) {
+        let sessions: SessionSet = click_patterns
+            .iter()
+            .map(|clicks| {
+                Session::new(
+                    QueryId(0),
+                    (0..clicks.len() as u32).map(microbrowse_click::DocId).collect(),
+                    clicks.clone(),
+                )
+            })
+            .collect();
+        let mut models: Vec<Box<dyn ClickModel>> = vec![
+            Box::new(PositionModel::default()),
+            Box::new(DcmModel::default()),
+            Box::new(DbnModel::default()),
+        ];
+        for m in &mut models {
+            if fit_first {
+                m.fit(&sessions);
+            }
+            for s in sessions.sessions() {
+                for p in m.conditional_click_probs(s) {
+                    prop_assert!((0.0..=1.0).contains(&p), "{}: p = {p}", m.name());
+                }
+                prop_assert!(m.log_likelihood(s).is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! Classifier features for the snippet-pair models M1–M6 (§IV-A, §V-D.1).
+//!
+//! A training instance is a creative pair `(R, S)` with label "R had the
+//! higher CTR". Features are **antisymmetric**: swapping R and S negates
+//! every feature value and flips the label, so the classifier cannot learn
+//! an R-side bias.
+//!
+//! Two encodings exist, mirroring the paper's ablation:
+//!
+//! * **Flat** (M1/M3/M5 — "no position information"): one weight per term or
+//!   rewrite feature; an R-side occurrence contributes `+1`, an S-side one
+//!   `−1`. This realizes Eq. 6 with all `v, w` forced to 1.
+//! * **Coupled** (M2/M4/M6 — "with position information"): every occurrence
+//!   is factorized into a *position group* (its `(line, position)` for
+//!   terms; its source/target position pair for rewrites) and a *relevance
+//!   id* (the phrase or the rewrite), realizing Eq. 8/9. Training is the
+//!   alternating coupled logistic regression of
+//!   [`microbrowse_ml::coupled`].
+//!
+//! When a model is "+init", the feature statistics database supplies the
+//! starting weights: term/rewrite log-odds for relevance weights and
+//! position odds for position weights (§V-D.1).
+
+use microbrowse_ml::{CoupledDataset, CoupledExample, CoupledFeature, Dataset, Example, SparseVec};
+use microbrowse_store::key::SnippetPos;
+use microbrowse_store::{FeatureKey, StatsDb};
+use microbrowse_text::{FxHashMap, Interner, NGramConfig, NGramExtractor, Sym, TokenizedSnippet};
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::ModelSpec;
+use crate::rewrite::{canonical_rewrite_key, is_canonical_order, RewriteConfig, RewriteExtractor};
+
+/// A relevance-side classifier feature: a term phrase or a
+/// direction-normalized rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TermFeat {
+    /// An n-gram phrase (feature value: +1 in R, −1 in S).
+    Term(Sym),
+    /// A rewrite between two phrases, stored in canonical (lexicographic)
+    /// order; the value sign encodes the direction actually observed.
+    Rewrite(Sym, Sym),
+}
+
+/// An interner-independent feature description, used to persist a trained
+/// model's vocabulary (symbol ids are process-local; strings are not).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OwnedTermFeat {
+    /// An n-gram phrase.
+    Term(String),
+    /// A canonical-order rewrite.
+    Rewrite(String, String),
+}
+
+/// Number of within-line position buckets for *term* position groups.
+pub const TERM_POS_BUCKETS: u16 = 10;
+/// Number of within-line position buckets for *rewrite* position groups
+/// (coarser: the pair space is quadratic).
+pub const REWRITE_POS_BUCKETS: u16 = 5;
+/// Max lines participating in position groups (matches
+/// [`microbrowse_text::snippet::MAX_LINES`]).
+pub const POS_LINES: u16 = 8;
+
+/// Maps snippet positions to coupled-model position-group indices and back.
+///
+/// Layout: term groups occupy `0 .. POS_LINES*TERM_POS_BUCKETS`; rewrite
+/// position-pair groups follow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionVocab;
+
+impl PositionVocab {
+    /// Number of term position groups.
+    pub const fn num_term_groups() -> u32 {
+        (POS_LINES * TERM_POS_BUCKETS) as u32
+    }
+
+    /// Total number of position groups (terms + rewrite pairs).
+    pub const fn num_groups() -> u32 {
+        let rw_side = (POS_LINES * REWRITE_POS_BUCKETS) as u32;
+        Self::num_term_groups() + rw_side * rw_side
+    }
+
+    /// Group index for a term occurrence.
+    pub fn term_group(pos: SnippetPos) -> u32 {
+        let line = u16::from(pos.line).min(POS_LINES - 1);
+        let bucket = pos.pos.min(TERM_POS_BUCKETS - 1);
+        u32::from(line * TERM_POS_BUCKETS + bucket)
+    }
+
+    /// Decode a term group back to `(line, bucket)` — used by the Figure 3
+    /// report. Returns `None` for rewrite groups.
+    pub fn decode_term_group(group: u32) -> Option<(u8, u16)> {
+        if group >= Self::num_term_groups() {
+            return None;
+        }
+        let line = group / u32::from(TERM_POS_BUCKETS);
+        let bucket = group % u32::from(TERM_POS_BUCKETS);
+        Some((line as u8, bucket as u16))
+    }
+
+    fn rewrite_side(pos: SnippetPos) -> u32 {
+        let line = u16::from(pos.line).min(POS_LINES - 1);
+        let bucket = pos.pos.min(REWRITE_POS_BUCKETS - 1);
+        u32::from(line * REWRITE_POS_BUCKETS + bucket)
+    }
+
+    /// Group index for a rewrite position pair `(from, to)`.
+    pub fn rewrite_group(from: SnippetPos, to: SnippetPos) -> u32 {
+        let side = (POS_LINES * REWRITE_POS_BUCKETS) as u32;
+        Self::num_term_groups() + Self::rewrite_side(from) * side + Self::rewrite_side(to)
+    }
+
+    /// Representative position (bucket midpoint = bucket start) for a term
+    /// group, used when initializing position weights from stats.
+    pub fn term_group_representative(group: u32) -> Option<SnippetPos> {
+        Self::decode_term_group(group).map(|(line, bucket)| SnippetPos::new(line, bucket))
+    }
+}
+
+/// One raw feature occurrence prior to encoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RawFeature {
+    feat: TermFeat,
+    pos_group: u32,
+    value: f64,
+}
+
+/// Encoded data for one model spec: exactly one of the two encodings.
+#[derive(Debug, Clone)]
+pub enum EncodedData {
+    /// Flat sparse dataset (M1/M3/M5).
+    Flat(Dataset),
+    /// Factorized dataset (M2/M4/M6).
+    Coupled(CoupledDataset),
+}
+
+impl EncodedData {
+    /// Number of encoded examples.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedData::Flat(d) => d.len(),
+            EncodedData::Coupled(d) => d.len(),
+        }
+    }
+
+    /// Whether no examples were encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Featurizer: turns tokenized creative pairs into classifier examples,
+/// growing a term-feature vocabulary as it goes.
+#[derive(Debug)]
+pub struct Featurizer<'a> {
+    spec: ModelSpec,
+    stats: &'a StatsDb,
+    ngram: NGramExtractor,
+    rewriter: RewriteExtractor,
+    term_ids: FxHashMap<TermFeat, u32>,
+    term_feats: Vec<TermFeat>,
+}
+
+impl<'a> Featurizer<'a> {
+    /// Create a featurizer for `spec`, consulting `stats` for greedy rewrite
+    /// matching and (later) weight initialization.
+    pub fn new(spec: ModelSpec, stats: &'a StatsDb) -> Self {
+        Self::with_configs(spec, stats, NGramConfig::default(), RewriteConfig::default())
+    }
+
+    /// Create with explicit n-gram and rewrite configurations.
+    pub fn with_configs(
+        spec: ModelSpec,
+        stats: &'a StatsDb,
+        ngram: NGramConfig,
+        rewrite: RewriteConfig,
+    ) -> Self {
+        Self {
+            spec,
+            stats,
+            ngram: NGramExtractor::new(ngram),
+            rewriter: RewriteExtractor::new(rewrite),
+            term_ids: FxHashMap::default(),
+            term_feats: Vec::new(),
+        }
+    }
+
+    /// The model spec being encoded for.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Current vocabulary size (term-feature ids allocated so far).
+    pub fn vocab_len(&self) -> usize {
+        self.term_feats.len()
+    }
+
+    /// Export the vocabulary in id order as interner-independent strings
+    /// (for model persistence; see `crate::serve`).
+    pub fn export_vocab(&self, interner: &Interner) -> Vec<OwnedTermFeat> {
+        self.term_feats
+            .iter()
+            .map(|feat| match feat {
+                TermFeat::Term(sym) => OwnedTermFeat::Term(interner.resolve(*sym).to_owned()),
+                TermFeat::Rewrite(a, b) => OwnedTermFeat::Rewrite(
+                    interner.resolve(*a).to_owned(),
+                    interner.resolve(*b).to_owned(),
+                ),
+            })
+            .collect()
+    }
+
+    /// Pre-populate the vocabulary from an exported list, so feature ids
+    /// match the model the vocabulary was exported with. Must be called on
+    /// a fresh featurizer (panics otherwise — mixing id spaces would
+    /// silently mis-score).
+    pub fn preload_vocab(&mut self, vocab: &[OwnedTermFeat], interner: &mut Interner) {
+        assert!(
+            self.term_feats.is_empty(),
+            "preload_vocab requires a fresh featurizer"
+        );
+        for owned in vocab {
+            let feat = match owned {
+                OwnedTermFeat::Term(t) => TermFeat::Term(interner.intern(t)),
+                OwnedTermFeat::Rewrite(a, b) => {
+                    TermFeat::Rewrite(interner.intern(a), interner.intern(b))
+                }
+            };
+            self.feat_id(feat);
+        }
+    }
+
+    fn feat_id(&mut self, feat: TermFeat) -> u32 {
+        if let Some(&id) = self.term_ids.get(&feat) {
+            return id;
+        }
+        let id = self.term_feats.len() as u32;
+        self.term_feats.push(feat);
+        self.term_ids.insert(feat, id);
+        id
+    }
+
+    /// Collect the raw (unencoded) features for one pair.
+    fn collect(
+        &mut self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        interner: &mut Interner,
+    ) -> Vec<RawFeature> {
+        let mut raw = Vec::new();
+
+        if self.spec.terms {
+            for (snippet, sign) in [(r, 1.0), (s, -1.0)] {
+                for occ in self.ngram.extract(snippet, interner) {
+                    let pos = SnippetPos::new(occ.line, occ.pos);
+                    raw.push(RawFeature {
+                        feat: TermFeat::Term(occ.ngram.phrase),
+                        pos_group: PositionVocab::term_group(pos),
+                        value: sign,
+                    });
+                }
+            }
+        }
+
+        if self.spec.rewrites {
+            let ext = self.rewriter.extract(r, s, self.stats, interner);
+            for rw in &ext.rewrites {
+                // Identity rewrites — the same phrase *moved* to another
+                // position (a restructured creative) — carry pure position
+                // information: encode as a positional term on each side
+                // (antisymmetric), not as a direction-less rewrite.
+                if rw.from.phrase == rw.to.phrase {
+                    raw.push(RawFeature {
+                        feat: TermFeat::Term(rw.from.phrase),
+                        pos_group: PositionVocab::term_group(rw.from.pos),
+                        value: 1.0,
+                    });
+                    raw.push(RawFeature {
+                        feat: TermFeat::Term(rw.to.phrase),
+                        pos_group: PositionVocab::term_group(rw.to.pos),
+                        value: -1.0,
+                    });
+                    continue;
+                }
+                let from_str = interner.resolve(rw.from.phrase).to_owned();
+                let to_str = interner.resolve(rw.to.phrase).to_owned();
+                let (feat, value, pos_group) = if is_canonical_order(&from_str, &to_str) {
+                    (
+                        TermFeat::Rewrite(rw.from.phrase, rw.to.phrase),
+                        1.0,
+                        PositionVocab::rewrite_group(rw.from.pos, rw.to.pos),
+                    )
+                } else {
+                    (
+                        TermFeat::Rewrite(rw.to.phrase, rw.from.phrase),
+                        -1.0,
+                        PositionVocab::rewrite_group(rw.to.pos, rw.from.pos),
+                    )
+                };
+                raw.push(RawFeature { feat, pos_group, value });
+            }
+            // Leftover changed tokens become term-level features (§IV-A) —
+            // unless full term features already cover them (M5/M6).
+            if !self.spec.terms {
+                for (leftovers, sign) in [(&ext.r_leftover, 1.0), (&ext.s_leftover, -1.0)] {
+                    for occ in leftovers {
+                        raw.push(RawFeature {
+                            feat: TermFeat::Term(occ.phrase),
+                            pos_group: PositionVocab::term_group(occ.pos),
+                            value: sign,
+                        });
+                    }
+                }
+            }
+        }
+
+        raw
+    }
+
+    /// Encode one pair as a flat sparse example.
+    pub fn encode_flat(
+        &mut self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        label: bool,
+        interner: &mut Interner,
+    ) -> Example {
+        let raw = self.collect(r, s, interner);
+        let pairs: Vec<(u32, f64)> =
+            raw.into_iter().map(|f| (self.feat_id(f.feat), f.value)).collect();
+        Example::new(SparseVec::from_pairs(pairs), label)
+    }
+
+    /// Encode one pair as a factorized (coupled) example.
+    pub fn encode_coupled(
+        &mut self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        label: bool,
+        interner: &mut Interner,
+    ) -> CoupledExample {
+        let raw = self.collect(r, s, interner);
+        // Aggregate by (position group, feature): occurrences shared by both
+        // sides at the same position cancel exactly and would otherwise
+        // dominate the occurrence list (most n-grams of a pair are common).
+        let mut agg: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        for f in raw {
+            *agg.entry((f.pos_group, self.feat_id(f.feat))).or_insert(0.0) += f.value;
+        }
+        let mut occs: Vec<CoupledFeature> = agg
+            .into_iter()
+            .filter(|&(_, v)| v != 0.0)
+            .map(|((pos, term), value)| CoupledFeature { pos, term, value })
+            .collect();
+        occs.sort_unstable_by_key(|o| (o.pos, o.term));
+        CoupledExample { occs, label }
+    }
+
+    /// Encode a batch of `(r, s, label)` pairs into the encoding the spec
+    /// requires.
+    pub fn encode_batch(
+        &mut self,
+        pairs: &[(TokenizedSnippet, TokenizedSnippet, bool)],
+        interner: &mut Interner,
+    ) -> EncodedData {
+        if self.spec.positions {
+            let mut d = CoupledDataset::with_dims(PositionVocab::num_groups() as usize, 0);
+            for (r, s, label) in pairs {
+                d.push(self.encode_coupled(r, s, *label, interner));
+            }
+            EncodedData::Coupled(d)
+        } else {
+            let mut d = Dataset::with_dim(0);
+            for (r, s, label) in pairs {
+                d.push(self.encode_flat(r, s, *label, interner));
+            }
+            EncodedData::Flat(d)
+        }
+    }
+
+    /// Initial relevance weights from the statistics database (the "+init"
+    /// of §V-D): log odds per vocabulary feature; 0 for unseen features and
+    /// for features with fewer than `min_support` observations (a one-off
+    /// observation smoothed with α = 1 would otherwise start at ±0.7 and
+    /// thousands of such rare-context n-grams add pure variance).
+    pub fn init_term_weights(
+        &self,
+        interner: &Interner,
+        alpha: f64,
+        min_support: u64,
+    ) -> Vec<f64> {
+        let lookup = |key: &FeatureKey| -> f64 {
+            match self.stats.get(key) {
+                Some(stat) if stat.total() >= min_support => stat.log_odds(alpha),
+                _ => 0.0,
+            }
+        };
+        self.term_feats
+            .iter()
+            .map(|feat| match feat {
+                TermFeat::Term(sym) => lookup(&FeatureKey::term(interner.resolve(*sym))),
+                TermFeat::Rewrite(a, b) => {
+                    lookup(&canonical_rewrite_key(interner.resolve(*a), interner.resolve(*b)))
+                }
+            })
+            .collect()
+    }
+
+    /// Initial position weights from the statistics database: the odds
+    /// ratio of each position's `delta-sw` statistic (1.0 — neutral — when
+    /// unseen), matching §V-C's position features.
+    pub fn init_pos_weights(&self, alpha: f64) -> Vec<f64> {
+        (0..PositionVocab::num_groups())
+            .map(|g| match PositionVocab::term_group_representative(g) {
+                Some(pos) => self
+                    .stats
+                    .get(&FeatureKey::TermPosition(pos))
+                    .map_or(1.0, |s| s.odds(alpha)),
+                // Rewrite position pairs: look up the canonical pair stat.
+                None => 1.0,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microbrowse_text::{Snippet, Tokenizer};
+
+    fn snip(interner: &mut Interner, lines: &[&str]) -> TokenizedSnippet {
+        Snippet::from_lines(lines.iter().copied()).tokenize(&Tokenizer::default(), interner)
+    }
+
+    fn m(terms: bool, rewrites: bool, positions: bool) -> ModelSpec {
+        ModelSpec { name: "test", terms, rewrites, positions, init_from_stats: true }
+    }
+
+    #[test]
+    fn position_vocab_round_trips() {
+        for line in 0..POS_LINES as u8 {
+            for pos in 0..TERM_POS_BUCKETS {
+                let g = PositionVocab::term_group(SnippetPos::new(line, pos));
+                assert_eq!(PositionVocab::decode_term_group(g), Some((line, pos)));
+            }
+        }
+        // Out-of-range positions clamp into the last bucket.
+        let g = PositionVocab::term_group(SnippetPos::new(0, 500));
+        assert_eq!(PositionVocab::decode_term_group(g), Some((0, TERM_POS_BUCKETS - 1)));
+        // Rewrite groups sit above term groups and never decode as terms.
+        let rg = PositionVocab::rewrite_group(SnippetPos::new(0, 0), SnippetPos::new(1, 2));
+        assert!(rg >= PositionVocab::num_term_groups());
+        assert_eq!(PositionVocab::decode_term_group(rg), None);
+        assert!(rg < PositionVocab::num_groups());
+    }
+
+    #[test]
+    fn antisymmetry_flat() {
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["find cheap flights"]);
+        let s = snip(&mut interner, &["get discounts flights"]);
+        let mut fz = Featurizer::new(m(true, true, false), &stats);
+        let ex_rs = fz.encode_flat(&r, &s, true, &mut interner);
+        let ex_sr = fz.encode_flat(&s, &r, false, &mut interner);
+        // Same features, negated values.
+        let neg: Vec<(u32, f64)> = ex_sr.features.iter().map(|(i, v)| (i, -v)).collect();
+        let rs: Vec<(u32, f64)> = ex_rs.features.iter().collect();
+        assert_eq!(rs, neg);
+    }
+
+    #[test]
+    fn antisymmetry_coupled() {
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["hotels", "book cheap rooms today"]);
+        let s = snip(&mut interner, &["hotels", "book luxury rooms today"]);
+        let mut fz = Featurizer::new(m(false, true, true), &stats);
+        let ex_rs = fz.encode_coupled(&r, &s, true, &mut interner);
+        let ex_sr = fz.encode_coupled(&s, &r, false, &mut interner);
+        // Multisets of (pos, term, value) match after negating one side.
+        let mut a: Vec<(u32, u32, i64)> =
+            ex_rs.occs.iter().map(|o| (o.pos, o.term, (o.value * 1000.0) as i64)).collect();
+        let mut b: Vec<(u32, u32, i64)> =
+            ex_sr.occs.iter().map(|o| (o.pos, o.term, (-o.value * 1000.0) as i64)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_snippets_encode_to_nothing_flat() {
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["same text here"]);
+        let mut fz = Featurizer::new(m(true, true, false), &stats);
+        let ex = fz.encode_flat(&r, &r.clone(), true, &mut interner);
+        assert!(ex.features.is_empty(), "shared terms must cancel: {:?}", ex.features);
+    }
+
+    #[test]
+    fn terms_only_spec_has_no_rewrite_feats(){
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["find cheap flights"]);
+        let s = snip(&mut interner, &["get discounts flights"]);
+        let mut fz = Featurizer::new(m(true, false, false), &stats);
+        let _ = fz.encode_flat(&r, &s, true, &mut interner);
+        assert!(fz
+            .term_feats
+            .iter()
+            .all(|f| matches!(f, TermFeat::Term(_))));
+    }
+
+    #[test]
+    fn rewrites_only_spec_emits_rewrite_and_leftovers() {
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["find cheap flights"]);
+        let s = snip(&mut interner, &["get discounts flights"]);
+        let mut fz = Featurizer::new(m(false, true, false), &stats);
+        let ex = fz.encode_flat(&r, &s, true, &mut interner);
+        assert!(!ex.features.is_empty());
+        assert!(fz.term_feats.iter().any(|f| matches!(f, TermFeat::Rewrite(_, _))));
+    }
+
+    #[test]
+    fn init_weights_come_from_stats() {
+        let mut stats = StatsDb::new();
+        for _ in 0..20 {
+            stats.record(FeatureKey::term("cheap"), true);
+        }
+        for _ in 0..20 {
+            stats.record(FeatureKey::term("expensive"), false);
+        }
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["cheap"]);
+        let s = snip(&mut interner, &["expensive"]);
+        let mut fz = Featurizer::new(m(true, false, false), &stats);
+        let ex = fz.encode_flat(&r, &s, true, &mut interner);
+        let init = fz.init_term_weights(&interner, 1.0, 1);
+        // "cheap" got +1 value and positive log-odds; "expensive" −1 value
+        // and negative log-odds — the initialized score is already positive.
+        let score: f64 = ex.features.iter().map(|(i, v)| init[i as usize] * v).sum();
+        assert!(score > 0.0, "init score {score}");
+    }
+
+    #[test]
+    fn init_pos_weights_default_to_neutral() {
+        let stats = StatsDb::new();
+        let fz = Featurizer::new(m(true, false, true), &stats);
+        let w = fz.init_pos_weights(1.0);
+        assert_eq!(w.len(), PositionVocab::num_groups() as usize);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn encode_batch_picks_encoding_by_spec() {
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["a b"]);
+        let s = snip(&mut interner, &["a c"]);
+        let pairs = vec![(r, s, true)];
+        let mut flat_fz = Featurizer::new(m(true, false, false), &stats);
+        assert!(matches!(flat_fz.encode_batch(&pairs, &mut interner), EncodedData::Flat(_)));
+        let mut pos_fz = Featurizer::new(m(true, false, true), &stats);
+        assert!(matches!(pos_fz.encode_batch(&pairs, &mut interner), EncodedData::Coupled(_)));
+    }
+
+    #[test]
+    fn vocab_is_shared_across_examples() {
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let a = snip(&mut interner, &["cheap flights"]);
+        let b = snip(&mut interner, &["luxury flights"]);
+        let mut fz = Featurizer::new(m(true, false, false), &stats);
+        let e1 = fz.encode_flat(&a, &b, true, &mut interner);
+        let e2 = fz.encode_flat(&b, &a, false, &mut interner);
+        let v1 = fz.vocab_len();
+        // Second encoding must not have grown the vocabulary.
+        let _ = (e1, e2);
+        let e3 = fz.encode_flat(&a, &b, true, &mut interner);
+        assert_eq!(fz.vocab_len(), v1);
+        let _ = e3;
+    }
+}

@@ -1,0 +1,59 @@
+//! # microbrowse-core — Micro-Browsing Models for Search Snippets
+//!
+//! This crate implements the primary contribution of *"Micro-Browsing Models
+//! for Search Snippets"* (Islam, Srikant, Basu; ICDE 2019): a fine-grained
+//! model of **which words inside a result snippet a user actually reads**,
+//! and its application to predicting which of two ad creatives will earn the
+//! higher click-through rate.
+//!
+//! ## The model in one paragraph
+//!
+//! For a query `q`, every term position `i` of a snippet `R` carries a
+//! relevance `r_i ∈ [0,1]` and an examination indicator `v_i ∈ {0,1}`; the
+//! snippet's perceived relevance is `Pr(R|q) = Π r_i^{v_i}` (Eq. 3). Two
+//! snippets compete through the log-ratio score (Eq. 5), which re-factors
+//! over *phrase rewrites* between them plus leftover per-side terms (Eq. 6),
+//! and finally decouples position from relevance (Eq. 8/9) so that both can
+//! be learned by coupled logistic regressions. See [`model`].
+//!
+//! ## Module map (mirrors the paper)
+//!
+//! | Module | Paper section |
+//! |--------|---------------|
+//! | [`model`] | §III — Eq. 3–8, the micro-browsing score |
+//! | [`corpus`] | §V-A — the ADCORPUS schema: adgroups, creatives, CTRs |
+//! | [`serveweight`] | §V-B — serve weights, `sw-diff`, `delta-sw` |
+//! | [`rewrite`] | §IV-A — snippet diffing and greedy rewrite matching |
+//! | [`statsbuild`] | §V-C / Figure 1 phase 1 — the feature statistics build |
+//! | [`features`] | §IV-A / §V-D.1 — classifier features for M1–M6 |
+//! | [`classifier`] | §V-D — the six ablation models M1–M6 |
+//! | [`pipeline`] | §IV-B / Figure 1 — end-to-end corpus → CV metrics |
+//! | [`report`] | §V tables — plain-text table rendering |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classifier;
+pub mod corpus;
+pub mod features;
+pub mod model;
+pub mod optimize;
+pub mod pipeline;
+pub mod report;
+pub mod rewrite;
+pub mod serve;
+pub mod serveweight;
+pub mod statsbuild;
+
+pub use classifier::{ModelSpec, TrainedClassifier};
+pub use corpus::{
+    AdCorpus, AdGroup, AdGroupId, Creative, CreativeId, CreativePair, PairFilter, Placement,
+};
+pub use features::{Featurizer, PositionVocab};
+pub use model::{score_factored, score_flat, snippet_relevance, TermJudgment};
+pub use optimize::{apply_edit, optimize_creative, Edit, OptimizeConfig, OptimizeOutcome};
+pub use pipeline::{run_experiment, ExperimentConfig, ExperimentOutcome};
+pub use rewrite::{token_diff, DiffOp, MatchStrategy, RewriteExtraction, RewriteExtractor};
+pub use serve::{DeployedModel, Scorer};
+pub use serveweight::{delta_sw, serve_weights, sw_diff};
+pub use statsbuild::{build_stats, StatsBuildConfig};

@@ -1,0 +1,366 @@
+//! The end-to-end snippet-classification pipeline (Figure 1, §IV-B).
+//!
+//! Two phases, as in the paper:
+//!
+//! 1. **Feature extraction** — scan creative pairs, build the feature
+//!    statistics database ([`crate::statsbuild`]).
+//! 2. **Classification** — featurize each pair ([`crate::features`]), train
+//!    the chosen model variant ([`crate::classifier`]), and evaluate.
+//!
+//! Evaluation is "standard 10-fold cross validation" (§V-D.2) with one
+//! strengthening: the statistics database of each fold is rebuilt from that
+//! fold's *training* pairs only, so no test-pair information leaks into the
+//! initialization. (The paper builds one database over the full ADCORPUS;
+//! [`ExperimentConfig::stats_on_full_corpus`] reproduces that variant for
+//! the ablation study.)
+
+use microbrowse_ml::{grouped_kfold, stratified_kfold, BinaryMetrics, Confusion};
+use microbrowse_text::TokenizedSnippet;
+use serde::{Deserialize, Serialize};
+
+use crate::classifier::{ModelSpec, TrainConfig, TrainedClassifier};
+use crate::corpus::{AdCorpus, CreativePair, PairFilter};
+use crate::features::Featurizer;
+use crate::rewrite::RewriteConfig;
+use crate::statsbuild::{build_stats, StatsBuildConfig, TokenizedCorpus};
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Pair qualification filter (§V-A).
+    pub pair_filter: PairFilter,
+    /// Number of cross-validation folds (the paper uses 10).
+    pub folds: usize,
+    /// Seed for fold assignment and training shuffles.
+    pub seed: u64,
+    /// Classifier training hyper-parameters.
+    pub train: TrainConfig,
+    /// Statistics-build settings.
+    pub stats: StatsBuildConfig,
+    /// Rewrite matching used at featurization time (greedy by default).
+    pub rewrite: RewriteConfig,
+    /// Build the stats DB once over all pairs instead of per training fold
+    /// (the paper's setup; leaks initialization evidence — off by default).
+    pub stats_on_full_corpus: bool,
+    /// Keep all pairs of one adgroup in the same fold (on by default):
+    /// creatives appear in several pairs, so splitting an adgroup across
+    /// folds would leak creative-specific evidence into the test fold.
+    pub group_folds_by_adgroup: bool,
+    /// Optional cap on the number of pairs (deterministic subsample).
+    pub max_pairs: Option<usize>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            pair_filter: PairFilter::default(),
+            folds: 10,
+            seed: 42,
+            train: TrainConfig::default(),
+            stats: StatsBuildConfig::default(),
+            rewrite: RewriteConfig::default(),
+            stats_on_full_corpus: false,
+            group_folds_by_adgroup: true,
+            max_pairs: None,
+        }
+    }
+}
+
+/// The result of one experiment (one model spec, one corpus).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentOutcome {
+    /// The evaluated model variant.
+    pub spec: ModelSpec,
+    /// Per-fold test metrics.
+    pub fold_metrics: Vec<BinaryMetrics>,
+    /// Unweighted mean across folds (the paper's table cells).
+    pub mean: BinaryMetrics,
+    /// Pooled confusion matrix over all folds.
+    pub pooled: Confusion,
+    /// Number of pairs evaluated.
+    pub num_pairs: usize,
+    /// Learned position weights (coupled models only) from a final fit on
+    /// the full pair set — the data behind Figure 3.
+    pub position_weights: Option<Vec<f64>>,
+}
+
+/// Materialized training pair: tokenized snippets plus label.
+type TokPair = (TokenizedSnippet, TokenizedSnippet, bool);
+
+/// Extract, subsample, and tokenize the qualifying pairs of `corpus`.
+fn materialize_pairs(
+    tc: &TokenizedCorpus,
+    corpus: &AdCorpus,
+    cfg: &ExperimentConfig,
+) -> (Vec<CreativePair>, Vec<TokPair>) {
+    let mut pairs = corpus.extract_pairs(&cfg.pair_filter);
+    if let Some(cap) = cfg.max_pairs {
+        if pairs.len() > cap {
+            // Deterministic subsample: shuffle by seed, truncate.
+            use microbrowse_text::hash::FxHasher;
+            use std::hash::{Hash, Hasher};
+            pairs.sort_by_key(|p| {
+                let mut h = FxHasher::default();
+                (cfg.seed, p.adgroup.0, p.r.0, p.s.0).hash(&mut h);
+                h.finish()
+            });
+            pairs.truncate(cap);
+        }
+    }
+    let toks = pairs
+        .iter()
+        .map(|p| (tc.snippet(p.r).clone(), tc.snippet(p.s).clone(), p.r_better))
+        .collect();
+    (pairs, toks)
+}
+
+/// Run the full pipeline for one model variant.
+pub fn run_experiment(
+    corpus: &AdCorpus,
+    spec: ModelSpec,
+    cfg: &ExperimentConfig,
+) -> ExperimentOutcome {
+    let tc = TokenizedCorpus::build(corpus);
+    let (pairs, tok_pairs) = materialize_pairs(&tc, corpus, cfg);
+    let folds = if cfg.group_folds_by_adgroup {
+        let groups: Vec<u64> = pairs.iter().map(|p| p.adgroup.0).collect();
+        grouped_kfold(&groups, cfg.folds.max(2), cfg.seed)
+    } else {
+        let labels: Vec<bool> = pairs.iter().map(|p| p.r_better).collect();
+        stratified_kfold(&labels, cfg.folds.max(2), cfg.seed)
+    };
+
+    let full_stats = if cfg.stats_on_full_corpus {
+        Some(build_stats(&tc, &pairs, &cfg.stats))
+    } else {
+        None
+    };
+
+    let mut fold_metrics = Vec::with_capacity(folds.len());
+    let mut pooled = Confusion::default();
+
+    for fold in &folds {
+        if fold.test_idx.is_empty() {
+            continue;
+        }
+        let test_set: std::collections::BTreeSet<usize> = fold.test_idx.iter().copied().collect();
+        let train_pairs: Vec<CreativePair> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !test_set.contains(i))
+            .map(|(_, p)| *p)
+            .collect();
+        let train_toks: Vec<TokPair> = tok_pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !test_set.contains(i))
+            .map(|(_, t)| t.clone())
+            .collect();
+        let test_toks: Vec<TokPair> =
+            fold.test_idx.iter().map(|&i| tok_pairs[i].clone()).collect();
+
+        let fold_stats;
+        let stats = match &full_stats {
+            Some(db) => db,
+            None => {
+                fold_stats = build_stats(&tc, &train_pairs, &cfg.stats);
+                &fold_stats
+            }
+        };
+
+        let mut interner = tc.interner.clone();
+        let mut fz = Featurizer::with_configs(spec, stats, cfg.stats.ngram, cfg.rewrite);
+        let train_data = fz.encode_batch(&train_toks, &mut interner);
+        let (init_terms, init_pos) = scaled_inits(&fz, &interner, &cfg.train);
+        let test_data = fz.encode_batch(&test_toks, &mut interner);
+
+        let clf = TrainedClassifier::train(
+            &spec,
+            &train_data,
+            Some(init_terms),
+            Some(init_pos),
+            &cfg.train,
+        );
+        let preds = clf.predict_all(&test_data);
+        let confusion = Confusion::from_pairs(preds);
+        pooled.merge(&confusion);
+        fold_metrics.push(confusion.metrics());
+    }
+
+    // Final full-data fit for position-weight reporting (Figure 3).
+    let position_weights = if spec.positions && !tok_pairs.is_empty() {
+        let stats = match full_stats {
+            Some(db) => db,
+            None => build_stats(&tc, &pairs, &cfg.stats),
+        };
+        let mut interner = tc.interner.clone();
+        let mut fz = Featurizer::with_configs(spec, &stats, cfg.stats.ngram, cfg.rewrite);
+        let data = fz.encode_batch(&tok_pairs, &mut interner);
+        let (init_terms, init_pos) = scaled_inits(&fz, &interner, &cfg.train);
+        let clf =
+            TrainedClassifier::train(&spec, &data, Some(init_terms), Some(init_pos), &cfg.train);
+        clf.position_weights().map(<[f64]>::to_vec)
+    } else {
+        None
+    };
+
+    ExperimentOutcome {
+        spec,
+        mean: BinaryMetrics::mean(&fold_metrics),
+        fold_metrics,
+        pooled,
+        num_pairs: pairs.len(),
+        position_weights,
+    }
+}
+
+/// Build stats-DB warm starts, shrunk by `TrainConfig::init_scale`.
+fn scaled_inits(
+    fz: &Featurizer<'_>,
+    interner: &microbrowse_text::Interner,
+    train: &TrainConfig,
+) -> (Vec<f64>, Vec<f64>) {
+    let s = train.init_scale;
+    let mut terms = fz.init_term_weights(interner, train.stats_alpha, train.init_min_support);
+    for w in &mut terms {
+        *w *= s;
+    }
+    let mut pos = fz.init_pos_weights(train.stats_alpha);
+    for w in &mut pos {
+        *w = 1.0 + (*w - 1.0) * s; // positions shrink toward neutral 1.0
+    }
+    (terms, pos)
+}
+
+/// Run all six paper variants (Table 2 / Table 4 rows).
+pub fn run_all_models(corpus: &AdCorpus, cfg: &ExperimentConfig) -> Vec<ExperimentOutcome> {
+    ModelSpec::paper_models()
+        .into_iter()
+        .map(|spec| run_experiment(corpus, spec, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{AdGroup, AdGroupId, Creative, CreativeId, Placement};
+    use microbrowse_text::Snippet;
+
+    /// A tiny corpus where "cheap" always wins over "pricey" — enough for
+    /// smoke-level pipeline checks (the real experiments live in the bench
+    /// crate against the synthetic generator).
+    fn tiny_corpus(n_groups: u64) -> AdCorpus {
+        let adgroups = (0..n_groups)
+            .map(|g| AdGroup {
+                id: AdGroupId(g),
+                keyword: "flights".into(),
+                placement: Placement::Top,
+                creatives: vec![
+                    Creative {
+                        id: CreativeId(g * 2),
+                        snippet: Snippet::creative(
+                            "Air Travel",
+                            "book cheap flights today",
+                            "trusted by millions",
+                        ),
+                        impressions: 5_000,
+                        clicks: 400 + (g % 3) * 10,
+                    },
+                    Creative {
+                        id: CreativeId(g * 2 + 1),
+                        snippet: Snippet::creative(
+                            "Air Travel",
+                            "book pricey flights today",
+                            "trusted by millions",
+                        ),
+                        impressions: 5_000,
+                        clicks: 150 + (g % 3) * 10,
+                    },
+                ],
+            })
+            .collect();
+        AdCorpus { adgroups }
+    }
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            folds: 3,
+            train: TrainConfig {
+                logreg: microbrowse_ml::LogRegConfig {
+                    epochs: 5,
+                    ..Default::default()
+                },
+                coupled: microbrowse_ml::coupled::CoupledOptimizer::Joint {
+                    epochs: 8,
+                    eta0: 0.1,
+                    l1: 1e-5,
+                    l2: 1e-6,
+                    seed: 7,
+                },
+                stats_alpha: 1.0,
+                init_min_support: 2,
+                init_scale: 0.25,
+            },
+            stats: StatsBuildConfig { threads: 2, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn flat_pipeline_learns_the_tiny_pattern() {
+        let corpus = tiny_corpus(30);
+        let out = run_experiment(&corpus, ModelSpec::m1(), &quick_cfg());
+        assert_eq!(out.num_pairs, 30);
+        assert!(
+            out.mean.accuracy > 0.8,
+            "M1 accuracy {} on a trivially-separable corpus",
+            out.mean.accuracy
+        );
+        assert!(out.position_weights.is_none());
+    }
+
+    #[test]
+    fn coupled_pipeline_runs_and_reports_positions() {
+        let corpus = tiny_corpus(30);
+        let out = run_experiment(&corpus, ModelSpec::m6(), &quick_cfg());
+        assert!(out.mean.accuracy > 0.8, "M6 accuracy {}", out.mean.accuracy);
+        let pw = out.position_weights.expect("coupled model must report positions");
+        assert_eq!(pw.len(), crate::features::PositionVocab::num_groups() as usize);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = tiny_corpus(20);
+        let cfg = quick_cfg();
+        let a = run_experiment(&corpus, ModelSpec::m3(), &cfg);
+        let b = run_experiment(&corpus, ModelSpec::m3(), &cfg);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.pooled, b.pooled);
+    }
+
+    #[test]
+    fn max_pairs_caps_deterministically() {
+        let corpus = tiny_corpus(30);
+        let cfg = ExperimentConfig { max_pairs: Some(10), ..quick_cfg() };
+        let a = run_experiment(&corpus, ModelSpec::m1(), &cfg);
+        let b = run_experiment(&corpus, ModelSpec::m1(), &cfg);
+        assert_eq!(a.num_pairs, 10);
+        assert_eq!(a.pooled, b.pooled);
+    }
+
+    #[test]
+    fn empty_corpus_is_graceful() {
+        let out = run_experiment(&AdCorpus::default(), ModelSpec::m1(), &quick_cfg());
+        assert_eq!(out.num_pairs, 0);
+        assert!(out.fold_metrics.is_empty());
+        assert_eq!(out.mean.support, 0);
+    }
+
+    #[test]
+    fn full_corpus_stats_variant_runs() {
+        let corpus = tiny_corpus(20);
+        let cfg = ExperimentConfig { stats_on_full_corpus: true, ..quick_cfg() };
+        let out = run_experiment(&corpus, ModelSpec::m5(), &cfg);
+        assert!(out.mean.accuracy > 0.8);
+    }
+}

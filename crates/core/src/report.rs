@@ -1,0 +1,158 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! The bench crate prints the same rows the paper's tables report; this
+//! module keeps the formatting in one place (fixed-width columns, right-
+//! aligned numbers, a rule under the header).
+
+use crate::pipeline::ExperimentOutcome;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row; short rows are padded with empty cells.
+    pub fn add_row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Render to a string (first column left-aligned, the rest right-
+    /// aligned, columns separated by two spaces).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal, paper style ("70.0%").
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format an F-measure with three decimals, paper style ("0.712").
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Render Table-2-style rows (recall / precision / F-measure) from
+/// experiment outcomes.
+pub fn table2(outcomes: &[ExperimentOutcome]) -> String {
+    let mut t = Table::new(["Feature", "Recall", "Precision", "F-Measure"]);
+    for o in outcomes {
+        t.add_row([o.spec.label(), pct(o.mean.recall), pct(o.mean.precision), f3(o.mean.f1)]);
+    }
+    t.render()
+}
+
+/// Render Table-4-style rows (accuracy under two placements).
+pub fn table4(top: &[ExperimentOutcome], rhs: &[ExperimentOutcome]) -> String {
+    let mut t = Table::new(["Feature", "Top", "Rhs"]);
+    for (a, b) in top.iter().zip(rhs) {
+        debug_assert_eq!(a.spec.name, b.spec.name);
+        t.add_row([a.spec.label(), pct(a.mean.accuracy), pct(b.mean.accuracy)]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ModelSpec;
+    use microbrowse_ml::{BinaryMetrics, Confusion};
+
+    fn outcome(name: &'static str, f1: f64) -> ExperimentOutcome {
+        ExperimentOutcome {
+            spec: ModelSpec { name, ..ModelSpec::m1() },
+            fold_metrics: vec![],
+            mean: BinaryMetrics { precision: 0.7, recall: 0.6, f1, accuracy: 0.65, support: 10 },
+            pooled: Confusion::default(),
+            num_pairs: 10,
+            position_weights: None,
+        }
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["Model", "Acc"]);
+        t.add_row(["M1", "55.9%"]);
+        t.add_row(["A-long-name", "7.0%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["A", "B", "C"]);
+        t.add_row(["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.7035), "70.3%");
+        assert_eq!(f3(0.71249), "0.712");
+    }
+
+    #[test]
+    fn table2_contains_all_rows() {
+        let outcomes = vec![outcome("M1", 0.57), outcome("M6", 0.712)];
+        let s = table2(&outcomes);
+        assert!(s.contains("M1"));
+        assert!(s.contains("0.570"));
+        assert!(s.contains("0.712"));
+        assert!(s.contains("F-Measure"));
+    }
+
+    #[test]
+    fn table4_pairs_columns() {
+        let top = vec![outcome("M1", 0.5)];
+        let rhs = vec![outcome("M1", 0.5)];
+        let s = table4(&top, &rhs);
+        assert!(s.contains("Top"));
+        assert!(s.contains("Rhs"));
+        assert!(s.contains("65.0%"));
+    }
+}

@@ -1,0 +1,449 @@
+//! Model persistence and the serving API.
+//!
+//! Training happens offline over a corpus snapshot; serving happens later,
+//! in another process, possibly on another machine. This module makes a
+//! trained snippet classifier a *deployable artifact*:
+//!
+//! * [`DeployedModel`] bundles everything scoring needs — the model spec,
+//!   the trained weights, and the feature vocabulary (as strings, because
+//!   interner symbols are process-local). The companion statistics snapshot
+//!   (`microbrowse_store::write_snapshot`) travels alongside it for greedy
+//!   rewrite matching at serve time.
+//! * [`DeployedModel::save`] / [`DeployedModel::load`] use a versioned,
+//!   CRC-checked binary format built from the same codec primitives as the
+//!   statistics snapshots.
+//! * [`Scorer`] wraps a deployed model + statistics database into the
+//!   one-call API a serving system wants: *given two creatives for the same
+//!   keyword, which is expected to earn the higher CTR?*
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use microbrowse_ml::coupled::CoupledModel;
+use microbrowse_ml::LogReg;
+use microbrowse_store::codec::{self, DecodeError};
+use microbrowse_store::crc::crc32;
+use microbrowse_store::StatsDb;
+use microbrowse_text::{Interner, Snippet, Tokenizer};
+
+use crate::classifier::{ModelSpec, TrainedClassifier};
+use crate::features::{Featurizer, OwnedTermFeat};
+
+const MAGIC: &[u8; 8] = b"MBMODEL\0";
+const VERSION: u32 = 1;
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Not a model file.
+    BadMagic,
+    /// Format version from a newer build.
+    UnsupportedVersion(u32),
+    /// Payload corrupt (checksum mismatch).
+    ChecksumMismatch,
+    /// Malformed payload.
+    Decode(DecodeError),
+    /// A structural tag byte was invalid.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model io error: {e}"),
+            ModelIoError::BadMagic => write!(f, "not a microbrowse model file"),
+            ModelIoError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            ModelIoError::ChecksumMismatch => write!(f, "model file corrupt (crc mismatch)"),
+            ModelIoError::Decode(e) => write!(f, "model decode failed: {e}"),
+            ModelIoError::BadTag(t) => write!(f, "invalid structural tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ModelIoError {
+    fn from(e: DecodeError) -> Self {
+        ModelIoError::Decode(e)
+    }
+}
+
+/// A self-contained trained snippet classifier, ready to save or serve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployedModel {
+    /// The variant that was trained (M1–M6 or custom).
+    pub spec: ModelSpec,
+    /// The trained parameters.
+    pub classifier: TrainedClassifier,
+    /// Feature vocabulary in id order (strings; re-interned on load).
+    pub vocab: Vec<OwnedTermFeat>,
+}
+
+fn put_f64s(buf: &mut impl BufMut, xs: &[f64]) {
+    codec::put_varint(buf, xs.len() as u64);
+    for x in xs {
+        buf.put_f64_le(*x);
+    }
+}
+
+fn get_f64s(buf: &mut impl Buf) -> Result<Vec<f64>, ModelIoError> {
+    let n = codec::get_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 22));
+    for _ in 0..n {
+        if buf.remaining() < 8 {
+            return Err(ModelIoError::Decode(DecodeError::UnexpectedEof));
+        }
+        out.push(buf.get_f64_le());
+    }
+    Ok(out)
+}
+
+impl DeployedModel {
+    /// Serialize to bytes (header + payload + CRC trailer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = BytesMut::new();
+        // Spec.
+        codec::put_str(&mut payload, self.spec.name);
+        let flags = (self.spec.terms as u8)
+            | (self.spec.rewrites as u8) << 1
+            | (self.spec.positions as u8) << 2
+            | (self.spec.init_from_stats as u8) << 3;
+        payload.put_u8(flags);
+        // Classifier.
+        match &self.classifier {
+            TrainedClassifier::Flat(lr) => {
+                payload.put_u8(0);
+                put_f64s(&mut payload, lr.weights());
+                payload.put_f64_le(lr.bias());
+            }
+            TrainedClassifier::Coupled(cm) => {
+                payload.put_u8(1);
+                put_f64s(&mut payload, cm.pos_weights());
+                put_f64s(&mut payload, cm.term_weights());
+                payload.put_f64_le(cm.bias());
+            }
+        }
+        // Vocabulary.
+        codec::put_varint(&mut payload, self.vocab.len() as u64);
+        for feat in &self.vocab {
+            match feat {
+                OwnedTermFeat::Term(t) => {
+                    payload.put_u8(0);
+                    codec::put_str(&mut payload, t);
+                }
+                OwnedTermFeat::Rewrite(a, b) => {
+                    payload.put_u8(1);
+                    codec::put_str(&mut payload, a);
+                    codec::put_str(&mut payload, b);
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(MAGIC.len() + 8 + payload.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let checksum = crc32(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Deserialize from bytes written by [`DeployedModel::to_bytes`].
+    ///
+    /// The spec name is mapped back to its `'static` form; names other than
+    /// M1–M6 load as `"custom"`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(ModelIoError::Decode(DecodeError::UnexpectedEof));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(ModelIoError::BadMagic);
+        }
+        let mut vb = [0u8; 4];
+        vb.copy_from_slice(&bytes[MAGIC.len()..MAGIC.len() + 4]);
+        let version = u32::from_le_bytes(vb);
+        if version != VERSION {
+            return Err(ModelIoError::UnsupportedVersion(version));
+        }
+        let payload = &bytes[MAGIC.len() + 4..bytes.len() - 4];
+        let mut tb = [0u8; 4];
+        tb.copy_from_slice(&bytes[bytes.len() - 4..]);
+        if crc32(payload) != u32::from_le_bytes(tb) {
+            return Err(ModelIoError::ChecksumMismatch);
+        }
+
+        let mut buf = payload;
+        let name = codec::get_str(&mut buf)?;
+        if !buf.has_remaining() {
+            return Err(ModelIoError::Decode(DecodeError::UnexpectedEof));
+        }
+        let flags = buf.get_u8();
+        let spec = ModelSpec {
+            name: static_name(&name),
+            terms: flags & 1 != 0,
+            rewrites: flags & 2 != 0,
+            positions: flags & 4 != 0,
+            init_from_stats: flags & 8 != 0,
+        };
+
+        if !buf.has_remaining() {
+            return Err(ModelIoError::Decode(DecodeError::UnexpectedEof));
+        }
+        let classifier = match buf.get_u8() {
+            0 => {
+                let weights = get_f64s(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(ModelIoError::Decode(DecodeError::UnexpectedEof));
+                }
+                let bias = buf.get_f64_le();
+                TrainedClassifier::Flat(LogReg::from_parts(weights, bias))
+            }
+            1 => {
+                let pos = get_f64s(&mut buf)?;
+                let terms = get_f64s(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(ModelIoError::Decode(DecodeError::UnexpectedEof));
+                }
+                let bias = buf.get_f64_le();
+                TrainedClassifier::Coupled(CoupledModel::from_parts(pos, terms, bias))
+            }
+            t => return Err(ModelIoError::BadTag(t)),
+        };
+
+        let n_vocab = codec::get_varint(&mut buf)? as usize;
+        let mut vocab = Vec::with_capacity(n_vocab.min(1 << 22));
+        for _ in 0..n_vocab {
+            if !buf.has_remaining() {
+                return Err(ModelIoError::Decode(DecodeError::UnexpectedEof));
+            }
+            vocab.push(match buf.get_u8() {
+                0 => OwnedTermFeat::Term(codec::get_str(&mut buf)?),
+                1 => OwnedTermFeat::Rewrite(codec::get_str(&mut buf)?, codec::get_str(&mut buf)?),
+                t => return Err(ModelIoError::BadTag(t)),
+            });
+        }
+
+        Ok(Self { spec, classifier, vocab })
+    }
+
+    /// Write to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), ModelIoError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&self.to_bytes())?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    /// Read from `path`.
+    pub fn load(path: &Path) -> Result<Self, ModelIoError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn static_name(name: &str) -> &'static str {
+    match name {
+        "M1" => "M1",
+        "M2" => "M2",
+        "M3" => "M3",
+        "M4" => "M4",
+        "M5" => "M5",
+        "M6" => "M6",
+        _ => "custom",
+    }
+}
+
+/// A ready-to-serve scorer: deployed model + statistics database.
+///
+/// Owns its interner and featurizer state; create one per serving thread
+/// (construction is cheap next to model loading).
+pub struct Scorer<'a> {
+    model: &'a DeployedModel,
+    featurizer: Featurizer<'a>,
+    interner: Interner,
+    tokenizer: Tokenizer,
+}
+
+impl<'a> Scorer<'a> {
+    /// Build a scorer from a deployed model and the statistics snapshot it
+    /// was trained with.
+    pub fn new(model: &'a DeployedModel, stats: &'a StatsDb) -> Self {
+        let mut interner = Interner::new();
+        let mut featurizer = Featurizer::new(model.spec, stats);
+        featurizer.preload_vocab(&model.vocab, &mut interner);
+        Self { model, featurizer, interner, tokenizer: Tokenizer::default() }
+    }
+
+    /// The deployed model's spec.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.model.spec
+    }
+
+    /// Score a creative pair: positive means `r` is expected to out-click
+    /// `s` (the Eq. 5 orientation), and the magnitude is the model's
+    /// log-odds margin.
+    pub fn score_pair(&mut self, r: &Snippet, s: &Snippet) -> f64 {
+        let tok_r = r.tokenize(&self.tokenizer, &mut self.interner);
+        let tok_s = s.tokenize(&self.tokenizer, &mut self.interner);
+        match &self.model.classifier {
+            TrainedClassifier::Flat(lr) => {
+                let ex = self.featurizer.encode_flat(&tok_r, &tok_s, true, &mut self.interner);
+                lr.score(&ex.features)
+            }
+            TrainedClassifier::Coupled(cm) => {
+                let ex = self.featurizer.encode_coupled(&tok_r, &tok_s, true, &mut self.interner);
+                cm.score(&ex)
+            }
+        }
+    }
+
+    /// Predict whether `r` will out-click `s`.
+    pub fn predict_pair(&mut self, r: &Snippet, s: &Snippet) -> bool {
+        self.score_pair(r, s) > 0.0
+    }
+
+    /// Rank creatives best-first by round-robin pairwise scoring (Borda
+    /// count over the model's pairwise margins).
+    pub fn rank(&mut self, creatives: &[Snippet]) -> Vec<usize> {
+        let mut margin = vec![0.0f64; creatives.len()];
+        for i in 0..creatives.len() {
+            for j in (i + 1)..creatives.len() {
+                let s = self.score_pair(&creatives[i], &creatives[j]);
+                margin[i] += s;
+                margin[j] -= s;
+            }
+        }
+        let mut order: Vec<usize> = (0..creatives.len()).collect();
+        order.sort_by(|&a, &b| margin[b].partial_cmp(&margin[a]).expect("finite margins"));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> DeployedModel {
+        DeployedModel {
+            spec: ModelSpec::m5(),
+            classifier: TrainedClassifier::Flat(LogReg::from_parts(
+                vec![1.5, -0.5, 0.25],
+                0.1,
+            )),
+            vocab: vec![
+                OwnedTermFeat::Term("cheap".into()),
+                OwnedTermFeat::Rewrite("find cheap".into(), "get discounts".into()),
+                OwnedTermFeat::Term("fees".into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_flat() {
+        let m = sample_model();
+        let back = DeployedModel::from_bytes(&m.to_bytes()).expect("round trip");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn round_trip_coupled() {
+        let m = DeployedModel {
+            spec: ModelSpec::m6(),
+            classifier: TrainedClassifier::Coupled(CoupledModel::from_parts(
+                vec![1.0, 0.5],
+                vec![0.3, -0.7, 0.0],
+                -0.2,
+            )),
+            vocab: vec![OwnedTermFeat::Term("a".into())],
+        };
+        let back = DeployedModel::from_bytes(&m.to_bytes()).expect("round trip");
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample_model().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            DeployedModel::from_bytes(&bytes),
+            Err(ModelIoError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut bytes = sample_model().to_bytes();
+        bytes[0] = b'Z';
+        assert!(matches!(DeployedModel::from_bytes(&bytes), Err(ModelIoError::BadMagic)));
+        let mut bytes = sample_model().to_bytes();
+        bytes[8] = 42;
+        assert!(matches!(
+            DeployedModel::from_bytes(&bytes),
+            Err(ModelIoError::UnsupportedVersion(42))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mbmodel-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.mbm");
+        let m = sample_model();
+        m.save(&path).expect("save");
+        let back = DeployedModel::load(&path).expect("load");
+        assert_eq!(m, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scorer_uses_persisted_vocab() {
+        // Weight 1.5 on "cheap": a creative containing "cheap" must beat an
+        // otherwise-identical one, through a fresh interner after reload.
+        let m = DeployedModel {
+            spec: ModelSpec { name: "M1", terms: true, rewrites: false, positions: false, init_from_stats: false },
+            classifier: TrainedClassifier::Flat(LogReg::from_parts(vec![1.5], 0.0)),
+            vocab: vec![OwnedTermFeat::Term("cheap".into())],
+        };
+        let reloaded = DeployedModel::from_bytes(&m.to_bytes()).unwrap();
+        let stats = StatsDb::new();
+        let mut scorer = Scorer::new(&reloaded, &stats);
+        let r = Snippet::creative("air", "cheap flights", "book now");
+        let s = Snippet::creative("air", "luxury flights", "book now");
+        assert!(scorer.score_pair(&r, &s) > 0.0);
+        assert!(scorer.score_pair(&s, &r) < 0.0);
+        assert!(scorer.predict_pair(&r, &s));
+    }
+
+    #[test]
+    fn rank_orders_by_pairwise_margin() {
+        let m = DeployedModel {
+            spec: ModelSpec { name: "M1", terms: true, rewrites: false, positions: false, init_from_stats: false },
+            classifier: TrainedClassifier::Flat(LogReg::from_parts(vec![2.0, 1.0], 0.0)),
+            vocab: vec![
+                OwnedTermFeat::Term("great".into()),
+                OwnedTermFeat::Term("good".into()),
+            ],
+        };
+        let stats = StatsDb::new();
+        let mut scorer = Scorer::new(&m, &stats);
+        let creatives = [
+            Snippet::creative("x", "plain offer", "text"),
+            Snippet::creative("x", "great offer", "text"),
+            Snippet::creative("x", "good offer", "text"),
+        ];
+        let order = scorer.rank(&creatives);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+}

@@ -1,0 +1,124 @@
+//! Serve weights (§V-B).
+//!
+//! "The serve-weight (sw) of a creative in an adgroup denotes the
+//! probability that the creative will be shown from the set of creatives of
+//! an adgroup. It is computed from clicks and impressions of the different
+//! creatives in the adgroup, suitably normalized by the average CTR of the
+//! adgroup — this allows serve-weight values of two creatives in different
+//! adgroups to be compared."
+//!
+//! We implement the normalization literally: `sw(c) = ctr(c) / mean_ctr(g)`,
+//! so a creative performing exactly at its adgroup's average has serve
+//! weight 1 regardless of whether the adgroup's average CTR is 0.2% or 20%.
+//! `sw-diff` between two creatives and its sign `delta-sw` follow directly.
+
+use crate::corpus::AdGroup;
+
+/// Serve weight of each creative in `group`, in creative order.
+///
+/// Adgroups with zero mean CTR (possible only before
+/// [`crate::corpus::AdCorpus::retain_active`]) yield all-zero weights.
+pub fn serve_weights(group: &AdGroup) -> Vec<f64> {
+    let mean = group.mean_ctr();
+    if mean <= 0.0 {
+        return vec![0.0; group.creatives.len()];
+    }
+    group.creatives.iter().map(|c| c.ctr() / mean).collect()
+}
+
+/// `sw-diff`: the serve-weight difference between the creative containing a
+/// feature and the creative not containing it (for term features), or
+/// between R and S (for rewrite features).
+#[inline]
+pub fn sw_diff(sw_containing: f64, sw_other: f64) -> f64 {
+    sw_containing - sw_other
+}
+
+/// `delta-sw`: +1 if `sw-diff` is positive, −1 otherwise (§V-B defines only
+/// the two signs; exact ties — which the pair filter's significance test
+/// excludes anyway — fall to −1 conservatively).
+#[inline]
+pub fn delta_sw(diff: f64) -> i8 {
+    if diff > 0.0 {
+        1
+    } else {
+        -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{AdGroupId, Creative, CreativeId, Placement};
+    use microbrowse_text::Snippet;
+
+    fn group(traffic: &[(u64, u64)]) -> AdGroup {
+        AdGroup {
+            id: AdGroupId(0),
+            keyword: "k".into(),
+            placement: Placement::Top,
+            creatives: traffic
+                .iter()
+                .enumerate()
+                .map(|(i, &(clicks, imps))| Creative {
+                    id: CreativeId(i as u64),
+                    snippet: Snippet::creative("a", "b", "c"),
+                    impressions: imps,
+                    clicks,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn average_creative_has_weight_one() {
+        let g = group(&[(10, 100), (10, 100)]);
+        let sw = serve_weights(&g);
+        assert!((sw[0] - 1.0).abs() < 1e-12);
+        assert!((sw[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_scale_with_relative_ctr() {
+        // CTRs 0.3 and 0.1; mean (impression-weighted) = 0.2.
+        let g = group(&[(30, 100), (10, 100)]);
+        let sw = serve_weights(&g);
+        assert!((sw[0] - 1.5).abs() < 1e-12);
+        assert!((sw[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_adgroup_comparability() {
+        // Two adgroups with a 10x CTR level difference but the same *relative*
+        // structure must produce identical serve weights — the normalization
+        // "accounts for the CTR differences between adgroups".
+        let high = group(&[(300, 1000), (100, 1000)]);
+        let low = group(&[(30, 1000), (10, 1000)]);
+        for (a, b) in serve_weights(&high).iter().zip(serve_weights(&low)) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unequal_impressions_use_weighted_mean() {
+        // ctr: 0.5 (10/20) and 0.1 (10/100); pooled mean = 20/120 = 1/6.
+        let g = group(&[(10, 20), (10, 100)]);
+        let sw = serve_weights(&g);
+        assert!((sw[0] - 3.0).abs() < 1e-12);
+        assert!((sw[1] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_traffic_gives_zero_weights() {
+        let g = group(&[(0, 0), (0, 100)]);
+        assert_eq!(serve_weights(&g), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn diff_and_delta() {
+        assert_eq!(sw_diff(1.5, 0.5), 1.0);
+        assert_eq!(delta_sw(1.0), 1);
+        assert_eq!(delta_sw(-0.2), -1);
+        assert_eq!(delta_sw(0.0), -1);
+    }
+}

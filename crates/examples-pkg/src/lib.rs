@@ -1,0 +1,13 @@
+//! Carrier crate for the workspace's runnable examples.
+//!
+//! The example sources live at the workspace root under `/examples` (see the
+//! `[[example]]` entries in this crate's manifest). Run them with e.g.:
+//!
+//! ```text
+//! cargo run --release -p microbrowse-examples --example quickstart
+//! cargo run --release -p microbrowse-examples --example flight_ads
+//! cargo run --release -p microbrowse-examples --example ab_test
+//! cargo run --release -p microbrowse-examples --example click_models
+//! ```
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,4 @@
+//! Carrier crate for workspace-level integration tests; the test sources
+//! live at the workspace root under `/tests` (see this crate's manifest).
+
+#![forbid(unsafe_code)]

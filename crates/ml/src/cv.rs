@@ -1,0 +1,201 @@
+//! Cross-validation splits.
+//!
+//! The paper evaluates with "standard 10-fold cross validation experiments,
+//! where in each cross validation iteration 90% instances are used for
+//! training and the rest 10% are used for testing" (§V-D.2). Splits here are
+//! deterministic given a seed, so every experiment binary is reproducible.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One fold: sorted test indices (train = complement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldSplit {
+    /// Fold number in `0..k`.
+    pub fold: usize,
+    /// Sorted indices of the held-out test examples.
+    pub test_idx: Vec<usize>,
+}
+
+/// Plain k-fold split of `n` items: shuffle once, deal round-robin.
+///
+/// Every index appears in exactly one fold; fold sizes differ by at most 1.
+/// Panics if `k == 0`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<FoldSplit> {
+    assert!(k > 0, "k must be positive");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    deal(order, k)
+}
+
+/// Stratified k-fold: shuffles within each class then deals round-robin per
+/// class, so every fold's label mix approximates the global mix.
+pub fn stratified_kfold(labels: &[bool], k: usize, seed: u64) -> Vec<FoldSplit> {
+    assert!(k > 0, "k must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (j, &i) in pos.iter().enumerate() {
+        folds[j % k].push(i);
+    }
+    // Offset the negative deal so small classes don't pile into fold 0.
+    let offset = pos.len() % k;
+    for (j, &i) in neg.iter().enumerate() {
+        folds[(j + offset) % k].push(i);
+    }
+    finish(folds)
+}
+
+/// Grouped k-fold: items sharing a group id always land in the same fold
+/// (e.g. all creative pairs of one adgroup), preventing within-group
+/// information from leaking between train and test.
+pub fn grouped_kfold(groups: &[u64], k: usize, seed: u64) -> Vec<FoldSplit> {
+    assert!(k > 0, "k must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut unique: Vec<u64> = {
+        let mut v = groups.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    unique.shuffle(&mut rng);
+    let mut fold_of_group = std::collections::HashMap::new();
+    for (j, g) in unique.into_iter().enumerate() {
+        fold_of_group.insert(g, j % k);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, g) in groups.iter().enumerate() {
+        folds[fold_of_group[g]].push(i);
+    }
+    finish(folds)
+}
+
+fn deal(order: Vec<usize>, k: usize) -> Vec<FoldSplit> {
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (j, i) in order.into_iter().enumerate() {
+        folds[j % k].push(i);
+    }
+    finish(folds)
+}
+
+fn finish(folds: Vec<Vec<usize>>) -> Vec<FoldSplit> {
+    folds
+        .into_iter()
+        .enumerate()
+        .map(|(fold, mut test_idx)| {
+            test_idx.sort_unstable();
+            FoldSplit { fold, test_idx }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn check_partition(folds: &[FoldSplit], n: usize) {
+        let mut seen = HashSet::new();
+        for f in folds {
+            for &i in &f.test_idx {
+                assert!(i < n);
+                assert!(seen.insert(i), "index {i} in two folds");
+            }
+        }
+        assert_eq!(seen.len(), n, "not all indices covered");
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let folds = kfold(103, 10, 1);
+        assert_eq!(folds.len(), 10);
+        check_partition(&folds, 103);
+        // Sizes balanced within 1.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test_idx.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        assert_eq!(kfold(50, 5, 9), kfold(50, 5, 9));
+        assert_ne!(kfold(50, 5, 9), kfold(50, 5, 10));
+    }
+
+    #[test]
+    fn kfold_small_n() {
+        let folds = kfold(3, 10, 0);
+        check_partition(&folds, 3);
+        assert_eq!(folds.iter().filter(|f| !f.test_idx.is_empty()).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn kfold_zero_k_panics() {
+        let _ = kfold(10, 0, 0);
+    }
+
+    #[test]
+    fn stratified_balances_classes() {
+        // 100 examples, 30% positive.
+        let labels: Vec<bool> = (0..100).map(|i| i % 10 < 3).collect();
+        let folds = stratified_kfold(&labels, 10, 4);
+        check_partition(&folds, 100);
+        for f in &folds {
+            let pos = f.test_idx.iter().filter(|&&i| labels[i]).count();
+            assert_eq!(f.test_idx.len(), 10);
+            assert_eq!(pos, 3, "fold {} has {pos} positives", f.fold);
+        }
+    }
+
+    #[test]
+    fn stratified_handles_single_class() {
+        let labels = vec![true; 20];
+        let folds = stratified_kfold(&labels, 4, 0);
+        check_partition(&folds, 20);
+    }
+
+    #[test]
+    fn grouped_keeps_groups_together() {
+        // 30 items in 10 groups of 3.
+        let groups: Vec<u64> = (0..30).map(|i| i / 3).collect();
+        let folds = grouped_kfold(&groups, 4, 11);
+        check_partition(&folds, 30);
+        for f in &folds {
+            let gset: HashSet<u64> = f.test_idx.iter().map(|&i| groups[i]).collect();
+            for &i in &f.test_idx {
+                assert!(gset.contains(&groups[i]));
+            }
+            // Every group fully inside or fully outside this fold.
+            for g in gset {
+                let members: Vec<usize> = (0..30).filter(|&i| groups[i] == g).collect();
+                assert!(members.iter().all(|i| f.test_idx.contains(i)), "group {g} split");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_is_deterministic() {
+        let groups: Vec<u64> = (0..50).map(|i| i % 13).collect();
+        assert_eq!(grouped_kfold(&groups, 5, 3), grouped_kfold(&groups, 5, 3));
+    }
+
+    #[test]
+    fn grouped_empty() {
+        let folds = grouped_kfold(&[], 3, 0);
+        assert_eq!(folds.len(), 3);
+        assert!(folds.iter().all(|f| f.test_idx.is_empty()));
+    }
+
+    #[test]
+    fn stratified_empty_input() {
+        let folds = stratified_kfold(&[], 3, 0);
+        assert_eq!(folds.len(), 3);
+        assert!(folds.iter().all(|f| f.test_idx.is_empty()));
+    }
+}

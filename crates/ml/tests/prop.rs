@@ -1,0 +1,125 @@
+//! Property-based tests for the ML substrate.
+
+use microbrowse_ml::{auc, kfold, stratified_kfold, SparseVec};
+use proptest::prelude::*;
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    prop::collection::vec((0u32..64, -5.0f64..5.0), 0..40)
+}
+
+proptest! {
+    /// from_pairs always establishes the sorted/deduped/no-zero invariants.
+    #[test]
+    fn sparse_invariants(pairs in arb_pairs()) {
+        let v = SparseVec::from_pairs(pairs);
+        prop_assert!(v.check_invariants());
+    }
+
+    /// Building a sparse vector preserves the per-index sum of inputs.
+    #[test]
+    fn sparse_preserves_sums(pairs in arb_pairs()) {
+        let v = SparseVec::from_pairs(pairs.clone());
+        let mut sums = std::collections::BTreeMap::<u32, f64>::new();
+        for (i, x) in pairs {
+            *sums.entry(i).or_insert(0.0) += x;
+        }
+        for (i, s) in sums {
+            prop_assert!((v.get(i) - s).abs() < 1e-9, "index {i}: {} vs {s}", v.get(i));
+        }
+    }
+
+    /// Dot product is symmetric and matches the dense computation.
+    #[test]
+    fn sparse_dot_symmetric(a in arb_pairs(), b in arb_pairs()) {
+        let va = SparseVec::from_pairs(a);
+        let vb = SparseVec::from_pairs(b);
+        prop_assert!((va.dot(&vb) - vb.dot(&va)).abs() < 1e-9);
+
+        let mut dense = vec![0.0f64; 64];
+        for (i, x) in vb.iter() {
+            dense[i as usize] = x;
+        }
+        prop_assert!((va.dot(&vb) - va.dot_dense(&dense)).abs() < 1e-9);
+    }
+
+    /// axpy agrees with element-wise arithmetic.
+    #[test]
+    fn sparse_axpy_elementwise(a in arb_pairs(), b in arb_pairs(), alpha in -3.0f64..3.0) {
+        let va = SparseVec::from_pairs(a);
+        let vb = SparseVec::from_pairs(b);
+        let c = va.axpy(alpha, &vb);
+        for i in 0..64u32 {
+            let expect = va.get(i) + alpha * vb.get(i);
+            prop_assert!((c.get(i) - expect).abs() < 1e-9);
+        }
+        prop_assert!(c.check_invariants());
+    }
+
+    /// Every k-fold split is a partition of 0..n with balanced sizes.
+    #[test]
+    fn kfold_is_partition(n in 0usize..200, k in 1usize..12, seed in any::<u64>()) {
+        let folds = kfold(n, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![false; n];
+        for f in &folds {
+            for &i in &f.test_idx {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test_idx.len()).collect();
+        if !sizes.is_empty() {
+            prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        }
+    }
+
+    /// Stratified folds partition and keep per-fold positive counts within 1
+    /// of each other.
+    #[test]
+    fn stratified_is_partition_and_balanced(
+        labels in prop::collection::vec(any::<bool>(), 0..150),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let folds = stratified_kfold(&labels, k, seed);
+        let mut seen = vec![false; labels.len()];
+        for f in &folds {
+            for &i in &f.test_idx {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let pos_counts: Vec<usize> = folds
+            .iter()
+            .map(|f| f.test_idx.iter().filter(|&&i| labels[i]).count())
+            .collect();
+        if !pos_counts.is_empty() {
+            prop_assert!(pos_counts.iter().max().unwrap() - pos_counts.iter().min().unwrap() <= 1);
+        }
+    }
+
+    /// AUC is invariant under monotone transformation of scores and flips to
+    /// 1-AUC under score negation (with unique scores).
+    #[test]
+    fn auc_monotone_invariance(
+        raw in prop::collection::vec((0.0f64..1.0, any::<bool>()), 2..60),
+    ) {
+        // Make scores unique to avoid tie-midrank asymmetry in the negation law.
+        let scored: Vec<(f64, bool)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, l))| (s + i as f64 * 2.0, l))
+            .collect();
+        let base = auc(&scored);
+        let transformed: Vec<(f64, bool)> = scored.iter().map(|&(s, l)| (s.exp(), l)).collect();
+        prop_assert!((auc(&transformed) - base).abs() < 1e-9);
+
+        let has_both = scored.iter().any(|&(_, l)| l) && scored.iter().any(|&(_, l)| !l);
+        if has_both {
+            let negated: Vec<(f64, bool)> = scored.iter().map(|&(s, l)| (-s, l)).collect();
+            prop_assert!((auc(&negated) - (1.0 - base)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Binary encoding of keys and records.
+//!
+//! Layout choices are the usual storage-engine ones: LEB128 varints for
+//! counts and lengths (most features are rare, so counts are small),
+//! length-prefixed UTF-8 for phrases, and a one-byte family tag
+//! discriminating [`FeatureKey`] variants. All multi-byte fixed-width
+//! integers are little-endian via `bytes`.
+
+use bytes::{Buf, BufMut};
+
+use crate::key::{FeatureKey, KeyFamily, SnippetPos};
+use crate::stats::FeatureStat;
+
+/// Errors produced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A varint ran past 10 bytes (not a valid LEB128 u64).
+    VarintOverflow,
+    /// A phrase was not valid UTF-8.
+    InvalidUtf8,
+    /// An unknown key-family tag.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::VarintOverflow => write!(f, "varint longer than 10 bytes"),
+            DecodeError::InvalidUtf8 => write!(f, "phrase is not valid UTF-8"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown feature-key tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append a LEB128 varint.
+pub fn put_varint(buf: &mut impl BufMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint.
+pub fn get_varint(buf: &mut impl Buf) -> Result<u64, DecodeError> {
+    let mut out: u64 = 0;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        out |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+    }
+    Err(DecodeError::VarintOverflow)
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut impl BufMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut impl Buf) -> Result<String, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)
+}
+
+fn put_pos(buf: &mut impl BufMut, p: SnippetPos) {
+    buf.put_u8(p.line);
+    put_varint(buf, u64::from(p.pos));
+}
+
+fn get_pos(buf: &mut impl Buf) -> Result<SnippetPos, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let line = buf.get_u8();
+    let pos = get_varint(buf)?;
+    Ok(SnippetPos { line, pos: pos.min(u64::from(u16::MAX)) as u16 })
+}
+
+/// Encode a [`FeatureKey`].
+pub fn put_key(buf: &mut impl BufMut, key: &FeatureKey) {
+    buf.put_u8(key.family().tag());
+    match key {
+        FeatureKey::Term { phrase } => put_str(buf, phrase),
+        FeatureKey::Rewrite { from, to } => {
+            put_str(buf, from);
+            put_str(buf, to);
+        }
+        FeatureKey::TermPosition(p) => put_pos(buf, *p),
+        FeatureKey::RewritePosition { from, to } => {
+            put_pos(buf, *from);
+            put_pos(buf, *to);
+        }
+    }
+}
+
+/// Decode a [`FeatureKey`].
+pub fn get_key(buf: &mut impl Buf) -> Result<FeatureKey, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let tag = buf.get_u8();
+    let family = KeyFamily::from_tag(tag).ok_or(DecodeError::UnknownTag(tag))?;
+    Ok(match family {
+        KeyFamily::Term => FeatureKey::Term { phrase: get_str(buf)? },
+        KeyFamily::Rewrite => FeatureKey::Rewrite { from: get_str(buf)?, to: get_str(buf)? },
+        KeyFamily::TermPosition => FeatureKey::TermPosition(get_pos(buf)?),
+        KeyFamily::RewritePosition => {
+            FeatureKey::RewritePosition { from: get_pos(buf)?, to: get_pos(buf)? }
+        }
+    })
+}
+
+/// Encode one `(key, stat)` record.
+pub fn put_record(buf: &mut impl BufMut, key: &FeatureKey, stat: &FeatureStat) {
+    put_key(buf, key);
+    put_varint(buf, stat.up);
+    put_varint(buf, stat.down);
+}
+
+/// Decode one `(key, stat)` record.
+pub fn get_record(buf: &mut impl Buf) -> Result<(FeatureKey, FeatureStat), DecodeError> {
+    let key = get_key(buf)?;
+    let up = get_varint(buf)?;
+    let down = get_varint(buf)?;
+    Ok((key, FeatureStat { up, down }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn round_trip_key(key: FeatureKey) {
+        let mut buf = BytesMut::new();
+        put_key(&mut buf, &key);
+        let mut slice = buf.freeze();
+        let back = get_key(&mut slice).expect("decode");
+        assert_eq!(back, key);
+        assert_eq!(slice.remaining(), 0, "trailing bytes after {key:?}");
+    }
+
+    #[test]
+    fn varint_round_trip_edges() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut s = buf.freeze();
+            assert_eq!(get_varint(&mut s).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        let eleven = [0x80u8; 11];
+        let mut s = &eleven[..];
+        assert_eq!(get_varint(&mut s), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn varint_eof() {
+        let mut s: &[u8] = &[0x80];
+        assert_eq!(get_varint(&mut s), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        for s in ["", "a", "find cheap flights", "zürich 20% café"] {
+            let mut buf = BytesMut::new();
+            put_str(&mut buf, s);
+            let mut slice = buf.freeze();
+            assert_eq!(get_str(&mut slice).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn string_truncated_is_eof() {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "hello world");
+        let frozen = buf.freeze();
+        let mut short = frozen.slice(..frozen.len() - 3);
+        assert_eq!(get_str(&mut short), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn string_invalid_utf8() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        let mut s = buf.freeze();
+        assert_eq!(get_str(&mut s), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn all_key_variants_round_trip() {
+        round_trip_key(FeatureKey::term("get discounts"));
+        round_trip_key(FeatureKey::term(""));
+        round_trip_key(FeatureKey::rewrite("find cheap", "get discounts"));
+        round_trip_key(FeatureKey::term_position(2, 1000));
+        round_trip_key(FeatureKey::rewrite_position(
+            SnippetPos::new(1, 0),
+            SnippetPos::new(1, 5),
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut s: &[u8] = &[42];
+        assert_eq!(get_key(&mut s), Err(DecodeError::UnknownTag(42)));
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let key = FeatureKey::rewrite("flights", "flying");
+        let stat = FeatureStat { up: 12_345, down: 7 };
+        let mut buf = BytesMut::new();
+        put_record(&mut buf, &key, &stat);
+        let mut s = buf.freeze();
+        assert_eq!(get_record(&mut s).unwrap(), (key, stat));
+    }
+}

@@ -1,0 +1,286 @@
+//! Snapshot serialization.
+//!
+//! A snapshot is the on-disk form of a [`StatsDb`], written once at the end
+//! of Phase 1 and read at the start of Phase 2 (or by later experiment
+//! runs). Format:
+//!
+//! ```text
+//! +--------------------+ 8 bytes  magic  "MBSTATS\0"
+//! | header             | 4 bytes  format version (LE u32)
+//! +--------------------+
+//! | payload            | varint record count, then records
+//! |                    | (codec::put_record each)
+//! +--------------------+
+//! | trailer            | 4 bytes  CRC-32 of payload (LE u32)
+//! +--------------------+
+//! ```
+//!
+//! Records are written in sorted key order, so the same database always
+//! produces the same bytes (important for reproducible experiment bundles
+//! and for content-addressed caching).
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BytesMut};
+
+use crate::codec::{self, DecodeError};
+use crate::crc::crc32;
+use crate::db::StatsDb;
+
+const MAGIC: &[u8; 8] = b"MBSTATS\0";
+const VERSION: u32 = 1;
+
+/// Errors arising from snapshot IO and validation.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not begin with the snapshot magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u32),
+    /// The payload checksum does not match the trailer.
+    ChecksumMismatch {
+        /// CRC recorded in the file trailer.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        actual: u32,
+    },
+    /// A record failed to decode.
+    Decode(DecodeError),
+    /// The file ended before the declared record count was read.
+    Truncated,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a stats snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::ChecksumMismatch { expected, actual } => {
+                write!(f, "snapshot corrupt: crc {actual:#010x} != recorded {expected:#010x}")
+            }
+            SnapshotError::Decode(e) => write!(f, "snapshot record decode failed: {e}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+/// Serialize `db` to bytes (header + payload + CRC trailer).
+pub fn to_bytes(db: &StatsDb) -> Vec<u8> {
+    let mut payload = BytesMut::new();
+    let records = db.sorted_records();
+    codec::put_varint(&mut payload, records.len() as u64);
+    for (key, stat) in &records {
+        codec::put_record(&mut payload, key, stat);
+    }
+
+    let mut out = Vec::with_capacity(MAGIC.len() + 4 + payload.len() + 4);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    let checksum = crc32(&payload);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Deserialize a snapshot produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<StatsDb, SnapshotError> {
+    if bytes.len() < MAGIC.len() + 4 + 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut version_bytes = [0u8; 4];
+    version_bytes.copy_from_slice(&bytes[MAGIC.len()..MAGIC.len() + 4]);
+    let version = u32::from_le_bytes(version_bytes);
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+
+    let payload = &bytes[MAGIC.len() + 4..bytes.len() - 4];
+    let mut trailer = [0u8; 4];
+    trailer.copy_from_slice(&bytes[bytes.len() - 4..]);
+    let expected = u32::from_le_bytes(trailer);
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(SnapshotError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut buf = payload;
+    let count = codec::get_varint(&mut buf)?;
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        if !buf.has_remaining() {
+            return Err(SnapshotError::Truncated);
+        }
+        records.push(codec::get_record(&mut buf)?);
+    }
+    Ok(StatsDb::from_records(records))
+}
+
+/// Write a snapshot of `db` to `path`.
+pub fn write_snapshot(db: &StatsDb, path: &Path) -> Result<(), SnapshotError> {
+    let bytes = to_bytes(db);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Read a snapshot from `path`.
+pub fn read_snapshot(path: &Path) -> Result<StatsDb, SnapshotError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    from_bytes(&bytes)
+}
+
+/// Merge several snapshots into one database (counts add), the way
+/// incremental corpus refreshes combine a new time window's statistics with
+/// the existing ones. Fails on the first unreadable snapshot.
+pub fn merge_snapshots<P: AsRef<Path>>(paths: &[P]) -> Result<StatsDb, SnapshotError> {
+    let mut merged = StatsDb::new();
+    for p in paths {
+        merged.merge(read_snapshot(p.as_ref())?);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::FeatureKey;
+
+    fn sample_db() -> StatsDb {
+        let mut db = StatsDb::new();
+        for i in 0..50 {
+            for _ in 0..=(i % 4) {
+                db.record(FeatureKey::term(format!("term {i}")), i % 3 != 0);
+            }
+        }
+        db.record(FeatureKey::rewrite("find cheap", "get discounts"), true);
+        db.record(FeatureKey::term_position(1, 4), false);
+        db
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let db = sample_db();
+        let bytes = to_bytes(&db);
+        let back = from_bytes(&bytes).expect("round trip");
+        assert_eq!(db.sorted_records(), back.sorted_records());
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let db = sample_db();
+        assert_eq!(to_bytes(&db), to_bytes(&db));
+    }
+
+    #[test]
+    fn empty_db_round_trips() {
+        let db = StatsDb::new();
+        let back = from_bytes(&to_bytes(&db)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = to_bytes(&sample_db());
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(SnapshotError::BadMagic)));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = to_bytes(&sample_db());
+        bytes[8] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(SnapshotError::UnsupportedVersion(99))));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = to_bytes(&sample_db());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        match from_bytes(&bytes) {
+            // Either the CRC catches it (almost always) or, if the flip
+            // lands in the trailer itself, the mismatch is still reported.
+            Err(SnapshotError::ChecksumMismatch { .. }) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = to_bytes(&sample_db());
+        for cut in [0, 5, 11, bytes.len() - 5] {
+            let res = from_bytes(&bytes[..cut]);
+            assert!(res.is_err(), "truncation at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mbstats-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.mbs");
+        let db = sample_db();
+        write_snapshot(&db, &path).expect("write");
+        let back = read_snapshot(&path).expect("read");
+        assert_eq!(db.sorted_records(), back.sorted_records());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_snapshots_adds_counts() {
+        let dir = std::env::temp_dir().join(format!("mbstats-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut a = StatsDb::new();
+        a.record(FeatureKey::term("x"), true);
+        a.record(FeatureKey::term("y"), false);
+        let mut b = StatsDb::new();
+        b.record(FeatureKey::term("x"), false);
+        let pa = dir.join("a.mbs");
+        let pb = dir.join("b.mbs");
+        write_snapshot(&a, &pa).unwrap();
+        write_snapshot(&b, &pb).unwrap();
+        let merged = merge_snapshots(&[&pa, &pb]).expect("merge");
+        assert_eq!(merged.get(&FeatureKey::term("x")).unwrap().total(), 2);
+        assert_eq!(merged.get(&FeatureKey::term("y")).unwrap().total(), 1);
+        // A missing member fails the whole merge.
+        assert!(merge_snapshots(&[pa, dir.join("missing.mbs")]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let res = read_snapshot(Path::new("/nonexistent/dir/stats.mbs"));
+        assert!(matches!(res, Err(SnapshotError::Io(_))));
+    }
+}

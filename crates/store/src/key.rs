@@ -1,0 +1,164 @@
+//! The feature key space.
+//!
+//! §V-C enumerates the feature families the statistics database covers:
+//! term features, rewrite features, and position features — the latter "for
+//! positions of terms and position pairs (source position and target
+//! position) for rewrites".
+//!
+//! Keys store phrases as owned strings (not interner symbols) because the
+//! database outlives any one process's interner: it is written to disk in
+//! Phase 1 and read back in Phase 2.
+
+use serde::{Deserialize, Serialize};
+
+/// A position inside a snippet: zero-based line and token position. `pos`
+/// is bucketed by the caller if desired (raw token index by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SnippetPos {
+    /// Zero-based line number.
+    pub line: u8,
+    /// Zero-based token position within the line.
+    pub pos: u16,
+}
+
+impl SnippetPos {
+    /// Convenience constructor.
+    pub fn new(line: u8, pos: u16) -> Self {
+        Self { line, pos }
+    }
+}
+
+/// A key in the feature statistics database.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureKey {
+    /// An n-gram phrase, position-independent ("find cheap").
+    Term {
+        /// Normalized space-joined phrase.
+        phrase: String,
+    },
+    /// A phrase rewrite, position-independent ("find cheap" → "get
+    /// discounts"). §V-D.1: rewrite statistics are collected "independent of
+    /// position of the rewrite terms, to handle sparsity issues".
+    Rewrite {
+        /// Phrase in the lower-serve-weight direction's source snippet R.
+        from: String,
+        /// Phrase it was rewritten to in snippet S.
+        to: String,
+    },
+    /// A term position — how much does *any* term at this (line, pos) move
+    /// serve weight. Feeds the position-feature initialization of Eq. 8.
+    TermPosition(SnippetPos),
+    /// A rewrite position pair — source position in R, target position in S.
+    RewritePosition {
+        /// Position of the rewritten-from phrase in R.
+        from: SnippetPos,
+        /// Position of the rewritten-to phrase in S.
+        to: SnippetPos,
+    },
+}
+
+impl FeatureKey {
+    /// Term key from anything string-ish.
+    pub fn term(phrase: impl Into<String>) -> Self {
+        FeatureKey::Term { phrase: phrase.into() }
+    }
+
+    /// Rewrite key.
+    pub fn rewrite(from: impl Into<String>, to: impl Into<String>) -> Self {
+        FeatureKey::Rewrite { from: from.into(), to: to.into() }
+    }
+
+    /// Term-position key.
+    pub fn term_position(line: u8, pos: u16) -> Self {
+        FeatureKey::TermPosition(SnippetPos::new(line, pos))
+    }
+
+    /// Rewrite-position key.
+    pub fn rewrite_position(from: SnippetPos, to: SnippetPos) -> Self {
+        FeatureKey::RewritePosition { from, to }
+    }
+
+    /// A small discriminant used by the codec and by family-level reporting.
+    pub fn family(&self) -> KeyFamily {
+        match self {
+            FeatureKey::Term { .. } => KeyFamily::Term,
+            FeatureKey::Rewrite { .. } => KeyFamily::Rewrite,
+            FeatureKey::TermPosition(_) => KeyFamily::TermPosition,
+            FeatureKey::RewritePosition { .. } => KeyFamily::RewritePosition,
+        }
+    }
+}
+
+/// The four feature families of §V-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyFamily {
+    /// Position-independent n-gram presence.
+    Term,
+    /// Position-independent phrase rewrite.
+    Rewrite,
+    /// (line, pos) of a term.
+    TermPosition,
+    /// (line, pos) → (line, pos) of a rewrite.
+    RewritePosition,
+}
+
+impl KeyFamily {
+    /// Stable one-byte tag for the binary codec.
+    pub fn tag(self) -> u8 {
+        match self {
+            KeyFamily::Term => 0,
+            KeyFamily::Rewrite => 1,
+            KeyFamily::TermPosition => 2,
+            KeyFamily::RewritePosition => 3,
+        }
+    }
+
+    /// Inverse of [`KeyFamily::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => KeyFamily::Term,
+            1 => KeyFamily::Rewrite,
+            2 => KeyFamily::TermPosition,
+            3 => KeyFamily::RewritePosition,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_family() {
+        assert_eq!(FeatureKey::term("cheap").family(), KeyFamily::Term);
+        assert_eq!(FeatureKey::rewrite("a", "b").family(), KeyFamily::Rewrite);
+        assert_eq!(FeatureKey::term_position(1, 4).family(), KeyFamily::TermPosition);
+        let rp = FeatureKey::rewrite_position(SnippetPos::new(1, 0), SnippetPos::new(1, 5));
+        assert_eq!(rp.family(), KeyFamily::RewritePosition);
+    }
+
+    #[test]
+    fn keys_are_value_equal() {
+        assert_eq!(FeatureKey::term("x"), FeatureKey::term("x"));
+        assert_ne!(FeatureKey::term("x"), FeatureKey::term("y"));
+        assert_ne!(FeatureKey::rewrite("a", "b"), FeatureKey::rewrite("b", "a"));
+        assert_ne!(
+            FeatureKey::term_position(0, 1),
+            FeatureKey::term_position(1, 0),
+        );
+    }
+
+    #[test]
+    fn family_tags_round_trip() {
+        for fam in [
+            KeyFamily::Term,
+            KeyFamily::Rewrite,
+            KeyFamily::TermPosition,
+            KeyFamily::RewritePosition,
+        ] {
+            assert_eq!(KeyFamily::from_tag(fam.tag()), Some(fam));
+        }
+        assert_eq!(KeyFamily::from_tag(9), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic ADCORPUS generator.
+//!
+//! The paper's evaluation corpus — "tens of millions \[of\] creative pairs,
+//! collected from several million adgroups" of Google sponsored-search
+//! traffic — is proprietary. This crate is the substitution documented in
+//! DESIGN.md: a deterministic, seeded generator whose *generative process is
+//! the micro-browsing user model itself*, so the classifier task retains
+//! exactly the structure the paper studies:
+//!
+//! * Advertisers (adgroups) provide several alternative creatives for one
+//!   keyword, differing in a few phrase rewrites ([`lexicon`],
+//!   [`generator`]).
+//! * Users read creatives partially: examination probability decays within
+//!   a line and across lines, and is scaled down for right-hand-side
+//!   placements ([`user`], [`placement`]).
+//! * A click happens when the *examined* phrases are salient enough; CTR
+//!   differences between creatives of an adgroup therefore depend on which
+//!   words changed **and where they sit** ([`user`]).
+//! * Observed clicks are binomial samples plus per-creative idiosyncratic
+//!   noise, so labels are realistically noisy ([`util`]).
+//!
+//! A separate module generates ranked-SERP click logs with a DBN-style
+//! ground truth for the click-model baselines of §II ([`sessions`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod lexicon;
+pub mod placement;
+pub mod sessions;
+pub mod user;
+pub mod util;
+
+pub use generator::{generate, GeneratorConfig, GroundTruth, SynthCorpus};
+pub use lexicon::{Domain, Phrase, DOMAINS};
+pub use placement::placement_profile;
+pub use user::{AttentionProfile, MicroUser};

@@ -1,0 +1,33 @@
+//! Placement profiles (Table 4: Top vs RHS ads).
+//!
+//! The paper finds that classifiers trained on top-of-page ads are slightly
+//! more accurate than on right-hand-side ads. The mechanism our generator
+//! encodes: RHS ads are examined much more lightly, so the creative *text*
+//! explains less of the CTR variance and the labels are effectively
+//! noisier.
+
+use microbrowse_core::Placement;
+
+use crate::user::AttentionProfile;
+
+/// The attention profile users apply to ads in `placement`.
+pub fn placement_profile(placement: Placement) -> AttentionProfile {
+    match placement {
+        Placement::Top => AttentionProfile::top(),
+        Placement::Rhs => AttentionProfile::rhs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_only_in_scale() {
+        let top = placement_profile(Placement::Top);
+        let rhs = placement_profile(Placement::Rhs);
+        assert!(rhs.scale < top.scale);
+        assert_eq!(top.line_base, rhs.line_base);
+        assert_eq!(top.pos_decay, rhs.pos_decay);
+    }
+}

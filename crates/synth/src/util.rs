@@ -1,0 +1,86 @@
+//! Sampling utilities.
+
+use rand::Rng;
+
+/// Sample a Binomial(n, p) click count.
+///
+/// Exact Bernoulli summation for small `n`; for large `n` the normal
+/// approximation with continuity correction (the regime where it is
+/// accurate to well under the noise floor of any experiment here).
+pub fn binomial(n: u64, p: f64, rng: &mut impl Rng) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if n <= 64 {
+        return (0..n).filter(|_| rng.gen_bool(p)).count() as u64;
+    }
+    let mean = n as f64 * p;
+    let sd = (n as f64 * p * (1.0 - p)).sqrt();
+    let draw = mean + sd * gaussian(rng) + 0.5;
+    (draw.floor().max(0.0) as u64).min(n)
+}
+
+/// Standard normal sample (Box–Muller).
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(binomial(0, 0.5, &mut rng), 0);
+        assert_eq!(binomial(100, 0.0, &mut rng), 0);
+        assert_eq!(binomial(100, 1.0, &mut rng), 100);
+        assert!(binomial(10, 0.5, &mut rng) <= 10);
+    }
+
+    #[test]
+    fn binomial_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, p) = (10_000u64, 0.07);
+        let draws: Vec<u64> = (0..2_000).map(|_| binomial(n, p, &mut rng)).collect();
+        let mean: f64 = draws.iter().map(|&d| d as f64).sum::<f64>() / draws.len() as f64;
+        let expect_mean = n as f64 * p;
+        assert!(
+            (mean - expect_mean).abs() < expect_mean * 0.01,
+            "mean {mean} vs {expect_mean}"
+        );
+        let var: f64 = draws
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / draws.len() as f64;
+        let expect_var = n as f64 * p * (1.0 - p);
+        assert!((var - expect_var).abs() < expect_var * 0.15, "var {var} vs {expect_var}");
+    }
+
+    #[test]
+    fn small_n_path_is_exact_bernoulli() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<u64> = (0..20_000).map(|_| binomial(20, 0.3, &mut rng)).collect();
+        let mean: f64 = draws.iter().map(|&d| d as f64).sum::<f64>() / draws.len() as f64;
+        assert!((mean - 6.0).abs() < 0.12, "mean {mean}");
+        assert!(draws.iter().all(|&d| d <= 20));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws: Vec<f64> = (0..50_000).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var: f64 = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

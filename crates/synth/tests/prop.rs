@@ -1,0 +1,100 @@
+//! Property-based tests for the corpus generator: structural invariants
+//! must hold for arbitrary configurations and seeds.
+
+use microbrowse_core::Placement;
+use microbrowse_synth::{generate, AttentionProfile, GeneratorConfig, MicroUser};
+use microbrowse_text::Snippet;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        5usize..40,                    // adgroups (small for test speed)
+        2usize..5,                     // min creatives
+        0u64..u64::MAX / 2,            // seed
+        0.0f64..0.5,                   // ctr noise
+        0.0f64..1.0,                   // template switch prob
+        prop_oneof![Just(Placement::Top), Just(Placement::Rhs)],
+    )
+        .prop_map(|(n, cmin, seed, noise, switch, placement)| GeneratorConfig {
+            num_adgroups: n,
+            creatives_per_adgroup: (cmin, cmin + 2),
+            impressions: (500, 5_000),
+            placement,
+            rewrites_per_variant: (1, 2),
+            base_logit: -3.0,
+            ctr_noise: noise,
+            template_switch_prob: switch,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Structural invariants of every generated corpus.
+    #[test]
+    fn corpus_invariants(cfg in arb_config()) {
+        let sc = generate(&cfg);
+        for g in &sc.corpus.adgroups {
+            prop_assert!(g.creatives.len() >= 2, "retain_active guarantees pairs");
+            prop_assert!(g.total_clicks() >= 1);
+            prop_assert_eq!(g.placement, cfg.placement);
+            let mut seen_texts = std::collections::HashSet::new();
+            for c in &g.creatives {
+                prop_assert!(c.clicks <= c.impressions);
+                prop_assert!(c.impressions >= cfg.impressions.0);
+                prop_assert!(c.impressions <= cfg.impressions.1);
+                prop_assert_eq!(c.snippet.num_lines(), 3);
+                prop_assert!(
+                    seen_texts.insert(c.snippet.to_string()),
+                    "duplicate creative text within an adgroup"
+                );
+            }
+        }
+        // Creative ids are corpus-unique.
+        let mut ids = std::collections::HashSet::new();
+        for c in sc.corpus.adgroups.iter().flat_map(|g| &g.creatives) {
+            prop_assert!(ids.insert(c.id));
+        }
+    }
+
+    /// Same config, same corpus — bit-for-bit.
+    #[test]
+    fn generation_is_deterministic(cfg in arb_config()) {
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(a.corpus.adgroups, b.corpus.adgroups);
+    }
+
+    /// The oracle CTR is a probability for arbitrary snippets and salience
+    /// tables, and monotone in a phrase's salience.
+    #[test]
+    fn oracle_ctr_is_probability(
+        lines in prop::collection::vec("[a-f]{1,5}( [a-f]{1,5}){0,6}", 1..4),
+        salience in prop::collection::hash_map("[a-f]{1,5}", -2.0f64..2.0, 0..8),
+        scale in 0.1f64..1.0,
+    ) {
+        let user = MicroUser {
+            attention: AttentionProfile { scale, ..AttentionProfile::top() },
+            salience: salience.into_iter().collect(),
+            base_logit: -3.0,
+        };
+        let snippet = Snippet::from_lines(lines);
+        let ctr = user.expected_ctr(&snippet);
+        prop_assert!((0.0..=1.0).contains(&ctr), "ctr {ctr}");
+    }
+
+    /// Raising one phrase's salience never lowers a snippet's expected CTR.
+    #[test]
+    fn oracle_ctr_monotone_in_salience(boost in 0.0f64..2.0) {
+        let snippet = Snippet::from_lines(["alpha beta gamma", "delta alpha"]);
+        let mk = |s: f64| MicroUser {
+            attention: AttentionProfile::top(),
+            salience: [("alpha".to_string(), s)].into_iter().collect(),
+            base_logit: -3.0,
+        };
+        let low = mk(0.1).expected_ctr(&snippet);
+        let high = mk(0.1 + boost).expected_ctr(&snippet);
+        prop_assert!(high >= low - 1e-12, "low {low} high {high}");
+    }
+}

@@ -1,0 +1,137 @@
+//! In-tree Fx-style hashing.
+//!
+//! The workspace's hot maps are keyed by small integers ([`crate::Sym`]) and
+//! short byte strings. The standard library's SipHash 1-3 is
+//! collision-resistant but slow for such keys; the Rust compiler's `FxHash`
+//! is the usual remedy. To keep the dependency set inside the approved list
+//! we reimplement the (public domain) Fx algorithm here — it is ~30 lines.
+//!
+//! **Not** HashDoS-resistant: only use for keys derived from our own data
+//! (symbols, feature keys), never for untrusted network input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Firefox/rustc "Fx" hash: a multiply-rotate over machine words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_bytes(b: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(b);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_bytes(b"cheap flights"), hash_bytes(b"cheap flights"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_inputs() {
+        assert_ne!(hash_bytes(b"cheap flights"), hash_bytes(b"cheap flight"));
+        assert_ne!(hash_bytes(b"ab"), hash_bytes(b"ba"));
+    }
+
+    #[test]
+    fn integer_writes_differ_from_each_other() {
+        let mut a = FxHasher::default();
+        a.write_u32(7);
+        let mut b = FxHasher::default();
+        b.write_u32(8);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_work_end_to_end() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("legroom", 1);
+        m.insert("discount", 2);
+        assert_eq!(m.get("legroom"), Some(&1));
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&999));
+    }
+
+    #[test]
+    fn empty_input_hash_is_stable_zero_state() {
+        // An empty write leaves the hasher in its initial state; two empty
+        // hashers must agree.
+        assert_eq!(hash_bytes(b""), FxHasher::default().finish());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the text substrate.
+
+use microbrowse_text::{
+    normalize, Interner, NGramConfig, NGramExtractor, NormalizeConfig, Snippet, Tokenizer,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Normalization is idempotent for arbitrary input.
+    #[test]
+    fn normalize_idempotent(s in ".{0,200}") {
+        let cfg = NormalizeConfig::default();
+        let once = normalize(&s, &cfg);
+        prop_assert_eq!(normalize(&once, &cfg), once);
+    }
+
+    /// Normalized output never contains uppercase ASCII or doubled spaces.
+    #[test]
+    fn normalize_output_shape(s in ".{0,200}") {
+        let out = normalize(&s, &NormalizeConfig::default());
+        prop_assert!(!out.contains("  "), "doubled space in {out:?}");
+        prop_assert!(!out.starts_with(' ') && !out.ends_with(' '));
+        prop_assert!(!out.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    /// Token spans always slice the input to exactly the token text, are
+    /// non-empty, and strictly advance.
+    #[test]
+    fn token_spans_valid(s in ".{0,300}") {
+        let t = Tokenizer::default();
+        let toks = t.tokenize(&s);
+        let mut prev_end = 0usize;
+        for tk in &toks {
+            prop_assert!(tk.start < tk.end);
+            prop_assert!(tk.start >= prev_end);
+            prop_assert_eq!(&s[tk.start..tk.end], tk.text.as_str());
+            prev_end = tk.end;
+        }
+    }
+
+    /// Interning then resolving is the identity, for any batch of strings.
+    #[test]
+    fn interner_bijective(strings in prop::collection::vec(".{0,30}", 0..50)) {
+        let mut interner = Interner::new();
+        let syms: Vec<_> = strings.iter().map(|s| interner.intern(s)).collect();
+        for (s, sym) in strings.iter().zip(&syms) {
+            prop_assert_eq!(interner.resolve(*sym), s.as_str());
+        }
+        // Distinct strings get distinct symbols.
+        let distinct: std::collections::HashSet<_> = strings.iter().collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+    }
+
+    /// N-gram occurrence counts follow the closed form per line:
+    /// sum over n of max(0, len - n + 1).
+    #[test]
+    fn ngram_counts_match_closed_form(
+        lines in prop::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,9}", 0..4),
+        max_n in 1u8..4,
+    ) {
+        let mut interner = Interner::new();
+        let tok = Snippet::from_lines(lines.clone()).tokenize(&Tokenizer::default(), &mut interner);
+        let ex = NGramExtractor::new(NGramConfig { min_n: 1, max_n });
+        let occs = ex.extract(&tok, &mut interner);
+        let expected: usize = tok
+            .lines
+            .iter()
+            .map(|l| (1..=max_n as usize).map(|n| if l.len() >= n { l.len() - n + 1 } else { 0 }).sum::<usize>())
+            .sum();
+        prop_assert_eq!(occs.len(), expected);
+    }
+
+    /// Every extracted n-gram phrase, resolved, has exactly `n` space-joined
+    /// tokens drawn from its source line at the reported position.
+    #[test]
+    fn ngram_provenance(
+        lines in prop::collection::vec("[a-z]{1,6}( [a-z]{1,6}){0,7}", 1..4),
+    ) {
+        let mut interner = Interner::new();
+        let tok = Snippet::from_lines(lines).tokenize(&Tokenizer::default(), &mut interner);
+        let occs = NGramExtractor::default().extract(&tok, &mut interner);
+        for occ in occs {
+            let line = &tok.lines[occ.line as usize];
+            let n = occ.ngram.n as usize;
+            let start = occ.pos as usize;
+            let expect: Vec<&str> = line[start..start + n].iter().map(|s| interner.resolve(*s)).collect();
+            prop_assert_eq!(interner.resolve(occ.ngram.phrase), expect.join(" "));
+        }
+    }
+}

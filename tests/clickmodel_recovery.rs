@@ -1,0 +1,99 @@
+//! The click-model zoo against the session simulator: parameter recovery
+//! and the expected model ordering under a DBN-style ground truth.
+
+use microbrowse_click::{
+    evaluate, CascadeModel, CcmModel, ClickModel, DbnModel, DcmModel, PositionModel, UbmModel,
+};
+use microbrowse_synth::sessions::{generate_sessions, SessionConfig};
+
+fn data() -> (microbrowse_click::SessionSet, microbrowse_click::SessionSet, f64) {
+    let cfg = SessionConfig { num_sessions: 30_000, seed: 301, ..SessionConfig::default() };
+    let (all, truth) = generate_sessions(&cfg);
+    let (train, test) = all.split_every_kth(5);
+    (train, test, truth.gamma)
+}
+
+#[test]
+fn dbn_recovers_its_own_gamma() {
+    let (train, _, gamma) = data();
+    let mut dbn = DbnModel::default();
+    dbn.fit(&train);
+    assert!(
+        (dbn.gamma - gamma).abs() < 0.1,
+        "recovered γ {:.3} vs truth {:.3}",
+        dbn.gamma,
+        gamma
+    );
+}
+
+#[test]
+fn model_ordering_matches_ground_truth_family() {
+    let (train, test, _) = data();
+    let mut models: Vec<Box<dyn ClickModel>> = vec![
+        Box::new(PositionModel::default()),
+        Box::new(CascadeModel::default()),
+        Box::new(DcmModel::default()),
+        Box::new(UbmModel::default()),
+        Box::new(CcmModel::default()),
+        Box::new(DbnModel::default()),
+    ];
+    let mut perp = std::collections::HashMap::new();
+    for m in &mut models {
+        m.fit(&train);
+        let r = evaluate(m.as_ref(), &test);
+        assert!(r.perplexity.is_finite());
+        // The strict cascade is the exception: it assigns ~zero probability
+        // to any click after the first, so multi-click sessions push its
+        // perplexity past the coin-flip 2.0 — exactly why DCM generalized it.
+        if r.model != "Cascade" {
+            assert!(r.perplexity < 2.0, "{} worse than a coin: {}", r.model, r.perplexity);
+        }
+        perp.insert(r.model.clone(), r.perplexity);
+    }
+    // DBN generated the data; it must fit at least as well as every other
+    // model (small tolerance for EM stochastic-free but finite-sample fits).
+    let dbn = perp["DBN"];
+    for (name, p) in &perp {
+        assert!(
+            dbn <= p + 0.01,
+            "DBN ({dbn:.4}) should be best; {name} has {p:.4}"
+        );
+    }
+    // The strict cascade cannot express multi-click sessions and pays.
+    assert!(perp["Cascade"] > dbn);
+}
+
+#[test]
+fn fitting_on_train_improves_test_likelihood() {
+    let (train, test, _) = data();
+    for mut model in [
+        Box::new(PositionModel::default()) as Box<dyn ClickModel>,
+        Box::new(UbmModel::default()),
+        Box::new(DbnModel::default()),
+    ] {
+        let before: f64 = test.sessions().iter().map(|s| model.log_likelihood(s)).sum();
+        model.fit(&train);
+        let after: f64 = test.sessions().iter().map(|s| model.log_likelihood(s)).sum();
+        assert!(
+            after > before,
+            "{}: fitting should increase held-out LL ({before:.1} → {after:.1})",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn predicted_ctr_curves_match_empirical_position_bias() {
+    let (train, test, _) = data();
+    let mut dbn = DbnModel::default();
+    dbn.fit(&train);
+    let empirical = test.ctr_by_rank();
+    // Average the model's per-session conditional at rank 0 is just its
+    // marginal at rank 0; spot-check the top-rank CTR level.
+    let docs: Vec<microbrowse_click::DocId> =
+        (0..10u32).map(microbrowse_click::DocId).collect();
+    let predicted = dbn.full_click_probs(microbrowse_click::QueryId(0), &docs);
+    // Both decay with rank.
+    assert!(empirical[0] > empirical[5]);
+    assert!(predicted[0] > predicted[5]);
+}

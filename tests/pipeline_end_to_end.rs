@@ -1,0 +1,117 @@
+//! End-to-end pipeline integration: synthetic corpus → statistics build →
+//! featurization → training → cross-validated evaluation, across crates.
+
+use microbrowse_core::pipeline::{run_experiment, ExperimentConfig};
+use microbrowse_core::{ModelSpec, PairFilter, Placement};
+use microbrowse_synth::{generate, GeneratorConfig};
+
+fn small_corpus(seed: u64) -> microbrowse_core::AdCorpus {
+    generate(&GeneratorConfig {
+        num_adgroups: 250,
+        placement: Placement::Top,
+        seed,
+        ..Default::default()
+    })
+    .corpus
+}
+
+fn quick_cfg() -> ExperimentConfig {
+    ExperimentConfig { folds: 4, ..Default::default() }
+}
+
+#[test]
+fn every_model_variant_beats_chance() {
+    let corpus = small_corpus(101);
+    let cfg = quick_cfg();
+    for spec in ModelSpec::paper_models() {
+        let out = run_experiment(&corpus, spec, &cfg);
+        assert!(
+            out.mean.accuracy > 0.55,
+            "{} accuracy {:.3} barely above chance",
+            spec.name,
+            out.mean.accuracy
+        );
+        assert!(out.num_pairs > 100, "too few pairs: {}", out.num_pairs);
+        // Metrics are internally consistent.
+        assert!(out.mean.f1 <= 1.0 && out.mean.f1 >= 0.0);
+        assert_eq!(out.fold_metrics.len(), cfg.folds);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let corpus = small_corpus(102);
+    let cfg = quick_cfg();
+    let a = run_experiment(&corpus, ModelSpec::m4(), &cfg);
+    let b = run_experiment(&corpus, ModelSpec::m4(), &cfg);
+    assert_eq!(a.pooled, b.pooled);
+    assert_eq!(a.position_weights, b.position_weights);
+}
+
+#[test]
+fn position_aware_rewrites_beat_flat_rewrites() {
+    // The headline reproduction claim (M4 > M3). On a general corpus the
+    // gap is ~3 points but within per-seed noise at test-sized corpora (the
+    // table2 binary verifies it on replicate means); here we isolate the
+    // position channel — restructure-only variants, no idiosyncratic noise
+    // — where the gap is large and deterministic.
+    let corpus = generate(&GeneratorConfig {
+        num_adgroups: 500,
+        placement: Placement::Top,
+        seed: 103,
+        template_switch_prob: 1.0,
+        rewrites_per_variant: (0, 0),
+        ctr_noise: 0.0,
+        ..Default::default()
+    })
+    .corpus;
+    let cfg = ExperimentConfig { folds: 5, ..Default::default() };
+    let m3 = run_experiment(&corpus, ModelSpec::m3(), &cfg);
+    let m4 = run_experiment(&corpus, ModelSpec::m4(), &cfg);
+    assert!(
+        m4.mean.f1 > m3.mean.f1 + 0.02,
+        "M4 ({:.3}) should clearly beat M3 ({:.3}) on position-only pairs",
+        m4.mean.f1,
+        m3.mean.f1
+    );
+}
+
+#[test]
+fn coupled_models_expose_position_weights_and_flat_models_do_not() {
+    let corpus = small_corpus(104);
+    let cfg = quick_cfg();
+    let flat = run_experiment(&corpus, ModelSpec::m5(), &cfg);
+    assert!(flat.position_weights.is_none());
+    let coupled = run_experiment(&corpus, ModelSpec::m6(), &cfg);
+    let weights = coupled.position_weights.expect("M6 reports position weights");
+    assert!(weights.iter().all(|w| w.is_finite() && *w >= 0.0));
+}
+
+#[test]
+fn pair_filter_controls_dataset_size() {
+    let corpus = small_corpus(105);
+    let loose = corpus.extract_pairs(&PairFilter { min_impressions: 100, min_zscore: 1.0 });
+    let strict = corpus.extract_pairs(&PairFilter { min_impressions: 100, min_zscore: 4.0 });
+    assert!(loose.len() > strict.len(), "{} vs {}", loose.len(), strict.len());
+    assert!(!strict.is_empty());
+}
+
+#[test]
+fn placement_slices_run_independently() {
+    let top = generate(&GeneratorConfig {
+        num_adgroups: 200,
+        placement: Placement::Top,
+        seed: 106,
+        ..Default::default()
+    });
+    let rhs = generate(&GeneratorConfig {
+        num_adgroups: 200,
+        placement: Placement::Rhs,
+        seed: 106,
+        ..Default::default()
+    });
+    let cfg = quick_cfg();
+    let t = run_experiment(&top.corpus, ModelSpec::m4(), &cfg);
+    let r = run_experiment(&rhs.corpus, ModelSpec::m4(), &cfg);
+    assert!(t.mean.accuracy > 0.5 && r.mean.accuracy > 0.5);
+}

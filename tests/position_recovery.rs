@@ -1,0 +1,57 @@
+//! The coupled classifier recovers the ground-truth attention structure
+//! (the Figure 3 claim) from CTR data alone.
+
+use microbrowse_core::features::PositionVocab;
+use microbrowse_core::pipeline::{run_experiment, ExperimentConfig};
+use microbrowse_core::{ModelSpec, Placement};
+use microbrowse_store::key::SnippetPos;
+use microbrowse_synth::{generate, GeneratorConfig};
+
+fn position_weights(seed: u64) -> Vec<f64> {
+    let synth = generate(&GeneratorConfig {
+        num_adgroups: 800,
+        placement: Placement::Top,
+        seed,
+        ..Default::default()
+    });
+    let cfg = ExperimentConfig { folds: 3, ..Default::default() };
+    let out = run_experiment(&synth.corpus, ModelSpec::m6(), &cfg);
+    out.position_weights.expect("M6 reports position weights")
+}
+
+fn avg(weights: &[f64], line: u8, positions: std::ops::Range<u16>) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0.0;
+    for pos in positions {
+        let g = PositionVocab::term_group(SnippetPos::new(line, pos));
+        acc += weights[g as usize];
+        n += 1.0;
+    }
+    acc / n
+}
+
+#[test]
+fn within_line_attention_decay_is_recovered() {
+    let weights = position_weights(401);
+    // Ground truth: examination decays with in-line position. The learned
+    // position weights for the data-rich lines must reflect that.
+    for line in [1u8, 2] {
+        let early = avg(&weights, line, 0..3);
+        let late = avg(&weights, line, 6..9);
+        assert!(
+            early > late,
+            "line {}: early {:.3} should exceed late {:.3}",
+            line + 1,
+            early,
+            late
+        );
+    }
+}
+
+#[test]
+fn position_weights_are_nonnegative_and_normalized() {
+    let weights = position_weights(402);
+    assert!(weights.iter().all(|&w| w >= 0.0), "nonnegativity constraint violated");
+    let mean_abs: f64 = weights.iter().map(|w| w.abs()).sum::<f64>() / weights.len() as f64;
+    assert!((mean_abs - 1.0).abs() < 1e-6, "scale gauge broken: mean abs {mean_abs}");
+}
