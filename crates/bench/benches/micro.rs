@@ -67,7 +67,9 @@ fn bench_rewrite(c: &mut Criterion) {
     c.bench_function("rewrite/diff_and_greedy_match", |b| {
         b.iter_batched(
             || interner.clone(),
-            |mut it| RewriteExtractor::default().extract(black_box(&r), black_box(&s), &db, &mut it),
+            |mut it| {
+                RewriteExtractor::default().extract(black_box(&r), black_box(&s), &db, &mut it)
+            },
             criterion::BatchSize::SmallInput,
         )
     });
@@ -78,7 +80,10 @@ fn bench_store(c: &mut Criterion) {
     let mut db = StatsDb::new();
     let mut rng = StdRng::seed_from_u64(1);
     for i in 0..20_000u32 {
-        db.record(FeatureKey::term(format!("term {}", i % 5_000)), rng.gen_bool(0.6));
+        db.record(
+            FeatureKey::term(format!("term {}", i % 5_000)),
+            rng.gen_bool(0.6),
+        );
     }
     group.bench_function("lookup_hit", |b| {
         b.iter(|| db.log_odds(black_box(&FeatureKey::term("term 1234")), 1.0))
@@ -89,7 +94,9 @@ fn bench_store(c: &mut Criterion) {
     let bytes = to_bytes(&db);
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("snapshot_encode", |b| b.iter(|| to_bytes(black_box(&db))));
-    group.bench_function("snapshot_decode", |b| b.iter(|| from_bytes(black_box(&bytes)).unwrap()));
+    group.bench_function("snapshot_decode", |b| {
+        b.iter(|| from_bytes(black_box(&bytes)).unwrap())
+    });
     group.finish();
 }
 
@@ -98,13 +105,21 @@ fn bench_logreg(c: &mut Criterion) {
     let mut data = Dataset::with_dim(1_000);
     for _ in 0..2_000 {
         let pairs: Vec<(u32, f64)> = (0..30)
-            .map(|_| (rng.gen_range(0..1_000), if rng.gen_bool(0.5) { 1.0 } else { -1.0 }))
+            .map(|_| {
+                (
+                    rng.gen_range(0..1_000),
+                    if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+                )
+            })
             .collect();
         let x = SparseVec::from_pairs(pairs);
         let label = rng.gen_bool(0.5);
         data.push(Example::new(x, label));
     }
-    let cfg = LogRegConfig { epochs: 1, ..Default::default() };
+    let cfg = LogRegConfig {
+        epochs: 1,
+        ..Default::default()
+    };
     c.bench_function("logreg/one_epoch_2k_examples", |b| {
         b.iter(|| LogReg::fit(black_box(&data), &cfg))
     });
@@ -136,8 +151,13 @@ fn bench_clickmodels(c: &mut Criterion) {
 }
 
 fn bench_synth(c: &mut Criterion) {
-    let cfg = GeneratorConfig { num_adgroups: 100, ..Default::default() };
-    c.bench_function("synth/generate_100_adgroups", |b| b.iter(|| generate(black_box(&cfg))));
+    let cfg = GeneratorConfig {
+        num_adgroups: 100,
+        ..Default::default()
+    };
+    c.bench_function("synth/generate_100_adgroups", |b| {
+        b.iter(|| generate(black_box(&cfg)))
+    });
 
     let synth = generate(&cfg);
     c.bench_with_input(

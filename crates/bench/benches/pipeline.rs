@@ -28,7 +28,10 @@ fn bench_stats_build(c: &mut Criterion) {
     group.sample_size(20);
     for threads in [1usize, 4] {
         group.bench_function(format!("stats_build_{threads}thread"), |b| {
-            let cfg = StatsBuildConfig { threads, ..Default::default() };
+            let cfg = StatsBuildConfig {
+                threads,
+                ..Default::default()
+            };
             b.iter(|| build_stats(black_box(&tc), black_box(&pairs), &cfg))
         });
     }
@@ -75,14 +78,36 @@ fn bench_featurize_and_train(c: &mut Criterion) {
 
 fn bench_end_to_end(c: &mut Criterion) {
     let corpus = corpus();
-    let cfg = ExperimentConfig { folds: 3, ..Default::default() };
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
-    group.bench_function("experiment_m4_3fold_200adgroups", |b| {
-        b.iter(|| run_experiment(black_box(&corpus), ModelSpec::m4(), &cfg))
+    // Thread count is a pure throughput knob (results are bit-identical),
+    // so the 1-vs-4 pair below is the engine's parallel-efficiency gauge.
+    for threads in [1usize, 4] {
+        let cfg = ExperimentConfig {
+            folds: 3,
+            threads,
+            ..Default::default()
+        };
+        group.bench_function(
+            format!("experiment_m4_3fold_200adgroups_{threads}thread"),
+            |b| b.iter(|| run_experiment(black_box(&corpus), ModelSpec::m4(), &cfg)),
+        );
+    }
+    let cfg = ExperimentConfig {
+        folds: 3,
+        threads: 4,
+        ..Default::default()
+    };
+    group.bench_function("run_all_models_3fold_200adgroups_4thread", |b| {
+        b.iter(|| microbrowse_core::pipeline::run_all_models(black_box(&corpus), &cfg))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_stats_build, bench_featurize_and_train, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_stats_build,
+    bench_featurize_and_train,
+    bench_end_to_end
+);
 criterion_main!(benches);

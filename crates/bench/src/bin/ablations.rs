@@ -29,7 +29,8 @@ fn main() {
 
     eprintln!("generating corpus ({adgroups} adgroups)…");
     let synth = generate(&corpus_config(adgroups, Placement::Top, seed));
-    let base = experiment_config(seed);
+    let mut base = experiment_config(seed);
+    base.threads = args.get("threads", 0);
 
     let mut table = Table::new(["Ablation", "Variant", "F-Measure", "Accuracy"]);
     let mut run = |ablation: &str, variant: &str, spec: ModelSpec, cfg: &ExperimentConfig| {
@@ -46,31 +47,54 @@ fn main() {
 
     // 1. Stats-DB initialization.
     let with_init = run("stats-db init", "on (paper)", ModelSpec::m6(), &base);
-    let no_init =
-        run("stats-db init", "off", ModelSpec { init_from_stats: false, ..ModelSpec::m6() }, &base);
+    let no_init = run(
+        "stats-db init",
+        "off",
+        ModelSpec {
+            init_from_stats: false,
+            ..ModelSpec::m6()
+        },
+        &base,
+    );
 
     // 2. Rewrite matching strategy (M4 isolates the rewrite channel).
     let greedy = run("rewrite matching", "greedy (paper)", ModelSpec::m4(), &base);
     let whole = {
         let cfg = ExperimentConfig {
-            rewrite: RewriteConfig { strategy: MatchStrategy::WholeSpan, ..Default::default() },
+            rewrite: RewriteConfig {
+                strategy: MatchStrategy::WholeSpan,
+                ..Default::default()
+            },
             ..base.clone()
         };
         run("rewrite matching", "whole-span", ModelSpec::m4(), &cfg)
     };
     let none = {
         let cfg = ExperimentConfig {
-            rewrite: RewriteConfig { strategy: MatchStrategy::NoMatch, ..Default::default() },
+            rewrite: RewriteConfig {
+                strategy: MatchStrategy::NoMatch,
+                ..Default::default()
+            },
             ..base.clone()
         };
-        run("rewrite matching", "none (terms fall out)", ModelSpec::m4(), &cfg)
+        run(
+            "rewrite matching",
+            "none (terms fall out)",
+            ModelSpec::m4(),
+            &cfg,
+        )
     };
 
     // 3. Laplace smoothing of the statistics database.
     for alpha in [0.1, 1.0, 10.0] {
         let mut cfg = base.clone();
         cfg.train.stats_alpha = alpha;
-        run("laplace alpha", &format!("α = {alpha}"), ModelSpec::m6(), &cfg);
+        run(
+            "laplace alpha",
+            &format!("α = {alpha}"),
+            ModelSpec::m6(),
+            &cfg,
+        );
     }
 
     // 4. Coupled optimizer.
@@ -78,17 +102,33 @@ fn main() {
     let alternating = {
         let mut cfg = base.clone();
         cfg.train.coupled = CoupledOptimizer::Alternating { rounds: 4 };
-        run("coupled optimizer", "alternating (paper)", ModelSpec::m4(), &cfg)
+        run(
+            "coupled optimizer",
+            "alternating (paper)",
+            ModelSpec::m4(),
+            &cfg,
+        )
     };
 
     // 5. Fold hygiene.
     let grouped = run("cv folds", "grouped by adgroup", ModelSpec::m5(), &base);
     let leaky = {
-        let cfg = ExperimentConfig { group_folds_by_adgroup: false, ..base.clone() };
-        run("cv folds", "naive stratified (leaky)", ModelSpec::m5(), &cfg)
+        let cfg = ExperimentConfig {
+            group_folds_by_adgroup: false,
+            ..base.clone()
+        };
+        run(
+            "cv folds",
+            "naive stratified (leaky)",
+            ModelSpec::m5(),
+            &cfg,
+        )
     };
 
-    println!("\nAblations ({} adgroups, seed {seed})\n", synth.corpus.num_adgroups());
+    println!(
+        "\nAblations ({} adgroups, seed {seed})\n",
+        synth.corpus.num_adgroups()
+    );
     println!("{}", table.render());
 
     println!("observations:");

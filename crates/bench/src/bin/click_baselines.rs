@@ -25,7 +25,11 @@ fn main() {
     let sessions: usize = args.get("sessions", 100_000);
     let seed: u64 = args.get("seed", 7);
 
-    let cfg = SessionConfig { num_sessions: sessions, seed, ..SessionConfig::default() };
+    let cfg = SessionConfig {
+        num_sessions: sessions,
+        seed,
+        ..SessionConfig::default()
+    };
     eprintln!(
         "simulating {sessions} sessions ({} queries × {} docs, depth {}, γ={})…",
         cfg.num_queries, cfg.docs_per_query, cfg.serp_depth, cfg.gamma
@@ -43,7 +47,14 @@ fn main() {
         Box::new(DbnModel::default()),
     ];
 
-    let mut table = Table::new(["Model", "LL/pos", "Perplexity", "Perp@1", "Perp@5", "Perp@10"]);
+    let mut table = Table::new([
+        "Model",
+        "LL/pos",
+        "Perplexity",
+        "Perp@1",
+        "Perp@5",
+        "Perp@10",
+    ]);
     let mut results = Vec::new();
     for model in &mut models {
         eprintln!("fitting {}…", model.name());
@@ -60,23 +71,40 @@ fn main() {
         results.push(report);
     }
 
-    println!("\nClick-model baselines (held-out; DBN-style ground truth, γ = {})\n", truth.gamma);
+    println!(
+        "\nClick-model baselines (held-out; DBN-style ground truth, γ = {})\n",
+        truth.gamma
+    );
     println!("{}", table.render());
 
     let perp = |name: &str| results.iter().find(|r| r.model == name).unwrap().perplexity;
     let checks = [
         ("DBN best (matches ground truth family)", {
             let d = perp("DBN");
-            ["PBM", "Cascade", "DCM", "UBM", "CCM"].iter().all(|m| d <= perp(m) + 1e-9)
+            ["PBM", "Cascade", "DCM", "UBM", "CCM"]
+                .iter()
+                .all(|m| d <= perp(m) + 1e-9)
         }),
-        ("cascade family beats strict cascade", perp("DCM") < perp("Cascade")),
-        ("UBM beats the plain position model", perp("UBM") < perp("PBM")),
+        (
+            "cascade family beats strict cascade",
+            perp("DCM") < perp("Cascade"),
+        ),
+        (
+            "UBM beats the plain position model",
+            perp("UBM") < perp("PBM"),
+        ),
         // The strict cascade is exempt: it assigns ~zero probability to any
         // click after the first, so multi-click sessions push it past 2.0 —
         // the very restriction DCM was invented to lift.
-        ("every generalizing model beats the coin flip (perplexity < 2)", {
-            results.iter().filter(|r| r.model != "Cascade").all(|r| r.perplexity < 2.0)
-        }),
+        (
+            "every generalizing model beats the coin flip (perplexity < 2)",
+            {
+                results
+                    .iter()
+                    .filter(|r| r.model != "Cascade")
+                    .all(|r| r.perplexity < 2.0)
+            },
+        ),
     ];
     println!("shape checks:");
     for (desc, ok) in checks {

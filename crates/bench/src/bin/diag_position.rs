@@ -29,8 +29,14 @@ fn main() {
         synth.corpus.num_creatives()
     );
 
-    let exp = experiment_config(seed);
-    for spec in [ModelSpec::m1(), ModelSpec::m2(), ModelSpec::m3(), ModelSpec::m4()] {
+    let mut exp = experiment_config(seed);
+    exp.threads = args.get("threads", 0);
+    for spec in [
+        ModelSpec::m1(),
+        ModelSpec::m2(),
+        ModelSpec::m3(),
+        ModelSpec::m4(),
+    ] {
         let out = run_experiment(&synth.corpus, spec, &exp);
         println!(
             "{:<24} accuracy {:.3}  f1 {:.3}  ({} pairs)",

@@ -24,11 +24,21 @@ fn main() {
 
     eprintln!("generating corpus ({adgroups} adgroups) and fitting M6…");
     let synth = generate(&corpus_config(adgroups, Placement::Top, seed));
-    let out = run_experiment(&synth.corpus, ModelSpec::m6(), &experiment_config(seed));
+    let mut cfg = experiment_config(seed);
+    cfg.threads = args.get("threads", 0);
+    let out = run_experiment(&synth.corpus, ModelSpec::m6(), &cfg);
     let weights = out.position_weights.expect("M6 reports position weights");
 
     let lines = 3usize;
-    let mut table = Table::new(["pos", "line1 w", "line2 w", "line3 w", "| truth e1", "e2", "e3"]);
+    let mut table = Table::new([
+        "pos",
+        "line1 w",
+        "line2 w",
+        "line3 w",
+        "| truth e1",
+        "e2",
+        "e3",
+    ]);
     for posn in 0..TERM_POS_BUCKETS {
         let mut row = vec![format!("{posn}")];
         for line in 0..lines {
@@ -42,7 +52,10 @@ fn main() {
             synth.truth.attention.exam_prob(0, posn as usize)
         ));
         for line in 1..lines {
-            row.push(format!("{:.3}", synth.truth.attention.exam_prob(line, posn as usize)));
+            row.push(format!(
+                "{:.3}",
+                synth.truth.attention.exam_prob(line, posn as usize)
+            ));
         }
         table.add_row(row);
     }
@@ -69,8 +82,14 @@ fn main() {
     let checks = [
         ("line1 early > line1 late", avg(0, 0..3) > avg(0, 5..8)),
         ("line2 early > line2 late", avg(1, 0..3) > avg(1, 5..8)),
-        ("line1 > line2 (early positions)", avg(0, 0..3) > avg(1, 0..3)),
-        ("line2 > line3 (early positions)", avg(1, 0..3) > avg(2, 0..3)),
+        (
+            "line1 > line2 (early positions)",
+            avg(0, 0..3) > avg(1, 0..3),
+        ),
+        (
+            "line2 > line3 (early positions)",
+            avg(1, 0..3) > avg(2, 0..3),
+        ),
     ];
     println!("shape checks:");
     for (desc, ok) in checks {

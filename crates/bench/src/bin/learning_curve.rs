@@ -26,7 +26,8 @@ fn main() {
     for &n in &sizes {
         eprintln!("corpus size {n}…");
         let synth = generate(&corpus_config(n, Placement::Top, seed));
-        let cfg = experiment_config(seed);
+        let mut cfg = experiment_config(seed);
+        cfg.threads = args.get("threads", 0);
         let mut fs = Vec::new();
         let mut pairs = 0;
         for spec in specs {
@@ -51,7 +52,11 @@ fn main() {
     println!("shape checks:");
     println!(
         "  [{}] every model improves with data (M1 {} → {}, M4 {} → {})",
-        if last[0] > first[0] && last[1] > first[1] { "ok" } else { "MISS" },
+        if last[0] > first[0] && last[1] > first[1] {
+            "ok"
+        } else {
+            "MISS"
+        },
         f3(first[0]),
         f3(last[0]),
         f3(first[1]),
@@ -59,6 +64,10 @@ fn main() {
     );
     println!(
         "  [{}] M4 leads at full size",
-        if last[1] >= last[0] && last[1] >= last[2] { "ok" } else { "MISS" }
+        if last[1] >= last[0] && last[1] >= last[2] {
+            "ok"
+        } else {
+            "MISS"
+        }
     );
 }

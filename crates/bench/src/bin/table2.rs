@@ -29,6 +29,7 @@ fn main() {
     let adgroups: usize = args.get("adgroups", DEFAULT_ADGROUPS);
     let seed: u64 = args.get("seed", 42);
     let replicates: u64 = args.get("replicates", 3);
+    let threads: usize = args.get("threads", 0);
 
     let mut per_model: Vec<Vec<BinaryMetrics>> = vec![Vec::new(); 6];
     let mut labels: Vec<String> = Vec::new();
@@ -40,7 +41,9 @@ fn main() {
             rep + 1
         );
         let synth = generate(&corpus_config(adgroups, Placement::Top, rep_seed));
-        let outcomes = run_all_models(&synth.corpus, &experiment_config(rep_seed));
+        let mut cfg = experiment_config(rep_seed);
+        cfg.threads = threads;
+        let outcomes = run_all_models(&synth.corpus, &cfg);
         total_pairs += outcomes[0].num_pairs;
         labels = outcomes.iter().map(|o| o.spec.label()).collect();
         for (slot, o) in per_model.iter_mut().zip(&outcomes) {

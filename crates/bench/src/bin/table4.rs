@@ -23,7 +23,8 @@ fn main() {
     let args = Args::parse();
     let adgroups: usize = args.get("adgroups", DEFAULT_ADGROUPS);
     let seed: u64 = args.get("seed", 42);
-    let cfg = experiment_config(seed);
+    let mut cfg = experiment_config(seed);
+    cfg.threads = args.get("threads", 0);
 
     eprintln!("generating Top corpus ({adgroups} adgroups)…");
     let top = generate(&corpus_config(adgroups, Placement::Top, seed));
@@ -31,14 +32,16 @@ fn main() {
     let top_outcomes = run_all_models(&top.corpus, &cfg);
 
     eprintln!("generating Rhs corpus ({adgroups} adgroups)…");
-    let rhs = generate(&corpus_config(adgroups, Placement::Rhs, seed.wrapping_add(1)));
+    let rhs = generate(&corpus_config(
+        adgroups,
+        Placement::Rhs,
+        seed.wrapping_add(1),
+    ));
     eprintln!("running M1–M6 on Rhs…");
     let rhs_outcomes = run_all_models(&rhs.corpus, &cfg);
 
     let mut table = Table::new(["Feature", "Top", "Rhs", "| paper Top", "paper Rhs"]);
-    for ((t, r), (name, pt, pr)) in
-        top_outcomes.iter().zip(&rhs_outcomes).zip(paper::TABLE4)
-    {
+    for ((t, r), (name, pt, pr)) in top_outcomes.iter().zip(&rhs_outcomes).zip(paper::TABLE4) {
         assert_eq!(t.spec.name, name);
         table.add_row([
             t.spec.label(),

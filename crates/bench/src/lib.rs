@@ -35,7 +35,10 @@ pub fn corpus_config(num_adgroups: usize, placement: Placement, seed: u64) -> Ge
 
 /// The experiment preset shared by the paper-table binaries.
 pub fn experiment_config(seed: u64) -> ExperimentConfig {
-    ExperimentConfig { seed, ..ExperimentConfig::default() }
+    ExperimentConfig {
+        seed,
+        ..ExperimentConfig::default()
+    }
 }
 
 /// Minimal flag parser: `--name value` pairs, panicking with a usage hint
@@ -74,7 +77,10 @@ impl Args {
             .iter()
             .rev()
             .find(|(n, _)| n == name)
-            .map(|(_, v)| v.parse().unwrap_or_else(|e| panic!("bad value for --{name}: {e:?}")))
+            .map(|(_, v)| {
+                v.parse()
+                    .unwrap_or_else(|e| panic!("bad value for --{name}: {e:?}"))
+            })
             .unwrap_or(default)
     }
 }

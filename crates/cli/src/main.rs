@@ -64,6 +64,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   microbrowse train    --model FILE --stats FILE [--spec m1..m6] [--adgroups N] [--seed S]
+                       [--threads T]  (0 = MICROBROWSE_THREADS env or auto)
   microbrowse eval     --model FILE --stats FILE [--adgroups N] [--seed S]
   microbrowse score    --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3'
   microbrowse rank     --model FILE --stats FILE --creative '…' --creative '…' [...]
@@ -83,8 +84,9 @@ impl Flags {
             let name = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
-            let value =
-                args.get(i + 1).ok_or_else(|| format!("flag --{name} needs a value"))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
             pairs.push((name.to_string(), value.clone()));
             i += 2;
         }
@@ -92,21 +94,32 @@ impl Flags {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     fn get_all(&self, name: &str) -> Vec<&str> {
-        self.pairs.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
+        self.pairs
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
     }
 
     fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {v:?}")),
         }
     }
 }
@@ -141,6 +154,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let spec = spec_by_name(flags.get("spec").unwrap_or("m4"))?;
     let adgroups: usize = flags.parse_or("adgroups", 1000)?;
     let seed: u64 = flags.parse_or("seed", 42)?;
+    let threads: usize = flags.parse_or("threads", 0)?;
 
     eprintln!("generating synthetic ADCORPUS ({adgroups} adgroups, seed {seed})…");
     let synth = generate(&GeneratorConfig {
@@ -152,7 +166,14 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let tc = TokenizedCorpus::build(&synth.corpus);
     let pairs = synth.corpus.extract_pairs(&PairFilter::default());
     eprintln!("building statistics over {} pairs…", pairs.len());
-    let stats = build_stats(&tc, &pairs, &StatsBuildConfig::default());
+    let stats = build_stats(
+        &tc,
+        &pairs,
+        &StatsBuildConfig {
+            threads,
+            ..Default::default()
+        },
+    );
 
     eprintln!("training {}…", spec.label());
     let cfg = TrainConfig::default();
@@ -169,11 +190,14 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         *w *= cfg.init_scale;
     }
     let init_pos = featurizer.init_pos_weights(cfg.stats_alpha);
-    let classifier =
-        TrainedClassifier::train(&spec, &data, Some(init_terms), Some(init_pos), &cfg);
+    let classifier = TrainedClassifier::train(&spec, &data, Some(init_terms), Some(init_pos), &cfg);
     let vocab = featurizer.export_vocab(&interner);
 
-    let deployed = DeployedModel { spec, classifier, vocab };
+    let deployed = DeployedModel {
+        spec,
+        classifier,
+        vocab,
+    };
     deployed.save(&model_path).map_err(|e| e.to_string())?;
     write_snapshot(&stats, &stats_path).map_err(|e| e.to_string())?;
     println!(
@@ -239,8 +263,11 @@ fn cmd_score(flags: &Flags) -> Result<(), String> {
 
 fn cmd_rank(flags: &Flags) -> Result<(), String> {
     let (model, stats) = load_artifacts(flags)?;
-    let creatives: Vec<Snippet> =
-        flags.get_all("creative").into_iter().map(parse_snippet).collect();
+    let creatives: Vec<Snippet> = flags
+        .get_all("creative")
+        .into_iter()
+        .map(parse_snippet)
+        .collect();
     if creatives.len() < 2 {
         return Err("rank needs at least two --creative flags".into());
     }
@@ -248,7 +275,12 @@ fn cmd_rank(flags: &Flags) -> Result<(), String> {
     let order = scorer.rank(&creatives);
     println!("ranking (best first):");
     for (place, &idx) in order.iter().enumerate() {
-        println!("  #{}: creative {} — {:?}", place + 1, idx + 1, creatives[idx].to_string());
+        println!(
+            "  #{}: creative {} — {:?}",
+            place + 1,
+            idx + 1,
+            creatives[idx].to_string()
+        );
     }
     Ok(())
 }
@@ -259,20 +291,32 @@ fn cmd_optimize(flags: &Flags) -> Result<(), String> {
 
     let mut edits = Vec::new();
     for rw in flags.get_all("rewrite") {
-        let (from, to) =
-            rw.split_once('=').ok_or_else(|| format!("--rewrite wants 'from=to', got {rw:?}"))?;
-        edits.push(Edit::ReplacePhrase { from: from.trim().into(), to: to.trim().into() });
+        let (from, to) = rw
+            .split_once('=')
+            .ok_or_else(|| format!("--rewrite wants 'from=to', got {rw:?}"))?;
+        edits.push(Edit::ReplacePhrase {
+            from: from.trim().into(),
+            to: to.trim().into(),
+        });
     }
     for sw in flags.get_all("swap-lines") {
         let (a, b) = sw
             .split_once(',')
             .ok_or_else(|| format!("--swap-lines wants 'A,B', got {sw:?}"))?;
-        let a: usize = a.trim().parse().map_err(|_| format!("bad line index {a:?}"))?;
-        let b: usize = b.trim().parse().map_err(|_| format!("bad line index {b:?}"))?;
+        let a: usize = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad line index {a:?}"))?;
+        let b: usize = b
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad line index {b:?}"))?;
         edits.push(Edit::SwapLines { a, b });
     }
     for phrase in flags.get_all("move-front") {
-        edits.push(Edit::MoveToFront { phrase: phrase.trim().into() });
+        edits.push(Edit::MoveToFront {
+            phrase: phrase.trim().into(),
+        });
     }
     if edits.is_empty() {
         return Err("optimize needs at least one --rewrite / --swap-lines / --move-front".into());

@@ -26,7 +26,10 @@ pub struct CascadeModel {
 
 impl Default for CascadeModel {
     fn default() -> Self {
-        Self { relevance: PairParams::default(), smoothing: 1.0 }
+        Self {
+            relevance: PairParams::default(),
+            smoothing: 1.0,
+        }
     }
 }
 

@@ -59,10 +59,16 @@ impl CcmModel {
 
     fn spec(&self, query: QueryId, docs: &[DocId]) -> ChainSpec {
         let emit: Vec<f64> = docs.iter().map(|&d| self.relevance.get(query, d)).collect();
-        let cont_click: Vec<f64> =
-            emit.iter().map(|&r| self.alpha2 * (1.0 - r) + self.alpha3 * r).collect();
+        let cont_click: Vec<f64> = emit
+            .iter()
+            .map(|&r| self.alpha2 * (1.0 - r) + self.alpha3 * r)
+            .collect();
         let cont_noclick = vec![self.alpha1; docs.len()];
-        ChainSpec { emit, cont_click, cont_noclick }
+        ChainSpec {
+            emit,
+            cont_click,
+            cont_noclick,
+        }
     }
 }
 
@@ -169,9 +175,13 @@ mod tests {
         let data = simulate_ccm(&rels, (0.8, 0.6, 0.3), 15_000, 22);
         let mut model = CcmModel::default();
         model.fit(&data);
-        let r: Vec<f64> =
-            (0..4).map(|d| model.relevance().get(QueryId(0), DocId(d))).collect();
-        assert!(r[1] > r[2] && r[2] > r[3] && r[3] > r[0], "relevances {r:?}");
+        let r: Vec<f64> = (0..4)
+            .map(|d| model.relevance().get(QueryId(0), DocId(d)))
+            .collect();
+        assert!(
+            r[1] > r[2] && r[2] > r[3] && r[3] > r[0],
+            "relevances {r:?}"
+        );
     }
 
     #[test]
@@ -179,16 +189,27 @@ mod tests {
         let rels = [0.2, 0.5, 0.3];
         let data = simulate_ccm(&rels, (0.8, 0.5, 0.25), 5_000, 23);
         let mut model = CcmModel::default();
-        let ll_before: f64 = data.sessions().iter().map(|s| model.log_likelihood(s)).sum();
+        let ll_before: f64 = data
+            .sessions()
+            .iter()
+            .map(|s| model.log_likelihood(s))
+            .sum();
         model.fit(&data);
-        let ll_after: f64 = data.sessions().iter().map(|s| model.log_likelihood(s)).sum();
+        let ll_after: f64 = data
+            .sessions()
+            .iter()
+            .map(|s| model.log_likelihood(s))
+            .sum();
         assert!(ll_after > ll_before, "{ll_after} vs {ll_before}");
     }
 
     #[test]
     fn reduces_to_dcm_family_shape() {
         // α1 = 1 recovers DCM's "always continue after skip".
-        let mut model = CcmModel { alpha1: 1.0 - 1e-9, ..Default::default() };
+        let mut model = CcmModel {
+            alpha1: 1.0 - 1e-9,
+            ..Default::default()
+        };
         model.relevance.set(QueryId(0), DocId(0), 0.4);
         model.relevance.set(QueryId(0), DocId(1), 0.4);
         let s = Session::new(QueryId(0), vec![DocId(0), DocId(1)], vec![false, false]);

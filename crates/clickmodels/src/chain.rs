@@ -92,9 +92,16 @@ pub fn posterior_examined(spec: &ChainSpec, clicks: &[bool]) -> ChainPosterior {
     spec.validate(Some(clicks));
     let n = spec.depth();
     if n == 0 {
-        return ChainPosterior { examined: Vec::new(), likelihood: 1.0 };
+        return ChainPosterior {
+            examined: Vec::new(),
+            likelihood: 1.0,
+        };
     }
-    let min_k = clicks.iter().rposition(|&c| c).map_or(1, |lc| lc + 1).max(1);
+    let min_k = clicks
+        .iter()
+        .rposition(|&c| c)
+        .map_or(1, |lc| lc + 1)
+        .max(1);
 
     // L(k) for k = min_k ..= n, built incrementally.
     let mut weights = vec![0.0f64; n + 1];
@@ -104,7 +111,11 @@ pub fn posterior_examined(spec: &ChainSpec, clicks: &[bool]) -> ChainPosterior {
         prefix *= if clicked { p } else { 1.0 - p };
         let k = i + 1; // hypothesis: exactly ranks 0..=i examined
         if k >= min_k {
-            let stop = if k < n { 1.0 - spec.cont(i, clicked) } else { 1.0 };
+            let stop = if k < n {
+                1.0 - spec.cont(i, clicked)
+            } else {
+                1.0
+            };
             weights[k] = prefix * stop;
         }
         if k < n {
@@ -121,7 +132,10 @@ pub fn posterior_examined(spec: &ChainSpec, clicks: &[bool]) -> ChainPosterior {
         for e in examined.iter_mut().take(min_k) {
             *e = 1.0;
         }
-        return ChainPosterior { examined, likelihood: 0.0 };
+        return ChainPosterior {
+            examined,
+            likelihood: 0.0,
+        };
     }
     for w in &mut weights {
         *w /= total;
@@ -133,7 +147,10 @@ pub fn posterior_examined(spec: &ChainSpec, clicks: &[bool]) -> ChainPosterior {
         suffix += weights[i + 1];
         examined[i] = suffix;
     }
-    ChainPosterior { examined, likelihood }
+    ChainPosterior {
+        examined,
+        likelihood,
+    }
 }
 
 /// Conditional click probabilities `P(C_i = 1 | C_{<i})` via forward

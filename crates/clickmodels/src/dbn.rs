@@ -65,13 +65,20 @@ impl DbnModel {
     }
 
     fn spec(&self, query: QueryId, docs: &[DocId]) -> ChainSpec {
-        let emit: Vec<f64> = docs.iter().map(|&d| self.attractiveness.get(query, d)).collect();
+        let emit: Vec<f64> = docs
+            .iter()
+            .map(|&d| self.attractiveness.get(query, d))
+            .collect();
         let cont_click: Vec<f64> = docs
             .iter()
             .map(|&d| self.gamma * (1.0 - self.satisfaction.get(query, d)))
             .collect();
         let cont_noclick = vec![self.gamma; docs.len()];
-        ChainSpec { emit, cont_click, cont_noclick }
+        ChainSpec {
+            emit,
+            cont_click,
+            cont_noclick,
+        }
     }
 }
 
@@ -102,8 +109,11 @@ impl ClickModel for DbnModel {
                         // γ-abandoned: P(sat | stop) = s / (s + (1-s)(1-γ)).
                         let s_d = self.satisfaction.get(s.query, d);
                         let stop_sat = s_d + (1.0 - s_d) * (1.0 - self.gamma);
-                        let p_sat_given_stop =
-                            if stop_sat > 1e-12 { s_d / stop_sat } else { 0.0 };
+                        let p_sat_given_stop = if stop_sat > 1e-12 {
+                            s_d / stop_sat
+                        } else {
+                            0.0
+                        };
                         let sat_mass = stop * p_sat_given_stop;
                         sat_acc.add(s.query, d, sat_mass, cont + stop);
                         // γ opportunities post-click exist only when not
@@ -187,9 +197,13 @@ mod tests {
         let data = simulate_dbn(&attrs, &sats, 0.8, 15_000, 32);
         let mut model = DbnModel::default();
         model.fit(&data);
-        let a: Vec<f64> =
-            (0..4).map(|d| model.attractiveness().get(QueryId(0), DocId(d))).collect();
-        assert!(a[1] > a[2] && a[2] > a[3] && a[3] > a[0], "attractiveness {a:?}");
+        let a: Vec<f64> = (0..4)
+            .map(|d| model.attractiveness().get(QueryId(0), DocId(d)))
+            .collect();
+        assert!(
+            a[1] > a[2] && a[2] > a[3] && a[3] > a[0],
+            "attractiveness {a:?}"
+        );
     }
 
     #[test]
@@ -210,15 +224,26 @@ mod tests {
     fn fit_improves_log_likelihood() {
         let data = simulate_dbn(&[0.3, 0.4, 0.2], &[0.5, 0.3, 0.6], 0.75, 5_000, 34);
         let mut model = DbnModel::default();
-        let before: f64 = data.sessions().iter().map(|s| model.log_likelihood(s)).sum();
+        let before: f64 = data
+            .sessions()
+            .iter()
+            .map(|s| model.log_likelihood(s))
+            .sum();
         model.fit(&data);
-        let after: f64 = data.sessions().iter().map(|s| model.log_likelihood(s)).sum();
+        let after: f64 = data
+            .sessions()
+            .iter()
+            .map(|s| model.log_likelihood(s))
+            .sum();
         assert!(after > before);
     }
 
     #[test]
     fn conditional_probs_reflect_satisfaction() {
-        let mut model = DbnModel { gamma: 0.9, ..Default::default() };
+        let mut model = DbnModel {
+            gamma: 0.9,
+            ..Default::default()
+        };
         model.attractiveness.set(QueryId(0), DocId(0), 0.5);
         model.attractiveness.set(QueryId(0), DocId(1), 0.5);
         model.satisfaction.set(QueryId(0), DocId(0), 0.95);

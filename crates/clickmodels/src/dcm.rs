@@ -34,7 +34,11 @@ pub struct DcmModel {
 
 impl Default for DcmModel {
     fn default() -> Self {
-        Self { relevance: PairParams::default(), lambdas: Vec::new(), smoothing: 1.0 }
+        Self {
+            relevance: PairParams::default(),
+            lambdas: Vec::new(),
+            smoothing: 1.0,
+        }
     }
 }
 
@@ -157,8 +161,9 @@ mod tests {
         let data = simulate_dcm(&rels, &lambdas, 10_000, 10);
         let mut model = DcmModel::default();
         model.fit(&data);
-        let r: Vec<f64> =
-            (0..3).map(|d| model.relevance().get(QueryId(0), DocId(d))).collect();
+        let r: Vec<f64> = (0..3)
+            .map(|d| model.relevance().get(QueryId(0), DocId(d)))
+            .collect();
         assert!(r[1] > r[2] && r[2] > r[0], "relevances {r:?}");
     }
 
@@ -171,7 +176,10 @@ mod tests {
         dcm.lambdas = vec![1e-6, 1e-6]; // ratio clamp prevents exact 0
         let s = Session::new(QueryId(0), vec![DocId(0), DocId(1)], vec![true, false]);
         let probs = dcm.conditional_click_probs(&s);
-        assert!(probs[1] < 1e-5, "λ→0 must forbid post-click clicks: {probs:?}");
+        assert!(
+            probs[1] < 1e-5,
+            "λ→0 must forbid post-click clicks: {probs:?}"
+        );
     }
 
     #[test]

@@ -51,15 +51,29 @@ pub fn evaluate<M: ClickModel + ?Sized>(model: &M, data: &SessionSet) -> EvalRep
     let perplexity_by_rank: Vec<f64> = log2_sum_by_rank
         .iter()
         .zip(&count_by_rank)
-        .map(|(&s, &n)| if n == 0 { 1.0 } else { 2f64.powf(-s / n as f64) })
+        .map(|(&s, &n)| {
+            if n == 0 {
+                1.0
+            } else {
+                2f64.powf(-s / n as f64)
+            }
+        })
         .collect();
     let total_log2: f64 = log2_sum_by_rank.iter().sum();
-    let perplexity = if positions == 0 { 1.0 } else { 2f64.powf(-total_log2 / positions as f64) };
+    let perplexity = if positions == 0 {
+        1.0
+    } else {
+        2f64.powf(-total_log2 / positions as f64)
+    };
 
     EvalReport {
         model: model.name().to_string(),
         log_likelihood: ll_total,
-        mean_position_ll: if positions == 0 { 0.0 } else { ll_total / positions as f64 },
+        mean_position_ll: if positions == 0 {
+            0.0
+        } else {
+            ll_total / positions as f64
+        },
         perplexity,
         perplexity_by_rank,
         positions,
@@ -92,7 +106,11 @@ mod tests {
         // Alternating clicks: empirical CTR exactly 0.5 at each rank.
         (0..n)
             .map(|i| {
-                Session::new(QueryId(0), vec![DocId(0), DocId(1)], vec![i % 2 == 0, i % 2 == 1])
+                Session::new(
+                    QueryId(0),
+                    vec![DocId(0), DocId(1)],
+                    vec![i % 2 == 0, i % 2 == 1],
+                )
             })
             .collect()
     }
@@ -127,7 +145,11 @@ mod tests {
             .map(|_| Session::new(QueryId(0), vec![DocId(0), DocId(1)], vec![false, false]))
             .collect();
         let report = evaluate(&ConstModel(1e-9), &data);
-        assert!(report.perplexity < 1.0 + 1e-6, "perplexity {}", report.perplexity);
+        assert!(
+            report.perplexity < 1.0 + 1e-6,
+            "perplexity {}",
+            report.perplexity
+        );
     }
 
     #[test]
@@ -140,8 +162,9 @@ mod tests {
 
     #[test]
     fn overconfident_wrong_model_is_penalized_finitely() {
-        let data: SessionSet =
-            (0..10).map(|_| Session::new(QueryId(0), vec![DocId(0)], vec![true])).collect();
+        let data: SessionSet = (0..10)
+            .map(|_| Session::new(QueryId(0), vec![DocId(0)], vec![true]))
+            .collect();
         let report = evaluate(&ConstModel(0.0), &data);
         assert!(report.log_likelihood.is_finite());
         assert!(report.perplexity.is_finite());

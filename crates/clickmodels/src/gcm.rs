@@ -65,7 +65,13 @@ impl GcmModel {
         alpha_click_irrel: Vec<f64>,
         alpha_click_rel: Vec<f64>,
     ) -> Self {
-        Self { relevance, alpha_skip, alpha_click_irrel, alpha_click_rel, ..Self::default() }
+        Self {
+            relevance,
+            alpha_skip,
+            alpha_click_irrel,
+            alpha_click_rel,
+            ..Self::default()
+        }
     }
 
     /// The learned relevance table.
@@ -92,9 +98,14 @@ impl GcmModel {
                     + Self::get(&self.alpha_click_rel, i, 0.3) * r
             })
             .collect();
-        let cont_noclick: Vec<f64> =
-            (0..docs.len()).map(|i| Self::get(&self.alpha_skip, i, 0.8)).collect();
-        ChainSpec { emit, cont_click, cont_noclick }
+        let cont_noclick: Vec<f64> = (0..docs.len())
+            .map(|i| Self::get(&self.alpha_skip, i, 0.8))
+            .collect();
+        ChainSpec {
+            emit,
+            cont_click,
+            cont_noclick,
+        }
     }
 }
 
@@ -139,8 +150,10 @@ impl ClickModel for GcmModel {
 
             self.relevance = rel_acc.freeze(self.smoothing);
             self.alpha_skip = skip.iter().map(|a| a.ratio(self.smoothing)).collect();
-            self.alpha_click_irrel =
-                click_irrel.iter().map(|a| a.ratio(self.smoothing)).collect();
+            self.alpha_click_irrel = click_irrel
+                .iter()
+                .map(|a| a.ratio(self.smoothing))
+                .collect();
             self.alpha_click_rel = click_rel.iter().map(|a| a.ratio(self.smoothing)).collect();
         }
     }
@@ -188,9 +201,11 @@ mod tests {
             vec![0.0; 3],
             vec![0.0; 3],
         );
-        for clicks in
-            [vec![false, false, false], vec![false, true, false], vec![true, false, false]]
-        {
+        for clicks in [
+            vec![false, false, false],
+            vec![false, true, false],
+            vec![true, false, false],
+        ] {
             let s = session(&clicks);
             let probs = gcm.conditional_click_probs(&s);
             if let Some(fc) = s.first_click() {
@@ -233,12 +248,8 @@ mod tests {
     #[test]
     fn special_case_ccm() {
         let (a1, a2, a3) = (0.8, 0.6, 0.3);
-        let gcm = GcmModel::with_params(
-            PairParams::default(),
-            vec![a1; 4],
-            vec![a2; 4],
-            vec![a3; 4],
-        );
+        let gcm =
+            GcmModel::with_params(PairParams::default(), vec![a1; 4], vec![a2; 4], vec![a3; 4]);
         #[allow(clippy::field_reassign_with_default)]
         let ccm = {
             let mut m = CcmModel::default();

@@ -56,14 +56,20 @@ pub struct PairParams {
 
 impl Default for PairParams {
     fn default() -> Self {
-        Self { values: FxHashMap::default(), fallback: 0.5 }
+        Self {
+            values: FxHashMap::default(),
+            fallback: 0.5,
+        }
     }
 }
 
 impl PairParams {
     /// Create with an explicit fallback for unseen pairs.
     pub fn with_fallback(fallback: f64) -> Self {
-        Self { values: FxHashMap::default(), fallback }
+        Self {
+            values: FxHashMap::default(),
+            fallback,
+        }
     }
 
     /// Parameter for a pair (fallback if unseen).

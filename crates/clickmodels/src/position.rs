@@ -43,7 +43,10 @@ impl Default for PositionModel {
 impl PositionModel {
     /// Create with a custom EM iteration budget.
     pub fn with_iterations(em_iterations: usize) -> Self {
-        Self { em_iterations, ..Self::default() }
+        Self {
+            em_iterations,
+            ..Self::default()
+        }
     }
 
     /// The learned per-rank examination probabilities.
@@ -70,7 +73,9 @@ impl ClickModel for PositionModel {
         let depth = data.max_depth();
         // Initialize γ to the empirical rank CTR shape (never zero), r to 0.5.
         let ctr = data.ctr_by_rank();
-        self.gammas = (0..depth).map(|i| ctr.get(i).copied().unwrap_or(0.0).max(0.05)).collect();
+        self.gammas = (0..depth)
+            .map(|i| ctr.get(i).copied().unwrap_or(0.0).max(0.05))
+            .collect();
         self.relevance = PairParams::default();
 
         for _ in 0..self.em_iterations {
@@ -120,12 +125,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Generate sessions from a known PBM and check parameter recovery.
-    fn simulate_pbm(
-        gammas: &[f64],
-        rels: &[f64],
-        sessions: usize,
-        seed: u64,
-    ) -> SessionSet {
+    fn simulate_pbm(gammas: &[f64], rels: &[f64], sessions: usize, seed: u64) -> SessionSet {
         use rand::seq::SliceRandom;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut set = SessionSet::new();
@@ -183,7 +183,10 @@ mod tests {
             vec![DocId(0), DocId(1), DocId(2)],
             vec![true, false, true],
         );
-        assert_eq!(model.conditional_click_probs(&s), model.full_click_probs(QueryId(0), &s.docs));
+        assert_eq!(
+            model.conditional_click_probs(&s),
+            model.full_click_probs(QueryId(0), &s.docs)
+        );
     }
 
     #[test]
@@ -195,7 +198,11 @@ mod tests {
         unfit.gammas = vec![0.5; 3];
         let mut fit = PositionModel::default();
         fit.fit(&data);
-        let ll_unfit: f64 = data.sessions().iter().map(|s| unfit.log_likelihood(s)).sum();
+        let ll_unfit: f64 = data
+            .sessions()
+            .iter()
+            .map(|s| unfit.log_likelihood(s))
+            .sum();
         let ll_fit: f64 = data.sessions().iter().map(|s| fit.log_likelihood(s)).sum();
         assert!(ll_fit > ll_unfit, "fit {ll_fit} <= unfit {ll_unfit}");
     }

@@ -32,7 +32,11 @@ impl Session {
     /// Construct, checking that `docs` and `clicks` are parallel.
     pub fn new(query: QueryId, docs: Vec<DocId>, clicks: Vec<bool>) -> Self {
         assert_eq!(docs.len(), clicks.len(), "docs and clicks must be parallel");
-        Self { query, docs, clicks }
+        Self {
+            query,
+            docs,
+            clicks,
+        }
     }
 
     /// Number of displayed ranks.
@@ -57,7 +61,11 @@ impl Session {
 
     /// Iterate `(rank, doc, clicked)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, DocId, bool)> + '_ {
-        self.docs.iter().zip(self.clicks.iter()).enumerate().map(|(i, (&d, &c))| (i, d, c))
+        self.docs
+            .iter()
+            .zip(self.clicks.iter())
+            .enumerate()
+            .map(|(i, (&d, &c))| (i, d, c))
     }
 }
 
@@ -77,7 +85,10 @@ impl SessionSet {
     /// Build from sessions.
     pub fn from_sessions(sessions: Vec<Session>) -> Self {
         let max_depth = sessions.iter().map(Session::depth).max().unwrap_or(0);
-        Self { sessions, max_depth }
+        Self {
+            sessions,
+            max_depth,
+        }
     }
 
     /// Append a session.

@@ -65,7 +65,10 @@ impl UbmModel {
 
     /// Examination probability for a context (default 0.5 when unseen).
     pub fn gamma(&self, prev_click_plus1: u16, rank: u16) -> f64 {
-        self.gammas.get(&(prev_click_plus1, rank)).copied().unwrap_or(0.5)
+        self.gammas
+            .get(&(prev_click_plus1, rank))
+            .copied()
+            .unwrap_or(0.5)
     }
 
     /// Number of learned examination contexts.
@@ -103,8 +106,10 @@ impl ClickModel for UbmModel {
                     }
                 }
             }
-            self.gammas =
-                gamma_acc.iter().map(|(&ctx, acc)| (ctx, acc.ratio(self.smoothing))).collect();
+            self.gammas = gamma_acc
+                .iter()
+                .map(|(&ctx, acc)| (ctx, acc.ratio(self.smoothing)))
+                .collect();
             self.relevance = rel_acc.freeze(self.smoothing);
         }
     }
@@ -113,7 +118,9 @@ impl ClickModel for UbmModel {
         let ctxs = contexts(&session.clicks);
         session
             .iter()
-            .map(|(i, d, _)| self.gamma(ctxs[i].0, ctxs[i].1) * self.relevance.get(session.query, d))
+            .map(|(i, d, _)| {
+                self.gamma(ctxs[i].0, ctxs[i].1) * self.relevance.get(session.query, d)
+            })
             .collect()
     }
 
@@ -193,8 +200,9 @@ mod tests {
         let data = simulate_ubm(&rels, truth_gamma, 15_000, 41);
         let mut model = UbmModel::default();
         model.fit(&data);
-        let r: Vec<f64> =
-            (0..3).map(|d| model.relevance().get(QueryId(0), DocId(d))).collect();
+        let r: Vec<f64> = (0..3)
+            .map(|d| model.relevance().get(QueryId(0), DocId(d)))
+            .collect();
         assert!(r[1] > r[2] && r[2] > r[0], "relevances {r:?}");
     }
 

@@ -4,7 +4,9 @@
 use microbrowse_click::chain::{
     conditional_click_probs, marginal_click_probs, posterior_examined, ChainSpec,
 };
-use microbrowse_click::{ClickModel, DbnModel, DcmModel, PositionModel, QueryId, Session, SessionSet};
+use microbrowse_click::{
+    ClickModel, DbnModel, DcmModel, PositionModel, QueryId, Session, SessionSet,
+};
 use proptest::prelude::*;
 
 fn arb_spec(n: usize) -> impl Strategy<Value = ChainSpec> {
@@ -13,7 +15,11 @@ fn arb_spec(n: usize) -> impl Strategy<Value = ChainSpec> {
         prop::collection::vec(0.02f64..0.98, n),
         prop::collection::vec(0.02f64..0.98, n),
     )
-        .prop_map(|(emit, cont_click, cont_noclick)| ChainSpec { emit, cont_click, cont_noclick })
+        .prop_map(|(emit, cont_click, cont_noclick)| ChainSpec {
+            emit,
+            cont_click,
+            cont_noclick,
+        })
 }
 
 fn arb_clicks(n: usize) -> impl Strategy<Value = Vec<bool>> {

@@ -1,0 +1,692 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this shim re-implements
+//! the subset of the proptest API this workspace's property tests use:
+//! strategies for numeric ranges, regex-lite string patterns, tuples,
+//! collections (`vec`, `hash_map`), `Just`, `any`, `prop_map`, `prop_oneof!`,
+//! and the `proptest!` / `prop_assert*` macros. Cases are generated from a
+//! fixed-seed deterministic RNG; failures report the case number but are not
+//! shrunk to minimal counterexamples.
+
+pub mod test_runner {
+    /// Deterministic xoshiro256++ RNG used to drive case generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn seeded(seed: u64) -> Self {
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod config {
+    /// Runner configuration; only `cases` is honoured by the shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the suite quick on one core
+        // while still exercising plenty of inputs.
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy, the element type of [`Union`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Uniform choice among boxed strategies; built by `prop_oneof!`.
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union(options)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len());
+            self.0[idx].gen_value(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn gen_value(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let off = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + off as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    // Regex-lite string patterns: `.`, `[classes]` (ranges + literals),
+    // `(groups)`, `{m,n}` / `{n}` quantifiers, and literal characters.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let nodes = crate::pattern::parse(self);
+            let mut out = String::new();
+            crate::pattern::generate(&nodes, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Parser/generator for the regex-lite string patterns used as strategies.
+mod pattern {
+    use crate::test_runner::TestRng;
+
+    pub enum Node {
+        /// One char drawn from this alphabet, `reps` times.
+        Class(Vec<char>, Reps),
+        /// Nested sequence, repeated `reps` times.
+        Group(Vec<Node>, Reps),
+    }
+
+    pub struct Reps {
+        min: usize,
+        max: usize,
+    }
+
+    /// Alphabet for `.`: printable ASCII plus a few multibyte characters so
+    /// byte-index handling gets exercised.
+    fn dot_alphabet() -> Vec<char> {
+        let mut v: Vec<char> = (' '..='~').collect();
+        v.extend(['ä', 'ö', 'ü', 'é', 'ß', '中', '→']);
+        v
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Node> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (nodes, consumed) = parse_seq(&chars, 0, None);
+        assert_eq!(consumed, chars.len(), "unbalanced pattern: {pattern:?}");
+        nodes
+    }
+
+    /// Parse a sequence until `until` (or end of input); returns the nodes
+    /// and the index just past the terminator.
+    fn parse_seq(chars: &[char], mut i: usize, until: Option<char>) -> (Vec<Node>, usize) {
+        let mut nodes = Vec::new();
+        while i < chars.len() {
+            if Some(chars[i]) == until {
+                return (nodes, i + 1);
+            }
+            let (alphabet, group, next) = match chars[i] {
+                '.' => (Some(dot_alphabet()), None, i + 1),
+                '[' => {
+                    let (set, j) = parse_class(chars, i + 1);
+                    (Some(set), None, j)
+                }
+                '(' => {
+                    let (inner, j) = parse_seq(chars, i + 1, Some(')'));
+                    (None, Some(inner), j)
+                }
+                c => (Some(vec![c]), None, i + 1),
+            };
+            let (reps, j) = parse_reps(chars, next);
+            i = j;
+            match (alphabet, group) {
+                (Some(set), None) => nodes.push(Node::Class(set, reps)),
+                (None, Some(inner)) => nodes.push(Node::Group(inner, reps)),
+                _ => unreachable!(),
+            }
+        }
+        assert!(until.is_none(), "unterminated group in pattern");
+        (nodes, i)
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                set.extend(lo..=hi);
+                i += 3;
+            } else {
+                set.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated character class");
+        (set, i + 1)
+    }
+
+    fn parse_reps(chars: &[char], i: usize) -> (Reps, usize) {
+        if i >= chars.len() || chars[i] != '{' {
+            return (Reps { min: 1, max: 1 }, i);
+        }
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .expect("unterminated {} quantifier")
+            + i;
+        let body: String = chars[i + 1..close].iter().collect();
+        let (min, max) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("bad quantifier"),
+                hi.trim().parse().expect("bad quantifier"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("bad quantifier");
+                (n, n)
+            }
+        };
+        assert!(min <= max, "inverted quantifier {{{body}}}");
+        (Reps { min, max }, close + 1)
+    }
+
+    pub fn generate(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            let (min, max, is_class) = match node {
+                Node::Class(_, r) => (r.min, r.max, true),
+                Node::Group(_, r) => (r.min, r.max, false),
+            };
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                match node {
+                    Node::Class(set, _) if is_class => {
+                        out.push(set[rng.below(set.len())]);
+                    }
+                    Node::Group(inner, _) => generate(inner, rng, out),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "anything" strategy, via `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Full-domain strategy for a primitive.
+    pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+    macro_rules! any_uint {
+        ($($t:ty),* $(,)?) => {
+            $(
+                impl Strategy for AnyPrimitive<$t> {
+                    type Value = $t;
+
+                    fn gen_value(&self, rng: &mut TestRng) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+
+                impl Arbitrary for $t {
+                    type Strategy = AnyPrimitive<$t>;
+
+                    fn arbitrary() -> Self::Strategy {
+                        AnyPrimitive(std::marker::PhantomData)
+                    }
+                }
+            )*
+        };
+    }
+
+    any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(std::marker::PhantomData)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashMap;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Size specifiers accepted by [`vec`] / [`hash_map`]: an exact count or
+    /// a half-open range.
+    pub trait IntoSizeRange {
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty collection size range");
+            (self.start, self.end)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_excl: usize,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_excl) = size.bounds();
+        VecStrategy {
+            element,
+            min,
+            max_excl,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below(self.max_excl - self.min);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        min: usize,
+        max_excl: usize,
+    }
+
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl IntoSizeRange,
+    ) -> HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        let (min, max_excl) = size.bounds();
+        HashMapStrategy {
+            key,
+            value,
+            min,
+            max_excl,
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+    where
+        K::Value: Eq + Hash,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let target = self.min + rng.below(self.max_excl - self.min);
+            let mut map = HashMap::with_capacity(target);
+            // Duplicate keys overwrite, so the result may be smaller than
+            // `target` — same as upstream's behavior for key collisions.
+            for _ in 0..target {
+                map.insert(self.key.gen_value(rng), self.value.gen_value(rng));
+            }
+            map
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`, the path-style module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($option)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("prop_assert failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("prop_assert_eq failed: {l:?} != {r:?}"),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(
+                format!("prop_assert_eq failed ({l:?} != {r:?}): {}", format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(
+                format!("prop_assert_ne failed: both {l:?}"),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(
+                format!("prop_assert_ne failed (both {l:?}): {}", format!($($fmt)+)),
+            );
+        }
+    }};
+}
+
+/// Property-test harness macro: generates one `#[test]` fn per body, each
+/// running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = <$crate::config::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::test_runner::TestRng::seeded(0x4D69_6372_6F42_7277);
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::gen_value(&($strategy), &mut rng);
+                    )+
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("proptest {} case {}/{}: {}", stringify!($name), case, config.cases, msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..9, f in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn pattern_shapes(s in "[a-c]{2,4}", t in "x( y){1,2}", dot in ".{0,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad {s:?}");
+            prop_assert!(t == "x y" || t == "x y y", "bad group expansion {t:?}");
+            prop_assert!(dot.chars().count() <= 5);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u8), (5u8..7), "z".prop_map(|_| 9u8)]) {
+            prop_assert!(v == 1 || v == 5 || v == 6 || v == 9);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_form_compiles(b in any::<bool>()) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = prop::collection::vec(0u64..1000, 0..10);
+        let a: Vec<_> = {
+            let mut rng = TestRng::seeded(1);
+            (0..20).map(|_| strat.gen_value(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::seeded(1);
+            (0..20).map(|_| strat.gen_value(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` are empty marker traits, so the
+//! derives only need the type's name (and generic parameters) to emit an
+//! empty impl. Parsing is done directly over the token stream — no `syn` —
+//! which covers every shape this workspace derives on: plain structs and
+//! enums, optionally with lifetime or type parameters.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let params = item.params_decl();
+    let args = item.params_args();
+    format!(
+        "impl{params} ::serde::Serialize for {}{args} {{}}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut generics = vec!["'serde_de".to_string()];
+    generics.extend(item.params.iter().cloned());
+    let args = item.params_args();
+    format!(
+        "impl<{}> ::serde::Deserialize<'serde_de> for {}{args} {{}}",
+        generics.join(", "),
+        item.name
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter declarations as written (bounds included).
+    params: Vec<String>,
+    /// Bare parameter names for the `for Type<...>` position.
+    args: Vec<String>,
+}
+
+impl Item {
+    fn params_decl(&self) -> String {
+        if self.params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.params.join(", "))
+        }
+    }
+
+    fn params_args(&self) -> String {
+        if self.args.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.args.join(", "))
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, visibility, and doc comments until `struct`/`enum`.
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+
+    // Generics, if the very next token is `<`.
+    let mut params = Vec::new();
+    let mut args = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut current = String::new();
+        let mut raw: Vec<String> = Vec::new();
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        raw.push(std::mem::take(&mut current));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if !current.is_empty() {
+                current.push(' ');
+            }
+            current.push_str(&tt.to_string());
+        }
+        if !current.trim().is_empty() {
+            raw.push(current);
+        }
+        for p in raw {
+            let p = p.trim().to_string();
+            // Bare name: up to the first `:` (bounds) or `=` (defaults).
+            let bare = p
+                .split([':', '='])
+                .next()
+                .unwrap_or(&p)
+                .trim()
+                .replace(' ', "");
+            assert!(
+                !bare.starts_with("const"),
+                "serde shim derive: const generics are not supported"
+            );
+            // Drop defaults from the declaration position.
+            let decl = p.split('=').next().unwrap_or(&p).trim().to_string();
+            params.push(decl);
+            args.push(bare);
+        }
+    }
+    let _ = Delimiter::Brace; // silence unused import on some toolchains
+    Item { name, params, args }
+}

@@ -17,10 +17,8 @@
 //! ([`microbrowse_ml::logreg`]); position-aware models are the coupled
 //! alternating regression of Eq. 9 ([`microbrowse_ml::coupled`]).
 
-use microbrowse_ml::{
-    CoupledConfig, CoupledExample, CoupledModel, Example, LogReg, LogRegConfig,
-};
 use microbrowse_ml::coupled::CoupledOptimizer;
+use microbrowse_ml::{CoupledConfig, CoupledExample, CoupledModel, Example, LogReg, LogRegConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::features::EncodedData;
@@ -43,38 +41,81 @@ pub struct ModelSpec {
 impl ModelSpec {
     /// M1: terms only, no position information.
     pub fn m1() -> Self {
-        Self { name: "M1", terms: true, rewrites: false, positions: false, init_from_stats: true }
+        Self {
+            name: "M1",
+            terms: true,
+            rewrites: false,
+            positions: false,
+            init_from_stats: true,
+        }
     }
 
     /// M2: terms with position information.
     pub fn m2() -> Self {
-        Self { name: "M2", terms: true, rewrites: false, positions: true, init_from_stats: true }
+        Self {
+            name: "M2",
+            terms: true,
+            rewrites: false,
+            positions: true,
+            init_from_stats: true,
+        }
     }
 
     /// M3: greedy rewrites only.
     pub fn m3() -> Self {
-        Self { name: "M3", terms: false, rewrites: true, positions: false, init_from_stats: true }
+        Self {
+            name: "M3",
+            terms: false,
+            rewrites: true,
+            positions: false,
+            init_from_stats: true,
+        }
     }
 
     /// M4: greedy rewrites with position information.
     pub fn m4() -> Self {
-        Self { name: "M4", terms: false, rewrites: true, positions: true, init_from_stats: true }
+        Self {
+            name: "M4",
+            terms: false,
+            rewrites: true,
+            positions: true,
+            init_from_stats: true,
+        }
     }
 
     /// M5: rewrites and terms, no position information.
     pub fn m5() -> Self {
-        Self { name: "M5", terms: true, rewrites: true, positions: false, init_from_stats: true }
+        Self {
+            name: "M5",
+            terms: true,
+            rewrites: true,
+            positions: false,
+            init_from_stats: true,
+        }
     }
 
     /// M6: rewrites and terms with position information — the full
     /// micro-browsing model.
     pub fn m6() -> Self {
-        Self { name: "M6", terms: true, rewrites: true, positions: true, init_from_stats: true }
+        Self {
+            name: "M6",
+            terms: true,
+            rewrites: true,
+            positions: true,
+            init_from_stats: true,
+        }
     }
 
     /// All six paper variants, in table order.
     pub fn paper_models() -> [ModelSpec; 6] {
-        [Self::m1(), Self::m2(), Self::m3(), Self::m4(), Self::m5(), Self::m6()]
+        [
+            Self::m1(),
+            Self::m2(),
+            Self::m3(),
+            Self::m4(),
+            Self::m5(),
+            Self::m6(),
+        ]
     }
 
     /// Paper-style row label (e.g. "M4: Rewrites w. pos").
@@ -113,7 +154,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { logreg: LogRegConfig::default(), coupled: CoupledOptimizer::default(), stats_alpha: 1.0, init_min_support: 4, init_scale: 1.0 }
+        Self {
+            logreg: LogRegConfig::default(),
+            coupled: CoupledOptimizer::default(),
+            stats_alpha: 1.0,
+            init_min_support: 4,
+            init_scale: 1.0,
+        }
     }
 }
 
@@ -148,9 +195,16 @@ impl TrainedClassifier {
                 let coupled_cfg = CoupledConfig {
                     optimizer: cfg.coupled,
                     term_cfg: cfg.logreg.clone(),
-                    pos_cfg: LogRegConfig { l1: 0.0, ..cfg.logreg.clone() },
+                    pos_cfg: LogRegConfig {
+                        l1: 0.0,
+                        ..cfg.logreg.clone()
+                    },
                     init_pos: if spec.init_from_stats { init_pos } else { None },
-                    init_terms: if spec.init_from_stats { init_terms } else { None },
+                    init_terms: if spec.init_from_stats {
+                        init_terms
+                    } else {
+                        None
+                    },
                     nonnegative_positions: true,
                 };
                 TrainedClassifier::Coupled(CoupledModel::fit(d, &coupled_cfg))
@@ -187,9 +241,11 @@ impl TrainedClassifier {
                 .iter()
                 .map(|ex| (m.predict(&ex.features), ex.label))
                 .collect(),
-            (TrainedClassifier::Coupled(m), EncodedData::Coupled(d)) => {
-                d.examples().iter().map(|ex| (m.predict(ex), ex.label)).collect()
-            }
+            (TrainedClassifier::Coupled(m), EncodedData::Coupled(d)) => d
+                .examples()
+                .iter()
+                .map(|ex| (m.predict(ex), ex.label))
+                .collect(),
             _ => panic!("classifier/encoding mismatch"),
         }
     }
@@ -241,13 +297,8 @@ mod tests {
     #[test]
     fn trains_flat_for_flat_data() {
         let data = tiny_flat_data();
-        let clf = TrainedClassifier::train(
-            &ModelSpec::m1(),
-            &data,
-            None,
-            None,
-            &TrainConfig::default(),
-        );
+        let clf =
+            TrainedClassifier::train(&ModelSpec::m1(), &data, None, None, &TrainConfig::default());
         assert!(matches!(clf, TrainedClassifier::Flat(_)));
         let preds = clf.predict_all(&data);
         let correct = preds.iter().filter(|(p, l)| p == l).count();
@@ -261,22 +312,25 @@ mod tests {
         let mut d = CoupledDataset::with_dims(2, 2);
         for _ in 0..300 {
             d.push(CoupledExample {
-                occs: vec![CoupledFeature { pos: 0, term: 0, value: 1.0 }],
+                occs: vec![CoupledFeature {
+                    pos: 0,
+                    term: 0,
+                    value: 1.0,
+                }],
                 label: true,
             });
             d.push(CoupledExample {
-                occs: vec![CoupledFeature { pos: 0, term: 1, value: 1.0 }],
+                occs: vec![CoupledFeature {
+                    pos: 0,
+                    term: 1,
+                    value: 1.0,
+                }],
                 label: false,
             });
         }
         let data = EncodedData::Coupled(d);
-        let clf = TrainedClassifier::train(
-            &ModelSpec::m6(),
-            &data,
-            None,
-            None,
-            &TrainConfig::default(),
-        );
+        let clf =
+            TrainedClassifier::train(&ModelSpec::m6(), &data, None, None, &TrainConfig::default());
         assert!(matches!(clf, TrainedClassifier::Coupled(_)));
         let preds = clf.predict_all(&data);
         let correct = preds.iter().filter(|(p, l)| p == l).count();
@@ -288,29 +342,37 @@ mod tests {
     fn init_weights_respected_for_untrained_model() {
         let data = tiny_flat_data();
         let cfg = TrainConfig {
-            logreg: LogRegConfig { epochs: 0, ..Default::default() },
+            logreg: LogRegConfig {
+                epochs: 0,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let clf = TrainedClassifier::train(
-            &ModelSpec::m1(),
-            &data,
-            Some(vec![2.0, -2.0]),
-            None,
-            &cfg,
-        );
+        let clf =
+            TrainedClassifier::train(&ModelSpec::m1(), &data, Some(vec![2.0, -2.0]), None, &cfg);
         let preds = clf.predict_all(&data);
-        assert!(preds.iter().all(|(p, l)| p == l), "init alone should classify this");
+        assert!(
+            preds.iter().all(|(p, l)| p == l),
+            "init alone should classify this"
+        );
     }
 
     #[test]
     fn init_ignored_when_spec_disables_it() {
         let data = tiny_flat_data();
         let cfg = TrainConfig {
-            logreg: LogRegConfig { epochs: 0, ..Default::default() },
+            logreg: LogRegConfig {
+                epochs: 0,
+                ..Default::default()
+            },
             ..Default::default()
         };
-        let spec = ModelSpec { init_from_stats: false, ..ModelSpec::m1() };
-        let clf = TrainedClassifier::train(&data_spec(spec), &data, Some(vec![2.0, -2.0]), None, &cfg);
+        let spec = ModelSpec {
+            init_from_stats: false,
+            ..ModelSpec::m1()
+        };
+        let clf =
+            TrainedClassifier::train(&data_spec(spec), &data, Some(vec![2.0, -2.0]), None, &cfg);
         // Zero-epoch, no init: everything scores 0 ⇒ predicted false.
         let preds = clf.predict_all(&data);
         assert!(preds.iter().all(|(p, _)| !p));
@@ -324,13 +386,8 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn encoding_mismatch_panics() {
         let data = tiny_flat_data();
-        let clf = TrainedClassifier::train(
-            &ModelSpec::m1(),
-            &data,
-            None,
-            None,
-            &TrainConfig::default(),
-        );
+        let clf =
+            TrainedClassifier::train(&ModelSpec::m1(), &data, None, None, &TrainConfig::default());
         let coupled = EncodedData::Coupled(CoupledDataset::with_dims(1, 1));
         let _ = clf.predict_all(&coupled);
     }

@@ -123,7 +123,8 @@ impl AdCorpus {
         for g in &mut self.adgroups {
             g.creatives.retain(|c| c.impressions > 0);
         }
-        self.adgroups.retain(|g| g.total_clicks() >= 1 && g.creatives.len() >= 2);
+        self.adgroups
+            .retain(|g| g.total_clicks() >= 1 && g.creatives.len() >= 2);
     }
 
     /// Restrict to one placement (Table 4 slices).
@@ -184,7 +185,10 @@ pub struct PairFilter {
 
 impl Default for PairFilter {
     fn default() -> Self {
-        Self { min_impressions: 200, min_zscore: 2.0 }
+        Self {
+            min_impressions: 200,
+            min_zscore: 2.0,
+        }
     }
 }
 
@@ -284,7 +288,10 @@ mod tests {
                 ],
             )],
         };
-        let pairs = corpus.extract_pairs(&PairFilter { min_impressions: 200, min_zscore: 2.0 });
+        let pairs = corpus.extract_pairs(&PairFilter {
+            min_impressions: 200,
+            min_zscore: 2.0,
+        });
         assert_eq!(pairs.len(), 1);
         let p = pairs[0];
         assert_eq!((p.r, p.s), (CreativeId(0), CreativeId(1)));
@@ -294,7 +301,10 @@ mod tests {
     #[test]
     fn insignificant_pairs_are_dropped() {
         let corpus = AdCorpus {
-            adgroups: vec![group(0, vec![creative(0, 101, 1000), creative(1, 100, 1000)])],
+            adgroups: vec![group(
+                0,
+                vec![creative(0, 101, 1000), creative(1, 100, 1000)],
+            )],
         };
         assert!(corpus.extract_pairs(&PairFilter::default()).is_empty());
     }
@@ -330,8 +340,13 @@ mod tests {
         g_top.placement = Placement::Top;
         let mut g_rhs = group(1, vec![creative(2, 1, 10), creative(3, 2, 10)]);
         g_rhs.placement = Placement::Rhs;
-        let corpus = AdCorpus { adgroups: vec![g_top, g_rhs] };
+        let corpus = AdCorpus {
+            adgroups: vec![g_top, g_rhs],
+        };
         assert_eq!(corpus.filter_placement(Placement::Top).num_adgroups(), 1);
-        assert_eq!(corpus.filter_placement(Placement::Rhs).adgroups[0].id, AdGroupId(1));
+        assert_eq!(
+            corpus.filter_placement(Placement::Rhs).adgroups[0].id,
+            AdGroupId(1)
+        );
     }
 }

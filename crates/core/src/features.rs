@@ -28,7 +28,12 @@ use microbrowse_text::{FxHashMap, Interner, NGramConfig, NGramExtractor, Sym, To
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::ModelSpec;
-use crate::rewrite::{canonical_rewrite_key, is_canonical_order, RewriteConfig, RewriteExtractor};
+use crate::corpus::CreativePair;
+use crate::paircache::PairCache;
+use crate::rewrite::{
+    canonical_rewrite_key, is_canonical_order, RewriteConfig, RewriteExtraction, RewriteExtractor,
+};
+use crate::statsbuild::TokenizedCorpus;
 
 /// A relevance-side classifier feature: a term phrase or a
 /// direction-normalized rewrite.
@@ -164,7 +169,12 @@ impl<'a> Featurizer<'a> {
     /// Create a featurizer for `spec`, consulting `stats` for greedy rewrite
     /// matching and (later) weight initialization.
     pub fn new(spec: ModelSpec, stats: &'a StatsDb) -> Self {
-        Self::with_configs(spec, stats, NGramConfig::default(), RewriteConfig::default())
+        Self::with_configs(
+            spec,
+            stats,
+            NGramConfig::default(),
+            RewriteConfig::default(),
+        )
     }
 
     /// Create with explicit n-gram and rewrite configurations.
@@ -241,7 +251,7 @@ impl<'a> Featurizer<'a> {
 
     /// Collect the raw (unencoded) features for one pair.
     fn collect(
-        &mut self,
+        &self,
         r: &TokenizedSnippet,
         s: &TokenizedSnippet,
         interner: &mut Interner,
@@ -263,57 +273,144 @@ impl<'a> Featurizer<'a> {
 
         if self.spec.rewrites {
             let ext = self.rewriter.extract(r, s, self.stats, interner);
-            for rw in &ext.rewrites {
-                // Identity rewrites — the same phrase *moved* to another
-                // position (a restructured creative) — carry pure position
-                // information: encode as a positional term on each side
-                // (antisymmetric), not as a direction-less rewrite.
-                if rw.from.phrase == rw.to.phrase {
+            self.push_rewrite_feats(&ext, interner, &mut raw);
+        }
+
+        raw
+    }
+
+    /// Collect raw features through the shared preprocessing cache: cached
+    /// n-gram occurrences replace re-extraction and the cached alignment
+    /// replaces the per-pair LCS diff, so no interning happens at all and
+    /// `interner` can be shared immutably across worker threads.
+    fn collect_cached(
+        &self,
+        idx: usize,
+        pair: &CreativePair,
+        tc: &TokenizedCorpus,
+        cache: &PairCache,
+        interner: &Interner,
+    ) -> Vec<RawFeature> {
+        let mut raw = Vec::new();
+
+        if self.spec.terms {
+            for (id, sign) in [(pair.r, 1.0), (pair.s, -1.0)] {
+                for occ in cache.term_occs(id) {
+                    let pos = SnippetPos::new(occ.line, occ.pos);
                     raw.push(RawFeature {
-                        feat: TermFeat::Term(rw.from.phrase),
-                        pos_group: PositionVocab::term_group(rw.from.pos),
-                        value: 1.0,
+                        feat: TermFeat::Term(occ.ngram.phrase),
+                        pos_group: PositionVocab::term_group(pos),
+                        value: sign,
                     });
-                    raw.push(RawFeature {
-                        feat: TermFeat::Term(rw.to.phrase),
-                        pos_group: PositionVocab::term_group(rw.to.pos),
-                        value: -1.0,
-                    });
-                    continue;
-                }
-                let from_str = interner.resolve(rw.from.phrase).to_owned();
-                let to_str = interner.resolve(rw.to.phrase).to_owned();
-                let (feat, value, pos_group) = if is_canonical_order(&from_str, &to_str) {
-                    (
-                        TermFeat::Rewrite(rw.from.phrase, rw.to.phrase),
-                        1.0,
-                        PositionVocab::rewrite_group(rw.from.pos, rw.to.pos),
-                    )
-                } else {
-                    (
-                        TermFeat::Rewrite(rw.to.phrase, rw.from.phrase),
-                        -1.0,
-                        PositionVocab::rewrite_group(rw.to.pos, rw.from.pos),
-                    )
-                };
-                raw.push(RawFeature { feat, pos_group, value });
-            }
-            // Leftover changed tokens become term-level features (§IV-A) —
-            // unless full term features already cover them (M5/M6).
-            if !self.spec.terms {
-                for (leftovers, sign) in [(&ext.r_leftover, 1.0), (&ext.s_leftover, -1.0)] {
-                    for occ in leftovers {
-                        raw.push(RawFeature {
-                            feat: TermFeat::Term(occ.phrase),
-                            pos_group: PositionVocab::term_group(occ.pos),
-                            value: sign,
-                        });
-                    }
                 }
             }
         }
 
+        if self.spec.rewrites {
+            let ext = self.rewriter.extract_prepared(
+                tc.snippet(pair.r),
+                tc.snippet(pair.s),
+                cache.prepared(idx),
+                self.stats,
+                interner,
+            );
+            self.push_rewrite_feats(&ext, interner, &mut raw);
+        }
+
         raw
+    }
+
+    /// Turn one extraction's rewrites and leftovers into raw features
+    /// (shared by the direct and the cached collection paths).
+    fn push_rewrite_feats(
+        &self,
+        ext: &RewriteExtraction,
+        interner: &Interner,
+        raw: &mut Vec<RawFeature>,
+    ) {
+        for rw in &ext.rewrites {
+            // Identity rewrites — the same phrase *moved* to another
+            // position (a restructured creative) — carry pure position
+            // information: encode as a positional term on each side
+            // (antisymmetric), not as a direction-less rewrite.
+            if rw.from.phrase == rw.to.phrase {
+                raw.push(RawFeature {
+                    feat: TermFeat::Term(rw.from.phrase),
+                    pos_group: PositionVocab::term_group(rw.from.pos),
+                    value: 1.0,
+                });
+                raw.push(RawFeature {
+                    feat: TermFeat::Term(rw.to.phrase),
+                    pos_group: PositionVocab::term_group(rw.to.pos),
+                    value: -1.0,
+                });
+                continue;
+            }
+            let from_str = interner.resolve(rw.from.phrase);
+            let to_str = interner.resolve(rw.to.phrase);
+            let (feat, value, pos_group) = if is_canonical_order(from_str, to_str) {
+                (
+                    TermFeat::Rewrite(rw.from.phrase, rw.to.phrase),
+                    1.0,
+                    PositionVocab::rewrite_group(rw.from.pos, rw.to.pos),
+                )
+            } else {
+                (
+                    TermFeat::Rewrite(rw.to.phrase, rw.from.phrase),
+                    -1.0,
+                    PositionVocab::rewrite_group(rw.to.pos, rw.from.pos),
+                )
+            };
+            raw.push(RawFeature {
+                feat,
+                pos_group,
+                value,
+            });
+        }
+        // Leftover changed tokens become term-level features (§IV-A) —
+        // unless full term features already cover them (M5/M6).
+        if !self.spec.terms {
+            for (leftovers, sign) in [(&ext.r_leftover, 1.0), (&ext.s_leftover, -1.0)] {
+                for occ in leftovers {
+                    raw.push(RawFeature {
+                        feat: TermFeat::Term(occ.phrase),
+                        pos_group: PositionVocab::term_group(occ.pos),
+                        value: sign,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Assign vocabulary ids to one pair's raw features and finish the flat
+    /// encoding. Must be called in pair order: id assignment is
+    /// encounter-ordered.
+    fn finish_flat(&mut self, raw: Vec<RawFeature>, label: bool) -> Example {
+        let pairs: Vec<(u32, f64)> = raw
+            .into_iter()
+            .map(|f| (self.feat_id(f.feat), f.value))
+            .collect();
+        Example::new(SparseVec::from_pairs(pairs), label)
+    }
+
+    /// Assign vocabulary ids and finish the coupled encoding (see
+    /// [`Self::finish_flat`] for the ordering contract).
+    fn finish_coupled(&mut self, raw: Vec<RawFeature>, label: bool) -> CoupledExample {
+        // Aggregate by (position group, feature): occurrences shared by both
+        // sides at the same position cancel exactly and would otherwise
+        // dominate the occurrence list (most n-grams of a pair are common).
+        let mut agg: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        for f in raw {
+            *agg.entry((f.pos_group, self.feat_id(f.feat)))
+                .or_insert(0.0) += f.value;
+        }
+        let mut occs: Vec<CoupledFeature> = agg
+            .into_iter()
+            .filter(|&(_, v)| v != 0.0)
+            .map(|((pos, term), value)| CoupledFeature { pos, term, value })
+            .collect();
+        occs.sort_unstable_by_key(|o| (o.pos, o.term));
+        CoupledExample { occs, label }
     }
 
     /// Encode one pair as a flat sparse example.
@@ -325,9 +422,7 @@ impl<'a> Featurizer<'a> {
         interner: &mut Interner,
     ) -> Example {
         let raw = self.collect(r, s, interner);
-        let pairs: Vec<(u32, f64)> =
-            raw.into_iter().map(|f| (self.feat_id(f.feat), f.value)).collect();
-        Example::new(SparseVec::from_pairs(pairs), label)
+        self.finish_flat(raw, label)
     }
 
     /// Encode one pair as a factorized (coupled) example.
@@ -339,20 +434,7 @@ impl<'a> Featurizer<'a> {
         interner: &mut Interner,
     ) -> CoupledExample {
         let raw = self.collect(r, s, interner);
-        // Aggregate by (position group, feature): occurrences shared by both
-        // sides at the same position cancel exactly and would otherwise
-        // dominate the occurrence list (most n-grams of a pair are common).
-        let mut agg: FxHashMap<(u32, u32), f64> = FxHashMap::default();
-        for f in raw {
-            *agg.entry((f.pos_group, self.feat_id(f.feat))).or_insert(0.0) += f.value;
-        }
-        let mut occs: Vec<CoupledFeature> = agg
-            .into_iter()
-            .filter(|&(_, v)| v != 0.0)
-            .map(|((pos, term), value)| CoupledFeature { pos, term, value })
-            .collect();
-        occs.sort_unstable_by_key(|o| (o.pos, o.term));
-        CoupledExample { occs, label }
+        self.finish_coupled(raw, label)
     }
 
     /// Encode a batch of `(r, s, label)` pairs into the encoding the spec
@@ -377,17 +459,48 @@ impl<'a> Featurizer<'a> {
         }
     }
 
+    /// Encode the pairs selected by `idxs` (indices into `pairs` and
+    /// `cache`) through the shared preprocessing cache.
+    ///
+    /// Raw-feature collection is a pure function of the cached pair (no
+    /// interning), so it fans out over up to `threads` workers; vocabulary
+    /// ids are then assigned serially in input order. The result is
+    /// therefore bit-identical to the serial encoding at any thread count,
+    /// and identical to [`Self::encode_batch`] over the same pairs.
+    pub fn encode_pairs_cached(
+        &mut self,
+        pairs: &[CreativePair],
+        idxs: &[usize],
+        tc: &TokenizedCorpus,
+        cache: &PairCache,
+        interner: &Interner,
+        threads: usize,
+    ) -> EncodedData {
+        let this: &Featurizer<'_> = self;
+        let raws: Vec<Vec<RawFeature>> = microbrowse_par::par_map(idxs, threads, |_, &i| {
+            this.collect_cached(i, &pairs[i], tc, cache, interner)
+        });
+        if self.spec.positions {
+            let mut d = CoupledDataset::with_dims(PositionVocab::num_groups() as usize, 0);
+            for (raw, &i) in raws.into_iter().zip(idxs) {
+                d.push(self.finish_coupled(raw, pairs[i].r_better));
+            }
+            EncodedData::Coupled(d)
+        } else {
+            let mut d = Dataset::with_dim(0);
+            for (raw, &i) in raws.into_iter().zip(idxs) {
+                d.push(self.finish_flat(raw, pairs[i].r_better));
+            }
+            EncodedData::Flat(d)
+        }
+    }
+
     /// Initial relevance weights from the statistics database (the "+init"
     /// of §V-D): log odds per vocabulary feature; 0 for unseen features and
     /// for features with fewer than `min_support` observations (a one-off
     /// observation smoothed with α = 1 would otherwise start at ±0.7 and
     /// thousands of such rare-context n-grams add pure variance).
-    pub fn init_term_weights(
-        &self,
-        interner: &Interner,
-        alpha: f64,
-        min_support: u64,
-    ) -> Vec<f64> {
+    pub fn init_term_weights(&self, interner: &Interner, alpha: f64, min_support: u64) -> Vec<f64> {
         let lookup = |key: &FeatureKey| -> f64 {
             match self.stats.get(key) {
                 Some(stat) if stat.total() >= min_support => stat.log_odds(alpha),
@@ -398,9 +511,10 @@ impl<'a> Featurizer<'a> {
             .iter()
             .map(|feat| match feat {
                 TermFeat::Term(sym) => lookup(&FeatureKey::term(interner.resolve(*sym))),
-                TermFeat::Rewrite(a, b) => {
-                    lookup(&canonical_rewrite_key(interner.resolve(*a), interner.resolve(*b)))
-                }
+                TermFeat::Rewrite(a, b) => lookup(&canonical_rewrite_key(
+                    interner.resolve(*a),
+                    interner.resolve(*b),
+                )),
             })
             .collect()
     }
@@ -432,7 +546,13 @@ mod tests {
     }
 
     fn m(terms: bool, rewrites: bool, positions: bool) -> ModelSpec {
-        ModelSpec { name: "test", terms, rewrites, positions, init_from_stats: true }
+        ModelSpec {
+            name: "test",
+            terms,
+            rewrites,
+            positions,
+            init_from_stats: true,
+        }
     }
 
     #[test]
@@ -445,7 +565,10 @@ mod tests {
         }
         // Out-of-range positions clamp into the last bucket.
         let g = PositionVocab::term_group(SnippetPos::new(0, 500));
-        assert_eq!(PositionVocab::decode_term_group(g), Some((0, TERM_POS_BUCKETS - 1)));
+        assert_eq!(
+            PositionVocab::decode_term_group(g),
+            Some((0, TERM_POS_BUCKETS - 1))
+        );
         // Rewrite groups sit above term groups and never decode as terms.
         let rg = PositionVocab::rewrite_group(SnippetPos::new(0, 0), SnippetPos::new(1, 2));
         assert!(rg >= PositionVocab::num_term_groups());
@@ -478,10 +601,16 @@ mod tests {
         let ex_rs = fz.encode_coupled(&r, &s, true, &mut interner);
         let ex_sr = fz.encode_coupled(&s, &r, false, &mut interner);
         // Multisets of (pos, term, value) match after negating one side.
-        let mut a: Vec<(u32, u32, i64)> =
-            ex_rs.occs.iter().map(|o| (o.pos, o.term, (o.value * 1000.0) as i64)).collect();
-        let mut b: Vec<(u32, u32, i64)> =
-            ex_sr.occs.iter().map(|o| (o.pos, o.term, (-o.value * 1000.0) as i64)).collect();
+        let mut a: Vec<(u32, u32, i64)> = ex_rs
+            .occs
+            .iter()
+            .map(|o| (o.pos, o.term, (o.value * 1000.0) as i64))
+            .collect();
+        let mut b: Vec<(u32, u32, i64)> = ex_sr
+            .occs
+            .iter()
+            .map(|o| (o.pos, o.term, (-o.value * 1000.0) as i64))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
@@ -494,21 +623,22 @@ mod tests {
         let r = snip(&mut interner, &["same text here"]);
         let mut fz = Featurizer::new(m(true, true, false), &stats);
         let ex = fz.encode_flat(&r, &r.clone(), true, &mut interner);
-        assert!(ex.features.is_empty(), "shared terms must cancel: {:?}", ex.features);
+        assert!(
+            ex.features.is_empty(),
+            "shared terms must cancel: {:?}",
+            ex.features
+        );
     }
 
     #[test]
-    fn terms_only_spec_has_no_rewrite_feats(){
+    fn terms_only_spec_has_no_rewrite_feats() {
         let stats = StatsDb::new();
         let mut interner = Interner::new();
         let r = snip(&mut interner, &["find cheap flights"]);
         let s = snip(&mut interner, &["get discounts flights"]);
         let mut fz = Featurizer::new(m(true, false, false), &stats);
         let _ = fz.encode_flat(&r, &s, true, &mut interner);
-        assert!(fz
-            .term_feats
-            .iter()
-            .all(|f| matches!(f, TermFeat::Term(_))));
+        assert!(fz.term_feats.iter().all(|f| matches!(f, TermFeat::Term(_))));
     }
 
     #[test]
@@ -520,7 +650,10 @@ mod tests {
         let mut fz = Featurizer::new(m(false, true, false), &stats);
         let ex = fz.encode_flat(&r, &s, true, &mut interner);
         assert!(!ex.features.is_empty());
-        assert!(fz.term_feats.iter().any(|f| matches!(f, TermFeat::Rewrite(_, _))));
+        assert!(fz
+            .term_feats
+            .iter()
+            .any(|f| matches!(f, TermFeat::Rewrite(_, _))));
     }
 
     #[test]
@@ -561,9 +694,15 @@ mod tests {
         let s = snip(&mut interner, &["a c"]);
         let pairs = vec![(r, s, true)];
         let mut flat_fz = Featurizer::new(m(true, false, false), &stats);
-        assert!(matches!(flat_fz.encode_batch(&pairs, &mut interner), EncodedData::Flat(_)));
+        assert!(matches!(
+            flat_fz.encode_batch(&pairs, &mut interner),
+            EncodedData::Flat(_)
+        ));
         let mut pos_fz = Featurizer::new(m(true, false, true), &stats);
-        assert!(matches!(pos_fz.encode_batch(&pairs, &mut interner), EncodedData::Coupled(_)));
+        assert!(matches!(
+            pos_fz.encode_batch(&pairs, &mut interner),
+            EncodedData::Coupled(_)
+        ));
     }
 
     #[test]
@@ -581,5 +720,88 @@ mod tests {
         let e3 = fz.encode_flat(&a, &b, true, &mut interner);
         assert_eq!(fz.vocab_len(), v1);
         let _ = e3;
+    }
+
+    #[test]
+    fn cached_encoding_matches_batch_encoding() {
+        use crate::corpus::{
+            AdCorpus, AdGroup, AdGroupId, Creative, CreativeId, PairFilter, Placement,
+        };
+        use crate::statsbuild::{build_stats, StatsBuildConfig};
+
+        let make = |gid: u64, base: u64, head: &str| AdGroup {
+            id: AdGroupId(gid),
+            keyword: "flights".into(),
+            placement: Placement::Top,
+            creatives: vec![
+                Creative {
+                    id: CreativeId(base),
+                    snippet: Snippet::creative("XYZ Air", head, "great rates today"),
+                    impressions: 10_000,
+                    clicks: 900,
+                },
+                Creative {
+                    id: CreativeId(base + 1),
+                    snippet: Snippet::creative("XYZ Air", "book pricey flights", "fees may apply"),
+                    impressions: 10_000,
+                    clicks: 300,
+                },
+            ],
+        };
+        let corpus = AdCorpus {
+            adgroups: vec![
+                make(0, 0, "book cheap flights"),
+                make(1, 10, "find cheap flights now"),
+            ],
+        };
+        let mut tc = TokenizedCorpus::build(&corpus);
+        let pairs = corpus.extract_pairs(&PairFilter::default());
+        let stats_cfg = StatsBuildConfig::default();
+        let rw_cfg = RewriteConfig::default();
+        let cache = PairCache::build(
+            &mut tc,
+            &pairs,
+            stats_cfg.ngram,
+            rw_cfg,
+            stats_cfg.max_rewrite_len,
+        );
+        let stats = build_stats(&tc, &pairs, &stats_cfg);
+        let toks: Vec<(TokenizedSnippet, TokenizedSnippet, bool)> = pairs
+            .iter()
+            .map(|p| (tc.snippet(p.r).clone(), tc.snippet(p.s).clone(), p.r_better))
+            .collect();
+        let idxs: Vec<usize> = (0..pairs.len()).collect();
+
+        for spec in [
+            m(true, true, false),
+            m(true, true, true),
+            m(false, true, true),
+        ] {
+            let mut batch_interner = tc.interner.clone();
+            let mut batch_fz = Featurizer::with_configs(spec, &stats, stats_cfg.ngram, rw_cfg);
+            let batch = batch_fz.encode_batch(&toks, &mut batch_interner);
+
+            let mut cached_fz = Featurizer::with_configs(spec, &stats, stats_cfg.ngram, rw_cfg);
+            for threads in [1, 3] {
+                let cached = cached_fz.encode_pairs_cached(
+                    &pairs,
+                    &idxs,
+                    &tc,
+                    &cache,
+                    &tc.interner,
+                    threads,
+                );
+                match (&batch, &cached) {
+                    (EncodedData::Flat(a), EncodedData::Flat(b)) => {
+                        assert_eq!(a.examples(), b.examples(), "spec {:?}", spec.name);
+                    }
+                    (EncodedData::Coupled(a), EncodedData::Coupled(b)) => {
+                        assert_eq!(a.examples(), b.examples(), "spec {:?}", spec.name);
+                    }
+                    _ => panic!("encoding kind diverged for spec {:?}", spec.name),
+                }
+            }
+            assert_eq!(batch_fz.vocab_len(), cached_fz.vocab_len());
+        }
     }
 }

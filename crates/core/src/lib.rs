@@ -25,6 +25,7 @@
 //! | [`serveweight`] | §V-B — serve weights, `sw-diff`, `delta-sw` |
 //! | [`rewrite`] | §IV-A — snippet diffing and greedy rewrite matching |
 //! | [`statsbuild`] | §V-C / Figure 1 phase 1 — the feature statistics build |
+//! | [`paircache`] | — shared pair preprocessing for the parallel engine |
 //! | [`features`] | §IV-A / §V-D.1 — classifier features for M1–M6 |
 //! | [`classifier`] | §V-D — the six ablation models M1–M6 |
 //! | [`pipeline`] | §IV-B / Figure 1 — end-to-end corpus → CV metrics |
@@ -38,6 +39,7 @@ pub mod corpus;
 pub mod features;
 pub mod model;
 pub mod optimize;
+pub mod paircache;
 pub mod pipeline;
 pub mod report;
 pub mod rewrite;
@@ -52,8 +54,11 @@ pub use corpus::{
 pub use features::{Featurizer, PositionVocab};
 pub use model::{score_factored, score_flat, snippet_relevance, TermJudgment};
 pub use optimize::{apply_edit, optimize_creative, Edit, OptimizeConfig, OptimizeOutcome};
-pub use pipeline::{run_experiment, ExperimentConfig, ExperimentOutcome};
+pub use paircache::PairCache;
+pub use pipeline::{
+    run_all_models, run_experiment, run_experiments, ExperimentConfig, ExperimentOutcome,
+};
 pub use rewrite::{token_diff, DiffOp, MatchStrategy, RewriteExtraction, RewriteExtractor};
 pub use serve::{DeployedModel, Scorer};
 pub use serveweight::{delta_sw, serve_weights, sw_diff};
-pub use statsbuild::{build_stats, StatsBuildConfig};
+pub use statsbuild::{build_stats, build_stats_for, StatsBuildConfig};

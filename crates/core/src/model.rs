@@ -22,7 +22,10 @@ impl TermJudgment {
     /// make every product and log degenerate; the paper's estimators never
     /// produce exact zeros thanks to Laplace smoothing).
     pub fn new(relevance: f64, examined: bool) -> Self {
-        Self { relevance: relevance.clamp(1e-9, 1.0), examined }
+        Self {
+            relevance: relevance.clamp(1e-9, 1.0),
+            examined,
+        }
     }
 
     /// This term's factor in Eq. 3: `r^v`.
@@ -51,7 +54,11 @@ pub fn snippet_relevance(terms: &[TermJudgment]) -> f64 {
 /// snippet.
 pub fn score_flat(r_terms: &[TermJudgment], s_terms: &[TermJudgment]) -> f64 {
     let log_side = |terms: &[TermJudgment]| -> f64 {
-        terms.iter().filter(|t| t.examined).map(|t| t.relevance.ln()).sum()
+        terms
+            .iter()
+            .filter(|t| t.examined)
+            .map(|t| t.relevance.ln())
+            .sum()
     };
     log_side(r_terms) - log_side(s_terms)
 }
@@ -89,7 +96,10 @@ pub fn score_factored(
     for link in rewrites {
         let r = &r_terms[link.r_index];
         let s = &s_terms[link.s_index];
-        assert!(!r_used[link.r_index] && !s_used[link.s_index], "rewrite links must not overlap");
+        assert!(
+            !r_used[link.r_index] && !s_used[link.s_index],
+            "rewrite links must not overlap"
+        );
         r_used[link.r_index] = true;
         s_used[link.s_index] = true;
         let vr = if r.examined { r.relevance.ln() } else { 0.0 };
@@ -167,10 +177,19 @@ mod tests {
         let s = [t(0.4, true), t(0.7, false), t(0.8, true)];
         for rewrites in [
             vec![],
-            vec![RewriteLink { r_index: 0, s_index: 2 }],
+            vec![RewriteLink {
+                r_index: 0,
+                s_index: 2,
+            }],
             vec![
-                RewriteLink { r_index: 1, s_index: 0 },
-                RewriteLink { r_index: 3, s_index: 2 },
+                RewriteLink {
+                    r_index: 1,
+                    s_index: 0,
+                },
+                RewriteLink {
+                    r_index: 3,
+                    s_index: 2,
+                },
             ],
         ] {
             let flat = score_flat(&r, &s);
@@ -188,8 +207,14 @@ mod tests {
         let r = [t(0.5, true), t(0.5, true)];
         let s = [t(0.5, true)];
         let links = [
-            RewriteLink { r_index: 0, s_index: 0 },
-            RewriteLink { r_index: 1, s_index: 0 },
+            RewriteLink {
+                r_index: 0,
+                s_index: 0,
+            },
+            RewriteLink {
+                r_index: 1,
+                s_index: 0,
+            },
         ];
         let _ = score_factored(&r, &s, &links);
     }

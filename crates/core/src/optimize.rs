@@ -54,8 +54,11 @@ pub enum Edit {
 /// Lines are rebuilt from normalized tokens (space-joined), matching how
 /// every model in the workspace sees text anyway.
 pub fn apply_edit(snippet: &Snippet, edit: &Edit, tokenizer: &Tokenizer) -> Option<Snippet> {
-    let mut lines: Vec<Vec<String>> =
-        snippet.lines().iter().map(|l| tokenizer.terms(&l.text)).collect();
+    let mut lines: Vec<Vec<String>> = snippet
+        .lines()
+        .iter()
+        .map(|l| tokenizer.terms(&l.text))
+        .collect();
 
     match edit {
         Edit::ReplacePhrase { from, to } => {
@@ -130,7 +133,10 @@ pub struct OptimizeConfig {
 
 impl Default for OptimizeConfig {
     fn default() -> Self {
-        Self { max_rounds: 8, min_margin: 0.05 }
+        Self {
+            max_rounds: 8,
+            min_margin: 0.05,
+        }
     }
 }
 
@@ -175,7 +181,12 @@ pub fn optimize_creative(
         }
     }
 
-    OptimizeOutcome { best: current, accepted, total_margin, rounds }
+    OptimizeOutcome {
+        best: current,
+        accepted,
+        total_margin,
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -194,7 +205,10 @@ mod tests {
     #[test]
     fn replace_phrase_applies_once() {
         let s = Snippet::creative("Air", "find cheap flights today", "find cheap hotels");
-        let edit = Edit::ReplacePhrase { from: "find cheap".into(), to: "save 20% on".into() };
+        let edit = Edit::ReplacePhrase {
+            from: "find cheap".into(),
+            to: "save 20% on".into(),
+        };
         let out = apply_edit(&s, &edit, &tokenizer()).expect("applies");
         assert_eq!(out.lines()[1].text, "save 20% on flights today");
         // Only the first occurrence changes.
@@ -204,25 +218,35 @@ mod tests {
     #[test]
     fn replace_missing_phrase_is_none() {
         let s = Snippet::creative("Air", "book flights", "today");
-        let edit = Edit::ReplacePhrase { from: "luxury suites".into(), to: "x".into() };
+        let edit = Edit::ReplacePhrase {
+            from: "luxury suites".into(),
+            to: "x".into(),
+        };
         assert_eq!(apply_edit(&s, &edit, &tokenizer()), None);
     }
 
     #[test]
     fn swap_lines() {
         let s = Snippet::creative("a", "b", "c");
-        let out =
-            apply_edit(&s, &Edit::SwapLines { a: 0, b: 2 }, &tokenizer()).expect("applies");
+        let out = apply_edit(&s, &Edit::SwapLines { a: 0, b: 2 }, &tokenizer()).expect("applies");
         assert_eq!(out.lines()[0].text, "c");
         assert_eq!(out.lines()[2].text, "a");
-        assert_eq!(apply_edit(&s, &Edit::SwapLines { a: 1, b: 1 }, &tokenizer()), None);
-        assert_eq!(apply_edit(&s, &Edit::SwapLines { a: 0, b: 9 }, &tokenizer()), None);
+        assert_eq!(
+            apply_edit(&s, &Edit::SwapLines { a: 1, b: 1 }, &tokenizer()),
+            None
+        );
+        assert_eq!(
+            apply_edit(&s, &Edit::SwapLines { a: 0, b: 9 }, &tokenizer()),
+            None
+        );
     }
 
     #[test]
     fn move_to_front() {
         let s = Snippet::creative("Air", "book flights and save 20% today", "x");
-        let edit = Edit::MoveToFront { phrase: "save 20%".into() };
+        let edit = Edit::MoveToFront {
+            phrase: "save 20%".into(),
+        };
         let out = apply_edit(&s, &edit, &tokenizer()).expect("applies");
         assert_eq!(out.lines()[1].text, "save 20% book flights and today");
         // Already at front ⇒ no-op.
@@ -254,9 +278,18 @@ mod tests {
         let mut scorer = Scorer::new(&model, &stats);
         let base = Snippet::creative("Air", "find cheap flights", "fees may apply");
         let edits = vec![
-            Edit::ReplacePhrase { from: "find cheap".into(), to: "save 20% on".into() },
-            Edit::ReplacePhrase { from: "fees may apply".into(), to: "no hidden costs".into() },
-            Edit::ReplacePhrase { from: "flights".into(), to: "journeys".into() }, // neutral
+            Edit::ReplacePhrase {
+                from: "find cheap".into(),
+                to: "save 20% on".into(),
+            },
+            Edit::ReplacePhrase {
+                from: "fees may apply".into(),
+                to: "no hidden costs".into(),
+            },
+            Edit::ReplacePhrase {
+                from: "flights".into(),
+                to: "journeys".into(),
+            }, // neutral
         ];
         let out = optimize_creative(&mut scorer, &base, &edits, &OptimizeConfig::default());
         // Both scoring edits accepted; the neutral one never is.
@@ -273,8 +306,10 @@ mod tests {
         let (model, stats) = scorer_fixture();
         let mut scorer = Scorer::new(&model, &stats);
         let base = Snippet::creative("Air", "plain text", "more text");
-        let edits =
-            vec![Edit::ReplacePhrase { from: "absent phrase".into(), to: "whatever".into() }];
+        let edits = vec![Edit::ReplacePhrase {
+            from: "absent phrase".into(),
+            to: "whatever".into(),
+        }];
         let out = optimize_creative(&mut scorer, &base, &edits, &OptimizeConfig::default());
         assert!(out.accepted.is_empty());
         assert_eq!(out.total_margin, 0.0);
@@ -287,11 +322,18 @@ mod tests {
         let (model, stats) = scorer_fixture();
         let mut scorer = Scorer::new(&model, &stats);
         let base = Snippet::creative("Air", "find cheap flights", "ok");
-        let edits = vec![
-            Edit::ReplacePhrase { from: "find cheap".into(), to: "save 20% on".into() },
-        ];
-        let strict = OptimizeConfig { min_margin: 10.0, ..Default::default() };
+        let edits = vec![Edit::ReplacePhrase {
+            from: "find cheap".into(),
+            to: "save 20% on".into(),
+        }];
+        let strict = OptimizeConfig {
+            min_margin: 10.0,
+            ..Default::default()
+        };
         let out = optimize_creative(&mut scorer, &base, &edits, &strict);
-        assert!(out.accepted.is_empty(), "margin 2.0 must not clear a 10.0 bar");
+        assert!(
+            out.accepted.is_empty(),
+            "margin 2.0 must not clear a 10.0 bar"
+        );
     }
 }

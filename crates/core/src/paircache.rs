@@ -1,0 +1,176 @@
+//! Shared per-pair preprocessing for the experiment engine.
+//!
+//! A cross-validated experiment over the six paper variants revisits every
+//! creative pair dozens of times: once per fold for the statistics build
+//! and once per fold per model spec for featurization. The expensive parts
+//! of each visit — positional n-gram extraction and the token-level LCS
+//! alignment of the two snippets — depend only on the pair itself, never on
+//! the fold or the spec. [`PairCache`] computes both exactly once, interning
+//! every candidate phrase up front, so that all later passes share one
+//! *immutable* interner: they can run on worker threads without
+//! synchronization and produce bit-identical results at any thread count.
+
+use microbrowse_text::{FxHashMap, NGramConfig, NGramExtractor, TermOccurrence};
+
+use crate::corpus::{CreativeId, CreativePair};
+use crate::rewrite::{prepare_pair, MatchStrategy, PreparedPair, RewriteConfig};
+use crate::statsbuild::TokenizedCorpus;
+
+/// Pair-independent n-gram occurrences plus pair-level alignment spans,
+/// computed once and shared across folds and model specs.
+#[derive(Debug, Clone)]
+pub struct PairCache {
+    /// Positional n-gram occurrences per creative (only creatives that
+    /// appear in the pair list are present).
+    term_occs: FxHashMap<CreativeId, Vec<TermOccurrence>>,
+    /// Prepared alignment per pair, parallel to the pair list the cache was
+    /// built from.
+    prepared: Vec<PreparedPair>,
+}
+
+impl PairCache {
+    /// Preprocess `pairs` against `tc`, interning every phrase either the
+    /// featurizer (`rewrite`) or the statistics build (`max_stats_rewrite_len`)
+    /// could later need. Mutates the corpus interner — build the cache
+    /// *before* handing the corpus to worker threads.
+    pub fn build(
+        tc: &mut TokenizedCorpus,
+        pairs: &[CreativePair],
+        ngram: NGramConfig,
+        rewrite: RewriteConfig,
+        max_stats_rewrite_len: usize,
+    ) -> Self {
+        let extractor = NGramExtractor::new(ngram);
+        let max_cand_len = rewrite.max_phrase_len.max(max_stats_rewrite_len);
+        // Greedy matching scores every sub-phrase pair; the other strategies
+        // only ever look at whole spans.
+        let all_subphrases = rewrite.strategy == MatchStrategy::GreedyStats;
+        let TokenizedCorpus {
+            interner, snippets, ..
+        } = tc;
+
+        let mut term_occs: FxHashMap<CreativeId, Vec<TermOccurrence>> = FxHashMap::default();
+        for pair in pairs {
+            for id in [pair.r, pair.s] {
+                term_occs
+                    .entry(id)
+                    .or_insert_with(|| extractor.extract(&snippets[&id], interner));
+            }
+        }
+        let prepared = pairs
+            .iter()
+            .map(|p| {
+                prepare_pair(
+                    &snippets[&p.r],
+                    &snippets[&p.s],
+                    max_cand_len,
+                    all_subphrases,
+                    interner,
+                )
+            })
+            .collect();
+        Self {
+            term_occs,
+            prepared,
+        }
+    }
+
+    /// Cached n-gram occurrences of one creative.
+    pub fn term_occs(&self, id: CreativeId) -> &[TermOccurrence] {
+        self.term_occs.get(&id).map_or(&[], |v| v)
+    }
+
+    /// Cached alignment of the pair at `idx` (index into the pair list the
+    /// cache was built from).
+    pub fn prepared(&self, idx: usize) -> &PreparedPair {
+        &self.prepared[idx]
+    }
+
+    /// Number of cached pairs.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Whether the cache holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{AdCorpus, AdGroup, AdGroupId, Creative, PairFilter, Placement};
+    use microbrowse_text::Snippet;
+
+    fn corpus() -> AdCorpus {
+        let make = |gid: u64, base: u64| AdGroup {
+            id: AdGroupId(gid),
+            keyword: "flights".into(),
+            placement: Placement::Top,
+            creatives: vec![
+                Creative {
+                    id: CreativeId(base),
+                    snippet: Snippet::creative("XYZ Air", "book cheap flights now", "great rates"),
+                    impressions: 10_000,
+                    clicks: 900,
+                },
+                Creative {
+                    id: CreativeId(base + 1),
+                    snippet: Snippet::creative(
+                        "XYZ Air",
+                        "book expensive flights now",
+                        "great rates",
+                    ),
+                    impressions: 10_000,
+                    clicks: 300,
+                },
+            ],
+        };
+        AdCorpus {
+            adgroups: vec![make(0, 0), make(1, 10)],
+        }
+    }
+
+    #[test]
+    fn caches_every_pair_and_creative() {
+        let c = corpus();
+        let mut tc = TokenizedCorpus::build(&c);
+        let pairs = c.extract_pairs(&PairFilter::default());
+        let cache = PairCache::build(
+            &mut tc,
+            &pairs,
+            NGramConfig::default(),
+            RewriteConfig::default(),
+            3,
+        );
+        assert_eq!(cache.len(), pairs.len());
+        assert!(!cache.is_empty());
+        for p in &pairs {
+            assert!(!cache.term_occs(p.r).is_empty());
+            assert!(!cache.term_occs(p.s).is_empty());
+        }
+        // Unknown creatives resolve to the empty slice, not a panic.
+        assert!(cache.term_occs(CreativeId(999)).is_empty());
+    }
+
+    #[test]
+    fn cached_occurrences_match_direct_extraction() {
+        let c = corpus();
+        let mut tc = TokenizedCorpus::build(&c);
+        let pairs = c.extract_pairs(&PairFilter::default());
+        let cache = PairCache::build(
+            &mut tc,
+            &pairs,
+            NGramConfig::default(),
+            RewriteConfig::default(),
+            3,
+        );
+        let extractor = NGramExtractor::new(NGramConfig::default());
+        let mut interner = tc.interner.clone();
+        for p in &pairs {
+            let direct = extractor.extract(tc.snippet(p.r), &mut interner);
+            assert_eq!(cache.term_occs(p.r), &direct[..]);
+        }
+    }
+}

@@ -13,16 +13,34 @@
 //! initialization. (The paper builds one database over the full ADCORPUS;
 //! [`ExperimentConfig::stats_on_full_corpus`] reproduces that variant for
 //! the ablation study.)
+//!
+//! ## The parallel experiment engine
+//!
+//! [`run_experiments`] evaluates any number of model specs over *one* shared
+//! preprocessing pass:
+//!
+//! * the corpus is tokenized once and every qualifying pair's n-gram
+//!   occurrences and alignment spans are cached up front
+//!   ([`crate::paircache`]), with all candidate phrases pre-interned;
+//! * each fold's training statistics database is built once and reused by
+//!   every spec (previously every spec rebuilt every fold's database);
+//! * the `(spec, fold)` task grid then fans out over
+//!   [`microbrowse_par::par_map`].
+//!
+//! Because every post-cache stage reads only immutable shared state and
+//! results are reassembled in task order, the outcome is bit-identical to
+//! the serial pipeline at any [`ExperimentConfig::threads`] setting.
 
-use microbrowse_ml::{grouped_kfold, stratified_kfold, BinaryMetrics, Confusion};
-use microbrowse_text::TokenizedSnippet;
+use microbrowse_ml::{grouped_kfold, stratified_kfold, BinaryMetrics, Confusion, FoldSplit};
+use microbrowse_store::StatsDb;
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::{ModelSpec, TrainConfig, TrainedClassifier};
 use crate::corpus::{AdCorpus, CreativePair, PairFilter};
 use crate::features::Featurizer;
+use crate::paircache::PairCache;
 use crate::rewrite::RewriteConfig;
-use crate::statsbuild::{build_stats, StatsBuildConfig, TokenizedCorpus};
+use crate::statsbuild::{build_stats_for, StatsBuildConfig, TokenizedCorpus};
 
 /// Configuration of one experiment run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +66,10 @@ pub struct ExperimentConfig {
     pub group_folds_by_adgroup: bool,
     /// Optional cap on the number of pairs (deterministic subsample).
     pub max_pairs: Option<usize>,
+    /// Worker threads for the experiment engine (0 = `MICROBROWSE_THREADS`
+    /// env, falling back to available parallelism). Results are identical
+    /// at every setting.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -62,12 +84,13 @@ impl Default for ExperimentConfig {
             stats_on_full_corpus: false,
             group_folds_by_adgroup: true,
             max_pairs: None,
+            threads: 0,
         }
     }
 }
 
 /// The result of one experiment (one model spec, one corpus).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ExperimentOutcome {
     /// The evaluated model variant.
     pub spec: ModelSpec,
@@ -84,15 +107,8 @@ pub struct ExperimentOutcome {
     pub position_weights: Option<Vec<f64>>,
 }
 
-/// Materialized training pair: tokenized snippets plus label.
-type TokPair = (TokenizedSnippet, TokenizedSnippet, bool);
-
-/// Extract, subsample, and tokenize the qualifying pairs of `corpus`.
-fn materialize_pairs(
-    tc: &TokenizedCorpus,
-    corpus: &AdCorpus,
-    cfg: &ExperimentConfig,
-) -> (Vec<CreativePair>, Vec<TokPair>) {
+/// Extract and (deterministically) subsample the qualifying pairs.
+fn qualified_pairs(corpus: &AdCorpus, cfg: &ExperimentConfig) -> Vec<CreativePair> {
     let mut pairs = corpus.extract_pairs(&cfg.pair_filter);
     if let Some(cap) = cfg.max_pairs {
         if pairs.len() > cap {
@@ -107,11 +123,7 @@ fn materialize_pairs(
             pairs.truncate(cap);
         }
     }
-    let toks = pairs
-        .iter()
-        .map(|p| (tc.snippet(p.r).clone(), tc.snippet(p.s).clone(), p.r_better))
-        .collect();
-    (pairs, toks)
+    pairs
 }
 
 /// Run the full pipeline for one model variant.
@@ -120,8 +132,31 @@ pub fn run_experiment(
     spec: ModelSpec,
     cfg: &ExperimentConfig,
 ) -> ExperimentOutcome {
-    let tc = TokenizedCorpus::build(corpus);
-    let (pairs, tok_pairs) = materialize_pairs(&tc, corpus, cfg);
+    run_experiments(corpus, &[spec], cfg)
+        .pop()
+        .expect("one spec in, one outcome out")
+}
+
+/// Run all six paper variants (Table 2 / Table 4 rows) over one shared
+/// preprocessing pass.
+pub fn run_all_models(corpus: &AdCorpus, cfg: &ExperimentConfig) -> Vec<ExperimentOutcome> {
+    run_experiments(corpus, &ModelSpec::paper_models(), cfg)
+}
+
+/// Run the cross-validated pipeline for every spec in `specs`, sharing the
+/// tokenized corpus, the pair-preprocessing cache, and the per-fold
+/// statistics databases across all of them.
+///
+/// The `(spec, fold)` grid executes on up to [`ExperimentConfig::threads`]
+/// workers; outcomes are bit-identical at any thread count.
+pub fn run_experiments(
+    corpus: &AdCorpus,
+    specs: &[ModelSpec],
+    cfg: &ExperimentConfig,
+) -> Vec<ExperimentOutcome> {
+    let threads = microbrowse_par::resolve_threads(cfg.threads);
+    let mut tc = TokenizedCorpus::build(corpus);
+    let pairs = qualified_pairs(corpus, cfg);
     let folds = if cfg.group_folds_by_adgroup {
         let groups: Vec<u64> = pairs.iter().map(|p| p.adgroup.0).collect();
         grouped_kfold(&groups, cfg.folds.max(2), cfg.seed)
@@ -130,88 +165,143 @@ pub fn run_experiment(
         stratified_kfold(&labels, cfg.folds.max(2), cfg.seed)
     };
 
-    let full_stats = if cfg.stats_on_full_corpus {
-        Some(build_stats(&tc, &pairs, &cfg.stats))
+    // Pre-intern every phrase any later stage can need; from here on the
+    // interner is immutable and every stage runs off shared `&` state.
+    let cache = PairCache::build(
+        &mut tc,
+        &pairs,
+        cfg.stats.ngram,
+        cfg.rewrite,
+        cfg.stats.max_rewrite_len,
+    );
+    let tc = &tc;
+    let all_idx: Vec<usize> = (0..pairs.len()).collect();
+
+    let full_stats = cfg
+        .stats_on_full_corpus
+        .then(|| build_stats_for(tc, &pairs, &all_idx, &cache, &cfg.stats));
+
+    // One training-fold statistics database per fold, shared by all specs.
+    // Inner builds go serial whenever the fold level already fans out.
+    let fold_train_stats: Vec<Option<StatsDb>> = if full_stats.is_some() {
+        folds.iter().map(|_| None).collect()
     } else {
-        None
-    };
-
-    let mut fold_metrics = Vec::with_capacity(folds.len());
-    let mut pooled = Confusion::default();
-
-    for fold in &folds {
-        if fold.test_idx.is_empty() {
-            continue;
-        }
-        let test_set: std::collections::BTreeSet<usize> = fold.test_idx.iter().copied().collect();
-        let train_pairs: Vec<CreativePair> = pairs
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !test_set.contains(i))
-            .map(|(_, p)| *p)
-            .collect();
-        let train_toks: Vec<TokPair> = tok_pairs
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !test_set.contains(i))
-            .map(|(_, t)| t.clone())
-            .collect();
-        let test_toks: Vec<TokPair> =
-            fold.test_idx.iter().map(|&i| tok_pairs[i].clone()).collect();
-
-        let fold_stats;
-        let stats = match &full_stats {
-            Some(db) => db,
-            None => {
-                fold_stats = build_stats(&tc, &train_pairs, &cfg.stats);
-                &fold_stats
+        let inner = if folds.len() > 1 { 1 } else { threads };
+        let stats_cfg = StatsBuildConfig {
+            threads: inner,
+            ..cfg.stats
+        };
+        microbrowse_par::par_map(&folds, threads, |_, fold| {
+            if fold.test_idx.is_empty() {
+                return None;
             }
-        };
-
-        let mut interner = tc.interner.clone();
-        let mut fz = Featurizer::with_configs(spec, stats, cfg.stats.ngram, cfg.rewrite);
-        let train_data = fz.encode_batch(&train_toks, &mut interner);
-        let (init_terms, init_pos) = scaled_inits(&fz, &interner, &cfg.train);
-        let test_data = fz.encode_batch(&test_toks, &mut interner);
-
-        let clf = TrainedClassifier::train(
-            &spec,
-            &train_data,
-            Some(init_terms),
-            Some(init_pos),
-            &cfg.train,
-        );
-        let preds = clf.predict_all(&test_data);
-        let confusion = Confusion::from_pairs(preds);
-        pooled.merge(&confusion);
-        fold_metrics.push(confusion.metrics());
-    }
-
-    // Final full-data fit for position-weight reporting (Figure 3).
-    let position_weights = if spec.positions && !tok_pairs.is_empty() {
-        let stats = match full_stats {
-            Some(db) => db,
-            None => build_stats(&tc, &pairs, &cfg.stats),
-        };
-        let mut interner = tc.interner.clone();
-        let mut fz = Featurizer::with_configs(spec, &stats, cfg.stats.ngram, cfg.rewrite);
-        let data = fz.encode_batch(&tok_pairs, &mut interner);
-        let (init_terms, init_pos) = scaled_inits(&fz, &interner, &cfg.train);
-        let clf =
-            TrainedClassifier::train(&spec, &data, Some(init_terms), Some(init_pos), &cfg.train);
-        clf.position_weights().map(<[f64]>::to_vec)
-    } else {
-        None
+            let mask = fold.test_mask(pairs.len());
+            let train_idx: Vec<usize> = (0..pairs.len()).filter(|&i| !mask[i]).collect();
+            Some(build_stats_for(tc, &pairs, &train_idx, &cache, &stats_cfg))
+        })
     };
 
-    ExperimentOutcome {
-        spec,
-        mean: BinaryMetrics::mean(&fold_metrics),
-        fold_metrics,
-        pooled,
-        num_pairs: pairs.len(),
-        position_weights,
-    }
+    // The (spec, fold) task grid, spec-major so results reassemble by
+    // simple sequential consumption.
+    let tasks: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|si| {
+            folds
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.test_idx.is_empty())
+                .map(move |(fi, _)| (si, fi))
+        })
+        .collect();
+    let inner = if tasks.len() > 1 { 1 } else { threads };
+    let confusions: Vec<Confusion> = microbrowse_par::par_map(&tasks, threads, |_, &(si, fi)| {
+        let stats = full_stats
+            .as_ref()
+            .or(fold_train_stats[fi].as_ref())
+            .expect("non-empty fold has a stats db");
+        run_fold(tc, &pairs, &cache, &folds[fi], specs[si], stats, cfg, inner)
+    });
+
+    // Final full-data fits for position-weight reporting (Figure 3).
+    let needs_final =
+        !pairs.is_empty() && specs.iter().any(|s| s.positions) && full_stats.is_none();
+    let final_stats =
+        needs_final.then(|| build_stats_for(tc, &pairs, &all_idx, &cache, &cfg.stats));
+    let inner_final = if specs.len() > 1 { 1 } else { threads };
+    let position_weights: Vec<Option<Vec<f64>>> =
+        microbrowse_par::par_map(specs, threads, |_, spec| {
+            if !spec.positions || pairs.is_empty() {
+                return None;
+            }
+            let stats = full_stats
+                .as_ref()
+                .or(final_stats.as_ref())
+                .expect("final-fit stats db built");
+            let mut fz = Featurizer::with_configs(*spec, stats, cfg.stats.ngram, cfg.rewrite);
+            let data =
+                fz.encode_pairs_cached(&pairs, &all_idx, tc, &cache, &tc.interner, inner_final);
+            let (init_terms, init_pos) = scaled_inits(&fz, &tc.interner, &cfg.train);
+            let clf =
+                TrainedClassifier::train(spec, &data, Some(init_terms), Some(init_pos), &cfg.train);
+            clf.position_weights().map(<[f64]>::to_vec)
+        });
+
+    let mut confusions = confusions.into_iter();
+    specs
+        .iter()
+        .zip(position_weights)
+        .map(|(spec, position_weights)| {
+            let mut fold_metrics = Vec::with_capacity(folds.len());
+            let mut pooled = Confusion::default();
+            for fold in &folds {
+                if fold.test_idx.is_empty() {
+                    continue;
+                }
+                let confusion = confusions.next().expect("one confusion per task");
+                pooled.merge(&confusion);
+                fold_metrics.push(confusion.metrics());
+            }
+            ExperimentOutcome {
+                spec: *spec,
+                mean: BinaryMetrics::mean(&fold_metrics),
+                fold_metrics,
+                pooled,
+                num_pairs: pairs.len(),
+                position_weights,
+            }
+        })
+        .collect()
+}
+
+/// Train on a fold's complement and evaluate on its held-out pairs.
+#[allow(clippy::too_many_arguments)]
+fn run_fold(
+    tc: &TokenizedCorpus,
+    pairs: &[CreativePair],
+    cache: &PairCache,
+    fold: &FoldSplit,
+    spec: ModelSpec,
+    stats: &StatsDb,
+    cfg: &ExperimentConfig,
+    threads: usize,
+) -> Confusion {
+    let mask = fold.test_mask(pairs.len());
+    let train_idx: Vec<usize> = (0..pairs.len()).filter(|&i| !mask[i]).collect();
+
+    let mut fz = Featurizer::with_configs(spec, stats, cfg.stats.ngram, cfg.rewrite);
+    let train_data = fz.encode_pairs_cached(pairs, &train_idx, tc, cache, &tc.interner, threads);
+    // Inits are sized to the train-time vocabulary, so compute them before
+    // the test encoding grows it.
+    let (init_terms, init_pos) = scaled_inits(&fz, &tc.interner, &cfg.train);
+    let test_data = fz.encode_pairs_cached(pairs, &fold.test_idx, tc, cache, &tc.interner, threads);
+
+    let clf = TrainedClassifier::train(
+        &spec,
+        &train_data,
+        Some(init_terms),
+        Some(init_pos),
+        &cfg.train,
+    );
+    Confusion::from_pairs(clf.predict_all(&test_data))
 }
 
 /// Build stats-DB warm starts, shrunk by `TrainConfig::init_scale`.
@@ -230,14 +320,6 @@ fn scaled_inits(
         *w = 1.0 + (*w - 1.0) * s; // positions shrink toward neutral 1.0
     }
     (terms, pos)
-}
-
-/// Run all six paper variants (Table 2 / Table 4 rows).
-pub fn run_all_models(corpus: &AdCorpus, cfg: &ExperimentConfig) -> Vec<ExperimentOutcome> {
-    ModelSpec::paper_models()
-        .into_iter()
-        .map(|spec| run_experiment(corpus, spec, cfg))
-        .collect()
 }
 
 #[cfg(test)]
@@ -301,7 +383,10 @@ mod tests {
                 init_min_support: 2,
                 init_scale: 0.25,
             },
-            stats: StatsBuildConfig { threads: 2, ..Default::default() },
+            stats: StatsBuildConfig {
+                threads: 2,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -324,8 +409,13 @@ mod tests {
         let corpus = tiny_corpus(30);
         let out = run_experiment(&corpus, ModelSpec::m6(), &quick_cfg());
         assert!(out.mean.accuracy > 0.8, "M6 accuracy {}", out.mean.accuracy);
-        let pw = out.position_weights.expect("coupled model must report positions");
-        assert_eq!(pw.len(), crate::features::PositionVocab::num_groups() as usize);
+        let pw = out
+            .position_weights
+            .expect("coupled model must report positions");
+        assert_eq!(
+            pw.len(),
+            crate::features::PositionVocab::num_groups() as usize
+        );
     }
 
     #[test]
@@ -341,7 +431,10 @@ mod tests {
     #[test]
     fn max_pairs_caps_deterministically() {
         let corpus = tiny_corpus(30);
-        let cfg = ExperimentConfig { max_pairs: Some(10), ..quick_cfg() };
+        let cfg = ExperimentConfig {
+            max_pairs: Some(10),
+            ..quick_cfg()
+        };
         let a = run_experiment(&corpus, ModelSpec::m1(), &cfg);
         let b = run_experiment(&corpus, ModelSpec::m1(), &cfg);
         assert_eq!(a.num_pairs, 10);
@@ -359,8 +452,27 @@ mod tests {
     #[test]
     fn full_corpus_stats_variant_runs() {
         let corpus = tiny_corpus(20);
-        let cfg = ExperimentConfig { stats_on_full_corpus: true, ..quick_cfg() };
+        let cfg = ExperimentConfig {
+            stats_on_full_corpus: true,
+            ..quick_cfg()
+        };
         let out = run_experiment(&corpus, ModelSpec::m5(), &cfg);
         assert!(out.mean.accuracy > 0.8);
+    }
+
+    #[test]
+    fn batched_engine_matches_single_spec_runs() {
+        let corpus = tiny_corpus(12);
+        let cfg = quick_cfg();
+        let specs = [ModelSpec::m1(), ModelSpec::m4()];
+        let batched = run_experiments(&corpus, &specs, &cfg);
+        for (spec, out) in specs.iter().zip(&batched) {
+            assert_eq!(
+                out,
+                &run_experiment(&corpus, *spec, &cfg),
+                "spec {}",
+                spec.name
+            );
+        }
     }
 }

@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// Create a table with column headers.
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row; short rows are padded with empty cells.
@@ -76,7 +79,12 @@ pub fn f3(x: f64) -> String {
 pub fn table2(outcomes: &[ExperimentOutcome]) -> String {
     let mut t = Table::new(["Feature", "Recall", "Precision", "F-Measure"]);
     for o in outcomes {
-        t.add_row([o.spec.label(), pct(o.mean.recall), pct(o.mean.precision), f3(o.mean.f1)]);
+        t.add_row([
+            o.spec.label(),
+            pct(o.mean.recall),
+            pct(o.mean.precision),
+            f3(o.mean.f1),
+        ]);
     }
     t.render()
 }
@@ -99,9 +107,18 @@ mod tests {
 
     fn outcome(name: &'static str, f1: f64) -> ExperimentOutcome {
         ExperimentOutcome {
-            spec: ModelSpec { name, ..ModelSpec::m1() },
+            spec: ModelSpec {
+                name,
+                ..ModelSpec::m1()
+            },
             fold_metrics: vec![],
-            mean: BinaryMetrics { precision: 0.7, recall: 0.6, f1, accuracy: 0.65, support: 10 },
+            mean: BinaryMetrics {
+                precision: 0.7,
+                recall: 0.6,
+                f1,
+                accuracy: 0.65,
+                support: 10,
+            },
             pooled: Confusion::default(),
             num_pairs: 10,
             position_weights: None,

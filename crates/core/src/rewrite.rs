@@ -200,8 +200,141 @@ pub struct RewriteConfig {
 
 impl Default for RewriteConfig {
     fn default() -> Self {
-        Self { max_phrase_len: 3, strategy: MatchStrategy::GreedyStats }
+        Self {
+            max_phrase_len: 3,
+            strategy: MatchStrategy::GreedyStats,
+        }
     }
+}
+
+/// One candidate phrase inside a changed span: where it starts in the line,
+/// how many tokens it covers, and its interned space-joined symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CandPhrase {
+    start: usize,
+    len: usize,
+    phrase: Sym,
+}
+
+/// The prepared alignment of one snippet line: its changed spans plus the
+/// interned candidate phrases of each side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PreparedLine {
+    line: u8,
+    spans: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)>,
+    r_cands: Vec<CandPhrase>,
+    s_cands: Vec<CandPhrase>,
+}
+
+/// Stats-independent preparation of a snippet pair: per-line changed spans
+/// (in canonical R/S orientation) and candidate phrases with every phrase
+/// already interned.
+///
+/// Computing this — the LCS alignment plus phrase joining/interning — is
+/// the expensive, interner-mutating part of rewrite extraction, and it
+/// depends only on the two snippets. The experiment engine therefore builds
+/// it once per pair ([`crate::paircache`]) and replays it against many
+/// statistics databases via [`RewriteExtractor::extract_prepared`], which
+/// needs only a shared immutable interner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreparedPair {
+    lines: Vec<PreparedLine>,
+}
+
+/// Compute the [`PreparedPair`] for `(r, s)`.
+///
+/// Candidate phrases cover every changed span: all sub-phrases up to
+/// `max_cand_len` tokens when `all_subphrases` (needed for greedy matching),
+/// or just whole spans of at most `max_cand_len` tokens otherwise (enough
+/// for whole-span matching). Lines are aligned by index, a missing line
+/// diffing against the empty token list, exactly as in
+/// [`RewriteExtractor::extract`].
+pub fn prepare_pair(
+    r: &TokenizedSnippet,
+    s: &TokenizedSnippet,
+    max_cand_len: usize,
+    all_subphrases: bool,
+    interner: &mut Interner,
+) -> PreparedPair {
+    let mut lines = Vec::new();
+    let num_lines = r.lines.len().max(s.lines.len());
+    static EMPTY: &[Sym] = &[];
+    for line in 0..num_lines {
+        let ra: &[Sym] = r.lines.get(line).map_or(EMPTY, |v| v);
+        let sb: &[Sym] = s.lines.get(line).map_or(EMPTY, |v| v);
+        // LCS tie-breaking depends on argument order; diff in a canonical
+        // direction (and swap the spans back) so extraction — and therefore
+        // every downstream feature — is exactly antisymmetric under an R/S
+        // swap.
+        let swapped = sb < ra;
+        let spans = if swapped {
+            let ops = token_diff(sb, ra);
+            changed_spans(&ops)
+                .into_iter()
+                .map(|(a, b)| (b, a))
+                .collect::<Vec<_>>()
+        } else {
+            changed_spans(&token_diff(ra, sb))
+        };
+        if spans.is_empty() {
+            continue;
+        }
+        let r_cands = enumerate_cands(
+            &mut spans.iter().map(|(a, _)| a.clone()),
+            ra,
+            max_cand_len,
+            all_subphrases,
+            interner,
+        );
+        let s_cands = enumerate_cands(
+            &mut spans.iter().map(|(_, b)| b.clone()),
+            sb,
+            max_cand_len,
+            all_subphrases,
+            interner,
+        );
+        lines.push(PreparedLine {
+            line: line as u8,
+            spans,
+            r_cands,
+            s_cands,
+        });
+    }
+    PreparedPair { lines }
+}
+
+/// Enumerate (and intern) the candidate phrases of one side of a line, in
+/// the order the greedy matcher expects: span-major, then length, then
+/// start position.
+fn enumerate_cands(
+    spans: &mut dyn Iterator<Item = std::ops::Range<usize>>,
+    toks: &[Sym],
+    max_cand_len: usize,
+    all_subphrases: bool,
+    interner: &mut Interner,
+) -> Vec<CandPhrase> {
+    let mut v = Vec::new();
+    let mut push = |start: usize, len: usize, interner: &mut Interner| {
+        let phrase = if len == 1 {
+            toks[start]
+        } else {
+            let joined = join_phrase(toks, start, len, interner);
+            interner.intern(&joined)
+        };
+        v.push(CandPhrase { start, len, phrase });
+    };
+    for span in spans {
+        if all_subphrases {
+            for len in 1..=max_cand_len.min(span.len()) {
+                for start in span.start..=(span.end - len) {
+                    push(start, len, interner);
+                }
+            }
+        } else if !span.is_empty() && span.len() <= max_cand_len {
+            push(span.start, span.len(), interner);
+        }
+    }
+    v
 }
 
 /// Extracts rewrites from snippet pairs, consulting a rewrite statistics
@@ -215,8 +348,10 @@ pub struct RewriteExtractor {
 struct Candidate {
     r_start: usize,
     r_len: usize,
+    from: Sym,
     s_start: usize,
     s_len: usize,
+    to: Sym,
     score: f64,
 }
 
@@ -251,54 +386,64 @@ impl RewriteExtractor {
         stats: &StatsDb,
         interner: &mut Interner,
     ) -> RewriteExtraction {
+        let prepared = prepare_pair(
+            r,
+            s,
+            self.cfg.max_phrase_len,
+            self.cfg.strategy == MatchStrategy::GreedyStats,
+            interner,
+        );
+        self.extract_prepared(r, s, &prepared, stats, interner)
+    }
+
+    /// [`Self::extract`] given a precomputed [`PreparedPair`]. Touches no
+    /// interner state (every candidate phrase was interned during
+    /// preparation), so many threads can extract against one shared
+    /// interner concurrently — this is what the experiment engine does.
+    ///
+    /// The `prepared` value must come from [`prepare_pair`] on the same
+    /// `(r, s)` with `max_cand_len >= self.config().max_phrase_len` and,
+    /// under the greedy strategy, `all_subphrases = true`.
+    pub fn extract_prepared(
+        &self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        prepared: &PreparedPair,
+        stats: &StatsDb,
+        interner: &Interner,
+    ) -> RewriteExtraction {
         let mut out = RewriteExtraction::default();
-        let num_lines = r.lines.len().max(s.lines.len());
         static EMPTY: &[Sym] = &[];
-        for line in 0..num_lines {
-            let ra: &[Sym] = r.lines.get(line).map_or(EMPTY, |v| v);
-            let sb: &[Sym] = s.lines.get(line).map_or(EMPTY, |v| v);
-            // LCS tie-breaking depends on argument order; diff in a
-            // canonical direction (and swap the spans back) so extraction —
-            // and therefore every downstream feature — is exactly
-            // antisymmetric under an R/S swap.
-            let swapped = sb < ra;
-            let spans = if swapped {
-                let ops = token_diff(sb, ra);
-                changed_spans(&ops).into_iter().map(|(a, b)| (b, a)).collect::<Vec<_>>()
-            } else {
-                changed_spans(&token_diff(ra, sb))
-            };
-            if spans.is_empty() {
-                continue;
-            }
-            self.match_line(line as u8, ra, sb, &spans, stats, interner, &mut out);
+        for pl in &prepared.lines {
+            let ra: &[Sym] = r.lines.get(pl.line as usize).map_or(EMPTY, |v| v);
+            let sb: &[Sym] = s.lines.get(pl.line as usize).map_or(EMPTY, |v| v);
+            self.match_line(pl, ra, sb, stats, interner, &mut out);
         }
         out
     }
 
     /// Match all changed spans of one line.
-    #[allow(clippy::too_many_arguments)]
     fn match_line(
         &self,
-        line: u8,
+        pl: &PreparedLine,
         ra: &[Sym],
         sb: &[Sym],
-        spans: &[(std::ops::Range<usize>, std::ops::Range<usize>)],
         stats: &StatsDb,
-        interner: &mut Interner,
+        interner: &Interner,
         out: &mut RewriteExtraction,
     ) {
+        let line = pl.line;
         let mut r_taken = vec![false; ra.len()];
         let mut s_taken = vec![false; sb.len()];
 
         if self.cfg.strategy == MatchStrategy::GreedyStats {
-            self.greedy_line(line, ra, sb, spans, stats, interner, out, &mut r_taken, &mut s_taken);
+            self.greedy_line(pl, stats, interner, out, &mut r_taken, &mut s_taken);
         }
 
         // Whole-span fallback for aligned span pairs left fully unmatched
         // (and the primary mechanism under the WholeSpan strategy).
         if self.cfg.strategy != MatchStrategy::NoMatch {
-            for (span_r, span_s) in spans {
+            for (span_r, span_s) in &pl.spans {
                 if span_r.is_empty()
                     || span_s.is_empty()
                     || span_r.len() > self.cfg.max_phrase_len
@@ -315,15 +460,15 @@ impl RewriteExtractor {
                     s_taken[j] = true;
                 }
                 out.rewrites.push(RewritePair {
-                    from: phrase_occ(ra, line, span_r.start, span_r.len(), interner),
-                    to: phrase_occ(sb, line, span_s.start, span_s.len(), interner),
+                    from: prepared_occ(&pl.r_cands, ra, line, span_r.start, span_r.len()),
+                    to: prepared_occ(&pl.s_cands, sb, line, span_s.start, span_s.len()),
                 });
             }
         }
 
         // Everything in a changed span not covered by a rewrite becomes a
         // term-level leftover.
-        for (span_r, span_s) in spans {
+        for (span_r, span_s) in &pl.spans {
             for i in span_r.clone() {
                 if !r_taken[i] {
                     out.r_leftover.push(PhraseOcc {
@@ -349,37 +494,22 @@ impl RewriteExtractor {
     #[allow(clippy::too_many_arguments)]
     fn greedy_line(
         &self,
-        line: u8,
-        ra: &[Sym],
-        sb: &[Sym],
-        spans: &[(std::ops::Range<usize>, std::ops::Range<usize>)],
+        pl: &PreparedLine,
         stats: &StatsDb,
-        interner: &mut Interner,
+        interner: &Interner,
         out: &mut RewriteExtraction,
         r_taken: &mut [bool],
         s_taken: &mut [bool],
     ) {
-        // Enumerate candidate sub-phrases on each side, across all spans.
-        let phrases_of = |spans_side: &mut dyn Iterator<Item = std::ops::Range<usize>>,
-                          toks: &[Sym],
-                          interner: &mut Interner|
-         -> Vec<(usize, usize, String)> {
-            let mut v = Vec::new();
-            for span in spans_side {
-                for len in 1..=self.cfg.max_phrase_len.min(span.len()) {
-                    for start in span.start..=(span.end - len) {
-                        v.push((start, len, join_phrase(toks, start, len, interner)));
-                    }
-                }
-            }
-            v
-        };
-        let r_phrases = phrases_of(&mut spans.iter().map(|(a, _)| a.clone()), ra, interner);
-        let s_phrases = phrases_of(&mut spans.iter().map(|(_, b)| b.clone()), sb, interner);
-
+        // Candidates were enumerated at prepare time in this exact order
+        // (span-major, then length, then start); the prepare-time length
+        // cap may exceed ours, so filter down to our configuration.
+        let max = self.cfg.max_phrase_len;
         let mut candidates: Vec<Candidate> = Vec::new();
-        for (r_start, r_len, from_str) in &r_phrases {
-            for (s_start, s_len, to_str) in &s_phrases {
+        for rc in pl.r_cands.iter().filter(|c| c.len <= max) {
+            let from_str = interner.resolve(rc.phrase);
+            for sc in pl.s_cands.iter().filter(|c| c.len <= max) {
+                let to_str = interner.resolve(sc.phrase);
                 let key = canonical_rewrite_key(from_str, to_str);
                 if let Some(stat) = stats.get(&key) {
                     // "a more probable rewrite … has a higher score in the
@@ -387,10 +517,12 @@ impl RewriteExtractor {
                     // a tiebreak.
                     let score = stat.total() as f64 + stat.log_odds(1.0).abs() * 1e-3;
                     candidates.push(Candidate {
-                        r_start: *r_start,
-                        r_len: *r_len,
-                        s_start: *s_start,
-                        s_len: *s_len,
+                        r_start: rc.start,
+                        r_len: rc.len,
+                        from: rc.phrase,
+                        s_start: sc.start,
+                        s_len: sc.len,
+                        to: sc.phrase,
                         score,
                     });
                 }
@@ -416,10 +548,43 @@ impl RewriteExtractor {
                 s_taken[j] = true;
             }
             out.rewrites.push(RewritePair {
-                from: phrase_occ(ra, line, c.r_start, c.r_len, interner),
-                to: phrase_occ(sb, line, c.s_start, c.s_len, interner),
+                from: PhraseOcc {
+                    phrase: c.from,
+                    pos: SnippetPos::new(pl.line, c.r_start as u16),
+                    len: c.r_len.min(u8::MAX as usize) as u8,
+                },
+                to: PhraseOcc {
+                    phrase: c.to,
+                    pos: SnippetPos::new(pl.line, c.s_start as u16),
+                    len: c.s_len.min(u8::MAX as usize) as u8,
+                },
             });
         }
+    }
+}
+
+/// Build the [`PhraseOcc`] for a span whose phrase was interned at prepare
+/// time (single tokens need no lookup).
+fn prepared_occ(
+    cands: &[CandPhrase],
+    toks: &[Sym],
+    line: u8,
+    start: usize,
+    len: usize,
+) -> PhraseOcc {
+    let phrase = if len == 1 {
+        toks[start]
+    } else {
+        cands
+            .iter()
+            .find(|c| c.start == start && c.len == len)
+            .expect("whole-span candidate interned at prepare time")
+            .phrase
+    };
+    PhraseOcc {
+        phrase,
+        pos: SnippetPos::new(line, start as u16),
+        len: len.min(u8::MAX as usize) as u8,
     }
 }
 
@@ -451,33 +616,17 @@ fn join_phrase(toks: &[Sym], start: usize, len: usize, interner: &mut Interner) 
     s
 }
 
-fn phrase_occ(
-    toks: &[Sym],
-    line: u8,
-    start: usize,
-    len: usize,
-    interner: &mut Interner,
-) -> PhraseOcc {
-    let phrase = if len == 1 {
-        toks[start]
-    } else {
-        let joined = join_phrase(toks, start, len, interner);
-        interner.intern(&joined)
-    };
-    PhraseOcc {
-        phrase,
-        pos: SnippetPos::new(line, start as u16),
-        len: len.min(u8::MAX as usize) as u8,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use microbrowse_text::{Snippet, Tokenizer};
 
     fn toks(interner: &mut Interner, s: &str) -> Vec<Sym> {
-        Tokenizer::default().terms(s).iter().map(|t| interner.intern(t)).collect()
+        Tokenizer::default()
+            .terms(s)
+            .iter()
+            .map(|t| interner.intern(t))
+            .collect()
     }
 
     fn snippet(interner: &mut Interner, lines: &[&str]) -> TokenizedSnippet {
@@ -537,16 +686,36 @@ mod tests {
     fn diff_empty_sides() {
         let mut it = Interner::new();
         let a = toks(&mut it, "hello world");
-        assert_eq!(token_diff(&a, &[]), vec![DiffOp::Replace { a: 0..2, b: 0..0 }]);
-        assert_eq!(token_diff(&[], &a), vec![DiffOp::Replace { a: 0..0, b: 0..2 }]);
+        assert_eq!(
+            token_diff(&a, &[]),
+            vec![DiffOp::Replace { a: 0..2, b: 0..0 }]
+        );
+        assert_eq!(
+            token_diff(&[], &a),
+            vec![DiffOp::Replace { a: 0..0, b: 0..2 }]
+        );
         assert!(token_diff(&[], &[]).is_empty());
     }
 
     #[test]
     fn single_phrase_rewrite_without_db_uses_whole_span() {
         let mut it = Interner::new();
-        let r = snippet(&mut it, &["XYZ Airlines", "Find cheap flights to New York", "No reservation costs"]);
-        let s = snippet(&mut it, &["XYZ Airlines", "Get discounts flights to New York", "No reservation costs"]);
+        let r = snippet(
+            &mut it,
+            &[
+                "XYZ Airlines",
+                "Find cheap flights to New York",
+                "No reservation costs",
+            ],
+        );
+        let s = snippet(
+            &mut it,
+            &[
+                "XYZ Airlines",
+                "Get discounts flights to New York",
+                "No reservation costs",
+            ],
+        );
         let ext = RewriteExtractor::default().extract(&r, &s, &StatsDb::new(), &mut it);
         assert!(ext.is_single_rewrite(), "extraction: {ext:?}");
         let rw = &ext.rewrites[0];
@@ -563,8 +732,22 @@ mod tests {
         // With DB evidence for (find cheap → get discounts) and
         // (flights → flying), greedy matching recovers both.
         let mut it = Interner::new();
-        let r = snippet(&mut it, &["XYZ Airlines", "Find cheap flights to New York", "No reservation costs. Great rates"]);
-        let s = snippet(&mut it, &["XYZ Airlines", "Flying to New York Get discounts", "No reservation costs. Great rates"]);
+        let r = snippet(
+            &mut it,
+            &[
+                "XYZ Airlines",
+                "Find cheap flights to New York",
+                "No reservation costs. Great rates",
+            ],
+        );
+        let s = snippet(
+            &mut it,
+            &[
+                "XYZ Airlines",
+                "Flying to New York Get discounts",
+                "No reservation costs. Great rates",
+            ],
+        );
 
         let mut db = StatsDb::new();
         for _ in 0..50 {
@@ -614,7 +797,10 @@ mod tests {
         pairs.sort();
         assert_eq!(
             pairs,
-            vec![("a".to_string(), "y".to_string()), ("b".to_string(), "x".to_string())]
+            vec![
+                ("a".to_string(), "y".to_string()),
+                ("b".to_string(), "x".to_string())
+            ]
         );
     }
 
@@ -631,8 +817,7 @@ mod tests {
         let ext = RewriteExtractor::default().extract(&r, &s, &db, &mut it);
         assert_eq!(ext.rewrites.len(), 1);
         assert_eq!(resolve_occ(&it, &ext.rewrites[0].from), "cheap");
-        let leftover: Vec<String> =
-            ext.r_leftover.iter().map(|o| resolve_occ(&it, o)).collect();
+        let leftover: Vec<String> = ext.r_leftover.iter().map(|o| resolve_occ(&it, o)).collect();
         assert_eq!(leftover, vec!["tickets"]);
         assert!(ext.s_leftover.is_empty());
     }
@@ -691,10 +876,63 @@ mod tests {
 
     #[test]
     fn canonical_key_is_direction_stable() {
-        assert_eq!(canonical_rewrite_key("b", "a"), canonical_rewrite_key("a", "b"));
+        assert_eq!(
+            canonical_rewrite_key("b", "a"),
+            canonical_rewrite_key("a", "b")
+        );
         assert!(is_canonical_order("a", "b"));
         assert!(!is_canonical_order("b", "a"));
         assert!(is_canonical_order("same", "same"));
+    }
+
+    #[test]
+    fn prepared_extraction_matches_direct_extraction() {
+        // The prepared path must reproduce extract() exactly, including when
+        // the prepare-time candidate cap exceeds the extractor's own cap.
+        let mut it = Interner::new();
+        let r = snippet(
+            &mut it,
+            &[
+                "XYZ Airlines",
+                "Find cheap flights to New York",
+                "No reservation costs",
+            ],
+        );
+        let s = snippet(
+            &mut it,
+            &[
+                "XYZ Airlines",
+                "Flying to New York Get discounts",
+                "No reservation costs",
+            ],
+        );
+        let mut db = StatsDb::new();
+        for _ in 0..50 {
+            db.record(canonical_rewrite_key("find cheap", "get discounts"), true);
+        }
+        for _ in 0..30 {
+            db.record(canonical_rewrite_key("flights", "flying"), true);
+        }
+        for ex in [
+            RewriteExtractor::default(),
+            RewriteExtractor::new(RewriteConfig {
+                max_phrase_len: 2,
+                strategy: MatchStrategy::GreedyStats,
+            }),
+            RewriteExtractor::new(RewriteConfig {
+                max_phrase_len: 3,
+                strategy: MatchStrategy::WholeSpan,
+            }),
+            RewriteExtractor::new(RewriteConfig {
+                max_phrase_len: 3,
+                strategy: MatchStrategy::NoMatch,
+            }),
+        ] {
+            let direct = ex.extract(&r, &s, &db, &mut it);
+            let prepared = prepare_pair(&r, &s, 5, true, &mut it);
+            let replayed = ex.extract_prepared(&r, &s, &prepared, &db, &it);
+            assert_eq!(direct, replayed, "strategy {:?}", ex.config().strategy);
+        }
     }
 
     #[test]

@@ -232,7 +232,11 @@ impl DeployedModel {
             });
         }
 
-        Ok(Self { spec, classifier, vocab })
+        Ok(Self {
+            spec,
+            classifier,
+            vocab,
+        })
     }
 
     /// Write to `path`.
@@ -281,7 +285,12 @@ impl<'a> Scorer<'a> {
         let mut interner = Interner::new();
         let mut featurizer = Featurizer::new(model.spec, stats);
         featurizer.preload_vocab(&model.vocab, &mut interner);
-        Self { model, featurizer, interner, tokenizer: Tokenizer::default() }
+        Self {
+            model,
+            featurizer,
+            interner,
+            tokenizer: Tokenizer::default(),
+        }
     }
 
     /// The deployed model's spec.
@@ -297,11 +306,15 @@ impl<'a> Scorer<'a> {
         let tok_s = s.tokenize(&self.tokenizer, &mut self.interner);
         match &self.model.classifier {
             TrainedClassifier::Flat(lr) => {
-                let ex = self.featurizer.encode_flat(&tok_r, &tok_s, true, &mut self.interner);
+                let ex = self
+                    .featurizer
+                    .encode_flat(&tok_r, &tok_s, true, &mut self.interner);
                 lr.score(&ex.features)
             }
             TrainedClassifier::Coupled(cm) => {
-                let ex = self.featurizer.encode_coupled(&tok_r, &tok_s, true, &mut self.interner);
+                let ex = self
+                    .featurizer
+                    .encode_coupled(&tok_r, &tok_s, true, &mut self.interner);
                 cm.score(&ex)
             }
         }
@@ -336,10 +349,7 @@ mod tests {
     fn sample_model() -> DeployedModel {
         DeployedModel {
             spec: ModelSpec::m5(),
-            classifier: TrainedClassifier::Flat(LogReg::from_parts(
-                vec![1.5, -0.5, 0.25],
-                0.1,
-            )),
+            classifier: TrainedClassifier::Flat(LogReg::from_parts(vec![1.5, -0.5, 0.25], 0.1)),
             vocab: vec![
                 OwnedTermFeat::Term("cheap".into()),
                 OwnedTermFeat::Rewrite("find cheap".into(), "get discounts".into()),
@@ -385,7 +395,10 @@ mod tests {
     fn bad_magic_and_version() {
         let mut bytes = sample_model().to_bytes();
         bytes[0] = b'Z';
-        assert!(matches!(DeployedModel::from_bytes(&bytes), Err(ModelIoError::BadMagic)));
+        assert!(matches!(
+            DeployedModel::from_bytes(&bytes),
+            Err(ModelIoError::BadMagic)
+        ));
         let mut bytes = sample_model().to_bytes();
         bytes[8] = 42;
         assert!(matches!(
@@ -411,7 +424,13 @@ mod tests {
         // Weight 1.5 on "cheap": a creative containing "cheap" must beat an
         // otherwise-identical one, through a fresh interner after reload.
         let m = DeployedModel {
-            spec: ModelSpec { name: "M1", terms: true, rewrites: false, positions: false, init_from_stats: false },
+            spec: ModelSpec {
+                name: "M1",
+                terms: true,
+                rewrites: false,
+                positions: false,
+                init_from_stats: false,
+            },
             classifier: TrainedClassifier::Flat(LogReg::from_parts(vec![1.5], 0.0)),
             vocab: vec![OwnedTermFeat::Term("cheap".into())],
         };
@@ -428,7 +447,13 @@ mod tests {
     #[test]
     fn rank_orders_by_pairwise_margin() {
         let m = DeployedModel {
-            spec: ModelSpec { name: "M1", terms: true, rewrites: false, positions: false, init_from_stats: false },
+            spec: ModelSpec {
+                name: "M1",
+                terms: true,
+                rewrites: false,
+                positions: false,
+                init_from_stats: false,
+            },
             classifier: TrainedClassifier::Flat(LogReg::from_parts(vec![2.0, 1.0], 0.0)),
             vocab: vec![
                 OwnedTermFeat::Term("great".into()),
@@ -445,5 +470,4 @@ mod tests {
         let order = scorer.rank(&creatives);
         assert_eq!(order, vec![1, 2, 0]);
     }
-
 }

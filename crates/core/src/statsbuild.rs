@@ -21,13 +21,16 @@
 use microbrowse_store::key::SnippetPos;
 use microbrowse_store::{FeatureKey, ShardedBuilder, StatsDb};
 use microbrowse_text::{
-    FxHashMap, Interner, NGramConfig, NGramExtractor, Sym, Tokenizer, TokenizedSnippet,
+    FxHashMap, Interner, NGramConfig, NGramExtractor, Sym, TermOccurrence, TokenizedSnippet,
+    Tokenizer,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::corpus::{AdCorpus, CreativeId, CreativePair};
+use crate::paircache::PairCache;
 use crate::rewrite::{
-    canonical_rewrite_key, is_canonical_order, MatchStrategy, RewriteConfig, RewriteExtractor,
+    canonical_rewrite_key, is_canonical_order, MatchStrategy, RewriteConfig, RewriteExtraction,
+    RewriteExtractor,
 };
 use crate::serveweight::serve_weights;
 
@@ -45,7 +48,11 @@ pub struct StatsBuildConfig {
 
 impl Default for StatsBuildConfig {
     fn default() -> Self {
-        Self { ngram: NGramConfig::default(), max_rewrite_len: 3, threads: 0 }
+        Self {
+            ngram: NGramConfig::default(),
+            max_rewrite_len: 3,
+            threads: 0,
+        }
     }
 }
 
@@ -71,11 +78,18 @@ impl TokenizedCorpus {
         for group in &corpus.adgroups {
             let sw = serve_weights(group);
             for (creative, w) in group.creatives.iter().zip(sw) {
-                snippets.insert(creative.id, creative.snippet.tokenize(&tokenizer, &mut interner));
+                snippets.insert(
+                    creative.id,
+                    creative.snippet.tokenize(&tokenizer, &mut interner),
+                );
                 serve_weight.insert(creative.id, w);
             }
         }
-        Self { interner, snippets, serve_weight }
+        Self {
+            interner,
+            snippets,
+            serve_weight,
+        }
     }
 
     /// Look up a creative's tokenized snippet (panics on unknown id — the
@@ -97,35 +111,80 @@ pub fn build_stats(
     pairs: &[CreativePair],
     cfg: &StatsBuildConfig,
 ) -> StatsDb {
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map_or(4, |n| n.get())
-    } else {
-        cfg.threads
-    };
+    let threads = microbrowse_par::resolve_threads(cfg.threads);
     let builder = ShardedBuilder::new(threads * 4);
-    let chunk = pairs.len().div_ceil(threads).max(1);
 
-    crossbeam::thread::scope(|scope| {
-        for slice in pairs.chunks(chunk) {
-            let builder = &builder;
-            let mut interner = tc.interner.clone();
-            scope.spawn(move |_| {
-                let ngram = NGramExtractor::new(cfg.ngram);
-                let rewriter = RewriteExtractor::new(RewriteConfig {
-                    max_phrase_len: cfg.max_rewrite_len,
-                    strategy: MatchStrategy::WholeSpan,
-                });
-                let empty = StatsDb::new();
-                let mut batch: Vec<(FeatureKey, bool)> = Vec::new();
-                for pair in slice {
-                    batch.clear();
-                    record_pair(tc, pair, &ngram, &rewriter, &empty, &mut interner, &mut batch);
-                    builder.record_batch(batch.drain(..));
-                }
-            });
+    microbrowse_par::for_each_chunk(pairs, threads, |slice| {
+        let mut interner = tc.interner.clone();
+        let ngram = NGramExtractor::new(cfg.ngram);
+        let rewriter = RewriteExtractor::new(RewriteConfig {
+            max_phrase_len: cfg.max_rewrite_len,
+            strategy: MatchStrategy::WholeSpan,
+        });
+        let empty = StatsDb::new();
+        let mut batch: Vec<(FeatureKey, bool)> = Vec::new();
+        for pair in slice {
+            batch.clear();
+            record_pair(
+                tc,
+                pair,
+                &ngram,
+                &rewriter,
+                &empty,
+                &mut interner,
+                &mut batch,
+            );
+            builder.record_batch(batch.drain(..));
         }
-    })
-    .expect("stats-build worker panicked");
+    });
+
+    builder.freeze()
+}
+
+/// Build the statistics database over the pairs selected by `idxs` (indices
+/// into `pairs`), reusing a [`PairCache`] instead of re-tokenizing: n-gram
+/// occurrences and alignment spans come from the cache, so no pass over a
+/// pair ever touches a mutable interner. Produces exactly the same database
+/// as [`build_stats`] over the selected pairs, at any thread count.
+pub fn build_stats_for(
+    tc: &TokenizedCorpus,
+    pairs: &[CreativePair],
+    idxs: &[usize],
+    cache: &PairCache,
+    cfg: &StatsBuildConfig,
+) -> StatsDb {
+    let threads = microbrowse_par::resolve_threads(cfg.threads);
+    let builder = ShardedBuilder::new(threads * 4);
+    let rewriter = RewriteExtractor::new(RewriteConfig {
+        max_phrase_len: cfg.max_rewrite_len,
+        strategy: MatchStrategy::WholeSpan,
+    });
+    let empty = StatsDb::new();
+
+    microbrowse_par::for_each_chunk(idxs, threads, |slice| {
+        let mut batch: Vec<(FeatureKey, bool)> = Vec::new();
+        for &i in slice {
+            let pair = &pairs[i];
+            let r_wins = tc.sw(pair.r) > tc.sw(pair.s);
+            batch.clear();
+            record_terms(
+                &tc.interner,
+                cache.term_occs(pair.r),
+                cache.term_occs(pair.s),
+                r_wins,
+                &mut batch,
+            );
+            let ext = rewriter.extract_prepared(
+                tc.snippet(pair.r),
+                tc.snippet(pair.s),
+                cache.prepared(i),
+                &empty,
+                &tc.interner,
+            );
+            record_rewrites(&tc.interner, &ext, r_wins, &mut batch);
+            builder.record_batch(batch.drain(..));
+        }
+    });
 
     builder.freeze()
 }
@@ -144,22 +203,39 @@ fn record_pair(
     let s = tc.snippet(pair.s);
     let r_wins = tc.sw(pair.r) > tc.sw(pair.s);
 
-    // ---- Term + term-position statistics --------------------------------
     let r_occs = ngram.extract(r, interner);
     let s_occs = ngram.extract(s, interner);
-    let collect_phrases = |occs: &[microbrowse_text::TermOccurrence]| {
+    record_terms(interner, &r_occs, &s_occs, r_wins, out);
+
+    let ext = rewriter.extract(r, s, empty_db, interner);
+    record_rewrites(interner, &ext, r_wins, out);
+}
+
+/// Term + term-position statistics: every n-gram present in exactly one
+/// creative contributes one observation per phrase plus one per occurrence.
+fn record_terms(
+    interner: &Interner,
+    r_occs: &[TermOccurrence],
+    s_occs: &[TermOccurrence],
+    r_wins: bool,
+    out: &mut Vec<(FeatureKey, bool)>,
+) {
+    let collect_phrases = |occs: &[TermOccurrence]| {
         let mut map: FxHashMap<Sym, Vec<SnippetPos>> = FxHashMap::default();
         for occ in occs {
-            map.entry(occ.ngram.phrase).or_default().push(SnippetPos::new(occ.line, occ.pos));
+            map.entry(occ.ngram.phrase)
+                .or_default()
+                .push(SnippetPos::new(occ.line, occ.pos));
         }
         map
     };
-    let r_phrases = collect_phrases(&r_occs);
-    let s_phrases = collect_phrases(&s_occs);
+    let r_phrases = collect_phrases(r_occs);
+    let s_phrases = collect_phrases(s_occs);
 
-    for (side_phrases, other_phrases, side_wins) in
-        [(&r_phrases, &s_phrases, r_wins), (&s_phrases, &r_phrases, !r_wins)]
-    {
+    for (side_phrases, other_phrases, side_wins) in [
+        (&r_phrases, &s_phrases, r_wins),
+        (&s_phrases, &r_phrases, !r_wins),
+    ] {
         for (&phrase, positions) in side_phrases {
             if other_phrases.contains_key(&phrase) {
                 continue; // shared phrase: no sw-diff evidence
@@ -170,20 +246,34 @@ fn record_pair(
             }
         }
     }
+}
 
-    // ---- Rewrite + rewrite-position statistics --------------------------
-    let ext = rewriter.extract(r, s, empty_db, interner);
+/// Rewrite + rewrite-position statistics from one pair's whole-span
+/// extraction.
+fn record_rewrites(
+    interner: &Interner,
+    ext: &RewriteExtraction,
+    r_wins: bool,
+    out: &mut Vec<(FeatureKey, bool)>,
+) {
     for rw in &ext.rewrites {
         let from = interner.resolve(rw.from.phrase).to_owned();
         let to = interner.resolve(rw.to.phrase).to_owned();
         // §V-B: "if a term in creative R is rewritten to a term in creative
         // S … sw-diff [is] the difference of serve-weights of R and S."
-        let delta = if is_canonical_order(&from, &to) { r_wins } else { !r_wins };
+        let delta = if is_canonical_order(&from, &to) {
+            r_wins
+        } else {
+            !r_wins
+        };
         out.push((canonical_rewrite_key(&from, &to), delta));
         // Position pair stats, recorded in both directions so lookups are
         // orientation-free.
         out.push((FeatureKey::rewrite_position(rw.from.pos, rw.to.pos), r_wins));
-        out.push((FeatureKey::rewrite_position(rw.to.pos, rw.from.pos), !r_wins));
+        out.push((
+            FeatureKey::rewrite_position(rw.to.pos, rw.from.pos),
+            !r_wins,
+        ));
     }
 }
 
@@ -215,14 +305,23 @@ mod tests {
                 },
             ],
         };
-        AdCorpus { adgroups: vec![make(0, 0, 900, 300), make(1, 10, 800, 250)] }
+        AdCorpus {
+            adgroups: vec![make(0, 0, 900, 300), make(1, 10, 800, 250)],
+        }
     }
 
     fn build(corpus: &AdCorpus) -> (TokenizedCorpus, StatsDb) {
         let tc = TokenizedCorpus::build(corpus);
         let pairs = corpus.extract_pairs(&PairFilter::default());
         assert_eq!(pairs.len(), 2);
-        let db = build_stats(&tc, &pairs, &StatsBuildConfig { threads: 2, ..Default::default() });
+        let db = build_stats(
+            &tc,
+            &pairs,
+            &StatsBuildConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
         (tc, db)
     }
 
@@ -232,7 +331,9 @@ mod tests {
         let cheap = db.get(&FeatureKey::term("cheap")).expect("cheap stat");
         assert_eq!(cheap.up, 2);
         assert_eq!(cheap.down, 0);
-        let pricey = db.get(&FeatureKey::term("expensive")).expect("expensive stat");
+        let pricey = db
+            .get(&FeatureKey::term("expensive"))
+            .expect("expensive stat");
         assert_eq!(pricey.up, 0);
         assert_eq!(pricey.down, 2);
         // Log-odds point the right way.
@@ -276,7 +377,10 @@ mod tests {
         assert!(stat.total() >= 4, "stat {stat:?}");
         // Rewrite-position pair recorded both ways.
         let fwd = db
-            .get(&FeatureKey::rewrite_position(SnippetPos::new(1, 1), SnippetPos::new(1, 1)))
+            .get(&FeatureKey::rewrite_position(
+                SnippetPos::new(1, 1),
+                SnippetPos::new(1, 1),
+            ))
             .expect("rw pos");
         assert_eq!(fwd.up, fwd.down, "symmetric recording: {fwd:?}");
     }
@@ -286,11 +390,47 @@ mod tests {
         let c = corpus();
         let tc = TokenizedCorpus::build(&c);
         let pairs = c.extract_pairs(&PairFilter::default());
-        let db1 =
-            build_stats(&tc, &pairs, &StatsBuildConfig { threads: 1, ..Default::default() });
-        let db4 =
-            build_stats(&tc, &pairs, &StatsBuildConfig { threads: 4, ..Default::default() });
+        let db1 = build_stats(
+            &tc,
+            &pairs,
+            &StatsBuildConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let db4 = build_stats(
+            &tc,
+            &pairs,
+            &StatsBuildConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(db1.sorted_records(), db4.sorted_records());
+    }
+
+    #[test]
+    fn cached_build_matches_direct_build() {
+        let c = corpus();
+        let mut tc = TokenizedCorpus::build(&c);
+        let pairs = c.extract_pairs(&PairFilter::default());
+        let cfg = StatsBuildConfig::default();
+        let cache = PairCache::build(
+            &mut tc,
+            &pairs,
+            cfg.ngram,
+            crate::rewrite::RewriteConfig::default(),
+            cfg.max_rewrite_len,
+        );
+        let direct = build_stats(&tc, &pairs, &cfg);
+        let idxs: Vec<usize> = (0..pairs.len()).collect();
+        let cached = build_stats_for(&tc, &pairs, &idxs, &cache, &cfg);
+        assert_eq!(direct.sorted_records(), cached.sorted_records());
+
+        // A subset build equals a direct build over that subset.
+        let subset = build_stats(&tc, &pairs[..1], &cfg);
+        let cached_subset = build_stats_for(&tc, &pairs, &[0], &cache, &cfg);
+        assert_eq!(subset.sorted_records(), cached_subset.sorted_records());
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! The parallel experiment engine must be *bit-identical* to the serial
+//! pipeline: thread count is a throughput knob, never a results knob.
+//! These tests run the same experiment at 1, 2, and 8 threads and demand
+//! exact equality of every outcome field.
+
+use microbrowse_core::classifier::TrainConfig;
+use microbrowse_core::pipeline::{run_all_models, run_experiment, ExperimentConfig};
+use microbrowse_core::{AdCorpus, AdGroup, AdGroupId, Creative, CreativeId, ModelSpec, Placement};
+use microbrowse_text::Snippet;
+
+/// A small but non-trivial corpus: three creatives per adgroup with
+/// overlapping rewrites, so greedy matching and coupled training both have
+/// real work to do.
+fn corpus(n_groups: u64) -> AdCorpus {
+    let heads = [
+        "book cheap flights today",
+        "find cheap flights now",
+        "book pricey flights today",
+    ];
+    let descs = [
+        "trusted by millions",
+        "fees may apply here",
+        "great rates all year",
+    ];
+    let adgroups = (0..n_groups)
+        .map(|g| AdGroup {
+            id: AdGroupId(g),
+            keyword: "flights".into(),
+            placement: Placement::Top,
+            creatives: (0..3)
+                .map(|c| Creative {
+                    id: CreativeId(g * 3 + c),
+                    snippet: Snippet::creative(
+                        "Air Travel",
+                        heads[c as usize],
+                        descs[((g + c) % 3) as usize],
+                    ),
+                    impressions: 5_000,
+                    clicks: [430, 380, 160][c as usize] + (g % 5) * 7,
+                })
+                .collect(),
+        })
+        .collect();
+    AdCorpus { adgroups }
+}
+
+fn cfg(threads: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        folds: 4,
+        threads,
+        train: TrainConfig {
+            logreg: microbrowse_ml::LogRegConfig {
+                epochs: 4,
+                ..Default::default()
+            },
+            coupled: microbrowse_ml::coupled::CoupledOptimizer::Joint {
+                epochs: 6,
+                eta0: 0.1,
+                l1: 1e-5,
+                l2: 1e-6,
+                seed: 7,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn flat_model_identical_across_thread_counts() {
+    let corpus = corpus(14);
+    let baseline = run_experiment(&corpus, ModelSpec::m3(), &cfg(1));
+    for threads in [2, 8] {
+        let out = run_experiment(&corpus, ModelSpec::m3(), &cfg(threads));
+        assert_eq!(baseline, out, "m3 diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn coupled_model_identical_across_thread_counts() {
+    let corpus = corpus(14);
+    let baseline = run_experiment(&corpus, ModelSpec::m6(), &cfg(1));
+    for threads in [2, 8] {
+        let out = run_experiment(&corpus, ModelSpec::m6(), &cfg(threads));
+        assert_eq!(baseline, out, "m6 diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn run_all_models_identical_across_thread_counts() {
+    let corpus = corpus(10);
+    let baseline = run_all_models(&corpus, &cfg(1));
+    assert_eq!(baseline.len(), 6);
+    for threads in [2, 8] {
+        let outs = run_all_models(&corpus, &cfg(threads));
+        assert_eq!(
+            baseline, outs,
+            "run_all_models diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn batched_engine_matches_independent_runs() {
+    // run_all_models shares fold statistics and the pair cache across all
+    // six specs; each spec's outcome must still equal a solo run.
+    let corpus = corpus(10);
+    let batched = run_all_models(&corpus, &cfg(2));
+    for out in &batched {
+        let solo = run_experiment(&corpus, out.spec, &cfg(2));
+        assert_eq!(
+            out, &solo,
+            "{} diverged between batched and solo runs",
+            out.spec.name
+        );
+    }
+}
+
+#[test]
+fn full_corpus_stats_variant_identical_across_thread_counts() {
+    let corpus = corpus(10);
+    let base_cfg = ExperimentConfig {
+        stats_on_full_corpus: true,
+        ..cfg(1)
+    };
+    let baseline = run_experiment(&corpus, ModelSpec::m4(), &base_cfg);
+    for threads in [2, 8] {
+        let c = ExperimentConfig {
+            stats_on_full_corpus: true,
+            ..cfg(threads)
+        };
+        let out = run_experiment(&corpus, ModelSpec::m4(), &c);
+        assert_eq!(
+            baseline, out,
+            "full-corpus-stats m4 diverged at {threads} threads"
+        );
+    }
+}

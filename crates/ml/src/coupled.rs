@@ -58,7 +58,11 @@ pub struct CoupledDataset {
 impl CoupledDataset {
     /// Create an empty dataset with declared index-space sizes.
     pub fn with_dims(n_pos: usize, n_terms: usize) -> Self {
-        Self { examples: Vec::new(), n_pos, n_terms }
+        Self {
+            examples: Vec::new(),
+            n_pos,
+            n_terms,
+        }
     }
 
     /// Add an example, growing the index spaces as needed.
@@ -109,8 +113,11 @@ impl CoupledDataset {
     fn flatten_fixing_terms(&self, term_w: &[f64]) -> Dataset {
         let mut d = Dataset::with_dim(self.n_pos);
         for ex in &self.examples {
-            let pairs: Vec<(u32, f64)> =
-                ex.occs.iter().map(|o| (o.pos, o.value * term_w[o.term as usize])).collect();
+            let pairs: Vec<(u32, f64)> = ex
+                .occs
+                .iter()
+                .map(|o| (o.pos, o.value * term_w[o.term as usize]))
+                .collect();
             d.push(Example::new(SparseVec::from_pairs(pairs), ex.label));
         }
         d
@@ -121,8 +128,11 @@ impl CoupledDataset {
     fn flatten_fixing_positions(&self, pos_w: &[f64]) -> Dataset {
         let mut d = Dataset::with_dim(self.n_terms);
         for ex in &self.examples {
-            let pairs: Vec<(u32, f64)> =
-                ex.occs.iter().map(|o| (o.term, o.value * pos_w[o.pos as usize])).collect();
+            let pairs: Vec<(u32, f64)> = ex
+                .occs
+                .iter()
+                .map(|o| (o.term, o.value * pos_w[o.pos as usize]))
+                .collect();
             d.push(Example::new(SparseVec::from_pairs(pairs), ex.label));
         }
         d
@@ -160,7 +170,13 @@ pub enum CoupledOptimizer {
 
 impl Default for CoupledOptimizer {
     fn default() -> Self {
-        CoupledOptimizer::Joint { epochs: 60, eta0: 0.15, l1: 1e-5, l2: 1e-6, seed: 0x5eed }
+        CoupledOptimizer::Joint {
+            epochs: 60,
+            eta0: 0.15,
+            l1: 1e-5,
+            l2: 1e-6,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -193,7 +209,10 @@ impl Default for CoupledConfig {
         Self {
             optimizer: CoupledOptimizer::default(),
             term_cfg: LogRegConfig::default(),
-            pos_cfg: LogRegConfig { l1: 0.0, ..LogRegConfig::default() },
+            pos_cfg: LogRegConfig {
+                l1: 0.0,
+                ..LogRegConfig::default()
+            },
             init_pos: None,
             init_terms: None,
             nonnegative_positions: true,
@@ -212,7 +231,11 @@ pub struct CoupledModel {
 impl CoupledModel {
     /// Construct from explicit parameters (model deserialization, fixtures).
     pub fn from_parts(pos_weights: Vec<f64>, term_weights: Vec<f64>, bias: f64) -> Self {
-        Self { pos_weights, term_weights, bias }
+        Self {
+            pos_weights,
+            term_weights,
+            bias,
+        }
     }
 
     /// The learned position weights `P` (Figure 3 plots these).
@@ -235,7 +258,11 @@ impl CoupledModel {
         let mut z = self.bias;
         for o in &ex.occs {
             let p = self.pos_weights.get(o.pos as usize).copied().unwrap_or(0.0);
-            let t = self.term_weights.get(o.term as usize).copied().unwrap_or(0.0);
+            let t = self
+                .term_weights
+                .get(o.term as usize)
+                .copied()
+                .unwrap_or(0.0);
             z += o.value * p * t;
         }
         z
@@ -255,9 +282,13 @@ impl CoupledModel {
     pub fn fit(data: &CoupledDataset, cfg: &CoupledConfig) -> CoupledModel {
         match cfg.optimizer {
             CoupledOptimizer::Alternating { rounds } => Self::fit_alternating(data, cfg, rounds),
-            CoupledOptimizer::Joint { epochs, eta0, l1, l2, seed } => {
-                Self::fit_joint(data, cfg, epochs, eta0, l1, l2, seed)
-            }
+            CoupledOptimizer::Joint {
+                epochs,
+                eta0,
+                l1,
+                l2,
+                seed,
+            } => Self::fit_joint(data, cfg, epochs, eta0, l1, l2, seed),
         }
     }
 
@@ -346,7 +377,11 @@ impl CoupledModel {
             }
         }
         Self::normalize_scale(&mut pos_w, &mut term_w);
-        CoupledModel { pos_weights: pos_w, term_weights: term_w, bias }
+        CoupledModel {
+            pos_weights: pos_w,
+            term_weights: term_w,
+            bias,
+        }
     }
 
     /// Train by alternating coupled logistic regressions (the paper's
@@ -391,7 +426,11 @@ impl CoupledModel {
             }
         }
 
-        CoupledModel { pos_weights: pos_w, term_weights: term_w, bias }
+        CoupledModel {
+            pos_weights: pos_w,
+            term_weights: term_w,
+            bias,
+        }
     }
 }
 
@@ -435,22 +474,29 @@ mod tests {
         let model = CoupledModel::fit(&data, &cfg);
 
         // Predictive accuracy well above chance.
-        let correct = data.examples().iter().filter(|e| model.predict(e) == e.label).count();
+        let correct = data
+            .examples()
+            .iter()
+            .filter(|e| model.predict(e) == e.label)
+            .count();
         let acc = correct as f64 / data.len() as f64;
         assert!(acc > 0.70, "accuracy {acc}");
 
         // Learned position profile is monotone-decreasing like the truth.
         let p = model.pos_weights();
         assert_eq!(p.len(), true_pos.len());
-        assert!(p[0] > p[1] && p[1] > p[2] && p[2] > p[3], "positions not decaying: {p:?}");
+        assert!(
+            p[0] > p[1] && p[1] > p[2] && p[2] > p[3],
+            "positions not decaying: {p:?}"
+        );
     }
 
     #[test]
     fn scale_normalization_holds() {
         let (data, _) = planted(12, 800);
         let model = CoupledModel::fit(&data, &CoupledConfig::default());
-        let mean_abs: f64 =
-            model.pos_weights().iter().map(|w| w.abs()).sum::<f64>() / model.pos_weights().len() as f64;
+        let mean_abs: f64 = model.pos_weights().iter().map(|w| w.abs()).sum::<f64>()
+            / model.pos_weights().len() as f64;
         assert!((mean_abs - 1.0).abs() < 1e-9, "mean abs {mean_abs}");
     }
 
@@ -476,7 +522,11 @@ mod tests {
         assert_eq!(model.pos_weights(), &[1.0, 0.5]);
         assert_eq!(model.term_weights(), &[0.3, -0.2, 0.0]);
         let ex = CoupledExample {
-            occs: vec![CoupledFeature { pos: 1, term: 0, value: 2.0 }],
+            occs: vec![CoupledFeature {
+                pos: 1,
+                term: 0,
+                value: 2.0,
+            }],
             label: true,
         };
         assert!((model.score(&ex) - 2.0 * 0.5 * 0.3).abs() < 1e-12);
@@ -486,7 +536,11 @@ mod tests {
     fn dims_grow_on_push() {
         let mut d = CoupledDataset::with_dims(0, 0);
         d.push(CoupledExample {
-            occs: vec![CoupledFeature { pos: 3, term: 9, value: 1.0 }],
+            occs: vec![CoupledFeature {
+                pos: 3,
+                term: 9,
+                value: 1.0,
+            }],
             label: false,
         });
         assert_eq!(d.n_pos(), 4);
@@ -495,9 +549,17 @@ mod tests {
 
     #[test]
     fn score_handles_out_of_range_indices() {
-        let model = CoupledModel { pos_weights: vec![1.0], term_weights: vec![1.0], bias: 0.5 };
+        let model = CoupledModel {
+            pos_weights: vec![1.0],
+            term_weights: vec![1.0],
+            bias: 0.5,
+        };
         let ex = CoupledExample {
-            occs: vec![CoupledFeature { pos: 5, term: 5, value: 1.0 }],
+            occs: vec![CoupledFeature {
+                pos: 5,
+                term: 5,
+                value: 1.0,
+            }],
             label: true,
         };
         assert_eq!(model.score(&ex), 0.5); // unseen indices contribute zero

@@ -18,6 +18,21 @@ pub struct FoldSplit {
     pub test_idx: Vec<usize>,
 }
 
+impl FoldSplit {
+    /// Boolean membership mask over `n` items: `mask[i]` is true iff `i` is
+    /// held out by this fold. O(1) membership for callers that would
+    /// otherwise probe a set per item.
+    ///
+    /// Panics if any test index is `>= n`.
+    pub fn test_mask(&self, n: usize) -> Vec<bool> {
+        let mut mask = vec![false; n];
+        for &i in &self.test_idx {
+            mask[i] = true;
+        }
+        mask
+    }
+}
+
 /// Plain k-fold split of `n` items: shuffle once, deal round-robin.
 ///
 /// Every index appears in exactly one fold; fold sizes differ by at most 1.
@@ -174,7 +189,10 @@ mod tests {
             // Every group fully inside or fully outside this fold.
             for g in gset {
                 let members: Vec<usize> = (0..30).filter(|&i| groups[i] == g).collect();
-                assert!(members.iter().all(|i| f.test_idx.contains(i)), "group {g} split");
+                assert!(
+                    members.iter().all(|i| f.test_idx.contains(i)),
+                    "group {g} split"
+                );
             }
         }
     }
@@ -190,6 +208,22 @@ mod tests {
         let folds = grouped_kfold(&[], 3, 0);
         assert_eq!(folds.len(), 3);
         assert!(folds.iter().all(|f| f.test_idx.is_empty()));
+    }
+
+    #[test]
+    fn test_mask_matches_indices() {
+        for fold in kfold(23, 4, 7) {
+            let mask = fold.test_mask(23);
+            for (i, &m) in mask.iter().enumerate() {
+                assert_eq!(
+                    m,
+                    fold.test_idx.contains(&i),
+                    "index {i} of fold {}",
+                    fold.fold
+                );
+            }
+            assert_eq!(mask.iter().filter(|&&m| m).count(), fold.test_idx.len());
+        }
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct Example {
 impl Example {
     /// Construct with unit weight.
     pub fn new(features: SparseVec, label: bool) -> Self {
-        Self { features, label, weight: 1.0 }
+        Self {
+            features,
+            label,
+            weight: 1.0,
+        }
     }
 }
 
@@ -41,14 +45,24 @@ pub struct Dataset {
 impl Dataset {
     /// Create an empty dataset with a declared feature dimension.
     pub fn with_dim(dim: usize) -> Self {
-        Self { examples: Vec::new(), dim }
+        Self {
+            examples: Vec::new(),
+            dim,
+        }
     }
 
     /// Build from examples; the dimension is the max of `declared_dim` and
     /// what the examples require.
     pub fn from_examples(examples: Vec<Example>, declared_dim: usize) -> Self {
-        let needed = examples.iter().map(|e| e.features.dim_lower_bound()).max().unwrap_or(0);
-        Self { examples, dim: declared_dim.max(needed) }
+        let needed = examples
+            .iter()
+            .map(|e| e.features.dim_lower_bound())
+            .max()
+            .unwrap_or(0);
+        Self {
+            examples,
+            dim: declared_dim.max(needed),
+        }
     }
 
     /// Add one example, growing `dim` if needed.
@@ -91,13 +105,19 @@ impl Dataset {
     /// Materialize the subset selected by `idx` (indices into this dataset).
     pub fn subset(&self, idx: &[usize]) -> Dataset {
         let examples = idx.iter().map(|&i| self.examples[i].clone()).collect();
-        Dataset { examples, dim: self.dim }
+        Dataset {
+            examples,
+            dim: self.dim,
+        }
     }
 
     /// Split into (train, test) given test indices; everything not in
     /// `test_idx` goes to train. `test_idx` must be sorted.
     pub fn split(&self, test_idx: &[usize]) -> (Dataset, Dataset) {
-        debug_assert!(test_idx.windows(2).all(|w| w[0] < w[1]), "test_idx must be sorted");
+        debug_assert!(
+            test_idx.windows(2).all(|w| w[0] < w[1]),
+            "test_idx must be sorted"
+        );
         let mut train = Vec::with_capacity(self.len().saturating_sub(test_idx.len()));
         let mut test = Vec::with_capacity(test_idx.len());
         let mut cursor = 0usize;
@@ -109,7 +129,16 @@ impl Dataset {
                 train.push(ex.clone());
             }
         }
-        (Dataset { examples: train, dim: self.dim }, Dataset { examples: test, dim: self.dim })
+        (
+            Dataset {
+                examples: train,
+                dim: self.dim,
+            },
+            Dataset {
+                examples: test,
+                dim: self.dim,
+            },
+        )
     }
 }
 

@@ -81,7 +81,10 @@ impl Default for LogRegConfig {
             l1: 1e-5,
             l2: 1e-6,
             epochs: 12,
-            schedule: LrSchedule::InverseDecay { eta0: 0.12, t_half: 50_000.0 },
+            schedule: LrSchedule::InverseDecay {
+                eta0: 0.12,
+                t_half: 50_000.0,
+            },
             seed: 0x5eed,
             init_weights: None,
             fit_bias: true,
@@ -110,7 +113,10 @@ pub struct LogReg {
 impl LogReg {
     /// A zero model over `dim` features.
     pub fn zeros(dim: usize) -> Self {
-        Self { weights: vec![0.0; dim], bias: 0.0 }
+        Self {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+        }
     }
 
     /// Construct from explicit parameters (e.g. a stats-DB-initialized
@@ -208,7 +214,14 @@ impl LogReg {
         }
 
         let zero_weights = weights.iter().filter(|&&w| w == 0.0).count();
-        (Self { weights, bias }, TrainReport { epoch_losses, zero_weights, steps: t })
+        (
+            Self { weights, bias },
+            TrainReport {
+                epoch_losses,
+                zero_weights,
+                steps: t,
+            },
+        )
     }
 }
 
@@ -260,14 +273,23 @@ mod tests {
     #[test]
     fn learns_separable_data() {
         let data = linearly_separable(600, 1);
-        let cfg = LogRegConfig { l1: 0.0, l2: 0.0, epochs: 30, ..Default::default() };
+        let cfg = LogRegConfig {
+            l1: 0.0,
+            l2: 0.0,
+            epochs: 30,
+            ..Default::default()
+        };
         let (model, report) = LogReg::fit(&data, &cfg);
         let correct = data
             .examples()
             .iter()
             .filter(|e| model.predict(&e.features) == e.label)
             .count();
-        assert!(correct as f64 / data.len() as f64 > 0.98, "accuracy too low: {correct}/{}", data.len());
+        assert!(
+            correct as f64 / data.len() as f64 > 0.98,
+            "accuracy too low: {correct}/{}",
+            data.len()
+        );
         // Loss decreased over training.
         assert!(report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap());
     }
@@ -288,8 +310,18 @@ mod tests {
             }
             d.push(Example::new(SparseVec::from_pairs(pairs), label));
         }
-        let strong = LogRegConfig { l1: 5e-3, l2: 0.0, epochs: 15, ..Default::default() };
-        let weak = LogRegConfig { l1: 0.0, l2: 0.0, epochs: 15, ..Default::default() };
+        let strong = LogRegConfig {
+            l1: 5e-3,
+            l2: 0.0,
+            epochs: 15,
+            ..Default::default()
+        };
+        let weak = LogRegConfig {
+            l1: 0.0,
+            l2: 0.0,
+            epochs: 15,
+            ..Default::default()
+        };
         let (_, rep_strong) = LogReg::fit(&d, &strong);
         let (_, rep_weak) = LogReg::fit(&d, &weak);
         assert!(
@@ -318,7 +350,11 @@ mod tests {
     #[test]
     fn warm_start_speeds_up_fit() {
         let d = linearly_separable(300, 4);
-        let one_epoch_cold = LogRegConfig { epochs: 1, l1: 0.0, ..Default::default() };
+        let one_epoch_cold = LogRegConfig {
+            epochs: 1,
+            l1: 0.0,
+            ..Default::default()
+        };
         let one_epoch_warm = LogRegConfig {
             epochs: 1,
             l1: 0.0,
@@ -354,7 +390,13 @@ mod tests {
         for _ in 0..100 {
             d.push(Example::new(SparseVec::new(), true));
         }
-        let (m, _) = LogReg::fit(&d, &LogRegConfig { l1: 0.0, ..Default::default() });
+        let (m, _) = LogReg::fit(
+            &d,
+            &LogRegConfig {
+                l1: 0.0,
+                ..Default::default()
+            },
+        );
         assert!(m.bias() > 0.5);
         assert!(m.predict_proba(&SparseVec::new()) > 0.6);
     }

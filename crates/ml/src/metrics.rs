@@ -54,7 +54,13 @@ impl Confusion {
 
     /// Derive the scalar metrics.
     pub fn metrics(&self) -> BinaryMetrics {
-        let safe = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let safe = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         let precision = safe(self.tp, self.tp + self.fp);
         let recall = safe(self.tp, self.tp + self.fn_);
         let f1 = if precision + recall == 0.0 {
@@ -114,7 +120,12 @@ pub fn auc(scored: &[(f64, bool)]) -> f64 {
         return 0.5;
     }
     let mut order: Vec<usize> = (0..scored.len()).collect();
-    order.sort_by(|&a, &b| scored[a].0.partial_cmp(&scored[b].0).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scored[a]
+            .0
+            .partial_cmp(&scored[b].0)
+            .expect("scores must not be NaN")
+    });
     // Midranks for ties.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0usize;
@@ -215,7 +226,12 @@ mod tests {
 
     #[test]
     fn metrics_formulas() {
-        let c = Confusion { tp: 70, fp: 30, tn: 60, fn_: 40 };
+        let c = Confusion {
+            tp: 70,
+            fp: 30,
+            tn: 60,
+            fn_: 40,
+        };
         let m = c.metrics();
         assert!((m.precision - 0.7).abs() < 1e-12);
         assert!((m.recall - 7.0 / 11.0).abs() < 1e-12);
@@ -235,15 +251,45 @@ mod tests {
 
     #[test]
     fn merge_adds() {
-        let mut a = Confusion { tp: 1, fp: 2, tn: 3, fn_: 4 };
-        a.merge(&Confusion { tp: 10, fp: 20, tn: 30, fn_: 40 });
-        assert_eq!(a, Confusion { tp: 11, fp: 22, tn: 33, fn_: 44 });
+        let mut a = Confusion {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        a.merge(&Confusion {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        });
+        assert_eq!(
+            a,
+            Confusion {
+                tp: 11,
+                fp: 22,
+                tn: 33,
+                fn_: 44
+            }
+        );
     }
 
     #[test]
     fn mean_of_metrics() {
-        let a = BinaryMetrics { precision: 0.5, recall: 0.5, f1: 0.5, accuracy: 0.5, support: 10 };
-        let b = BinaryMetrics { precision: 1.0, recall: 0.0, f1: 0.0, accuracy: 0.7, support: 20 };
+        let a = BinaryMetrics {
+            precision: 0.5,
+            recall: 0.5,
+            f1: 0.5,
+            accuracy: 0.5,
+            support: 10,
+        };
+        let b = BinaryMetrics {
+            precision: 1.0,
+            recall: 0.0,
+            f1: 0.0,
+            accuracy: 0.7,
+            support: 20,
+        };
         let m = BinaryMetrics::mean(&[a, b]);
         assert!((m.precision - 0.75).abs() < 1e-12);
         assert!((m.accuracy - 0.6).abs() < 1e-12);

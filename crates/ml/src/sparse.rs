@@ -73,7 +73,10 @@ impl SparseVec {
 
     /// Iterate `(index, value)` in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Value at `index` (0.0 if absent). O(log nnz).

@@ -1,0 +1,196 @@
+//! Scoped deterministic parallelism for the experiment engine.
+//!
+//! Everything here is built on `std::thread::scope` — no external runtime.
+//! The contract shared by all entry points: **results are identical to the
+//! serial computation at any thread count.** [`par_map`] / [`par_map_with`]
+//! guarantee this structurally (results are collected by input index), so a
+//! caller only needs its per-item closure to be a pure function of the item
+//! for end-to-end determinism. Work is distributed by atomic index stealing,
+//! which keeps threads busy under skewed per-item cost (featurization and
+//! fold training both are).
+//!
+//! Thread-count resolution ([`resolve_threads`]) is shared by every knob in
+//! the workspace: explicit config beats the `MICROBROWSE_THREADS`
+//! environment variable beats detected parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable consulted when a thread count of 0 (auto) is given.
+pub const THREADS_ENV: &str = "MICROBROWSE_THREADS";
+
+/// Resolve a requested worker count: explicit `requested > 0` wins, then a
+/// positive `MICROBROWSE_THREADS`, then `std::thread::available_parallelism`.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Map `f` over `items` on up to `threads` workers, returning results in
+/// input order. `f` receives the item index alongside the item.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(items, threads, || (), |(), i, item| f(i, item))
+}
+
+/// [`par_map`] with per-worker scratch state: `init` runs once on each
+/// worker thread (e.g. to clone an interner) and the state is threaded
+/// through that worker's calls. Results are returned in input order
+/// regardless of which worker produced them.
+pub fn par_map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&mut state, i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map missed an index"))
+        .collect()
+}
+
+/// Split `items` into at most `threads` contiguous chunks and run `f` on
+/// each concurrently. For side-effecting scans (e.g. recording into a
+/// sharded builder); per-worker state belongs inside `f`, which runs once
+/// per chunk.
+pub fn for_each_chunk<T, F>(items: &[T], threads: usize, f: F)
+where
+    T: Sync,
+    F: Fn(&[T]) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    if threads <= 1 || items.len() == 1 {
+        f(items);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        for slice in items.chunks(chunk) {
+            scope.spawn(|| f(slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_serial_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 8, 64] {
+            let par = par_map(&items, threads, |_, &x| x * x + 1);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_with_reuses_worker_state() {
+        let items: Vec<usize> = (0..100).collect();
+        let inits = AtomicUsize::new(0);
+        let out = par_map_with(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, i, &x| {
+                scratch.push(x);
+                i + x
+            },
+        );
+        assert_eq!(out, items.iter().map(|&x| 2 * x).collect::<Vec<_>>());
+        assert!(
+            inits.load(Ordering::Relaxed) <= 4,
+            "one init per worker at most"
+        );
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 8, |_, &x| x);
+        assert!(out.is_empty());
+        for_each_chunk(&[] as &[u32], 8, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn chunks_cover_all_items_exactly_once() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 7, 16] {
+            let sum = AtomicUsize::new(0);
+            let calls = AtomicUsize::new(0);
+            for_each_chunk(&items, threads, |slice| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(slice.iter().sum::<usize>(), Ordering::Relaxed);
+            });
+            assert_eq!(
+                sum.load(Ordering::Relaxed),
+                1000 * 999 / 2,
+                "threads = {threads}"
+            );
+            assert!(calls.load(Ordering::Relaxed) <= threads);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+    }
+}

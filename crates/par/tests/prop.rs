@@ -1,0 +1,38 @@
+//! Property tests: the par-map combinators must behave exactly like their
+//! serial counterparts for every input shape and thread count.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// `par_map` returns results in input order — equal to a serial `map` —
+    /// for any item count and any thread count (including 0 = auto and
+    /// counts far above the item count).
+    #[test]
+    fn par_map_preserves_order(
+        items in prop::collection::vec(any::<u64>(), 0..200),
+        threads in 0usize..9,
+    ) {
+        let expected: Vec<(usize, u64)> =
+            items.iter().enumerate().map(|(i, &x)| (i, x.wrapping_mul(31))).collect();
+        let got = microbrowse_par::par_map(&items, threads, |i, &x| (i, x.wrapping_mul(31)));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `for_each_chunk` visits every item exactly once across all chunks.
+    #[test]
+    fn for_each_chunk_covers_all_items(
+        items in prop::collection::vec(any::<u32>(), 0..200),
+        threads in 0usize..9,
+    ) {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        microbrowse_par::for_each_chunk(&items, threads, |chunk| {
+            seen.lock().unwrap().extend_from_slice(chunk);
+        });
+        let mut got = seen.into_inner().unwrap();
+        let mut expected = items.clone();
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -94,7 +94,10 @@ fn get_pos(buf: &mut impl Buf) -> Result<SnippetPos, DecodeError> {
     }
     let line = buf.get_u8();
     let pos = get_varint(buf)?;
-    Ok(SnippetPos { line, pos: pos.min(u64::from(u16::MAX)) as u16 })
+    Ok(SnippetPos {
+        line,
+        pos: pos.min(u64::from(u16::MAX)) as u16,
+    })
 }
 
 /// Encode a [`FeatureKey`].
@@ -122,12 +125,18 @@ pub fn get_key(buf: &mut impl Buf) -> Result<FeatureKey, DecodeError> {
     let tag = buf.get_u8();
     let family = KeyFamily::from_tag(tag).ok_or(DecodeError::UnknownTag(tag))?;
     Ok(match family {
-        KeyFamily::Term => FeatureKey::Term { phrase: get_str(buf)? },
-        KeyFamily::Rewrite => FeatureKey::Rewrite { from: get_str(buf)?, to: get_str(buf)? },
+        KeyFamily::Term => FeatureKey::Term {
+            phrase: get_str(buf)?,
+        },
+        KeyFamily::Rewrite => FeatureKey::Rewrite {
+            from: get_str(buf)?,
+            to: get_str(buf)?,
+        },
         KeyFamily::TermPosition => FeatureKey::TermPosition(get_pos(buf)?),
-        KeyFamily::RewritePosition => {
-            FeatureKey::RewritePosition { from: get_pos(buf)?, to: get_pos(buf)? }
-        }
+        KeyFamily::RewritePosition => FeatureKey::RewritePosition {
+            from: get_pos(buf)?,
+            to: get_pos(buf)?,
+        },
     })
 }
 
@@ -162,7 +171,17 @@ mod tests {
 
     #[test]
     fn varint_round_trip_edges() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = BytesMut::new();
             put_varint(&mut buf, v);
             let mut s = buf.freeze();
@@ -232,7 +251,10 @@ mod tests {
     #[test]
     fn record_round_trip() {
         let key = FeatureKey::rewrite("flights", "flying");
-        let stat = FeatureStat { up: 12_345, down: 7 };
+        let stat = FeatureStat {
+            up: 12_345,
+            down: 7,
+        };
         let mut buf = BytesMut::new();
         put_record(&mut buf, &key, &stat);
         let mut s = buf.freeze();

@@ -142,7 +142,11 @@ impl ShardedBuilder {
     /// Record one observation; safe to call from any thread.
     pub fn record(&self, key: FeatureKey, positive: bool) {
         let idx = self.shard_for(&key);
-        self.shards[idx].lock().entry(key).or_default().record(positive);
+        self.shards[idx]
+            .lock()
+            .entry(key)
+            .or_default()
+            .record(positive);
     }
 
     /// Record a batch (one lock acquisition per touched shard on average —
@@ -211,7 +215,10 @@ mod tests {
             (FeatureKey::term("a"), FeatureStat { up: 0, down: 2 }),
         ]);
         assert_eq!(db.len(), 1);
-        assert_eq!(db.get(&FeatureKey::term("a")).unwrap(), &FeatureStat { up: 1, down: 2 });
+        assert_eq!(
+            db.get(&FeatureKey::term("a")).unwrap(),
+            &FeatureStat { up: 1, down: 2 }
+        );
     }
 
     #[test]
@@ -247,7 +254,10 @@ mod tests {
                 let b = &builder;
                 scope.spawn(move || {
                     for i in 0..250 {
-                        b.record(FeatureKey::term(format!("term-{}", i % 20)), (i + t) % 3 == 0);
+                        b.record(
+                            FeatureKey::term(format!("term-{}", i % 20)),
+                            (i + t) % 3 == 0,
+                        );
                     }
                 });
             }

@@ -60,7 +60,10 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not a stats snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
             SnapshotError::ChecksumMismatch { expected, actual } => {
-                write!(f, "snapshot corrupt: crc {actual:#010x} != recorded {expected:#010x}")
+                write!(
+                    f,
+                    "snapshot corrupt: crc {actual:#010x} != recorded {expected:#010x}"
+                )
             }
             SnapshotError::Decode(e) => write!(f, "snapshot record decode failed: {e}"),
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
@@ -220,7 +223,10 @@ mod tests {
     fn wrong_version_rejected() {
         let mut bytes = to_bytes(&sample_db());
         bytes[8] = 99;
-        assert!(matches!(from_bytes(&bytes), Err(SnapshotError::UnsupportedVersion(99))));
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
     }
 
     #[test]

@@ -60,12 +60,17 @@ pub enum FeatureKey {
 impl FeatureKey {
     /// Term key from anything string-ish.
     pub fn term(phrase: impl Into<String>) -> Self {
-        FeatureKey::Term { phrase: phrase.into() }
+        FeatureKey::Term {
+            phrase: phrase.into(),
+        }
     }
 
     /// Rewrite key.
     pub fn rewrite(from: impl Into<String>, to: impl Into<String>) -> Self {
-        FeatureKey::Rewrite { from: from.into(), to: to.into() }
+        FeatureKey::Rewrite {
+            from: from.into(),
+            to: to.into(),
+        }
     }
 
     /// Term-position key.
@@ -133,7 +138,10 @@ mod tests {
     fn constructors_and_family() {
         assert_eq!(FeatureKey::term("cheap").family(), KeyFamily::Term);
         assert_eq!(FeatureKey::rewrite("a", "b").family(), KeyFamily::Rewrite);
-        assert_eq!(FeatureKey::term_position(1, 4).family(), KeyFamily::TermPosition);
+        assert_eq!(
+            FeatureKey::term_position(1, 4).family(),
+            KeyFamily::TermPosition
+        );
         let rp = FeatureKey::rewrite_position(SnippetPos::new(1, 0), SnippetPos::new(1, 5));
         assert_eq!(rp.family(), KeyFamily::RewritePosition);
     }

@@ -116,7 +116,10 @@ mod tests {
 
     #[test]
     fn extreme_counts_stay_finite() {
-        let s = FeatureStat { up: u32::MAX as u64, down: 0 };
+        let s = FeatureStat {
+            up: u32::MAX as u64,
+            down: 0,
+        };
         assert!(s.log_odds(1.0).is_finite());
         assert!(s.probability(1.0) < 1.0);
     }

@@ -85,7 +85,11 @@ impl GroundTruth {
     pub fn user_for(&self, domain: &str) -> MicroUser {
         MicroUser {
             attention: self.attention.clone(),
-            salience: self.salience_by_domain.get(domain).cloned().unwrap_or_default(),
+            salience: self
+                .salience_by_domain
+                .get(domain)
+                .cloned()
+                .unwrap_or_default(),
             base_logit: self.base_logit,
         }
     }
@@ -122,7 +126,10 @@ pub fn domain_salience(domain: &Domain) -> FxHashMap<String, f64> {
 
 /// Per-domain salience tables for every built-in domain.
 pub fn all_domain_salience() -> FxHashMap<String, FxHashMap<String, f64>> {
-    DOMAINS.iter().map(|d| (d.name.to_string(), domain_salience(d))).collect()
+    DOMAINS
+        .iter()
+        .map(|d| (d.name.to_string(), domain_salience(d)))
+        .collect()
 }
 
 /// The domain owning `keyword`, if any (keywords are unique per domain).
@@ -220,8 +227,11 @@ pub fn generate(cfg: &GeneratorConfig) -> SynthCorpus {
                 }
             }
         }
-        let slots: Vec<&'static str> =
-            all_slots.iter().copied().filter(|s| !domain.pool(s).decor).collect();
+        let slots: Vec<&'static str> = all_slots
+            .iter()
+            .copied()
+            .filter(|s| !domain.pool(s).decor)
+            .collect();
 
         // Base assignment (non-decor) and per-adgroup decor phrasing.
         let mut base: Assignment = Assignment::default();
@@ -240,8 +250,9 @@ pub fn generate(cfg: &GeneratorConfig) -> SynthCorpus {
         // A variant = slot assignment + the templates it renders with.
         let mut variants: Vec<(Assignment, &str, &str, &str)> =
             vec![(base.clone(), line1_t, line2_t, line3_t)];
-        let mut seen_texts: Vec<Snippet> =
-            vec![render_creative(&domain, line1_t, line2_t, line3_t, &base, &decor_asg)];
+        let mut seen_texts: Vec<Snippet> = vec![render_creative(
+            &domain, line1_t, line2_t, line3_t, &base, &decor_asg,
+        )];
         let mut guard = 0;
         while variants.len() < n_creatives && guard < 100 {
             guard += 1;
@@ -323,7 +334,12 @@ pub fn generate(cfg: &GeneratorConfig) -> SynthCorpus {
                 let clicks = binomial(impressions, ctr, &mut rng);
                 let id = CreativeId(next_creative_id);
                 next_creative_id += 1;
-                Creative { id, snippet, impressions, clicks }
+                Creative {
+                    id,
+                    snippet,
+                    impressions,
+                    clicks,
+                }
             })
             .collect();
 
@@ -339,7 +355,11 @@ pub fn generate(cfg: &GeneratorConfig) -> SynthCorpus {
     corpus.retain_active();
     SynthCorpus {
         corpus,
-        truth: GroundTruth { salience_by_domain, attention, base_logit: cfg.base_logit },
+        truth: GroundTruth {
+            salience_by_domain,
+            attention,
+            base_logit: cfg.base_logit,
+        },
     }
 }
 
@@ -349,7 +369,11 @@ mod tests {
     use microbrowse_core::PairFilter;
 
     fn small_cfg(seed: u64) -> GeneratorConfig {
-        GeneratorConfig { num_adgroups: 60, seed, ..Default::default() }
+        GeneratorConfig {
+            num_adgroups: 60,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -364,7 +388,10 @@ mod tests {
     #[test]
     fn corpus_shape() {
         let sc = generate(&small_cfg(1));
-        assert!(sc.corpus.num_adgroups() >= 55, "most adgroups survive retain_active");
+        assert!(
+            sc.corpus.num_adgroups() >= 55,
+            "most adgroups survive retain_active"
+        );
         for g in &sc.corpus.adgroups {
             assert!(g.creatives.len() >= 2);
             assert!(g.total_clicks() >= 1);
@@ -374,12 +401,17 @@ mod tests {
             }
             // All creatives in a group share the brand (taglines and line-1
             // templates may vary): some token appears in every line 1.
-            let line1s: Vec<&str> =
-                g.creatives.iter().map(|c| c.snippet.lines()[0].text.as_str()).collect();
-            let first: std::collections::HashSet<&str> = line1s[0].split_whitespace().collect();
-            let shared = first
+            let line1s: Vec<&str> = g
+                .creatives
                 .iter()
-                .any(|tok| line1s.iter().all(|l| l.split_whitespace().any(|t| t == *tok)));
+                .map(|c| c.snippet.lines()[0].text.as_str())
+                .collect();
+            let first: std::collections::HashSet<&str> = line1s[0].split_whitespace().collect();
+            let shared = first.iter().any(|tok| {
+                line1s
+                    .iter()
+                    .all(|l| l.split_whitespace().any(|t| t == *tok))
+            });
             assert!(shared, "no shared brand token in {line1s:?}");
         }
     }
@@ -412,7 +444,12 @@ mod tests {
     fn ctr_ordering_follows_ground_truth_salience() {
         // With noise off, the creative whose examined phrases are more
         // salient must have the higher true CTR; verify via the oracle.
-        let cfg = GeneratorConfig { ctr_noise: 0.0, num_adgroups: 80, seed: 3, ..Default::default() };
+        let cfg = GeneratorConfig {
+            ctr_noise: 0.0,
+            num_adgroups: 80,
+            seed: 3,
+            ..Default::default()
+        };
         let sc = generate(&cfg);
         let mut checked = 0;
         for g in &sc.corpus.adgroups {
@@ -435,7 +472,11 @@ mod tests {
 
     #[test]
     fn produces_trainable_pairs() {
-        let sc = generate(&GeneratorConfig { num_adgroups: 200, seed: 4, ..Default::default() });
+        let sc = generate(&GeneratorConfig {
+            num_adgroups: 200,
+            seed: 4,
+            ..Default::default()
+        });
         let pairs = sc.corpus.extract_pairs(&PairFilter::default());
         assert!(
             pairs.len() >= 100,
@@ -444,14 +485,26 @@ mod tests {
         );
         // Labels must not be degenerate.
         let pos = pairs.iter().filter(|p| p.r_better).count();
-        assert!(pos > pairs.len() / 5 && pos < pairs.len() * 4 / 5, "{pos}/{}", pairs.len());
+        assert!(
+            pos > pairs.len() / 5 && pos < pairs.len() * 4 / 5,
+            "{pos}/{}",
+            pairs.len()
+        );
     }
 
     #[test]
     fn placement_is_stamped() {
-        let cfg = GeneratorConfig { placement: Placement::Rhs, num_adgroups: 10, ..Default::default() };
+        let cfg = GeneratorConfig {
+            placement: Placement::Rhs,
+            num_adgroups: 10,
+            ..Default::default()
+        };
         let sc = generate(&cfg);
-        assert!(sc.corpus.adgroups.iter().all(|g| g.placement == Placement::Rhs));
+        assert!(sc
+            .corpus
+            .adgroups
+            .iter()
+            .all(|g| g.placement == Placement::Rhs));
     }
 
     #[test]
@@ -507,12 +560,18 @@ mod tests {
         let tables = all_domain_salience();
         let hotels = tables["hotels"]["compare prices"];
         let insurance = tables["insurance"]["compare prices"];
-        assert!(hotels > 0.0 && insurance < 0.0, "hotels {hotels}, insurance {insurance}");
+        assert!(
+            hotels > 0.0 && insurance < 0.0,
+            "hotels {hotels}, insurance {insurance}"
+        );
     }
 
     #[test]
     fn keyword_domain_lookup() {
-        assert_eq!(domain_of_keyword("cheap flights").map(|d| d.name), Some("flights"));
+        assert_eq!(
+            domain_of_keyword("cheap flights").map(|d| d.name),
+            Some("flights")
+        );
         assert!(domain_of_keyword("no such keyword").is_none());
     }
 }

@@ -57,11 +57,19 @@ pub struct Pool {
 }
 
 const fn pool(name: &'static str, options: &'static [Phrase]) -> Pool {
-    Pool { name, options, decor: false }
+    Pool {
+        name,
+        options,
+        decor: false,
+    }
 }
 
 const fn decor(name: &'static str, options: &'static [Phrase]) -> Pool {
-    Pool { name, options, decor: true }
+    Pool {
+        name,
+        options,
+        decor: true,
+    }
 }
 
 /// One advertising vertical.
@@ -181,7 +189,14 @@ pub static DOMAINS: &[Domain] = &[
             ),
             pool(
                 "city",
-                &[p("new york", 0.0), p("london", 0.0), p("tokyo", 0.0), p("paris", 0.0), p("rome", 0.0), p("sydney", 0.0)],
+                &[
+                    p("new york", 0.0),
+                    p("london", 0.0),
+                    p("tokyo", 0.0),
+                    p("paris", 0.0),
+                    p("rome", 0.0),
+                    p("sydney", 0.0),
+                ],
             ),
             pool(
                 "perk",
@@ -270,7 +285,12 @@ pub static DOMAINS: &[Domain] = &[
             ),
             pool(
                 "tier",
-                &[p("luxury", 0.55), p("boutique", 0.35), p("budget", -0.15), p("standard", -0.05)],
+                &[
+                    p("luxury", 0.55),
+                    p("boutique", 0.35),
+                    p("budget", -0.15),
+                    p("standard", -0.05),
+                ],
             ),
             pool(
                 "amenity",
@@ -358,7 +378,13 @@ pub static DOMAINS: &[Domain] = &[
             ),
             pool(
                 "style",
-                &[p("running", 0.10), p("trail", 0.05), p("retro", 0.15), p("training", 0.0), p("court", 0.0)],
+                &[
+                    p("running", 0.10),
+                    p("trail", 0.05),
+                    p("retro", 0.15),
+                    p("training", 0.0),
+                    p("court", 0.0),
+                ],
             ),
             pool(
                 "shipping",
@@ -442,7 +468,12 @@ pub static DOMAINS: &[Domain] = &[
             ),
             pool(
                 "time",
-                &[p("2 minutes", 0.70), p("5 minutes", 0.45), p("under an hour", -0.15), p("one call", 0.20)],
+                &[
+                    p("2 minutes", 0.70),
+                    p("5 minutes", 0.45),
+                    p("under an hour", -0.15),
+                    p("one call", 0.20),
+                ],
             ),
             pool(
                 "benefit",
@@ -494,7 +525,9 @@ pub fn template_slots(template: &str) -> Vec<&str> {
     let mut out = Vec::new();
     let mut rest = template;
     while let Some(open) = rest.find('{') {
-        let Some(close_rel) = rest[open..].find('}') else { break };
+        let Some(close_rel) = rest[open..].find('}') else {
+            break;
+        };
         out.push(&rest[open + 1..open + close_rel]);
         rest = &rest[open + close_rel + 1..];
     }
@@ -510,19 +543,47 @@ pub fn template_slots(template: &str) -> Vec<&str> {
 /// position-blind context features cannot generalize — exactly the data
 /// regime in which the paper's position-aware models pay off.
 pub fn decor_options(pool: &Pool) -> Vec<String> {
-    debug_assert!(pool.decor, "decor_options called on non-decor pool {}", pool.name);
+    debug_assert!(
+        pool.decor,
+        "decor_options called on non-decor pool {}",
+        pool.name
+    );
     let mut out: Vec<String> = pool.options.iter().map(|p| p.text.to_string()).collect();
     match pool.name {
         "when" => {
             static HEADS: &[&str] = &[
-                "today", "tonight", "right now", "any day", "all year", "by morning",
-                "after work", "before noon", "at midnight", "at dawn", "on weekdays",
-                "on holidays", "in minutes", "in moments", "over lunch", "past midnight",
+                "today",
+                "tonight",
+                "right now",
+                "any day",
+                "all year",
+                "by morning",
+                "after work",
+                "before noon",
+                "at midnight",
+                "at dawn",
+                "on weekdays",
+                "on holidays",
+                "in minutes",
+                "in moments",
+                "over lunch",
+                "past midnight",
             ];
             static TAILS: &[&str] = &[
-                "", "guaranteed", "no waiting", "no hassle", "worldwide", "locally",
-                "from home", "from anywhere", "on mobile", "on any device", "with one tap",
-                "without signup", "at no charge", "while supplies last",
+                "",
+                "guaranteed",
+                "no waiting",
+                "no hassle",
+                "worldwide",
+                "locally",
+                "from home",
+                "from anywhere",
+                "on mobile",
+                "on any device",
+                "with one tap",
+                "without signup",
+                "at no charge",
+                "while supplies last",
             ];
             for h in HEADS {
                 for t in TAILS {
@@ -536,14 +597,42 @@ pub fn decor_options(pool: &Pool) -> Vec<String> {
         }
         "audience" | "crowd" => {
             static MODS: &[&str] = &[
-                "busy", "smart", "modern", "frequent", "first time", "seasoned", "young",
-                "everyday", "serious", "casual", "savvy", "weekend", "city", "local",
-                "loyal", "veteran", "active", "remote",
+                "busy",
+                "smart",
+                "modern",
+                "frequent",
+                "first time",
+                "seasoned",
+                "young",
+                "everyday",
+                "serious",
+                "casual",
+                "savvy",
+                "weekend",
+                "city",
+                "local",
+                "loyal",
+                "veteran",
+                "active",
+                "remote",
             ];
             static NOUNS: &[&str] = &[
-                "travelers", "families", "shoppers", "planners", "commuters", "explorers",
-                "buyers", "customers", "members", "couples", "students", "professionals",
-                "locals", "visitors", "adventurers", "browsers",
+                "travelers",
+                "families",
+                "shoppers",
+                "planners",
+                "commuters",
+                "explorers",
+                "buyers",
+                "customers",
+                "members",
+                "couples",
+                "students",
+                "professionals",
+                "locals",
+                "visitors",
+                "adventurers",
+                "browsers",
             ];
             for m in MODS {
                 for n in NOUNS {
@@ -556,8 +645,8 @@ pub fn decor_options(pool: &Pool) -> Vec<String> {
             // n-grams straddling a brand and its tagline almost never recur
             // across adgroups.
             static FIRST: &[&str] = &[
-                "north", "blue", "bright", "prime", "urban", "swift", "golden", "silver",
-                "summit", "valley", "cedar", "atlas",
+                "north", "blue", "bright", "prime", "urban", "swift", "golden", "silver", "summit",
+                "valley", "cedar", "atlas",
             ];
             static SECOND: &[&str] = &[
                 "line", "point", "nest", "field", "works", "port", "gate", "crest", "haven",
@@ -626,13 +715,34 @@ mod tests {
     fn pools_have_multiple_options_with_salience_spread() {
         for domain in DOMAINS {
             for pool in domain.pools {
-                assert!(pool.options.len() >= 3, "{}/{} too small", domain.name, pool.name);
-                let max = pool.options.iter().map(|p| p.salience).fold(f64::MIN, f64::max);
-                let min = pool.options.iter().map(|p| p.salience).fold(f64::MAX, f64::min);
+                assert!(
+                    pool.options.len() >= 3,
+                    "{}/{} too small",
+                    domain.name,
+                    pool.name
+                );
+                let max = pool
+                    .options
+                    .iter()
+                    .map(|p| p.salience)
+                    .fold(f64::MIN, f64::max);
+                let min = pool
+                    .options
+                    .iter()
+                    .map(|p| p.salience)
+                    .fold(f64::MAX, f64::min);
                 if pool.decor {
-                    assert!(pool.options.iter().all(|p| p.salience == 0.0), "decor must be neutral");
+                    assert!(
+                        pool.options.iter().all(|p| p.salience == 0.0),
+                        "decor must be neutral"
+                    );
                 } else if pool.name != "city" && pool.name != "style" {
-                    assert!(max - min > 0.5, "{}/{} has no spread", domain.name, pool.name);
+                    assert!(
+                        max - min > 0.5,
+                        "{}/{} has no spread",
+                        domain.name,
+                        pool.name
+                    );
                 }
             }
         }
@@ -712,8 +822,16 @@ mod tests {
         for d in DOMAINS {
             assert!(d.keywords.len() >= 3);
             assert!(d.line1.len() >= 2);
-            assert!(d.line2.len() >= 4, "{} needs template variety for position diversity", d.name);
-            assert!(d.pools.iter().any(|p| p.decor), "{} needs decor pools", d.name);
+            assert!(
+                d.line2.len() >= 4,
+                "{} needs template variety for position diversity",
+                d.name
+            );
+            assert!(
+                d.pools.iter().any(|p| p.decor),
+                "{} needs decor pools",
+                d.name
+            );
         }
     }
 }

@@ -59,10 +59,18 @@ pub fn generate_sessions(cfg: &SessionConfig) -> (SessionSet, SessionTruth) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Attractiveness skews low (most results ignored); satisfaction mid.
     let attractiveness: Vec<Vec<f64>> = (0..cfg.num_queries)
-        .map(|_| (0..cfg.docs_per_query).map(|_| rng.gen_range(0.02..0.55)).collect())
+        .map(|_| {
+            (0..cfg.docs_per_query)
+                .map(|_| rng.gen_range(0.02..0.55))
+                .collect()
+        })
         .collect();
     let satisfaction: Vec<Vec<f64>> = (0..cfg.num_queries)
-        .map(|_| (0..cfg.docs_per_query).map(|_| rng.gen_range(0.1..0.9)).collect())
+        .map(|_| {
+            (0..cfg.docs_per_query)
+                .map(|_| rng.gen_range(0.1..0.9))
+                .collect()
+        })
         .collect();
 
     let mut set = SessionSet::new();
@@ -86,7 +94,14 @@ pub fn generate_sessions(cfg: &SessionConfig) -> (SessionSet, SessionTruth) {
         }
         set.push(Session::new(QueryId(q as u32), docs, clicks));
     }
-    (set, SessionTruth { attractiveness, satisfaction, gamma: cfg.gamma })
+    (
+        set,
+        SessionTruth {
+            attractiveness,
+            satisfaction,
+            gamma: cfg.gamma,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -94,7 +109,11 @@ mod tests {
     use super::*;
 
     fn small() -> SessionConfig {
-        SessionConfig { num_sessions: 3_000, num_queries: 5, ..Default::default() }
+        SessionConfig {
+            num_sessions: 3_000,
+            num_queries: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -132,7 +151,11 @@ mod tests {
         // exist but are a minority.
         let (set, _) = generate_sessions(&small());
         let multi = set.sessions().iter().filter(|s| s.num_clicks() > 1).count();
-        let single = set.sessions().iter().filter(|s| s.num_clicks() == 1).count();
+        let single = set
+            .sessions()
+            .iter()
+            .filter(|s| s.num_clicks() == 1)
+            .count();
         assert!(multi > 0, "DCM-style multiple clicks must occur");
         assert!(single > multi, "single clicks should dominate");
     }

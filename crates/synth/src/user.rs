@@ -38,12 +38,20 @@ pub struct AttentionProfile {
 impl AttentionProfile {
     /// A strongly position-dependent default (mainline/top ads).
     pub fn top() -> Self {
-        Self { line_base: vec![0.95, 0.78, 0.55], pos_decay: 0.80, floor: 0.02, scale: 1.0 }
+        Self {
+            line_base: vec![0.95, 0.78, 0.55],
+            pos_decay: 0.80,
+            floor: 0.02,
+            scale: 1.0,
+        }
     }
 
     /// Right-hand-side ads: everything is skimmed much more lightly.
     pub fn rhs() -> Self {
-        Self { scale: 0.55, ..Self::top() }
+        Self {
+            scale: 0.55,
+            ..Self::top()
+        }
     }
 
     /// Examination probability of `(line, pos)` (both zero-based).
@@ -166,7 +174,11 @@ mod tests {
 
     fn user_with(phrases: &[(&str, f64)], attention: AttentionProfile) -> MicroUser {
         let salience = phrases.iter().map(|&(t, s)| (t.to_string(), s)).collect();
-        MicroUser { attention, salience, base_logit: -3.0 }
+        MicroUser {
+            attention,
+            salience,
+            base_logit: -3.0,
+        }
     }
 
     #[test]
@@ -198,8 +210,7 @@ mod tests {
             &[("free checked bags", 1.0), ("free", 0.4), ("bags", 0.2)],
             AttentionProfile::top(),
         );
-        let occs =
-            user.salient_occurrences(&Snippet::from_lines(["free checked bags today"]));
+        let occs = user.salient_occurrences(&Snippet::from_lines(["free checked bags today"]));
         assert_eq!(occs.len(), 1);
         assert_eq!(occs[0].salience, 1.0);
     }

@@ -62,7 +62,10 @@ mod tests {
             .sum::<f64>()
             / draws.len() as f64;
         let expect_var = n as f64 * p * (1.0 - p);
-        assert!((var - expect_var).abs() < expect_var * 0.15, "var {var} vs {expect_var}");
+        assert!(
+            (var - expect_var).abs() < expect_var * 0.15,
+            "var {var} vs {expect_var}"
+        );
     }
 
     #[test]

@@ -8,24 +8,26 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
     (
-        5usize..40,                    // adgroups (small for test speed)
-        2usize..5,                     // min creatives
-        0u64..u64::MAX / 2,            // seed
-        0.0f64..0.5,                   // ctr noise
-        0.0f64..1.0,                   // template switch prob
+        5usize..40,         // adgroups (small for test speed)
+        2usize..5,          // min creatives
+        0u64..u64::MAX / 2, // seed
+        0.0f64..0.5,        // ctr noise
+        0.0f64..1.0,        // template switch prob
         prop_oneof![Just(Placement::Top), Just(Placement::Rhs)],
     )
-        .prop_map(|(n, cmin, seed, noise, switch, placement)| GeneratorConfig {
-            num_adgroups: n,
-            creatives_per_adgroup: (cmin, cmin + 2),
-            impressions: (500, 5_000),
-            placement,
-            rewrites_per_variant: (1, 2),
-            base_logit: -3.0,
-            ctr_noise: noise,
-            template_switch_prob: switch,
-            seed,
-        })
+        .prop_map(
+            |(n, cmin, seed, noise, switch, placement)| GeneratorConfig {
+                num_adgroups: n,
+                creatives_per_adgroup: (cmin, cmin + 2),
+                impressions: (500, 5_000),
+                placement,
+                rewrites_per_variant: (1, 2),
+                base_logit: -3.0,
+                ctr_noise: noise,
+                template_switch_prob: switch,
+                seed,
+            },
+        )
 }
 
 proptest! {

@@ -59,7 +59,8 @@ impl Interner {
             return sym;
         }
         let arc: Arc<str> = Arc::from(s);
-        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow: > u32::MAX distinct strings"));
+        let sym = Sym(u32::try_from(self.strings.len())
+            .expect("interner overflow: > u32::MAX distinct strings"));
         self.strings.push(Arc::clone(&arc));
         self.map.insert(arc, sym);
         sym
@@ -94,7 +95,10 @@ impl Interner {
 
     /// Iterate `(Sym, &str)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
-        self.strings.iter().enumerate().map(|(i, s)| (Sym(i as u32), &**s))
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), &**s))
     }
 }
 
@@ -201,7 +205,10 @@ mod tests {
         i.intern("a");
         i.intern("b");
         let got: Vec<(Sym, String)> = i.iter().map(|(s, t)| (s, t.to_owned())).collect();
-        assert_eq!(got, vec![(Sym(0), "a".to_owned()), (Sym(1), "b".to_owned())]);
+        assert_eq!(
+            got,
+            vec![(Sym(0), "a".to_owned()), (Sym(1), "b".to_owned())]
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl NGramExtractor {
     /// Multi-token phrases are interned into `interner` as space-joined
     /// strings, so the same phrase extracted from different snippets maps to
     /// the same [`Sym`].
-    pub fn extract(&self, snippet: &TokenizedSnippet, interner: &mut Interner) -> Vec<TermOccurrence> {
+    pub fn extract(
+        &self,
+        snippet: &TokenizedSnippet,
+        interner: &mut Interner,
+    ) -> Vec<TermOccurrence> {
         let mut out = Vec::new();
         let mut buf = String::new();
         for (li, line) in snippet.lines.iter().enumerate() {
@@ -123,7 +127,11 @@ impl NGramExtractor {
 
     /// Extract and return the distinct n-gram phrases (without positions),
     /// useful for presence/absence term features (models M1/M3/M5).
-    pub fn extract_phrases(&self, snippet: &TokenizedSnippet, interner: &mut Interner) -> Vec<NGram> {
+    pub fn extract_phrases(
+        &self,
+        snippet: &TokenizedSnippet,
+        interner: &mut Interner,
+    ) -> Vec<NGram> {
         let occs = self.extract(snippet, interner);
         let mut seen = crate::hash::FxHashSet::default();
         let mut out = Vec::with_capacity(occs.len());
@@ -144,13 +152,21 @@ mod tests {
 
     fn setup(lines: &[&str]) -> (TokenizedSnippet, Interner) {
         let mut interner = Interner::new();
-        let tok = Snippet::from_lines(lines.iter().copied()).tokenize(&Tokenizer::default(), &mut interner);
+        let tok = Snippet::from_lines(lines.iter().copied())
+            .tokenize(&Tokenizer::default(), &mut interner);
         (tok, interner)
     }
 
     fn phrases(occs: &[TermOccurrence], interner: &Interner) -> Vec<(String, u8, u8, u16)> {
         occs.iter()
-            .map(|o| (interner.resolve(o.ngram.phrase).to_owned(), o.ngram.n, o.line, o.pos))
+            .map(|o| {
+                (
+                    interner.resolve(o.ngram.phrase).to_owned(),
+                    o.ngram.n,
+                    o.line,
+                    o.pos,
+                )
+            })
             .collect()
     }
 
@@ -187,9 +203,13 @@ mod tests {
     #[test]
     fn empty_snippet_yields_nothing() {
         let (tok, mut interner) = setup(&[]);
-        assert!(NGramExtractor::default().extract(&tok, &mut interner).is_empty());
+        assert!(NGramExtractor::default()
+            .extract(&tok, &mut interner)
+            .is_empty());
         let (tok, mut interner) = setup(&["", ""]);
-        assert!(NGramExtractor::default().extract(&tok, &mut interner).is_empty());
+        assert!(NGramExtractor::default()
+            .extract(&tok, &mut interner)
+            .is_empty());
     }
 
     #[test]

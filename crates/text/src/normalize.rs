@@ -132,8 +132,14 @@ mod tests {
 
     #[test]
     fn default_punct_becomes_space() {
-        assert_eq!(norm("No reservation costs. Great rates!"), "no reservation costs great rates");
-        assert_eq!(norm("Flying to New York? Get discounts."), "flying to new york get discounts");
+        assert_eq!(
+            norm("No reservation costs. Great rates!"),
+            "no reservation costs great rates"
+        );
+        assert_eq!(
+            norm("Flying to New York? Get discounts."),
+            "flying to new york get discounts"
+        );
     }
 
     #[test]
@@ -146,13 +152,17 @@ mod tests {
 
     #[test]
     fn strip_policy_deletes_punct() {
-        let cfg = NormalizeConfig { punct: PunctPolicy::Strip };
+        let cfg = NormalizeConfig {
+            punct: PunctPolicy::Strip,
+        };
         assert_eq!(normalize("great-rates!", &cfg), "greatrates");
     }
 
     #[test]
     fn keep_policy_preserves_punct() {
-        let cfg = NormalizeConfig { punct: PunctPolicy::Keep };
+        let cfg = NormalizeConfig {
+            punct: PunctPolicy::Keep,
+        };
         assert_eq!(normalize("Great Rates!", &cfg), "great rates!");
     }
 

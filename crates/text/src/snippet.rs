@@ -52,7 +52,11 @@ impl Snippet {
 
     /// The classic 3-line creative constructor used throughout the paper's
     /// examples.
-    pub fn creative(headline: impl Into<String>, desc1: impl Into<String>, desc2: impl Into<String>) -> Self {
+    pub fn creative(
+        headline: impl Into<String>,
+        desc1: impl Into<String>,
+        desc2: impl Into<String>,
+    ) -> Self {
         Self::from_lines([headline.into(), desc1.into(), desc2.into()])
     }
 
@@ -77,7 +81,13 @@ impl Snippet {
         let lines = self
             .lines
             .iter()
-            .map(|line| tokenizer.terms(&line.text).iter().map(|t| interner.intern(t)).collect())
+            .map(|line| {
+                tokenizer
+                    .terms(&line.text)
+                    .iter()
+                    .map(|t| interner.intern(t))
+                    .collect()
+            })
             .collect();
         TokenizedSnippet { lines }
     }
@@ -127,7 +137,10 @@ impl TokenizedSnippet {
     /// punctuation by design.
     pub fn render(&self, interner: &Interner) -> Snippet {
         Snippet::from_lines(self.lines.iter().map(|line| {
-            line.iter().map(|s| interner.resolve(*s)).collect::<Vec<_>>().join(" ")
+            line.iter()
+                .map(|s| interner.resolve(*s))
+                .collect::<Vec<_>>()
+                .join(" ")
         }))
     }
 }
@@ -138,7 +151,11 @@ mod tests {
 
     #[test]
     fn creative_has_three_lines() {
-        let s = Snippet::creative("XYZ Airlines", "Find cheap flights to New York.", "No reservation costs. Great rates");
+        let s = Snippet::creative(
+            "XYZ Airlines",
+            "Find cheap flights to New York.",
+            "No reservation costs. Great rates",
+        );
         assert_eq!(s.num_lines(), 3);
         assert_eq!(s.lines()[0].text, "XYZ Airlines");
     }
@@ -175,8 +192,10 @@ mod tests {
         let s = Snippet::from_lines(["a b", "c"]);
         let mut interner = Interner::new();
         let tok = s.tokenize(&Tokenizer::default(), &mut interner);
-        let got: Vec<(usize, usize, &str)> =
-            tok.iter_terms().map(|(l, p, s)| (l, p, interner.resolve(s))).collect();
+        let got: Vec<(usize, usize, &str)> = tok
+            .iter_terms()
+            .map(|(l, p, s)| (l, p, interner.resolve(s)))
+            .collect();
         assert_eq!(got, vec![(0, 0, "a"), (0, 1, "b"), (1, 0, "c")]);
     }
 

@@ -106,11 +106,19 @@ impl Tokenizer {
 
     /// Tokenize and return only the token texts, normalized.
     pub fn terms(&self, input: &str) -> Vec<String> {
-        self.tokenize_normalized(input).1.into_iter().map(|t| t.text).collect()
+        self.tokenize_normalized(input)
+            .1
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
     }
 
     fn push(&self, out: &mut Vec<Token>, input: &str, start: usize, end: usize) {
-        out.push(Token { text: input[start..end].to_string(), start, end });
+        out.push(Token {
+            text: input[start..end].to_string(),
+            start,
+            end,
+        });
     }
 
     fn at_cap(&self, out: &[Token]) -> bool {
@@ -128,7 +136,10 @@ mod tests {
 
     #[test]
     fn basic_words() {
-        assert_eq!(tok("Find cheap flights to New York."), ["find", "cheap", "flights", "to", "new", "york"]);
+        assert_eq!(
+            tok("Find cheap flights to New York."),
+            ["find", "cheap", "flights", "to", "new", "york"]
+        );
     }
 
     #[test]
@@ -172,7 +183,10 @@ mod tests {
 
     #[test]
     fn token_cap_is_enforced() {
-        let t = Tokenizer::new(TokenizerConfig { max_tokens: 2, ..Default::default() });
+        let t = Tokenizer::new(TokenizerConfig {
+            max_tokens: 2,
+            ..Default::default()
+        });
         assert_eq!(t.terms("a b c d e").len(), 2);
     }
 

@@ -23,7 +23,11 @@ fn main() {
     // question "which creative *text* is best" has a well-defined answer
     // there, while landing-page/brand effects are unpredictable from text
     // by construction.
-    let history = generate(&GeneratorConfig { num_adgroups: 800, seed: 21, ..Default::default() });
+    let history = generate(&GeneratorConfig {
+        num_adgroups: 800,
+        seed: 21,
+        ..Default::default()
+    });
     let fresh = generate(&GeneratorConfig {
         num_adgroups: 300,
         seed: 22,
@@ -89,8 +93,12 @@ fn main() {
                 }
             }
         }
-        let model_best =
-            wins.iter().enumerate().max_by_key(|(_, &w)| w).map(|(i, _)| i).expect("non-empty");
+        let model_best = wins
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &w)| w)
+            .map(|(i, _)| i)
+            .expect("non-empty");
 
         eligible += 1;
         if model_best == true_best {
@@ -107,8 +115,14 @@ fn main() {
         / eligible as f64;
 
     println!("\n== champion prediction on {eligible} unseen adgroups ==\n");
-    println!("  model picks the true champion: {:.1}%", 100.0 * model_hits as f64 / eligible as f64);
-    println!("  random selection would get:    {:.1}%", 100.0 * random_rate);
+    println!(
+        "  model picks the true champion: {:.1}%",
+        100.0 * model_hits as f64 / eligible as f64
+    );
+    println!(
+        "  random selection would get:    {:.1}%",
+        100.0 * random_rate
+    );
     println!("\nevery percentage point above random is exploration traffic the");
     println!("advertiser does not have to spend on a losing creative.");
 }

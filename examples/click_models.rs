@@ -16,7 +16,11 @@ use microbrowse_click::{
 use microbrowse_synth::sessions::{generate_sessions, SessionConfig};
 
 fn main() {
-    let cfg = SessionConfig { num_sessions: 40_000, seed: 5, ..SessionConfig::default() };
+    let cfg = SessionConfig {
+        num_sessions: 40_000,
+        seed: 5,
+        ..SessionConfig::default()
+    };
     let (all, truth) = generate_sessions(&cfg);
     let (train, test) = all.split_every_kth(5);
     println!(
@@ -39,7 +43,10 @@ fn main() {
         Box::new(DbnModel::default()),
     ];
 
-    println!("\n{:8}  {:>10}  {:>8}  predicted CTR by rank", "model", "perplexity", "LL/pos");
+    println!(
+        "\n{:8}  {:>10}  {:>8}  predicted CTR by rank",
+        "model", "perplexity", "LL/pos"
+    );
     for model in &mut models {
         model.fit(&train);
         let report = evaluate(model.as_ref(), &test);
@@ -66,5 +73,8 @@ fn main() {
 }
 
 fn fmt_row(xs: &[f64]) -> String {
-    xs.iter().map(|x| format!("{x:.3}")).collect::<Vec<_>>().join(" ")
+    xs.iter()
+        .map(|x| format!("{x:.3}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }

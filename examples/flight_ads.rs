@@ -39,11 +39,19 @@ fn main() {
     let creatives = [
         (
             "offer up front",
-            Snippet::creative("XYZ Airlines", "save 20% on flights to new york", "book today"),
+            Snippet::creative(
+                "XYZ Airlines",
+                "save 20% on flights to new york",
+                "book today",
+            ),
         ),
         (
             "offer buried in line 3",
-            Snippet::creative("XYZ Airlines", "flights to new york", "book today and save 20%"),
+            Snippet::creative(
+                "XYZ Airlines",
+                "flights to new york",
+                "book today and save 20%",
+            ),
         ),
         (
             "comfort angle",
@@ -51,7 +59,11 @@ fn main() {
         ),
         (
             "fine print up top",
-            Snippet::creative("XYZ Airlines", "fees may apply on some routes", "find cheap flights"),
+            Snippet::creative(
+                "XYZ Airlines",
+                "fees may apply on some routes",
+                "find cheap flights",
+            ),
         ),
     ];
     for (label, snippet) in &creatives {
@@ -75,7 +87,10 @@ fn main() {
         synth.corpus.num_adgroups(),
         synth.corpus.num_creatives()
     );
-    let cfg = ExperimentConfig { folds: 5, ..Default::default() };
+    let cfg = ExperimentConfig {
+        folds: 5,
+        ..Default::default()
+    };
     for spec in [ModelSpec::m1(), ModelSpec::m4(), ModelSpec::m6()] {
         let out = run_experiment(&synth.corpus, spec, &cfg);
         println!(
@@ -86,5 +101,7 @@ fn main() {
             out.num_pairs
         );
     }
-    println!("\nposition-aware rewrites (M4/M6) recover more of the signal than bag-of-terms (M1).");
+    println!(
+        "\nposition-aware rewrites (M4/M6) recover more of the signal than bag-of-terms (M1)."
+    );
 }

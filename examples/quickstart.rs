@@ -25,8 +25,14 @@ fn main() {
     let legroom_read = [t(0.95, true), t(0.5, true), t(0.4, false), t(0.4, false)];
     // …versus buried at the end where the user never looks.
     let legroom_buried = [t(0.4, true), t(0.4, true), t(0.5, false), t(0.95, false)];
-    println!("salient phrase read:    Pr(R|q) = {:.3}", snippet_relevance(&legroom_read));
-    println!("salient phrase buried:  Pr(R|q) = {:.3}", snippet_relevance(&legroom_buried));
+    println!(
+        "salient phrase read:    Pr(R|q) = {:.3}",
+        snippet_relevance(&legroom_read)
+    );
+    println!(
+        "salient phrase buried:  Pr(R|q) = {:.3}",
+        snippet_relevance(&legroom_buried)
+    );
     println!(
         "same words, different positions → log-odds gap {:+.3}\n",
         score_flat(&legroom_read, &legroom_buried)

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+# Usage: scripts/check.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --all-targets"
+cargo build --workspace --all-targets
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "OK: build, tests, clippy, fmt all green"

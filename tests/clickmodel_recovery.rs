@@ -6,8 +6,16 @@ use microbrowse_click::{
 };
 use microbrowse_synth::sessions::{generate_sessions, SessionConfig};
 
-fn data() -> (microbrowse_click::SessionSet, microbrowse_click::SessionSet, f64) {
-    let cfg = SessionConfig { num_sessions: 30_000, seed: 301, ..SessionConfig::default() };
+fn data() -> (
+    microbrowse_click::SessionSet,
+    microbrowse_click::SessionSet,
+    f64,
+) {
+    let cfg = SessionConfig {
+        num_sessions: 30_000,
+        seed: 301,
+        ..SessionConfig::default()
+    };
     let (all, truth) = generate_sessions(&cfg);
     let (train, test) = all.split_every_kth(5);
     (train, test, truth.gamma)
@@ -46,7 +54,12 @@ fn model_ordering_matches_ground_truth_family() {
         // to any click after the first, so multi-click sessions push its
         // perplexity past the coin-flip 2.0 — exactly why DCM generalized it.
         if r.model != "Cascade" {
-            assert!(r.perplexity < 2.0, "{} worse than a coin: {}", r.model, r.perplexity);
+            assert!(
+                r.perplexity < 2.0,
+                "{} worse than a coin: {}",
+                r.model,
+                r.perplexity
+            );
         }
         perp.insert(r.model.clone(), r.perplexity);
     }
@@ -71,9 +84,17 @@ fn fitting_on_train_improves_test_likelihood() {
         Box::new(UbmModel::default()),
         Box::new(DbnModel::default()),
     ] {
-        let before: f64 = test.sessions().iter().map(|s| model.log_likelihood(s)).sum();
+        let before: f64 = test
+            .sessions()
+            .iter()
+            .map(|s| model.log_likelihood(s))
+            .sum();
         model.fit(&train);
-        let after: f64 = test.sessions().iter().map(|s| model.log_likelihood(s)).sum();
+        let after: f64 = test
+            .sessions()
+            .iter()
+            .map(|s| model.log_likelihood(s))
+            .sum();
         assert!(
             after > before,
             "{}: fitting should increase held-out LL ({before:.1} → {after:.1})",
@@ -90,8 +111,7 @@ fn predicted_ctr_curves_match_empirical_position_bias() {
     let empirical = test.ctr_by_rank();
     // Average the model's per-session conditional at rank 0 is just its
     // marginal at rank 0; spot-check the top-rank CTR level.
-    let docs: Vec<microbrowse_click::DocId> =
-        (0..10u32).map(microbrowse_click::DocId).collect();
+    let docs: Vec<microbrowse_click::DocId> = (0..10u32).map(microbrowse_click::DocId).collect();
     let predicted = dbn.full_click_probs(microbrowse_click::QueryId(0), &docs);
     // Both decay with rank.
     assert!(empirical[0] > empirical[5]);

@@ -11,7 +11,11 @@ use microbrowse_store::{read_snapshot, write_snapshot};
 use microbrowse_synth::{generate, GeneratorConfig};
 
 fn train_deployed(spec: ModelSpec, seed: u64) -> (DeployedModel, microbrowse_store::StatsDb) {
-    let synth = generate(&GeneratorConfig { num_adgroups: 250, seed, ..Default::default() });
+    let synth = generate(&GeneratorConfig {
+        num_adgroups: 250,
+        seed,
+        ..Default::default()
+    });
     let tc = TokenizedCorpus::build(&synth.corpus);
     let pairs = synth.corpus.extract_pairs(&PairFilter::default());
     let stats = build_stats(&tc, &pairs, &StatsBuildConfig::default());
@@ -28,17 +32,44 @@ fn train_deployed(spec: ModelSpec, seed: u64) -> (DeployedModel, microbrowse_sto
     let init_pos = fz.init_pos_weights(cfg.stats_alpha);
     let classifier = TrainedClassifier::train(&spec, &data, Some(init_terms), Some(init_pos), &cfg);
     let vocab = fz.export_vocab(&interner);
-    (DeployedModel { spec, classifier, vocab }, stats)
+    (
+        DeployedModel {
+            spec,
+            classifier,
+            vocab,
+        },
+        stats,
+    )
 }
 
 fn probe_snippets() -> Vec<microbrowse_text::Snippet> {
     use microbrowse_text::Snippet;
     vec![
-        Snippet::creative("skyhop travel", "today save 20% for travelers flights to tokyo", "no reservation costs today more legroom"),
-        Snippet::creative("skyhop travel", "today check availability for travelers flights to tokyo", "fees may apply today more legroom"),
-        Snippet::creative("roomfinder", "tonight save big for families luxury hotels", "free breakfast tonight free cancellation"),
-        Snippet::creative("roomfinder", "tonight see listings for families budget hotels", "paid parking tonight non refundable rates"),
-        Snippet::creative("stride store", "save 30% today on running shoes", "free shipping today free returns"),
+        Snippet::creative(
+            "skyhop travel",
+            "today save 20% for travelers flights to tokyo",
+            "no reservation costs today more legroom",
+        ),
+        Snippet::creative(
+            "skyhop travel",
+            "today check availability for travelers flights to tokyo",
+            "fees may apply today more legroom",
+        ),
+        Snippet::creative(
+            "roomfinder",
+            "tonight save big for families luxury hotels",
+            "free breakfast tonight free cancellation",
+        ),
+        Snippet::creative(
+            "roomfinder",
+            "tonight see listings for families budget hotels",
+            "paid parking tonight non refundable rates",
+        ),
+        Snippet::creative(
+            "stride store",
+            "save 30% today on running shoes",
+            "free shipping today free returns",
+        ),
     ]
 }
 
@@ -46,11 +77,8 @@ fn roundtrip_predictions_agree(spec: ModelSpec) {
     let (model, stats) = train_deployed(spec, 777);
 
     // Round-trip both artifacts through real files.
-    let dir = std::env::temp_dir().join(format!(
-        "mb-roundtrip-{}-{}",
-        std::process::id(),
-        spec.name
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("mb-roundtrip-{}-{}", std::process::id(), spec.name));
     std::fs::create_dir_all(&dir).unwrap();
     let model_path = dir.join("model.mbm");
     let stats_path = dir.join("stats.mbs");
@@ -59,7 +87,10 @@ fn roundtrip_predictions_agree(spec: ModelSpec) {
 
     let model2 = DeployedModel::load(&model_path).expect("load model");
     let stats2 = read_snapshot(&stats_path).expect("load stats");
-    assert_eq!(model, model2, "model must survive the disk round trip bit-exactly");
+    assert_eq!(
+        model, model2,
+        "model must survive the disk round trip bit-exactly"
+    );
 
     let mut live = Scorer::new(&model, &stats);
     let mut reloaded = Scorer::new(&model2, &stats2);
@@ -96,7 +127,11 @@ fn deployed_model_transfers_to_unseen_corpus() {
     // The real adoption test: train on one synthetic market, score creatives
     // from a completely different draw, still beat chance clearly.
     let (model, stats) = train_deployed(ModelSpec::m4(), 778);
-    let fresh = generate(&GeneratorConfig { num_adgroups: 150, seed: 999, ..Default::default() });
+    let fresh = generate(&GeneratorConfig {
+        num_adgroups: 150,
+        seed: 999,
+        ..Default::default()
+    });
     let tc = TokenizedCorpus::build(&fresh.corpus);
     let pairs = fresh.corpus.extract_pairs(&PairFilter::default());
     let mut scorer = Scorer::new(&model, &stats);
@@ -109,5 +144,9 @@ fn deployed_model_transfers_to_unseen_corpus() {
         }
     }
     let acc = correct as f64 / pairs.len().max(1) as f64;
-    assert!(acc > 0.58, "transfer accuracy {acc:.3} on {} pairs", pairs.len());
+    assert!(
+        acc > 0.58,
+        "transfer accuracy {acc:.3} on {} pairs",
+        pairs.len()
+    );
 }

@@ -16,7 +16,10 @@ fn small_corpus(seed: u64) -> microbrowse_core::AdCorpus {
 }
 
 fn quick_cfg() -> ExperimentConfig {
-    ExperimentConfig { folds: 4, ..Default::default() }
+    ExperimentConfig {
+        folds: 4,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -65,7 +68,10 @@ fn position_aware_rewrites_beat_flat_rewrites() {
         ..Default::default()
     })
     .corpus;
-    let cfg = ExperimentConfig { folds: 5, ..Default::default() };
+    let cfg = ExperimentConfig {
+        folds: 5,
+        ..Default::default()
+    };
     let m3 = run_experiment(&corpus, ModelSpec::m3(), &cfg);
     let m4 = run_experiment(&corpus, ModelSpec::m4(), &cfg);
     assert!(
@@ -83,16 +89,29 @@ fn coupled_models_expose_position_weights_and_flat_models_do_not() {
     let flat = run_experiment(&corpus, ModelSpec::m5(), &cfg);
     assert!(flat.position_weights.is_none());
     let coupled = run_experiment(&corpus, ModelSpec::m6(), &cfg);
-    let weights = coupled.position_weights.expect("M6 reports position weights");
+    let weights = coupled
+        .position_weights
+        .expect("M6 reports position weights");
     assert!(weights.iter().all(|w| w.is_finite() && *w >= 0.0));
 }
 
 #[test]
 fn pair_filter_controls_dataset_size() {
     let corpus = small_corpus(105);
-    let loose = corpus.extract_pairs(&PairFilter { min_impressions: 100, min_zscore: 1.0 });
-    let strict = corpus.extract_pairs(&PairFilter { min_impressions: 100, min_zscore: 4.0 });
-    assert!(loose.len() > strict.len(), "{} vs {}", loose.len(), strict.len());
+    let loose = corpus.extract_pairs(&PairFilter {
+        min_impressions: 100,
+        min_zscore: 1.0,
+    });
+    let strict = corpus.extract_pairs(&PairFilter {
+        min_impressions: 100,
+        min_zscore: 4.0,
+    });
+    assert!(
+        loose.len() > strict.len(),
+        "{} vs {}",
+        loose.len(),
+        strict.len()
+    );
     assert!(!strict.is_empty());
 }
 

@@ -14,7 +14,10 @@ fn position_weights(seed: u64) -> Vec<f64> {
         seed,
         ..Default::default()
     });
-    let cfg = ExperimentConfig { folds: 3, ..Default::default() };
+    let cfg = ExperimentConfig {
+        folds: 3,
+        ..Default::default()
+    };
     let out = run_experiment(&synth.corpus, ModelSpec::m6(), &cfg);
     out.position_weights.expect("M6 reports position weights")
 }
@@ -51,7 +54,13 @@ fn within_line_attention_decay_is_recovered() {
 #[test]
 fn position_weights_are_nonnegative_and_normalized() {
     let weights = position_weights(402);
-    assert!(weights.iter().all(|&w| w >= 0.0), "nonnegativity constraint violated");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "nonnegativity constraint violated"
+    );
     let mean_abs: f64 = weights.iter().map(|w| w.abs()).sum::<f64>() / weights.len() as f64;
-    assert!((mean_abs - 1.0).abs() < 1e-6, "scale gauge broken: mean abs {mean_abs}");
+    assert!(
+        (mean_abs - 1.0).abs() < 1e-6,
+        "scale gauge broken: mean abs {mean_abs}"
+    );
 }

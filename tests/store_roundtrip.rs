@@ -10,7 +10,11 @@ use microbrowse_synth::{generate, GeneratorConfig};
 
 #[test]
 fn stats_db_round_trips_through_a_snapshot_file() {
-    let synth = generate(&GeneratorConfig { num_adgroups: 120, seed: 201, ..Default::default() });
+    let synth = generate(&GeneratorConfig {
+        num_adgroups: 120,
+        seed: 201,
+        ..Default::default()
+    });
     let tc = TokenizedCorpus::build(&synth.corpus);
     let pairs = synth.corpus.extract_pairs(&PairFilter::default());
     let db = build_stats(&tc, &pairs, &StatsBuildConfig::default());
@@ -48,7 +52,11 @@ fn stats_db_round_trips_through_a_snapshot_file() {
 
 #[test]
 fn snapshot_detects_tampering() {
-    let synth = generate(&GeneratorConfig { num_adgroups: 30, seed: 202, ..Default::default() });
+    let synth = generate(&GeneratorConfig {
+        num_adgroups: 30,
+        seed: 202,
+        ..Default::default()
+    });
     let tc = TokenizedCorpus::build(&synth.corpus);
     let pairs = synth.corpus.extract_pairs(&PairFilter::default());
     let db = build_stats(&tc, &pairs, &StatsBuildConfig::default());
