@@ -1,30 +1,48 @@
-//! `microbrowse` — train, persist, and serve snippet classifiers from the
-//! command line.
+//! `microbrowse` — train, persist, validate, and serve snippet classifiers
+//! from the command line.
 //!
 //! ```text
 //! microbrowse train    --model out.mbm --stats out.mbs [--spec m4] [--adgroups 1000] [--seed 42]
-//! microbrowse eval     --model out.mbm --stats out.mbs [--adgroups 300] [--seed 99]
+//! microbrowse eval     --model out.mbm --stats out.mbs [--adgroups 300] [--seed 99] [--degraded true]
 //! microbrowse score    --model out.mbm --stats out.mbs --r "l1|l2|l3" --s "l1|l2|l3"
 //! microbrowse rank     --model out.mbm --stats out.mbs --creative "…" --creative "…" [...]
 //! microbrowse optimize --model out.mbm --stats out.mbs --base "l1|l2|l3" \
 //!                      --rewrite "find cheap=save 20%" [--rewrite …] [--swap-lines 1,2]
+//! microbrowse validate --model out.mbm [--stats out.mbs]
 //! ```
 //!
 //! Creatives are passed as `|`-separated lines. `train` generates a
 //! synthetic ADCORPUS (there is no public corpus; see DESIGN.md §3), builds
 //! the Phase-1 statistics database, trains the chosen classifier variant,
 //! and writes both artifacts; the other subcommands only ever read them.
+//!
+//! ## Robustness contract
+//!
+//! Every failure surfaces as a typed [`MbError`] with the offending path;
+//! nothing on the load/serve path panics. Exit codes: 0 success, 1 the
+//! operation failed (bad artifact, IO, failed validation), 2 the
+//! invocation itself was malformed. If `--model` / `--stats` name a
+//! *directory*, it is treated as a crash-safe generation slot: `train`
+//! commits a new generation, readers recover the newest valid one (rolling
+//! back past torn writes). `--policy degrade` keeps the serving commands
+//! alive when the stats snapshot is missing or corrupt, at explicitly
+//! reported term-only fidelity.
 
-use std::path::PathBuf;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use microbrowse_core::classifier::{ModelSpec, TrainConfig, TrainedClassifier};
-use microbrowse_core::features::Featurizer;
+use microbrowse_core::error::MbError;
+use microbrowse_core::features::{Featurizer, PositionVocab};
 use microbrowse_core::optimize::{optimize_creative, Edit, OptimizeConfig};
-use microbrowse_core::serve::{DeployedModel, Scorer};
+use microbrowse_core::serve::{
+    DegradeReason, DeployedModel, Fidelity, LoadPolicy, ModelIoError, Scorer, ScorerBuilder,
+    ServingBundle, MODEL_SLOT_NAME, STATS_SLOT_NAME,
+};
 use microbrowse_core::statsbuild::{build_stats, StatsBuildConfig, TokenizedCorpus};
 use microbrowse_core::{PairFilter, Placement};
-use microbrowse_store::{read_snapshot, write_snapshot, StatsDb};
+use microbrowse_store::{ArtifactSlot, SnapshotError, StatsDb};
 use microbrowse_synth::{generate, GeneratorConfig};
 use microbrowse_text::Snippet;
 
@@ -32,13 +50,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let flags = match Flags::parse(&args[1..]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(e.exit_code());
         }
     };
     let result = match command.as_str() {
@@ -47,17 +65,21 @@ fn main() -> ExitCode {
         "score" => cmd_score(&flags),
         "rank" => cmd_rank(&flags),
         "optimize" => cmd_optimize(&flags),
+        "validate" => cmd_validate(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(MbError::usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            if matches!(e, MbError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -65,11 +87,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   microbrowse train    --model FILE --stats FILE [--spec m1..m6] [--adgroups N] [--seed S]
                        [--threads T]  (0 = MICROBROWSE_THREADS env or auto)
-  microbrowse eval     --model FILE --stats FILE [--adgroups N] [--seed S]
+  microbrowse eval     --model FILE --stats FILE [--adgroups N] [--seed S] [--degraded true]
   microbrowse score    --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3'
   microbrowse rank     --model FILE --stats FILE --creative '…' --creative '…' [...]
   microbrowse optimize --model FILE --stats FILE --base 'l1|l2|l3'
-                       [--rewrite 'from=to']... [--swap-lines A,B]... [--move-front 'phrase']...";
+                       [--rewrite 'from=to']... [--swap-lines A,B]... [--move-front 'phrase']...
+  microbrowse validate --model FILE [--stats FILE]
+
+  A FILE that names a directory is a crash-safe generation slot: train
+  commits a new generation, readers recover the newest valid one.
+  Serving commands accept --policy strict|degrade (default strict);
+  degrade keeps serving on a missing/corrupt stats snapshot, term-only.";
 
 /// Repeated `--flag value` pairs.
 struct Flags {
@@ -77,16 +105,16 @@ struct Flags {
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Self, String> {
+    fn parse(args: &[String]) -> Result<Self, MbError> {
         let mut pairs = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let name = args[i]
                 .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+                .ok_or_else(|| MbError::usage(format!("expected --flag, got {:?}", args[i])))?;
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                .ok_or_else(|| MbError::usage(format!("flag --{name} needs a value")))?;
             pairs.push((name.to_string(), value.clone()));
             i += 2;
         }
@@ -101,9 +129,9 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn require(&self, name: &str) -> Result<&str, String> {
+    fn require(&self, name: &str) -> Result<&str, MbError> {
         self.get(name)
-            .ok_or_else(|| format!("missing required flag --{name}"))
+            .ok_or_else(|| MbError::usage(format!("missing required flag --{name}")))
     }
 
     fn get_all(&self, name: &str) -> Vec<&str> {
@@ -114,12 +142,23 @@ impl Flags {
             .collect()
     }
 
-    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, MbError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("bad value for --{name}: {v:?}")),
+                .map_err(|_| MbError::usage(format!("bad value for --{name}: {v:?}"))),
+        }
+    }
+
+    fn policy(&self) -> Result<LoadPolicy, MbError> {
+        match self.get("policy") {
+            None => Ok(LoadPolicy::Strict),
+            Some("strict") => Ok(LoadPolicy::Strict),
+            Some("degrade") => Ok(LoadPolicy::Degrade),
+            Some(other) => Err(MbError::usage(format!(
+                "bad value for --policy: {other:?} (expected strict or degrade)"
+            ))),
         }
     }
 }
@@ -128,7 +167,7 @@ fn parse_snippet(text: &str) -> Snippet {
     Snippet::from_lines(text.split('|').map(str::trim))
 }
 
-fn spec_by_name(name: &str) -> Result<ModelSpec, String> {
+fn spec_by_name(name: &str) -> Result<ModelSpec, MbError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "m1" => ModelSpec::m1(),
         "m2" => ModelSpec::m2(),
@@ -136,19 +175,58 @@ fn spec_by_name(name: &str) -> Result<ModelSpec, String> {
         "m4" => ModelSpec::m4(),
         "m5" => ModelSpec::m5(),
         "m6" => ModelSpec::m6(),
-        other => return Err(format!("unknown spec {other:?} (expected m1..m6)")),
+        other => {
+            return Err(MbError::usage(format!(
+                "unknown spec {other:?} (expected m1..m6)"
+            )))
+        }
     })
 }
 
-fn load_artifacts(flags: &Flags) -> Result<(DeployedModel, StatsDb), String> {
-    let model_path = PathBuf::from(flags.require("model")?);
-    let stats_path = PathBuf::from(flags.require("stats")?);
-    let model = DeployedModel::load(&model_path).map_err(|e| e.to_string())?;
-    let stats = read_snapshot(&stats_path).map_err(|e| e.to_string())?;
-    Ok((model, stats))
+/// Load the model + stats bundle under the `--policy` flag, reporting the
+/// fidelity (and any rollback) to stderr so operators see degradation the
+/// moment it starts.
+fn load_bundle(flags: &Flags) -> Result<ServingBundle, MbError> {
+    let bundle = ScorerBuilder::new(flags.require("model")?)
+        .stats_path(flags.require("stats")?)
+        .policy(flags.policy()?)
+        .load()?;
+    if let Fidelity::Degraded(reason) = bundle.fidelity() {
+        eprintln!("warning: serving degraded (term features only): {reason}");
+    }
+    Ok(bundle)
 }
 
-fn cmd_train(flags: &Flags) -> Result<(), String> {
+/// Write `model` to `path`: a directory commits a slot generation, a plain
+/// path is written atomically.
+fn save_model(model: &DeployedModel, path: &Path) -> Result<Option<u64>, MbError> {
+    if path.is_dir() {
+        let slot = ArtifactSlot::new(path, MODEL_SLOT_NAME);
+        let generation = model
+            .commit_to_slot(&slot)
+            .map_err(|e| MbError::slot(path, e))?;
+        Ok(Some(generation))
+    } else {
+        model.save(path).map_err(|e| MbError::model(path, e))?;
+        Ok(None)
+    }
+}
+
+/// Write `stats` to `path` with the same file-or-slot contract.
+fn save_stats(stats: &StatsDb, path: &Path) -> Result<Option<u64>, MbError> {
+    if path.is_dir() {
+        let slot = ArtifactSlot::new(path, STATS_SLOT_NAME);
+        let generation = slot
+            .commit(&microbrowse_store::file::to_bytes(stats))
+            .map_err(|e| MbError::slot(path, e))?;
+        Ok(Some(generation))
+    } else {
+        microbrowse_store::write_snapshot(stats, path).map_err(|e| MbError::stats(path, e))?;
+        Ok(None)
+    }
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), MbError> {
     let model_path = PathBuf::from(flags.require("model")?);
     let stats_path = PathBuf::from(flags.require("stats")?);
     let spec = spec_by_name(flags.get("spec").unwrap_or("m4"))?;
@@ -198,22 +276,26 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         classifier,
         vocab,
     };
-    deployed.save(&model_path).map_err(|e| e.to_string())?;
-    write_snapshot(&stats, &stats_path).map_err(|e| e.to_string())?;
+    let model_gen = save_model(&deployed, &model_path)?;
+    let stats_gen = save_stats(&stats, &stats_path)?;
+    let gen_note = |g: Option<u64>| g.map_or(String::new(), |g| format!(" [generation {g}]"));
     println!(
-        "wrote {} ({} features) and {} ({} statistics)",
+        "wrote {}{} ({} features) and {}{} ({} statistics)",
         model_path.display(),
+        gen_note(model_gen),
         deployed.vocab.len(),
         stats_path.display(),
+        gen_note(stats_gen),
         stats.len()
     );
     Ok(())
 }
 
-fn cmd_eval(flags: &Flags) -> Result<(), String> {
-    let (model, stats) = load_artifacts(flags)?;
+fn cmd_eval(flags: &Flags) -> Result<(), MbError> {
+    let bundle = load_bundle(flags)?;
     let adgroups: usize = flags.parse_or("adgroups", 300)?;
     let seed: u64 = flags.parse_or("seed", 99)?;
+    let force_degraded: bool = flags.parse_or("degraded", false)?;
 
     eprintln!("generating held-out corpus ({adgroups} adgroups, seed {seed})…");
     let synth = generate(&GeneratorConfig {
@@ -223,55 +305,83 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
         ..Default::default()
     });
     let pairs = synth.corpus.extract_pairs(&PairFilter::default());
-    let mut scorer = Scorer::new(&model, &stats);
-
-    let mut correct = 0usize;
-    let by_id = |id| {
-        synth
-            .corpus
-            .adgroups
-            .iter()
-            .flat_map(|g| &g.creatives)
-            .find(|c| c.id == id)
-            .expect("pair ids come from this corpus")
+    // `--degraded true` measures the term-only fallback on demand (the
+    // accuracy an outage would serve at), regardless of artifact health.
+    let empty_stats = StatsDb::new();
+    let mut scorer = if force_degraded {
+        Scorer::with_fidelity(
+            bundle.model(),
+            &empty_stats,
+            Fidelity::Degraded(DegradeReason::StatsMissing),
+        )
+    } else {
+        bundle.scorer()
     };
+
+    let by_id: HashMap<_, _> = synth
+        .corpus
+        .adgroups
+        .iter()
+        .flat_map(|g| &g.creatives)
+        .map(|c| (c.id, c))
+        .collect();
+    let mut correct = 0usize;
     for p in &pairs {
-        let predicted_r = scorer.predict_pair(&by_id(p.r).snippet, &by_id(p.s).snippet);
+        let (r, s) = match (by_id.get(&p.r), by_id.get(&p.s)) {
+            (Some(r), Some(s)) => (r, s),
+            _ => {
+                return Err(MbError::invariant(format!(
+                    "pair references creative {:?}/{:?} absent from its own corpus",
+                    p.r, p.s
+                )))
+            }
+        };
+        let predicted_r = scorer.predict_pair(&r.snippet, &s.snippet);
         if predicted_r == p.r_better {
             correct += 1;
         }
     }
     println!(
-        "{}: accuracy {:.3} on {} held-out pairs",
-        model.spec.label(),
+        "{} [fidelity {}]: accuracy {:.3} on {} held-out pairs",
+        bundle.model().spec.label(),
+        scorer.fidelity(),
         correct as f64 / pairs.len().max(1) as f64,
         pairs.len()
     );
     Ok(())
 }
 
-fn cmd_score(flags: &Flags) -> Result<(), String> {
-    let (model, stats) = load_artifacts(flags)?;
+fn cmd_score(flags: &Flags) -> Result<(), MbError> {
+    let bundle = load_bundle(flags)?;
     let r = parse_snippet(flags.require("r")?);
     let s = parse_snippet(flags.require("s")?);
-    let mut scorer = Scorer::new(&model, &stats);
-    let margin = scorer.score_pair(&r, &s);
-    println!("score(R→S) = {margin:+.4} (positive ⇒ R expected to out-click S)");
-    println!("prediction: {} wins", if margin > 0.0 { "R" } else { "S" });
+    let mut scorer = bundle.scorer();
+    let outcome = scorer.score_pair_outcome(&r, &s);
+    println!(
+        "score(R→S) = {:+.4} (positive ⇒ R expected to out-click S)",
+        outcome.score
+    );
+    if let Fidelity::Degraded(reason) = &outcome.fidelity {
+        println!("fidelity: degraded — {reason}");
+    }
+    println!(
+        "prediction: {} wins",
+        if outcome.score > 0.0 { "R" } else { "S" }
+    );
     Ok(())
 }
 
-fn cmd_rank(flags: &Flags) -> Result<(), String> {
-    let (model, stats) = load_artifacts(flags)?;
+fn cmd_rank(flags: &Flags) -> Result<(), MbError> {
+    let bundle = load_bundle(flags)?;
     let creatives: Vec<Snippet> = flags
         .get_all("creative")
         .into_iter()
         .map(parse_snippet)
         .collect();
     if creatives.len() < 2 {
-        return Err("rank needs at least two --creative flags".into());
+        return Err(MbError::usage("rank needs at least two --creative flags"));
     }
-    let mut scorer = Scorer::new(&model, &stats);
+    let mut scorer = bundle.scorer();
     let order = scorer.rank(&creatives);
     println!("ranking (best first):");
     for (place, &idx) in order.iter().enumerate() {
@@ -285,15 +395,15 @@ fn cmd_rank(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_optimize(flags: &Flags) -> Result<(), String> {
-    let (model, stats) = load_artifacts(flags)?;
+fn cmd_optimize(flags: &Flags) -> Result<(), MbError> {
+    let bundle = load_bundle(flags)?;
     let base = parse_snippet(flags.require("base")?);
 
     let mut edits = Vec::new();
     for rw in flags.get_all("rewrite") {
         let (from, to) = rw
             .split_once('=')
-            .ok_or_else(|| format!("--rewrite wants 'from=to', got {rw:?}"))?;
+            .ok_or_else(|| MbError::usage(format!("--rewrite wants 'from=to', got {rw:?}")))?;
         edits.push(Edit::ReplacePhrase {
             from: from.trim().into(),
             to: to.trim().into(),
@@ -302,15 +412,15 @@ fn cmd_optimize(flags: &Flags) -> Result<(), String> {
     for sw in flags.get_all("swap-lines") {
         let (a, b) = sw
             .split_once(',')
-            .ok_or_else(|| format!("--swap-lines wants 'A,B', got {sw:?}"))?;
+            .ok_or_else(|| MbError::usage(format!("--swap-lines wants 'A,B', got {sw:?}")))?;
         let a: usize = a
             .trim()
             .parse()
-            .map_err(|_| format!("bad line index {a:?}"))?;
+            .map_err(|_| MbError::usage(format!("bad line index {a:?}")))?;
         let b: usize = b
             .trim()
             .parse()
-            .map_err(|_| format!("bad line index {b:?}"))?;
+            .map_err(|_| MbError::usage(format!("bad line index {b:?}")))?;
         edits.push(Edit::SwapLines { a, b });
     }
     for phrase in flags.get_all("move-front") {
@@ -319,10 +429,12 @@ fn cmd_optimize(flags: &Flags) -> Result<(), String> {
         });
     }
     if edits.is_empty() {
-        return Err("optimize needs at least one --rewrite / --swap-lines / --move-front".into());
+        return Err(MbError::usage(
+            "optimize needs at least one --rewrite / --swap-lines / --move-front",
+        ));
     }
 
-    let mut scorer = Scorer::new(&model, &stats);
+    let mut scorer = bundle.scorer();
     let outcome = optimize_creative(&mut scorer, &base, &edits, &OptimizeConfig::default());
     println!("base creative:\n{base}\n");
     println!("optimized creative:\n{}\n", outcome.best);
@@ -339,4 +451,176 @@ fn cmd_optimize(flags: &Flags) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// One validation line: stable `key=value` pairs, one artifact or check per
+/// line, so a deploy pipeline can grep `verdict=` and parse the rest.
+fn verdict_line(fields: &[(&str, String)]) {
+    let rendered: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| {
+            if v.chars().any(|c| c.is_whitespace()) {
+                format!("{k}={v:?}")
+            } else {
+                format!("{k}={v}")
+            }
+        })
+        .collect();
+    println!("{}", rendered.join(" "));
+}
+
+/// Which structural check a model load error corresponds to.
+fn model_failed_check(e: &ModelIoError) -> &'static str {
+    match e {
+        ModelIoError::Io(_) => "io",
+        ModelIoError::BadMagic => "magic",
+        ModelIoError::UnsupportedVersion(_) => "version",
+        ModelIoError::ChecksumMismatch => "crc",
+        ModelIoError::Decode(_) => "decode",
+        ModelIoError::BadTag(_) => "tag",
+    }
+}
+
+fn snapshot_failed_check(e: &SnapshotError) -> &'static str {
+    match e {
+        SnapshotError::Io(_) => "io",
+        SnapshotError::BadMagic => "magic",
+        SnapshotError::UnsupportedVersion(_) => "version",
+        SnapshotError::ChecksumMismatch { .. } => "crc",
+        SnapshotError::Decode(_) => "decode",
+        SnapshotError::Truncated => "truncated",
+    }
+}
+
+/// Deep-check a model (+ optional stats) bundle and print a
+/// machine-readable verdict: the health check a deploy pipeline calls
+/// before flipping traffic. Exit code 0 iff every check passes.
+fn cmd_validate(flags: &Flags) -> Result<(), MbError> {
+    let model_path = PathBuf::from(flags.require("model")?);
+    let stats_path = flags.get("stats").map(PathBuf::from);
+    let mut ok = true;
+
+    // Model: magic, version, CRC, full decode — via the typed loader.
+    let model_result = if model_path.is_dir() {
+        let slot = ArtifactSlot::new(&model_path, MODEL_SLOT_NAME);
+        match DeployedModel::load_from_slot(&slot) {
+            Ok(load) => Ok((load.value, Some(load.generation), load.rolled_back)),
+            Err(e) => Err((String::from("slot"), e.to_string())),
+        }
+    } else {
+        match DeployedModel::load(&model_path) {
+            Ok(m) => Ok((m, None, false)),
+            Err(e) => Err((model_failed_check(&e).to_string(), e.to_string())),
+        }
+    };
+    let model = match model_result {
+        Ok((model, generation, rolled_back)) => {
+            let (n_weights, kind) = match &model.classifier {
+                TrainedClassifier::Flat(lr) => (lr.weights().len(), "flat"),
+                TrainedClassifier::Coupled(cm) => (cm.term_weights().len(), "coupled"),
+            };
+            verdict_line(&[
+                ("artifact", "model".into()),
+                ("path", model_path.display().to_string()),
+                ("status", "ok".into()),
+                (
+                    "generation",
+                    generation.map_or("-".into(), |g| g.to_string()),
+                ),
+                ("rolled_back", rolled_back.to_string()),
+                ("spec", model.spec.label()),
+                ("classifier", kind.into()),
+                ("features", model.vocab.len().to_string()),
+                ("weights", n_weights.to_string()),
+            ]);
+            // Vocabulary and weight vector must agree, or scoring silently
+            // reads zeros / drops trained weights.
+            let agreement = match &model.classifier {
+                TrainedClassifier::Flat(lr) => lr.weights().len() == model.vocab.len(),
+                TrainedClassifier::Coupled(cm) => {
+                    cm.term_weights().len() == model.vocab.len()
+                        && cm.pos_weights().len() == PositionVocab::num_groups() as usize
+                }
+            };
+            verdict_line(&[
+                ("check", "vocab_weights_agreement".into()),
+                ("status", if agreement { "ok" } else { "fail" }.into()),
+            ]);
+            ok &= agreement;
+            Some(model)
+        }
+        Err((check, detail)) => {
+            verdict_line(&[
+                ("artifact", "model".into()),
+                ("path", model_path.display().to_string()),
+                ("status", "fail".into()),
+                ("check", check),
+                ("error", detail),
+            ]);
+            ok = false;
+            None
+        }
+    };
+
+    // Stats: magic, version, CRC, record decode — and a cross-check that
+    // the model's rewrite vocabulary can actually be served from it.
+    if let Some(stats_path) = &stats_path {
+        let stats_result = if stats_path.is_dir() {
+            ArtifactSlot::new(stats_path, STATS_SLOT_NAME)
+                .load_with(microbrowse_store::file::from_bytes)
+                .map(|l| (l.value, Some(l.generation)))
+                .map_err(|e| (String::from("slot"), e.to_string()))
+        } else {
+            microbrowse_store::read_snapshot(stats_path)
+                .map(|db| (db, None))
+                .map_err(|e| (snapshot_failed_check(&e).to_string(), e.to_string()))
+        };
+        match stats_result {
+            Ok((stats, generation)) => {
+                verdict_line(&[
+                    ("artifact", "stats".into()),
+                    ("path", stats_path.display().to_string()),
+                    ("status", "ok".into()),
+                    (
+                        "generation",
+                        generation.map_or("-".into(), |g| g.to_string()),
+                    ),
+                    ("records", stats.len().to_string()),
+                ]);
+                if let Some(model) = &model {
+                    if model.spec.rewrites && stats.is_empty() && !model.vocab.is_empty() {
+                        verdict_line(&[
+                            ("check", "stats_support_rewrites".into()),
+                            ("status", "fail".into()),
+                            (
+                                "error",
+                                "model uses rewrite features but stats snapshot is empty".into(),
+                            ),
+                        ]);
+                        ok = false;
+                    }
+                }
+            }
+            Err((check, detail)) => {
+                verdict_line(&[
+                    ("artifact", "stats".into()),
+                    ("path", stats_path.display().to_string()),
+                    ("status", "fail".into()),
+                    ("check", check),
+                    ("error", detail),
+                ]);
+                ok = false;
+            }
+        }
+    }
+
+    verdict_line(&[("verdict", if ok { "ok" } else { "fail" }.into())]);
+    if ok {
+        Ok(())
+    } else {
+        Err(MbError::validation(format!(
+            "artifact bundle at {} failed deep checks (see verdict lines)",
+            model_path.display()
+        )))
+    }
 }

@@ -149,3 +149,239 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--stats"));
 }
+
+/// Usage errors (malformed invocation) exit 2; runtime failures (missing
+/// or damaged artifacts) exit 1 — a deploy script can tell them apart.
+#[test]
+fn exit_codes_distinguish_usage_from_runtime() {
+    // Malformed flag syntax (no --prefix).
+    let out = run(&["train", "model", "x.mbm"]);
+    assert_eq!(out.status.code(), Some(2), "bare flag should be usage");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected --flag"));
+
+    // Flag without a value.
+    let out = run(&["eval", "--model"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    // Unparsable numeric value.
+    let out = run(&[
+        "train",
+        "--model",
+        "x",
+        "--stats",
+        "y",
+        "--adgroups",
+        "lots",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--adgroups"));
+
+    // Unknown spec and unknown policy are usage errors too.
+    let out = run(&["train", "--model", "x", "--stats", "y", "--spec", "m9"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["eval", "--model", "x", "--stats", "y", "--policy", "yolo"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Nonexistent --model is a runtime failure: exit 1, with the path.
+    let out = run(&[
+        "eval",
+        "--model",
+        "/nonexistent/model.mbm",
+        "--stats",
+        "/nonexistent/stats.mbs",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("/nonexistent/model.mbm"),
+        "error must name the path: {stderr}"
+    );
+}
+
+#[test]
+fn validate_verdicts() {
+    let model = tmp("validate-model.mbm");
+    let stats = tmp("validate-stats.mbs");
+    let model_s = model.to_str().unwrap();
+    let stats_s = stats.to_str().unwrap();
+
+    let out = run(&[
+        "train",
+        "--model",
+        model_s,
+        "--stats",
+        stats_s,
+        "--spec",
+        "m4",
+        "--adgroups",
+        "120",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Healthy bundle: verdict=ok, exit 0, machine-readable fields present.
+    let out = run(&["validate", "--model", model_s, "--stats", stats_s]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verdict=ok"), "{stdout}");
+    assert!(stdout.contains("artifact=model"), "{stdout}");
+    assert!(stdout.contains("artifact=stats"), "{stdout}");
+    assert!(
+        stdout.contains("check=vocab_weights_agreement status=ok"),
+        "{stdout}"
+    );
+
+    // Flip a payload byte: CRC check must fail, verdict=fail, exit 1.
+    let mut bytes = std::fs::read(&model).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let broken = tmp("validate-broken.mbm");
+    std::fs::write(&broken, &bytes).unwrap();
+    let out = run(&["validate", "--model", broken.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verdict=fail"), "{stdout}");
+    assert!(stdout.contains("check=crc"), "{stdout}");
+
+    // Wrong file type entirely: bad magic.
+    let text = tmp("validate-not-a-model.mbm");
+    std::fs::write(&text, b"definitely not a model artifact").unwrap();
+    let out = run(&["validate", "--model", text.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("check=magic"), "{stdout}");
+
+    for p in [&model, &stats, &broken, &text] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// Slot directories end to end: train commits generation 1 then 2; a torn
+/// generation 3 appears (simulated crash mid-deploy); eval and validate
+/// still serve generation 2.
+#[test]
+fn slot_directories_roll_back_torn_generations() {
+    let dir = tmp("slots");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap();
+
+    for seed in ["3", "4"] {
+        let out = run(&[
+            "train",
+            "--model",
+            dir_s,
+            "--stats",
+            dir_s,
+            "--spec",
+            "m1",
+            "--adgroups",
+            "120",
+            "--seed",
+            seed,
+        ]);
+        assert!(
+            out.status.success(),
+            "train into slot failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let stdout_of = |args: &[&str]| {
+        let out = run(args);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let healthy = stdout_of(&["validate", "--model", dir_s, "--stats", dir_s]);
+    assert!(healthy.contains("generation=2"), "{healthy}");
+
+    // A torn generation 3: header only, payload cut off.
+    std::fs::write(dir.join("model.mbm.gen-3"), b"MBMODEL\0torn").unwrap();
+    let recovered = stdout_of(&["validate", "--model", dir_s, "--stats", dir_s]);
+    assert!(recovered.contains("generation=2"), "{recovered}");
+    assert!(recovered.contains("verdict=ok"), "{recovered}");
+
+    let eval = stdout_of(&[
+        "eval",
+        "--model",
+        dir_s,
+        "--stats",
+        dir_s,
+        "--adgroups",
+        "40",
+        "--seed",
+        "9",
+    ]);
+    assert!(eval.contains("accuracy"), "{eval}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--policy degrade` keeps serving commands alive when the stats snapshot
+/// is gone, and says so; strict fails with a typed error.
+#[test]
+fn degrade_policy_serves_without_stats() {
+    let model = tmp("degrade-model.mbm");
+    let stats = tmp("degrade-stats.mbs");
+    let model_s = model.to_str().unwrap();
+
+    let out = run(&[
+        "train",
+        "--model",
+        model_s,
+        "--stats",
+        stats.to_str().unwrap(),
+        "--spec",
+        "m5",
+        "--adgroups",
+        "120",
+        "--seed",
+        "5",
+    ]);
+    assert!(out.status.success());
+    std::fs::remove_file(&stats).unwrap(); // the outage
+
+    let score_args = |policy: &'static str| {
+        vec![
+            "score",
+            "--model",
+            model_s,
+            "--stats",
+            "/nonexistent/stats.mbs",
+            "--policy",
+            policy,
+            "--r",
+            "a|save 20% today|c",
+            "--s",
+            "a|fees may apply|c",
+        ]
+    };
+    let out = run(&score_args("strict"));
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = run(&score_args("degrade"));
+    assert!(
+        out.status.success(),
+        "degrade must serve: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("degraded"), "warning expected: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fidelity: degraded"), "{stdout}");
+
+    std::fs::remove_file(&model).ok();
+}

@@ -1,0 +1,314 @@
+//! The unified error taxonomy for artifact and serving failures.
+//!
+//! Everything that can go wrong between "a trained model exists in this
+//! process" and "a scorer is serving in another one" funnels into
+//! [`MbError`]: one typed, source-chained error the CLI and any embedding
+//! service can match on, instead of the stringly `Result<_, String>`
+//! plumbing it replaces. Each IO-adjacent variant carries the path it was
+//! operating on — an operator reading a failed deploy log needs the *which
+//! file* as much as the *what happened*.
+//!
+//! [`with_retry`] is the companion policy for transient IO: bounded
+//! attempts with doubling backoff, applied only to errors the caller
+//! classifies as transient (a checksum mismatch will not fix itself; a
+//! `TimedOut` from network storage might).
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use microbrowse_store::{SlotError, SnapshotError};
+
+use crate::serve::ModelIoError;
+
+/// Top-level error for the artifact lifecycle and serve path.
+#[derive(Debug)]
+pub enum MbError {
+    /// The user asked for something malformed (bad flag, unknown command,
+    /// unparsable value). Exit code 2 territory.
+    Usage(String),
+    /// A model artifact failed to load or save.
+    Model {
+        /// File or slot directory involved.
+        path: PathBuf,
+        /// What went wrong.
+        source: ModelIoError,
+    },
+    /// A statistics snapshot failed to load or save.
+    Stats {
+        /// File or slot directory involved.
+        path: PathBuf,
+        /// What went wrong.
+        source: SnapshotError,
+    },
+    /// A generation slot had no loadable artifact.
+    Slot {
+        /// Slot directory involved.
+        path: PathBuf,
+        /// What went wrong.
+        source: SlotError,
+    },
+    /// Filesystem or OS error outside a specific artifact format.
+    Io {
+        /// Human description of the operation that failed.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// An artifact bundle failed deep validation (the `validate`
+    /// health-check found structural damage or disagreement).
+    Validation(String),
+    /// An internal invariant did not hold (replaces `unwrap`/`expect` on
+    /// the serve path: report, don't abort).
+    Invariant(String),
+}
+
+impl MbError {
+    /// A usage error.
+    pub fn usage(msg: impl Into<String>) -> Self {
+        MbError::Usage(msg.into())
+    }
+
+    /// A model artifact error at `path`.
+    pub fn model(path: impl Into<PathBuf>, source: ModelIoError) -> Self {
+        MbError::Model {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A stats snapshot error at `path`.
+    pub fn stats(path: impl Into<PathBuf>, source: SnapshotError) -> Self {
+        MbError::Stats {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A slot recovery error at `path`.
+    pub fn slot(path: impl Into<PathBuf>, source: SlotError) -> Self {
+        MbError::Slot {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// A contextual IO error.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        MbError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A failed deep validation.
+    pub fn validation(msg: impl Into<String>) -> Self {
+        MbError::Validation(msg.into())
+    }
+
+    /// A broken internal invariant.
+    pub fn invariant(msg: impl Into<String>) -> Self {
+        MbError::Invariant(msg.into())
+    }
+
+    /// Process exit code a CLI should use for this error: 2 for usage
+    /// errors (the caller got the invocation wrong), 1 for everything else
+    /// (the invocation was fine; the operation failed).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            MbError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for MbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MbError::Usage(msg) => write!(f, "{msg}"),
+            MbError::Model { path, source } => {
+                write!(f, "model artifact {}: {source}", path.display())
+            }
+            MbError::Stats { path, source } => {
+                write!(f, "stats snapshot {}: {source}", path.display())
+            }
+            MbError::Slot { path, source } => {
+                write!(f, "artifact slot {}: {source}", path.display())
+            }
+            MbError::Io { context, source } => write!(f, "{context}: {source}"),
+            MbError::Validation(msg) => write!(f, "validation failed: {msg}"),
+            MbError::Invariant(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MbError::Model { source, .. } => Some(source),
+            MbError::Stats { source, .. } => Some(source),
+            MbError::Slot { source, .. } => Some(source),
+            MbError::Io { source, .. } => Some(source),
+            MbError::Usage(_) | MbError::Validation(_) | MbError::Invariant(_) => None,
+        }
+    }
+}
+
+/// Bounded retry with doubling backoff for transient failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (including the first; 1 = no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles each further retry.
+    pub initial_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            initial_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms then 20 ms between them — enough for a
+    /// filesystem hiccup, short enough not to stall a deploy health check.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Run `op` up to `policy.attempts` times, sleeping with doubling backoff
+/// between attempts, retrying only while `is_transient` says the error may
+/// heal. The final error is returned unchanged.
+pub fn with_retry<T, E>(
+    policy: &RetryPolicy,
+    is_transient: impl Fn(&E) -> bool,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let attempts = policy.attempts.max(1);
+    let mut backoff = policy.initial_backoff;
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < attempts && is_transient(&e) => {
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Is this IO error kind plausibly transient (worth retrying)?
+pub fn transient_io_kind(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Read a whole file with [`with_retry`] over transient IO errors.
+pub fn read_file_with_retry(path: &Path, policy: &RetryPolicy) -> Result<Vec<u8>, std::io::Error> {
+    with_retry(
+        policy,
+        |e: &std::io::Error| transient_io_kind(e.kind()),
+        || std::fs::read(path),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn retry_recovers_after_transient_failures() {
+        let calls = Cell::new(0u32);
+        let policy = RetryPolicy {
+            attempts: 4,
+            initial_backoff: Duration::ZERO,
+        };
+        let out: Result<u32, std::io::Error> = with_retry(
+            &policy,
+            |e: &std::io::Error| transient_io_kind(e.kind()),
+            || {
+                calls.set(calls.get() + 1);
+                if calls.get() < 3 {
+                    Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "blip"))
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn retry_gives_up_after_attempts() {
+        let calls = Cell::new(0u32);
+        let policy = RetryPolicy {
+            attempts: 3,
+            initial_backoff: Duration::ZERO,
+        };
+        let out: Result<(), std::io::Error> = with_retry(
+            &policy,
+            |e: &std::io::Error| transient_io_kind(e.kind()),
+            || {
+                calls.set(calls.get() + 1);
+                Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "down"))
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls.get(), 3);
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let calls = Cell::new(0u32);
+        let out: Result<(), std::io::Error> = with_retry(
+            &RetryPolicy::default(),
+            |e: &std::io::Error| transient_io_kind(e.kind()),
+            || {
+                calls.set(calls.get() + 1);
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "no such file",
+                ))
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_from_runtime() {
+        assert_eq!(MbError::usage("bad flag").exit_code(), 2);
+        assert_eq!(
+            MbError::io("x", std::io::Error::other("boom")).exit_code(),
+            1
+        );
+        assert_eq!(MbError::invariant("broken").exit_code(), 1);
+    }
+
+    #[test]
+    fn display_includes_path_context() {
+        let e = MbError::stats("/deploy/stats.mbs", SnapshotError::BadMagic);
+        let msg = e.to_string();
+        assert!(msg.contains("/deploy/stats.mbs"), "{msg}");
+        assert!(msg.contains("bad magic"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod classifier;
 pub mod corpus;
+pub mod error;
 pub mod features;
 pub mod model;
 pub mod optimize;
@@ -51,6 +52,7 @@ pub use classifier::{ModelSpec, TrainedClassifier};
 pub use corpus::{
     AdCorpus, AdGroup, AdGroupId, Creative, CreativeId, CreativePair, PairFilter, Placement,
 };
+pub use error::{with_retry, MbError, RetryPolicy};
 pub use features::{Featurizer, PositionVocab};
 pub use model::{score_factored, score_flat, snippet_relevance, TermJudgment};
 pub use optimize::{apply_edit, optimize_creative, Edit, OptimizeConfig, OptimizeOutcome};
@@ -59,6 +61,9 @@ pub use pipeline::{
     run_all_models, run_experiment, run_experiments, ExperimentConfig, ExperimentOutcome,
 };
 pub use rewrite::{token_diff, DiffOp, MatchStrategy, RewriteExtraction, RewriteExtractor};
-pub use serve::{DeployedModel, Scorer};
+pub use serve::{
+    DegradeReason, DeployedModel, Fidelity, LoadPolicy, ScoreOutcome, Scorer, ScorerBuilder,
+    ServingBundle,
+};
 pub use serveweight::{delta_sw, serve_weights, sw_diff};
 pub use statsbuild::{build_stats, build_stats_for, StatsBuildConfig};

@@ -15,19 +15,37 @@
 //! * [`Scorer`] wraps a deployed model + statistics database into the
 //!   one-call API a serving system wants: *given two creatives for the same
 //!   keyword, which is expected to earn the higher CTR?*
+//!
+//! ## Resilience
+//!
+//! Serving survives damaged artifacts instead of falling over:
+//!
+//! * Writes are crash-safe ([`DeployedModel::save`] goes through
+//!   `microbrowse_store::write_atomic`; [`DeployedModel::commit_to_slot`]
+//!   adds generation numbering with automatic rollback on load).
+//! * [`ScorerBuilder`] loads a model + stats bundle under an explicit
+//!   [`LoadPolicy`]: `Strict` turns any damage into a typed
+//!   [`MbError`](crate::error::MbError); `Degrade` keeps serving on a
+//!   missing or corrupt stats snapshot by falling back to term-only
+//!   features — the paper's own Table 2 ablation shows term-only models
+//!   still beat the CTR baseline, so this fallback is principled, and it
+//!   is *visible*: every score carries a [`Fidelity`].
+//! * Transient IO is retried with bounded backoff
+//!   ([`crate::error::RetryPolicy`]).
 
-use std::io::{Read, Write};
-use std::path::Path;
+use std::io::Read;
+use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, BytesMut};
 use microbrowse_ml::coupled::CoupledModel;
 use microbrowse_ml::LogReg;
 use microbrowse_store::codec::{self, DecodeError};
 use microbrowse_store::crc::crc32;
-use microbrowse_store::StatsDb;
+use microbrowse_store::{write_atomic, ArtifactSlot, SlotError, SlotLoad, SnapshotError, StatsDb};
 use microbrowse_text::{Interner, Snippet, Tokenizer};
 
 use crate::classifier::{ModelSpec, TrainedClassifier};
+use crate::error::{read_file_with_retry, MbError, RetryPolicy};
 use crate::features::{Featurizer, OwnedTermFeat};
 
 const MAGIC: &[u8; 8] = b"MBMODEL\0";
@@ -239,11 +257,11 @@ impl DeployedModel {
         })
     }
 
-    /// Write to `path`.
+    /// Write to `path`, crash-safely (temp file + fsync + atomic rename):
+    /// a kill at any byte leaves either the previous artifact or the
+    /// complete new one on disk, never a torn prefix.
     pub fn save(&self, path: &Path) -> Result<(), ModelIoError> {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(&self.to_bytes())?;
-        file.sync_all()?;
+        write_atomic(path, &self.to_bytes())?;
         Ok(())
     }
 
@@ -253,7 +271,24 @@ impl DeployedModel {
         std::fs::File::open(path)?.read_to_end(&mut bytes)?;
         Self::from_bytes(&bytes)
     }
+
+    /// Commit as the next generation of `slot` (see
+    /// [`microbrowse_store::slot`]). Returns the new generation number.
+    pub fn commit_to_slot(&self, slot: &ArtifactSlot) -> Result<u64, SlotError> {
+        slot.commit(&self.to_bytes())
+    }
+
+    /// Load the newest valid generation from `slot`, rolling back past torn
+    /// or corrupt generations (the CRC trailer is the validator).
+    pub fn load_from_slot(slot: &ArtifactSlot) -> Result<SlotLoad<Self>, SlotError> {
+        slot.load_with(Self::from_bytes)
+    }
 }
+
+/// Artifact name used for models inside a slot directory.
+pub const MODEL_SLOT_NAME: &str = "model.mbm";
+/// Artifact name used for stats snapshots inside a slot directory.
+pub const STATS_SLOT_NAME: &str = "stats.mbs";
 
 fn static_name(name: &str) -> &'static str {
     match name {
@@ -267,6 +302,64 @@ fn static_name(name: &str) -> &'static str {
     }
 }
 
+/// Why a scorer is serving below full fidelity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// No stats snapshot was found (file absent, or slot empty).
+    StatsMissing,
+    /// A stats snapshot existed but failed validation (torn write, CRC
+    /// mismatch, undecodable records); the rendering says which.
+    StatsCorrupt(String),
+    /// Reading the stats snapshot failed at the IO layer (after retries).
+    StatsIo(String),
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::StatsMissing => write!(f, "stats snapshot missing"),
+            DegradeReason::StatsCorrupt(e) => write!(f, "stats snapshot corrupt: {e}"),
+            DegradeReason::StatsIo(e) => write!(f, "stats snapshot unreadable: {e}"),
+        }
+    }
+}
+
+/// How faithfully a scorer reproduces the trained model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Full model: every trained feature family active.
+    Full,
+    /// Term-features-only fallback: rewrite features disabled because the
+    /// statistics snapshot they need is unavailable.
+    Degraded(DegradeReason),
+}
+
+impl Fidelity {
+    /// Whether this is the degraded (term-only) mode.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Fidelity::Degraded(_))
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fidelity::Full => write!(f, "full"),
+            Fidelity::Degraded(r) => write!(f, "degraded ({r})"),
+        }
+    }
+}
+
+/// A score plus the fidelity it was computed at — the serve-path return
+/// type that makes degradation explicit instead of silent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreOutcome {
+    /// Log-odds margin, Eq. 5 orientation (positive ⇒ `r` out-clicks `s`).
+    pub score: f64,
+    /// Fidelity the score was computed at.
+    pub fidelity: Fidelity,
+}
+
 /// A ready-to-serve scorer: deployed model + statistics database.
 ///
 /// Owns its interner and featurizer state; create one per serving thread
@@ -276,26 +369,52 @@ pub struct Scorer<'a> {
     featurizer: Featurizer<'a>,
     interner: Interner,
     tokenizer: Tokenizer,
+    fidelity: Fidelity,
 }
 
 impl<'a> Scorer<'a> {
     /// Build a scorer from a deployed model and the statistics snapshot it
     /// was trained with.
     pub fn new(model: &'a DeployedModel, stats: &'a StatsDb) -> Self {
+        Self::with_fidelity(model, stats, Fidelity::Full)
+    }
+
+    /// Build a scorer at an explicit fidelity. Degraded scorers encode
+    /// term features only: rewrite extraction needs the statistics
+    /// database, so `stats` should be empty and the spec's rewrite family
+    /// is switched off (term features stay on even for rewrite-only specs —
+    /// their leftover-term vocabulary still fires). Feature ids keep their
+    /// trained meaning because the model vocabulary is preloaded either
+    /// way; unseen serve-time features score zero.
+    pub fn with_fidelity(model: &'a DeployedModel, stats: &'a StatsDb, fidelity: Fidelity) -> Self {
+        let spec = match &fidelity {
+            Fidelity::Full => model.spec,
+            Fidelity::Degraded(_) => ModelSpec {
+                terms: true,
+                rewrites: false,
+                ..model.spec
+            },
+        };
         let mut interner = Interner::new();
-        let mut featurizer = Featurizer::new(model.spec, stats);
+        let mut featurizer = Featurizer::new(spec, stats);
         featurizer.preload_vocab(&model.vocab, &mut interner);
         Self {
             model,
             featurizer,
             interner,
             tokenizer: Tokenizer::default(),
+            fidelity,
         }
     }
 
     /// The deployed model's spec.
     pub fn spec(&self) -> &ModelSpec {
         &self.model.spec
+    }
+
+    /// The fidelity this scorer serves at.
+    pub fn fidelity(&self) -> &Fidelity {
+        &self.fidelity
     }
 
     /// Score a creative pair: positive means `r` is expected to out-click
@@ -320,6 +439,16 @@ impl<'a> Scorer<'a> {
         }
     }
 
+    /// [`Self::score_pair`] with the fidelity attached: the API a serving
+    /// system should prefer, because it cannot mistake a degraded score
+    /// for a full-fidelity one.
+    pub fn score_pair_outcome(&mut self, r: &Snippet, s: &Snippet) -> ScoreOutcome {
+        ScoreOutcome {
+            score: self.score_pair(r, s),
+            fidelity: self.fidelity.clone(),
+        }
+    }
+
     /// Predict whether `r` will out-click `s`.
     pub fn predict_pair(&mut self, r: &Snippet, s: &Snippet) -> bool {
         self.score_pair(r, s) > 0.0
@@ -337,8 +466,193 @@ impl<'a> Scorer<'a> {
             }
         }
         let mut order: Vec<usize> = (0..creatives.len()).collect();
-        order.sort_by(|&a, &b| margin[b].partial_cmp(&margin[a]).expect("finite margins"));
+        order.sort_by(|&a, &b| margin[b].total_cmp(&margin[a]));
         order
+    }
+}
+
+/// Loading policy for [`ScorerBuilder`]: what to do when the statistics
+/// snapshot is missing or damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadPolicy {
+    /// Any damage is a typed error; nothing serves.
+    #[default]
+    Strict,
+    /// Serve anyway at [`Fidelity::Degraded`] (term features only). A
+    /// damaged *model* is still fatal — there is nothing to serve without
+    /// it.
+    Degrade,
+}
+
+/// Everything [`ScorerBuilder::load`] recovered from disk: the model, the
+/// stats (empty when degraded), the fidelity, and which slot generations
+/// were served (when slots were used).
+#[derive(Debug)]
+pub struct ServingBundle {
+    model: DeployedModel,
+    stats: StatsDb,
+    fidelity: Fidelity,
+    model_generation: Option<u64>,
+    stats_generation: Option<u64>,
+}
+
+impl ServingBundle {
+    /// The loaded model.
+    pub fn model(&self) -> &DeployedModel {
+        &self.model
+    }
+
+    /// The loaded statistics database (empty when degraded).
+    pub fn stats(&self) -> &StatsDb {
+        &self.stats
+    }
+
+    /// Fidelity every scorer built from this bundle will serve at.
+    pub fn fidelity(&self) -> &Fidelity {
+        &self.fidelity
+    }
+
+    /// Slot generation the model came from (None for plain files).
+    pub fn model_generation(&self) -> Option<u64> {
+        self.model_generation
+    }
+
+    /// Slot generation the stats came from (None for plain files or
+    /// degraded bundles).
+    pub fn stats_generation(&self) -> Option<u64> {
+        self.stats_generation
+    }
+
+    /// Build a scorer over this bundle (one per serving thread).
+    pub fn scorer(&self) -> Scorer<'_> {
+        Scorer::with_fidelity(&self.model, &self.stats, self.fidelity.clone())
+    }
+}
+
+/// Builder for the resilient serve path: explicit degradation policy,
+/// bounded retry on transient IO, and transparent slot-directory support
+/// (a path that is a directory is treated as a generation slot and loaded
+/// through rollback recovery).
+#[derive(Debug, Clone)]
+pub struct ScorerBuilder {
+    model_path: PathBuf,
+    stats_path: Option<PathBuf>,
+    policy: LoadPolicy,
+    retry: RetryPolicy,
+}
+
+impl ScorerBuilder {
+    /// Start a builder for the model at `model_path` (file or slot
+    /// directory). Policy defaults to [`LoadPolicy::Strict`].
+    pub fn new(model_path: impl Into<PathBuf>) -> Self {
+        Self {
+            model_path: model_path.into(),
+            stats_path: None,
+            policy: LoadPolicy::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Where the statistics snapshot lives (file or slot directory).
+    pub fn stats_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.stats_path = Some(path.into());
+        self
+    }
+
+    /// What to do when the stats snapshot is missing or damaged.
+    pub fn policy(mut self, policy: LoadPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Retry schedule for transient IO during loading.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Load the artifacts under the configured policy.
+    pub fn load(&self) -> Result<ServingBundle, MbError> {
+        let (model, model_generation) = self.load_model()?;
+        let (stats, fidelity, stats_generation) = self.load_stats()?;
+        Ok(ServingBundle {
+            model,
+            stats,
+            fidelity,
+            model_generation,
+            stats_generation,
+        })
+    }
+
+    fn load_model(&self) -> Result<(DeployedModel, Option<u64>), MbError> {
+        let path = &self.model_path;
+        if path.is_dir() {
+            let slot = ArtifactSlot::new(path, MODEL_SLOT_NAME);
+            let load = DeployedModel::load_from_slot(&slot).map_err(|e| MbError::slot(path, e))?;
+            Ok((load.value, Some(load.generation)))
+        } else {
+            let bytes = read_file_with_retry(path, &self.retry)
+                .map_err(|e| MbError::model(path, ModelIoError::Io(e)))?;
+            let model = DeployedModel::from_bytes(&bytes).map_err(|e| MbError::model(path, e))?;
+            Ok((model, None))
+        }
+    }
+
+    fn load_stats(&self) -> Result<(StatsDb, Fidelity, Option<u64>), MbError> {
+        let Some(path) = &self.stats_path else {
+            return match self.policy {
+                LoadPolicy::Strict => Err(MbError::usage(
+                    "strict loading requires a stats snapshot path",
+                )),
+                LoadPolicy::Degrade => Ok((
+                    StatsDb::new(),
+                    Fidelity::Degraded(DegradeReason::StatsMissing),
+                    None,
+                )),
+            };
+        };
+        let attempt: Result<(StatsDb, Option<u64>), MbError> = if path.is_dir() {
+            ArtifactSlot::new(path, STATS_SLOT_NAME)
+                .load_with(microbrowse_store::file::from_bytes)
+                .map(|l| (l.value, Some(l.generation)))
+                .map_err(|e| MbError::slot(path, e))
+        } else {
+            read_file_with_retry(path, &self.retry)
+                .map_err(|e| MbError::stats(path, SnapshotError::Io(e)))
+                .and_then(|bytes| {
+                    microbrowse_store::file::from_bytes(&bytes)
+                        .map(|db| (db, None))
+                        .map_err(|e| MbError::stats(path, e))
+                })
+        };
+        match (attempt, self.policy) {
+            (Ok((stats, generation)), _) => Ok((stats, Fidelity::Full, generation)),
+            (Err(e), LoadPolicy::Strict) => Err(e),
+            (Err(e), LoadPolicy::Degrade) => Ok((
+                StatsDb::new(),
+                Fidelity::Degraded(classify_stats_failure(&e)),
+                None,
+            )),
+        }
+    }
+}
+
+/// Map a stats-loading failure onto the reason a degraded scorer reports.
+fn classify_stats_failure(e: &MbError) -> DegradeReason {
+    match e {
+        MbError::Stats {
+            source: SnapshotError::Io(io),
+            ..
+        } if io.kind() == std::io::ErrorKind::NotFound => DegradeReason::StatsMissing,
+        MbError::Stats {
+            source: SnapshotError::Io(io),
+            ..
+        } => DegradeReason::StatsIo(io.to_string()),
+        MbError::Slot {
+            source: SlotError::NoGoodGeneration { tried: 0, .. },
+            ..
+        } => DegradeReason::StatsMissing,
+        other => DegradeReason::StatsCorrupt(other.to_string()),
     }
 }
 
@@ -442,6 +756,145 @@ mod tests {
         assert!(scorer.score_pair(&r, &s) > 0.0);
         assert!(scorer.score_pair(&s, &r) < 0.0);
         assert!(scorer.predict_pair(&r, &s));
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mbserve-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn degraded_scorer_still_ranks_by_terms() {
+        let m = DeployedModel {
+            spec: ModelSpec::m5(), // terms + rewrites
+            classifier: TrainedClassifier::Flat(LogReg::from_parts(vec![1.5, 2.0, -0.5], 0.0)),
+            vocab: vec![
+                OwnedTermFeat::Term("cheap".into()),
+                OwnedTermFeat::Rewrite("find cheap".into(), "get discounts".into()),
+                OwnedTermFeat::Term("fees".into()),
+            ],
+        };
+        let stats = StatsDb::new();
+        let mut scorer =
+            Scorer::with_fidelity(&m, &stats, Fidelity::Degraded(DegradeReason::StatsMissing));
+        let r = Snippet::creative("air", "cheap flights", "book now");
+        let s = Snippet::creative("air", "flights with fees", "book now");
+        let outcome = scorer.score_pair_outcome(&r, &s);
+        assert!(outcome.score > 0.0, "term weights still separate the pair");
+        assert!(outcome.fidelity.is_degraded());
+        assert_eq!(
+            outcome.fidelity,
+            Fidelity::Degraded(DegradeReason::StatsMissing)
+        );
+    }
+
+    #[test]
+    fn builder_strict_fails_on_missing_stats() {
+        let dir = tmp_dir("strict");
+        let model_path = dir.join("model.mbm");
+        sample_model().save(&model_path).unwrap();
+        let err = ScorerBuilder::new(&model_path)
+            .stats_path(dir.join("absent.mbs"))
+            .policy(LoadPolicy::Strict)
+            .load()
+            .unwrap_err();
+        assert!(matches!(err, crate::error::MbError::Stats { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn builder_degrade_serves_without_stats() {
+        let dir = tmp_dir("degrade");
+        let model_path = dir.join("model.mbm");
+        sample_model().save(&model_path).unwrap();
+        let bundle = ScorerBuilder::new(&model_path)
+            .stats_path(dir.join("absent.mbs"))
+            .policy(LoadPolicy::Degrade)
+            .load()
+            .expect("degrade policy must serve");
+        assert_eq!(
+            bundle.fidelity(),
+            &Fidelity::Degraded(DegradeReason::StatsMissing)
+        );
+        assert!(bundle.stats().is_empty());
+        let mut scorer = bundle.scorer();
+        let r = Snippet::creative("air", "cheap flights", "book now");
+        let s = Snippet::creative("air", "luxury flights", "book now");
+        assert!(scorer.score_pair_outcome(&r, &s).fidelity.is_degraded());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn builder_degrade_flags_corrupt_stats() {
+        let dir = tmp_dir("corruptstats");
+        let model_path = dir.join("model.mbm");
+        sample_model().save(&model_path).unwrap();
+        let stats_path = dir.join("stats.mbs");
+        let mut bytes = microbrowse_store::file::to_bytes(&StatsDb::new());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // break the CRC trailer
+        std::fs::write(&stats_path, &bytes).unwrap();
+        let bundle = ScorerBuilder::new(&model_path)
+            .stats_path(&stats_path)
+            .policy(LoadPolicy::Degrade)
+            .load()
+            .unwrap();
+        match bundle.fidelity() {
+            Fidelity::Degraded(DegradeReason::StatsCorrupt(msg)) => {
+                assert!(msg.contains("crc"), "{msg}")
+            }
+            other => panic!("expected StatsCorrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn builder_loads_slot_directories_with_rollback() {
+        let dir = tmp_dir("slots");
+        let model_slot = ArtifactSlot::new(&dir, MODEL_SLOT_NAME);
+        let stats_slot = ArtifactSlot::new(&dir, STATS_SLOT_NAME);
+        sample_model().commit_to_slot(&model_slot).unwrap();
+        let mut db = StatsDb::new();
+        db.record(microbrowse_store::FeatureKey::term("cheap"), true);
+        stats_slot
+            .commit(&microbrowse_store::file::to_bytes(&db))
+            .unwrap();
+        // Torn generation 2 of the model: recovery must roll back to 1.
+        std::fs::write(model_slot.generation_path(2), b"MBMODEL\0torn").unwrap();
+        let bundle = ScorerBuilder::new(&dir)
+            .stats_path(&dir)
+            .policy(LoadPolicy::Strict)
+            .load()
+            .expect("slot recovery");
+        assert_eq!(bundle.model_generation(), Some(1));
+        assert_eq!(bundle.stats_generation(), Some(1));
+        assert_eq!(bundle.fidelity(), &Fidelity::Full);
+        assert_eq!(bundle.model(), &sample_model());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degraded_equals_full_for_term_only_models() {
+        // An M1 model has no rewrite features: degradation must not change
+        // its scores at all.
+        let m = DeployedModel {
+            spec: ModelSpec::m1(),
+            classifier: TrainedClassifier::Flat(LogReg::from_parts(vec![1.0, -2.0], 0.1)),
+            vocab: vec![
+                OwnedTermFeat::Term("cheap".into()),
+                OwnedTermFeat::Term("fees".into()),
+            ],
+        };
+        let stats = StatsDb::new();
+        let r = Snippet::creative("air", "cheap flights", "book now");
+        let s = Snippet::creative("air", "flights with fees", "book now");
+        let full = Scorer::new(&m, &stats).score_pair(&r, &s);
+        let degraded =
+            Scorer::with_fidelity(&m, &stats, Fidelity::Degraded(DegradeReason::StatsMissing))
+                .score_pair(&r, &s);
+        assert_eq!(full, degraded);
     }
 
     #[test]

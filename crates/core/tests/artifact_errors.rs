@@ -1,0 +1,168 @@
+//! Hand-corrupted model fixtures: one test per [`ModelIoError`] variant,
+//! asserting the exact variant. Several fixtures carry a *valid* CRC
+//! trailer over a structurally broken payload, proving the decoder's tag
+//! and bounds checks stand on their own where the checksum cannot help.
+
+use std::path::Path;
+
+use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
+use microbrowse_core::features::OwnedTermFeat;
+use microbrowse_core::serve::{DeployedModel, ModelIoError};
+use microbrowse_store::codec::DecodeError;
+use microbrowse_store::crc::crc32;
+
+const MAGIC: &[u8; 8] = b"MBMODEL\0";
+const VERSION: u32 = 1;
+
+/// Frame an arbitrary payload as a model file whose CRC trailer is valid.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+fn sample() -> DeployedModel {
+    DeployedModel {
+        spec: ModelSpec::m1(),
+        classifier: TrainedClassifier::Flat(microbrowse_ml::LogReg::from_parts(
+            vec![0.5, -0.5],
+            0.0,
+        )),
+        vocab: vec![
+            OwnedTermFeat::Term("cheap".into()),
+            OwnedTermFeat::Term("fees".into()),
+        ],
+    }
+}
+
+#[test]
+fn io_error_variant() {
+    match DeployedModel::load(Path::new("/nonexistent/model.mbm")) {
+        Err(ModelIoError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+        other => panic!("expected Io(NotFound), got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_variant() {
+    let mut bytes = sample().to_bytes();
+    bytes[..8].copy_from_slice(b"MBSTATS\0"); // a *stats* header on a model
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::BadMagic)
+    ));
+}
+
+#[test]
+fn unsupported_version_variant() {
+    let mut bytes = sample().to_bytes();
+    bytes[8..12].copy_from_slice(&3u32.to_le_bytes());
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::UnsupportedVersion(3))
+    ));
+}
+
+#[test]
+fn checksum_mismatch_variant() {
+    let mut bytes = sample().to_bytes();
+    let mid = 12 + (bytes.len() - 16) / 2;
+    bytes[mid] ^= 0x08;
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::ChecksumMismatch)
+    ));
+}
+
+#[test]
+fn bad_tag_variant_on_classifier() {
+    // spec name "M1", flags=terms, then classifier tag 9 (valid: 0|1).
+    let bytes = frame(&[2, b'M', b'1', 0x01, 9]);
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::BadTag(9))
+    ));
+}
+
+#[test]
+fn bad_tag_variant_on_vocab_entry() {
+    // Flat classifier with zero weights and bias 0.0, one vocab entry
+    // whose feature tag is 7 (valid: 0 term | 1 rewrite).
+    let mut payload = vec![2, b'M', b'1', 0x01, 0, 0];
+    payload.extend_from_slice(&0.0f64.to_le_bytes());
+    payload.extend_from_slice(&[1, 7]);
+    let bytes = frame(&payload);
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::BadTag(7))
+    ));
+}
+
+#[test]
+fn decode_eof_variant_when_payload_stops_early() {
+    // Payload ends right after the spec name: no flags, no classifier.
+    let bytes = frame(&[2, b'M', b'1']);
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::Decode(DecodeError::UnexpectedEof))
+    ));
+}
+
+#[test]
+fn decode_eof_variant_on_truncated_weight_vector() {
+    // Flat classifier claiming 4 weights but providing none.
+    let bytes = frame(&[2, b'M', b'1', 0x01, 0, 4]);
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::Decode(DecodeError::UnexpectedEof))
+    ));
+}
+
+#[test]
+fn decode_varint_overflow_variant() {
+    // The spec-name length varint runs past 10 continuation bytes.
+    let bytes = frame(&[0x80; 11]);
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::Decode(DecodeError::VarintOverflow))
+    ));
+}
+
+#[test]
+fn decode_invalid_utf8_variant() {
+    // Spec name of length 2 that is not UTF-8.
+    let bytes = frame(&[2, 0xFF, 0xFE]);
+    assert!(matches!(
+        DeployedModel::from_bytes(&bytes),
+        Err(ModelIoError::Decode(DecodeError::InvalidUtf8))
+    ));
+}
+
+#[test]
+fn below_minimum_length_is_eof_not_panic() {
+    for len in 0..12 {
+        let bytes = vec![0u8; len];
+        assert!(matches!(
+            DeployedModel::from_bytes(&bytes),
+            Err(ModelIoError::Decode(DecodeError::UnexpectedEof)) | Err(ModelIoError::BadMagic)
+        ));
+    }
+}
+
+#[test]
+fn error_rendering_names_the_problem() {
+    let cases: Vec<(ModelIoError, &str)> = vec![
+        (ModelIoError::BadMagic, "not a microbrowse model"),
+        (ModelIoError::UnsupportedVersion(3), "version 3"),
+        (ModelIoError::ChecksumMismatch, "crc"),
+        (ModelIoError::BadTag(9), "tag 9"),
+        (ModelIoError::Decode(DecodeError::UnexpectedEof), "decode"),
+    ];
+    for (err, needle) in cases {
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
+    }
+}

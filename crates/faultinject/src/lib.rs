@@ -1,0 +1,500 @@
+//! Fault injection for artifact IO.
+//!
+//! Storage code earns trust by surviving the failures it will actually see:
+//! processes killed mid-write, disks returning short reads, bytes flipped in
+//! transit, transient `EIO`. This crate produces those failures *on
+//! purpose*, deterministically, so property tests can assert the resilience
+//! contract of the artifact lifecycle:
+//!
+//! > loading a (possibly damaged) artifact never panics and never silently
+//! > succeeds with wrong data — it recovers the last good generation,
+//! > returns a typed error, or serves in an explicitly degraded mode.
+//!
+//! Pieces:
+//!
+//! * [`Fault`] / [`FaultPlan`] — a declarative schedule of injected faults
+//!   (truncation at byte N, bit-flips, short reads, injected
+//!   [`std::io::Error`]s), including seeded random schedules
+//!   ([`FaultPlan::random`]) for fuzz-style sweeps.
+//! * [`FaultyReader`] — wraps any [`Read`], applying the plan as bytes flow
+//!   through.
+//! * [`FaultyWriter`] — wraps any [`Write`], aborting at byte N the way a
+//!   killed process does (everything before the abort point is written,
+//!   nothing after).
+//! * [`corrupt`] — the pure-bytes form for in-memory round-trip tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::io::{Read, Write};
+
+/// One injected fault, positioned by absolute byte offset in the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// End the stream at byte `offset`: bytes `[0, offset)` are delivered,
+    /// everything after is silently dropped (a torn write / truncated file).
+    TruncateAt {
+        /// Absolute offset of the cut.
+        offset: usize,
+    },
+    /// XOR the byte at `offset` with `mask` (bit rot; `mask` must be
+    /// nonzero to actually fault).
+    BitFlip {
+        /// Absolute offset of the flipped byte.
+        offset: usize,
+        /// XOR mask applied to it.
+        mask: u8,
+    },
+    /// Deliver at most `max` bytes per `read` call (exercises callers that
+    /// wrongly assume one read fills the buffer). Never loses data.
+    ShortReads {
+        /// Per-call byte cap (≥ 1).
+        max: usize,
+    },
+    /// Fail with `std::io::Error` of `kind` once byte `offset` is reached.
+    ErrorAt {
+        /// Absolute offset at which the error fires.
+        offset: usize,
+        /// Error kind to inject.
+        kind: std::io::ErrorKind,
+    },
+}
+
+/// A deterministic schedule of faults applied to one stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (a transparent wrapper).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with exactly these faults.
+    pub fn new(faults: Vec<Fault>) -> Self {
+        Self { faults }
+    }
+
+    /// Add a fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// A seeded random schedule of 1–3 faults against a stream of `len`
+    /// bytes. The same `(seed, len)` always yields the same plan, so a
+    /// failing schedule reproduces from its seed alone.
+    pub fn random(seed: u64, len: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let n_faults = 1 + (rng.next() % 3) as usize;
+        let mut faults = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            let offset = (rng.next() as usize) % len.max(1);
+            faults.push(match rng.next() % 4 {
+                0 => Fault::TruncateAt { offset },
+                1 => Fault::BitFlip {
+                    offset,
+                    mask: (rng.next() % 255) as u8 + 1,
+                },
+                2 => Fault::ShortReads {
+                    max: (rng.next() % 7) as usize + 1,
+                },
+                _ => Fault::ErrorAt {
+                    offset,
+                    kind: INJECTABLE_KINDS[(rng.next() as usize) % INJECTABLE_KINDS.len()],
+                },
+            });
+        }
+        Self { faults }
+    }
+
+    /// Whether the plan can alter delivered bytes or end the stream early
+    /// (as opposed to only fragmenting reads).
+    pub fn is_lossy(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f,
+                Fault::TruncateAt { .. } | Fault::BitFlip { mask: 1.., .. } | Fault::ErrorAt { .. }
+            )
+        })
+    }
+
+    fn effective_len(&self, len: usize) -> usize {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::TruncateAt { offset } => Some(*offset),
+                _ => None,
+            })
+            .fold(len, usize::min)
+    }
+
+    fn error_at(&self) -> Option<(usize, std::io::ErrorKind)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ErrorAt { offset, kind } => Some((*offset, *kind)),
+                _ => None,
+            })
+            .min_by_key(|&(o, _)| o)
+    }
+
+    fn short_read_max(&self) -> Option<usize> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShortReads { max } => Some((*max).max(1)),
+                _ => None,
+            })
+            .min()
+    }
+
+    fn flip(&self, buf: &mut [u8], start: usize) {
+        for f in &self.faults {
+            if let Fault::BitFlip { offset, mask } = f {
+                if let Some(i) = offset.checked_sub(start) {
+                    if i < buf.len() {
+                        buf[i] ^= mask;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// IO error kinds worth injecting: a mix of genuinely transient conditions
+/// and hard failures. (`Interrupted` is deliberately absent — `Read`
+/// adapters like `read_to_end` retry it internally, so it would vanish.)
+pub const INJECTABLE_KINDS: &[std::io::ErrorKind] = &[
+    std::io::ErrorKind::WouldBlock,
+    std::io::ErrorKind::TimedOut,
+    std::io::ErrorKind::UnexpectedEof,
+    std::io::ErrorKind::Other,
+];
+
+/// Apply `plan` to an in-memory byte string: truncation and bit-flips are
+/// applied; an `ErrorAt` fault yields `Err` (as the read path would).
+/// Short-read faults do not alter bytes and are ignored here.
+pub fn corrupt(bytes: &[u8], plan: &FaultPlan) -> Result<Vec<u8>, std::io::Error> {
+    let cut = plan.effective_len(bytes.len());
+    if let Some((offset, kind)) = plan.error_at() {
+        if offset <= cut {
+            return Err(std::io::Error::new(kind, "injected fault"));
+        }
+    }
+    let mut out = bytes[..cut].to_vec();
+    plan.flip(&mut out, 0);
+    Ok(out)
+}
+
+/// Truncate `bytes` at `offset` (a pure-function shorthand used by the
+/// "every byte offset" sweeps).
+pub fn truncate(bytes: &[u8], offset: usize) -> Vec<u8> {
+    bytes[..offset.min(bytes.len())].to_vec()
+}
+
+/// XOR the byte at `offset` with `mask` (pure-function shorthand).
+pub fn bit_flip(bytes: &[u8], offset: usize, mask: u8) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if let Some(b) = out.get_mut(offset) {
+        *b ^= mask;
+    }
+    out
+}
+
+/// A [`Read`] wrapper that injects the faults of a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    pos: usize,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wrap `inner`, injecting `plan`.
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            pos: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some((offset, kind)) = self.plan.error_at() {
+            if self.pos >= offset {
+                return Err(std::io::Error::new(kind, "injected fault"));
+            }
+        }
+        let mut limit = buf.len();
+        if let Some(max) = self.plan.short_read_max() {
+            limit = limit.min(max);
+        }
+        if let Some((offset, _)) = self.plan.error_at() {
+            limit = limit.min(offset - self.pos);
+        }
+        let cut = self.plan.effective_len(usize::MAX);
+        if cut != usize::MAX {
+            if self.pos >= cut {
+                return Ok(0); // truncated: clean EOF
+            }
+            limit = limit.min(cut - self.pos);
+        }
+        if limit == 0 {
+            // An ErrorAt fault at the current offset with nothing before it.
+            return Ok(0);
+        }
+        let n = self.inner.read(&mut buf[..limit])?;
+        self.plan.flip(&mut buf[..n], self.pos);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A [`Write`] wrapper that simulates a process killed mid-write: bytes
+/// before the abort offset reach the underlying writer, the write that
+/// crosses it fails, and every later write fails too.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    abort_at: usize,
+    pos: usize,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wrap `inner`, aborting once `abort_at` bytes have been written.
+    pub fn new(inner: W, abort_at: usize) -> Self {
+        Self {
+            inner,
+            abort_at,
+            pos: 0,
+        }
+    }
+
+    /// Bytes successfully written before the abort.
+    pub fn written(&self) -> usize {
+        self.pos
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let room = self.abort_at.saturating_sub(self.pos);
+        if room == 0 {
+            return Err(std::io::Error::other("injected abort (killed mid-write)"));
+        }
+        let n = self.inner.write(&buf[..buf.len().min(room)])?;
+        self.pos += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Simulate a kill-during-write of `bytes` to `path`: only the first
+/// `abort_at` bytes land on disk, exactly as if the process died mid
+/// `write_all` with no atomic-rename protection. Returns how many bytes
+/// were written.
+pub fn write_killed_at(
+    path: &std::path::Path,
+    bytes: &[u8],
+    abort_at: usize,
+) -> std::io::Result<usize> {
+    let file = std::fs::File::create(path)?;
+    let mut w = FaultyWriter::new(file, abort_at);
+    // The abort error is the *point*; the partial prefix stays on disk.
+    let _ = w.write_all(bytes);
+    let written = w.written();
+    drop(w);
+    Ok(written)
+}
+
+/// Tiny deterministic RNG (SplitMix64) for schedule generation; kept local
+/// so plans do not depend on any external randomness source.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn drain(bytes: &[u8], plan: FaultPlan) -> std::io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        FaultyReader::new(Cursor::new(bytes.to_vec()), plan).read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn transparent_without_faults() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(drain(&data, FaultPlan::none()).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_cuts_stream() {
+        let data = [1u8, 2, 3, 4, 5];
+        let plan = FaultPlan::none().with(Fault::TruncateAt { offset: 3 });
+        assert_eq!(drain(&data, plan.clone()).unwrap(), vec![1, 2, 3]);
+        assert_eq!(corrupt(&data, &plan).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bit_flip_lands_on_exact_offset() {
+        let data = [0u8; 8];
+        let plan = FaultPlan::none().with(Fault::BitFlip {
+            offset: 5,
+            mask: 0x81,
+        });
+        let got = drain(&data, plan.clone()).unwrap();
+        assert_eq!(got[5], 0x81);
+        assert!(got.iter().enumerate().all(|(i, &b)| i == 5 || b == 0));
+        assert_eq!(corrupt(&data, &plan).unwrap(), got);
+    }
+
+    #[test]
+    fn bit_flip_lands_even_with_short_reads() {
+        let data = [0u8; 64];
+        let plan = FaultPlan::none()
+            .with(Fault::ShortReads { max: 3 })
+            .with(Fault::BitFlip {
+                offset: 41,
+                mask: 0x10,
+            });
+        let got = drain(&data, plan).unwrap();
+        assert_eq!(got[41], 0x10);
+        assert_eq!(got.len(), 64);
+    }
+
+    #[test]
+    fn short_reads_fragment_but_preserve() {
+        let data: Vec<u8> = (0..100).collect();
+        let mut r = FaultyReader::new(
+            Cursor::new(data.clone()),
+            FaultPlan::none().with(Fault::ShortReads { max: 7 }),
+        );
+        let mut buf = [0u8; 64];
+        let n = r.read(&mut buf).unwrap();
+        assert!(n <= 7 && n > 0);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        let mut all = buf[..n].to_vec();
+        all.extend(rest);
+        assert_eq!(all, data);
+    }
+
+    #[test]
+    fn error_fires_at_offset_after_prefix() {
+        let data = [9u8; 10];
+        let plan = FaultPlan::none().with(Fault::ErrorAt {
+            offset: 4,
+            kind: std::io::ErrorKind::TimedOut,
+        });
+        let mut r = FaultyReader::new(Cursor::new(data.to_vec()), plan.clone());
+        let mut buf = [0u8; 10];
+        assert_eq!(r.read(&mut buf).unwrap(), 4);
+        let err = r.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(corrupt(&data, &plan).is_err());
+    }
+
+    #[test]
+    fn error_at_zero_fails_immediately() {
+        let plan = FaultPlan::none().with(Fault::ErrorAt {
+            offset: 0,
+            kind: std::io::ErrorKind::Other,
+        });
+        assert!(drain(&[1, 2, 3], plan).is_err());
+    }
+
+    #[test]
+    fn writer_aborts_mid_stream() {
+        let mut sink = Vec::new();
+        let mut w = FaultyWriter::new(&mut sink, 5);
+        let err = w.write_all(&[7u8; 20]).unwrap_err();
+        assert!(err.to_string().contains("injected abort"));
+        assert_eq!(w.written(), 5);
+        assert_eq!(sink, vec![7u8; 5]);
+    }
+
+    #[test]
+    fn write_killed_at_leaves_prefix() {
+        let dir = std::env::temp_dir().join(format!("mbfi-kill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.bin");
+        let data: Vec<u8> = (0..50).collect();
+        assert_eq!(write_killed_at(&path, &data, 13).unwrap(), 13);
+        assert_eq!(std::fs::read(&path).unwrap(), data[..13]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_nonempty() {
+        for seed in 0..200 {
+            let a = FaultPlan::random(seed, 1000);
+            let b = FaultPlan::random(seed, 1000);
+            assert_eq!(a, b);
+            assert!(!a.faults().is_empty());
+            for f in a.faults() {
+                match *f {
+                    Fault::TruncateAt { offset } | Fault::ErrorAt { offset, .. } => {
+                        assert!(offset < 1000)
+                    }
+                    Fault::BitFlip { offset, mask } => {
+                        assert!(offset < 1000 && mask != 0)
+                    }
+                    Fault::ShortReads { max } => assert!(max >= 1),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_respects_error_before_cut() {
+        // Error at 2, truncate at 8: the error comes first.
+        let plan = FaultPlan::none()
+            .with(Fault::TruncateAt { offset: 8 })
+            .with(Fault::ErrorAt {
+                offset: 2,
+                kind: std::io::ErrorKind::Other,
+            });
+        assert!(corrupt(&[0u8; 16], &plan).is_err());
+        // Error past the cut never fires: the stream ends first.
+        let plan = FaultPlan::none()
+            .with(Fault::TruncateAt { offset: 3 })
+            .with(Fault::ErrorAt {
+                offset: 9,
+                kind: std::io::ErrorKind::Other,
+            });
+        assert_eq!(corrupt(&[5u8; 16], &plan).unwrap(), vec![5u8; 3]);
+    }
+}

@@ -19,7 +19,7 @@
 //! produces the same bytes (important for reproducible experiment bundles
 //! and for content-addressed caching).
 
-use std::io::{Read, Write};
+use std::io::Read;
 use std::path::Path;
 
 use bytes::{Buf, BytesMut};
@@ -147,12 +147,11 @@ pub fn from_bytes(bytes: &[u8]) -> Result<StatsDb, SnapshotError> {
     Ok(StatsDb::from_records(records))
 }
 
-/// Write a snapshot of `db` to `path`.
+/// Write a snapshot of `db` to `path`, crash-safely (temp file + fsync +
+/// atomic rename; see [`crate::slot::write_atomic`]). A crash mid-write
+/// leaves either the previous snapshot or the complete new one.
 pub fn write_snapshot(db: &StatsDb, path: &Path) -> Result<(), SnapshotError> {
-    let bytes = to_bytes(db);
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(&bytes)?;
-    file.sync_all()?;
+    crate::slot::write_atomic(path, &to_bytes(db))?;
     Ok(())
 }
 

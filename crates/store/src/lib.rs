@@ -17,6 +17,9 @@
 //! * [`codec`] — varint + length-prefixed binary encoding of keys/records.
 //! * [`crc`] — CRC-32 (IEEE) for snapshot integrity.
 //! * [`mod@file`] — versioned, checksummed snapshot serialization.
+//! * [`slot`] — crash-safe generation slots: atomic writes, a manifest
+//!   pointer, and a recovery loader that rolls back past torn or corrupt
+//!   generations.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,9 +29,11 @@ pub mod crc;
 pub mod db;
 pub mod file;
 pub mod key;
+pub mod slot;
 pub mod stats;
 
 pub use db::{ShardedBuilder, StatsDb};
 pub use file::{merge_snapshots, read_snapshot, write_snapshot, SnapshotError};
 pub use key::FeatureKey;
+pub use slot::{write_atomic, ArtifactSlot, SlotError, SlotLoad};
 pub use stats::FeatureStat;

@@ -1,0 +1,162 @@
+//! Hand-corrupted snapshot fixtures: one test per [`SnapshotError`] /
+//! [`DecodeError`] variant, each asserting the *exact* variant. The
+//! fixtures with valid CRC trailers matter most — they prove the decoder's
+//! own structural checks fire even when the checksum cannot help.
+
+use microbrowse_store::codec::DecodeError;
+use microbrowse_store::crc::crc32;
+use microbrowse_store::file::{from_bytes, to_bytes};
+use microbrowse_store::{read_snapshot, FeatureKey, SnapshotError, StatsDb};
+
+const MAGIC: &[u8; 8] = b"MBSTATS\0";
+const VERSION: u32 = 1;
+
+/// Frame an arbitrary payload as a snapshot whose CRC trailer is *valid*:
+/// the corruption under test lives inside the payload.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+fn sample() -> StatsDb {
+    let mut db = StatsDb::new();
+    db.record(FeatureKey::term("cheap"), true);
+    db.record(FeatureKey::rewrite("find cheap", "save 20%"), false);
+    db
+}
+
+#[test]
+fn io_error_variant() {
+    match read_snapshot(std::path::Path::new("/nonexistent/stats.mbs")) {
+        Err(SnapshotError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+        other => panic!("expected Io(NotFound), got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_magic_variant() {
+    let mut bytes = to_bytes(&sample());
+    bytes[..8].copy_from_slice(b"NOTSTATS");
+    assert!(matches!(from_bytes(&bytes), Err(SnapshotError::BadMagic)));
+}
+
+#[test]
+fn unsupported_version_variant() {
+    let mut bytes = to_bytes(&sample());
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(SnapshotError::UnsupportedVersion(7))
+    ));
+}
+
+#[test]
+fn checksum_mismatch_variant_reports_both_crcs() {
+    let mut bytes = to_bytes(&sample());
+    let mid = 12 + (bytes.len() - 16) / 2; // inside the payload
+    bytes[mid] ^= 0x01;
+    match from_bytes(&bytes) {
+        Err(SnapshotError::ChecksumMismatch { expected, actual }) => {
+            assert_ne!(expected, actual);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_variant_when_count_overstates() {
+    // Count claims 3 records, payload contains none; CRC is valid, so the
+    // decoder's own bookkeeping must catch it.
+    let bytes = frame(&[3]);
+    assert!(matches!(from_bytes(&bytes), Err(SnapshotError::Truncated)));
+}
+
+#[test]
+fn truncated_variant_when_file_below_minimum() {
+    // Shorter than magic + version + trailer: rejected before any parsing.
+    assert!(matches!(
+        from_bytes(b"MBSTATS\0"),
+        Err(SnapshotError::Truncated)
+    ));
+    assert!(matches!(from_bytes(&[]), Err(SnapshotError::Truncated)));
+}
+
+#[test]
+fn decode_unknown_tag_variant() {
+    // One record whose key family tag is 42 (valid tags are 0–3).
+    let bytes = frame(&[1, 42]);
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(SnapshotError::Decode(DecodeError::UnknownTag(42)))
+    ));
+}
+
+#[test]
+fn decode_truncated_varint_variant() {
+    // Record count varint has its continuation bit set and then the
+    // payload ends: UnexpectedEof from inside the varint reader.
+    let bytes = frame(&[0x80]);
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(SnapshotError::Decode(DecodeError::UnexpectedEof))
+    ));
+}
+
+#[test]
+fn decode_varint_overflow_variant() {
+    // An 11-byte all-continuation varint is not a valid LEB128 u64.
+    let mut payload = vec![1u8, 0]; // one record, Term tag
+    payload.extend_from_slice(&[0x80; 11]); // phrase length varint overflows
+    let bytes = frame(&payload);
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(SnapshotError::Decode(DecodeError::VarintOverflow))
+    ));
+}
+
+#[test]
+fn decode_invalid_utf8_variant() {
+    // Term record whose 2-byte phrase is not UTF-8.
+    let bytes = frame(&[1, 0, 2, 0xFF, 0xFE]);
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(SnapshotError::Decode(DecodeError::InvalidUtf8))
+    ));
+}
+
+#[test]
+fn decode_string_body_truncated_variant() {
+    // Phrase length says 10 bytes but only 2 follow (CRC still valid).
+    let bytes = frame(&[1, 0, 10, b'a', b'b']);
+    assert!(matches!(
+        from_bytes(&bytes),
+        Err(SnapshotError::Decode(DecodeError::UnexpectedEof))
+    ));
+}
+
+/// The error messages an operator actually reads: each variant renders
+/// with the discriminating detail in it.
+#[test]
+fn error_rendering_names_the_problem() {
+    let cases: Vec<(SnapshotError, &str)> = vec![
+        (SnapshotError::BadMagic, "magic"),
+        (SnapshotError::UnsupportedVersion(9), "version 9"),
+        (
+            SnapshotError::ChecksumMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            "crc",
+        ),
+        (SnapshotError::Truncated, "truncated"),
+        (SnapshotError::Decode(DecodeError::UnknownTag(42)), "tag 42"),
+    ];
+    for (err, needle) in cases {
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
+    }
+}

@@ -4,11 +4,40 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --workspace --all-targets"
-cargo build --workspace --all-targets
+echo "==> cargo build --locked --workspace --all-targets"
+cargo build --locked --workspace --all-targets
 
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
+
+echo "==> fault-injection suite (resilience contract)"
+cargo test --quiet -p microbrowse-faultinject
+cargo test --quiet -p microbrowse-store --test corrupt
+cargo test --quiet -p microbrowse-core --test artifact_errors
+
+echo "==> no unwrap/expect on artifact load/serve paths"
+if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs crates/cli/src \
+    | python3 -c '
+import sys, re
+bad = []
+files = {}
+for line in sys.stdin:
+    path, lineno, _ = line.split(":", 2)
+    if path not in files:
+        files[path] = open(path).read().splitlines()
+    src = files[path]
+    # Allowed only below the #[cfg(test)] marker of the file s test module.
+    marker = next((i for i, l in enumerate(src) if "#[cfg(test)]" in l), len(src))
+    if int(lineno) - 1 < marker:
+        bad.append(line.rstrip())
+print("\n".join(bad))
+sys.exit(1 if bad else 0)
+'; then
+    :
+else
+    echo "ERROR: unwrap()/expect( found outside test code on a load/serve path" >&2
+    exit 1
+fi
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -16,4 +45,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, clippy, fmt all green"
