@@ -288,6 +288,35 @@ fn main() {
     let enginen: Vec<ExperimentOutcome> = run_all_models(&synth.corpus, &cfgn);
     let enginen_total = t.elapsed();
 
+    // Traced run: same engine, same thread count, with instrumentation on
+    // and a memory sink collecting every span. The span durations aggregate
+    // into a per-stage breakdown measured by the pipeline itself rather
+    // than by stopwatching around a serial re-decomposition.
+    eprintln!("traced engine run (span-aggregated per-stage breakdown)…");
+    let sink = std::sync::Arc::new(microbrowse_obs::trace::MemorySink::new());
+    microbrowse_obs::trace::install_sink(sink.clone());
+    microbrowse_obs::set_enabled(true);
+    let t = Instant::now();
+    let _ = run_all_models(&synth.corpus, &cfgn);
+    let traced_total = t.elapsed();
+    microbrowse_obs::set_enabled(false);
+    microbrowse_obs::trace::clear_sink();
+    // Spans on worker threads overlap in time, so per-stage sums are
+    // CPU-time-like and can exceed the run's wall clock.
+    let mut by_stage: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for s in sink.spans() {
+        let entry = by_stage.entry(s.name.to_string()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += s.dur_us;
+    }
+    let traced_stages = by_stage
+        .iter()
+        .map(|(name, (spans, total_us))| {
+            format!("    \"{name}\": {{ \"spans\": {spans}, \"total_us\": {total_us} }}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     // The engine must be bit-identical to the old pipeline.
     assert_eq!(engine1, enginen, "engine diverged across thread counts");
     for (old, new) in legacy.iter().zip(&engine1) {
@@ -308,7 +337,7 @@ fn main() {
     let pairs = engine1[0].num_pairs;
 
     let json = format!(
-        "{{\n  \"adgroups\": {adgroups},\n  \"pairs\": {pairs},\n  \"folds\": {},\n  \"seed\": {seed},\n  \"threads\": {threads},\n{},\n{},\n  \"engine_run_all_models\": {{\n    \"total_1thread_s\": {:.4},\n    \"total_nthread_s\": {:.4},\n    \"speedup_vs_legacy_1thread\": {:.2},\n    \"speedup_vs_legacy_nthread\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"adgroups\": {adgroups},\n  \"pairs\": {pairs},\n  \"folds\": {},\n  \"seed\": {seed},\n  \"threads\": {threads},\n{},\n{},\n  \"engine_run_all_models\": {{\n    \"total_1thread_s\": {:.4},\n    \"total_nthread_s\": {:.4},\n    \"speedup_vs_legacy_1thread\": {:.2},\n    \"speedup_vs_legacy_nthread\": {:.2}\n  }},\n  \"traced_run\": {{\n    \"total_s\": {:.4},\n    \"stage_spans\": {{\n{traced_stages}\n    }}\n  }}\n}}\n",
         cfg.folds,
         stage_json("legacy_serial", &legacy_stages),
         stage_json("engine_staged_serial", &engine_stages),
@@ -316,7 +345,9 @@ fn main() {
         secs(enginen_total),
         speedup1,
         speedupn,
+        secs(traced_total),
     );
+    microbrowse_obs::json::assert_parses(&json);
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         std::fs::create_dir_all(dir).expect("create output dir");

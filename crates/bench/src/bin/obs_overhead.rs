@@ -1,0 +1,112 @@
+//! Disabled-instrumentation overhead gate.
+//!
+//! The obs crate's contract is that when tracing/metrics are off (the
+//! default), every instrumentation point degenerates to a single relaxed
+//! atomic load. This gate holds the pipeline to that contract end to end:
+//!
+//! 1. Measure the real per-site cost of the disabled path in a tight loop
+//!    (span open/field/drop + event + counter + histogram per iteration —
+//!    a deliberate overestimate of any single site).
+//! 2. Run the experiment engine once with instrumentation disabled and
+//!    time it; run it again with a memory sink to count how many records
+//!    the instrumented build would emit for that exact workload.
+//! 3. Estimate the disabled-path overhead as `records × per-site cost`
+//!    and fail (exit 1) if it exceeds `--max-overhead` (default 0.02,
+//!    i.e. 2%) of the measured wall time. Since the pre-instrumentation
+//!    pipeline executed zero obs call sites, this bounds the wall-time
+//!    regression the instrumentation can have introduced when disabled.
+//!
+//! Usage: `obs_overhead [--adgroups 120] [--seed 42] [--max-overhead 0.02]`
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use microbrowse_bench::{corpus_config, experiment_config, Args};
+use microbrowse_core::pipeline::{run_all_models, ExperimentConfig};
+use microbrowse_core::Placement;
+use microbrowse_obs::json::JsonObject;
+use microbrowse_obs::trace::MemorySink;
+use microbrowse_synth::generate;
+
+fn main() {
+    let args = Args::parse();
+    let adgroups: usize = args.get("adgroups", 120);
+    let seed: u64 = args.get("seed", 42);
+    let max_overhead: f64 = args.get("max-overhead", 0.02);
+
+    assert!(
+        !microbrowse_obs::enabled(),
+        "instrumentation must start disabled"
+    );
+
+    // Per-site disabled cost. Each iteration exercises four distinct
+    // instrumentation shapes, so the measured per-iteration cost is a
+    // conservative stand-in for the cost of one emitted record.
+    const ITERS: u64 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..ITERS {
+        let mut span = microbrowse_obs::trace::span("gate.span");
+        span.add("i", i);
+        black_box(&span);
+        microbrowse_obs::trace::event("gate.event").with("i", i);
+        microbrowse_obs::counter!("gate_ops_total").inc();
+        microbrowse_obs::histogram!("gate_latency_us").observe_us(black_box(i));
+    }
+    let per_site_ns = t.elapsed().as_nanos() as f64 / ITERS as f64;
+
+    eprintln!("generating corpus ({adgroups} adgroups, seed {seed})…");
+    let synth = generate(&corpus_config(adgroups, Placement::Top, seed));
+    let cfg = ExperimentConfig {
+        threads: 1,
+        ..experiment_config(seed)
+    };
+
+    eprintln!("timing engine run with instrumentation disabled…");
+    let t = Instant::now();
+    let disabled = run_all_models(&synth.corpus, &cfg);
+    let wall_s = t.elapsed().as_secs_f64();
+
+    eprintln!("counting instrumentation records for the same workload…");
+    let sink = Arc::new(MemorySink::new());
+    microbrowse_obs::trace::install_sink(sink.clone());
+    microbrowse_obs::set_enabled(true);
+    let enabled = run_all_models(&synth.corpus, &cfg);
+    microbrowse_obs::set_enabled(false);
+    microbrowse_obs::trace::clear_sink();
+    assert_eq!(
+        disabled, enabled,
+        "instrumentation must not change experiment results"
+    );
+    let records = (sink.spans().len() + sink.events().len()) as u64;
+
+    let overhead_s = records as f64 * per_site_ns * 1e-9;
+    let fraction = overhead_s / wall_s;
+    let pass = fraction <= max_overhead;
+    println!(
+        "{}",
+        JsonObject::new()
+            .u64("adgroups", adgroups as u64)
+            .f64("per_site_ns", per_site_ns)
+            .u64("records", records)
+            .f64("wall_s", wall_s)
+            .f64("estimated_overhead_s", overhead_s)
+            .f64("overhead_fraction", fraction)
+            .f64("max_overhead", max_overhead)
+            .bool("pass", pass)
+            .finish()
+    );
+    if !pass {
+        eprintln!(
+            "FAIL: estimated disabled-path overhead {:.3}% exceeds the {:.1}% gate",
+            fraction * 100.0,
+            max_overhead * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "ok: {records} records × {per_site_ns:.1} ns ≈ {:.4}s over {wall_s:.2}s wall ({:.4}%)",
+        overhead_s,
+        fraction * 100.0
+    );
+}

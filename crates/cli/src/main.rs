@@ -31,17 +31,21 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 use microbrowse_core::classifier::{ModelSpec, TrainConfig, TrainedClassifier};
 use microbrowse_core::error::MbError;
 use microbrowse_core::features::{Featurizer, PositionVocab};
 use microbrowse_core::optimize::{optimize_creative, Edit, OptimizeConfig};
+use microbrowse_core::pipeline::{run_experiments, ExperimentConfig};
 use microbrowse_core::serve::{
     DegradeReason, DeployedModel, Fidelity, LoadPolicy, ModelIoError, Scorer, ScorerBuilder,
     ServingBundle, MODEL_SLOT_NAME, STATS_SLOT_NAME,
 };
 use microbrowse_core::statsbuild::{build_stats, StatsBuildConfig, TokenizedCorpus};
 use microbrowse_core::{PairFilter, Placement};
+use microbrowse_obs::json::JsonObject;
 use microbrowse_store::{ArtifactSlot, SnapshotError, StatsDb};
 use microbrowse_synth::{generate, GeneratorConfig};
 use microbrowse_text::Snippet;
@@ -59,19 +63,42 @@ fn main() -> ExitCode {
             return ExitCode::from(e.exit_code());
         }
     };
+    // `--trace-json FILE` works on every subcommand: install the JSONL
+    // sink and switch instrumentation on for the whole process.
+    let tracing = match flags.get("trace-json") {
+        Some(path) => match microbrowse_obs::trace::JsonlSink::create(Path::new(path)) {
+            Ok(sink) => {
+                microbrowse_obs::trace::install_sink(Arc::new(sink));
+                microbrowse_obs::set_enabled(true);
+                true
+            }
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path:?}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => false,
+    };
     let result = match command.as_str() {
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
+        "experiment" => cmd_experiment(&flags),
         "score" => cmd_score(&flags),
         "rank" => cmd_rank(&flags),
         "optimize" => cmd_optimize(&flags),
         "validate" => cmd_validate(&flags),
+        "metrics" => cmd_metrics(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         other => Err(MbError::usage(format!("unknown command {other:?}"))),
     };
+    if tracing {
+        // The sink lives in a process-global; static destructors never
+        // run, so flush buffered records explicitly.
+        microbrowse_obs::trace::flush();
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -88,11 +115,18 @@ const USAGE: &str = "usage:
   microbrowse train    --model FILE --stats FILE [--spec m1..m6] [--adgroups N] [--seed S]
                        [--threads T]  (0 = MICROBROWSE_THREADS env or auto)
   microbrowse eval     --model FILE --stats FILE [--adgroups N] [--seed S] [--degraded true]
-  microbrowse score    --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3'
-  microbrowse rank     --model FILE --stats FILE --creative '…' --creative '…' [...]
+  microbrowse experiment [--spec m1..m6|all]... [--adgroups N] [--seed S] [--folds K]
+                       [--threads T]  (cross-validated engine run, no artifacts written)
+  microbrowse score    --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3' [--json true]
+  microbrowse rank     --model FILE --stats FILE --creative '…' --creative '…' [...] [--json true]
   microbrowse optimize --model FILE --stats FILE --base 'l1|l2|l3'
                        [--rewrite 'from=to']... [--swap-lines A,B]... [--move-front 'phrase']...
   microbrowse validate --model FILE [--stats FILE]
+  microbrowse metrics  --model FILE --stats FILE [--adgroups N] [--seed S]
+                       (score a held-out corpus, dump Prometheus-style metrics)
+
+  Every subcommand accepts --trace-json FILE: write structured span/event
+  records as JSON lines (one object per line) while the command runs.
 
   A FILE that names a directory is a crash-safe generation slot: train
   commits a new generation, readers recover the newest valid one.
@@ -351,12 +385,145 @@ fn cmd_eval(flags: &Flags) -> Result<(), MbError> {
     Ok(())
 }
 
+/// Run the cross-validated experiment engine over a synthetic corpus —
+/// the full paper pipeline (parse, stats, cache, encode, per-fold train,
+/// eval) in one process, so a single `--trace-json` invocation captures
+/// spans for every stage. No artifacts are written.
+fn cmd_experiment(flags: &Flags) -> Result<(), MbError> {
+    let adgroups: usize = flags.parse_or("adgroups", 200)?;
+    let seed: u64 = flags.parse_or("seed", 42)?;
+    let folds: usize = flags.parse_or("folds", 5)?;
+    let threads: usize = flags.parse_or("threads", 0)?;
+    let spec_flags = flags.get_all("spec");
+    let specs: Vec<ModelSpec> = if spec_flags.is_empty() {
+        vec![ModelSpec::m4()]
+    } else if spec_flags.iter().any(|s| s.eq_ignore_ascii_case("all")) {
+        ModelSpec::paper_models().to_vec()
+    } else {
+        spec_flags
+            .into_iter()
+            .map(spec_by_name)
+            .collect::<Result<_, _>>()?
+    };
+
+    eprintln!(
+        "generating synthetic ADCORPUS ({adgroups} adgroups, seed {seed}), \
+         {folds}-fold cross-validation…"
+    );
+    let synth = generate(&GeneratorConfig {
+        num_adgroups: adgroups,
+        placement: Placement::Top,
+        seed,
+        ..Default::default()
+    });
+    let cfg = ExperimentConfig {
+        folds,
+        seed,
+        threads,
+        ..Default::default()
+    };
+    let outcomes = run_experiments(&synth.corpus, &specs, &cfg);
+    for o in &outcomes {
+        println!(
+            "{}: accuracy {:.3} precision {:.3} recall {:.3} f1 {:.3} ({} pairs, {} folds)",
+            o.spec.label(),
+            o.mean.accuracy,
+            o.mean.precision,
+            o.mean.recall,
+            o.mean.f1,
+            o.num_pairs,
+            o.fold_metrics.len()
+        );
+    }
+    Ok(())
+}
+
+/// Serve-path counters and histograms the `metrics` dump always reports,
+/// even at zero — operators alert on these names, so they must exist
+/// before the first failure does.
+const SERVE_METRIC_COUNTERS: &[&str] = &[
+    "microbrowse_scores_total",
+    "microbrowse_scores_degraded_total",
+    "microbrowse_degraded_loads_total",
+    "microbrowse_slot_rollbacks_total",
+    "microbrowse_crc_failures_total",
+    "microbrowse_io_retries_total",
+    "microbrowse_load_failures_total",
+];
+
+/// Load a bundle, score a generated held-out corpus through the real
+/// serve path, and dump the metrics registry in Prometheus text format.
+fn cmd_metrics(flags: &Flags) -> Result<(), MbError> {
+    // Metrics mutation is gated on the process-wide obs flag; this command
+    // exists to observe, so switch it on regardless of --trace-json.
+    microbrowse_obs::set_enabled(true);
+    let registry = microbrowse_obs::metrics::registry();
+    for name in SERVE_METRIC_COUNTERS {
+        registry.counter(name);
+    }
+    registry.histogram("microbrowse_score_latency_us");
+
+    let bundle = load_bundle(flags)?;
+    let adgroups: usize = flags.parse_or("adgroups", 60)?;
+    let seed: u64 = flags.parse_or("seed", 7)?;
+    eprintln!("scoring held-out corpus ({adgroups} adgroups, seed {seed})…");
+    let synth = generate(&GeneratorConfig {
+        num_adgroups: adgroups,
+        placement: Placement::Top,
+        seed,
+        ..Default::default()
+    });
+    let pairs = synth.corpus.extract_pairs(&PairFilter::default());
+    let by_id: HashMap<_, _> = synth
+        .corpus
+        .adgroups
+        .iter()
+        .flat_map(|g| &g.creatives)
+        .map(|c| (c.id, c))
+        .collect();
+    let mut scorer = bundle.scorer();
+    for p in &pairs {
+        if let (Some(r), Some(s)) = (by_id.get(&p.r), by_id.get(&p.s)) {
+            scorer.score_pair(&r.snippet, &s.snippet);
+        }
+    }
+    print!("{}", registry.render_prometheus());
+    Ok(())
+}
+
+/// Render a [`Fidelity`] as the stable pair used by `--json` output:
+/// `("full" | "degraded", optional reason)`.
+fn fidelity_fields(fidelity: &Fidelity) -> (&'static str, Option<String>) {
+    match fidelity {
+        Fidelity::Full => ("full", None),
+        Fidelity::Degraded(reason) => ("degraded", Some(reason.to_string())),
+    }
+}
+
 fn cmd_score(flags: &Flags) -> Result<(), MbError> {
+    let json: bool = flags.parse_or("json", false)?;
     let bundle = load_bundle(flags)?;
     let r = parse_snippet(flags.require("r")?);
     let s = parse_snippet(flags.require("s")?);
     let mut scorer = bundle.scorer();
+    let started = Instant::now();
     let outcome = scorer.score_pair_outcome(&r, &s);
+    let latency_us = started.elapsed().as_micros() as u64;
+    let winner = if outcome.score > 0.0 { "R" } else { "S" };
+    if json {
+        let (fidelity, reason) = fidelity_fields(&outcome.fidelity);
+        let mut obj = JsonObject::new()
+            .str("command", "score")
+            .f64("score", outcome.score)
+            .str("winner", winner)
+            .str("fidelity", fidelity)
+            .u64("latency_us", latency_us);
+        if let Some(reason) = reason {
+            obj = obj.str("degrade_reason", &reason);
+        }
+        println!("{}", obj.finish());
+        return Ok(());
+    }
     println!(
         "score(R→S) = {:+.4} (positive ⇒ R expected to out-click S)",
         outcome.score
@@ -364,14 +531,12 @@ fn cmd_score(flags: &Flags) -> Result<(), MbError> {
     if let Fidelity::Degraded(reason) = &outcome.fidelity {
         println!("fidelity: degraded — {reason}");
     }
-    println!(
-        "prediction: {} wins",
-        if outcome.score > 0.0 { "R" } else { "S" }
-    );
+    println!("prediction: {winner} wins");
     Ok(())
 }
 
 fn cmd_rank(flags: &Flags) -> Result<(), MbError> {
+    let json: bool = flags.parse_or("json", false)?;
     let bundle = load_bundle(flags)?;
     let creatives: Vec<Snippet> = flags
         .get_all("creative")
@@ -382,7 +547,23 @@ fn cmd_rank(flags: &Flags) -> Result<(), MbError> {
         return Err(MbError::usage("rank needs at least two --creative flags"));
     }
     let mut scorer = bundle.scorer();
+    let started = Instant::now();
     let order = scorer.rank(&creatives);
+    let latency_us = started.elapsed().as_micros() as u64;
+    if json {
+        let (fidelity, reason) = fidelity_fields(scorer.fidelity());
+        let rendered: Vec<String> = order.iter().map(|&idx| (idx + 1).to_string()).collect();
+        let mut obj = JsonObject::new()
+            .str("command", "rank")
+            .raw("order", &microbrowse_obs::json::array(&rendered))
+            .str("fidelity", fidelity)
+            .u64("latency_us", latency_us);
+        if let Some(reason) = reason {
+            obj = obj.str("degrade_reason", &reason);
+        }
+        println!("{}", obj.finish());
+        return Ok(());
+    }
     println!("ranking (best first):");
     for (place, &idx) in order.iter().enumerate() {
         println!(

@@ -385,3 +385,292 @@ fn degrade_policy_serves_without_stats() {
 
     std::fs::remove_file(&model).ok();
 }
+
+/// Pull the integer value of `"key":N` out of a JSONL record.
+fn json_u64(line: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line
+        .find(&tag)
+        .unwrap_or_else(|| panic!("no {key} in {line}"))
+        + tag.len()..];
+    rest.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {key} in {line}"))
+}
+
+/// `--trace-json` on a full engine run: every line is valid JSON, every
+/// pipeline stage appears, and stage spans nest under the experiment root.
+#[test]
+fn trace_json_covers_pipeline_stages() {
+    let trace = tmp("trace.jsonl");
+    let out = run(&[
+        "experiment",
+        "--adgroups",
+        "60",
+        "--folds",
+        "3",
+        "--seed",
+        "11",
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "experiment failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("accuracy"));
+
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() >= 10, "suspiciously few records: {body}");
+    for line in &lines {
+        assert!(
+            microbrowse_obs::json::validate(line).is_ok(),
+            "invalid JSONL line: {line}"
+        );
+    }
+    for stage in [
+        "pipeline.experiment",
+        "pipeline.parse",
+        "pipeline.cache",
+        "pipeline.stats",
+        "pipeline.encode",
+        "pipeline.fold",
+        "pipeline.train",
+        "pipeline.eval",
+    ] {
+        assert!(
+            lines.iter().any(|l| l.contains(&format!("\"{stage}\""))),
+            "no {stage} span in trace: {body}"
+        );
+    }
+
+    // Nesting: the experiment span is the root (parent 0); parse runs on
+    // the main thread and fold spans run on workers, but both must carry
+    // the experiment span's id as parent — proof the trace context crossed
+    // the thread boundary.
+    let root = lines
+        .iter()
+        .find(|l| l.contains("\"pipeline.experiment\""))
+        .expect("experiment span");
+    assert_eq!(json_u64(root, "parent"), 0, "{root}");
+    let root_id = json_u64(root, "id");
+    for stage in ["pipeline.parse", "pipeline.fold"] {
+        let line = lines
+            .iter()
+            .find(|l| l.contains(&format!("\"{stage}\"")))
+            .unwrap();
+        assert_eq!(json_u64(line, "parent"), root_id, "{line}");
+    }
+
+    std::fs::remove_file(&trace).ok();
+}
+
+/// `--json true` turns score and rank output into single-line JSON with
+/// score, winner, fidelity, and latency fields.
+#[test]
+fn score_and_rank_json_output() {
+    let model = tmp("json-model.mbm");
+    let stats = tmp("json-stats.mbs");
+    let model_s = model.to_str().unwrap();
+    let stats_s = stats.to_str().unwrap();
+    let out = run(&[
+        "train",
+        "--model",
+        model_s,
+        "--stats",
+        stats_s,
+        "--spec",
+        "m4",
+        "--adgroups",
+        "120",
+        "--seed",
+        "8",
+    ]);
+    assert!(out.status.success());
+
+    let out = run(&[
+        "score",
+        "--model",
+        model_s,
+        "--stats",
+        stats_s,
+        "--r",
+        "a|save 20% today|c",
+        "--s",
+        "a|fees may apply|c",
+        "--json",
+        "true",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(
+        microbrowse_obs::json::validate(line).is_ok(),
+        "bad JSON: {line}"
+    );
+    for field in [
+        "\"command\":\"score\"",
+        "\"score\":",
+        "\"winner\":",
+        "\"fidelity\":\"full\"",
+        "\"latency_us\":",
+    ] {
+        assert!(line.contains(field), "missing {field}: {line}");
+    }
+
+    let out = run(&[
+        "rank",
+        "--model",
+        model_s,
+        "--stats",
+        stats_s,
+        "--creative",
+        "a|save 20% today|c",
+        "--creative",
+        "a|fees may apply|c",
+        "--creative",
+        "a|browse deals now|c",
+        "--json",
+        "true",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(
+        microbrowse_obs::json::validate(line).is_ok(),
+        "bad JSON: {line}"
+    );
+    assert!(line.contains("\"command\":\"rank\""), "{line}");
+    assert!(line.contains("\"order\":["), "{line}");
+    assert!(line.contains("\"latency_us\":"), "{line}");
+
+    // Degraded serving is visible in the JSON, not only in prose.
+    let out = run(&[
+        "score",
+        "--model",
+        model_s,
+        "--stats",
+        "/nonexistent/stats.mbs",
+        "--policy",
+        "degrade",
+        "--r",
+        "a|save 20% today|c",
+        "--s",
+        "a|fees may apply|c",
+        "--json",
+        "true",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.contains("\"fidelity\":\"degraded\""), "{line}");
+    assert!(line.contains("\"degrade_reason\":"), "{line}");
+
+    std::fs::remove_file(&model).ok();
+    std::fs::remove_file(&stats).ok();
+}
+
+/// `microbrowse metrics` reports the serve-path counters and the latency
+/// histogram in Prometheus text format — including the degraded-mode
+/// counters, which must be present even at zero and move under an outage.
+#[test]
+fn metrics_reports_serve_counters() {
+    let model = tmp("metrics-model.mbm");
+    let stats = tmp("metrics-stats.mbs");
+    let model_s = model.to_str().unwrap();
+    let stats_s = stats.to_str().unwrap();
+    let out = run(&[
+        "train",
+        "--model",
+        model_s,
+        "--stats",
+        stats_s,
+        "--spec",
+        "m4",
+        "--adgroups",
+        "120",
+        "--seed",
+        "8",
+    ]);
+    assert!(out.status.success());
+
+    let out = run(&[
+        "metrics",
+        "--model",
+        model_s,
+        "--stats",
+        stats_s,
+        "--adgroups",
+        "20",
+        "--seed",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "metrics failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "microbrowse_scores_total",
+        "microbrowse_scores_degraded_total",
+        "microbrowse_degraded_loads_total",
+        "microbrowse_slot_rollbacks_total",
+        "microbrowse_crc_failures_total",
+        "microbrowse_io_retries_total",
+        "microbrowse_load_failures_total",
+    ] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+    let scored = stdout
+        .lines()
+        .find(|l| l.starts_with("microbrowse_scores_total"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("scores_total value");
+    assert!(scored > 0, "no pairs scored: {stdout}");
+    assert!(
+        stdout.contains("microbrowse_score_latency_us{quantile=\"0.99\"}"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("microbrowse_score_latency_us_count"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\nmicrobrowse_scores_degraded_total 0\n"),
+        "{stdout}"
+    );
+
+    // Under a stats outage with --policy degrade, the degraded counters move.
+    let out = run(&[
+        "metrics",
+        "--model",
+        model_s,
+        "--stats",
+        "/nonexistent/stats.mbs",
+        "--policy",
+        "degrade",
+        "--adgroups",
+        "20",
+        "--seed",
+        "5",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\nmicrobrowse_degraded_loads_total 1\n"),
+        "{stdout}"
+    );
+    assert!(
+        !stdout.contains("\nmicrobrowse_scores_degraded_total 0\n"),
+        "degraded score counter should move: {stdout}"
+    );
+
+    std::fs::remove_file(&model).ok();
+    std::fs::remove_file(&stats).ok();
+}

@@ -184,14 +184,29 @@ impl TrainedClassifier {
     ) -> TrainedClassifier {
         match data {
             EncodedData::Flat(d) => {
+                let mut span = microbrowse_obs::trace::span("pipeline.train")
+                    .with("spec", spec.name)
+                    .with("encoding", "flat")
+                    .with("examples", d.examples().len());
                 let mut lr_cfg = cfg.logreg.clone();
                 if spec.init_from_stats {
                     lr_cfg.init_weights = init_terms;
                 }
-                let (model, _) = LogReg::fit(d, &lr_cfg);
+                let (model, report) = LogReg::fit(d, &lr_cfg);
+                span.add("epochs", report.epoch_losses.len());
+                span.add("steps", report.steps);
+                span.add("zero_weights", report.zero_weights);
+                span.add(
+                    "final_loss",
+                    report.epoch_losses.last().copied().unwrap_or(f64::NAN),
+                );
                 TrainedClassifier::Flat(model)
             }
             EncodedData::Coupled(d) => {
+                let _span = microbrowse_obs::trace::span("pipeline.train")
+                    .with("spec", spec.name)
+                    .with("encoding", "coupled")
+                    .with("examples", d.examples().len());
                 let coupled_cfg = CoupledConfig {
                     optimizer: cfg.coupled,
                     term_cfg: cfg.logreg.clone(),

@@ -198,6 +198,10 @@ pub fn with_retry<T, E>(
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if attempt < attempts && is_transient(&e) => {
+                microbrowse_obs::counter!("microbrowse_io_retries_total").inc();
+                microbrowse_obs::trace::event("io.retry")
+                    .with("attempt", u64::from(attempt))
+                    .with("backoff_ms", backoff.as_millis() as u64);
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                     backoff = backoff.saturating_mul(2);

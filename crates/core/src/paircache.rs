@@ -50,13 +50,26 @@ impl PairCache {
         } = tc;
 
         let mut term_occs: FxHashMap<CreativeId, Vec<TermOccurrence>> = FxHashMap::default();
+        // Creatives appear in several pairs: each is extracted on first
+        // sight (fill) and reused afterwards (hit). The counters make the
+        // cache's leverage visible in `microbrowse metrics`.
+        let (mut fills, mut hits) = (0u64, 0u64);
         for pair in pairs {
             for id in [pair.r, pair.s] {
-                term_occs
-                    .entry(id)
-                    .or_insert_with(|| extractor.extract(&snippets[&id], interner));
+                match term_occs.entry(id) {
+                    std::collections::hash_map::Entry::Occupied(_) => hits += 1,
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        fills += 1;
+                        slot.insert(extractor.extract(&snippets[&id], interner));
+                    }
+                }
             }
         }
+        microbrowse_obs::counter!("microbrowse_paircache_fills_total").add(fills);
+        microbrowse_obs::counter!("microbrowse_paircache_hits_total").add(hits);
+        microbrowse_obs::trace::event("cache.stats")
+            .with("fills", fills)
+            .with("hits", hits);
         let prepared = pairs
             .iter()
             .map(|p| {

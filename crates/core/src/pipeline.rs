@@ -32,6 +32,7 @@
 //! the serial pipeline at any [`ExperimentConfig::threads`] setting.
 
 use microbrowse_ml::{grouped_kfold, stratified_kfold, BinaryMetrics, Confusion, FoldSplit};
+use microbrowse_obs as obs;
 use microbrowse_store::StatsDb;
 use serde::{Deserialize, Serialize};
 
@@ -155,8 +156,18 @@ pub fn run_experiments(
     cfg: &ExperimentConfig,
 ) -> Vec<ExperimentOutcome> {
     let threads = microbrowse_par::resolve_threads(cfg.threads);
-    let mut tc = TokenizedCorpus::build(corpus);
-    let pairs = qualified_pairs(corpus, cfg);
+    let mut root = obs::trace::span("pipeline.experiment")
+        .with("specs", specs.len())
+        .with("threads", threads);
+    let (mut tc, pairs) = {
+        let mut parse = obs::trace::span("pipeline.parse");
+        let tc = TokenizedCorpus::build(corpus);
+        let pairs = qualified_pairs(corpus, cfg);
+        parse.add("creatives", tc.snippets.len());
+        parse.add("pairs", pairs.len());
+        (tc, pairs)
+    };
+    root.add("pairs", pairs.len());
     let folds = if cfg.group_folds_by_adgroup {
         let groups: Vec<u64> = pairs.iter().map(|p| p.adgroup.0).collect();
         grouped_kfold(&groups, cfg.folds.max(2), cfg.seed)
@@ -167,13 +178,16 @@ pub fn run_experiments(
 
     // Pre-intern every phrase any later stage can need; from here on the
     // interner is immutable and every stage runs off shared `&` state.
-    let cache = PairCache::build(
-        &mut tc,
-        &pairs,
-        cfg.stats.ngram,
-        cfg.rewrite,
-        cfg.stats.max_rewrite_len,
-    );
+    let cache = {
+        let _cache_span = obs::trace::span("pipeline.cache").with("pairs", pairs.len());
+        PairCache::build(
+            &mut tc,
+            &pairs,
+            cfg.stats.ngram,
+            cfg.rewrite,
+            cfg.stats.max_rewrite_len,
+        )
+    };
     let tc = &tc;
     let all_idx: Vec<usize> = (0..pairs.len()).collect();
 
@@ -214,6 +228,9 @@ pub fn run_experiments(
         .collect();
     let inner = if tasks.len() > 1 { 1 } else { threads };
     let confusions: Vec<Confusion> = microbrowse_par::par_map(&tasks, threads, |_, &(si, fi)| {
+        let _fold_span = obs::trace::span("pipeline.fold")
+            .with("spec", specs[si].name)
+            .with("fold", fi);
         let stats = full_stats
             .as_ref()
             .or(fold_train_stats[fi].as_ref())
@@ -232,6 +249,7 @@ pub fn run_experiments(
             if !spec.positions || pairs.is_empty() {
                 return None;
             }
+            let _final_span = obs::trace::span("pipeline.finalfit").with("spec", spec.name);
             let stats = full_stats
                 .as_ref()
                 .or(final_stats.as_ref())
@@ -288,11 +306,19 @@ fn run_fold(
     let train_idx: Vec<usize> = (0..pairs.len()).filter(|&i| !mask[i]).collect();
 
     let mut fz = Featurizer::with_configs(spec, stats, cfg.stats.ngram, cfg.rewrite);
-    let train_data = fz.encode_pairs_cached(pairs, &train_idx, tc, cache, &tc.interner, threads);
-    // Inits are sized to the train-time vocabulary, so compute them before
-    // the test encoding grows it.
-    let (init_terms, init_pos) = scaled_inits(&fz, &tc.interner, &cfg.train);
-    let test_data = fz.encode_pairs_cached(pairs, &fold.test_idx, tc, cache, &tc.interner, threads);
+    let (train_data, init_terms, init_pos, test_data) = {
+        let _encode_span = obs::trace::span("pipeline.encode")
+            .with("train_pairs", train_idx.len())
+            .with("test_pairs", fold.test_idx.len());
+        let train_data =
+            fz.encode_pairs_cached(pairs, &train_idx, tc, cache, &tc.interner, threads);
+        // Inits are sized to the train-time vocabulary, so compute them
+        // before the test encoding grows it.
+        let (init_terms, init_pos) = scaled_inits(&fz, &tc.interner, &cfg.train);
+        let test_data =
+            fz.encode_pairs_cached(pairs, &fold.test_idx, tc, cache, &tc.interner, threads);
+        (train_data, init_terms, init_pos, test_data)
+    };
 
     let clf = TrainedClassifier::train(
         &spec,
@@ -301,6 +327,7 @@ fn run_fold(
         Some(init_pos),
         &cfg.train,
     );
+    let _eval_span = obs::trace::span("pipeline.eval").with("test_pairs", fold.test_idx.len());
     Confusion::from_pairs(clf.predict_all(&test_data))
 }
 

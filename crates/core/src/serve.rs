@@ -39,6 +39,7 @@ use std::path::{Path, PathBuf};
 use bytes::{Buf, BufMut, BytesMut};
 use microbrowse_ml::coupled::CoupledModel;
 use microbrowse_ml::LogReg;
+use microbrowse_obs as obs;
 use microbrowse_store::codec::{self, DecodeError};
 use microbrowse_store::crc::crc32;
 use microbrowse_store::{write_atomic, ArtifactSlot, SlotError, SlotLoad, SnapshotError, StatsDb};
@@ -421,9 +422,10 @@ impl<'a> Scorer<'a> {
     /// `s` (the Eq. 5 orientation), and the magnitude is the model's
     /// log-odds margin.
     pub fn score_pair(&mut self, r: &Snippet, s: &Snippet) -> f64 {
+        let start = obs::now_if_enabled();
         let tok_r = r.tokenize(&self.tokenizer, &mut self.interner);
         let tok_s = s.tokenize(&self.tokenizer, &mut self.interner);
-        match &self.model.classifier {
+        let score = match &self.model.classifier {
             TrainedClassifier::Flat(lr) => {
                 let ex = self
                     .featurizer
@@ -436,7 +438,13 @@ impl<'a> Scorer<'a> {
                     .encode_coupled(&tok_r, &tok_s, true, &mut self.interner);
                 cm.score(&ex)
             }
+        };
+        obs::counter!("microbrowse_scores_total").inc();
+        if self.fidelity.is_degraded() {
+            obs::counter!("microbrowse_scores_degraded_total").inc();
         }
+        obs::histogram!("microbrowse_score_latency_us").observe_since(start);
+        score
     }
 
     /// [`Self::score_pair`] with the fidelity attached: the API a serving
@@ -573,15 +581,31 @@ impl ScorerBuilder {
 
     /// Load the artifacts under the configured policy.
     pub fn load(&self) -> Result<ServingBundle, MbError> {
-        let (model, model_generation) = self.load_model()?;
-        let (stats, fidelity, stats_generation) = self.load_stats()?;
-        Ok(ServingBundle {
-            model,
-            stats,
-            fidelity,
-            model_generation,
-            stats_generation,
-        })
+        let mut span = obs::trace::span("serve.load").with(
+            "policy",
+            match self.policy {
+                LoadPolicy::Strict => "strict",
+                LoadPolicy::Degrade => "degrade",
+            },
+        );
+        let loaded = self.load_model().and_then(|(model, model_generation)| {
+            let (stats, fidelity, stats_generation) = self.load_stats()?;
+            Ok(ServingBundle {
+                model,
+                stats,
+                fidelity,
+                model_generation,
+                stats_generation,
+            })
+        });
+        match &loaded {
+            Ok(bundle) => span.add("degraded", bundle.fidelity.is_degraded()),
+            Err(_) => {
+                span.add("failed", true);
+                obs::counter!("microbrowse_load_failures_total").inc();
+            }
+        }
+        loaded
     }
 
     fn load_model(&self) -> Result<(DeployedModel, Option<u64>), MbError> {
@@ -589,11 +613,23 @@ impl ScorerBuilder {
         if path.is_dir() {
             let slot = ArtifactSlot::new(path, MODEL_SLOT_NAME);
             let load = DeployedModel::load_from_slot(&slot).map_err(|e| MbError::slot(path, e))?;
+            if load.rolled_back {
+                obs::counter!("microbrowse_slot_rollbacks_total").inc();
+                obs::trace::event("serve.rollback")
+                    .with("artifact", "model")
+                    .with("generation", load.generation);
+            }
             Ok((load.value, Some(load.generation)))
         } else {
             let bytes = read_file_with_retry(path, &self.retry)
                 .map_err(|e| MbError::model(path, ModelIoError::Io(e)))?;
-            let model = DeployedModel::from_bytes(&bytes).map_err(|e| MbError::model(path, e))?;
+            let model = DeployedModel::from_bytes(&bytes).map_err(|e| {
+                if matches!(e, ModelIoError::ChecksumMismatch) {
+                    obs::counter!("microbrowse_crc_failures_total").inc();
+                    obs::trace::event("serve.crc_failure").with("artifact", "model");
+                }
+                MbError::model(path, e)
+            })?;
             Ok((model, None))
         }
     }
@@ -604,17 +640,25 @@ impl ScorerBuilder {
                 LoadPolicy::Strict => Err(MbError::usage(
                     "strict loading requires a stats snapshot path",
                 )),
-                LoadPolicy::Degrade => Ok((
-                    StatsDb::new(),
-                    Fidelity::Degraded(DegradeReason::StatsMissing),
-                    None,
-                )),
+                LoadPolicy::Degrade => {
+                    let reason = DegradeReason::StatsMissing;
+                    emit_degraded(&reason);
+                    Ok((StatsDb::new(), Fidelity::Degraded(reason), None))
+                }
             };
         };
         let attempt: Result<(StatsDb, Option<u64>), MbError> = if path.is_dir() {
             ArtifactSlot::new(path, STATS_SLOT_NAME)
                 .load_with(microbrowse_store::file::from_bytes)
-                .map(|l| (l.value, Some(l.generation)))
+                .map(|l| {
+                    if l.rolled_back {
+                        obs::counter!("microbrowse_slot_rollbacks_total").inc();
+                        obs::trace::event("serve.rollback")
+                            .with("artifact", "stats")
+                            .with("generation", l.generation);
+                    }
+                    (l.value, Some(l.generation))
+                })
                 .map_err(|e| MbError::slot(path, e))
         } else {
             read_file_with_retry(path, &self.retry)
@@ -628,13 +672,28 @@ impl ScorerBuilder {
         match (attempt, self.policy) {
             (Ok((stats, generation)), _) => Ok((stats, Fidelity::Full, generation)),
             (Err(e), LoadPolicy::Strict) => Err(e),
-            (Err(e), LoadPolicy::Degrade) => Ok((
-                StatsDb::new(),
-                Fidelity::Degraded(classify_stats_failure(&e)),
-                None,
-            )),
+            (Err(e), LoadPolicy::Degrade) => {
+                let reason = classify_stats_failure(&e);
+                emit_degraded(&reason);
+                Ok((StatsDb::new(), Fidelity::Degraded(reason), None))
+            }
         }
     }
+}
+
+/// One structured event + counter per degraded-fidelity fallback.
+fn emit_degraded(reason: &DegradeReason) {
+    obs::counter!("microbrowse_degraded_loads_total").inc();
+    obs::trace::event("serve.degraded")
+        .with(
+            "reason",
+            match reason {
+                DegradeReason::StatsMissing => "stats_missing",
+                DegradeReason::StatsCorrupt(_) => "stats_corrupt",
+                DegradeReason::StatsIo(_) => "stats_io",
+            },
+        )
+        .with("detail", reason.to_string());
 }
 
 /// Map a stats-loading failure onto the reason a degraded scorer reports.

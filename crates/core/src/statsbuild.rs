@@ -112,6 +112,9 @@ pub fn build_stats(
     cfg: &StatsBuildConfig,
 ) -> StatsDb {
     let threads = microbrowse_par::resolve_threads(cfg.threads);
+    let mut span = microbrowse_obs::trace::span("pipeline.stats")
+        .with("pairs", pairs.len())
+        .with("cached", false);
     let builder = ShardedBuilder::new(threads * 4);
 
     microbrowse_par::for_each_chunk(pairs, threads, |slice| {
@@ -138,7 +141,9 @@ pub fn build_stats(
         }
     });
 
-    builder.freeze()
+    let db = builder.freeze();
+    span.add("features", db.len());
+    db
 }
 
 /// Build the statistics database over the pairs selected by `idxs` (indices
@@ -154,6 +159,9 @@ pub fn build_stats_for(
     cfg: &StatsBuildConfig,
 ) -> StatsDb {
     let threads = microbrowse_par::resolve_threads(cfg.threads);
+    let mut span = microbrowse_obs::trace::span("pipeline.stats")
+        .with("pairs", idxs.len())
+        .with("cached", true);
     let builder = ShardedBuilder::new(threads * 4);
     let rewriter = RewriteExtractor::new(RewriteConfig {
         max_phrase_len: cfg.max_rewrite_len,
@@ -186,7 +194,9 @@ pub fn build_stats_for(
         }
     });
 
-    builder.freeze()
+    let db = builder.freeze();
+    span.add("features", db.len());
+    db
 }
 
 /// Collect the `delta-sw` observations of one pair into `out`.

@@ -1,0 +1,221 @@
+//! Observability under fault injection: each serve-path failure mode emits
+//! exactly one structured event with the right fields, alongside its
+//! counter. Degraded fallback, transient-IO retry, and slot generation
+//! rollback are each driven by the fault harness while a memory sink
+//! records what the instrumentation says happened.
+//!
+//! The obs state (enabled flag, sink, metric registry) is process-global,
+//! so every test serializes through one mutex and resets that state on
+//! entry.
+
+use std::io::{Cursor, Read};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
+use microbrowse_core::error::{transient_io_kind, with_retry, RetryPolicy};
+use microbrowse_core::features::OwnedTermFeat;
+use microbrowse_core::serve::{
+    DeployedModel, Fidelity, LoadPolicy, ScorerBuilder, MODEL_SLOT_NAME,
+};
+use microbrowse_faultinject::{write_killed_at, Fault, FaultPlan, FaultyReader};
+use microbrowse_obs::trace::{EventRecord, MemorySink, Value};
+use microbrowse_store::{ArtifactSlot, FeatureKey, StatsDb};
+
+/// Serialize tests and hand each a clean, enabled obs world with a fresh
+/// memory sink. Disables instrumentation again on drop so the obs-blind
+/// tests in this binary never observe a half-configured global.
+struct ObsWorld {
+    sink: Arc<MemorySink>,
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl ObsWorld {
+    fn enter() -> Self {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = GATE
+            .get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let sink = Arc::new(MemorySink::new());
+        microbrowse_obs::trace::install_sink(sink.clone());
+        microbrowse_obs::metrics::registry().reset();
+        microbrowse_obs::set_enabled(true);
+        Self {
+            sink,
+            _guard: guard,
+        }
+    }
+
+    fn events_named(&self, name: &str) -> Vec<EventRecord> {
+        self.sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == name)
+            .collect()
+    }
+}
+
+impl Drop for ObsWorld {
+    fn drop(&mut self) {
+        microbrowse_obs::set_enabled(false);
+        microbrowse_obs::trace::clear_sink();
+    }
+}
+
+fn field<'a>(event: &'a EventRecord, key: &str) -> &'a Value {
+    event
+        .fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("event {} lacks field {key}: {event:?}", event.name))
+}
+
+fn counter(name: &str) -> u64 {
+    microbrowse_obs::metrics::registry().counter(name).get()
+}
+
+fn sample_model() -> DeployedModel {
+    DeployedModel {
+        spec: ModelSpec::m5(),
+        classifier: TrainedClassifier::Flat(microbrowse_ml::LogReg::from_parts(
+            vec![1.5, -0.5, 0.25, 0.75],
+            0.1,
+        )),
+        vocab: vec![
+            OwnedTermFeat::Term("cheap".into()),
+            OwnedTermFeat::Rewrite("find cheap".into(), "save 20%".into()),
+            OwnedTermFeat::Term("fees".into()),
+            OwnedTermFeat::Term("save".into()),
+        ],
+    }
+}
+
+fn sample_stats() -> StatsDb {
+    let mut db = StatsDb::new();
+    db.record(FeatureKey::term("cheap"), true);
+    db.record(FeatureKey::rewrite("find cheap", "save 20%"), true);
+    db
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbfi-obs-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A missing stats snapshot under `--policy degrade` serves anyway and
+/// announces itself exactly once: one `serve.degraded` event carrying the
+/// machine-readable reason, one tick of the degraded-loads counter.
+#[test]
+fn degraded_fallback_emits_exactly_one_event() {
+    let obs = ObsWorld::enter();
+    let dir = tmp_dir("degraded");
+    let model_path = dir.join("model.mbm");
+    sample_model().save(&model_path).unwrap();
+
+    let bundle = ScorerBuilder::new(&model_path)
+        .stats_path(dir.join("missing-stats.mbs"))
+        .policy(LoadPolicy::Degrade)
+        .load()
+        .expect("degrade policy must serve without stats");
+    assert!(matches!(bundle.fidelity(), Fidelity::Degraded(_)));
+
+    let events = obs.events_named("serve.degraded");
+    assert_eq!(events.len(), 1, "expected one degraded event: {events:?}");
+    assert_eq!(
+        *field(&events[0], "reason"),
+        Value::Str("stats_missing".into())
+    );
+    assert!(
+        matches!(field(&events[0], "detail"), Value::Str(s) if !s.is_empty()),
+        "{events:?}"
+    );
+    assert_eq!(counter("microbrowse_degraded_loads_total"), 1);
+    assert_eq!(counter("microbrowse_slot_rollbacks_total"), 0);
+    assert!(obs.events_named("serve.rollback").is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A transient IO error that heals on the second attempt emits exactly one
+/// `io.retry` event (attempt 1, with its backoff) and one counter tick —
+/// and the read still succeeds.
+#[test]
+fn transient_retry_emits_exactly_one_event() {
+    let obs = ObsWorld::enter();
+    let payload = b"generation payload".to_vec();
+    let plan = FaultPlan::none().with(Fault::ErrorAt {
+        offset: 0,
+        kind: std::io::ErrorKind::TimedOut,
+    });
+    let policy = RetryPolicy {
+        attempts: 3,
+        initial_backoff: std::time::Duration::ZERO,
+    };
+
+    let mut attempt = 0u32;
+    let out: Result<Vec<u8>, std::io::Error> = with_retry(
+        &policy,
+        |e: &std::io::Error| transient_io_kind(e.kind()),
+        || {
+            attempt += 1;
+            let mut buf = Vec::new();
+            if attempt == 1 {
+                // First attempt hits the injected timeout.
+                FaultyReader::new(Cursor::new(payload.clone()), plan.clone())
+                    .read_to_end(&mut buf)?;
+            } else {
+                Cursor::new(payload.clone()).read_to_end(&mut buf)?;
+            }
+            Ok(buf)
+        },
+    );
+    assert_eq!(out.unwrap(), payload);
+    assert_eq!(attempt, 2);
+
+    let events = obs.events_named("io.retry");
+    assert_eq!(events.len(), 1, "expected one retry event: {events:?}");
+    assert_eq!(*field(&events[0], "attempt"), Value::U64(1));
+    assert_eq!(*field(&events[0], "backoff_ms"), Value::U64(0));
+    assert_eq!(counter("microbrowse_io_retries_total"), 1);
+
+    std::mem::drop(obs);
+}
+
+/// A torn generation write (process killed mid-deploy) rolls the slot back
+/// to the previous good generation, and the serve path says so exactly
+/// once: one `serve.rollback` event naming the artifact and the generation
+/// actually served, one tick of the rollbacks counter.
+#[test]
+fn slot_rollback_emits_exactly_one_event() {
+    let obs = ObsWorld::enter();
+    let dir = tmp_dir("rollback");
+    let slot = ArtifactSlot::new(&dir, MODEL_SLOT_NAME);
+    slot.commit(&sample_model().to_bytes()).unwrap();
+    let stats_path = dir.join("stats.mbs");
+    microbrowse_store::write_snapshot(&sample_stats(), &stats_path).unwrap();
+
+    // Generation 2 is torn at byte 9: header on disk, payload cut off.
+    let v2_bytes = sample_model().to_bytes();
+    write_killed_at(&slot.generation_path(2), &v2_bytes, 9).unwrap();
+
+    let bundle = ScorerBuilder::new(&dir)
+        .stats_path(&stats_path)
+        .policy(LoadPolicy::Strict)
+        .load()
+        .expect("slot must roll back to generation 1");
+    assert_eq!(bundle.model_generation(), Some(1));
+    assert_eq!(*bundle.fidelity(), Fidelity::Full);
+
+    let events = obs.events_named("serve.rollback");
+    assert_eq!(events.len(), 1, "expected one rollback event: {events:?}");
+    assert_eq!(*field(&events[0], "artifact"), Value::Str("model".into()));
+    assert_eq!(*field(&events[0], "generation"), Value::U64(1));
+    assert_eq!(counter("microbrowse_slot_rollbacks_total"), 1);
+    assert_eq!(counter("microbrowse_degraded_loads_total"), 0);
+    assert!(obs.events_named("serve.degraded").is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

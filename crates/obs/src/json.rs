@@ -1,0 +1,358 @@
+//! Minimal JSON writing (and a validating reader for tests).
+//!
+//! The workspace's `serde` compat crate is marker-traits only, so every
+//! machine-readable output — the JSONL trace sink, the CLI's `--json`
+//! mode, the bench report — is rendered by hand through [`JsonObject`].
+//! Output is always a single line (no pretty-printing) so it can double
+//! as a JSON-lines record.
+
+use std::fmt::Write as _;
+
+use crate::trace::Value;
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a finite `f64` as JSON; non-finite values become `null` (JSON
+/// has no NaN/Infinity).
+pub fn f64_to_json(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // `{}` drops the ".0" on whole floats; keep it so the value stays
+        // typed as a float on the reader side.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Single-line JSON object builder. Keys are emitted in insertion order
+/// and are NOT escaped (call sites use literal identifiers).
+#[derive(Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{key}\":");
+        &mut self.body
+    }
+
+    /// Add an unsigned integer member.
+    pub fn u64(mut self, key: &str, v: u64) -> Self {
+        let _ = write!(self.key(key), "{v}");
+        self
+    }
+
+    /// Add a signed integer member.
+    pub fn i64(mut self, key: &str, v: i64) -> Self {
+        let _ = write!(self.key(key), "{v}");
+        self
+    }
+
+    /// Add a float member (`null` when non-finite).
+    pub fn f64(mut self, key: &str, v: f64) -> Self {
+        let rendered = f64_to_json(v);
+        self.key(key).push_str(&rendered);
+        self
+    }
+
+    /// Add a boolean member.
+    pub fn bool(mut self, key: &str, v: bool) -> Self {
+        self.key(key).push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a string member (escaped).
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        let escaped = escape(v);
+        let _ = write!(self.key(key), "\"{escaped}\"");
+        self
+    }
+
+    /// Add a pre-rendered JSON fragment (nested object/array) verbatim.
+    pub fn raw(mut self, key: &str, v: &str) -> Self {
+        self.key(key).push_str(v);
+        self
+    }
+
+    /// Add a trace [`Value`] member with its native JSON type.
+    pub fn value(self, key: &str, v: &Value) -> Self {
+        match v {
+            Value::U64(x) => self.u64(key, *x),
+            Value::I64(x) => self.i64(key, *x),
+            Value::F64(x) => self.f64(key, *x),
+            Value::Bool(x) => self.bool(key, *x),
+            Value::Str(x) => self.str(key, x),
+        }
+    }
+
+    /// Close the object and return the rendered JSON.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Render a JSON array from pre-rendered element fragments.
+pub fn array(elements: &[String]) -> String {
+    format!("[{}]", elements.join(","))
+}
+
+// --- validating reader ---------------------------------------------------
+//
+// Tests (here, in the CLI, and in bench) need to check that emitted lines
+// are well-formed JSON without an external parser. This is a strict
+// recursive-descent validator, not a DOM: it accepts exactly the JSON
+// grammar and reports the byte offset of the first violation.
+
+/// Validate that `s` is one complete JSON value. Returns the byte offset
+/// of the first syntax error, if any.
+pub fn validate(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos == b.len() {
+        Ok(())
+    } else {
+        Err(pos)
+    }
+}
+
+/// Panic (with context) unless `s` is valid JSON. Test helper.
+pub fn assert_parses(s: &str) {
+    if let Err(at) = validate(s) {
+        panic!("invalid JSON at byte {at}: {s}");
+    }
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, usize> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array_value(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, pos),
+        _ => Err(pos),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, usize> {
+    if b[pos..].starts_with(lit) {
+        Ok(pos + lit.len())
+    } else {
+        Err(pos)
+    }
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, usize> {
+    pos += 1; // opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => {
+                pos += 1;
+                match b.get(pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 1,
+                    Some(b'u') => {
+                        for i in 1..=4 {
+                            if !b.get(pos + i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(pos + i);
+                            }
+                        }
+                        pos += 5;
+                    }
+                    _ => return Err(pos),
+                }
+            }
+            0x00..=0x1f => return Err(pos),
+            _ => pos += 1,
+        }
+    }
+    Err(pos)
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, usize> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut pos: usize| -> Result<usize, usize> {
+        let start = pos;
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == start {
+            Err(pos)
+        } else {
+            Ok(pos)
+        }
+    };
+    // JSON forbids leading zeros: "0" alone, or a nonzero first digit.
+    match b.get(pos) {
+        Some(b'0') => pos += 1,
+        Some(b'1'..=b'9') => pos = digits(b, pos)?,
+        _ => return Err(pos),
+    }
+    if b.get(pos) == Some(&b'.') {
+        pos = digits(b, pos + 1)?;
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        pos = digits(b, pos)?;
+    }
+    if pos == start {
+        Err(pos)
+    } else {
+        Ok(pos)
+    }
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, usize> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(pos);
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(pos);
+        }
+        pos = value(b, skip_ws(b, pos + 1))?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(pos),
+        }
+    }
+}
+
+fn array_value(b: &[u8], mut pos: usize) -> Result<usize, usize> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_renders_all_types() {
+        let json = JsonObject::new()
+            .u64("u", 7)
+            .i64("i", -3)
+            .f64("f", 1.5)
+            .f64("whole", 2.0)
+            .f64("nan", f64::NAN)
+            .bool("b", true)
+            .str("s", "a\"b\\c\nd")
+            .raw("nested", &JsonObject::new().u64("x", 1).finish())
+            .raw("arr", &array(&["1".into(), "\"two\"".into()]))
+            .finish();
+        assert_parses(&json);
+        assert!(json.contains("\"u\":7"));
+        assert!(json.contains("\"i\":-3"));
+        assert!(json.contains("\"whole\":2.0"));
+        assert!(json.contains("\"nan\":null"));
+        assert!(json.contains("\"s\":\"a\\\"b\\\\c\\nd\""));
+        assert!(json.contains("\"nested\":{\"x\":1}"));
+        assert!(json.contains("\"arr\":[1,\"two\"]"));
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        assert_parses(&JsonObject::new().finish());
+    }
+
+    #[test]
+    fn validator_accepts_json_and_rejects_junk() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "\"\\u00e9\"",
+            "{\"a\":[1,{\"b\":null}],\"c\":false}",
+            " { \"k\" : 1 } ",
+        ] {
+            assert!(validate(good).is_ok(), "{good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1,]",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{\"a\":1}x",
+            "nul",
+            "\"bad\\q\"",
+        ] {
+            assert!(validate(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+}

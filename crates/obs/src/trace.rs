@@ -1,0 +1,644 @@
+//! Span-based structured tracing with pluggable sinks.
+//!
+//! A [`Span`] is an RAII guard: creating one (via [`span`]) assigns it a
+//! process-unique id, parents it under the calling thread's innermost open
+//! span, and starts a timer; dropping it emits one [`SpanRecord`] to the
+//! installed [`TraceSink`]. Point-in-time facts ride on [`event`], which
+//! attaches to the innermost open span. Everything is a no-op while
+//! [`crate::enabled`] is false — span construction then returns an inert
+//! guard without touching the clock, the id counter, or the sink.
+//!
+//! Parentage is tracked per thread. To keep spans nested across the scoped
+//! thread pools of `microbrowse-par`, capture [`current_context`] before
+//! spawning and [`TraceContext::enter`] inside each worker.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+use std::time::Instant;
+
+use crate::json::JsonObject;
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One completed span, delivered to the sink when the guard drops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
+    /// Span name (stage taxonomy, e.g. `"pipeline.stats"`).
+    pub name: &'static str,
+    /// Small per-process id of the recording thread.
+    pub thread: u64,
+    /// Start time, microseconds since the process trace epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// Attached fields, in attachment order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// One point-in-time event, delivered to the sink immediately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Id of the innermost open span on the emitting thread (0 = none).
+    pub span: u64,
+    /// Event name (e.g. `"serve.rollback"`).
+    pub name: &'static str,
+    /// Small per-process id of the recording thread.
+    pub thread: u64,
+    /// Emission time, microseconds since the process trace epoch.
+    pub at_us: u64,
+    /// Attached fields, in attachment order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Destination for completed spans and events. Implementations must be
+/// cheap and non-blocking-ish: they run inline on the instrumented thread.
+pub trait TraceSink: Send + Sync {
+    /// A span closed.
+    fn on_span(&self, span: &SpanRecord);
+    /// An event fired.
+    fn on_event(&self, event: &EventRecord);
+    /// Flush any buffering (file sinks). Default: nothing.
+    fn flush(&self) {}
+}
+
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn micros_since_epoch() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+fn with_sink(f: impl FnOnce(&dyn TraceSink)) {
+    let guard = SINK.read().unwrap_or_else(PoisonError::into_inner);
+    if let Some(sink) = guard.as_ref() {
+        f(sink.as_ref());
+    }
+}
+
+/// Install `sink` as the process-wide trace destination (replacing any
+/// previous one). Installing a sink does not enable instrumentation; call
+/// [`crate::set_enabled`] as well.
+pub fn install_sink(sink: Arc<dyn TraceSink>) {
+    *SINK.write().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+}
+
+/// Remove the installed sink (spans and events are dropped again).
+pub fn clear_sink() {
+    *SINK.write().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// Flush the installed sink, if any.
+pub fn flush() {
+    with_sink(|sink| sink.flush());
+}
+
+struct SpanInner {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// An open span. Dropping it records the duration and emits the record;
+/// an inert guard (instrumentation disabled at creation) does nothing.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+/// Open a span named `name`, parented under the calling thread's innermost
+/// open span. Returns an inert guard when instrumentation is disabled.
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { inner: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
+    Span {
+        inner: Some(SpanInner {
+            id,
+            parent,
+            name,
+            start: Instant::now(),
+            start_us: micros_since_epoch(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Attach a field (builder form).
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.add(key, value);
+        self
+    }
+
+    /// Attach a field to an already-bound span.
+    pub fn add(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// This span's id (0 when inert).
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.last() == Some(&inner.id) {
+                stack.pop();
+            } else {
+                // Out-of-order drop (span moved across an early return):
+                // remove wherever it sits so the stack stays consistent.
+                stack.retain(|&id| id != inner.id);
+            }
+        });
+        let record = SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            thread: thread_id(),
+            start_us: inner.start_us,
+            dur_us: inner.start.elapsed().as_micros() as u64,
+            fields: inner.fields,
+        };
+        with_sink(|sink| sink.on_span(&record));
+    }
+}
+
+/// A pending event: fields attach via [`EventBuilder::with`], emission
+/// happens on drop. Inert when instrumentation is disabled.
+pub struct EventBuilder {
+    inner: Option<(&'static str, Vec<(&'static str, Value)>)>,
+}
+
+/// Record a point-in-time event named `name`, attached to the calling
+/// thread's innermost open span (if any).
+pub fn event(name: &'static str) -> EventBuilder {
+    if !crate::enabled() {
+        return EventBuilder { inner: None };
+    }
+    EventBuilder {
+        inner: Some((name, Vec::new())),
+    }
+}
+
+impl EventBuilder {
+    /// Attach a field.
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if let Some((_, fields)) = &mut self.inner {
+            fields.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for EventBuilder {
+    fn drop(&mut self) {
+        let Some((name, fields)) = self.inner.take() else {
+            return;
+        };
+        let record = EventRecord {
+            span: SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0)),
+            name,
+            thread: thread_id(),
+            at_us: micros_since_epoch(),
+            fields,
+        };
+        with_sink(|sink| sink.on_event(&record));
+    }
+}
+
+/// A captured span context: the innermost span id of the capturing thread,
+/// for re-rooting spans recorded on worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceContext {
+    parent: u64,
+}
+
+/// Capture the calling thread's innermost open span (0 when none or when
+/// instrumentation is disabled).
+pub fn current_context() -> TraceContext {
+    if !crate::enabled() {
+        return TraceContext { parent: 0 };
+    }
+    TraceContext {
+        parent: SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0)),
+    }
+}
+
+impl TraceContext {
+    /// Make this context the parent of spans recorded on the current
+    /// thread until the returned guard drops. A context with no span (or
+    /// captured while disabled) yields an inert guard.
+    pub fn enter(self) -> ContextGuard {
+        if self.parent == 0 || !crate::enabled() {
+            return ContextGuard { pushed: false };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(self.parent));
+        ContextGuard { pushed: true }
+    }
+}
+
+/// Guard restoring the thread's span parentage on drop.
+pub struct ContextGuard {
+    pushed: bool,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// Sink that discards everything (placeholder while measuring pure
+/// tracing overhead, or to enable metrics without span collection).
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn on_span(&self, _span: &SpanRecord) {}
+    fn on_event(&self, _event: &EventRecord) {}
+}
+
+/// In-memory sink for tests: captures every record for later assertions.
+#[derive(Default)]
+pub struct MemorySink {
+    spans: Mutex<Vec<SpanRecord>>,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all captured spans.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        lock(&self.spans).clone()
+    }
+
+    /// Snapshot of all captured events.
+    pub fn events(&self) -> Vec<EventRecord> {
+        lock(&self.events).clone()
+    }
+
+    /// Captured events with the given name.
+    pub fn events_named(&self, name: &str) -> Vec<EventRecord> {
+        lock(&self.events)
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Captured spans with the given name.
+    pub fn spans_named(&self, name: &str) -> Vec<SpanRecord> {
+        lock(&self.spans)
+            .iter()
+            .filter(|s| s.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Drop everything captured so far.
+    pub fn clear(&self) {
+        lock(&self.spans).clear();
+        lock(&self.events).clear();
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn on_span(&self, span: &SpanRecord) {
+        lock(&self.spans).push(span.clone());
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        lock(&self.events).push(event.clone());
+    }
+}
+
+/// JSON-lines file sink: one JSON object per span or event, in emission
+/// order. Write failures are counted, never panicked on.
+pub struct JsonlSink {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+    write_errors: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the JSONL file at `path`.
+    pub fn create(path: &std::path::Path) -> Result<Self, std::io::Error> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self {
+            out: Mutex::new(std::io::BufWriter::new(file)),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of records lost to write errors.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = lock(&self.out);
+        if writeln!(out, "{line}").is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn fields_json(fields: &[(&'static str, Value)]) -> String {
+    let mut obj = JsonObject::new();
+    for (key, value) in fields {
+        obj = obj.value(key, value);
+    }
+    obj.finish()
+}
+
+impl TraceSink for JsonlSink {
+    fn on_span(&self, span: &SpanRecord) {
+        let line = JsonObject::new()
+            .str("type", "span")
+            .u64("id", span.id)
+            .u64("parent", span.parent)
+            .str("name", span.name)
+            .u64("thread", span.thread)
+            .u64("start_us", span.start_us)
+            .u64("dur_us", span.dur_us)
+            .raw("fields", &fields_json(&span.fields))
+            .finish();
+        self.write_line(&line);
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        let line = JsonObject::new()
+            .str("type", "event")
+            .str("name", event.name)
+            .u64("span", event.span)
+            .u64("thread", event.thread)
+            .u64("at_us", event.at_us)
+            .raw("fields", &fields_json(&event.fields))
+            .finish();
+        self.write_line(&line);
+    }
+
+    fn flush(&self) {
+        let mut out = lock(&self.out);
+        if out.flush().is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    // Tracing state is process-global; tests that toggle it serialize here.
+    pub(crate) fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn with_memory_sink<R>(f: impl FnOnce(&MemorySink) -> R) -> R {
+        let sink = Arc::new(MemorySink::new());
+        install_sink(sink.clone());
+        crate::set_enabled(true);
+        let r = f(&sink);
+        crate::set_enabled(false);
+        clear_sink();
+        r
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _x = exclusive();
+        crate::set_enabled(false);
+        let sink = Arc::new(MemorySink::new());
+        install_sink(sink.clone());
+        {
+            let _s = span("never").with("k", 1u64);
+            event("nope").with("k", 2u64);
+        }
+        assert!(sink.spans().is_empty());
+        assert!(sink.events().is_empty());
+        clear_sink();
+    }
+
+    #[test]
+    fn nesting_records_parent_child_ids() {
+        let _x = exclusive();
+        with_memory_sink(|sink| {
+            {
+                let outer = span("outer");
+                let outer_id = outer.id();
+                {
+                    let inner = span("inner").with("n", 3u64);
+                    assert_ne!(inner.id(), 0);
+                    assert_ne!(inner.id(), outer_id);
+                }
+                event("mid").with("ok", true);
+            }
+            let spans = sink.spans();
+            assert_eq!(spans.len(), 2);
+            // Children emit before parents (drop order).
+            let inner = &spans[0];
+            let outer = &spans[1];
+            assert_eq!(inner.name, "inner");
+            assert_eq!(outer.name, "outer");
+            assert_eq!(inner.parent, outer.id);
+            assert_eq!(outer.parent, 0);
+            assert_eq!(inner.fields, vec![("n", Value::U64(3))]);
+            let events = sink.events();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].span, outer.id);
+        });
+    }
+
+    #[test]
+    fn context_reparents_worker_threads() {
+        let _x = exclusive();
+        with_memory_sink(|sink| {
+            let root_id = {
+                let root = span("root");
+                let ctx = current_context();
+                std::thread::scope(|scope| {
+                    scope.spawn(move || {
+                        let _guard = ctx.enter();
+                        let _child = span("worker");
+                    });
+                });
+                root.id()
+            };
+            let workers = sink.spans_named("worker");
+            assert_eq!(workers.len(), 1);
+            assert_eq!(workers[0].parent, root_id);
+            // Worker thread gets a distinct thread id.
+            let roots = sink.spans_named("root");
+            assert_ne!(workers[0].thread, roots[0].thread);
+        });
+    }
+
+    #[test]
+    fn jsonl_sink_writes_valid_lines() {
+        let _x = exclusive();
+        let dir = std::env::temp_dir().join(format!("mbobs-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        {
+            let sink = Arc::new(JsonlSink::create(&path).unwrap());
+            install_sink(sink.clone());
+            crate::set_enabled(true);
+            {
+                let _s = span("stage").with("pairs", 12u64).with("label", "a\"b");
+                event("tick").with("x", 1.5f64);
+            }
+            crate::set_enabled(false);
+            clear_sink();
+            sink.flush();
+            assert_eq!(sink.write_errors(), 0);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"event\""), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"type\":\"span\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"name\":\"stage\""));
+        assert!(lines[1].contains("\"pairs\":12"));
+        assert!(lines[1].contains("a\\\"b"));
+        for line in lines {
+            crate::json::assert_parses(line);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn early_return_span_drop_keeps_stack_consistent() {
+        let _x = exclusive();
+        with_memory_sink(|sink| {
+            let a = span("a");
+            let b = span("b");
+            drop(a); // out of order
+            let c = span("c");
+            drop(c);
+            drop(b);
+            let spans = sink.spans();
+            assert_eq!(spans.len(), 3);
+            // c was opened while b was innermost.
+            let c = sink.spans_named("c");
+            let b = sink.spans_named("b");
+            assert_eq!(c[0].parent, b[0].id);
+        });
+    }
+}

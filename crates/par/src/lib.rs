@@ -12,6 +12,12 @@
 //! Thread-count resolution ([`resolve_threads`]) is shared by every knob in
 //! the workspace: explicit config beats the `MICROBROWSE_THREADS`
 //! environment variable beats detected parallelism.
+//!
+//! Every parallel entry point captures the caller's trace context
+//! (`microbrowse-obs`) before spawning and re-enters it on each worker, so
+//! spans recorded inside worker closures nest under the span that launched
+//! the parallel section. When instrumentation is disabled this costs one
+//! relaxed atomic load per spawn.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -66,11 +72,13 @@ where
             .collect();
     }
 
+    let ctx = microbrowse_obs::trace::current_context();
     let next = AtomicUsize::new(0);
     let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _obs = ctx.enter();
                     let mut state = init();
                     let mut out = Vec::new();
                     loop {
@@ -117,10 +125,15 @@ where
         f(items);
         return;
     }
+    let ctx = microbrowse_obs::trace::current_context();
     let chunk = items.len().div_ceil(threads).max(1);
+    let f = &f;
     std::thread::scope(|scope| {
         for slice in items.chunks(chunk) {
-            scope.spawn(|| f(slice));
+            scope.spawn(move || {
+                let _obs = ctx.enter();
+                f(slice);
+            });
         }
     });
 }
@@ -192,5 +205,36 @@ mod tests {
     fn resolve_threads_prefers_explicit() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    // Sole test in this binary touching the process-global obs state.
+    #[test]
+    fn trace_context_flows_into_workers() {
+        use microbrowse_obs::trace;
+        let sink = std::sync::Arc::new(trace::MemorySink::new());
+        trace::install_sink(sink.clone());
+        microbrowse_obs::set_enabled(true);
+        let items: Vec<u64> = (0..64).collect();
+        let root_id = {
+            let root = trace::span("par.root");
+            let out = par_map(&items, 4, |_, &x| {
+                let _s = trace::span("par.item");
+                x + 1
+            });
+            assert_eq!(out.len(), 64);
+            for_each_chunk(&items, 4, |slice| {
+                let _s = trace::span("par.chunk");
+                std::hint::black_box(slice.len());
+            });
+            root.id()
+        };
+        microbrowse_obs::set_enabled(false);
+        trace::clear_sink();
+        let item_spans = sink.spans_named("par.item");
+        assert_eq!(item_spans.len(), 64);
+        assert!(item_spans.iter().all(|s| s.parent == root_id));
+        let chunk_spans = sink.spans_named("par.chunk");
+        assert!(!chunk_spans.is_empty());
+        assert!(chunk_spans.iter().all(|s| s.parent == root_id));
     }
 }

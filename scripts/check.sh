@@ -15,8 +15,9 @@ cargo test --quiet -p microbrowse-faultinject
 cargo test --quiet -p microbrowse-store --test corrupt
 cargo test --quiet -p microbrowse-core --test artifact_errors
 
-echo "==> no unwrap/expect on artifact load/serve paths"
-if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs crates/cli/src \
+echo "==> no unwrap/expect on artifact load/serve paths (incl. obs crate)"
+if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs \
+    crates/core/src/error.rs crates/obs/src crates/cli/src \
     | python3 -c '
 import sys, re
 bad = []
@@ -39,10 +40,14 @@ else
     exit 1
 fi
 
+echo "==> disabled-instrumentation overhead gate (< 2% of pipeline wall time)"
+cargo build --locked --release -q -p microbrowse-bench --bin obs_overhead
+./target/release/obs_overhead --adgroups 100
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, fault injection, unwrap audit, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, overhead gate, clippy, fmt all green"
