@@ -1,0 +1,142 @@
+//! Loopback load test of the HTTP scoring server.
+//!
+//! Starts an in-process `microbrowse-server` on an ephemeral port with a
+//! trained-shape model, hammers `POST /v1/score` from keep-alive client
+//! threads, and reports throughput plus latency quantiles to
+//! `results/BENCH_serve.json`.
+//!
+//! Usage: `bench_serve [--requests 30000] [--clients 2] [--workers 2]
+//! [--out results/BENCH_serve.json]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use microbrowse_bench::Args;
+use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
+use microbrowse_core::features::OwnedTermFeat;
+use microbrowse_core::serve::{DeployedModel, Fidelity, ServingBundle};
+use microbrowse_server::client::Client;
+use microbrowse_server::{start, BundleSource, ServerConfig};
+use microbrowse_store::{FeatureKey, StatsDb};
+
+/// A model with a realistically sized term vocabulary (the synthetic
+/// corpus vocabulary is a few hundred terms) so per-request featurization
+/// cost is representative, without paying a full training run on every
+/// benchmark invocation.
+fn bundle() -> Arc<ServingBundle> {
+    let terms: Vec<String> = (0..400).map(|i| format!("term{i}")).collect();
+    let vocab: Vec<OwnedTermFeat> = terms
+        .iter()
+        .map(|t| OwnedTermFeat::Term(t.clone()))
+        .collect();
+    let weights: Vec<f64> = (0..vocab.len())
+        .map(|i| ((i % 13) as f64 - 6.0) / 10.0)
+        .collect();
+    let model = DeployedModel {
+        spec: ModelSpec::m1(),
+        classifier: TrainedClassifier::Flat(microbrowse_ml::LogReg::from_parts(weights, 0.05)),
+        vocab,
+    };
+    let mut stats = StatsDb::new();
+    for (i, t) in terms.iter().enumerate() {
+        stats.record(FeatureKey::term(t), i % 3 == 0);
+    }
+    Arc::new(ServingBundle::from_parts(model, stats, Fidelity::Full))
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = Args::parse();
+    let requests: usize = args.get("requests", 30_000);
+    let clients: usize = args.get("clients", 2);
+    let workers: usize = args.get("workers", 2);
+    let out_path: String = args.get("out", "results/BENCH_serve.json".to_string());
+
+    let cfg = ServerConfig {
+        workers,
+        queue_depth: 256,
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, BundleSource::Static(bundle())).expect("start server");
+    let addr = handle.addr();
+
+    // Distinct bodies per client so scoring isn't one degenerate pair.
+    let body = |i: usize| {
+        format!(
+            "{{\"r\":\"term{} cheap flights|book term{} now|save 20%\",\
+             \"s\":\"term{} flights|standard fare|fees may apply\"}}",
+            i % 400,
+            (i * 7) % 400,
+            (i * 13) % 400
+        )
+    };
+
+    // Warmup: populate caches, let every worker build its scorer.
+    let mut warm = Client::connect(addr).expect("warmup connect");
+    for i in 0..200 {
+        let resp = warm.post("/v1/score", &body(i)).expect("warmup request");
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+    drop(warm);
+
+    let per_client = requests / clients;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_client);
+                let mut client = Client::connect(addr).expect("client connect");
+                let b: Vec<String> = (0..16).map(|i| body(c * 1000 + i)).collect();
+                for i in 0..per_client {
+                    let t0 = Instant::now();
+                    let resp = client
+                        .post("/v1/score", &b[i % b.len()])
+                        .expect("score request");
+                    let us = t0.elapsed().as_micros() as u64;
+                    assert_eq!(resp.status, 200, "{}", resp.body_str());
+                    lat.push(us);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut lat: Vec<u64> = Vec::with_capacity(per_client * clients);
+    for h in handles {
+        lat.extend(h.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed();
+    handle.shutdown();
+
+    lat.sort_unstable();
+    let total = lat.len();
+    let rps = total as f64 / elapsed.as_secs_f64();
+    let (p50, p90, p99) = (
+        quantile(&lat, 0.50),
+        quantile(&lat, 0.90),
+        quantile(&lat, 0.99),
+    );
+    let mean = lat.iter().sum::<u64>() as f64 / total.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"endpoint\": \"/v1/score\",\n  \"requests\": {total},\n  \"clients\": {clients},\n  \"workers\": {workers},\n  \"elapsed_s\": {:.4},\n  \"throughput_rps\": {rps:.1},\n  \"latency_us\": {{\n    \"mean\": {mean:.1},\n    \"p50\": {p50},\n    \"p90\": {p90},\n    \"p99\": {p99},\n    \"max\": {}\n  }}\n}}\n",
+        elapsed.as_secs_f64(),
+        lat.last().copied().unwrap_or(0),
+    );
+    microbrowse_obs::json::assert_parses(&json);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!(
+        "{total} requests in {:.2}s: {rps:.0} req/s, p50 {p50}us p90 {p90}us p99 {p99}us",
+        elapsed.as_secs_f64()
+    );
+    println!("{json}");
+}

@@ -56,7 +56,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let flags = match Flags::parse(&args[1..]) {
+    let flags = match Flags::parse(&args[1..]).and_then(|f| {
+        if let Some(allowed) = allowed_flags(command) {
+            f.reject_unknown(allowed)?;
+        }
+        Ok(f)
+    }) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -88,6 +93,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&flags),
         "validate" => cmd_validate(&flags),
         "metrics" => cmd_metrics(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -124,16 +130,22 @@ const USAGE: &str = "usage:
   microbrowse validate --model FILE [--stats FILE]
   microbrowse metrics  --model FILE --stats FILE [--adgroups N] [--seed S]
                        (score a held-out corpus, dump Prometheus-style metrics)
+  microbrowse serve    --slot-dir DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                       (HTTP scoring server: POST /v1/score /v1/rank, GET /healthz
+                        /metrics /version; hot-reloads new slot generations;
+                        graceful drain on stdin EOF)
 
   Every subcommand accepts --trace-json FILE: write structured span/event
   records as JSON lines (one object per line) while the command runs.
 
   A FILE that names a directory is a crash-safe generation slot: train
   commits a new generation, readers recover the newest valid one.
+  --slot-dir DIR is shorthand for --model DIR --stats DIR.
   Serving commands accept --policy strict|degrade (default strict);
   degrade keeps serving on a missing/corrupt stats snapshot, term-only.";
 
 /// Repeated `--flag value` pairs.
+#[derive(Debug)]
 struct Flags {
     pairs: Vec<(String, String)>,
 }
@@ -195,6 +207,74 @@ impl Flags {
             ))),
         }
     }
+
+    /// Reject any flag that is neither common nor in the subcommand's
+    /// `extra` list (a typo'd flag silently defaulting is worse than an
+    /// error).
+    fn reject_unknown(&self, extra: &[&str]) -> Result<(), MbError> {
+        for (name, _) in &self.pairs {
+            let name = name.as_str();
+            if !COMMON_FLAG_NAMES.contains(&name) && !extra.contains(&name) {
+                return Err(MbError::usage(format!("unknown flag --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Flag names every subcommand shares (see [`CommonFlags`]).
+const COMMON_FLAG_NAMES: &[&str] = &["model", "stats", "slot-dir", "policy", "trace-json"];
+
+/// Flags every artifact-consuming subcommand shares. `--slot-dir DIR` is
+/// shorthand for `--model DIR --stats DIR` (the generation-slot layout the
+/// server and `train` both use); explicit `--model`/`--stats` win.
+struct CommonFlags {
+    model: Option<PathBuf>,
+    stats: Option<PathBuf>,
+    policy: LoadPolicy,
+}
+
+impl CommonFlags {
+    fn parse(flags: &Flags) -> Result<Self, MbError> {
+        let slot_dir = flags.get("slot-dir").map(PathBuf::from);
+        Ok(Self {
+            model: flags
+                .get("model")
+                .map(PathBuf::from)
+                .or_else(|| slot_dir.clone()),
+            stats: flags.get("stats").map(PathBuf::from).or(slot_dir),
+            policy: flags.policy()?,
+        })
+    }
+
+    fn require_model(&self) -> Result<&Path, MbError> {
+        self.model
+            .as_deref()
+            .ok_or_else(|| MbError::usage("missing required flag --model (or --slot-dir)"))
+    }
+
+    fn require_stats(&self) -> Result<&Path, MbError> {
+        self.stats
+            .as_deref()
+            .ok_or_else(|| MbError::usage("missing required flag --stats (or --slot-dir)"))
+    }
+}
+
+/// Per-subcommand extra flags beyond [`COMMON_FLAG_NAMES`]. `None` means
+/// the command validates its own arguments (`help` and unknown commands).
+fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "train" => Some(&["spec", "adgroups", "seed", "threads"]),
+        "eval" => Some(&["adgroups", "seed", "degraded"]),
+        "experiment" => Some(&["spec", "adgroups", "seed", "folds", "threads"]),
+        "score" => Some(&["r", "s", "json"]),
+        "rank" => Some(&["creative", "json"]),
+        "optimize" => Some(&["base", "rewrite", "swap-lines", "move-front"]),
+        "validate" => Some(&[]),
+        "metrics" => Some(&["adgroups", "seed"]),
+        "serve" => Some(&["addr", "workers", "queue-depth"]),
+        _ => None,
+    }
 }
 
 fn parse_snippet(text: &str) -> Snippet {
@@ -221,9 +301,10 @@ fn spec_by_name(name: &str) -> Result<ModelSpec, MbError> {
 /// fidelity (and any rollback) to stderr so operators see degradation the
 /// moment it starts.
 fn load_bundle(flags: &Flags) -> Result<ServingBundle, MbError> {
-    let bundle = ScorerBuilder::new(flags.require("model")?)
-        .stats_path(flags.require("stats")?)
-        .policy(flags.policy()?)
+    let common = CommonFlags::parse(flags)?;
+    let bundle = ScorerBuilder::new(common.require_model()?)
+        .stats_path(common.require_stats()?)
+        .policy(common.policy)
         .load()?;
     if let Fidelity::Degraded(reason) = bundle.fidelity() {
         eprintln!("warning: serving degraded (term features only): {reason}");
@@ -261,8 +342,9 @@ fn save_stats(stats: &StatsDb, path: &Path) -> Result<Option<u64>, MbError> {
 }
 
 fn cmd_train(flags: &Flags) -> Result<(), MbError> {
-    let model_path = PathBuf::from(flags.require("model")?);
-    let stats_path = PathBuf::from(flags.require("stats")?);
+    let common = CommonFlags::parse(flags)?;
+    let model_path = common.require_model()?.to_path_buf();
+    let stats_path = common.require_stats()?.to_path_buf();
     let spec = spec_by_name(flags.get("spec").unwrap_or("m4"))?;
     let adgroups: usize = flags.parse_or("adgroups", 1000)?;
     let seed: u64 = flags.parse_or("seed", 42)?;
@@ -677,8 +759,9 @@ fn snapshot_failed_check(e: &SnapshotError) -> &'static str {
 /// machine-readable verdict: the health check a deploy pipeline calls
 /// before flipping traffic. Exit code 0 iff every check passes.
 fn cmd_validate(flags: &Flags) -> Result<(), MbError> {
-    let model_path = PathBuf::from(flags.require("model")?);
-    let stats_path = flags.get("stats").map(PathBuf::from);
+    let common = CommonFlags::parse(flags)?;
+    let model_path = common.require_model()?.to_path_buf();
+    let stats_path = common.stats.clone();
     let mut ok = true;
 
     // Model: magic, version, CRC, full decode — via the typed loader.
@@ -803,5 +886,142 @@ fn cmd_validate(flags: &Flags) -> Result<(), MbError> {
             "artifact bundle at {} failed deep checks (see verdict lines)",
             model_path.display()
         )))
+    }
+}
+
+/// Run the HTTP scoring server until stdin reaches EOF — the deterministic,
+/// signal-free shutdown channel: a supervisor (or the smoke gate) closes
+/// the pipe to trigger a graceful drain, and `serve < /dev/null` exits
+/// immediately after startup.
+fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
+    use microbrowse_server::{start, BundleSource, ReloadSource, ServerConfig};
+    use std::io::{Read as _, Write as _};
+
+    let common = CommonFlags::parse(flags)?;
+    let source = ReloadSource {
+        model_path: common.require_model()?.to_path_buf(),
+        stats_path: common.stats.clone(),
+        policy: common.policy,
+    };
+    let cfg = ServerConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:8660").to_string(),
+        workers: flags.parse_or("workers", 4)?,
+        queue_depth: flags.parse_or("queue-depth", 128)?,
+        ..ServerConfig::default()
+    };
+    if cfg.workers == 0 || cfg.queue_depth == 0 {
+        return Err(MbError::usage("--workers and --queue-depth must be >= 1"));
+    }
+    let handle = start(cfg, BundleSource::Artifacts(source))?;
+    // stdout through a pipe is block-buffered: flush explicitly so a
+    // supervising process sees the bound address immediately.
+    println!("listening on {}", handle.addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| MbError::io("flush stdout", e))?;
+    if handle.degraded() {
+        eprintln!("warning: serving degraded (term features only); see /healthz");
+    }
+    // Park until stdin closes, discarding anything written to it.
+    let mut stdin = std::io::stdin().lock();
+    let mut buf = [0u8; 256];
+    loop {
+        match stdin.read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let report = handle.shutdown();
+    println!(
+        "drained {} request(s), aborted {}",
+        report.drained, report.aborted
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Flags::parse(&owned).expect("flags parse")
+    }
+
+    #[test]
+    fn unknown_flag_is_usage_error() {
+        let f = flags(&["--model", "m.mbm", "--bogus", "1"]);
+        let err = f
+            .reject_unknown(allowed_flags("score").expect("score is a command"))
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn common_flags_accepted_by_every_command() {
+        let f = flags(&["--trace-json", "t.jsonl", "--policy", "degrade"]);
+        for cmd in [
+            "train",
+            "eval",
+            "experiment",
+            "score",
+            "rank",
+            "optimize",
+            "validate",
+            "metrics",
+            "serve",
+        ] {
+            let extra = allowed_flags(cmd).expect("known command");
+            f.reject_unknown(extra)
+                .unwrap_or_else(|e| panic!("{cmd} rejected a common flag: {e}"));
+        }
+    }
+
+    #[test]
+    fn missing_value_is_usage_error() {
+        let args = vec!["--model".to_string()];
+        let err = Flags::parse(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--model"), "{err}");
+    }
+
+    #[test]
+    fn slot_dir_fills_model_and_stats() {
+        let f = flags(&["--slot-dir", "/tmp/slot"]);
+        let common = CommonFlags::parse(&f).expect("common flags");
+        assert_eq!(
+            common.require_model().expect("model"),
+            Path::new("/tmp/slot")
+        );
+        assert_eq!(
+            common.require_stats().expect("stats"),
+            Path::new("/tmp/slot")
+        );
+    }
+
+    #[test]
+    fn explicit_paths_win_over_slot_dir() {
+        let f = flags(&["--slot-dir", "/tmp/slot", "--model", "/tmp/m.mbm"]);
+        let common = CommonFlags::parse(&f).expect("common flags");
+        assert_eq!(
+            common.require_model().expect("model"),
+            Path::new("/tmp/m.mbm")
+        );
+        assert_eq!(
+            common.require_stats().expect("stats"),
+            Path::new("/tmp/slot")
+        );
+    }
+
+    #[test]
+    fn missing_model_is_usage_error() {
+        let f = flags(&[]);
+        let common = CommonFlags::parse(&f).expect("common flags");
+        let err = common.require_model().unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--model"), "{err}");
     }
 }

@@ -674,3 +674,111 @@ fn metrics_reports_serve_counters() {
     std::fs::remove_file(&model).ok();
     std::fs::remove_file(&stats).ok();
 }
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = run(&["score", "--model", "m.mbm", "--bogus", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --bogus"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    let out = run(&["score", "--model"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--model needs a value"), "{stderr}");
+}
+
+/// End-to-end `serve`: train into a slot dir, start the server on an
+/// ephemeral port, score over real HTTP, then close stdin and expect a
+/// graceful exit 0 with a drain report.
+#[test]
+fn serve_scores_over_http_and_drains_on_stdin_eof() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::process::Stdio;
+
+    let dir = tmp("serve-slot");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create slot dir");
+    let dir_s = dir.to_str().unwrap();
+
+    let out = run(&[
+        "train",
+        "--slot-dir",
+        dir_s,
+        "--spec",
+        "m4",
+        "--adgroups",
+        "120",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut child = Command::new(bin())
+        .args([
+            "serve",
+            "--slot-dir",
+            dir_s,
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue-depth",
+            "16",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn serve");
+
+    let mut lines = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("read banner");
+    let addr: std::net::SocketAddr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .expect("banner address");
+
+    let mut client = microbrowse_server::client::Client::connect(addr).expect("connect to serve");
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200, "{}", health.body_str());
+    assert!(health.body_str().contains("\"status\":\"ok\""));
+    let resp = client
+        .post(
+            "/v1/score",
+            "{\"r\":\"cheap flights|book now|save 20%\",\"s\":\"flights|book|fees apply\"}",
+        )
+        .expect("score request");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("\"score\":"),
+        "{}",
+        resp.body_str()
+    );
+    assert!(
+        resp.body_str().contains("\"winner\":"),
+        "{}",
+        resp.body_str()
+    );
+    drop(client);
+
+    drop(child.stdin.take());
+    let status = child.wait().expect("wait serve");
+    assert!(status.success(), "serve exited {status}");
+    let mut rest = String::new();
+    lines.read_to_string(&mut rest).expect("read drain report");
+    assert!(rest.contains("drained"), "missing drain report: {rest:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -505,6 +505,20 @@ pub struct ServingBundle {
 }
 
 impl ServingBundle {
+    /// Assemble a bundle from in-memory parts (no disk involved). This is
+    /// the construction path for servers and load generators that build or
+    /// receive artifacts directly; generation numbers are `None` because
+    /// nothing came from a slot.
+    pub fn from_parts(model: DeployedModel, stats: StatsDb, fidelity: Fidelity) -> Self {
+        Self {
+            model,
+            stats,
+            fidelity,
+            model_generation: None,
+            stats_generation: None,
+        }
+    }
+
     /// The loaded model.
     pub fn model(&self) -> &DeployedModel {
         &self.model
@@ -577,6 +591,14 @@ impl ScorerBuilder {
     pub fn retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// [`Self::load`], returning the bundle behind an [`Arc`](std::sync::Arc)
+    /// so a multi-threaded server can share one loaded bundle across its
+    /// worker pool (each worker builds its own cheap [`Scorer`] over the
+    /// shared data) and atomically swap in a replacement on hot reload.
+    pub fn load_shared(&self) -> Result<std::sync::Arc<ServingBundle>, MbError> {
+        self.load().map(std::sync::Arc::new)
     }
 
     /// Load the artifacts under the configured policy.
@@ -954,6 +976,47 @@ mod tests {
             Scorer::with_fidelity(&m, &stats, Fidelity::Degraded(DegradeReason::StatsMissing))
                 .score_pair(&r, &s);
         assert_eq!(full, degraded);
+    }
+
+    #[test]
+    fn serving_bundle_is_send_sync_and_shareable() {
+        // Compile-time contract for the HTTP server: a bundle must cross
+        // thread boundaries behind an Arc with no lifetime leaking out.
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<ServingBundle>();
+        assert_send_sync::<std::sync::Arc<ServingBundle>>();
+
+        let bundle = std::sync::Arc::new(ServingBundle::from_parts(
+            sample_model(),
+            StatsDb::new(),
+            Fidelity::Full,
+        ));
+        assert_eq!(bundle.model_generation(), None);
+        let shared = std::sync::Arc::clone(&bundle);
+        let handle = std::thread::spawn(move || {
+            let mut scorer = shared.scorer();
+            let r = Snippet::creative("air", "cheap flights", "book now");
+            let s = Snippet::creative("air", "flights with fees", "book now");
+            scorer.score_pair(&r, &s)
+        });
+        let from_thread = handle.join().expect("scoring thread");
+        let r = Snippet::creative("air", "cheap flights", "book now");
+        let s = Snippet::creative("air", "flights with fees", "book now");
+        assert_eq!(from_thread, bundle.scorer().score_pair(&r, &s));
+    }
+
+    #[test]
+    fn load_shared_returns_arc_bundle() {
+        let dir = tmp_dir("shared");
+        let model_path = dir.join("model.mbm");
+        sample_model().save(&model_path).unwrap();
+        let bundle = ScorerBuilder::new(&model_path)
+            .policy(LoadPolicy::Degrade)
+            .load_shared()
+            .expect("load_shared");
+        assert!(bundle.fidelity().is_degraded());
+        assert_eq!(std::sync::Arc::strong_count(&bundle), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -115,6 +115,16 @@ impl FaultPlan {
         Self { faults }
     }
 
+    /// A peer vanishing mid-request: bytes `[0, offset)` are delivered,
+    /// then the stream fails with `ConnectionReset`. The shape network
+    /// servers must survive on every read.
+    pub fn connection_kill_at(offset: usize) -> Self {
+        Self::new(vec![Fault::ErrorAt {
+            offset,
+            kind: std::io::ErrorKind::ConnectionReset,
+        }])
+    }
+
     /// Whether the plan can alter delivered bytes or end the stream early
     /// (as opposed to only fragmenting reads).
     pub fn is_lossy(&self) -> bool {

@@ -288,6 +288,216 @@ fn array_value(b: &[u8], mut pos: usize) -> Result<usize, usize> {
     }
 }
 
+// --- DOM parser ----------------------------------------------------------
+//
+// The HTTP server needs to *read* request bodies, not just validate them.
+// This is the smallest DOM that supports that: parse once, walk with
+// `get`/`as_*`. It accepts exactly the same grammar as `validate` (both
+// lean on the same scanners) plus a recursion-depth cap, because server
+// input is adversarial.
+
+/// Maximum nesting depth [`Json::parse`] accepts. Deeper input is rejected
+/// (it would otherwise let a hostile client drive stack growth).
+pub const MAX_PARSE_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish int/float).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys are kept; `get` returns
+    /// the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one complete JSON value. Returns the byte offset of the first
+    /// syntax error (or of the depth-limit violation), like [`validate`].
+    pub fn parse(s: &str) -> Result<Json, usize> {
+        let b = s.as_bytes();
+        let mut pos = skip_ws(b, 0);
+        let (v, end) = parse_value(b, pos, 0)?;
+        pos = skip_ws(b, end);
+        if pos == b.len() {
+            Ok(v)
+        } else {
+            Err(pos)
+        }
+    }
+
+    /// Object member lookup (None for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn parse_value(b: &[u8], pos: usize, depth: usize) -> Result<(Json, usize), usize> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(pos);
+    }
+    match b.get(pos) {
+        Some(b'{') => parse_object(b, pos, depth),
+        Some(b'[') => parse_array(b, pos, depth),
+        Some(b'"') => {
+            let end = string(b, pos)?;
+            let s = decode_string(&b[pos + 1..end - 1]).ok_or(pos)?;
+            Ok((Json::Str(s), end))
+        }
+        Some(b't') => literal(b, pos, b"true").map(|end| (Json::Bool(true), end)),
+        Some(b'f') => literal(b, pos, b"false").map(|end| (Json::Bool(false), end)),
+        Some(b'n') => literal(b, pos, b"null").map(|end| (Json::Null, end)),
+        Some(b'-' | b'0'..=b'9') => {
+            let end = number(b, pos)?;
+            let text = std::str::from_utf8(&b[pos..end]).map_err(|_| pos)?;
+            let n: f64 = text.parse().map_err(|_| pos)?;
+            Ok((Json::Num(n), end))
+        }
+        _ => Err(pos),
+    }
+}
+
+fn parse_object(b: &[u8], mut pos: usize, depth: usize) -> Result<(Json, usize), usize> {
+    let mut members = Vec::new();
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok((Json::Obj(members), pos + 1));
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(pos);
+        }
+        let key_end = string(b, pos)?;
+        let key = decode_string(&b[pos + 1..key_end - 1]).ok_or(pos)?;
+        pos = skip_ws(b, key_end);
+        if b.get(pos) != Some(&b':') {
+            return Err(pos);
+        }
+        let (v, end) = parse_value(b, skip_ws(b, pos + 1), depth + 1)?;
+        members.push((key, v));
+        pos = skip_ws(b, end);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok((Json::Obj(members), pos + 1)),
+            _ => return Err(pos),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], mut pos: usize, depth: usize) -> Result<(Json, usize), usize> {
+    let mut items = Vec::new();
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok((Json::Arr(items), pos + 1));
+    }
+    loop {
+        let (v, end) = parse_value(b, pos, depth + 1)?;
+        items.push(v);
+        pos = skip_ws(b, end);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok((Json::Arr(items), pos + 1)),
+            _ => return Err(pos),
+        }
+    }
+}
+
+/// Decode the *inside* of a validated JSON string literal (escapes, incl.
+/// `\uXXXX` surrogate pairs). Returns None on invalid UTF-8/surrogates.
+fn decode_string(raw: &[u8]) -> Option<String> {
+    let s = std::str::from_utf8(raw).ok()?;
+    if !s.contains('\\') {
+        return Some(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hi = hex4(&mut chars)?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a `\uXXXX` low surrogate must follow.
+                    if chars.next()? != '\\' || chars.next()? != 'u' {
+                        return None;
+                    }
+                    let lo = hex4(&mut chars)?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return None;
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        v = v * 16 + chars.next()?.to_digit(16)?;
+    }
+    Some(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,5 +564,52 @@ mod tests {
     fn escape_handles_control_chars() {
         assert_eq!(escape("\u{1}"), "\\u0001");
         assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn dom_parses_what_builder_writes() {
+        let rendered = JsonObject::new()
+            .str("r", "line1|line2")
+            .f64("score", -1.25)
+            .bool("ok", true)
+            .raw("arr", &array(&["1".into(), "\"two\"".into()]))
+            .raw("nested", &JsonObject::new().u64("x", 3).finish())
+            .finish();
+        let v = Json::parse(&rendered).expect("round trip");
+        assert_eq!(v.get("r").and_then(Json::as_str), Some("line1|line2"));
+        assert_eq!(v.get("score").and_then(Json::as_f64), Some(-1.25));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let arr = v.get("arr").and_then(Json::as_array).unwrap();
+        assert_eq!(arr, &[Json::Num(1.0), Json::Str("two".into())]);
+        assert_eq!(
+            v.get("nested")
+                .and_then(|n| n.get("x"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(v.get("absent"), None);
+    }
+
+    #[test]
+    fn dom_decodes_escapes_and_surrogates() {
+        let v = Json::parse(r#""a\"b\\c\n\té😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\n\té😀"));
+        // Lone high surrogate is rejected.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn dom_rejects_what_validator_rejects() {
+        for bad in ["", "{", "{\"a\":1,}", "[1,]", "01", "nul", "{\"a\":1}x"] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn dom_depth_limit_bounds_recursion() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(10) + "1" + &"]".repeat(10);
+        assert!(Json::parse(&ok).is_ok());
     }
 }

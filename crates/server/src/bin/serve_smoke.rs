@@ -1,0 +1,271 @@
+//! Server smoke gate (wired into `scripts/check.sh`).
+//!
+//! Exercises the full `microbrowse serve` lifecycle against the real CLI
+//! binary:
+//!
+//! 1. train artifacts into a slot directory;
+//! 2. start `microbrowse serve` on an ephemeral port;
+//! 3. hit `/v1/score`, `/healthz`, `/metrics`;
+//! 4. under sustained multi-threaded load, commit a new slot generation
+//!    and assert a hot reload happens with **zero** failed requests;
+//! 5. close the server's stdin and assert graceful shutdown (drain
+//!    report, exit 0) within the deadline.
+//!
+//! Usage: `serve_smoke --bin ./target/release/microbrowse [--dir TMPDIR]`
+
+use std::io::{BufRead, BufReader, Read};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use microbrowse_core::serve::MODEL_SLOT_NAME;
+use microbrowse_server::client::Client;
+use microbrowse_store::ArtifactSlot;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("OK: serve smoke gate green");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve_smoke FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Kills the serve child on scope exit so a failed assertion cannot leak a
+/// listener.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn flag(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run() -> Result<(), String> {
+    let bin = flag("--bin").ok_or("missing --bin PATH (the microbrowse binary)")?;
+    let dir = flag("--dir").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("mb-serve-smoke-{}", std::process::id()))
+    });
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+    // 1. Train a small model + stats into the slot directory.
+    let train = Command::new(&bin)
+        .args(["train", "--adgroups", "120", "--seed", "3", "--spec", "m4"])
+        .arg("--model")
+        .arg(&dir)
+        .arg("--stats")
+        .arg(&dir)
+        .output()
+        .map_err(|e| format!("spawn train: {e}"))?;
+    if !train.status.success() {
+        return Err(format!(
+            "train failed: {}",
+            String::from_utf8_lossy(&train.stderr)
+        ));
+    }
+
+    // 2. Serve on an ephemeral port, stdin piped (EOF = shutdown signal).
+    let mut child = ChildGuard(
+        Command::new(&bin)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--queue-depth",
+                "64",
+            ])
+            .arg("--slot-dir")
+            .arg(&dir)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn serve: {e}"))?,
+    );
+    let stdout = child.0.stdout.take().ok_or("serve stdout not captured")?;
+    let mut lines = BufReader::new(stdout);
+    let mut first = String::new();
+    lines
+        .read_line(&mut first)
+        .map_err(|e| format!("read serve stdout: {e}"))?;
+    let addr: SocketAddr = first
+        .trim()
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected serve banner: {first:?}"))?
+        .parse()
+        .map_err(|e| format!("bad address in banner {first:?}: {e}"))?;
+
+    // 3. Basic endpoint checks.
+    let mut probe = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let health = probe.get("/healthz").map_err(|e| format!("healthz: {e}"))?;
+    if health.status != 200 || !health.body_str().contains("\"status\":\"ok\"") {
+        return Err(format!(
+            "healthz expected 200 ok, got {} {}",
+            health.status,
+            health.body_str()
+        ));
+    }
+    let score = probe
+        .post(
+            "/v1/score",
+            "{\"r\":\"cheap flights|book now|save today\",\"s\":\"flights|book|standard fare\"}",
+        )
+        .map_err(|e| format!("score: {e}"))?;
+    if score.status != 200 || !score.body_str().contains("\"score\":") {
+        return Err(format!(
+            "score expected 200 with score field, got {} {}",
+            score.status,
+            score.body_str()
+        ));
+    }
+    let metrics = probe.get("/metrics").map_err(|e| format!("metrics: {e}"))?;
+    if metrics.status != 200
+        || !metrics
+            .body_str()
+            .contains("microbrowse_http_requests_total")
+    {
+        return Err("metrics dump missing microbrowse_http_requests_total".into());
+    }
+
+    // 4. Hot reload under sustained load, zero failed requests allowed.
+    let stop = Arc::new(AtomicBool::new(false));
+    let ok_count = Arc::new(AtomicU64::new(0));
+    let err_count = Arc::new(AtomicU64::new(0));
+    let loaders: Vec<_> = (0..3)
+        .map(|_| {
+            let (stop, ok_count, err_count) = (
+                Arc::clone(&stop),
+                Arc::clone(&ok_count),
+                Arc::clone(&err_count),
+            );
+            std::thread::spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        err_count.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    match client.post(
+                        "/v1/score",
+                        "{\"r\":\"cheap flights|book now\",\"s\":\"flights|book\"}",
+                    ) {
+                        Ok(resp) if resp.status == 200 => {
+                            ok_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            err_count.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(300));
+    // Commit a fresh model generation (byte-identical is enough to bump
+    // the generation number and trigger the swap).
+    let slot = ArtifactSlot::new(&dir, MODEL_SLOT_NAME);
+    let current = slot
+        .manifest_generation()
+        .ok_or("model slot has no manifest")?;
+    let bytes = std::fs::read(slot.generation_path(current))
+        .map_err(|e| format!("read generation {current}: {e}"))?;
+    let committed = slot
+        .commit(&bytes)
+        .map_err(|e| format!("commit new generation: {e}"))?;
+
+    // Wait for the server to pick it up.
+    let reload_deadline = Instant::now() + Duration::from_secs(10);
+    let mut reloaded = false;
+    while Instant::now() < reload_deadline {
+        let health = probe.get("/healthz").map_err(|e| format!("healthz: {e}"))?;
+        if health
+            .body_str()
+            .contains(&format!("\"model_generation\":{committed}"))
+        {
+            reloaded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // Keep hammering briefly across the swap, then stop.
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+    for h in loaders {
+        h.join().map_err(|_| "load thread panicked")?;
+    }
+    if !reloaded {
+        return Err(format!(
+            "hot reload to generation {committed} not observed within deadline"
+        ));
+    }
+    let ok = ok_count.load(Ordering::Relaxed);
+    let errs = err_count.load(Ordering::Relaxed);
+    if errs > 0 || ok == 0 {
+        return Err(format!(
+            "sustained load saw {errs} failed request(s) ({ok} ok) across the reload"
+        ));
+    }
+    let metrics = probe.get("/metrics").map_err(|e| format!("metrics: {e}"))?;
+    let body = metrics.body_str();
+    let reloads = body
+        .lines()
+        .find_map(|l| l.strip_prefix("microbrowse_serve_reloads_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .ok_or("metrics dump missing microbrowse_serve_reloads_total")?;
+    if reloads < 1 {
+        return Err("serve.reload counter did not increment".into());
+    }
+    drop(probe);
+
+    // 5. Graceful shutdown: close stdin, expect exit 0 within deadline.
+    drop(child.0.stdin.take());
+    let exit_deadline = Instant::now() + Duration::from_secs(15);
+    let status = loop {
+        if let Some(status) = child.0.try_wait().map_err(|e| format!("try_wait: {e}"))? {
+            break status;
+        }
+        if Instant::now() >= exit_deadline {
+            return Err("serve did not exit within the drain deadline".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    if !status.success() {
+        return Err(format!("serve exited with {status}"));
+    }
+    let mut rest = String::new();
+    lines
+        .read_to_string(&mut rest)
+        .map_err(|e| format!("read drain report: {e}"))?;
+    if !rest.contains("drained") {
+        return Err(format!("missing drain report in serve output: {rest:?}"));
+    }
+    println!(
+        "serve smoke: {ok} requests ok across reload (gen {current} -> {committed}), {rest}",
+        rest = rest.trim()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! Minimal blocking HTTP/1.1 client.
+//!
+//! Exists so the integration tests, the `serve_smoke` gate, and the
+//! `bench_serve` load generator can drive the server without external
+//! tooling (`curl` is not guaranteed in the build environment). Keep-alive
+//! is the default: one [`Client`] holds one connection and reuses it
+//! across requests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (`Content-Length` framing).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One keep-alive connection to a server.
+pub struct Client {
+    stream: TcpStream,
+    leftover: Vec<u8>,
+}
+
+fn bad_response(detail: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail.to_string())
+}
+
+impl Client {
+    /// Connect with 5-second IO timeouts.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connect with explicit IO timeouts.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self {
+            stream,
+            leftover: Vec::new(),
+        })
+    }
+
+    /// Send one request and read the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: microbrowse\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        if !body.is_empty() {
+            self.stream.write_all(body.as_bytes())?;
+        }
+        self.read_response()
+    }
+
+    /// Shorthand for `GET`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Shorthand for a JSON `POST`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn fill(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        self.leftover.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let head_end = loop {
+            if let Some(i) = self.leftover.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            if self.fill()? == 0 {
+                return Err(bad_response("connection closed mid-response"));
+            }
+        };
+        let head = String::from_utf8(self.leftover[..head_end - 4].to_vec())
+            .map_err(|_| bad_response("response head not UTF-8"))?;
+        self.leftover.drain(..head_end);
+
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or_else(|| bad_response("empty response"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_response("malformed status line"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad_response("malformed response header"))?;
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or_else(|| bad_response("missing content-length"))?;
+        while self.leftover.len() < length {
+            if self.fill()? == 0 {
+                return Err(bad_response("connection closed mid-body"));
+            }
+        }
+        let body = self.leftover.drain(..length).collect();
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

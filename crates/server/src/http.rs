@@ -1,0 +1,546 @@
+//! Strict HTTP/1.1 request parsing and response writing.
+//!
+//! Network input is adversarial, so the parser is deliberately small and
+//! strict: `Content-Length` bodies only (no chunked transfer coding),
+//! bounded head/body/header-count limits, and a typed error for every way
+//! a request can go wrong. The contract — enforced by the property tests
+//! in `tests/http_parser.rs` — is that arbitrary bytes, arbitrarily
+//! fragmented or cut, **never panic** the parser: every input either
+//! yields a request, a clean close, or an [`HttpError`] that maps to
+//! `400`/`408`/`413` (or a silent close for idle timeouts and IO faults).
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Parser resource bounds. Defaults are generous for scoring payloads and
+/// small enough that a hostile peer cannot balloon per-connection memory.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers (including CRLFs).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` a request may declare.
+    pub max_body_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 256 * 1024,
+            max_headers: 64,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, as sent (e.g. `GET`).
+    pub method: String,
+    /// Full request target (path plus optional `?query`).
+    pub target: String,
+    /// Headers with names lowercased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes; empty without the header).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// The target with any `?query` suffix removed.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// First header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Everything that can go wrong while reading one request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request (syntax, truncation mid-message, unsupported
+    /// framing). Answer `400` and close.
+    BadRequest(&'static str),
+    /// Head or declared body over the configured limits. Answer `413`.
+    TooLarge(&'static str),
+    /// The socket read timed out. `mid_request` distinguishes a stalled
+    /// partial request (answer `408`) from an idle keep-alive connection
+    /// (close silently).
+    Timeout {
+        /// True when bytes of an unfinished request had already arrived.
+        mid_request: bool,
+    },
+    /// The connection failed at the IO layer; close without a response.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The status code to answer with, or `None` when the connection
+    /// should simply close (idle timeout, dead socket).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::BadRequest(_) => Some(400),
+            HttpError::TooLarge(_) => Some(413),
+            HttpError::Timeout { mid_request: true } => Some(408),
+            HttpError::Timeout { mid_request: false } | HttpError::Io(_) => None,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn detail(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(d) | HttpError::TooLarge(d) => d,
+            HttpError::Timeout { .. } => "request timed out",
+            HttpError::Io(_) => "connection error",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(d) => write!(f, "bad request: {d}"),
+            HttpError::TooLarge(d) => write!(f, "request too large: {d}"),
+            HttpError::Timeout { mid_request } => {
+                write!(f, "timeout (mid_request: {mid_request})")
+            }
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// Incremental request reader over any byte stream. Buffers leftovers
+/// between calls, so pipelined requests parse correctly.
+pub struct RequestReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// Wrap `inner` with the given limits.
+    pub fn new(inner: R, limits: Limits) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(1024),
+            limits,
+        }
+    }
+
+    /// Read one request. `Ok(None)` means the peer closed cleanly between
+    /// requests (normal end of a keep-alive session).
+    pub fn next_request(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        // Accumulate until the blank line ending the head.
+        let head_end = loop {
+            if let Some(i) = find(&self.buf, b"\r\n\r\n") {
+                break i + 4;
+            }
+            if self.buf.len() >= self.limits.max_head_bytes {
+                return Err(HttpError::TooLarge("request head over limit"));
+            }
+            if self.fill()? == 0 {
+                return if self.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(HttpError::BadRequest("connection closed mid-head"))
+                };
+            }
+        };
+        if head_end > self.limits.max_head_bytes {
+            return Err(HttpError::TooLarge("request head over limit"));
+        }
+
+        let mut req = parse_head(&self.buf[..head_end - 4], &self.limits)?;
+        let body_len = body_length(&req, &self.limits)?;
+        self.buf.drain(..head_end);
+
+        while self.buf.len() < body_len {
+            match self.fill() {
+                Ok(0) => return Err(HttpError::BadRequest("connection closed mid-body")),
+                Ok(_) => {}
+                Err(HttpError::Timeout { .. }) => {
+                    return Err(HttpError::Timeout { mid_request: true })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        req.body = self.buf.drain(..body_len).collect();
+        Ok(Some(req))
+    }
+
+    /// One `read` into the buffer; maps timeouts to [`HttpError::Timeout`]
+    /// (mid-request iff bytes are already pending) and retries EINTR.
+    fn fill(&mut self) -> Result<usize, HttpError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.inner.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(HttpError::Timeout {
+                        mid_request: !self.buf.is_empty(),
+                    })
+                }
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+    }
+}
+
+/// First offset of `needle` in `haystack`.
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// RFC 9110 `token` characters (header names, methods).
+fn is_token_byte(b: u8) -> bool {
+    matches!(b,
+        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' | b'^' | b'_'
+        | b'`' | b'|' | b'~' | b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z')
+}
+
+/// Parse request line + headers (the bytes before the blank line).
+fn parse_head(head: &[u8], limits: &Limits) -> Result<HttpRequest, HttpError> {
+    let head = std::str::from_utf8(head)
+        .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or(HttpError::BadRequest("empty request head"))?;
+
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequest("malformed request line")),
+    };
+    if !method.bytes().all(is_token_byte) {
+        return Err(HttpError::BadRequest("malformed method"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(
+            "request target must be absolute path",
+        ));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::BadRequest("unsupported HTTP version")),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooLarge("too many headers"));
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(HttpError::BadRequest("obsolete header folding"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("malformed header line"))?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some(v) if v.split(',').any(|t| t.trim() == "close") => false,
+        Some(v) if v.split(',').any(|t| t.trim() == "keep-alive") => true,
+        _ => http11,
+    };
+
+    Ok(HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+        keep_alive,
+    })
+}
+
+/// Validate framing headers and return the declared body length.
+fn body_length(req: &HttpRequest, limits: &Limits) -> Result<usize, HttpError> {
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "transfer-encoding unsupported (use content-length)",
+        ));
+    }
+    let mut declared: Option<u64> = None;
+    for (name, value) in &req.headers {
+        if name != "content-length" {
+            continue;
+        }
+        let parsed: u64 = value
+            .parse()
+            .map_err(|_| HttpError::BadRequest("malformed content-length"))?;
+        match declared {
+            Some(prev) if prev != parsed => {
+                return Err(HttpError::BadRequest("conflicting content-length headers"))
+            }
+            _ => declared = Some(parsed),
+        }
+    }
+    let len = declared.unwrap_or(0);
+    if len > limits.max_body_bytes as u64 {
+        return Err(HttpError::TooLarge("request body over limit"));
+    }
+    Ok(len as usize)
+}
+
+// --- responses -----------------------------------------------------------
+
+/// A response ready to serialize: status, body, and framing headers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` seconds (backpressure rejections).
+    pub retry_after: Option<u32>,
+    /// Whether to answer `Connection: close` and end the session.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// Set `Retry-After` (seconds).
+    pub fn retry_after(mut self, secs: u32) -> Self {
+        self.retry_after = Some(secs);
+        self
+    }
+
+    /// Mark the connection for closing after this response.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Serialize head + body to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        use std::fmt::Write as _;
+        let mut head = String::with_capacity(128);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        );
+        if let Some(secs) = self.retry_after {
+            let _ = write!(head, "Retry-After: {secs}\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The response (if any) for a parse error: `None` means close silently.
+pub fn error_response(err: &HttpError) -> Option<Response> {
+    let status = err.status()?;
+    let body = microbrowse_obs::json::JsonObject::new()
+        .str("error", err.detail())
+        .finish();
+    Some(Response::json(status, body).closing())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(input: &[u8]) -> Result<Option<HttpRequest>, HttpError> {
+        RequestReader::new(input, Limits::default()).next_request()
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let req = read_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+
+        let req = read_all(b"POST /v1/score HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("content-length"), Some("4"));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let bytes = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nxyGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = RequestReader::new(&bytes[..], Limits::default());
+        let first = reader.next_request().unwrap().unwrap();
+        assert_eq!((first.path(), first.body.as_slice()), ("/a", &b"xy"[..]));
+        let second = reader.next_request().unwrap().unwrap();
+        assert_eq!(second.path(), "/b");
+        assert!(reader.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_eof_and_truncations() {
+        assert!(read_all(b"").unwrap().is_none());
+        assert!(matches!(
+            read_all(b"GET / HTTP/1.1\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            read_all(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        for (bytes, want_413) in [
+            (&b"GET / HTTP/2\r\n\r\n"[..], false),
+            (&b"GET /\r\n\r\n"[..], false),
+            (&b"GET relative HTTP/1.1\r\n\r\n"[..], false),
+            (&b"GET / HTTP/1.1\r\nbad header\r\n\r\n"[..], false),
+            (&b"GET / HTTP/1.1\r\n folded: x\r\n\r\n"[..], false),
+            (
+                &b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+                false,
+            ),
+            (
+                &b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+                false,
+            ),
+            (
+                &b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n"[..],
+                false,
+            ),
+            (
+                &b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"[..],
+                true,
+            ),
+        ] {
+            let got = read_all(bytes);
+            match got {
+                Err(HttpError::BadRequest(_)) if !want_413 => {}
+                Err(HttpError::TooLarge(_)) if want_413 => {}
+                other => panic!("{:?} -> {:?}", String::from_utf8_lossy(bytes), other),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_413() {
+        let mut bytes = b"GET / HTTP/1.1\r\n".to_vec();
+        bytes.extend(vec![b'a'; Limits::default().max_head_bytes]);
+        assert!(matches!(read_all(&bytes), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let req = read_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = read_all(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = read_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn responses_serialize_with_framing() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into()).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        Response::text(503, "busy".into())
+            .retry_after(1)
+            .closing()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn error_responses_map_statuses() {
+        assert_eq!(
+            error_response(&HttpError::BadRequest("x")).map(|r| r.status),
+            Some(400)
+        );
+        assert_eq!(
+            error_response(&HttpError::TooLarge("x")).map(|r| r.status),
+            Some(413)
+        );
+        assert_eq!(
+            error_response(&HttpError::Timeout { mid_request: true }).map(|r| r.status),
+            Some(408)
+        );
+        assert!(error_response(&HttpError::Timeout { mid_request: false }).is_none());
+        assert!(error_response(&HttpError::Io(std::io::Error::other("x"))).is_none());
+    }
+}

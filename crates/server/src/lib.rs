@@ -1,0 +1,36 @@
+//! `microbrowse-server` — the network face of the serve path.
+//!
+//! A std-only (zero external dependencies) threaded HTTP/1.1 server that
+//! exposes the pairwise snippet scorer over loopback or LAN:
+//!
+//! * `POST /v1/score` — score one creative pair (`{"r": "...", "s": "..."}`).
+//! * `POST /v1/rank` — rank creatives best-first (`{"creatives": [...]}`).
+//! * `GET /healthz` — slot generations, fidelity, queue depth; `503` when
+//!   degraded or draining.
+//! * `GET /metrics` — Prometheus text dump of the `microbrowse-obs`
+//!   registry.
+//! * `GET /version` — crate name + version.
+//!
+//! Architecture (DESIGN.md §11): a strict bounded HTTP parser feeds an
+//! accept loop that pushes connections onto a **bounded queue** drained by
+//! a fixed worker pool — saturation answers `503 Retry-After` immediately
+//! instead of queueing unboundedly. A background thread polls the
+//! [`ArtifactSlot`](microbrowse_store::ArtifactSlot) manifests and
+//! **hot-swaps** a freshly loaded `Arc<ServingBundle>` with zero downtime.
+//! Shutdown drains in-flight sessions up to a deadline and reports
+//! drained/aborted counts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod state;
+
+pub use server::{
+    start, BundleSource, DrainReport, ServerConfig, ServerHandle, HTTP_METRIC_COUNTERS,
+    HTTP_METRIC_HISTOGRAMS,
+};
+pub use state::{ReloadSource, ServeState};

@@ -1,0 +1,210 @@
+//! Bounded MPMC work queue (mutex + condvar, std only).
+//!
+//! The accept loop pushes accepted connections with [`Bounded::try_push`],
+//! which **fails immediately when full** — that failure is the server's
+//! backpressure signal (the caller answers `503 Retry-After`). Workers
+//! block in [`Bounded::pop_timeout`] with a short timeout so they can
+//! notice shutdown flags between items.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed for shutdown; the item is handed back.
+    Closed(T),
+}
+
+/// What a timed pop produced.
+#[derive(Debug)]
+pub enum Popped<T> {
+    /// An item.
+    Item(T),
+    /// Nothing arrived within the timeout; the queue is still open.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO shared between the accept loop and the worker pool.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    /// An empty queue holding at most `cap` items (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap.max(1)),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // A panic while holding this lock is already a bug elsewhere;
+        // serving should continue rather than cascade the poison.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueue without blocking. Returns the new depth, or the item back
+    /// when full/closed.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeue, waiting up to `timeout` for an item.
+    pub fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Popped::Item(item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let (guard, wait) = self
+                .ready
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if wait.timed_out() {
+                return match inner.items.pop_front() {
+                    Some(item) => Popped::Item(item),
+                    None if inner.closed => Popped::Closed,
+                    None => Popped::TimedOut,
+                };
+            }
+        }
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Refuse new pushes and wake every waiting popper. Queued items stay
+    /// poppable until drained.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Take everything still queued (shutdown accounting for never-served
+    /// connections).
+    pub fn drain(&self) -> Vec<T> {
+        self.lock().items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1).ok(), Some(1));
+        assert_eq!(q.try_push(2).ok(), Some(2));
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Item(1)
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Item(2)
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::TimedOut
+        ));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = Bounded::new(4);
+        q.try_push("a").ok();
+        q.close();
+        assert!(matches!(q.try_push("b"), Err(PushError::Closed("b"))));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Item("a")
+        ));
+        assert!(matches!(
+            q.pop_timeout(Duration::from_millis(1)),
+            Popped::Closed
+        ));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(Bounded::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.pop_timeout(Duration::from_millis(200)) {
+                        Popped::Item(v) => got.push(v),
+                        Popped::TimedOut => {}
+                        Popped::Closed => return got,
+                    }
+                }
+            })
+        };
+        for i in 0..100 {
+            loop {
+                match q.try_push(i) {
+                    Ok(_) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => panic!("closed early"),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().expect("consumer");
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_returns_leftovers() {
+        let q = Bounded::new(4);
+        q.try_push(1).ok();
+        q.try_push(2).ok();
+        q.close();
+        assert_eq!(q.drain(), vec![1, 2]);
+        assert!(q.is_empty());
+    }
+}

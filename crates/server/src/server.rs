@@ -1,0 +1,554 @@
+//! The threaded HTTP server: accept loop → bounded queue → worker pool,
+//! with hot reload and graceful drain.
+//!
+//! ```text
+//!              ┌────────────┐   try_push    ┌─────────────┐
+//!  clients ──▶ │ accept loop │ ───────────▶ │ bounded queue│ ──▶ workers × N
+//!              └────────────┘   full? 503   └─────────────┘        │
+//!                                                                  ▼
+//!  slot dir ──▶ reload thread ── Arc-swap ──▶ ServeState ──▶ Scorer per
+//!               (manifest poll)               (epoch++)      connection-epoch
+//! ```
+//!
+//! Each worker owns one connection at a time and serves its whole
+//! keep-alive session. Between requests it checks the reload epoch and
+//! rebuilds its scorer over the freshly swapped bundle when it changed —
+//! requests in flight finish on the bundle they started with.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use microbrowse_core::error::MbError;
+use microbrowse_core::serve::{Fidelity, Scorer, ServingBundle};
+use microbrowse_obs as obs;
+use microbrowse_obs::json::{array, Json, JsonObject};
+use microbrowse_text::Snippet;
+
+use crate::http::{error_response, HttpRequest, Limits, RequestReader, Response};
+use crate::queue::{Bounded, Popped, PushError};
+use crate::state::{reload_loop, ReloadSource, ServeState};
+
+/// Server tuning knobs. The defaults suit tests and small deployments.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Bounded queue depth; pushes beyond it answer `503`.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout (also the idle keep-alive
+    /// timeout, and the bound on how long an aborted drain can linger).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// HTTP parser limits.
+    pub limits: Limits,
+    /// How often the reload thread polls the slot manifests.
+    pub reload_poll: Duration,
+    /// How long [`ServerHandle::shutdown`] waits for in-flight sessions
+    /// before force-aborting them.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 128,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            limits: Limits::default(),
+            reload_poll: Duration::from_millis(200),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Where the server gets its serving bundle.
+pub enum BundleSource {
+    /// A fixed in-memory bundle; no hot reload (benchmarks, tests).
+    Static(Arc<ServingBundle>),
+    /// Load from artifact paths; slot directories hot-reload on new
+    /// generations.
+    Artifacts(ReloadSource),
+}
+
+/// What the drain accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests completed after shutdown began.
+    pub drained: u64,
+    /// Connections cut off mid-session or never served.
+    pub aborted: u64,
+}
+
+/// Counters/gauges/histograms the server touches, pre-registered at start
+/// so `/metrics` exposes the full alertable surface from the first scrape.
+pub const HTTP_METRIC_COUNTERS: &[&str] = &[
+    "microbrowse_http_requests_total",
+    "microbrowse_http_responses_5xx_total",
+    "microbrowse_http_responses_4xx_total",
+    "microbrowse_http_rejected_total",
+    "microbrowse_http_bad_requests_total",
+    "microbrowse_http_connections_total",
+    "microbrowse_serve_reloads_total",
+    "microbrowse_serve_reload_failures_total",
+];
+
+/// Per-endpoint latency histograms (microseconds).
+pub const HTTP_METRIC_HISTOGRAMS: &[&str] = &[
+    "microbrowse_http_score_latency_us",
+    "microbrowse_http_rank_latency_us",
+    "microbrowse_http_other_latency_us",
+];
+
+struct Shared {
+    state: ServeState,
+    queue: Bounded<TcpStream>,
+    cfg: ServerConfig,
+    draining: AtomicBool,
+    force_abort: AtomicBool,
+    drained: AtomicU64,
+    aborted: AtomicU64,
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    reload: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Bind, load the initial bundle, and start the accept/worker/reload
+/// threads. Instrumentation (obs) is enabled process-wide so `/metrics`
+/// observes real traffic.
+pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, MbError> {
+    obs::set_enabled(true);
+    let registry = obs::metrics::registry();
+    for name in HTTP_METRIC_COUNTERS {
+        registry.counter(name);
+    }
+    for name in HTTP_METRIC_HISTOGRAMS {
+        registry.histogram(name);
+    }
+    registry.gauge("microbrowse_http_queue_depth");
+
+    let (bundle, reload_source) = match source {
+        BundleSource::Static(bundle) => (bundle, None),
+        BundleSource::Artifacts(src) => {
+            let bundle = src.builder().load_shared()?;
+            let reloadable = src.reloadable();
+            (bundle, reloadable.then_some(src))
+        }
+    };
+
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| MbError::io(format!("bind {}", cfg.addr), e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| MbError::io("local_addr", e))?;
+
+    let shared = Arc::new(Shared {
+        state: ServeState::new(bundle),
+        queue: Bounded::new(cfg.queue_depth),
+        cfg,
+        draining: AtomicBool::new(false),
+        force_abort: AtomicBool::new(false),
+        drained: AtomicU64::new(0),
+        aborted: AtomicU64::new(0),
+    });
+
+    let workers = (0..shared.cfg.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&shared, listener))
+    };
+    let reload = reload_source.map(|src| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            reload_loop(
+                &shared.state,
+                &src,
+                shared.cfg.reload_poll,
+                &shared.draining,
+            )
+        })
+    });
+
+    obs::trace::event("serve.start")
+        .with("addr", addr.to_string())
+        .with("workers", shared.cfg.workers as u64)
+        .with("queue_depth", shared.cfg.queue_depth as u64);
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        reload,
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Completed hot reloads so far.
+    pub fn reloads(&self) -> u64 {
+        self.shared.state.reloads()
+    }
+
+    /// Whether the currently served bundle is degraded (term-only).
+    pub fn degraded(&self) -> bool {
+        self.shared.state.current().fidelity().is_degraded()
+    }
+
+    /// Graceful shutdown: stop accepting, serve what is queued, give
+    /// in-flight sessions until the drain deadline, then force-abort the
+    /// rest. Returns the drained/aborted accounting.
+    pub fn shutdown(mut self) -> DrainReport {
+        let started = Instant::now();
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Unblock the accept loop: it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.queue.close();
+        if let Some(h) = self.reload.take() {
+            let _ = h.join();
+        }
+
+        let deadline = started + self.shared.cfg.drain_deadline;
+        for h in &self.workers {
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if !h.is_finished() {
+                self.shared.force_abort.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Connections accepted but never served count as aborted.
+        let unserved = self.shared.queue.drain().len() as u64;
+        self.shared.aborted.fetch_add(unserved, Ordering::Relaxed);
+
+        let report = DrainReport {
+            drained: self.shared.drained.load(Ordering::Relaxed),
+            aborted: self.shared.aborted.load(Ordering::Relaxed),
+        };
+        obs::trace::event("serve.shutdown")
+            .with("drained", report.drained)
+            .with("aborted", report.aborted)
+            .with("elapsed_ms", started.elapsed().as_millis() as u64);
+        report
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        obs::counter!("microbrowse_http_connections_total").inc();
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        match shared.queue.try_push(stream) {
+            Ok(depth) => {
+                obs::gauge!("microbrowse_http_queue_depth").set(depth as i64);
+            }
+            Err(PushError::Full(stream)) => reject_busy(stream),
+            Err(PushError::Closed(_)) => return,
+        }
+    }
+}
+
+/// The backpressure answer: an immediate `503` with `Retry-After`, written
+/// from the accept thread so a saturated worker pool cannot delay it.
+fn reject_busy(stream: TcpStream) {
+    obs::counter!("microbrowse_http_rejected_total").inc();
+    obs::trace::event("serve.rejected");
+    let body = JsonObject::new()
+        .str("error", "server busy, queue full")
+        .finish();
+    let _ = Response::json(503, body)
+        .retry_after(1)
+        .closing()
+        .write_to(&mut &stream);
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        match shared.queue.pop_timeout(Duration::from_millis(50)) {
+            Popped::Item(stream) => {
+                obs::gauge!("microbrowse_http_queue_depth").set(shared.queue.len() as i64);
+                serve_connection(shared, &stream);
+            }
+            Popped::TimedOut => {
+                if shared.force_abort.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Popped::Closed => return,
+        }
+    }
+}
+
+/// Serve one connection's whole keep-alive session. The outer loop pins a
+/// bundle + scorer for the current reload epoch; the inner loop serves
+/// requests until close, error, or epoch change.
+fn serve_connection(shared: &Shared, stream: &TcpStream) {
+    let mut reader = RequestReader::new(stream, shared.cfg.limits.clone());
+    'epoch: loop {
+        let epoch = shared.state.epoch();
+        let bundle = shared.state.current();
+        let mut scorer = bundle.scorer();
+        loop {
+            if shared.force_abort.load(Ordering::Relaxed) {
+                shared.aborted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if shared.state.epoch() != epoch {
+                continue 'epoch;
+            }
+            let draining = shared.draining.load(Ordering::SeqCst);
+            match reader.next_request() {
+                Ok(Some(req)) => {
+                    let mut resp = route(&req, &mut scorer, &bundle, shared);
+                    if draining || !req.keep_alive {
+                        resp.close = true;
+                    }
+                    let wrote = resp.write_to(&mut &*stream).is_ok();
+                    if draining {
+                        if wrote {
+                            shared.drained.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            shared.aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if resp.close || !wrote {
+                        return;
+                    }
+                }
+                Ok(None) => return, // clean close between requests
+                Err(e) => {
+                    if e.status().is_some() {
+                        obs::counter!("microbrowse_http_bad_requests_total").inc();
+                        obs::trace::event("serve.bad_request").with("error", e.to_string());
+                    }
+                    if let Some(resp) = error_response(&e) {
+                        let _ = resp.write_to(&mut &*stream);
+                    }
+                    // An idle keep-alive connection timing out during the
+                    // drain is a clean close, not an aborted request.
+                    let idle = matches!(e, crate::http::HttpError::Timeout { mid_request: false });
+                    if draining && !idle {
+                        shared.aborted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Dispatch one request, with per-endpoint metrics and a request span.
+fn route(
+    req: &HttpRequest,
+    scorer: &mut Scorer<'_>,
+    bundle: &ServingBundle,
+    shared: &Shared,
+) -> Response {
+    let started = obs::now_if_enabled();
+    let endpoint = match (req.method.as_str(), req.path()) {
+        ("POST", "/v1/score") => "score",
+        ("POST", "/v1/rank") => "rank",
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/version") => "version",
+        (_, "/v1/score" | "/v1/rank" | "/healthz" | "/metrics" | "/version") => "bad_method",
+        _ => "unknown",
+    };
+    let mut span = obs::trace::span("serve.request").with("endpoint", endpoint);
+    let resp = match endpoint {
+        "score" => handle_score(req, scorer),
+        "rank" => handle_rank(req, scorer),
+        "healthz" => handle_healthz(bundle, shared),
+        "metrics" => Response::text(200, obs::metrics::registry().render_prometheus()),
+        "version" => Response::json(
+            200,
+            JsonObject::new()
+                .str("name", "microbrowse-server")
+                .str("version", env!("CARGO_PKG_VERSION"))
+                .finish(),
+        ),
+        "bad_method" => Response::json(
+            405,
+            JsonObject::new()
+                .str("error", "method not allowed")
+                .finish(),
+        ),
+        _ => Response::json(
+            404,
+            JsonObject::new()
+                .str("error", &format!("no such endpoint: {}", req.path()))
+                .finish(),
+        ),
+    };
+    span.add("status", resp.status as u64);
+
+    obs::counter!("microbrowse_http_requests_total").inc();
+    match endpoint {
+        "score" => obs::histogram!("microbrowse_http_score_latency_us").observe_since(started),
+        "rank" => obs::histogram!("microbrowse_http_rank_latency_us").observe_since(started),
+        _ => obs::histogram!("microbrowse_http_other_latency_us").observe_since(started),
+    }
+    match resp.status {
+        400..=499 => obs::counter!("microbrowse_http_responses_4xx_total").inc(),
+        500..=599 => obs::counter!("microbrowse_http_responses_5xx_total").inc(),
+        _ => {}
+    }
+    resp
+}
+
+/// Parse the JSON request body, answering 400 with a reason on any shape
+/// mismatch.
+fn parse_body(req: &HttpRequest) -> Result<Json, Response> {
+    let bad = |msg: &str| Response::json(400, JsonObject::new().str("error", msg).finish());
+    let text = std::str::from_utf8(&req.body).map_err(|_| bad("body is not valid UTF-8"))?;
+    Json::parse(text).map_err(|at| bad(&format!("body is not valid JSON (error at byte {at})")))
+}
+
+/// A creative from its `|`-separated line form (same syntax as the CLI).
+fn parse_snippet(text: &str) -> Snippet {
+    Snippet::from_lines(text.split('|').map(str::trim))
+}
+
+/// Shared tail of score/rank responses: fidelity + optional degrade
+/// reason.
+fn with_fidelity(mut obj: JsonObject, fidelity: &Fidelity) -> JsonObject {
+    match fidelity {
+        Fidelity::Full => obj = obj.str("fidelity", "full"),
+        Fidelity::Degraded(reason) => {
+            obj = obj
+                .str("fidelity", "degraded")
+                .str("degrade_reason", &reason.to_string());
+        }
+    }
+    obj
+}
+
+/// `POST /v1/score` — body `{"r": "l1|l2|l3", "s": "l1|l2|l3"}`.
+fn handle_score(req: &HttpRequest, scorer: &mut Scorer<'_>) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let (Some(r), Some(s)) = (
+        body.get("r").and_then(Json::as_str),
+        body.get("s").and_then(Json::as_str),
+    ) else {
+        return Response::json(
+            400,
+            JsonObject::new()
+                .str("error", "body must have string fields \"r\" and \"s\"")
+                .finish(),
+        );
+    };
+    let started = Instant::now();
+    let outcome = scorer.score_pair_outcome(&parse_snippet(r), &parse_snippet(s));
+    let obj = JsonObject::new()
+        .f64("score", outcome.score)
+        .str("winner", if outcome.score > 0.0 { "R" } else { "S" });
+    let obj = with_fidelity(obj, &outcome.fidelity)
+        .u64("latency_us", started.elapsed().as_micros() as u64);
+    Response::json(200, obj.finish())
+}
+
+/// `POST /v1/rank` — body `{"creatives": ["l1|l2|l3", ...]}` (≥ 2).
+fn handle_rank(req: &HttpRequest, scorer: &mut Scorer<'_>) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let creatives: Option<Vec<Snippet>> =
+        body.get("creatives")
+            .and_then(Json::as_array)
+            .and_then(|items| {
+                items
+                    .iter()
+                    .map(|v| v.as_str().map(parse_snippet))
+                    .collect()
+            });
+    let Some(creatives) = creatives else {
+        return Response::json(
+            400,
+            JsonObject::new()
+                .str("error", "body must have a string array field \"creatives\"")
+                .finish(),
+        );
+    };
+    if creatives.len() < 2 {
+        return Response::json(
+            400,
+            JsonObject::new()
+                .str("error", "ranking needs at least two creatives")
+                .finish(),
+        );
+    }
+    let started = Instant::now();
+    let order = scorer.rank(&creatives);
+    let rendered: Vec<String> = order.iter().map(|&i| (i + 1).to_string()).collect();
+    let obj = JsonObject::new().raw("order", &array(&rendered));
+    let obj = with_fidelity(obj, scorer.fidelity())
+        .u64("latency_us", started.elapsed().as_micros() as u64);
+    Response::json(200, obj.finish())
+}
+
+/// `GET /healthz` — `200` only when serving at full fidelity and not
+/// draining; degraded bundles answer `503` with the reason, so load
+/// balancers stop sending traffic that deserves full-fidelity scores.
+fn handle_healthz(bundle: &ServingBundle, shared: &Shared) -> Response {
+    let draining = shared.draining.load(Ordering::SeqCst);
+    let degraded = bundle.fidelity().is_degraded();
+    let status_text = if draining {
+        "draining"
+    } else if degraded {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let gen_json = |g: Option<u64>| g.map_or("null".to_string(), |g| g.to_string());
+    let obj = JsonObject::new()
+        .str("status", status_text)
+        .raw("model_generation", &gen_json(bundle.model_generation()))
+        .raw("stats_generation", &gen_json(bundle.stats_generation()))
+        .u64("queue_depth", shared.queue.len() as u64)
+        .u64("epoch", shared.state.epoch())
+        .u64("reloads", shared.state.reloads());
+    let obj = with_fidelity(obj, bundle.fidelity());
+    let status = if draining || degraded { 503 } else { 200 };
+    Response::json(status, obj.finish())
+}

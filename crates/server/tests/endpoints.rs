@@ -1,0 +1,328 @@
+//! In-process integration tests for the HTTP server: endpoint semantics,
+//! backpressure, hot reload under load, degraded health, graceful drain.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
+use microbrowse_core::features::OwnedTermFeat;
+use microbrowse_core::serve::{
+    DeployedModel, Fidelity, LoadPolicy, ServingBundle, MODEL_SLOT_NAME, STATS_SLOT_NAME,
+};
+use microbrowse_server::client::Client;
+use microbrowse_server::{start, BundleSource, ReloadSource, ServerConfig};
+use microbrowse_store::{ArtifactSlot, StatsDb};
+
+/// A tiny hand-built model: one term feature ("cheap"), positive weight —
+/// any creative containing "cheap" beats one that does not.
+fn model(weight: f64) -> DeployedModel {
+    DeployedModel {
+        spec: ModelSpec::m1(),
+        classifier: TrainedClassifier::Flat(microbrowse_ml::LogReg::from_parts(vec![weight], 0.0)),
+        vocab: vec![OwnedTermFeat::Term("cheap".into())],
+    }
+}
+
+fn static_bundle(weight: f64) -> BundleSource {
+    BundleSource::Static(Arc::new(ServingBundle::from_parts(
+        model(weight),
+        StatsDb::new(),
+        Fidelity::Full,
+    )))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mb-server-test-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn commit_model(dir: &Path, weight: f64) -> u64 {
+    let slot = ArtifactSlot::new(dir, MODEL_SLOT_NAME);
+    model(weight).commit_to_slot(&slot).expect("commit model")
+}
+
+#[test]
+fn score_rank_version_and_metrics_endpoints() {
+    let handle = start(ServerConfig::default(), static_bundle(1.0)).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let resp = c
+        .post(
+            "/v1/score",
+            r#"{"r":"cheap flights|book now","s":"flights|book"}"#,
+        )
+        .expect("score");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let body = resp.body_str();
+    assert!(body.contains("\"winner\":\"R\""), "{body}");
+    assert!(body.contains("\"score\":"), "{body}");
+    assert!(body.contains("\"fidelity\":\"full\""), "{body}");
+    assert!(body.contains("\"latency_us\":"), "{body}");
+
+    // Symmetric pair, reversed: S holds the winning term.
+    let resp = c
+        .post(
+            "/v1/score",
+            r#"{"r":"flights|book","s":"cheap flights|book now"}"#,
+        )
+        .expect("score reversed");
+    assert!(
+        resp.body_str().contains("\"winner\":\"S\""),
+        "{}",
+        resp.body_str()
+    );
+
+    let resp = c
+        .post(
+            "/v1/rank",
+            r#"{"creatives":["flights|standard","cheap flights|save 20%","flights|fees apply"]}"#,
+        )
+        .expect("rank");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let body = resp.body_str();
+    // The "cheap" creative (index 2, 1-based) must rank first.
+    assert!(body.contains("\"order\":[2,"), "{body}");
+
+    let resp = c.get("/version").expect("version");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body_str().contains("microbrowse-server"),
+        "{}",
+        resp.body_str()
+    );
+
+    let resp = c.get("/metrics").expect("metrics");
+    assert_eq!(resp.status, 200);
+    let body = resp.body_str();
+    assert!(body.contains("microbrowse_http_requests_total"), "{body}");
+    assert!(body.contains("microbrowse_http_score_latency_us"), "{body}");
+    assert!(
+        body.contains("microbrowse_http_connections_total"),
+        "{body}"
+    );
+
+    let report = handle.shutdown();
+    assert_eq!(report.aborted, 0, "{report:?}");
+}
+
+#[test]
+fn bad_requests_answer_4xx_without_killing_the_connection() {
+    let handle = start(ServerConfig::default(), static_bundle(1.0)).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let resp = c.post("/v1/score", "{not json").expect("bad json");
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let resp = c
+        .post("/v1/score", r#"{"r":"only one side"}"#)
+        .expect("missing field");
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let resp = c
+        .post("/v1/rank", r#"{"creatives":["just one"]}"#)
+        .expect("short rank");
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let resp = c.get("/nope").expect("unknown path");
+    assert_eq!(resp.status, 404);
+    let resp = c.post("/healthz", "{}").expect("wrong method");
+    assert_eq!(resp.status, 405);
+    // The same keep-alive connection still serves a good request.
+    let resp = c
+        .post("/v1/score", r#"{"r":"cheap|a","s":"b|c"}"#)
+        .expect("good after bad");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_reports_generations_queue_and_epoch() {
+    let dir = tmp("healthz");
+    let generation = commit_model(&dir, 1.0);
+    let stats_gen = ArtifactSlot::new(&dir, STATS_SLOT_NAME)
+        .commit(&microbrowse_store::file::to_bytes(&StatsDb::new()))
+        .expect("commit stats");
+    let source = ReloadSource {
+        model_path: dir.clone(),
+        stats_path: Some(dir.clone()),
+        policy: LoadPolicy::Strict,
+    };
+    let handle = start(ServerConfig::default(), BundleSource::Artifacts(source)).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let resp = c.get("/healthz").expect("healthz");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let body = resp.body_str();
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(
+        body.contains(&format!("\"model_generation\":{generation}")),
+        "{body}"
+    );
+    assert!(
+        body.contains(&format!("\"stats_generation\":{stats_gen}")),
+        "{body}"
+    );
+    assert!(body.contains("\"queue_depth\":"), "{body}");
+    assert!(body.contains("\"epoch\":0"), "{body}");
+    assert!(body.contains("\"reloads\":0"), "{body}");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn saturated_queue_answers_503_with_retry_after() {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle(1.0)).expect("start");
+
+    // c1 occupies the single worker (idle keep-alive holds it in read for
+    // the 2s socket timeout); c2 fills the queue; c3 must be rejected.
+    let _c1 = Client::connect(handle.addr()).expect("c1");
+    std::thread::sleep(Duration::from_millis(150));
+    let _c2 = Client::connect(handle.addr()).expect("c2");
+    std::thread::sleep(Duration::from_millis(150));
+    let mut c3 = Client::connect(handle.addr()).expect("c3");
+    let resp = c3.get("/healthz").expect("rejected request");
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    assert_eq!(resp.header("retry-after"), Some("1"), "{resp:?}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn hot_reload_under_load_drops_nothing() {
+    let dir = tmp("reload");
+    commit_model(&dir, 1.0);
+    ArtifactSlot::new(&dir, STATS_SLOT_NAME)
+        .commit(&microbrowse_store::file::to_bytes(&StatsDb::new()))
+        .expect("commit stats");
+    let source = ReloadSource {
+        model_path: dir.clone(),
+        stats_path: Some(dir.clone()),
+        policy: LoadPolicy::Strict,
+    };
+    let cfg = ServerConfig {
+        reload_poll: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, BundleSource::Artifacts(source)).expect("start");
+    let addr = handle.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(AtomicU64::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+    let loaders: Vec<_> = (0..2)
+        .map(|_| {
+            let (stop, errors, ok) = (Arc::clone(&stop), Arc::clone(&errors), Arc::clone(&ok));
+            std::thread::spawn(move || {
+                let mut c = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                while !stop.load(Ordering::Relaxed) {
+                    match c.post("/v1/score", r#"{"r":"cheap|a","s":"b|c"}"#) {
+                        Ok(r) if r.status == 200 => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(200));
+    let committed = commit_model(&dir, 2.0);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut probe = Client::connect(addr).expect("probe");
+    let mut reloaded = false;
+    while Instant::now() < deadline {
+        let resp = probe.get("/healthz").expect("healthz");
+        if resp
+            .body_str()
+            .contains(&format!("\"model_generation\":{committed}"))
+        {
+            reloaded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::Relaxed);
+    for h in loaders {
+        h.join().expect("loader thread");
+    }
+    assert!(reloaded, "generation {committed} never served");
+    assert_eq!(
+        errors.load(Ordering::Relaxed),
+        0,
+        "requests failed across reload"
+    );
+    assert!(ok.load(Ordering::Relaxed) > 0, "no successful requests");
+    assert!(handle.reloads() >= 1);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn degraded_bundle_makes_healthz_503_with_reason() {
+    let dir = tmp("degraded");
+    commit_model(&dir, 1.0);
+    // Commit a corrupted stats snapshot: valid slot framing around bytes
+    // whose payload CRC no longer matches, so the snapshot decoder rejects
+    // it and Degrade policy serves term-only.
+    let good = microbrowse_store::file::to_bytes(&StatsDb::new());
+    let corrupt = microbrowse_faultinject::bit_flip(&good, good.len() / 2, 0x40);
+    ArtifactSlot::new(&dir, STATS_SLOT_NAME)
+        .commit(&corrupt)
+        .expect("commit corrupt stats");
+
+    let source = ReloadSource {
+        model_path: dir.clone(),
+        stats_path: Some(dir.clone()),
+        policy: LoadPolicy::Degrade,
+    };
+    let handle = start(ServerConfig::default(), BundleSource::Artifacts(source)).expect("start");
+    assert!(handle.degraded());
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let resp = c.get("/healthz").expect("healthz");
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    let body = resp.body_str();
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    assert!(body.contains("\"degrade_reason\":"), "{body}");
+    // Scoring still works, reporting degraded fidelity per response.
+    let resp = c
+        .post("/v1/score", r#"{"r":"cheap|a","s":"b|c"}"#)
+        .expect("score");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("\"fidelity\":\"degraded\""),
+        "{}",
+        resp.body_str()
+    );
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_drains_in_flight_and_reports() {
+    let handle = start(ServerConfig::default(), static_bundle(1.0)).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let resp = c
+        .post("/v1/score", r#"{"r":"cheap|a","s":"b|c"}"#)
+        .expect("score");
+    assert_eq!(resp.status, 200);
+    drop(c);
+    let report = handle.shutdown();
+    assert_eq!(report.aborted, 0, "{report:?}");
+}

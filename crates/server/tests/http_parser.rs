@@ -1,0 +1,149 @@
+//! Randomized robustness suite for the HTTP/1.1 parser: whatever bytes a
+//! peer sends — truncated, split, corrupted, oversized, or pipelined
+//! garbage — the parser must never panic; it answers with a bounded `4xx`
+//! error or treats the stream as closed.
+
+use std::io::Cursor;
+
+use microbrowse_faultinject::{Fault, FaultPlan, FaultyReader};
+use microbrowse_server::http::{HttpError, Limits, RequestReader};
+use proptest::prelude::*;
+
+const VALID: &[u8] =
+    b"POST /v1/score HTTP/1.1\r\ncontent-length: 23\r\n\r\n{\"r\":\"a|b\",\"s\":\"c|d\"}ok";
+
+/// Drain every request the reader can produce, panicking only if the
+/// parser itself does. Returns (#requests, final error if any).
+fn drain<R: std::io::Read>(reader: &mut RequestReader<R>) -> (usize, Option<HttpError>) {
+    let mut n = 0;
+    loop {
+        match reader.next_request() {
+            Ok(Some(_)) => {
+                n += 1;
+                // A byte-soup stream could in principle keep yielding tiny
+                // valid requests; bound the walk.
+                if n > 64 {
+                    return (n, None);
+                }
+            }
+            Ok(None) => return (n, None),
+            Err(e) => return (n, Some(e)),
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary byte soup: never panics, never loops forever.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut reader = RequestReader::new(Cursor::new(bytes), Limits::default());
+        let _ = drain(&mut reader);
+    }
+
+    /// A valid request survives any read-size schedule: short reads must
+    /// not change what is parsed.
+    #[test]
+    fn short_reads_do_not_change_the_parse(max in 1usize..8) {
+        let plan = FaultPlan::new(vec![Fault::ShortReads { max }]);
+        let faulty = FaultyReader::new(Cursor::new(VALID.to_vec()), plan);
+        let mut reader = RequestReader::new(faulty, Limits::default());
+        let req = reader.next_request()
+            .expect("valid request must parse")
+            .expect("valid request must be present");
+        prop_assert_eq!(req.path(), "/v1/score");
+        prop_assert_eq!(&req.body[..], b"{\"r\":\"a|b\",\"s\":\"c|d\"}ok");
+    }
+
+    /// Truncation at an arbitrary offset: zero or one parsed request,
+    /// then a clean end or a typed error — never a panic.
+    #[test]
+    fn truncation_never_panics(offset in 0usize..80) {
+        let cut = &VALID[..offset.min(VALID.len())];
+        let mut reader = RequestReader::new(Cursor::new(cut.to_vec()), Limits::default());
+        let (n, err) = drain(&mut reader);
+        prop_assert!(n <= 1);
+        if offset < VALID.len() {
+            // An incomplete request must not be reported as complete.
+            prop_assert!(n == 0, "truncated stream yielded a request (err {err:?})");
+        }
+    }
+
+    /// A mid-stream connection error surfaces as a silent close (no
+    /// response bytes owed), never a panic.
+    #[test]
+    fn connection_kill_never_panics(offset in 0usize..80) {
+        let plan = FaultPlan::connection_kill_at(offset.min(VALID.len()));
+        let faulty = FaultyReader::new(Cursor::new(VALID.to_vec()), plan);
+        let mut reader = RequestReader::new(faulty, Limits::default());
+        let (_, err) = drain(&mut reader);
+        if let Some(e) = err {
+            prop_assert!(e.status().is_none() || e.status() == Some(408), "unexpected {e:?}");
+        }
+    }
+
+    /// A random bit flip anywhere in the request either still parses (the
+    /// flip landed in the body or a value) or produces a typed error.
+    #[test]
+    fn bit_flips_never_panic(offset in 0usize..VALID.len(), mask in any::<u8>()) {
+        let bytes = microbrowse_faultinject::bit_flip(VALID, offset, mask | 1);
+        let mut reader = RequestReader::new(Cursor::new(bytes), Limits::default());
+        let _ = drain(&mut reader);
+    }
+
+    /// Pipelined garbage after a valid request: the first request parses,
+    /// the garbage then errors or ends the stream — never a panic.
+    #[test]
+    fn pipelined_garbage_after_valid_request(tail in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut bytes = VALID.to_vec();
+        bytes.extend_from_slice(&tail);
+        let mut reader = RequestReader::new(Cursor::new(bytes), Limits::default());
+        let first = reader.next_request();
+        prop_assert!(matches!(first, Ok(Some(_))), "valid prefix failed: {first:?}");
+        let _ = drain(&mut reader);
+    }
+}
+
+#[test]
+fn oversized_head_answers_413() {
+    let limits = Limits::default();
+    let mut bytes = b"GET /x HTTP/1.1\r\nx-pad: ".to_vec();
+    bytes.extend_from_slice(&vec![b'a'; limits.max_head_bytes + 1]);
+    bytes.extend_from_slice(b"\r\n\r\n");
+    let mut reader = RequestReader::new(Cursor::new(bytes), limits);
+    match reader.next_request() {
+        Err(e) => assert_eq!(e.status(), Some(413), "{e:?}"),
+        other => panic!("oversized head accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_body_answers_413() {
+    let limits = Limits::default();
+    let head = format!(
+        "POST /v1/score HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+        limits.max_body_bytes + 1
+    );
+    let mut reader = RequestReader::new(Cursor::new(head.into_bytes()), limits);
+    match reader.next_request() {
+        Err(e) => assert_eq!(e.status(), Some(413), "{e:?}"),
+        other => panic!("oversized body accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn pipelined_requests_parse_in_order() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+    bytes.extend_from_slice(VALID);
+    let mut reader = RequestReader::new(Cursor::new(bytes), Limits::default());
+    let first = reader
+        .next_request()
+        .expect("first request")
+        .expect("first present");
+    assert_eq!(first.path(), "/healthz");
+    let second = reader
+        .next_request()
+        .expect("second request")
+        .expect("second present");
+    assert_eq!(second.path(), "/v1/score");
+}

@@ -15,9 +15,9 @@ cargo test --quiet -p microbrowse-faultinject
 cargo test --quiet -p microbrowse-store --test corrupt
 cargo test --quiet -p microbrowse-core --test artifact_errors
 
-echo "==> no unwrap/expect on artifact load/serve paths (incl. obs crate)"
+echo "==> no unwrap/expect on artifact load/serve paths (incl. obs + server)"
 if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs \
-    crates/core/src/error.rs crates/obs/src crates/cli/src \
+    crates/core/src/error.rs crates/obs/src crates/cli/src crates/server/src \
     | python3 -c '
 import sys, re
 bad = []
@@ -44,10 +44,15 @@ echo "==> disabled-instrumentation overhead gate (< 2% of pipeline wall time)"
 cargo build --locked --release -q -p microbrowse-bench --bin obs_overhead
 ./target/release/obs_overhead --adgroups 100
 
+echo "==> server smoke gate (serve + hot reload under load + graceful drain)"
+cargo build --locked --release -q -p microbrowse-cli --bin microbrowse \
+    -p microbrowse-server --bin serve_smoke
+./target/release/serve_smoke --bin ./target/release/microbrowse
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, fault injection, unwrap audit, overhead gate, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, overhead gate, server smoke, clippy, fmt all green"
