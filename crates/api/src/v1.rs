@@ -1,0 +1,783 @@
+//! Version-1 wire shapes: the bodies of `POST /v1/score`, `POST /v1/rank`,
+//! and `POST /v1/batch`, plus the error envelope every non-2xx response
+//! carries.
+//!
+//! Each type knows how to render itself to its exact wire bytes
+//! ([`ScoreResponse::to_json`] etc.) and how to parse itself back from a
+//! body ([`ScoreRequest::from_json`] etc.). Field order, number formatting
+//! (via [`microbrowse_obs::json::f64_to_json`]) and optional-field placement
+//! are part of the contract and pinned by the golden tests at the bottom of
+//! this module — a change that alters any rendered byte is a wire break and
+//! belongs in a `v2` module instead.
+
+use microbrowse_obs::json::{self, Json, JsonObject};
+
+/// Parse failure for a v1 body: either the bytes were not JSON at all, or
+/// they were JSON of the wrong shape.
+///
+/// [`std::fmt::Display`] renders the exact human-readable strings the server
+/// returns in its 400 [`ErrorEnvelope`]s, so `WireError → envelope → body`
+/// needs no extra mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body was not valid JSON; payload is the byte offset of the first
+    /// error, as reported by [`json::Json::parse`].
+    Syntax(usize),
+    /// The body parsed as JSON but did not have the required shape; payload
+    /// is one of the `*_SHAPE` message constants in this module.
+    Shape(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Syntax(at) => write!(f, "body is not valid JSON (error at byte {at})"),
+            WireError::Shape(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Shape message for a malformed [`ScoreRequest`].
+pub const SCORE_REQUEST_SHAPE: &str = "body must have string fields \"r\" and \"s\"";
+/// Shape message for a malformed [`RankRequest`].
+pub const RANK_REQUEST_SHAPE: &str = "body must have a string array field \"creatives\"";
+/// Semantic message for a [`RankRequest`] with fewer than two creatives.
+pub const RANK_TOO_FEW: &str = "ranking needs at least two creatives";
+/// Shape message for a malformed [`BatchRequest`].
+pub const BATCH_REQUEST_SHAPE: &str =
+    "body must be a JSON array of objects with string fields \"r\" and \"s\"";
+/// Shape message for a malformed [`ScoreResponse`].
+pub const SCORE_RESPONSE_SHAPE: &str = "not a v1 score response";
+/// Shape message for a malformed [`RankResponse`].
+pub const RANK_RESPONSE_SHAPE: &str = "not a v1 rank response";
+/// Shape message for a malformed [`BatchResponse`].
+pub const BATCH_RESPONSE_SHAPE: &str = "not a v1 batch response";
+/// Shape message for a malformed [`ErrorEnvelope`].
+pub const ERROR_ENVELOPE_SHAPE: &str = "not a v1 error envelope";
+
+fn parse_body(body: &str) -> Result<Json, WireError> {
+    Json::parse(body).map_err(WireError::Syntax)
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    let n = v.get(key).and_then(Json::as_f64)?;
+    if n.is_finite() && n >= 0.0 && n.fract() == 0.0 {
+        Some(n as u64)
+    } else {
+        None
+    }
+}
+
+/// The fidelity a response was computed at, as it appears on the wire: the
+/// `"fidelity"` field plus, when degraded, the adjacent `"degrade_reason"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fidelity {
+    /// `"fidelity":"full"` — every trained feature family was active.
+    Full,
+    /// `"fidelity":"degraded","degrade_reason":"…"` — term-only fallback.
+    Degraded {
+        /// Human-readable reason, e.g. `stats snapshot missing`.
+        reason: String,
+    },
+}
+
+impl Fidelity {
+    /// The value of the `"fidelity"` field: `"full"` or `"degraded"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Fidelity::Full => "full",
+            Fidelity::Degraded { .. } => "degraded",
+        }
+    }
+
+    /// The degrade reason, when degraded.
+    pub fn degrade_reason(&self) -> Option<&str> {
+        match self {
+            Fidelity::Full => None,
+            Fidelity::Degraded { reason } => Some(reason),
+        }
+    }
+
+    /// Append `"fidelity"` (and, when degraded, `"degrade_reason"`) to a
+    /// JSON object under construction — the shared tail of every v1
+    /// response that reports fidelity, also used by `/healthz`.
+    pub fn append_to(&self, obj: JsonObject) -> JsonObject {
+        let obj = obj.str("fidelity", self.as_str());
+        match self {
+            Fidelity::Full => obj,
+            Fidelity::Degraded { reason } => obj.str("degrade_reason", reason),
+        }
+    }
+
+    /// Read the fidelity fields back out of a parsed response object.
+    fn from_response(v: &Json, shape: &'static str) -> Result<Self, WireError> {
+        match v.get("fidelity").and_then(Json::as_str) {
+            Some("full") => Ok(Fidelity::Full),
+            Some("degraded") => Ok(Fidelity::Degraded {
+                reason: v
+                    .get("degrade_reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            _ => Err(WireError::Shape(shape)),
+        }
+    }
+}
+
+impl From<&microbrowse_core::serve::Fidelity> for Fidelity {
+    fn from(f: &microbrowse_core::serve::Fidelity) -> Self {
+        match f {
+            microbrowse_core::serve::Fidelity::Full => Fidelity::Full,
+            microbrowse_core::serve::Fidelity::Degraded(reason) => Fidelity::Degraded {
+                reason: reason.to_string(),
+            },
+        }
+    }
+}
+
+/// Which side of a scored pair the model predicts will earn the higher CTR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Winner {
+    /// The `r` creative wins (score strictly positive).
+    R,
+    /// The `s` creative wins (score zero or negative).
+    S,
+}
+
+impl Winner {
+    /// The wire spelling: `"R"` or `"S"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Winner::R => "R",
+            Winner::S => "S",
+        }
+    }
+
+    /// The v1 decision rule: `r` wins iff the log-odds margin is strictly
+    /// positive. Ties break toward `s` — the incumbent keeps its slot.
+    pub fn from_score(score: f64) -> Self {
+        if score > 0.0 {
+            Winner::R
+        } else {
+            Winner::S
+        }
+    }
+}
+
+/// Body of `POST /v1/score`: two creatives to compare.
+///
+/// Wire shape: `{"r":"…","s":"…"}`. Creative text uses `|` to separate
+/// snippet lines (headline first), e.g. `"Cheap Flights|book today"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreRequest {
+    /// Candidate creative (the "R" side of Eq. 5).
+    pub r: String,
+    /// Reference creative (the "S" side).
+    pub s: String,
+}
+
+impl ScoreRequest {
+    /// Render the request body.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("r", &self.r)
+            .str("s", &self.s)
+            .finish()
+    }
+
+    /// Parse a request body.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        Self::from_value(&parse_body(body)?)
+    }
+
+    /// Parse from an already-parsed JSON value (used per-item by
+    /// [`BatchRequest`]).
+    pub fn from_value(v: &Json) -> Result<Self, WireError> {
+        match (
+            v.get("r").and_then(Json::as_str),
+            v.get("s").and_then(Json::as_str),
+        ) {
+            (Some(r), Some(s)) => Ok(Self {
+                r: r.to_string(),
+                s: s.to_string(),
+            }),
+            _ => Err(WireError::Shape(SCORE_REQUEST_SHAPE)),
+        }
+    }
+}
+
+/// Body of `POST /v1/rank`: creatives to order by predicted CTR.
+///
+/// Wire shape: `{"creatives":["…","…",…]}` — at least two entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankRequest {
+    /// Creatives to rank, `|`-separated lines each.
+    pub creatives: Vec<String>,
+}
+
+impl RankRequest {
+    /// Render the request body.
+    pub fn to_json(&self) -> String {
+        let rendered: Vec<String> = self
+            .creatives
+            .iter()
+            .map(|c| format!("\"{}\"", json::escape(c)))
+            .collect();
+        JsonObject::new()
+            .raw("creatives", &json::array(&rendered))
+            .finish()
+    }
+
+    /// Parse a request body. Shape only — the two-creative minimum
+    /// ([`RANK_TOO_FEW`]) is checked by [`RankRequest::validate`] so the
+    /// server can keep its distinct 400 message for it.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let arr = v
+            .get("creatives")
+            .and_then(Json::as_array)
+            .ok_or(WireError::Shape(RANK_REQUEST_SHAPE))?;
+        let mut creatives = Vec::with_capacity(arr.len());
+        for item in arr {
+            creatives.push(
+                item.as_str()
+                    .ok_or(WireError::Shape(RANK_REQUEST_SHAPE))?
+                    .to_string(),
+            );
+        }
+        Ok(Self { creatives })
+    }
+
+    /// Enforce the two-creative minimum.
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.creatives.len() < 2 {
+            return Err(WireError::Shape(RANK_TOO_FEW));
+        }
+        Ok(())
+    }
+}
+
+/// Body of `POST /v1/batch`: a JSON **array** of [`ScoreRequest`] objects,
+/// scored in one engine pass.
+///
+/// Wire shape: `[{"r":"…","s":"…"},…]`. An empty array is valid and yields
+/// an empty [`BatchResponse`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchRequest {
+    /// The pairs to score, in order.
+    pub items: Vec<ScoreRequest>,
+}
+
+impl BatchRequest {
+    /// Render the request body.
+    pub fn to_json(&self) -> String {
+        let rendered: Vec<String> = self.items.iter().map(ScoreRequest::to_json).collect();
+        format!("[{}]", rendered.join(","))
+    }
+
+    /// Parse a request body.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let arr = v.as_array().ok_or(WireError::Shape(BATCH_REQUEST_SHAPE))?;
+        let mut items = Vec::with_capacity(arr.len());
+        for item in arr {
+            items.push(
+                ScoreRequest::from_value(item)
+                    .map_err(|_| WireError::Shape(BATCH_REQUEST_SHAPE))?,
+            );
+        }
+        Ok(Self { items })
+    }
+}
+
+/// Body of a 200 from `POST /v1/score`, and of each `results` element in a
+/// [`BatchResponse`].
+///
+/// Wire shape (field order is contractual):
+/// `{"score":…,"winner":"R","fidelity":"full","latency_us":…}` — degraded
+/// responses insert `"degrade_reason":"…"` directly after `"fidelity"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreResponse {
+    /// Log-odds margin, Eq. 5 orientation (positive ⇒ `r` out-clicks `s`).
+    pub score: f64,
+    /// Predicted winner, derived from `score` by [`Winner::from_score`].
+    pub winner: Winner,
+    /// Fidelity the score was computed at.
+    pub fidelity: Fidelity,
+    /// Wall-clock time spent scoring, in microseconds.
+    pub latency_us: u64,
+}
+
+impl ScoreResponse {
+    /// Build a response from a raw score, deriving the winner.
+    pub fn new(score: f64, fidelity: Fidelity, latency_us: u64) -> Self {
+        Self {
+            score,
+            winner: Winner::from_score(score),
+            fidelity,
+            latency_us,
+        }
+    }
+
+    /// Build a response from the engine's [`ScoreOutcome`].
+    ///
+    /// [`ScoreOutcome`]: microbrowse_core::serve::ScoreOutcome
+    pub fn from_outcome(outcome: &microbrowse_core::serve::ScoreOutcome, latency_us: u64) -> Self {
+        Self::new(outcome.score, (&outcome.fidelity).into(), latency_us)
+    }
+
+    fn fill(&self, obj: JsonObject) -> JsonObject {
+        let obj = obj
+            .f64("score", self.score)
+            .str("winner", self.winner.as_str());
+        self.fidelity
+            .append_to(obj)
+            .u64("latency_us", self.latency_us)
+    }
+
+    /// Render the server response body.
+    pub fn to_json(&self) -> String {
+        self.fill(JsonObject::new()).finish()
+    }
+
+    /// Render the CLI's `--json` line: the same fields prefixed with a
+    /// `"command"` tag.
+    pub fn to_json_with_command(&self, command: &str) -> String {
+        self.fill(JsonObject::new().str("command", command))
+            .finish()
+    }
+
+    /// Parse a response body (a leading `"command"` tag is tolerated and
+    /// ignored, so CLI output parses too).
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        Self::from_value(&parse_body(body)?)
+    }
+
+    /// Parse from an already-parsed JSON value (used per-item by
+    /// [`BatchResponse`]).
+    pub fn from_value(v: &Json) -> Result<Self, WireError> {
+        let score = v
+            .get("score")
+            .and_then(Json::as_f64)
+            .ok_or(WireError::Shape(SCORE_RESPONSE_SHAPE))?;
+        let winner = match v.get("winner").and_then(Json::as_str) {
+            Some("R") => Winner::R,
+            Some("S") => Winner::S,
+            _ => return Err(WireError::Shape(SCORE_RESPONSE_SHAPE)),
+        };
+        let fidelity = Fidelity::from_response(v, SCORE_RESPONSE_SHAPE)?;
+        let latency_us = get_u64(v, "latency_us").ok_or(WireError::Shape(SCORE_RESPONSE_SHAPE))?;
+        Ok(Self {
+            score,
+            winner,
+            fidelity,
+            latency_us,
+        })
+    }
+}
+
+/// Body of a 200 from `POST /v1/rank`.
+///
+/// Wire shape: `{"order":[2,1,…],"fidelity":"full","latency_us":…}` — the
+/// `order` entries are **1-based** positions into the request's `creatives`
+/// array, best first. Degraded responses insert `"degrade_reason"` after
+/// `"fidelity"`, as in [`ScoreResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankResponse {
+    /// 1-based indices into the request's creatives, best first.
+    pub order: Vec<usize>,
+    /// Fidelity the ranking was computed at.
+    pub fidelity: Fidelity,
+    /// Wall-clock time spent ranking, in microseconds.
+    pub latency_us: u64,
+}
+
+impl RankResponse {
+    /// Build from the engine's zero-based ranking (shifts every index up
+    /// by one for the wire).
+    pub fn from_zero_based(order: &[usize], fidelity: Fidelity, latency_us: u64) -> Self {
+        Self {
+            order: order.iter().map(|i| i + 1).collect(),
+            fidelity,
+            latency_us,
+        }
+    }
+
+    fn fill(&self, obj: JsonObject) -> JsonObject {
+        let rendered: Vec<String> = self.order.iter().map(|i| i.to_string()).collect();
+        let obj = obj.raw("order", &format!("[{}]", rendered.join(",")));
+        self.fidelity
+            .append_to(obj)
+            .u64("latency_us", self.latency_us)
+    }
+
+    /// Render the server response body.
+    pub fn to_json(&self) -> String {
+        self.fill(JsonObject::new()).finish()
+    }
+
+    /// Render the CLI's `--json` line, `"command"`-prefixed.
+    pub fn to_json_with_command(&self, command: &str) -> String {
+        self.fill(JsonObject::new().str("command", command))
+            .finish()
+    }
+
+    /// Parse a response body (a leading `"command"` tag is tolerated).
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let arr = v
+            .get("order")
+            .and_then(Json::as_array)
+            .ok_or(WireError::Shape(RANK_RESPONSE_SHAPE))?;
+        let mut order = Vec::with_capacity(arr.len());
+        for item in arr {
+            let n = item
+                .as_f64()
+                .filter(|n| n.is_finite() && *n >= 1.0 && n.fract() == 0.0)
+                .ok_or(WireError::Shape(RANK_RESPONSE_SHAPE))?;
+            order.push(n as usize);
+        }
+        let fidelity = Fidelity::from_response(&v, RANK_RESPONSE_SHAPE)?;
+        let latency_us = get_u64(&v, "latency_us").ok_or(WireError::Shape(RANK_RESPONSE_SHAPE))?;
+        Ok(Self {
+            order,
+            fidelity,
+            latency_us,
+        })
+    }
+}
+
+/// Body of a 200 from `POST /v1/batch`.
+///
+/// Wire shape: `{"results":[…],"count":N,"latency_us":T}` — `results` holds
+/// one [`ScoreResponse`] object per request item, in request order, each
+/// with its **own** per-item latency; `count` is `results.len()` (redundant
+/// but cheap for clients that stream); `latency_us` is the wall-clock time
+/// for the whole batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResponse {
+    /// Per-item results, in request order.
+    pub results: Vec<ScoreResponse>,
+    /// Wall-clock time for the whole batch, in microseconds.
+    pub latency_us: u64,
+}
+
+impl BatchResponse {
+    /// Render the response body.
+    pub fn to_json(&self) -> String {
+        let rendered: Vec<String> = self.results.iter().map(ScoreResponse::to_json).collect();
+        JsonObject::new()
+            .raw("results", &format!("[{}]", rendered.join(",")))
+            .u64("count", self.results.len() as u64)
+            .u64("latency_us", self.latency_us)
+            .finish()
+    }
+
+    /// Parse a response body. `count` is ignored on read — `results.len()`
+    /// is authoritative.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let arr = v
+            .get("results")
+            .and_then(Json::as_array)
+            .ok_or(WireError::Shape(BATCH_RESPONSE_SHAPE))?;
+        let mut results = Vec::with_capacity(arr.len());
+        for item in arr {
+            results.push(
+                ScoreResponse::from_value(item)
+                    .map_err(|_| WireError::Shape(BATCH_RESPONSE_SHAPE))?,
+            );
+        }
+        let latency_us = get_u64(&v, "latency_us").ok_or(WireError::Shape(BATCH_RESPONSE_SHAPE))?;
+        Ok(Self {
+            results,
+            latency_us,
+        })
+    }
+}
+
+/// Body of every non-2xx response: `{"error":"…"}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorEnvelope {
+    /// Human-readable description of what went wrong.
+    pub error: String,
+}
+
+impl ErrorEnvelope {
+    /// Wrap a message.
+    pub fn new(error: impl Into<String>) -> Self {
+        Self {
+            error: error.into(),
+        }
+    }
+
+    /// Render the response body.
+    pub fn to_json(&self) -> String {
+        JsonObject::new().str("error", &self.error).finish()
+    }
+
+    /// Parse a response body.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let error = v
+            .get("error")
+            .and_then(Json::as_str)
+            .ok_or(WireError::Shape(ERROR_ENVELOPE_SHAPE))?;
+        Ok(Self {
+            error: error.to_string(),
+        })
+    }
+}
+
+impl From<WireError> for ErrorEnvelope {
+    fn from(e: WireError) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microbrowse_obs::json::assert_parses;
+
+    // ---- golden strings: every v1 shape, byte for byte -----------------
+
+    #[test]
+    fn golden_score_request() {
+        let req = ScoreRequest {
+            r: "Cheap Flights|book today".into(),
+            s: "Flights \"4U\"|fees apply".into(),
+        };
+        let wire = req.to_json();
+        assert_eq!(
+            wire,
+            r#"{"r":"Cheap Flights|book today","s":"Flights \"4U\"|fees apply"}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(ScoreRequest::from_json(&wire).unwrap(), req);
+    }
+
+    #[test]
+    fn golden_rank_request() {
+        let req = RankRequest {
+            creatives: vec!["a|b".into(), "c".into()],
+        };
+        let wire = req.to_json();
+        assert_eq!(wire, r#"{"creatives":["a|b","c"]}"#);
+        assert_parses(&wire);
+        assert_eq!(RankRequest::from_json(&wire).unwrap(), req);
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn golden_batch_request() {
+        let req = BatchRequest {
+            items: vec![
+                ScoreRequest {
+                    r: "a".into(),
+                    s: "b".into(),
+                },
+                ScoreRequest {
+                    r: "c".into(),
+                    s: "d".into(),
+                },
+            ],
+        };
+        let wire = req.to_json();
+        assert_eq!(wire, r#"[{"r":"a","s":"b"},{"r":"c","s":"d"}]"#);
+        assert_parses(&wire);
+        assert_eq!(BatchRequest::from_json(&wire).unwrap(), req);
+        // Empty batches are legal.
+        assert_eq!(BatchRequest::from_json("[]").unwrap().items.len(), 0);
+    }
+
+    #[test]
+    fn golden_score_response_full() {
+        let resp = ScoreResponse::new(1.5, Fidelity::Full, 42);
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"score":1.5,"winner":"R","fidelity":"full","latency_us":42}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(ScoreResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_score_response_degraded() {
+        let resp = ScoreResponse::new(
+            -2.0,
+            Fidelity::Degraded {
+                reason: "stats snapshot missing".into(),
+            },
+            7,
+        );
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"score":-2.0,"winner":"S","fidelity":"degraded","degrade_reason":"stats snapshot missing","latency_us":7}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(ScoreResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_score_response_with_command() {
+        let resp = ScoreResponse::new(0.25, Fidelity::Full, 9);
+        let wire = resp.to_json_with_command("score");
+        assert_eq!(
+            wire,
+            r#"{"command":"score","score":0.25,"winner":"R","fidelity":"full","latency_us":9}"#
+        );
+        assert_parses(&wire);
+        // The command tag round-trips through the plain parser.
+        assert_eq!(ScoreResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_rank_response() {
+        let resp = RankResponse::from_zero_based(&[1, 0, 2], Fidelity::Full, 100);
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"order":[2,1,3],"fidelity":"full","latency_us":100}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(RankResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_rank_response_degraded_with_command() {
+        let resp = RankResponse::from_zero_based(
+            &[0, 1],
+            Fidelity::Degraded {
+                reason: "stats snapshot missing".into(),
+            },
+            3,
+        );
+        let wire = resp.to_json_with_command("rank");
+        assert_eq!(
+            wire,
+            r#"{"command":"rank","order":[1,2],"fidelity":"degraded","degrade_reason":"stats snapshot missing","latency_us":3}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(RankResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_batch_response() {
+        let resp = BatchResponse {
+            results: vec![
+                ScoreResponse::new(1.0, Fidelity::Full, 5),
+                ScoreResponse::new(-0.5, Fidelity::Full, 4),
+            ],
+            latency_us: 11,
+        };
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"results":[{"score":1.0,"winner":"R","fidelity":"full","latency_us":5},{"score":-0.5,"winner":"S","fidelity":"full","latency_us":4}],"count":2,"latency_us":11}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(BatchResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_error_envelope() {
+        let env = ErrorEnvelope::new("server busy, queue full");
+        let wire = env.to_json();
+        assert_eq!(wire, r#"{"error":"server busy, queue full"}"#);
+        assert_parses(&wire);
+        assert_eq!(ErrorEnvelope::from_json(&wire).unwrap(), env);
+    }
+
+    // ---- error strings match the server's 400 bodies -------------------
+
+    #[test]
+    fn wire_error_strings_are_the_server_strings() {
+        assert_eq!(
+            WireError::Syntax(17).to_string(),
+            "body is not valid JSON (error at byte 17)"
+        );
+        assert_eq!(
+            WireError::Shape(SCORE_REQUEST_SHAPE).to_string(),
+            "body must have string fields \"r\" and \"s\""
+        );
+        assert_eq!(
+            WireError::Shape(RANK_REQUEST_SHAPE).to_string(),
+            "body must have a string array field \"creatives\""
+        );
+        assert_eq!(
+            WireError::Shape(RANK_TOO_FEW).to_string(),
+            "ranking needs at least two creatives"
+        );
+        let env: ErrorEnvelope = WireError::Syntax(0).into();
+        assert_eq!(
+            env.to_json(),
+            r#"{"error":"body is not valid JSON (error at byte 0)"}"#
+        );
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_with_the_right_shape() {
+        assert_eq!(
+            ScoreRequest::from_json("{\"r\":1,\"s\":\"x\"}"),
+            Err(WireError::Shape(SCORE_REQUEST_SHAPE))
+        );
+        assert!(matches!(
+            ScoreRequest::from_json("not json"),
+            Err(WireError::Syntax(_))
+        ));
+        assert_eq!(
+            RankRequest::from_json("{\"creatives\":\"oops\"}"),
+            Err(WireError::Shape(RANK_REQUEST_SHAPE))
+        );
+        assert_eq!(
+            RankRequest::from_json("{\"creatives\":[\"only one\"]}")
+                .unwrap()
+                .validate(),
+            Err(WireError::Shape(RANK_TOO_FEW))
+        );
+        assert_eq!(
+            BatchRequest::from_json("{\"r\":\"a\",\"s\":\"b\"}"),
+            Err(WireError::Shape(BATCH_REQUEST_SHAPE))
+        );
+        assert_eq!(
+            BatchRequest::from_json("[{\"r\":\"a\"}]"),
+            Err(WireError::Shape(BATCH_REQUEST_SHAPE))
+        );
+        assert_eq!(
+            ScoreResponse::from_json("{\"score\":1.0}"),
+            Err(WireError::Shape(SCORE_RESPONSE_SHAPE))
+        );
+        assert_eq!(
+            ErrorEnvelope::from_json("{}"),
+            Err(WireError::Shape(ERROR_ENVELOPE_SHAPE))
+        );
+    }
+
+    // ---- semantic invariants -------------------------------------------
+
+    #[test]
+    fn winner_rule_ties_break_to_s() {
+        assert_eq!(Winner::from_score(1e-9), Winner::R);
+        assert_eq!(Winner::from_score(0.0), Winner::S);
+        assert_eq!(Winner::from_score(-3.0), Winner::S);
+    }
+
+    #[test]
+    fn fidelity_converts_from_engine() {
+        use microbrowse_core::serve::{DegradeReason, Fidelity as CoreFidelity};
+        assert_eq!(Fidelity::from(&CoreFidelity::Full), Fidelity::Full);
+        let deg = CoreFidelity::Degraded(DegradeReason::StatsMissing);
+        assert_eq!(
+            Fidelity::from(&deg),
+            Fidelity::Degraded {
+                reason: "stats snapshot missing".into()
+            }
+        );
+    }
+}

@@ -1,12 +1,21 @@
 //! Loopback load test of the HTTP scoring server.
 //!
 //! Starts an in-process `microbrowse-server` on an ephemeral port with a
-//! trained-shape model, hammers `POST /v1/score` from keep-alive client
-//! threads, and reports throughput plus latency quantiles to
+//! trained-shape model and runs two phases against it from keep-alive
+//! client threads:
+//!
+//! 1. **single** — hammer `POST /v1/score`, one pair per request (the
+//!    pre-batch baseline).
+//! 2. **batch** — push the same number of pairs through `POST /v1/batch`
+//!    in fixed-size arrays, measuring how much the amortized
+//!    `score_batch` engine pass raises pairs/second.
+//!
+//! Reports throughput plus latency quantiles for both phases, and the
+//! batch-over-single `speedup_pairs_per_s` ratio, to
 //! `results/BENCH_serve.json`.
 //!
 //! Usage: `bench_serve [--requests 30000] [--clients 2] [--workers 2]
-//! [--out results/BENCH_serve.json]`
+//! [--batch-size 64] [--out results/BENCH_serve.json]`
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,6 +53,18 @@ fn bundle() -> Arc<ServingBundle> {
     Arc::new(ServingBundle::from_parts(model, stats, Fidelity::Full))
 }
 
+/// One `{"r":…,"s":…}` pair object, varied by `i` so scoring isn't one
+/// degenerate pair.
+fn pair_object(i: usize) -> String {
+    format!(
+        "{{\"r\":\"term{} cheap flights|book term{} now|save 20%\",\
+         \"s\":\"term{} flights|standard fare|fees may apply\"}}",
+        i % 400,
+        (i * 7) % 400,
+        (i * 13) % 400
+    )
+}
+
 fn quantile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -52,53 +73,65 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx]
 }
 
-fn main() {
-    let args = Args::parse();
-    let requests: usize = args.get("requests", 30_000);
-    let clients: usize = args.get("clients", 2);
-    let workers: usize = args.get("workers", 2);
-    let out_path: String = args.get("out", "results/BENCH_serve.json".to_string());
+/// Throughput and per-request latency stats for one phase.
+struct PhaseStats {
+    requests: usize,
+    elapsed_s: f64,
+    rps: f64,
+    mean: f64,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
+}
 
-    let cfg = ServerConfig {
-        workers,
-        queue_depth: 256,
-        ..ServerConfig::default()
-    };
-    let handle = start(cfg, BundleSource::Static(bundle())).expect("start server");
-    let addr = handle.addr();
-
-    // Distinct bodies per client so scoring isn't one degenerate pair.
-    let body = |i: usize| {
-        format!(
-            "{{\"r\":\"term{} cheap flights|book term{} now|save 20%\",\
-             \"s\":\"term{} flights|standard fare|fees may apply\"}}",
-            i % 400,
-            (i * 7) % 400,
-            (i * 13) % 400
-        )
-    };
-
-    // Warmup: populate caches, let every worker build its scorer.
-    let mut warm = Client::connect(addr).expect("warmup connect");
-    for i in 0..200 {
-        let resp = warm.post("/v1/score", &body(i)).expect("warmup request");
-        assert_eq!(resp.status, 200, "{}", resp.body_str());
+impl PhaseStats {
+    fn from_latencies(mut lat: Vec<u64>, elapsed_s: f64) -> Self {
+        lat.sort_unstable();
+        let requests = lat.len();
+        Self {
+            requests,
+            elapsed_s,
+            rps: requests as f64 / elapsed_s,
+            mean: lat.iter().sum::<u64>() as f64 / requests.max(1) as f64,
+            p50: quantile(&lat, 0.50),
+            p90: quantile(&lat, 0.90),
+            p99: quantile(&lat, 0.99),
+            max: lat.last().copied().unwrap_or(0),
+        }
     }
-    drop(warm);
 
-    let per_client = requests / clients;
+    /// The shared inner JSON fields (caller wraps and appends extras).
+    fn json_fields(&self, endpoint: &str, clients: usize, workers: usize) -> String {
+        format!(
+            "    \"endpoint\": \"{endpoint}\",\n    \"requests\": {},\n    \"clients\": {clients},\n    \"workers\": {workers},\n    \"elapsed_s\": {:.4},\n    \"throughput_rps\": {:.1},\n    \"latency_us\": {{\n      \"mean\": {:.1},\n      \"p50\": {},\n      \"p90\": {},\n      \"p99\": {},\n      \"max\": {}\n    }}",
+            self.requests, self.elapsed_s, self.rps, self.mean, self.p50, self.p90, self.p99,
+            self.max
+        )
+    }
+}
+
+/// Run `per_client * clients` requests against `path`, each client posting
+/// bodies from its own rotation built by `body(client, slot)`.
+fn run_phase(
+    addr: std::net::SocketAddr,
+    path: &'static str,
+    clients: usize,
+    per_client: usize,
+    body: impl Fn(usize, usize) -> String + Send + Sync + 'static,
+) -> PhaseStats {
+    let body = Arc::new(body);
     let started = Instant::now();
     let handles: Vec<_> = (0..clients)
         .map(|c| {
+            let body = Arc::clone(&body);
             std::thread::spawn(move || {
                 let mut lat = Vec::with_capacity(per_client);
                 let mut client = Client::connect(addr).expect("client connect");
-                let b: Vec<String> = (0..16).map(|i| body(c * 1000 + i)).collect();
+                let b: Vec<String> = (0..16).map(|i| body(c, i)).collect();
                 for i in 0..per_client {
                     let t0 = Instant::now();
-                    let resp = client
-                        .post("/v1/score", &b[i % b.len()])
-                        .expect("score request");
+                    let resp = client.post(path, &b[i % b.len()]).expect("request");
                     let us = t0.elapsed().as_micros() as u64;
                     assert_eq!(resp.status, 200, "{}", resp.body_str());
                     lat.push(us);
@@ -111,23 +144,65 @@ fn main() {
     for h in handles {
         lat.extend(h.join().expect("client thread"));
     }
-    let elapsed = started.elapsed();
+    PhaseStats::from_latencies(lat, started.elapsed().as_secs_f64())
+}
+
+/// Batch body rotation: `batch_size` pair objects per request.
+fn batch_body(client: usize, slot: usize, batch_size: usize) -> String {
+    let base = client * 1000 + slot * batch_size;
+    let items: Vec<String> = (0..batch_size).map(|j| pair_object(base + j)).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn main() {
+    let args = Args::parse();
+    let requests: usize = args.get("requests", 30_000);
+    let clients: usize = args.get("clients", 2);
+    let workers: usize = args.get("workers", 2);
+    let batch_size: usize = args.get::<usize>("batch-size", 64).max(1);
+    let out_path: String = args.get("out", "results/BENCH_serve.json".to_string());
+
+    let cfg = ServerConfig {
+        workers,
+        queue_depth: 256,
+        max_batch: batch_size.max(256),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, BundleSource::Static(bundle())).expect("start server");
+    let addr = handle.addr();
+
+    // Warmup: populate caches, let every worker build its scorer.
+    let mut warm = Client::connect(addr).expect("warmup connect");
+    for i in 0..200 {
+        let resp = warm
+            .post("/v1/score", &pair_object(i))
+            .expect("warmup request");
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+    drop(warm);
+
+    // Phase 1: one pair per request.
+    let per_client = requests / clients;
+    let single = run_phase(addr, "/v1/score", clients, per_client, |c, i| {
+        pair_object(c * 1000 + i)
+    });
+
+    // Phase 2: the same number of pairs, `batch_size` per request.
+    let batch_per_client = (per_client / batch_size).max(1);
+    let batch = run_phase(addr, "/v1/batch", clients, batch_per_client, move |c, i| {
+        batch_body(c, i, batch_size)
+    });
     handle.shutdown();
 
-    lat.sort_unstable();
-    let total = lat.len();
-    let rps = total as f64 / elapsed.as_secs_f64();
-    let (p50, p90, p99) = (
-        quantile(&lat, 0.50),
-        quantile(&lat, 0.90),
-        quantile(&lat, 0.99),
-    );
-    let mean = lat.iter().sum::<u64>() as f64 / total.max(1) as f64;
+    let single_pairs_per_s = single.rps;
+    let batch_pairs = batch.requests * batch_size;
+    let batch_pairs_per_s = batch_pairs as f64 / batch.elapsed_s;
+    let speedup = batch_pairs_per_s / single_pairs_per_s;
 
     let json = format!(
-        "{{\n  \"endpoint\": \"/v1/score\",\n  \"requests\": {total},\n  \"clients\": {clients},\n  \"workers\": {workers},\n  \"elapsed_s\": {:.4},\n  \"throughput_rps\": {rps:.1},\n  \"latency_us\": {{\n    \"mean\": {mean:.1},\n    \"p50\": {p50},\n    \"p90\": {p90},\n    \"p99\": {p99},\n    \"max\": {}\n  }}\n}}\n",
-        elapsed.as_secs_f64(),
-        lat.last().copied().unwrap_or(0),
+        "{{\n  \"single\": {{\n{},\n    \"pairs_per_s\": {single_pairs_per_s:.1}\n  }},\n  \"batch\": {{\n{},\n    \"batch_size\": {batch_size},\n    \"pairs\": {batch_pairs},\n    \"pairs_per_s\": {batch_pairs_per_s:.1},\n    \"speedup_pairs_per_s\": {speedup:.2}\n  }}\n}}\n",
+        single.json_fields("/v1/score", clients, workers),
+        batch.json_fields("/v1/batch", clients, workers),
     );
     microbrowse_obs::json::assert_parses(&json);
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
@@ -135,8 +210,9 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write benchmark json");
     eprintln!(
-        "{total} requests in {:.2}s: {rps:.0} req/s, p50 {p50}us p90 {p90}us p99 {p99}us",
-        elapsed.as_secs_f64()
+        "single: {} req in {:.2}s = {:.0} pairs/s | batch(x{batch_size}): {} pairs in {:.2}s = {:.0} pairs/s | speedup {speedup:.2}x",
+        single.requests, single.elapsed_s, single_pairs_per_s, batch_pairs, batch.elapsed_s,
+        batch_pairs_per_s
     );
     println!("{json}");
 }

@@ -34,6 +34,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use microbrowse_api::v1::{RankResponse, ScoreResponse, Winner};
 use microbrowse_core::classifier::{ModelSpec, TrainConfig, TrainedClassifier};
 use microbrowse_core::error::MbError;
 use microbrowse_core::features::{Featurizer, PositionVocab};
@@ -45,7 +46,6 @@ use microbrowse_core::serve::{
 };
 use microbrowse_core::statsbuild::{build_stats, StatsBuildConfig, TokenizedCorpus};
 use microbrowse_core::{PairFilter, Placement};
-use microbrowse_obs::json::JsonObject;
 use microbrowse_store::{ArtifactSlot, SnapshotError, StatsDb};
 use microbrowse_synth::{generate, GeneratorConfig};
 use microbrowse_text::Snippet;
@@ -123,17 +123,18 @@ const USAGE: &str = "usage:
   microbrowse eval     --model FILE --stats FILE [--adgroups N] [--seed S] [--degraded true]
   microbrowse experiment [--spec m1..m6|all]... [--adgroups N] [--seed S] [--folds K]
                        [--threads T]  (cross-validated engine run, no artifacts written)
-  microbrowse score    --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3' [--json true]
-  microbrowse rank     --model FILE --stats FILE --creative '…' --creative '…' [...] [--json true]
+  microbrowse score    --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3' [--json]
+  microbrowse rank     --model FILE --stats FILE --creative '…' --creative '…' [...] [--json]
   microbrowse optimize --model FILE --stats FILE --base 'l1|l2|l3'
                        [--rewrite 'from=to']... [--swap-lines A,B]... [--move-front 'phrase']...
   microbrowse validate --model FILE [--stats FILE]
   microbrowse metrics  --model FILE --stats FILE [--adgroups N] [--seed S]
                        (score a held-out corpus, dump Prometheus-style metrics)
   microbrowse serve    --slot-dir DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                       (HTTP scoring server: POST /v1/score /v1/rank, GET /healthz
-                        /metrics /version; hot-reloads new slot generations;
-                        graceful drain on stdin EOF)
+                       [--max-batch N]
+                       (HTTP scoring server: POST /v1/score /v1/rank /v1/batch,
+                        GET /healthz /metrics /version; hot-reloads new slot
+                        generations; graceful drain on stdin EOF)
 
   Every subcommand accepts --trace-json FILE: write structured span/event
   records as JSON lines (one object per line) while the command runs.
@@ -158,6 +159,23 @@ impl Flags {
             let name = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| MbError::usage(format!("expected --flag, got {:?}", args[i])))?;
+            if BOOLEAN_FLAG_NAMES.contains(&name) {
+                // Bare boolean: `--json` alone means true. A literal
+                // true/false value is still accepted for compatibility;
+                // anything else (`--json maybe`) is left in place and
+                // rejected as a stray argument below.
+                match args.get(i + 1).map(String::as_str) {
+                    Some(v @ ("true" | "false")) => {
+                        pairs.push((name.to_string(), v.to_string()));
+                        i += 2;
+                    }
+                    _ => {
+                        pairs.push((name.to_string(), "true".to_string()));
+                        i += 1;
+                    }
+                }
+                continue;
+            }
             let value = args
                 .get(i + 1)
                 .ok_or_else(|| MbError::usage(format!("flag --{name} needs a value")))?;
@@ -225,6 +243,10 @@ impl Flags {
 /// Flag names every subcommand shares (see [`CommonFlags`]).
 const COMMON_FLAG_NAMES: &[&str] = &["model", "stats", "slot-dir", "policy", "trace-json"];
 
+/// Flags that take no value: bare presence means true (a trailing literal
+/// `true`/`false` is still accepted for compatibility).
+const BOOLEAN_FLAG_NAMES: &[&str] = &["json"];
+
 /// Flags every artifact-consuming subcommand shares. `--slot-dir DIR` is
 /// shorthand for `--model DIR --stats DIR` (the generation-slot layout the
 /// server and `train` both use); explicit `--model`/`--stats` win.
@@ -272,7 +294,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "optimize" => Some(&["base", "rewrite", "swap-lines", "move-front"]),
         "validate" => Some(&[]),
         "metrics" => Some(&["adgroups", "seed"]),
-        "serve" => Some(&["addr", "workers", "queue-depth"]),
+        "serve" => Some(&["addr", "workers", "queue-depth", "max-batch"]),
         _ => None,
     }
 }
@@ -424,7 +446,7 @@ fn cmd_eval(flags: &Flags) -> Result<(), MbError> {
     // `--degraded true` measures the term-only fallback on demand (the
     // accuracy an outage would serve at), regardless of artifact health.
     let empty_stats = StatsDb::new();
-    let mut scorer = if force_degraded {
+    let scorer = if force_degraded {
         Scorer::with_fidelity(
             bundle.model(),
             &empty_stats,
@@ -433,6 +455,7 @@ fn cmd_eval(flags: &Flags) -> Result<(), MbError> {
     } else {
         bundle.scorer()
     };
+    let mut scratch = scorer.scratch();
 
     let by_id: HashMap<_, _> = synth
         .corpus
@@ -452,7 +475,7 @@ fn cmd_eval(flags: &Flags) -> Result<(), MbError> {
                 )))
             }
         };
-        let predicted_r = scorer.predict_pair(&r.snippet, &s.snippet);
+        let predicted_r = scorer.predict_pair(&r.snippet, &s.snippet, &mut scratch);
         if predicted_r == p.r_better {
             correct += 1;
         }
@@ -563,23 +586,15 @@ fn cmd_metrics(flags: &Flags) -> Result<(), MbError> {
         .flat_map(|g| &g.creatives)
         .map(|c| (c.id, c))
         .collect();
-    let mut scorer = bundle.scorer();
+    let scorer = bundle.scorer();
+    let mut scratch = scorer.scratch();
     for p in &pairs {
         if let (Some(r), Some(s)) = (by_id.get(&p.r), by_id.get(&p.s)) {
-            scorer.score_pair(&r.snippet, &s.snippet);
+            scorer.score_pair(&r.snippet, &s.snippet, &mut scratch);
         }
     }
     print!("{}", registry.render_prometheus());
     Ok(())
-}
-
-/// Render a [`Fidelity`] as the stable pair used by `--json` output:
-/// `("full" | "degraded", optional reason)`.
-fn fidelity_fields(fidelity: &Fidelity) -> (&'static str, Option<String>) {
-    match fidelity {
-        Fidelity::Full => ("full", None),
-        Fidelity::Degraded(reason) => ("degraded", Some(reason.to_string())),
-    }
 }
 
 fn cmd_score(flags: &Flags) -> Result<(), MbError> {
@@ -587,23 +602,14 @@ fn cmd_score(flags: &Flags) -> Result<(), MbError> {
     let bundle = load_bundle(flags)?;
     let r = parse_snippet(flags.require("r")?);
     let s = parse_snippet(flags.require("s")?);
-    let mut scorer = bundle.scorer();
+    let scorer = bundle.scorer();
+    let mut scratch = scorer.scratch();
     let started = Instant::now();
-    let outcome = scorer.score_pair_outcome(&r, &s);
+    let outcome = scorer.score_pair_outcome(&r, &s, &mut scratch);
     let latency_us = started.elapsed().as_micros() as u64;
-    let winner = if outcome.score > 0.0 { "R" } else { "S" };
     if json {
-        let (fidelity, reason) = fidelity_fields(&outcome.fidelity);
-        let mut obj = JsonObject::new()
-            .str("command", "score")
-            .f64("score", outcome.score)
-            .str("winner", winner)
-            .str("fidelity", fidelity)
-            .u64("latency_us", latency_us);
-        if let Some(reason) = reason {
-            obj = obj.str("degrade_reason", &reason);
-        }
-        println!("{}", obj.finish());
+        let resp = ScoreResponse::from_outcome(&outcome, latency_us);
+        println!("{}", resp.to_json_with_command("score"));
         return Ok(());
     }
     println!(
@@ -613,7 +619,10 @@ fn cmd_score(flags: &Flags) -> Result<(), MbError> {
     if let Fidelity::Degraded(reason) = &outcome.fidelity {
         println!("fidelity: degraded — {reason}");
     }
-    println!("prediction: {winner} wins");
+    println!(
+        "prediction: {} wins",
+        Winner::from_score(outcome.score).as_str()
+    );
     Ok(())
 }
 
@@ -628,22 +637,14 @@ fn cmd_rank(flags: &Flags) -> Result<(), MbError> {
     if creatives.len() < 2 {
         return Err(MbError::usage("rank needs at least two --creative flags"));
     }
-    let mut scorer = bundle.scorer();
+    let scorer = bundle.scorer();
+    let mut scratch = scorer.scratch();
     let started = Instant::now();
-    let order = scorer.rank(&creatives);
+    let order = scorer.rank(&creatives, &mut scratch);
     let latency_us = started.elapsed().as_micros() as u64;
     if json {
-        let (fidelity, reason) = fidelity_fields(scorer.fidelity());
-        let rendered: Vec<String> = order.iter().map(|&idx| (idx + 1).to_string()).collect();
-        let mut obj = JsonObject::new()
-            .str("command", "rank")
-            .raw("order", &microbrowse_obs::json::array(&rendered))
-            .str("fidelity", fidelity)
-            .u64("latency_us", latency_us);
-        if let Some(reason) = reason {
-            obj = obj.str("degrade_reason", &reason);
-        }
-        println!("{}", obj.finish());
+        let resp = RankResponse::from_zero_based(&order, scorer.fidelity().into(), latency_us);
+        println!("{}", resp.to_json_with_command("rank"));
         return Ok(());
     }
     println!("ranking (best first):");
@@ -697,8 +698,15 @@ fn cmd_optimize(flags: &Flags) -> Result<(), MbError> {
         ));
     }
 
-    let mut scorer = bundle.scorer();
-    let outcome = optimize_creative(&mut scorer, &base, &edits, &OptimizeConfig::default());
+    let scorer = bundle.scorer();
+    let mut scratch = scorer.scratch();
+    let outcome = optimize_creative(
+        &scorer,
+        &mut scratch,
+        &base,
+        &edits,
+        &OptimizeConfig::default(),
+    );
     println!("base creative:\n{base}\n");
     println!("optimized creative:\n{}\n", outcome.best);
     println!(
@@ -907,10 +915,13 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
         addr: flags.get("addr").unwrap_or("127.0.0.1:8660").to_string(),
         workers: flags.parse_or("workers", 4)?,
         queue_depth: flags.parse_or("queue-depth", 128)?,
+        max_batch: flags.parse_or("max-batch", 256)?,
         ..ServerConfig::default()
     };
-    if cfg.workers == 0 || cfg.queue_depth == 0 {
-        return Err(MbError::usage("--workers and --queue-depth must be >= 1"));
+    if cfg.workers == 0 || cfg.queue_depth == 0 || cfg.max_batch == 0 {
+        return Err(MbError::usage(
+            "--workers, --queue-depth, and --max-batch must be >= 1",
+        ));
     }
     let handle = start(cfg, BundleSource::Artifacts(source))?;
     // stdout through a pipe is block-buffered: flush explicitly so a
@@ -978,6 +989,30 @@ mod tests {
             f.reject_unknown(extra)
                 .unwrap_or_else(|e| panic!("{cmd} rejected a common flag: {e}"));
         }
+    }
+
+    #[test]
+    fn bare_json_flag_means_true() {
+        // `--json` with no value.
+        let f = flags(&["--json", "--r", "a"]);
+        assert_eq!(f.get("json"), Some("true"));
+        assert_eq!(f.get("r"), Some("a"));
+        // Trailing position too.
+        let f = flags(&["--r", "a", "--json"]);
+        assert_eq!(f.get("json"), Some("true"));
+        // Explicit true/false still accepted for compatibility.
+        let f = flags(&["--json", "false"]);
+        assert_eq!(f.get("json"), Some("false"));
+        let f = flags(&["--json", "true"]);
+        assert_eq!(f.get("json"), Some("true"));
+    }
+
+    #[test]
+    fn json_with_garbage_value_is_usage_error() {
+        let args: Vec<String> = ["--json", "maybe"].iter().map(|s| s.to_string()).collect();
+        let err = Flags::parse(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("maybe"), "{err}");
     }
 
     #[test]

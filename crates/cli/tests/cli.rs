@@ -574,6 +574,68 @@ fn score_and_rank_json_output() {
     std::fs::remove_file(&stats).ok();
 }
 
+/// `--json` is a bare boolean flag: no value means true, the legacy
+/// `--json true` spelling still works (tested above), and a stray value
+/// that is neither `true` nor `false` is a usage error.
+#[test]
+fn bare_json_flag_and_bad_json_value() {
+    let model = tmp("barejson-model.mbm");
+    let stats = tmp("barejson-stats.mbs");
+    let model_s = model.to_str().unwrap();
+    let stats_s = stats.to_str().unwrap();
+    let out = run(&[
+        "train",
+        "--model",
+        model_s,
+        "--stats",
+        stats_s,
+        "--spec",
+        "m4",
+        "--adgroups",
+        "120",
+        "--seed",
+        "8",
+    ]);
+    assert!(out.status.success());
+
+    let out = run(&[
+        "score",
+        "--model",
+        model_s,
+        "--stats",
+        stats_s,
+        "--r",
+        "a|save 20% today|c",
+        "--s",
+        "a|fees may apply|c",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(
+        microbrowse_obs::json::validate(line).is_ok(),
+        "bad JSON: {line}"
+    );
+    assert!(line.contains("\"command\":\"score\""), "{line}");
+
+    // `--json maybe` must not be silently read as a value or a filename.
+    let out = run(&[
+        "score", "--model", model_s, "--stats", stats_s, "--r", "a|b", "--s", "c|d", "--json",
+        "maybe",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("maybe"), "{stderr}");
+
+    std::fs::remove_file(&model).ok();
+    std::fs::remove_file(&stats).ok();
+}
+
 /// `microbrowse metrics` reports the serve-path counters and the latency
 /// histogram in Prometheus text format — including the degraded-mode
 /// counters, which must be present even at zero and move under an outage.

@@ -24,7 +24,9 @@
 use microbrowse_ml::{CoupledDataset, CoupledExample, CoupledFeature, Dataset, Example, SparseVec};
 use microbrowse_store::key::SnippetPos;
 use microbrowse_store::{FeatureKey, StatsDb};
-use microbrowse_text::{FxHashMap, Interner, NGramConfig, NGramExtractor, Sym, TokenizedSnippet};
+use microbrowse_text::{
+    FxHashMap, Interner, NGramConfig, NGramExtractor, Sym, TermOccurrence, TokenizedSnippet,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::classifier::ModelSpec;
@@ -279,6 +281,54 @@ impl<'a> Featurizer<'a> {
         raw
     }
 
+    /// The n-gram term occurrences [`Self::collect`] would extract for one
+    /// snippet, exposed so the serve path can extract each distinct snippet
+    /// once and replay the occurrences across a batch (the serve-time
+    /// analogue of [`PairCache`]'s cached occurrences). Only meaningful for
+    /// specs with term features; extraction interns multi-token phrases.
+    pub fn term_occurrences(
+        &self,
+        snippet: &TokenizedSnippet,
+        interner: &mut Interner,
+    ) -> Vec<TermOccurrence> {
+        self.ngram.extract(snippet, interner)
+    }
+
+    /// [`Self::collect`] with the per-snippet n-gram occurrences already
+    /// extracted (see [`Self::term_occurrences`]). Term features replay the
+    /// cached occurrences in the order `collect` would emit them; rewrite
+    /// extraction still runs live because it needs both sides of the pair.
+    fn collect_with_occs(
+        &self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        r_occs: &[TermOccurrence],
+        s_occs: &[TermOccurrence],
+        interner: &mut Interner,
+    ) -> Vec<RawFeature> {
+        let mut raw = Vec::new();
+
+        if self.spec.terms {
+            for (occs, sign) in [(r_occs, 1.0), (s_occs, -1.0)] {
+                for occ in occs {
+                    let pos = SnippetPos::new(occ.line, occ.pos);
+                    raw.push(RawFeature {
+                        feat: TermFeat::Term(occ.ngram.phrase),
+                        pos_group: PositionVocab::term_group(pos),
+                        value: sign,
+                    });
+                }
+            }
+        }
+
+        if self.spec.rewrites {
+            let ext = self.rewriter.extract(r, s, self.stats, interner);
+            self.push_rewrite_feats(&ext, interner, &mut raw);
+        }
+
+        raw
+    }
+
     /// Collect raw features through the shared preprocessing cache: cached
     /// n-gram occurrences replace re-extraction and the cached alignment
     /// replaces the per-pair LCS diff, so no interning happens at all and
@@ -434,6 +484,40 @@ impl<'a> Featurizer<'a> {
         interner: &mut Interner,
     ) -> CoupledExample {
         let raw = self.collect(r, s, interner);
+        self.finish_coupled(raw, label)
+    }
+
+    /// Encode one pair as a flat sparse example, replaying cached term
+    /// occurrences instead of re-extracting them. Bit-identical to
+    /// [`Self::encode_flat`] when `r_occs`/`s_occs` came from
+    /// [`Self::term_occurrences`] over the same snippets.
+    #[allow(clippy::too_many_arguments)]
+    pub fn encode_flat_with_occs(
+        &mut self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        r_occs: &[TermOccurrence],
+        s_occs: &[TermOccurrence],
+        label: bool,
+        interner: &mut Interner,
+    ) -> Example {
+        let raw = self.collect_with_occs(r, s, r_occs, s_occs, interner);
+        self.finish_flat(raw, label)
+    }
+
+    /// Encode one pair as a factorized (coupled) example from cached term
+    /// occurrences (see [`Self::encode_flat_with_occs`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn encode_coupled_with_occs(
+        &mut self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        r_occs: &[TermOccurrence],
+        s_occs: &[TermOccurrence],
+        label: bool,
+        interner: &mut Interner,
+    ) -> CoupledExample {
+        let raw = self.collect_with_occs(r, s, r_occs, s_occs, interner);
         self.finish_coupled(raw, label)
     }
 

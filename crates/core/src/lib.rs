@@ -63,7 +63,7 @@ pub use pipeline::{
 pub use rewrite::{token_diff, DiffOp, MatchStrategy, RewriteExtraction, RewriteExtractor};
 pub use serve::{
     DegradeReason, DeployedModel, Fidelity, LoadPolicy, ScoreOutcome, Scorer, ScorerBuilder,
-    ServingBundle,
+    Scratch, ServingBundle,
 };
 pub use serveweight::{delta_sw, serve_weights, sw_diff};
 pub use statsbuild::{build_stats, build_stats_for, StatsBuildConfig};

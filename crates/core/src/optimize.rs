@@ -22,7 +22,7 @@
 use microbrowse_text::{Snippet, Tokenizer};
 use serde::{Deserialize, Serialize};
 
-use crate::serve::Scorer;
+use crate::serve::{Scorer, Scratch};
 
 /// One candidate transformation of a creative.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -143,8 +143,9 @@ impl Default for OptimizeConfig {
 /// Greedy hill-climbing over `edits`: at each round, apply the single edit
 /// whose result the classifier scores highest against the current
 /// creative; stop when no edit clears `min_margin`.
-pub fn optimize_creative(
-    scorer: &mut Scorer<'_>,
+pub fn optimize_creative<'a>(
+    scorer: &Scorer<'a>,
+    scratch: &mut Scratch<'a>,
     base: &Snippet,
     edits: &[Edit],
     cfg: &OptimizeConfig,
@@ -165,7 +166,7 @@ pub fn optimize_creative(
             if candidate == current {
                 continue;
             }
-            let margin = scorer.score_pair(&candidate, &current);
+            let margin = scorer.score_pair(&candidate, &current, scratch);
             let better_than_best = best.as_ref().map_or(true, |(m, _, _)| margin > *m);
             if margin > cfg.min_margin && better_than_best {
                 best = Some((margin, edit.clone(), candidate));
@@ -275,7 +276,8 @@ mod tests {
     #[test]
     fn hill_climb_accepts_improving_edits_and_stops() {
         let (model, stats) = scorer_fixture();
-        let mut scorer = Scorer::new(&model, &stats);
+        let scorer = Scorer::new(&model, &stats);
+        let mut scratch = scorer.scratch();
         let base = Snippet::creative("Air", "find cheap flights", "fees may apply");
         let edits = vec![
             Edit::ReplacePhrase {
@@ -291,7 +293,13 @@ mod tests {
                 to: "journeys".into(),
             }, // neutral
         ];
-        let out = optimize_creative(&mut scorer, &base, &edits, &OptimizeConfig::default());
+        let out = optimize_creative(
+            &scorer,
+            &mut scratch,
+            &base,
+            &edits,
+            &OptimizeConfig::default(),
+        );
         // Both scoring edits accepted; the neutral one never is.
         assert_eq!(out.accepted.len(), 2);
         assert!(out.total_margin > 3.0, "margin {}", out.total_margin);
@@ -304,13 +312,20 @@ mod tests {
     #[test]
     fn no_applicable_edit_returns_base() {
         let (model, stats) = scorer_fixture();
-        let mut scorer = Scorer::new(&model, &stats);
+        let scorer = Scorer::new(&model, &stats);
+        let mut scratch = scorer.scratch();
         let base = Snippet::creative("Air", "plain text", "more text");
         let edits = vec![Edit::ReplacePhrase {
             from: "absent phrase".into(),
             to: "whatever".into(),
         }];
-        let out = optimize_creative(&mut scorer, &base, &edits, &OptimizeConfig::default());
+        let out = optimize_creative(
+            &scorer,
+            &mut scratch,
+            &base,
+            &edits,
+            &OptimizeConfig::default(),
+        );
         assert!(out.accepted.is_empty());
         assert_eq!(out.total_margin, 0.0);
         // No edit applied: the creative is byte-identical to the input.
@@ -320,7 +335,8 @@ mod tests {
     #[test]
     fn min_margin_filters_noise_edits() {
         let (model, stats) = scorer_fixture();
-        let mut scorer = Scorer::new(&model, &stats);
+        let scorer = Scorer::new(&model, &stats);
+        let mut scratch = scorer.scratch();
         let base = Snippet::creative("Air", "find cheap flights", "ok");
         let edits = vec![Edit::ReplacePhrase {
             from: "find cheap".into(),
@@ -330,7 +346,7 @@ mod tests {
             min_margin: 10.0,
             ..Default::default()
         };
-        let out = optimize_creative(&mut scorer, &base, &edits, &strict);
+        let out = optimize_creative(&scorer, &mut scratch, &base, &edits, &strict);
         assert!(
             out.accepted.is_empty(),
             "margin 2.0 must not clear a 10.0 bar"

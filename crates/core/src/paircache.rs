@@ -9,6 +9,11 @@
 //! every candidate phrase up front, so that all later passes share one
 //! *immutable* interner: they can run on worker threads without
 //! synchronization and produce bit-identical results at any thread count.
+//!
+//! The serve-time analogue is [`Scorer::score_batch`](crate::serve::Scorer::score_batch),
+//! which applies the same amortize-the-preprocessing idea to a single
+//! request batch: tokenize each distinct snippet once, then score every
+//! pair against the cached token arenas.
 
 use microbrowse_text::{FxHashMap, NGramConfig, NGramExtractor, TermOccurrence};
 

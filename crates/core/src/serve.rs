@@ -43,7 +43,7 @@ use microbrowse_obs as obs;
 use microbrowse_store::codec::{self, DecodeError};
 use microbrowse_store::crc::crc32;
 use microbrowse_store::{write_atomic, ArtifactSlot, SlotError, SlotLoad, SnapshotError, StatsDb};
-use microbrowse_text::{Interner, Snippet, Tokenizer};
+use microbrowse_text::{FxHashMap, Interner, Snippet, TermOccurrence, TokenizedSnippet, Tokenizer};
 
 use crate::classifier::{ModelSpec, TrainedClassifier};
 use crate::error::{read_file_with_retry, MbError, RetryPolicy};
@@ -361,16 +361,41 @@ pub struct ScoreOutcome {
     pub fidelity: Fidelity,
 }
 
+/// Reusable per-thread working state for a [`Scorer`]: the interner and
+/// featurizer that scoring mutates. Splitting this out of the scorer keeps
+/// scoring `&self`, so one shared `&Scorer` serves any number of threads,
+/// each with its own `Scratch`.
+///
+/// Build one with [`Scorer::scratch`] (the model vocabulary is preloaded so
+/// trained feature ids keep their meaning) and reuse it across calls —
+/// reuse amortizes interner growth across requests.
+pub struct Scratch<'a> {
+    interner: Interner,
+    featurizer: Featurizer<'a>,
+}
+
+/// Per-unique-snippet preprocessing cached across one [`Scorer::score_batch`]
+/// call: the tokenization and (for term specs) the n-gram occurrences.
+struct BatchEntry {
+    tok: TokenizedSnippet,
+    occs: Option<Vec<TermOccurrence>>,
+}
+
 /// A ready-to-serve scorer: deployed model + statistics database.
 ///
-/// Owns its interner and featurizer state; create one per serving thread
-/// (construction is cheap next to model loading).
+/// The scorer itself is immutable — every scoring call takes a
+/// [`Scratch`] holding the mutable interner/featurizer state — so one
+/// scorer can be shared across serving threads (one scratch per thread).
 pub struct Scorer<'a> {
     model: &'a DeployedModel,
-    featurizer: Featurizer<'a>,
-    interner: Interner,
+    stats: &'a StatsDb,
+    /// Effective spec: degraded fidelity switches the rewrite family off.
+    spec: ModelSpec,
     tokenizer: Tokenizer,
     fidelity: Fidelity,
+    /// Lazily-built scratch backing the deprecated `&mut self` shims, so
+    /// legacy callers keep the old amortization across calls.
+    shim: Option<Scratch<'a>>,
 }
 
 impl<'a> Scorer<'a> {
@@ -396,15 +421,26 @@ impl<'a> Scorer<'a> {
                 ..model.spec
             },
         };
-        let mut interner = Interner::new();
-        let mut featurizer = Featurizer::new(spec, stats);
-        featurizer.preload_vocab(&model.vocab, &mut interner);
         Self {
             model,
-            featurizer,
-            interner,
+            stats,
+            spec,
             tokenizer: Tokenizer::default(),
             fidelity,
+            shim: None,
+        }
+    }
+
+    /// Build a fresh scratch for this scorer: a new interner and featurizer
+    /// with the model vocabulary preloaded, so trained feature ids keep
+    /// their meaning. One per scoring thread; cheap next to model loading.
+    pub fn scratch(&self) -> Scratch<'a> {
+        let mut interner = Interner::new();
+        let mut featurizer = Featurizer::new(self.spec, self.stats);
+        featurizer.preload_vocab(&self.model.vocab, &mut interner);
+        Scratch {
+            interner,
+            featurizer,
         }
     }
 
@@ -421,60 +457,217 @@ impl<'a> Scorer<'a> {
     /// Score a creative pair: positive means `r` is expected to out-click
     /// `s` (the Eq. 5 orientation), and the magnitude is the model's
     /// log-odds margin.
-    pub fn score_pair(&mut self, r: &Snippet, s: &Snippet) -> f64 {
+    pub fn score_pair(&self, r: &Snippet, s: &Snippet, scratch: &mut Scratch<'a>) -> f64 {
         let start = obs::now_if_enabled();
-        let tok_r = r.tokenize(&self.tokenizer, &mut self.interner);
-        let tok_s = s.tokenize(&self.tokenizer, &mut self.interner);
+        let tok_r = r.tokenize(&self.tokenizer, &mut scratch.interner);
+        let tok_s = s.tokenize(&self.tokenizer, &mut scratch.interner);
         let score = match &self.model.classifier {
             TrainedClassifier::Flat(lr) => {
-                let ex = self
-                    .featurizer
-                    .encode_flat(&tok_r, &tok_s, true, &mut self.interner);
+                let ex =
+                    scratch
+                        .featurizer
+                        .encode_flat(&tok_r, &tok_s, true, &mut scratch.interner);
                 lr.score(&ex.features)
             }
             TrainedClassifier::Coupled(cm) => {
-                let ex = self
-                    .featurizer
-                    .encode_coupled(&tok_r, &tok_s, true, &mut self.interner);
+                let ex =
+                    scratch
+                        .featurizer
+                        .encode_coupled(&tok_r, &tok_s, true, &mut scratch.interner);
                 cm.score(&ex)
             }
         };
-        obs::counter!("microbrowse_scores_total").inc();
-        if self.fidelity.is_degraded() {
-            obs::counter!("microbrowse_scores_degraded_total").inc();
-        }
-        obs::histogram!("microbrowse_score_latency_us").observe_since(start);
+        self.record_score(start);
         score
     }
 
     /// [`Self::score_pair`] with the fidelity attached: the API a serving
     /// system should prefer, because it cannot mistake a degraded score
     /// for a full-fidelity one.
-    pub fn score_pair_outcome(&mut self, r: &Snippet, s: &Snippet) -> ScoreOutcome {
+    pub fn score_pair_outcome(
+        &self,
+        r: &Snippet,
+        s: &Snippet,
+        scratch: &mut Scratch<'a>,
+    ) -> ScoreOutcome {
         ScoreOutcome {
-            score: self.score_pair(r, s),
+            score: self.score_pair(r, s, scratch),
             fidelity: self.fidelity.clone(),
         }
     }
 
     /// Predict whether `r` will out-click `s`.
-    pub fn predict_pair(&mut self, r: &Snippet, s: &Snippet) -> bool {
-        self.score_pair(r, s) > 0.0
+    pub fn predict_pair(&self, r: &Snippet, s: &Snippet, scratch: &mut Scratch<'a>) -> bool {
+        self.score_pair(r, s, scratch) > 0.0
     }
 
     /// Rank creatives best-first by round-robin pairwise scoring (Borda
     /// count over the model's pairwise margins).
-    pub fn rank(&mut self, creatives: &[Snippet]) -> Vec<usize> {
+    pub fn rank(&self, creatives: &[Snippet], scratch: &mut Scratch<'a>) -> Vec<usize> {
         let mut margin = vec![0.0f64; creatives.len()];
         for i in 0..creatives.len() {
             for j in (i + 1)..creatives.len() {
-                let s = self.score_pair(&creatives[i], &creatives[j]);
+                let s = self.score_pair(&creatives[i], &creatives[j], scratch);
                 margin[i] += s;
                 margin[j] -= s;
             }
         }
         let mut order: Vec<usize> = (0..creatives.len()).collect();
         order.sort_by(|&a, &b| margin[b].total_cmp(&margin[a]));
+        order
+    }
+
+    /// Score many pairs through one scratch, amortizing tokenization and
+    /// n-gram extraction across the batch: each distinct snippet is
+    /// processed once, however many pairs it appears in.
+    ///
+    /// Bit-identical to a [`Self::score_pair`] loop over `pairs`:
+    /// preprocessing is cached *lazily in pair order*, so interning and
+    /// feature-id assignment happen in exactly the sequence the serial loop
+    /// produces, and skipping a duplicate snippet's re-tokenization /
+    /// re-extraction is state-invariant (re-interning an existing string is
+    /// idempotent). The `score_batch_matches_score_pair_loop` proptest in
+    /// `core/tests/prop.rs` pins this down.
+    pub fn score_batch(&self, pairs: &[(Snippet, Snippet)], scratch: &mut Scratch<'a>) -> Vec<f64> {
+        self.score_batch_timed(pairs, scratch).0
+    }
+
+    /// [`Self::score_batch`] plus per-item wall-clock latency in
+    /// microseconds (first-time tokenization/extraction of a snippet is
+    /// attributed to the first pair that touches it).
+    pub fn score_batch_timed(
+        &self,
+        pairs: &[(Snippet, Snippet)],
+        scratch: &mut Scratch<'a>,
+    ) -> (Vec<f64>, Vec<u64>) {
+        let mut index: FxHashMap<&Snippet, usize> = FxHashMap::default();
+        let mut arena: Vec<BatchEntry> = Vec::new();
+        let mut scores = Vec::with_capacity(pairs.len());
+        let mut latencies = Vec::with_capacity(pairs.len());
+        for (r, s) in pairs {
+            let wall = std::time::Instant::now();
+            let start = obs::now_if_enabled();
+            // Mirror the serial interner-op order exactly: tokenize r then
+            // s, then extract occurrences for r then s, then rewrites
+            // (inside encode).
+            let ri = Self::tokenized_entry(r, &mut index, &mut arena, &self.tokenizer, scratch);
+            let si = Self::tokenized_entry(s, &mut index, &mut arena, &self.tokenizer, scratch);
+            if self.spec.terms {
+                Self::ensure_occs(ri, &mut arena, scratch);
+                Self::ensure_occs(si, &mut arena, scratch);
+            }
+            let (er, es) = (&arena[ri], &arena[si]);
+            let (r_occs, s_occs) = (
+                er.occs.as_deref().unwrap_or(&[]),
+                es.occs.as_deref().unwrap_or(&[]),
+            );
+            let score = match &self.model.classifier {
+                TrainedClassifier::Flat(lr) => {
+                    let ex = scratch.featurizer.encode_flat_with_occs(
+                        &er.tok,
+                        &es.tok,
+                        r_occs,
+                        s_occs,
+                        true,
+                        &mut scratch.interner,
+                    );
+                    lr.score(&ex.features)
+                }
+                TrainedClassifier::Coupled(cm) => {
+                    let ex = scratch.featurizer.encode_coupled_with_occs(
+                        &er.tok,
+                        &es.tok,
+                        r_occs,
+                        s_occs,
+                        true,
+                        &mut scratch.interner,
+                    );
+                    cm.score(&ex)
+                }
+            };
+            self.record_score(start);
+            scores.push(score);
+            latencies.push(wall.elapsed().as_micros() as u64);
+        }
+        (scores, latencies)
+    }
+
+    /// Arena index of `snippet`, tokenizing it on first encounter.
+    fn tokenized_entry<'p>(
+        snippet: &'p Snippet,
+        index: &mut FxHashMap<&'p Snippet, usize>,
+        arena: &mut Vec<BatchEntry>,
+        tokenizer: &Tokenizer,
+        scratch: &mut Scratch<'a>,
+    ) -> usize {
+        if let Some(&i) = index.get(snippet) {
+            return i;
+        }
+        let tok = snippet.tokenize(tokenizer, &mut scratch.interner);
+        arena.push(BatchEntry { tok, occs: None });
+        let i = arena.len() - 1;
+        index.insert(snippet, i);
+        i
+    }
+
+    /// Extract and cache n-gram occurrences for arena entry `i` if not done.
+    fn ensure_occs(i: usize, arena: &mut [BatchEntry], scratch: &mut Scratch<'a>) {
+        if arena[i].occs.is_none() {
+            let occs = scratch
+                .featurizer
+                .term_occurrences(&arena[i].tok, &mut scratch.interner);
+            arena[i].occs = Some(occs);
+        }
+    }
+
+    /// Per-score instrumentation shared by the single and batch paths.
+    fn record_score(&self, start: Option<std::time::Instant>) {
+        obs::counter!("microbrowse_scores_total").inc();
+        if self.fidelity.is_degraded() {
+            obs::counter!("microbrowse_scores_degraded_total").inc();
+        }
+        obs::histogram!("microbrowse_score_latency_us").observe_since(start);
+    }
+
+    /// The scratch backing the deprecated `&mut self` shims, built on first
+    /// use so legacy callers keep amortizing across calls.
+    fn shim_scratch(&mut self) -> Scratch<'a> {
+        self.shim.take().unwrap_or_else(|| self.scratch())
+    }
+
+    /// Deprecated `&mut self` form of [`Self::score_pair`].
+    #[deprecated(note = "use score_pair(&self, r, s, &mut scratch) with Scorer::scratch")]
+    pub fn score_pair_mut(&mut self, r: &Snippet, s: &Snippet) -> f64 {
+        let mut scratch = self.shim_scratch();
+        let score = self.score_pair(r, s, &mut scratch);
+        self.shim = Some(scratch);
+        score
+    }
+
+    /// Deprecated `&mut self` form of [`Self::score_pair_outcome`].
+    #[deprecated(note = "use score_pair_outcome(&self, r, s, &mut scratch) with Scorer::scratch")]
+    pub fn score_pair_outcome_mut(&mut self, r: &Snippet, s: &Snippet) -> ScoreOutcome {
+        let mut scratch = self.shim_scratch();
+        let outcome = self.score_pair_outcome(r, s, &mut scratch);
+        self.shim = Some(scratch);
+        outcome
+    }
+
+    /// Deprecated `&mut self` form of [`Self::predict_pair`].
+    #[deprecated(note = "use predict_pair(&self, r, s, &mut scratch) with Scorer::scratch")]
+    pub fn predict_pair_mut(&mut self, r: &Snippet, s: &Snippet) -> bool {
+        let mut scratch = self.shim_scratch();
+        let p = self.predict_pair(r, s, &mut scratch);
+        self.shim = Some(scratch);
+        p
+    }
+
+    /// Deprecated `&mut self` form of [`Self::rank`].
+    #[deprecated(note = "use rank(&self, creatives, &mut scratch) with Scorer::scratch")]
+    pub fn rank_mut(&mut self, creatives: &[Snippet]) -> Vec<usize> {
+        let mut scratch = self.shim_scratch();
+        let order = self.rank(creatives, &mut scratch);
+        self.shim = Some(scratch);
         order
     }
 }
@@ -831,12 +1024,13 @@ mod tests {
         };
         let reloaded = DeployedModel::from_bytes(&m.to_bytes()).unwrap();
         let stats = StatsDb::new();
-        let mut scorer = Scorer::new(&reloaded, &stats);
+        let scorer = Scorer::new(&reloaded, &stats);
+        let mut scratch = scorer.scratch();
         let r = Snippet::creative("air", "cheap flights", "book now");
         let s = Snippet::creative("air", "luxury flights", "book now");
-        assert!(scorer.score_pair(&r, &s) > 0.0);
-        assert!(scorer.score_pair(&s, &r) < 0.0);
-        assert!(scorer.predict_pair(&r, &s));
+        assert!(scorer.score_pair(&r, &s, &mut scratch) > 0.0);
+        assert!(scorer.score_pair(&s, &r, &mut scratch) < 0.0);
+        assert!(scorer.predict_pair(&r, &s, &mut scratch));
     }
 
     fn tmp_dir(tag: &str) -> std::path::PathBuf {
@@ -858,11 +1052,12 @@ mod tests {
             ],
         };
         let stats = StatsDb::new();
-        let mut scorer =
+        let scorer =
             Scorer::with_fidelity(&m, &stats, Fidelity::Degraded(DegradeReason::StatsMissing));
+        let mut scratch = scorer.scratch();
         let r = Snippet::creative("air", "cheap flights", "book now");
         let s = Snippet::creative("air", "flights with fees", "book now");
-        let outcome = scorer.score_pair_outcome(&r, &s);
+        let outcome = scorer.score_pair_outcome(&r, &s, &mut scratch);
         assert!(outcome.score > 0.0, "term weights still separate the pair");
         assert!(outcome.fidelity.is_degraded());
         assert_eq!(
@@ -900,10 +1095,14 @@ mod tests {
             &Fidelity::Degraded(DegradeReason::StatsMissing)
         );
         assert!(bundle.stats().is_empty());
-        let mut scorer = bundle.scorer();
+        let scorer = bundle.scorer();
+        let mut scratch = scorer.scratch();
         let r = Snippet::creative("air", "cheap flights", "book now");
         let s = Snippet::creative("air", "luxury flights", "book now");
-        assert!(scorer.score_pair_outcome(&r, &s).fidelity.is_degraded());
+        assert!(scorer
+            .score_pair_outcome(&r, &s, &mut scratch)
+            .fidelity
+            .is_degraded());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -971,10 +1170,11 @@ mod tests {
         let stats = StatsDb::new();
         let r = Snippet::creative("air", "cheap flights", "book now");
         let s = Snippet::creative("air", "flights with fees", "book now");
-        let full = Scorer::new(&m, &stats).score_pair(&r, &s);
-        let degraded =
-            Scorer::with_fidelity(&m, &stats, Fidelity::Degraded(DegradeReason::StatsMissing))
-                .score_pair(&r, &s);
+        let full_scorer = Scorer::new(&m, &stats);
+        let full = full_scorer.score_pair(&r, &s, &mut full_scorer.scratch());
+        let degraded_scorer =
+            Scorer::with_fidelity(&m, &stats, Fidelity::Degraded(DegradeReason::StatsMissing));
+        let degraded = degraded_scorer.score_pair(&r, &s, &mut degraded_scorer.scratch());
         assert_eq!(full, degraded);
     }
 
@@ -994,15 +1194,20 @@ mod tests {
         assert_eq!(bundle.model_generation(), None);
         let shared = std::sync::Arc::clone(&bundle);
         let handle = std::thread::spawn(move || {
-            let mut scorer = shared.scorer();
+            let scorer = shared.scorer();
+            let mut scratch = scorer.scratch();
             let r = Snippet::creative("air", "cheap flights", "book now");
             let s = Snippet::creative("air", "flights with fees", "book now");
-            scorer.score_pair(&r, &s)
+            scorer.score_pair(&r, &s, &mut scratch)
         });
         let from_thread = handle.join().expect("scoring thread");
         let r = Snippet::creative("air", "cheap flights", "book now");
         let s = Snippet::creative("air", "flights with fees", "book now");
-        assert_eq!(from_thread, bundle.scorer().score_pair(&r, &s));
+        let scorer = bundle.scorer();
+        assert_eq!(
+            from_thread,
+            scorer.score_pair(&r, &s, &mut scorer.scratch())
+        );
     }
 
     #[test]
@@ -1036,13 +1241,92 @@ mod tests {
             ],
         };
         let stats = StatsDb::new();
-        let mut scorer = Scorer::new(&m, &stats);
+        let scorer = Scorer::new(&m, &stats);
+        let mut scratch = scorer.scratch();
         let creatives = [
             Snippet::creative("x", "plain offer", "text"),
             Snippet::creative("x", "great offer", "text"),
             Snippet::creative("x", "good offer", "text"),
         ];
-        let order = scorer.rank(&creatives);
+        let order = scorer.rank(&creatives, &mut scratch);
         assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn one_scorer_shared_across_threads_with_scratches() {
+        // The point of the Scratch split: a single `&Scorer` used from many
+        // threads concurrently, each thread with its own scratch, must agree
+        // with serial scoring.
+        let m = sample_model();
+        let stats = StatsDb::new();
+        let scorer = Scorer::new(&m, &stats);
+        let r = Snippet::creative("air", "find cheap flights", "book now");
+        let s = Snippet::creative("air", "get discounts", "fees apply");
+        let serial = scorer.score_pair(&r, &s, &mut scorer.scratch());
+        let scorer_ref = &scorer;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut scratch = scorer_ref.scratch();
+                        scorer_ref.score_pair(
+                            &Snippet::creative("air", "find cheap flights", "book now"),
+                            &Snippet::creative("air", "get discounts", "fees apply"),
+                            &mut scratch,
+                        )
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("thread"), serial);
+            }
+        });
+    }
+
+    #[test]
+    fn score_batch_matches_serial_and_dedups_work() {
+        let m = sample_model();
+        let stats = StatsDb::new();
+        let scorer = Scorer::new(&m, &stats);
+        let a = Snippet::creative("air", "find cheap flights", "book now");
+        let b = Snippet::creative("air", "get discounts", "fees apply");
+        let c = Snippet::creative("air", "luxury flights", "no fees");
+        // Duplicate snippets across pairs exercise the arena reuse path.
+        let pairs = vec![
+            (a.clone(), b.clone()),
+            (b.clone(), c.clone()),
+            (a.clone(), c.clone()),
+            (a.clone(), b.clone()),
+        ];
+        let mut serial_scratch = scorer.scratch();
+        let serial: Vec<f64> = pairs
+            .iter()
+            .map(|(r, s)| scorer.score_pair(r, s, &mut serial_scratch))
+            .collect();
+        let mut batch_scratch = scorer.scratch();
+        let (batch, latencies) = scorer.score_batch_timed(&pairs, &mut batch_scratch);
+        assert_eq!(serial, batch);
+        assert_eq!(latencies.len(), pairs.len());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_mut_shims_match_scratch_api() {
+        let m = sample_model();
+        let stats = StatsDb::new();
+        let mut scorer = Scorer::new(&m, &stats);
+        let r = Snippet::creative("air", "find cheap flights", "book now");
+        let s = Snippet::creative("air", "get discounts", "fees apply");
+        let via_scratch = {
+            let fresh = Scorer::new(&m, &stats);
+            let mut scratch = fresh.scratch();
+            fresh.score_pair(&r, &s, &mut scratch)
+        };
+        assert_eq!(scorer.score_pair_mut(&r, &s), via_scratch);
+        assert_eq!(scorer.score_pair_outcome_mut(&r, &s).score, via_scratch);
+        assert_eq!(scorer.predict_pair_mut(&r, &s), via_scratch > 0.0);
+        let creatives = [r.clone(), s.clone()];
+        let order = scorer.rank_mut(&creatives);
+        assert_eq!(order.len(), 2);
     }
 }

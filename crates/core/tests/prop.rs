@@ -1,11 +1,16 @@
 //! Property-based tests for the core crate: diff invariants, scoring
-//! identities, featurization antisymmetry, serve-weight laws.
+//! identities, featurization antisymmetry, serve-weight laws, and the
+//! batch-scoring ≡ serial-scoring bit-identity contract.
 
 use microbrowse_core::corpus::{AdGroup, AdGroupId, Creative, CreativeId, Placement};
+use microbrowse_core::features::{OwnedTermFeat, PositionVocab};
 use microbrowse_core::model::{score_flat, snippet_relevance, TermJudgment};
 use microbrowse_core::rewrite::{changed_spans, token_diff, DiffOp, RewriteExtractor};
+use microbrowse_core::serve::{DegradeReason, DeployedModel, Fidelity, Scorer};
 use microbrowse_core::serveweight::serve_weights;
-use microbrowse_core::ModelSpec;
+use microbrowse_core::{ModelSpec, TrainedClassifier};
+use microbrowse_ml::coupled::CoupledModel;
+use microbrowse_ml::LogReg;
 use microbrowse_store::StatsDb;
 use microbrowse_text::{Interner, Snippet, Sym, Tokenizer};
 use proptest::prelude::*;
@@ -13,6 +18,48 @@ use proptest::prelude::*;
 // Re-export guard: keep the import list honest if names move.
 #[allow(unused_imports)]
 use microbrowse_core::features::Featurizer;
+
+/// A vocabulary over the `[a-d]` word salad the snippet strategies emit,
+/// with both term and rewrite features so every feature family can fire.
+fn batch_vocab() -> Vec<OwnedTermFeat> {
+    vec![
+        OwnedTermFeat::Term("a".into()),
+        OwnedTermFeat::Term("b".into()),
+        OwnedTermFeat::Term("ab".into()),
+        OwnedTermFeat::Term("cd".into()),
+        OwnedTermFeat::Rewrite("a".into(), "b".into()),
+        OwnedTermFeat::Rewrite("ab".into(), "cd".into()),
+    ]
+}
+
+/// A flat classifier (M5-style: terms + rewrites in one weight vector).
+fn flat_batch_model() -> DeployedModel {
+    let vocab = batch_vocab();
+    let weights = (0..vocab.len()).map(|i| 0.3 * i as f64 - 0.7).collect();
+    DeployedModel {
+        spec: ModelSpec::m5(),
+        classifier: TrainedClassifier::Flat(LogReg::from_parts(weights, 0.1)),
+        vocab,
+    }
+}
+
+/// A coupled classifier (M4-style: position and relevance decoupled).
+fn coupled_batch_model() -> DeployedModel {
+    let vocab = batch_vocab();
+    let terms = (0..vocab.len()).map(|i| 0.2 * i as f64 - 0.5).collect();
+    let pos = (0..PositionVocab::num_groups() as usize)
+        .map(|i| 1.0 - 0.1 * i as f64)
+        .collect();
+    DeployedModel {
+        spec: ModelSpec::m4(),
+        classifier: TrainedClassifier::Coupled(CoupledModel::from_parts(pos, terms, -0.2)),
+        vocab,
+    }
+}
+
+fn arb_snippet_lines() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,5}", 1..3)
+}
 
 fn arb_syms(max_vocab: u32, max_len: usize) -> impl Strategy<Value = Vec<Sym>> {
     prop::collection::vec((0..max_vocab).prop_map(Sym), 0..max_len)
@@ -161,5 +208,47 @@ proptest! {
             .sum();
         prop_assert!((weighted_mean - 1.0).abs() < 1e-9, "weighted mean {weighted_mean}");
         prop_assert!(sw.iter().all(|w| *w >= 0.0));
+    }
+
+    /// `Scorer::score_batch` is bit-for-bit identical to a serial
+    /// `score_pair` loop — flat and coupled classifiers, full and
+    /// degraded fidelity, with duplicate snippets forced into the batch
+    /// so the per-batch snippet cache is exercised.
+    #[test]
+    fn score_batch_matches_serial_loop_bitwise(
+        raw_pairs in prop::collection::vec((arb_snippet_lines(), arb_snippet_lines()), 1..5),
+        dup_first in any::<bool>(),
+    ) {
+        let stats = StatsDb::new();
+        let mut pairs: Vec<(Snippet, Snippet)> = raw_pairs
+            .into_iter()
+            .map(|(r, s)| (Snippet::from_lines(r), Snippet::from_lines(s)))
+            .collect();
+        if dup_first {
+            // Duplicates hit the batch arena cache; the serial loop
+            // re-tokenizes, so equality here proves cache transparency.
+            let first = pairs[0].clone();
+            pairs.push(first);
+        }
+        for model in [flat_batch_model(), coupled_batch_model()] {
+            for fidelity in [
+                Fidelity::Full,
+                Fidelity::Degraded(DegradeReason::StatsMissing),
+            ] {
+                let scorer = Scorer::with_fidelity(&model, &stats, fidelity);
+                let mut serial_scratch = scorer.scratch();
+                let serial: Vec<u64> = pairs
+                    .iter()
+                    .map(|(r, s)| scorer.score_pair(r, s, &mut serial_scratch).to_bits())
+                    .collect();
+                let mut batch_scratch = scorer.scratch();
+                let batch: Vec<u64> = scorer
+                    .score_batch(&pairs, &mut batch_scratch)
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect();
+                prop_assert_eq!(&serial, &batch, "spec {:?}", model.spec);
+            }
+        }
     }
 }

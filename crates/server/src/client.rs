@@ -5,10 +5,21 @@
 //! tooling (`curl` is not guaranteed in the build environment). Keep-alive
 //! is the default: one [`Client`] holds one connection and reuses it
 //! across requests.
+//!
+//! The typed helpers ([`Client::score`], [`Client::rank`],
+//! [`Client::score_batch`]) speak the [`microbrowse_api::v1`] wire types,
+//! so callers never assemble or pick apart JSON by hand; 2xx bodies parse
+//! into the response structs and everything else comes back as the typed
+//! [`ApiError`].
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use microbrowse_api::v1::{
+    BatchRequest, BatchResponse, ErrorEnvelope, RankRequest, RankResponse, ScoreRequest,
+    ScoreResponse,
+};
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -33,6 +44,43 @@ impl HttpResponse {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A typed request failure: either the transport broke, or the server
+/// answered with a non-2xx status (error envelope text included when it
+/// parsed).
+#[derive(Debug)]
+pub enum ApiError {
+    /// The request never completed at the IO layer.
+    Io(std::io::Error),
+    /// The server answered with a non-2xx status.
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// The `"error"` field of the envelope, or the raw body when the
+        /// envelope did not parse.
+        error: String,
+    },
+    /// A 2xx body did not parse as the expected v1 shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Io(e) => write!(f, "io error: {e}"),
+            ApiError::Status { status, error } => write!(f, "http {status}: {error}"),
+            ApiError::Malformed(detail) => write!(f, "malformed response: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<std::io::Error> for ApiError {
+    fn from(e: std::io::Error) -> Self {
+        ApiError::Io(e)
     }
 }
 
@@ -91,6 +139,40 @@ impl Client {
     /// Shorthand for a JSON `POST`.
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<HttpResponse> {
         self.request("POST", path, Some(body))
+    }
+
+    /// `POST /v1/score`, typed end to end.
+    pub fn score(&mut self, req: &ScoreRequest) -> Result<ScoreResponse, ApiError> {
+        let resp = self.post("/v1/score", &req.to_json())?;
+        Self::parse_2xx(&resp, ScoreResponse::from_json)
+    }
+
+    /// `POST /v1/rank`, typed end to end.
+    pub fn rank(&mut self, req: &RankRequest) -> Result<RankResponse, ApiError> {
+        let resp = self.post("/v1/rank", &req.to_json())?;
+        Self::parse_2xx(&resp, RankResponse::from_json)
+    }
+
+    /// `POST /v1/batch`, typed end to end.
+    pub fn score_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, ApiError> {
+        let resp = self.post("/v1/batch", &req.to_json())?;
+        Self::parse_2xx(&resp, BatchResponse::from_json)
+    }
+
+    /// Map a raw response to a parsed 2xx body or a typed [`ApiError`].
+    fn parse_2xx<T>(
+        resp: &HttpResponse,
+        parse: impl FnOnce(&str) -> Result<T, microbrowse_api::v1::WireError>,
+    ) -> Result<T, ApiError> {
+        let body = resp.body_str();
+        if !(200..300).contains(&resp.status) {
+            let error = ErrorEnvelope::from_json(&body).map_or(body, |env| env.error);
+            return Err(ApiError::Status {
+                status: resp.status,
+                error,
+            });
+        }
+        parse(&body).map_err(|e| ApiError::Malformed(e.to_string()))
     }
 
     fn fill(&mut self) -> std::io::Result<usize> {

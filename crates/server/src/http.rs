@@ -176,6 +176,40 @@ impl<R: Read> RequestReader<R> {
         Ok(Some(req))
     }
 
+    /// Pop one more *already-buffered* pipelined request, without touching
+    /// the socket. Returns the request only when a complete head + body is
+    /// sitting in the buffer **and** `accept` (which sees the parsed head
+    /// with an empty body) approves it; in every other case — incomplete
+    /// bytes, a parse error, or a rejected request — the buffer is left
+    /// untouched for the next [`RequestReader::next_request`] call to
+    /// handle normally.
+    ///
+    /// This is what makes opportunistic micro-batching safe: the server
+    /// can drain a burst of pipelined `/v1/score` requests into one engine
+    /// pass, while anything it does not want to coalesce (other endpoints,
+    /// malformed requests, half-arrived bytes) takes the ordinary path
+    /// with ordinary error handling.
+    pub fn next_buffered_if(
+        &mut self,
+        accept: impl FnOnce(&HttpRequest) -> bool,
+    ) -> Option<HttpRequest> {
+        let head_end = find(&self.buf, b"\r\n\r\n")? + 4;
+        if head_end > self.limits.max_head_bytes {
+            return None;
+        }
+        let mut req = parse_head(&self.buf[..head_end - 4], &self.limits).ok()?;
+        let body_len = body_length(&req, &self.limits).ok()?;
+        if self.buf.len() < head_end + body_len {
+            return None;
+        }
+        if !accept(&req) {
+            return None;
+        }
+        self.buf.drain(..head_end);
+        req.body = self.buf.drain(..body_len).collect();
+        Some(req)
+    }
+
     /// One `read` into the buffer; maps timeouts to [`HttpError::Timeout`]
     /// (mid-request iff bytes are already pending) and retries EINTR.
     fn fill(&mut self) -> Result<usize, HttpError> {
@@ -435,6 +469,32 @@ mod tests {
         let second = reader.next_request().unwrap().unwrap();
         assert_eq!(second.path(), "/b");
         assert!(reader.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn buffered_pop_consumes_only_accepted_complete_requests() {
+        let bytes = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nxy\
+                      POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nzw\
+                      GET /b HTTP/1.1\r\n\r\n\
+                      POST /a HTTP/1.1\r\nContent-Length: 9\r\n\r\ntrunc";
+        let mut reader = RequestReader::new(&bytes[..], Limits::default());
+        // Prime the buffer through the normal path.
+        let first = reader.next_request().unwrap().unwrap();
+        assert_eq!(first.body, b"xy");
+        // Second /a is complete and accepted.
+        let second = reader.next_buffered_if(|r| r.path() == "/a").unwrap();
+        assert_eq!(second.body, b"zw");
+        // /b is complete but rejected by the predicate: left in place…
+        assert!(reader.next_buffered_if(|r| r.path() == "/a").is_none());
+        // …and still served by the ordinary path.
+        let third = reader.next_request().unwrap().unwrap();
+        assert_eq!(third.path(), "/b");
+        // The truncated request is never popped from the buffer alone.
+        assert!(reader.next_buffered_if(|_| true).is_none());
+        assert!(matches!(
+            reader.next_request(),
+            Err(HttpError::BadRequest(_))
+        ));
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //!
 //! * `POST /v1/score` — score one creative pair (`{"r": "...", "s": "..."}`).
 //! * `POST /v1/rank` — rank creatives best-first (`{"creatives": [...]}`).
+//! * `POST /v1/batch` — score a JSON array of pairs in one engine pass;
+//!   arrays over `--max-batch` answer `413`.
 //! * `GET /healthz` — slot generations, fidelity, queue depth; `503` when
 //!   degraded or draining.
 //! * `GET /metrics` — Prometheus text dump of the `microbrowse-obs`
@@ -19,6 +21,14 @@
 //! **hot-swaps** a freshly loaded `Arc<ServingBundle>` with zero downtime.
 //! Shutdown drains in-flight sessions up to a deadline and reports
 //! drained/aborted counts.
+//!
+//! Every request and response body is a [`microbrowse_api::v1`] wire type —
+//! this crate contains no ad-hoc JSON shapes. Workers also coalesce bursts
+//! of pipelined `/v1/score` requests into one
+//! [`Scorer::score_batch`](microbrowse_core::serve::Scorer::score_batch)
+//! pass (micro-batching), which `/metrics` reports through the
+//! `microbrowse_batch_*` counters and the `microbrowse_batch_size`
+//! histogram.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -21,10 +21,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use microbrowse_api::v1::{
+    BatchRequest, BatchResponse, ErrorEnvelope, Fidelity, RankRequest, RankResponse, ScoreRequest,
+    ScoreResponse,
+};
 use microbrowse_core::error::MbError;
-use microbrowse_core::serve::{Fidelity, Scorer, ServingBundle};
+use microbrowse_core::serve::{Scorer, Scratch, ServingBundle};
 use microbrowse_obs as obs;
-use microbrowse_obs::json::{array, Json, JsonObject};
+use microbrowse_obs::json::JsonObject;
 use microbrowse_text::Snippet;
 
 use crate::http::{error_response, HttpRequest, Limits, RequestReader, Response};
@@ -52,6 +56,10 @@ pub struct ServerConfig {
     /// How long [`ServerHandle::shutdown`] waits for in-flight sessions
     /// before force-aborting them.
     pub drain_deadline: Duration,
+    /// Largest `/v1/batch` request accepted (items), and the cap on how
+    /// many pipelined `/v1/score` requests one worker coalesces into a
+    /// single engine pass. Larger batches answer `413`.
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +73,7 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             reload_poll: Duration::from_millis(200),
             drain_deadline: Duration::from_secs(5),
+            max_batch: 256,
         }
     }
 }
@@ -98,13 +107,19 @@ pub const HTTP_METRIC_COUNTERS: &[&str] = &[
     "microbrowse_http_connections_total",
     "microbrowse_serve_reloads_total",
     "microbrowse_serve_reload_failures_total",
+    "microbrowse_batch_requests_total",
+    "microbrowse_batch_items_total",
+    "microbrowse_batch_coalesced_total",
 ];
 
-/// Per-endpoint latency histograms (microseconds).
+/// Per-endpoint latency histograms (microseconds), plus the batch-size
+/// distribution (items per engine pass, `/v1/batch` and coalesced alike).
 pub const HTTP_METRIC_HISTOGRAMS: &[&str] = &[
     "microbrowse_http_score_latency_us",
     "microbrowse_http_rank_latency_us",
+    "microbrowse_http_batch_latency_us",
     "microbrowse_http_other_latency_us",
+    "microbrowse_batch_size",
 ];
 
 struct Shared {
@@ -319,12 +334,20 @@ fn worker_loop(shared: &Shared) {
 /// Serve one connection's whole keep-alive session. The outer loop pins a
 /// bundle + scorer for the current reload epoch; the inner loop serves
 /// requests until close, error, or epoch change.
+///
+/// When a request turns out to be `POST /v1/score` and more complete
+/// score requests are already pipelined in the read buffer, the worker
+/// coalesces up to [`ServerConfig::max_batch`] of them into one
+/// [`Scorer::score_batch`] pass (see [`serve_score_group`]) and writes the
+/// responses back in arrival order — identical bytes, amortized engine
+/// work.
 fn serve_connection(shared: &Shared, stream: &TcpStream) {
     let mut reader = RequestReader::new(stream, shared.cfg.limits.clone());
     'epoch: loop {
         let epoch = shared.state.epoch();
         let bundle = shared.state.current();
-        let mut scorer = bundle.scorer();
+        let scorer = bundle.scorer();
+        let mut scratch = scorer.scratch();
         loop {
             if shared.force_abort.load(Ordering::Relaxed) {
                 shared.aborted.fetch_add(1, Ordering::Relaxed);
@@ -336,20 +359,38 @@ fn serve_connection(shared: &Shared, stream: &TcpStream) {
             let draining = shared.draining.load(Ordering::SeqCst);
             match reader.next_request() {
                 Ok(Some(req)) => {
-                    let mut resp = route(&req, &mut scorer, &bundle, shared);
-                    if draining || !req.keep_alive {
-                        resp.close = true;
-                    }
-                    let wrote = resp.write_to(&mut &*stream).is_ok();
-                    if draining {
-                        if wrote {
-                            shared.drained.fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            shared.aborted.fetch_add(1, Ordering::Relaxed);
+                    let mut group = vec![req];
+                    let coalescable = |r: &HttpRequest| {
+                        r.method == "POST" && r.path() == "/v1/score" && r.keep_alive
+                    };
+                    if !draining && coalescable(&group[0]) {
+                        while group.len() < shared.cfg.max_batch {
+                            match reader.next_buffered_if(coalescable) {
+                                Some(r) => group.push(r),
+                                None => break,
+                            }
                         }
                     }
-                    if resp.close || !wrote {
-                        return;
+                    let responses = if group.len() == 1 {
+                        vec![route(&group[0], &scorer, &mut scratch, &bundle, shared)]
+                    } else {
+                        serve_score_group(&group, &scorer, &mut scratch)
+                    };
+                    for (req, mut resp) in group.iter().zip(responses) {
+                        if draining || !req.keep_alive {
+                            resp.close = true;
+                        }
+                        let wrote = resp.write_to(&mut &*stream).is_ok();
+                        if draining {
+                            if wrote {
+                                shared.drained.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                shared.aborted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        if resp.close || !wrote {
+                            return;
+                        }
                     }
                 }
                 Ok(None) => return, // clean close between requests
@@ -375,9 +416,10 @@ fn serve_connection(shared: &Shared, stream: &TcpStream) {
 }
 
 /// Dispatch one request, with per-endpoint metrics and a request span.
-fn route(
+fn route<'a>(
     req: &HttpRequest,
-    scorer: &mut Scorer<'_>,
+    scorer: &Scorer<'a>,
+    scratch: &mut Scratch<'a>,
     bundle: &ServingBundle,
     shared: &Shared,
 ) -> Response {
@@ -385,16 +427,20 @@ fn route(
     let endpoint = match (req.method.as_str(), req.path()) {
         ("POST", "/v1/score") => "score",
         ("POST", "/v1/rank") => "rank",
+        ("POST", "/v1/batch") => "batch",
         ("GET", "/healthz") => "healthz",
         ("GET", "/metrics") => "metrics",
         ("GET", "/version") => "version",
-        (_, "/v1/score" | "/v1/rank" | "/healthz" | "/metrics" | "/version") => "bad_method",
+        (_, "/v1/score" | "/v1/rank" | "/v1/batch" | "/healthz" | "/metrics" | "/version") => {
+            "bad_method"
+        }
         _ => "unknown",
     };
     let mut span = obs::trace::span("serve.request").with("endpoint", endpoint);
     let resp = match endpoint {
-        "score" => handle_score(req, scorer),
-        "rank" => handle_rank(req, scorer),
+        "score" => handle_score(req, scorer, scratch),
+        "rank" => handle_rank(req, scorer, scratch),
+        "batch" => handle_batch(req, scorer, scratch, shared),
         "healthz" => handle_healthz(bundle, shared),
         "metrics" => Response::text(200, obs::metrics::registry().render_prometheus()),
         "version" => Response::json(
@@ -404,17 +450,10 @@ fn route(
                 .str("version", env!("CARGO_PKG_VERSION"))
                 .finish(),
         ),
-        "bad_method" => Response::json(
-            405,
-            JsonObject::new()
-                .str("error", "method not allowed")
-                .finish(),
-        ),
+        "bad_method" => Response::json(405, ErrorEnvelope::new("method not allowed").to_json()),
         _ => Response::json(
             404,
-            JsonObject::new()
-                .str("error", &format!("no such endpoint: {}", req.path()))
-                .finish(),
+            ErrorEnvelope::new(format!("no such endpoint: {}", req.path())).to_json(),
         ),
     };
     span.add("status", resp.status as u64);
@@ -423,6 +462,7 @@ fn route(
     match endpoint {
         "score" => obs::histogram!("microbrowse_http_score_latency_us").observe_since(started),
         "rank" => obs::histogram!("microbrowse_http_rank_latency_us").observe_since(started),
+        "batch" => obs::histogram!("microbrowse_http_batch_latency_us").observe_since(started),
         _ => obs::histogram!("microbrowse_http_other_latency_us").observe_since(started),
     }
     match resp.status {
@@ -433,12 +473,14 @@ fn route(
     resp
 }
 
-/// Parse the JSON request body, answering 400 with a reason on any shape
-/// mismatch.
-fn parse_body(req: &HttpRequest) -> Result<Json, Response> {
-    let bad = |msg: &str| Response::json(400, JsonObject::new().str("error", msg).finish());
-    let text = std::str::from_utf8(&req.body).map_err(|_| bad("body is not valid UTF-8"))?;
-    Json::parse(text).map_err(|at| bad(&format!("body is not valid JSON (error at byte {at})")))
+/// 400 with the v1 error envelope.
+fn bad_request(e: impl std::fmt::Display) -> Response {
+    Response::json(400, ErrorEnvelope::new(e.to_string()).to_json())
+}
+
+/// The request body as UTF-8, or the 400 that says it is not.
+fn body_str(req: &HttpRequest) -> Result<&str, Response> {
+    std::str::from_utf8(&req.body).map_err(|_| bad_request("body is not valid UTF-8"))
 }
 
 /// A creative from its `|`-separated line form (same syntax as the CLI).
@@ -446,85 +488,147 @@ fn parse_snippet(text: &str) -> Snippet {
     Snippet::from_lines(text.split('|').map(str::trim))
 }
 
-/// Shared tail of score/rank responses: fidelity + optional degrade
-/// reason.
-fn with_fidelity(mut obj: JsonObject, fidelity: &Fidelity) -> JsonObject {
-    match fidelity {
-        Fidelity::Full => obj = obj.str("fidelity", "full"),
-        Fidelity::Degraded(reason) => {
-            obj = obj
-                .str("fidelity", "degraded")
-                .str("degrade_reason", &reason.to_string());
-        }
-    }
-    obj
-}
-
 /// `POST /v1/score` — body `{"r": "l1|l2|l3", "s": "l1|l2|l3"}`.
-fn handle_score(req: &HttpRequest, scorer: &mut Scorer<'_>) -> Response {
-    let body = match parse_body(req) {
+fn handle_score<'a>(req: &HttpRequest, scorer: &Scorer<'a>, scratch: &mut Scratch<'a>) -> Response {
+    let sreq = match body_str(req).and_then(|t| ScoreRequest::from_json(t).map_err(bad_request)) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
-    let (Some(r), Some(s)) = (
-        body.get("r").and_then(Json::as_str),
-        body.get("s").and_then(Json::as_str),
-    ) else {
-        return Response::json(
-            400,
-            JsonObject::new()
-                .str("error", "body must have string fields \"r\" and \"s\"")
-                .finish(),
-        );
-    };
     let started = Instant::now();
-    let outcome = scorer.score_pair_outcome(&parse_snippet(r), &parse_snippet(s));
-    let obj = JsonObject::new()
-        .f64("score", outcome.score)
-        .str("winner", if outcome.score > 0.0 { "R" } else { "S" });
-    let obj = with_fidelity(obj, &outcome.fidelity)
-        .u64("latency_us", started.elapsed().as_micros() as u64);
-    Response::json(200, obj.finish())
+    let outcome =
+        scorer.score_pair_outcome(&parse_snippet(&sreq.r), &parse_snippet(&sreq.s), scratch);
+    let resp = ScoreResponse::from_outcome(&outcome, started.elapsed().as_micros() as u64);
+    Response::json(200, resp.to_json())
 }
 
 /// `POST /v1/rank` — body `{"creatives": ["l1|l2|l3", ...]}` (≥ 2).
-fn handle_rank(req: &HttpRequest, scorer: &mut Scorer<'_>) -> Response {
-    let body = match parse_body(req) {
+fn handle_rank<'a>(req: &HttpRequest, scorer: &Scorer<'a>, scratch: &mut Scratch<'a>) -> Response {
+    let rreq = match body_str(req).and_then(|t| RankRequest::from_json(t).map_err(bad_request)) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
-    let creatives: Option<Vec<Snippet>> =
-        body.get("creatives")
-            .and_then(Json::as_array)
-            .and_then(|items| {
-                items
-                    .iter()
-                    .map(|v| v.as_str().map(parse_snippet))
-                    .collect()
-            });
-    let Some(creatives) = creatives else {
-        return Response::json(
-            400,
-            JsonObject::new()
-                .str("error", "body must have a string array field \"creatives\"")
-                .finish(),
-        );
+    if let Err(e) = rreq.validate() {
+        return bad_request(e);
+    }
+    let creatives: Vec<Snippet> = rreq.creatives.iter().map(|c| parse_snippet(c)).collect();
+    let started = Instant::now();
+    let order = scorer.rank(&creatives, scratch);
+    let resp = RankResponse::from_zero_based(
+        &order,
+        scorer.fidelity().into(),
+        started.elapsed().as_micros() as u64,
+    );
+    Response::json(200, resp.to_json())
+}
+
+/// `POST /v1/batch` — body `[{"r": …, "s": …}, …]`, at most
+/// [`ServerConfig::max_batch`] items. The whole array goes through one
+/// [`Scorer::score_batch`] pass; the response carries a per-item
+/// [`ScoreResponse`] (own latency each) plus the aggregate wall time.
+fn handle_batch<'a>(
+    req: &HttpRequest,
+    scorer: &Scorer<'a>,
+    scratch: &mut Scratch<'a>,
+    shared: &Shared,
+) -> Response {
+    let breq = match body_str(req).and_then(|t| BatchRequest::from_json(t).map_err(bad_request)) {
+        Ok(v) => v,
+        Err(resp) => return resp,
     };
-    if creatives.len() < 2 {
+    if breq.items.len() > shared.cfg.max_batch {
         return Response::json(
-            400,
-            JsonObject::new()
-                .str("error", "ranking needs at least two creatives")
-                .finish(),
+            413,
+            ErrorEnvelope::new(format!(
+                "batch of {} items over the limit of {}",
+                breq.items.len(),
+                shared.cfg.max_batch
+            ))
+            .to_json(),
         );
     }
+    obs::counter!("microbrowse_batch_requests_total").inc();
+    obs::counter!("microbrowse_batch_items_total").add(breq.items.len() as u64);
+    obs::histogram!("microbrowse_batch_size").observe_us(breq.items.len() as u64);
+
+    let pairs: Vec<(Snippet, Snippet)> = breq
+        .items
+        .iter()
+        .map(|item| (parse_snippet(&item.r), parse_snippet(&item.s)))
+        .collect();
     let started = Instant::now();
-    let order = scorer.rank(&creatives);
-    let rendered: Vec<String> = order.iter().map(|&i| (i + 1).to_string()).collect();
-    let obj = JsonObject::new().raw("order", &array(&rendered));
-    let obj = with_fidelity(obj, scorer.fidelity())
-        .u64("latency_us", started.elapsed().as_micros() as u64);
-    Response::json(200, obj.finish())
+    let (scores, latencies) = scorer.score_batch_timed(&pairs, scratch);
+    let fidelity: Fidelity = scorer.fidelity().into();
+    let results: Vec<ScoreResponse> = scores
+        .iter()
+        .zip(&latencies)
+        .map(|(&score, &lat)| ScoreResponse::new(score, fidelity.clone(), lat))
+        .collect();
+    let resp = BatchResponse {
+        results,
+        latency_us: started.elapsed().as_micros() as u64,
+    };
+    Response::json(200, resp.to_json())
+}
+
+/// Serve a coalesced group of pipelined `/v1/score` requests through one
+/// [`Scorer::score_batch`] pass. Each request still gets its own response
+/// with exactly the bytes the single-request path would have produced —
+/// malformed bodies answer their own 400 without sinking the rest of the
+/// group.
+fn serve_score_group<'a>(
+    group: &[HttpRequest],
+    scorer: &Scorer<'a>,
+    scratch: &mut Scratch<'a>,
+) -> Vec<Response> {
+    let mut span = obs::trace::span("serve.coalesced").with("size", group.len() as u64);
+    obs::counter!("microbrowse_batch_coalesced_total").add(group.len() as u64);
+    obs::histogram!("microbrowse_batch_size").observe_us(group.len() as u64);
+
+    let parsed: Vec<Result<ScoreRequest, Response>> = group
+        .iter()
+        .map(|req| body_str(req).and_then(|t| ScoreRequest::from_json(t).map_err(bad_request)))
+        .collect();
+    let pairs: Vec<(Snippet, Snippet)> = parsed
+        .iter()
+        .filter_map(|p| p.as_ref().ok())
+        .map(|sreq| (parse_snippet(&sreq.r), parse_snippet(&sreq.s)))
+        .collect();
+    let (scores, latencies) = scorer.score_batch_timed(&pairs, scratch);
+    let fidelity: Fidelity = scorer.fidelity().into();
+
+    let mut scored = scores.iter().zip(&latencies);
+    let responses: Vec<Response> = parsed
+        .into_iter()
+        .map(|p| match p {
+            Ok(_) => match scored.next() {
+                Some((&score, &lat)) => {
+                    obs::histogram!("microbrowse_http_score_latency_us").observe_us(lat);
+                    Response::json(
+                        200,
+                        ScoreResponse::new(score, fidelity.clone(), lat).to_json(),
+                    )
+                }
+                // Unreachable: score_batch returns one score per parsed pair.
+                None => Response::json(
+                    500,
+                    ErrorEnvelope::new("batch scoring dropped a result".to_string()).to_json(),
+                ),
+            },
+            Err(resp) => resp,
+        })
+        .collect();
+
+    let mut ok = 0u64;
+    for resp in &responses {
+        obs::counter!("microbrowse_http_requests_total").inc();
+        match resp.status {
+            400..=499 => obs::counter!("microbrowse_http_responses_4xx_total").inc(),
+            500..=599 => obs::counter!("microbrowse_http_responses_5xx_total").inc(),
+            _ => ok += 1,
+        }
+    }
+    span.add("scored", ok);
+    responses
 }
 
 /// `GET /healthz` — `200` only when serving at full fidelity and not
@@ -548,7 +652,7 @@ fn handle_healthz(bundle: &ServingBundle, shared: &Shared) -> Response {
         .u64("queue_depth", shared.queue.len() as u64)
         .u64("epoch", shared.state.epoch())
         .u64("reloads", shared.state.reloads());
-    let obj = with_fidelity(obj, bundle.fidelity());
+    let obj = Fidelity::from(bundle.fidelity()).append_to(obj);
     let status = if draining || degraded { 503 } else { 200 };
     Response::json(status, obj.finish())
 }

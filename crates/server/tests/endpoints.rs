@@ -314,6 +314,195 @@ fn degraded_bundle_makes_healthz_503_with_reason() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Zero every `"latency_us":<digits>` value so wire bodies can be compared
+/// byte-for-byte modulo timing.
+fn normalize_latency(body: &str) -> String {
+    let key = "\"latency_us\":";
+    let mut out = String::with_capacity(body.len());
+    let mut rest = body;
+    while let Some(i) = rest.find(key) {
+        out.push_str(&rest[..i + key.len()]);
+        out.push('0');
+        rest = rest[i + key.len()..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn batch_of_one_matches_single_score_byte_for_byte() {
+    let handle = start(ServerConfig::default(), static_bundle(1.0)).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let single = c
+        .post(
+            "/v1/score",
+            r#"{"r":"cheap flights|book now","s":"flights|book"}"#,
+        )
+        .expect("score");
+    assert_eq!(single.status, 200, "{}", single.body_str());
+
+    let batch = c
+        .post(
+            "/v1/batch",
+            r#"[{"r":"cheap flights|book now","s":"flights|book"}]"#,
+        )
+        .expect("batch");
+    assert_eq!(batch.status, 200, "{}", batch.body_str());
+    let body = batch.body_str();
+    assert!(body.contains("\"count\":1"), "{body}");
+
+    // The lone result object must be the /v1/score body, byte for byte,
+    // once latency (the only nondeterministic field) is zeroed.
+    let start_i = body.find("\"results\":[").expect("results array") + "\"results\":[".len();
+    let end_i = body.rfind("],\"count\"").expect("count after results");
+    let item = &body[start_i..end_i];
+    assert_eq!(
+        normalize_latency(item),
+        normalize_latency(&single.body_str()),
+        "batch item diverged from /v1/score"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn batch_over_max_batch_answers_413() {
+    let cfg = ServerConfig {
+        max_batch: 2,
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle(1.0)).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let ok = c
+        .post(
+            "/v1/batch",
+            r#"[{"r":"cheap|a","s":"b|c"},{"r":"x|y","s":"cheap|z"}]"#,
+        )
+        .expect("batch at cap");
+    assert_eq!(ok.status, 200, "{}", ok.body_str());
+
+    let over = c
+        .post(
+            "/v1/batch",
+            r#"[{"r":"a|b","s":"c|d"},{"r":"e|f","s":"g|h"},{"r":"i|j","s":"k|l"}]"#,
+        )
+        .expect("batch over cap");
+    assert_eq!(over.status, 413, "{}", over.body_str());
+    let body = over.body_str();
+    assert!(body.contains("over the limit of 2"), "{body}");
+
+    // The connection survives the 413.
+    let resp = c
+        .post("/v1/score", r#"{"r":"cheap|a","s":"b|c"}"#)
+        .expect("score after 413");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    handle.shutdown();
+}
+
+#[test]
+fn batch_endpoint_and_bad_batch_bodies() {
+    let handle = start(ServerConfig::default(), static_bundle(1.0)).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let resp = c
+        .post(
+            "/v1/batch",
+            r#"[{"r":"cheap|a","s":"b|c"},{"r":"b|c","s":"cheap|a"}]"#,
+        )
+        .expect("batch");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let body = resp.body_str();
+    assert!(body.contains("\"winner\":\"R\""), "{body}");
+    assert!(body.contains("\"winner\":\"S\""), "{body}");
+    assert!(body.contains("\"count\":2"), "{body}");
+    assert!(body.contains("\"latency_us\":"), "{body}");
+
+    let resp = c.post("/v1/batch", r#"{"r":"a","s":"b"}"#).expect("object");
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let resp = c.post("/v1/batch", r#"[{"r":"a"}]"#).expect("missing s");
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let resp = c.get("/v1/batch").expect("wrong method");
+    assert_eq!(resp.status, 405);
+
+    // Batch metrics are exported.
+    let resp = c.get("/metrics").expect("metrics");
+    let body = resp.body_str();
+    assert!(body.contains("microbrowse_batch_requests_total"), "{body}");
+    assert!(body.contains("microbrowse_batch_items_total"), "{body}");
+    assert!(body.contains("microbrowse_batch_size"), "{body}");
+    assert!(body.contains("microbrowse_http_batch_latency_us"), "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_scores_are_coalesced_into_batches() {
+    use std::io::{Read as _, Write as _};
+
+    let handle = start(ServerConfig::default(), static_bundle(1.0)).expect("start");
+    let addr = handle.addr();
+    let body = r#"{"r":"cheap|a","s":"b|c"}"#;
+    let one = format!(
+        "POST /v1/score HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let burst = one.repeat(8);
+
+    // Coalescing needs the burst to land in the server's read buffer in one
+    // go; retry a few times in case the kernel splits the segments.
+    let mut coalesced = 0u64;
+    for _ in 0..5 {
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
+        raw.set_nodelay(true).expect("nodelay");
+        raw.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        raw.write_all(burst.as_bytes()).expect("write burst");
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while bytes_of(&buf, "\"winner\":\"R\"") < 8 {
+            let n = raw.read(&mut chunk).expect("read responses");
+            assert!(
+                n > 0,
+                "connection closed early: {}",
+                String::from_utf8_lossy(&buf)
+            );
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let text = String::from_utf8_lossy(&buf);
+        assert_eq!(bytes_of(&buf, "HTTP/1.1 200"), 8, "{text}");
+        drop(raw);
+
+        let mut c = Client::connect(addr).expect("connect");
+        let metrics = c.get("/metrics").expect("metrics").body_str();
+        coalesced = metric_value(&metrics, "microbrowse_batch_coalesced_total");
+        if coalesced > 0 {
+            break;
+        }
+    }
+    assert!(coalesced > 0, "no pipelined requests were coalesced");
+    handle.shutdown();
+}
+
+/// Occurrences of `needle` in `haystack` bytes.
+fn bytes_of(haystack: &[u8], needle: &str) -> usize {
+    let needle = needle.as_bytes();
+    if haystack.len() < needle.len() {
+        return 0;
+    }
+    (0..=haystack.len() - needle.len())
+        .filter(|&i| &haystack[i..i + needle.len()] == needle)
+        .count()
+}
+
+/// The value of a plain counter line in a Prometheus text dump.
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 #[test]
 fn shutdown_drains_in_flight_and_reports() {
     let handle = start(ServerConfig::default(), static_bundle(1.0)).expect("start");

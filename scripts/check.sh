@@ -15,9 +15,10 @@ cargo test --quiet -p microbrowse-faultinject
 cargo test --quiet -p microbrowse-store --test corrupt
 cargo test --quiet -p microbrowse-core --test artifact_errors
 
-echo "==> no unwrap/expect on artifact load/serve paths (incl. obs + server)"
+echo "==> no unwrap/expect on artifact load/serve paths (incl. obs + api + server)"
 if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs \
     crates/core/src/error.rs crates/obs/src crates/cli/src crates/server/src \
+    crates/api/src \
     | python3 -c '
 import sys, re
 bad = []
@@ -49,10 +50,13 @@ cargo build --locked --release -q -p microbrowse-cli --bin microbrowse \
     -p microbrowse-server --bin serve_smoke
 ./target/release/serve_smoke --bin ./target/release/microbrowse
 
+echo "==> wire-API docs complete and warning-free"
+RUSTDOCFLAGS="-D warnings" cargo doc --locked --no-deps -q -p microbrowse-api
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, fault injection, unwrap audit, overhead gate, server smoke, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, overhead gate, server smoke, api docs, clippy, fmt all green"

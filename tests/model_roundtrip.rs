@@ -92,16 +92,18 @@ fn roundtrip_predictions_agree(spec: ModelSpec) {
         "model must survive the disk round trip bit-exactly"
     );
 
-    let mut live = Scorer::new(&model, &stats);
-    let mut reloaded = Scorer::new(&model2, &stats2);
+    let live = Scorer::new(&model, &stats);
+    let reloaded = Scorer::new(&model2, &stats2);
+    let mut live_scratch = live.scratch();
+    let mut reloaded_scratch = reloaded.scratch();
     let probes = probe_snippets();
     for (i, r) in probes.iter().enumerate() {
         for (j, s) in probes.iter().enumerate() {
             if i == j {
                 continue;
             }
-            let a = live.score_pair(r, s);
-            let b = reloaded.score_pair(r, s);
+            let a = live.score_pair(r, s, &mut live_scratch);
+            let b = reloaded.score_pair(r, s, &mut reloaded_scratch);
             assert!(
                 (a - b).abs() < 1e-12,
                 "{}: scores diverge after reload ({a} vs {b}) for pair {i},{j}",
@@ -134,12 +136,13 @@ fn deployed_model_transfers_to_unseen_corpus() {
     });
     let tc = TokenizedCorpus::build(&fresh.corpus);
     let pairs = fresh.corpus.extract_pairs(&PairFilter::default());
-    let mut scorer = Scorer::new(&model, &stats);
+    let scorer = Scorer::new(&model, &stats);
+    let mut scratch = scorer.scratch();
     let mut correct = 0;
     for p in &pairs {
         let r = tc.snippet(p.r).render(&tc.interner);
         let s = tc.snippet(p.s).render(&tc.interner);
-        if scorer.predict_pair(&r, &s) == p.r_better {
+        if scorer.predict_pair(&r, &s, &mut scratch) == p.r_better {
             correct += 1;
         }
     }
