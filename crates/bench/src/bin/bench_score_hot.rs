@@ -1,0 +1,260 @@
+//! Hot-path scoring engine benchmark and regression gate.
+//!
+//! Isolates the batch scoring engine from HTTP entirely: builds a
+//! rewrite-heavy statistics database from a synthetic corpus, deploys an
+//! M5-shape model whose vocabulary is drawn from that database, and pushes
+//! the same batched pair stream through
+//!
+//! 1. **legacy** — `Scorer::with_fidelity` (hash-map statistics lookups,
+//!    per-batch tokenization cache, alignment recomputed every pair), and
+//! 2. **engine** — `ServingBundle::scorer()` (precompiled feature table,
+//!    arena-backed batch scratch, cross-batch alignment cache),
+//!
+//! asserting the two produce bit-identical scores before reporting
+//! pairs/second for each, the engine-over-legacy speedup, a
+//! statistics-lookup microbenchmark (`StatsDb` hash probe vs compiled
+//! binary search vs the fixed-point q16 variant), and the alignment-cache
+//! hit counters from an instrumented pass. Results land in
+//! `results/BENCH_score_hot.json`.
+//!
+//! With `--gate R` (used by `scripts/check.sh`) the process exits non-zero
+//! unless the engine is at least `R`× the legacy throughput.
+//!
+//! Usage: `bench_score_hot [--adgroups 200] [--seed 42] [--pairs 256]
+//! [--batch-size 64] [--batches 200] [--gate 0.0]
+//! [--out results/BENCH_score_hot.json]`
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use microbrowse_bench::{corpus_config, Args};
+use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
+use microbrowse_core::features::OwnedTermFeat;
+use microbrowse_core::serve::{DeployedModel, Fidelity, Scorer, ServingBundle};
+use microbrowse_core::{build_stats_from_corpus, PairFilter, Placement, StatsBuildConfig};
+use microbrowse_ml::LogReg;
+use microbrowse_store::{FeatureKey, StatsDb};
+use microbrowse_synth::generate;
+use microbrowse_text::Snippet;
+
+/// Deploy an M5-shape flat model whose vocabulary is every term and
+/// rewrite feature the statistics database recorded (capped), so the hot
+/// loop exercises realistic vocabulary sizes and every feature family.
+fn model_from_stats(stats: &StatsDb) -> DeployedModel {
+    const MAX_VOCAB: usize = 4_000;
+    let mut vocab: Vec<OwnedTermFeat> = Vec::new();
+    for (key, _) in stats.sorted_records() {
+        match key {
+            FeatureKey::Term { phrase } => vocab.push(OwnedTermFeat::Term(phrase)),
+            FeatureKey::Rewrite { from, to } => vocab.push(OwnedTermFeat::Rewrite(from, to)),
+            _ => {}
+        }
+        if vocab.len() >= MAX_VOCAB {
+            break;
+        }
+    }
+    let weights: Vec<f64> = (0..vocab.len())
+        .map(|i| ((i % 13) as f64 - 6.0) / 10.0)
+        .collect();
+    DeployedModel {
+        spec: ModelSpec::m5(),
+        classifier: TrainedClassifier::Flat(LogReg::from_parts(weights, 0.05)),
+        vocab,
+    }
+}
+
+/// Time `batches` passes of `batch` through a scorer, returning
+/// (elapsed seconds, scores of the final pass).
+fn run_phase(
+    scorer: &Scorer<'_>,
+    batches: &[Vec<(Snippet, Snippet)>],
+    reps: usize,
+) -> (f64, Vec<f64>) {
+    let mut scratch = scorer.scratch();
+    // Warmup: one full cycle populates arena capacity and (for the engine)
+    // the alignment cache, so the timed section measures the steady state
+    // a long-lived serving worker reaches.
+    let mut last = Vec::new();
+    for batch in batches {
+        last = scorer.score_batch(batch, &mut scratch);
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        for batch in batches {
+            last = scorer.score_batch(batch, &mut scratch);
+        }
+    }
+    (t.elapsed().as_secs_f64(), last)
+}
+
+/// ns/lookup over `probes` through an arbitrary lookup closure.
+fn time_lookups(probes: &[FeatureKey], reps: usize, mut f: impl FnMut(&FeatureKey) -> f64) -> f64 {
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        for key in probes {
+            acc += f(key);
+        }
+    }
+    black_box(acc);
+    t.elapsed().as_nanos() as f64 / (reps * probes.len().max(1)) as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let adgroups: usize = args.get("adgroups", 200);
+    let seed: u64 = args.get("seed", 42);
+    let distinct_pairs: usize = args.get("pairs", 256);
+    let batch_size: usize = args.get::<usize>("batch-size", 64).max(1);
+    let batches: usize = args.get("batches", 8);
+    let reps: usize = args.get("reps", 25);
+    let gate: f64 = args.get("gate", 0.0);
+    let out_path: String = args.get("out", "results/BENCH_score_hot.json".to_string());
+
+    eprintln!("generating corpus ({adgroups} adgroups, seed {seed})…");
+    let synth = generate(&corpus_config(adgroups, Placement::Top, seed));
+    let (_tc, train_pairs, stats) = build_stats_from_corpus(
+        &synth.corpus,
+        &PairFilter::default(),
+        &StatsBuildConfig::default(),
+    );
+    eprintln!(
+        "stats: {} features from {} training pairs",
+        stats.len(),
+        train_pairs.len()
+    );
+    let model = model_from_stats(&stats);
+
+    // The scoring workload: creative pairs within adgroups, cycled into
+    // fixed-size batches. Distinct pairs repeat across batches, which is
+    // exactly the serving shape the alignment cache exists for (the same
+    // creative matchups are scored again and again between reloads).
+    let mut pairs: Vec<(Snippet, Snippet)> = Vec::new();
+    'outer: for group in &synth.corpus.adgroups {
+        for (i, a) in group.creatives.iter().enumerate() {
+            for b in group.creatives.iter().skip(i + 1) {
+                pairs.push((a.snippet.clone(), b.snippet.clone()));
+                if pairs.len() >= distinct_pairs {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(!pairs.is_empty(), "corpus produced no creative pairs");
+    let batch_list: Vec<Vec<(Snippet, Snippet)>> = (0..batches)
+        .map(|b| {
+            (0..batch_size)
+                .map(|j| pairs[(b * batch_size + j) % pairs.len()].clone())
+                .collect()
+        })
+        .collect();
+    let pairs_per_cycle = batches * batch_size;
+
+    let bundle = ServingBundle::from_parts(model.clone(), stats.clone(), Fidelity::Full);
+
+    eprintln!("timing legacy scorer…");
+    let legacy_scorer = Scorer::with_fidelity(&model, &stats, Fidelity::Full);
+    let (legacy_s, legacy_scores) = run_phase(&legacy_scorer, &batch_list, reps);
+    let legacy_pps = (reps * pairs_per_cycle) as f64 / legacy_s;
+
+    eprintln!("timing engine scorer…");
+    let engine_scorer = bundle.scorer();
+    let (engine_s, engine_scores) = run_phase(&engine_scorer, &batch_list, reps);
+    let engine_pps = (reps * pairs_per_cycle) as f64 / engine_s;
+
+    // Multi-threaded engine phase: one shared bundle, one scratch per
+    // thread — the serving shape. Threads share the alignment cache, so
+    // the aggregate is what a warmed multi-worker server sustains.
+    let threads: usize = args.get(
+        "threads",
+        std::thread::available_parallelism().map_or(4, |n| n.get()),
+    );
+    eprintln!("timing engine scorer on {threads} threads…");
+    let per_thread: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let scorer = bundle.scorer();
+                    let (elapsed, scores) = run_phase(&scorer, &batch_list, reps);
+                    black_box(scores);
+                    elapsed
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread"))
+            .collect()
+    });
+    let mt_s = per_thread.iter().cloned().fold(0.0f64, f64::max);
+    let mt_pps = (threads * reps * pairs_per_cycle) as f64 / mt_s;
+
+    // The optimization contract: not one bit of drift.
+    assert_eq!(legacy_scores.len(), engine_scores.len());
+    for (i, (a, b)) in legacy_scores.iter().zip(&engine_scores).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "engine diverged from legacy at pair {i}: {a} vs {b}"
+        );
+    }
+
+    // Instrumented pass: alignment-cache behaviour under metrics, so the
+    // report carries the counters operators will see in production.
+    let hits0 = microbrowse_obs::counter!("microbrowse_aligncache_hits_total").get();
+    let misses0 = microbrowse_obs::counter!("microbrowse_aligncache_misses_total").get();
+    microbrowse_obs::set_enabled(true);
+    {
+        let scorer = bundle.scorer();
+        let mut scratch = scorer.scratch();
+        for batch in &batch_list {
+            black_box(scorer.score_batch(batch, &mut scratch));
+        }
+    }
+    microbrowse_obs::set_enabled(false);
+    let cache_hits = microbrowse_obs::counter!("microbrowse_aligncache_hits_total").get() - hits0;
+    let cache_misses =
+        microbrowse_obs::counter!("microbrowse_aligncache_misses_total").get() - misses0;
+
+    // Lookup microbenchmark: every recorded key plus misses probed through
+    // the hash-map path, the compiled binary-search path, and the
+    // fixed-point q16 variant.
+    let mut probes: Vec<FeatureKey> = stats.sorted_records().into_iter().map(|(k, _)| k).collect();
+    for i in 0..probes.len().min(512) {
+        probes.push(FeatureKey::term(format!("zz-missing-{i}")));
+    }
+    let table = bundle.engine().table();
+    let lookup_reps = (2_000_000 / probes.len().max(1)).max(1);
+    let ns_db = time_lookups(&probes, lookup_reps, |k| {
+        stats.get(k).map_or(0.0, |s| s.log_odds(1.0))
+    });
+    let ns_compiled = time_lookups(&probes, lookup_reps, |k| table.log_odds(k));
+    let ns_q16 = time_lookups(&probes, lookup_reps, |k| table.log_odds_q16(k) as f64);
+
+    let speedup = engine_pps / legacy_pps;
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"adgroups\": {adgroups},\n    \"seed\": {seed},\n    \"stats_features\": {},\n    \"vocab\": {},\n    \"distinct_pairs\": {},\n    \"batch_size\": {batch_size},\n    \"batches\": {batches},\n    \"reps\": {reps},\n    \"pairs_scored\": {}\n  }},\n  \"legacy\": {{\n    \"elapsed_s\": {legacy_s:.4},\n    \"pairs_per_s\": {legacy_pps:.1}\n  }},\n  \"engine\": {{\n    \"elapsed_s\": {engine_s:.4},\n    \"pairs_per_s\": {engine_pps:.1},\n    \"compiled_features\": {},\n    \"align_cache_entries\": {},\n    \"align_cache_hits\": {cache_hits},\n    \"align_cache_misses\": {cache_misses}\n  }},\n  \"engine_mt\": {{\n    \"threads\": {threads},\n    \"elapsed_s\": {mt_s:.4},\n    \"pairs_per_s\": {mt_pps:.1}\n  }},\n  \"speedup_pairs_per_s\": {speedup:.2},\n  \"gate\": {gate:.2},\n  \"bit_identical\": true,\n  \"lookup_ns\": {{\n    \"probes\": {},\n    \"statsdb_hash\": {ns_db:.1},\n    \"compiled\": {ns_compiled:.1},\n    \"compiled_q16\": {ns_q16:.1}\n  }}\n}}\n",
+        stats.len(),
+        model.vocab.len(),
+        pairs.len(),
+        reps * pairs_per_cycle,
+        table.len(),
+        bundle.engine().align().entries(),
+        probes.len(),
+    );
+    microbrowse_obs::json::assert_parses(&json);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!(
+        "legacy {legacy_pps:.0} pairs/s | engine {engine_pps:.0} pairs/s | {threads} threads {mt_pps:.0} pairs/s \
+         | speedup {speedup:.2}x | lookup {ns_db:.0}ns -> {ns_compiled:.0}ns | cache {cache_hits} hits / {cache_misses} misses"
+    );
+    println!("{json}");
+
+    if gate > 0.0 && speedup < gate {
+        eprintln!("GATE FAILED: engine speedup {speedup:.2}x < required {gate:.2}x");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,475 @@
+//! Precompiled feature-statistics table for the serving hot path.
+//!
+//! The paper's CTR-scoring model is, at serve time, a *static* log-odds
+//! table: the statistics database never changes between hot reloads, so the
+//! `FxHashMap<FeatureKey, FeatureStat>` inside [`StatsDb`] — whose keys hash
+//! owned `String`s — is pure overhead in the per-pair inner loop. At
+//! [`crate::serve::ServingBundle`] load we compile the database once into an
+//! immutable [`CompiledFeatureTable`]:
+//!
+//! * every phrase string is interned into a private, dense id space;
+//! * term stats become a direct-indexed slice (phrase id → entry);
+//! * rewrite and position stats become sorted packed-integer key slices
+//!   probed by branch-free binary search;
+//! * per-entry derived values — the α=1 log-odds as `f64`, a Q16.16
+//!   fixed-point `i32` variant for degraded-fidelity experimentation, and
+//!   the greedy matcher's candidate score — are resolved once at compile
+//!   time instead of per probe.
+//!
+//! Lookups are bit-identical to [`StatsDb::get`] (proptest-enforced in
+//! `tests/prop_hot.rs`): the table stores the *same* [`FeatureStat`] values
+//! and derives scores with the *same* expressions, so swapping the engine in
+//! cannot move a score by even one ULP.
+
+use microbrowse_store::key::SnippetPos;
+use microbrowse_store::{FeatureKey, FeatureStat, StatsDb};
+use microbrowse_text::{Interner, Sym};
+
+use crate::paircache::AlignCache;
+use crate::rewrite::{greedy_candidate_score, RewriteEvidence};
+
+/// Sentinel for "phrase has no term entry" in the direct-indexed slice.
+const NO_ENTRY: u32 = u32::MAX;
+
+/// Fixed-point scale for the `i32` log-odds variant: Q16.16.
+const Q16: f64 = 65536.0;
+
+#[inline]
+fn pack_pos(p: SnippetPos) -> u32 {
+    ((p.line as u32) << 16) | p.pos as u32
+}
+
+#[inline]
+fn pack_rw_pos(from: SnippetPos, to: SnippetPos) -> u64 {
+    ((pack_pos(from) as u64) << 32) | pack_pos(to) as u64
+}
+
+#[inline]
+fn pack_rw(from_id: u32, to_id: u32) -> u64 {
+    ((from_id as u64) << 32) | to_id as u64
+}
+
+/// One compiled statistics entry: the original counts plus every derived
+/// value the hot path would otherwise recompute per probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompiledStat {
+    /// The original up/down counts, byte-for-byte as stored in [`StatsDb`].
+    pub stat: FeatureStat,
+    /// `stat.log_odds(1.0)`, resolved at compile time.
+    pub log_odds: f64,
+    /// Q16.16 fixed-point rounding of `log_odds`, for the degraded-fidelity
+    /// integer scoring experiments (never used on the full-fidelity path —
+    /// it is lossy by construction).
+    pub log_odds_q16: i32,
+    /// The greedy rewrite matcher's candidate score for this entry
+    /// (evidence mass + effect-size tiebreak), precomputed with the exact
+    /// expression `match_line` uses.
+    pub greedy_score: f64,
+}
+
+impl CompiledStat {
+    fn new(stat: FeatureStat) -> Self {
+        let log_odds = stat.log_odds(1.0);
+        Self {
+            stat,
+            log_odds,
+            log_odds_q16: (log_odds * Q16)
+                .round()
+                .clamp(i32::MIN as f64, i32::MAX as f64) as i32,
+            greedy_score: greedy_candidate_score(&stat),
+        }
+    }
+}
+
+/// An immutable, probe-optimized compilation of a [`StatsDb`].
+///
+/// Built once per [`crate::serve::ServingBundle`]; shared read-only across
+/// worker threads behind the bundle's `Arc`.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledFeatureTable {
+    /// Private dense id space over every phrase any key mentions.
+    phrases: Interner,
+    /// Phrase id → rank of the phrase in lexicographic string order.
+    /// Lets canonical-order decisions compare two `u32`s instead of two
+    /// strings.
+    lex_rank: Vec<u32>,
+    /// Phrase id → term-entry index ([`NO_ENTRY`] if the phrase has no
+    /// position-independent term stat).
+    term_entry: Vec<u32>,
+    /// Sorted packed `(from_id << 32) | to_id` rewrite keys, stored with the
+    /// literal direction of the database record.
+    rewrite_keys: Vec<u64>,
+    /// Entry index parallel to `rewrite_keys`.
+    rewrite_entries: Vec<u32>,
+    /// Sorted packed `(line << 16) | pos` term-position keys.
+    term_pos_keys: Vec<u32>,
+    /// Entry index parallel to `term_pos_keys`.
+    term_pos_entries: Vec<u32>,
+    /// Sorted packed rewrite-position keys (`from` in the high 32 bits).
+    rw_pos_keys: Vec<u64>,
+    /// Entry index parallel to `rw_pos_keys`.
+    rw_pos_entries: Vec<u32>,
+    /// All compiled entries, in [`StatsDb::sorted_records`] order.
+    entries: Vec<CompiledStat>,
+}
+
+impl CompiledFeatureTable {
+    /// Compile `db` into the probe-optimized form. Deterministic: the same
+    /// database always produces the same table (input is
+    /// [`StatsDb::sorted_records`]).
+    pub fn compile(db: &StatsDb) -> Self {
+        let mut t = Self::default();
+        let mut rewrites: Vec<(u64, u32)> = Vec::new();
+        let mut term_pos: Vec<(u32, u32)> = Vec::new();
+        let mut rw_pos: Vec<(u64, u32)> = Vec::new();
+        for (key, stat) in db.sorted_records() {
+            // A database anywhere near u32::MAX records is not loadable in
+            // practice; saturate rather than abort a serving reload.
+            let idx = u32::try_from(t.entries.len()).unwrap_or(u32::MAX);
+            t.entries.push(CompiledStat::new(stat));
+            match key {
+                FeatureKey::Term { phrase } => {
+                    let id = t.intern_phrase(&phrase);
+                    t.term_entry[id as usize] = idx;
+                }
+                FeatureKey::Rewrite { from, to } => {
+                    let fid = t.intern_phrase(&from);
+                    let tid = t.intern_phrase(&to);
+                    rewrites.push((pack_rw(fid, tid), idx));
+                }
+                FeatureKey::TermPosition(p) => term_pos.push((pack_pos(p), idx)),
+                FeatureKey::RewritePosition { from, to } => {
+                    rw_pos.push((pack_rw_pos(from, to), idx));
+                }
+            }
+        }
+        rewrites.sort_unstable_by_key(|&(k, _)| k);
+        term_pos.sort_unstable_by_key(|&(k, _)| k);
+        rw_pos.sort_unstable_by_key(|&(k, _)| k);
+        (t.rewrite_keys, t.rewrite_entries) = rewrites.into_iter().unzip();
+        (t.term_pos_keys, t.term_pos_entries) = term_pos.into_iter().unzip();
+        (t.rw_pos_keys, t.rw_pos_entries) = rw_pos.into_iter().unzip();
+
+        // Lexicographic ranks over the phrase id space.
+        let mut by_string: Vec<u32> = (0..t.phrases.len() as u32).collect();
+        by_string.sort_unstable_by_key(|&id| t.phrases.resolve(Sym(id)));
+        t.lex_rank = vec![0; t.phrases.len()];
+        for (rank, &id) in by_string.iter().enumerate() {
+            t.lex_rank[id as usize] = rank as u32;
+        }
+        t
+    }
+
+    fn intern_phrase(&mut self, phrase: &str) -> u32 {
+        let sym = self.phrases.intern(phrase);
+        if self.term_entry.len() < self.phrases.len() {
+            self.term_entry.resize(self.phrases.len(), NO_ENTRY);
+        }
+        sym.0
+    }
+
+    /// Number of compiled entries (equals the source database's key count).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct phrases across all term and rewrite keys.
+    pub fn num_phrases(&self) -> usize {
+        self.phrases.len()
+    }
+
+    /// The table's private id for `phrase`, if any key mentions it.
+    pub fn phrase_id(&self, phrase: &str) -> Option<u32> {
+        self.phrases.get(phrase).map(|s| s.0)
+    }
+
+    /// Whether phrase `a` precedes-or-equals phrase `b` lexicographically,
+    /// decided by precomputed ranks (both ids must come from
+    /// [`Self::phrase_id`]). Agrees with
+    /// [`crate::rewrite::is_canonical_order`] on the resolved strings.
+    pub fn lex_le(&self, a: u32, b: u32) -> bool {
+        self.lex_rank[a as usize] <= self.lex_rank[b as usize]
+    }
+
+    /// The greedy matcher's candidate score for the rewrite `(a, b)` (table
+    /// phrase ids, either direction), canonicalized exactly like
+    /// [`crate::rewrite::canonical_rewrite_key`], or `None` when the
+    /// database holds no evidence for the canonical pair.
+    pub fn greedy_rewrite_score(&self, a: u32, b: u32) -> Option<f64> {
+        let key = if self.lex_le(a, b) {
+            pack_rw(a, b)
+        } else {
+            pack_rw(b, a)
+        };
+        let i = self.rewrite_keys.binary_search(&key).ok()?;
+        Some(self.entries[self.rewrite_entries[i] as usize].greedy_score)
+    }
+
+    /// Full compiled entry for `key`, if present. Superset of
+    /// [`Self::get`] exposing the precomputed derived values.
+    pub fn get_compiled(&self, key: &FeatureKey) -> Option<&CompiledStat> {
+        let idx = match key {
+            FeatureKey::Term { phrase } => {
+                let id = self.phrases.get(phrase)?;
+                let e = self.term_entry[id.index()];
+                if e == NO_ENTRY {
+                    return None;
+                }
+                e
+            }
+            FeatureKey::Rewrite { from, to } => {
+                let fid = self.phrases.get(from)?.0;
+                let tid = self.phrases.get(to)?.0;
+                let i = self.rewrite_keys.binary_search(&pack_rw(fid, tid)).ok()?;
+                self.rewrite_entries[i]
+            }
+            FeatureKey::TermPosition(p) => {
+                let i = self.term_pos_keys.binary_search(&pack_pos(*p)).ok()?;
+                self.term_pos_entries[i]
+            }
+            FeatureKey::RewritePosition { from, to } => {
+                let i = self
+                    .rw_pos_keys
+                    .binary_search(&pack_rw_pos(*from, *to))
+                    .ok()?;
+                self.rw_pos_entries[i]
+            }
+        };
+        Some(&self.entries[idx as usize])
+    }
+
+    /// Look up the raw counts for `key` — bit-identical to
+    /// [`StatsDb::get`] on the source database.
+    pub fn get(&self, key: &FeatureKey) -> Option<&FeatureStat> {
+        self.get_compiled(key).map(|c| &c.stat)
+    }
+
+    /// Precomputed α=1 log-odds for `key` (`0.0` when unseen), matching
+    /// `StatsDb::log_odds(key, 1.0)` bit for bit.
+    pub fn log_odds(&self, key: &FeatureKey) -> f64 {
+        self.get_compiled(key).map_or(0.0, |c| c.log_odds)
+    }
+
+    /// Q16.16 fixed-point log-odds for `key` (`0` when unseen). Lossy; for
+    /// the degraded-fidelity integer path and its microbenchmarks only.
+    pub fn log_odds_q16(&self, key: &FeatureKey) -> i32 {
+        self.get_compiled(key).map_or(0, |c| c.log_odds_q16)
+    }
+
+    /// Convert a Q16.16 fixed-point log-odds back to `f64`.
+    pub fn q16_to_f64(q: i32) -> f64 {
+        q as f64 / Q16
+    }
+}
+
+/// Lazily-built memo from one scratch interner's symbols to table phrase
+/// ids.
+///
+/// Each [`crate::serve::Scratch`] owns one. Validity rests on two
+/// immutabilities: an [`Interner`] never renumbers a symbol, and the table
+/// is frozen for the bundle's lifetime — so a memoized `Sym → id` answer
+/// can never go stale within the scratch's lifetime.
+#[derive(Debug, Default)]
+pub struct SymTableMap {
+    /// Per-symbol state: `0` = not looked up yet, `1` = known absent from
+    /// the table, otherwise `table_id + 2`.
+    map: Vec<u32>,
+}
+
+impl SymTableMap {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Table phrase id for `sym`, resolving through `interner` on first
+    /// sight and memoizing the answer (including misses).
+    pub fn table_id(
+        &mut self,
+        sym: Sym,
+        interner: &Interner,
+        table: &CompiledFeatureTable,
+    ) -> Option<u32> {
+        let i = sym.index();
+        if i >= self.map.len() {
+            self.map.resize(i + 1, 0);
+        }
+        match self.map[i] {
+            0 => {
+                let id = table.phrase_id(interner.resolve(sym));
+                self.map[i] = match id {
+                    None => 1,
+                    Some(id) => id + 2,
+                };
+                id
+            }
+            1 => None,
+            v => Some(v - 2),
+        }
+    }
+}
+
+/// [`RewriteEvidence`] backed by a [`CompiledFeatureTable`]: candidate
+/// pairs resolve through the scratch's [`SymTableMap`] memo (O(1) rejection
+/// once either phrase is known absent) and a single binary search — no
+/// string hashing, no key allocation.
+pub struct CompiledEvidence<'a> {
+    table: &'a CompiledFeatureTable,
+    memo: &'a mut SymTableMap,
+}
+
+impl<'a> CompiledEvidence<'a> {
+    /// Bind the table to a scratch memo for one extraction.
+    pub fn new(table: &'a CompiledFeatureTable, memo: &'a mut SymTableMap) -> Self {
+        Self { table, memo }
+    }
+}
+
+impl RewriteEvidence for CompiledEvidence<'_> {
+    fn candidate_score(&mut self, from: Sym, to: Sym, interner: &Interner) -> Option<f64> {
+        let a = self.memo.table_id(from, interner, self.table)?;
+        let b = self.memo.table_id(to, interner, self.table)?;
+        self.table.greedy_rewrite_score(a, b)
+    }
+}
+
+/// The serving hot-path engine: the compiled table plus the cross-batch
+/// rewrite-alignment cache. Owned by a [`crate::serve::ServingBundle`], so a
+/// hot reload swaps in a freshly compiled table *and* an empty cache in one
+/// `Arc` swap — stale alignments can never outlive the statistics they were
+/// scored under.
+#[derive(Debug, Default)]
+pub struct ScoringEngine {
+    table: CompiledFeatureTable,
+    align: AlignCache,
+}
+
+impl ScoringEngine {
+    /// Compile `db` and pair it with an empty alignment cache.
+    pub fn compile(db: &StatsDb) -> Self {
+        Self {
+            table: CompiledFeatureTable::compile(db),
+            align: AlignCache::new(),
+        }
+    }
+
+    /// The compiled lookup table.
+    pub fn table(&self) -> &CompiledFeatureTable {
+        &self.table
+    }
+
+    /// The serve-time rewrite-alignment cache.
+    pub fn align(&self) -> &AlignCache {
+        &self.align
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_db() -> StatsDb {
+        StatsDb::from_records([
+            (FeatureKey::term("cheap"), FeatureStat { up: 8, down: 2 }),
+            (FeatureKey::term("flights"), FeatureStat { up: 1, down: 5 }),
+            (
+                FeatureKey::rewrite("cheap", "discount"),
+                FeatureStat { up: 6, down: 1 },
+            ),
+            (
+                FeatureKey::rewrite("zz", "aa"),
+                FeatureStat { up: 2, down: 2 },
+            ),
+            (
+                FeatureKey::term_position(0, 1),
+                FeatureStat { up: 3, down: 3 },
+            ),
+            (
+                FeatureKey::rewrite_position(SnippetPos::new(0, 1), SnippetPos::new(1, 2)),
+                FeatureStat { up: 4, down: 0 },
+            ),
+        ])
+    }
+
+    #[test]
+    fn get_matches_db_on_every_key_and_misses() {
+        let db = demo_db();
+        let table = CompiledFeatureTable::compile(&db);
+        assert_eq!(table.len(), db.len());
+        for (key, stat) in db.iter() {
+            assert_eq!(table.get(key), Some(stat), "key {key:?}");
+            assert_eq!(
+                table.log_odds(key).to_bits(),
+                db.log_odds(key, 1.0).to_bits()
+            );
+        }
+        for miss in [
+            FeatureKey::term("absent"),
+            FeatureKey::rewrite("cheap", "absent"),
+            FeatureKey::rewrite("discount", "cheap"), // literal direction, not stored
+            FeatureKey::term_position(5, 5),
+            FeatureKey::rewrite_position(SnippetPos::new(9, 9), SnippetPos::new(0, 0)),
+        ] {
+            assert_eq!(table.get(&miss), None, "miss {miss:?}");
+            assert_eq!(table.log_odds(&miss), 0.0);
+            assert_eq!(table.log_odds_q16(&miss), 0);
+        }
+    }
+
+    #[test]
+    fn greedy_rewrite_score_canonicalizes_like_strings() {
+        let db = demo_db();
+        let table = CompiledFeatureTable::compile(&db);
+        let cheap = table.phrase_id("cheap").unwrap();
+        let discount = table.phrase_id("discount").unwrap();
+        let stat = FeatureStat { up: 6, down: 1 };
+        let want = greedy_candidate_score(&stat);
+        assert_eq!(table.greedy_rewrite_score(cheap, discount), Some(want));
+        // Reverse direction canonicalizes to the same key.
+        assert_eq!(table.greedy_rewrite_score(discount, cheap), Some(want));
+        // The ("zz", "aa") record is stored non-canonically; the greedy
+        // matcher only ever probes canonical keys, so it finds nothing —
+        // exactly like `StatsDb::get(canonical_rewrite_key("zz", "aa"))`.
+        let zz = table.phrase_id("zz").unwrap();
+        let aa = table.phrase_id("aa").unwrap();
+        assert_eq!(table.greedy_rewrite_score(zz, aa), None);
+    }
+
+    #[test]
+    fn empty_db_compiles_to_empty_table() {
+        let table = CompiledFeatureTable::compile(&StatsDb::new());
+        assert!(table.is_empty());
+        assert_eq!(table.num_phrases(), 0);
+        assert_eq!(table.get(&FeatureKey::term("x")), None);
+    }
+
+    #[test]
+    fn q16_round_trips_within_tolerance() {
+        let stat = FeatureStat { up: 1000, down: 3 };
+        let c = CompiledStat::new(stat);
+        let back = CompiledFeatureTable::q16_to_f64(c.log_odds_q16);
+        assert!((back - c.log_odds).abs() <= 0.5 / Q16 + 1e-12);
+    }
+
+    #[test]
+    fn sym_table_map_memoizes_hits_and_misses() {
+        let db = demo_db();
+        let table = CompiledFeatureTable::compile(&db);
+        let mut interner = Interner::new();
+        let hit = interner.intern("cheap");
+        let miss = interner.intern("nope");
+        let mut memo = SymTableMap::new();
+        for _ in 0..2 {
+            assert_eq!(
+                memo.table_id(hit, &interner, &table),
+                table.phrase_id("cheap")
+            );
+            assert_eq!(memo.table_id(miss, &interner, &table), None);
+        }
+    }
+}

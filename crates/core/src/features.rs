@@ -165,6 +165,13 @@ pub struct Featurizer<'a> {
     rewriter: RewriteExtractor,
     term_ids: FxHashMap<TermFeat, u32>,
     term_feats: Vec<TermFeat>,
+    // Reusable buffers for the `encode_*_scored` serving hot path; after
+    // warmup, encoding a pair allocates nothing.
+    raw_buf: Vec<RawFeature>,
+    pair_buf: Vec<(u32, f64)>,
+    sparse_buf: SparseVec,
+    agg_buf: FxHashMap<(u32, u32), f64>,
+    occ_buf: Vec<CoupledFeature>,
 }
 
 impl<'a> Featurizer<'a> {
@@ -193,6 +200,11 @@ impl<'a> Featurizer<'a> {
             rewriter: RewriteExtractor::new(rewrite),
             term_ids: FxHashMap::default(),
             term_feats: Vec::new(),
+            raw_buf: Vec::new(),
+            pair_buf: Vec::new(),
+            sparse_buf: SparseVec::new(),
+            agg_buf: FxHashMap::default(),
+            occ_buf: Vec::new(),
         }
     }
 
@@ -519,6 +531,118 @@ impl<'a> Featurizer<'a> {
     ) -> CoupledExample {
         let raw = self.collect_with_occs(r, s, r_occs, s_occs, interner);
         self.finish_coupled(raw, label)
+    }
+
+    /// The n-gram occurrences of one snippet, extracted into a reusable
+    /// buffer (see [`Self::term_occurrences`]; identical output and interner
+    /// side effects, no per-snippet vector allocation after warmup).
+    pub fn term_occurrences_into(
+        &self,
+        snippet: &TokenizedSnippet,
+        interner: &mut Interner,
+        out: &mut Vec<TermOccurrence>,
+    ) {
+        self.ngram.extract_into(snippet, interner, out);
+    }
+
+    /// The rewrite extractor this featurizer matches with (cheap copy); the
+    /// serving engine uses it to run alignment itself, through the compiled
+    /// evidence table and the cross-batch alignment cache.
+    pub fn rewrite_extractor(&self) -> RewriteExtractor {
+        self.rewriter
+    }
+
+    /// Raw-feature collection for the scoring hot path: terms replayed from
+    /// occurrence slices, rewrites from an extraction the caller already
+    /// ran. Emission order matches `collect_with_occs` exactly.
+    fn collect_scored(
+        &self,
+        raw: &mut Vec<RawFeature>,
+        r_occs: &[TermOccurrence],
+        s_occs: &[TermOccurrence],
+        ext: Option<&RewriteExtraction>,
+        interner: &Interner,
+    ) {
+        raw.clear();
+        if self.spec.terms {
+            for (occs, sign) in [(r_occs, 1.0), (s_occs, -1.0)] {
+                for occ in occs {
+                    let pos = SnippetPos::new(occ.line, occ.pos);
+                    raw.push(RawFeature {
+                        feat: TermFeat::Term(occ.ngram.phrase),
+                        pos_group: PositionVocab::term_group(pos),
+                        value: sign,
+                    });
+                }
+            }
+        }
+        if self.spec.rewrites {
+            debug_assert!(ext.is_some(), "rewrite spec scored without an extraction");
+            if let Some(ext) = ext {
+                self.push_rewrite_feats(ext, interner, raw);
+            }
+        }
+    }
+
+    /// Flat-encode one pair for scoring, reusing every internal buffer.
+    ///
+    /// Bit-identical to the features of [`Self::encode_flat_with_occs`]
+    /// when `ext` is the extraction that path would compute (or `None` for
+    /// specs without rewrite features): id assignment is the same
+    /// encounter-ordered `feat_id`, and [`SparseVec::assign_from_pairs`]
+    /// runs the exact `from_pairs` algorithm. Returns the reused vector —
+    /// valid until the next `encode_*_scored` call.
+    pub fn encode_flat_scored(
+        &mut self,
+        r_occs: &[TermOccurrence],
+        s_occs: &[TermOccurrence],
+        ext: Option<&RewriteExtraction>,
+        interner: &Interner,
+    ) -> &SparseVec {
+        let mut raw = std::mem::take(&mut self.raw_buf);
+        self.collect_scored(&mut raw, r_occs, s_occs, ext, interner);
+        let mut pairs = std::mem::take(&mut self.pair_buf);
+        pairs.clear();
+        for f in &raw {
+            pairs.push((self.feat_id(f.feat), f.value));
+        }
+        self.sparse_buf.assign_from_pairs(&mut pairs);
+        self.pair_buf = pairs;
+        self.raw_buf = raw;
+        &self.sparse_buf
+    }
+
+    /// Coupled-encode one pair for scoring, reusing every internal buffer
+    /// (see [`Self::encode_flat_scored`] for the bit-identity contract).
+    /// The occurrence aggregation iterates a reused hash map, which is safe
+    /// bit-wise: per-key sums accumulate in raw emission order and the
+    /// final sort is over unique `(pos, term)` keys, so map iteration order
+    /// cannot influence the result.
+    pub fn encode_coupled_scored(
+        &mut self,
+        r_occs: &[TermOccurrence],
+        s_occs: &[TermOccurrence],
+        ext: Option<&RewriteExtraction>,
+        interner: &Interner,
+    ) -> &[CoupledFeature] {
+        let mut raw = std::mem::take(&mut self.raw_buf);
+        self.collect_scored(&mut raw, r_occs, s_occs, ext, interner);
+        let mut agg = std::mem::take(&mut self.agg_buf);
+        agg.clear();
+        for f in &raw {
+            *agg.entry((f.pos_group, self.feat_id(f.feat)))
+                .or_insert(0.0) += f.value;
+        }
+        self.occ_buf.clear();
+        self.occ_buf.extend(
+            agg.iter()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(&(pos, term), &value)| CoupledFeature { pos, term, value }),
+        );
+        self.occ_buf.sort_unstable_by_key(|o| (o.pos, o.term));
+        self.agg_buf = agg;
+        self.raw_buf = raw;
+        &self.occ_buf
     }
 
     /// Encode a batch of `(r, s, label)` pairs into the encoding the spec

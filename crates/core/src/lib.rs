@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod classifier;
+pub mod compiled;
 pub mod corpus;
 pub mod error;
 pub mod features;
@@ -49,6 +50,7 @@ pub mod serveweight;
 pub mod statsbuild;
 
 pub use classifier::{ModelSpec, TrainedClassifier};
+pub use compiled::{CompiledFeatureTable, ScoringEngine, SymTableMap};
 pub use corpus::{
     AdCorpus, AdGroup, AdGroupId, Creative, CreativeId, CreativePair, PairFilter, Placement,
 };
@@ -56,7 +58,7 @@ pub use error::{with_retry, MbError, RetryPolicy};
 pub use features::{Featurizer, PositionVocab};
 pub use model::{score_factored, score_flat, snippet_relevance, TermJudgment};
 pub use optimize::{apply_edit, optimize_creative, Edit, OptimizeConfig, OptimizeOutcome};
-pub use paircache::PairCache;
+pub use paircache::{AlignCache, PairCache};
 pub use pipeline::{
     run_all_models, run_experiment, run_experiments, ExperimentConfig, ExperimentOutcome,
 };
@@ -66,4 +68,4 @@ pub use serve::{
     Scratch, ServingBundle,
 };
 pub use serveweight::{delta_sw, serve_weights, sw_diff};
-pub use statsbuild::{build_stats, build_stats_for, StatsBuildConfig};
+pub use statsbuild::{build_stats, build_stats_for, build_stats_from_corpus, StatsBuildConfig};

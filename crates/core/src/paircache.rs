@@ -15,10 +15,19 @@
 //! request batch: tokenize each distinct snippet once, then score every
 //! pair against the cached token arenas.
 
-use microbrowse_text::{FxHashMap, NGramConfig, NGramExtractor, TermOccurrence};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc as StdArc;
+use std::sync::Mutex;
+
+use microbrowse_store::key::SnippetPos;
+use microbrowse_text::hash::FxHasher;
+use microbrowse_text::{FxHashMap, Interner, NGramConfig, NGramExtractor, Snippet, TermOccurrence};
 
 use crate::corpus::{CreativeId, CreativePair};
-use crate::rewrite::{prepare_pair, MatchStrategy, PreparedPair, RewriteConfig};
+use crate::rewrite::{
+    prepare_pair, MatchStrategy, PhraseOcc, PreparedPair, RewriteConfig, RewriteExtraction,
+    RewritePair,
+};
 use crate::statsbuild::TokenizedCorpus;
 
 /// Pair-independent n-gram occurrences plus pair-level alignment spans,
@@ -112,6 +121,241 @@ impl PairCache {
     /// Whether the cache holds no pairs.
     pub fn is_empty(&self) -> bool {
         self.prepared.is_empty()
+    }
+}
+
+/// One cached serve-time alignment, stored *portably*: phrases are strings,
+/// not interner symbols, so the entry is valid for any scratch interner.
+///
+/// Replaying an entry must be indistinguishable from recomputing it — not
+/// just in the returned extraction but in the scratch interner's evolution,
+/// because LCS diff orientation ([`prepare_pair`]'s `sb < ra`) compares
+/// symbol *ids*: if a cache hit skipped the phrase interning a fresh
+/// [`prepare_pair`] would have done, a later novel pair could number its
+/// phrases differently and flip its diff direction. [`CachedAlignment`]
+/// therefore records the multi-token candidate phrases in exact
+/// prepare-time intern order and re-interns them on every hit (idempotent,
+/// so hits after the first are pure lookups).
+#[derive(Debug)]
+pub struct CachedAlignment {
+    /// Multi-token candidate phrases in [`prepare_pair`] intern order.
+    prep_phrases: Vec<StdArc<str>>,
+    /// Matched rewrites as portable occurrences.
+    rewrites: Vec<(PortableOcc, PortableOcc)>,
+    /// R-side leftovers.
+    r_leftover: Vec<PortableOcc>,
+    /// S-side leftovers.
+    s_leftover: Vec<PortableOcc>,
+}
+
+/// A [`PhraseOcc`] with the phrase carried as a string.
+#[derive(Debug)]
+struct PortableOcc {
+    phrase: StdArc<str>,
+    pos: SnippetPos,
+    len: u8,
+}
+
+impl PortableOcc {
+    fn capture(o: &PhraseOcc, interner: &Interner) -> Self {
+        Self {
+            phrase: StdArc::from(interner.resolve(o.phrase)),
+            pos: o.pos,
+            len: o.len,
+        }
+    }
+
+    fn resolve(&self, interner: &mut Interner) -> PhraseOcc {
+        PhraseOcc {
+            phrase: interner.intern(&self.phrase),
+            pos: self.pos,
+            len: self.len,
+        }
+    }
+}
+
+impl CachedAlignment {
+    /// Capture the alignment of one pair from its prepared form and
+    /// extraction result.
+    pub(crate) fn capture(
+        prepared: &PreparedPair,
+        ext: &RewriteExtraction,
+        interner: &Interner,
+    ) -> Self {
+        let mut prep_phrases = Vec::new();
+        prepared
+            .for_each_interned_phrase(|sym| prep_phrases.push(StdArc::from(interner.resolve(sym))));
+        Self {
+            prep_phrases,
+            rewrites: ext
+                .rewrites
+                .iter()
+                .map(|rw| {
+                    (
+                        PortableOcc::capture(&rw.from, interner),
+                        PortableOcc::capture(&rw.to, interner),
+                    )
+                })
+                .collect(),
+            r_leftover: ext
+                .r_leftover
+                .iter()
+                .map(|o| PortableOcc::capture(o, interner))
+                .collect(),
+            s_leftover: ext
+                .s_leftover
+                .iter()
+                .map(|o| PortableOcc::capture(o, interner))
+                .collect(),
+        }
+    }
+
+    /// Rebuild the extraction into `out` (capacity reused), reproducing the
+    /// exact interner side effects of a fresh [`prepare_pair`] first.
+    ///
+    /// All extraction phrases resolve to already-interned symbols: single
+    /// tokens were interned when the snippet was tokenized, multi-token
+    /// phrases are in `prep_phrases`.
+    pub(crate) fn replay(&self, interner: &mut Interner, out: &mut RewriteExtraction) {
+        for p in &self.prep_phrases {
+            interner.intern(p);
+        }
+        out.rewrites.clear();
+        out.r_leftover.clear();
+        out.s_leftover.clear();
+        for (from, to) in &self.rewrites {
+            out.rewrites.push(RewritePair {
+                from: from.resolve(interner),
+                to: to.resolve(interner),
+            });
+        }
+        for o in &self.r_leftover {
+            out.r_leftover.push(o.resolve(interner));
+        }
+        for o in &self.s_leftover {
+            out.s_leftover.push(o.resolve(interner));
+        }
+    }
+}
+
+/// Number of independently locked shards in an [`AlignCache`].
+const ALIGN_SHARDS: usize = 16;
+/// Per-shard entry cap; a shard that would exceed it is cleared wholesale
+/// (alignments are cheap to recompute, so wholesale eviction beats LRU
+/// bookkeeping on this path).
+const ALIGN_SHARD_CAP: usize = 8192;
+
+/// One bucket slot: the exact snippet pair and its shared alignment.
+type AlignSlot = ((Snippet, Snippet), StdArc<CachedAlignment>);
+
+/// A shard: buckets keyed by the pair's 64-bit hash, each bucket holding
+/// the exact snippet pairs (collisions are resolved by full equality, so a
+/// hash collision can never return the wrong alignment).
+#[derive(Debug, Default)]
+struct AlignShard {
+    buckets: FxHashMap<u64, Vec<AlignSlot>>,
+    entries: usize,
+}
+
+/// The serve-time rewrite-alignment cache — the serving analogue of
+/// [`PairCache`], shared across batches and worker threads.
+///
+/// Lives inside the bundle's scoring engine behind the `Arc<ServingBundle>`
+/// swap, so a hot reload atomically replaces it with an empty cache: no
+/// invalidation protocol, no stale reads.
+#[derive(Debug, Default)]
+pub struct AlignCache {
+    shards: Vec<Mutex<AlignShard>>,
+}
+
+fn lock_shard(m: &Mutex<AlignShard>) -> std::sync::MutexGuard<'_, AlignShard> {
+    // A panic while holding the lock leaves a fully-written or fully-cleared
+    // shard (no partial states escape the push/clear below), so poisoned
+    // data is safe to keep serving.
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Hash of one snippet, usable with [`AlignCache::combine_hashes`] so a
+/// caller that already hashed the snippets (the scorer's arena does) never
+/// hashes them twice.
+pub fn snippet_hash(snippet: &Snippet) -> u64 {
+    let mut h = FxHasher::default();
+    snippet.hash(&mut h);
+    h.finish()
+}
+
+impl AlignCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..ALIGN_SHARDS).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    /// Combine two per-snippet hashes into the ordered-pair key used by
+    /// [`Self::get_hashed`] / [`Self::insert_hashed`].
+    pub fn combine_hashes(hr: u64, hs: u64) -> u64 {
+        let mut h = FxHasher::default();
+        hr.hash(&mut h);
+        hs.hash(&mut h);
+        h.finish()
+    }
+
+    /// Look up the cached alignment for the ordered pair `(r, s)`.
+    pub fn get(&self, r: &Snippet, s: &Snippet) -> Option<StdArc<CachedAlignment>> {
+        self.get_hashed(Self::combine_hashes(snippet_hash(r), snippet_hash(s)), r, s)
+    }
+
+    /// [`Self::get`] with the pair hash precomputed via
+    /// [`Self::combine_hashes`].
+    pub fn get_hashed(&self, h: u64, r: &Snippet, s: &Snippet) -> Option<StdArc<CachedAlignment>> {
+        let shard = lock_shard(&self.shards[(h as usize) % ALIGN_SHARDS]);
+        let found = shard.buckets.get(&h).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|((br, bs), _)| br == r && bs == s)
+                .map(|(_, a)| StdArc::clone(a))
+        });
+        drop(shard);
+        if found.is_some() {
+            microbrowse_obs::counter!("microbrowse_aligncache_hits_total").add(1);
+        } else {
+            microbrowse_obs::counter!("microbrowse_aligncache_misses_total").add(1);
+        }
+        found
+    }
+
+    /// Insert the alignment for `(r, s)`. Racing inserts of the same pair
+    /// keep the first entry; a shard at capacity is cleared first.
+    pub fn insert(&self, r: &Snippet, s: &Snippet, alignment: CachedAlignment) {
+        let h = Self::combine_hashes(snippet_hash(r), snippet_hash(s));
+        self.insert_hashed(h, r, s, alignment);
+    }
+
+    /// [`Self::insert`] with the pair hash precomputed via
+    /// [`Self::combine_hashes`].
+    pub fn insert_hashed(&self, h: u64, r: &Snippet, s: &Snippet, alignment: CachedAlignment) {
+        let mut shard = lock_shard(&self.shards[(h as usize) % ALIGN_SHARDS]);
+        if shard.entries >= ALIGN_SHARD_CAP {
+            shard.buckets.clear();
+            shard.entries = 0;
+            microbrowse_obs::counter!("microbrowse_aligncache_evictions_total").add(1);
+        }
+        let bucket = shard.buckets.entry(h).or_default();
+        if bucket.iter().any(|((br, bs), _)| br == r && bs == s) {
+            return;
+        }
+        bucket.push(((r.clone(), s.clone()), StdArc::new(alignment)));
+        shard.entries += 1;
+    }
+
+    /// Total number of cached pair alignments (approximate under concurrent
+    /// writes; exact when quiescent).
+    pub fn entries(&self) -> usize {
+        self.shards.iter().map(|s| lock_shard(s).entries).sum()
     }
 }
 

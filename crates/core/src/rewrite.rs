@@ -21,7 +21,7 @@
 //!    term-level features" — the leftover lists.
 
 use microbrowse_store::key::SnippetPos;
-use microbrowse_store::{FeatureKey, StatsDb};
+use microbrowse_store::{FeatureKey, FeatureStat, StatsDb};
 use microbrowse_text::{Interner, Sym, TokenizedSnippet};
 use serde::{Deserialize, Serialize};
 
@@ -303,6 +303,60 @@ pub fn prepare_pair(
     PreparedPair { lines }
 }
 
+impl PreparedPair {
+    /// Visit the multi-token candidate phrases in the exact order
+    /// [`prepare_pair`] interned them (per line: R-side then S-side,
+    /// span-major, then length, then start). Single-token candidates reuse
+    /// the token's existing symbol and are skipped, mirroring
+    /// `enumerate_cands`. The serve-time alignment cache replays this
+    /// sequence on a hit so the scratch interner evolves exactly as if the
+    /// pair had been prepared from scratch.
+    pub(crate) fn for_each_interned_phrase(&self, mut f: impl FnMut(Sym)) {
+        for pl in &self.lines {
+            for c in pl.r_cands.iter().chain(pl.s_cands.iter()) {
+                if c.len > 1 {
+                    f(c.phrase);
+                }
+            }
+        }
+    }
+}
+
+/// Source of greedy-matching evidence: for a candidate `(from, to)` phrase
+/// pair, the greedy score when the statistics database holds the canonical
+/// rewrite key, `None` otherwise.
+///
+/// The returned score must equal [`greedy_candidate_score`] applied to the
+/// canonical key's [`FeatureStat`]; implementations either compute it on
+/// the fly ([`StatsEvidence`]) or return a value precomputed from the same
+/// expression ([`crate::compiled::CompiledEvidence`]). Takes `&mut self` so
+/// implementations may memoize.
+pub trait RewriteEvidence {
+    /// Greedy score for the candidate pair, if evidence exists.
+    fn candidate_score(&mut self, from: Sym, to: Sym, interner: &Interner) -> Option<f64>;
+}
+
+/// The classic [`RewriteEvidence`]: resolve both phrases, build the
+/// canonical [`FeatureKey`], and hash into the [`StatsDb`].
+pub struct StatsEvidence<'a>(pub &'a StatsDb);
+
+impl RewriteEvidence for StatsEvidence<'_> {
+    fn candidate_score(&mut self, from: Sym, to: Sym, interner: &Interner) -> Option<f64> {
+        let from_str = interner.resolve(from);
+        let to_str = interner.resolve(to);
+        let key = canonical_rewrite_key(from_str, to_str);
+        self.0.get(&key).map(greedy_candidate_score)
+    }
+}
+
+/// The greedy matcher's candidate score — "a more probable rewrite … has a
+/// higher score in the rewrite database": evidence mass first, effect size
+/// as a tiebreak. Deterministic in the counts, so precomputing it at table
+/// compile time is bitwise-safe.
+pub fn greedy_candidate_score(stat: &FeatureStat) -> f64 {
+    stat.total() as f64 + stat.log_odds(1.0).abs() * 1e-3
+}
+
 /// Enumerate (and intern) the candidate phrases of one side of a line, in
 /// the order the greedy matcher expects: span-major, then length, then
 /// start position.
@@ -412,14 +466,47 @@ impl RewriteExtractor {
         stats: &StatsDb,
         interner: &Interner,
     ) -> RewriteExtraction {
+        self.extract_prepared_with(r, s, prepared, &mut StatsEvidence(stats), interner)
+    }
+
+    /// [`Self::extract_prepared`] with a pluggable evidence source. The
+    /// serving engine passes [`crate::compiled::CompiledEvidence`] here;
+    /// results are bit-identical to the [`StatsDb`]-backed path because
+    /// every implementation scores candidates with
+    /// [`greedy_candidate_score`] over the same canonical keys.
+    pub fn extract_prepared_with(
+        &self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        prepared: &PreparedPair,
+        evidence: &mut dyn RewriteEvidence,
+        interner: &Interner,
+    ) -> RewriteExtraction {
         let mut out = RewriteExtraction::default();
+        self.extract_prepared_into(r, s, prepared, evidence, interner, &mut out);
+        out
+    }
+
+    /// [`Self::extract_prepared_with`] into a caller-provided buffer whose
+    /// capacity is reused across pairs (the buffer is cleared first).
+    pub fn extract_prepared_into(
+        &self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        prepared: &PreparedPair,
+        evidence: &mut dyn RewriteEvidence,
+        interner: &Interner,
+        out: &mut RewriteExtraction,
+    ) {
+        out.rewrites.clear();
+        out.r_leftover.clear();
+        out.s_leftover.clear();
         static EMPTY: &[Sym] = &[];
         for pl in &prepared.lines {
             let ra: &[Sym] = r.lines.get(pl.line as usize).map_or(EMPTY, |v| v);
             let sb: &[Sym] = s.lines.get(pl.line as usize).map_or(EMPTY, |v| v);
-            self.match_line(pl, ra, sb, stats, interner, &mut out);
+            self.match_line(pl, ra, sb, evidence, interner, out);
         }
-        out
     }
 
     /// Match all changed spans of one line.
@@ -428,7 +515,7 @@ impl RewriteExtractor {
         pl: &PreparedLine,
         ra: &[Sym],
         sb: &[Sym],
-        stats: &StatsDb,
+        evidence: &mut dyn RewriteEvidence,
         interner: &Interner,
         out: &mut RewriteExtraction,
     ) {
@@ -437,7 +524,7 @@ impl RewriteExtractor {
         let mut s_taken = vec![false; sb.len()];
 
         if self.cfg.strategy == MatchStrategy::GreedyStats {
-            self.greedy_line(pl, stats, interner, out, &mut r_taken, &mut s_taken);
+            self.greedy_line(pl, evidence, interner, out, &mut r_taken, &mut s_taken);
         }
 
         // Whole-span fallback for aligned span pairs left fully unmatched
@@ -495,7 +582,7 @@ impl RewriteExtractor {
     fn greedy_line(
         &self,
         pl: &PreparedLine,
-        stats: &StatsDb,
+        evidence: &mut dyn RewriteEvidence,
         interner: &Interner,
         out: &mut RewriteExtraction,
         r_taken: &mut [bool],
@@ -507,15 +594,8 @@ impl RewriteExtractor {
         let max = self.cfg.max_phrase_len;
         let mut candidates: Vec<Candidate> = Vec::new();
         for rc in pl.r_cands.iter().filter(|c| c.len <= max) {
-            let from_str = interner.resolve(rc.phrase);
             for sc in pl.s_cands.iter().filter(|c| c.len <= max) {
-                let to_str = interner.resolve(sc.phrase);
-                let key = canonical_rewrite_key(from_str, to_str);
-                if let Some(stat) = stats.get(&key) {
-                    // "a more probable rewrite … has a higher score in the
-                    // rewrite database": evidence mass first, effect size as
-                    // a tiebreak.
-                    let score = stat.total() as f64 + stat.log_odds(1.0).abs() * 1e-3;
+                if let Some(score) = evidence.candidate_score(rc.phrase, sc.phrase, interner) {
                     candidates.push(Candidate {
                         r_start: rc.start,
                         r_len: rc.len,
@@ -531,7 +611,7 @@ impl RewriteExtractor {
         candidates.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
-                .expect("scores are finite")
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| (a.r_start, a.s_start).cmp(&(b.r_start, b.s_start)))
         });
 
@@ -575,11 +655,12 @@ fn prepared_occ(
     let phrase = if len == 1 {
         toks[start]
     } else {
+        // The whole-span candidate was interned at prepare time; fall back
+        // to the head token rather than panic on a serving path.
         cands
             .iter()
             .find(|c| c.start == start && c.len == len)
-            .expect("whole-span candidate interned at prepare time")
-            .phrase
+            .map_or(toks[start], |c| c.phrase)
     };
     PhraseOcc {
         phrase,

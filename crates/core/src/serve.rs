@@ -46,8 +46,11 @@ use microbrowse_store::{write_atomic, ArtifactSlot, SlotError, SlotLoad, Snapsho
 use microbrowse_text::{FxHashMap, Interner, Snippet, TermOccurrence, TokenizedSnippet, Tokenizer};
 
 use crate::classifier::{ModelSpec, TrainedClassifier};
+use crate::compiled::{CompiledEvidence, ScoringEngine, SymTableMap};
 use crate::error::{read_file_with_retry, MbError, RetryPolicy};
 use crate::features::{Featurizer, OwnedTermFeat};
+use crate::paircache::{snippet_hash, AlignCache, CachedAlignment};
+use crate::rewrite::{prepare_pair, MatchStrategy, RewriteExtraction};
 
 const MAGIC: &[u8; 8] = b"MBMODEL\0";
 const VERSION: u32 = 1;
@@ -372,7 +375,37 @@ pub struct ScoreOutcome {
 pub struct Scratch<'a> {
     interner: Interner,
     featurizer: Featurizer<'a>,
+    /// Scratch-symbol → compiled-table phrase id memo (engine path only).
+    sym_map: SymTableMap,
+    /// Reusable rewrite-extraction buffer (engine path only).
+    ext_buf: RewriteExtraction,
+    /// Persistent snippet arena: tokenizations (and term occurrences) cached
+    /// across batches, `arena_len` is the number of live entries. Safe for
+    /// bit-identity because interning is idempotent: re-tokenizing a snippet
+    /// whose tokens are already in this scratch's interner would not change
+    /// interner state, so skipping the re-tokenization leaves every later
+    /// symbol assignment — and therefore every score — exactly where the
+    /// legacy path would put it.
+    arena: Vec<ArenaEntry>,
+    arena_len: usize,
+    /// Snippet-hash → arena index. Hash-keyed to stay allocation-free on
+    /// lookups; hits verify full snippet equality against the entry's own
+    /// copy, so a 64-bit collision degrades to reprocessing, never to a
+    /// wrong score.
+    arena_index: FxHashMap<u64, usize>,
+    /// Shared-alignment → resolved-extraction memo (engine path only),
+    /// keyed by the alignment's `Arc` pointer. The first replay of a cached
+    /// alignment in this scratch interns its phrases and resolves the
+    /// occurrences; repeats copy the already-resolved buffers (pure
+    /// `memcpy`, no string hashing). Holding the `Arc` in the value keeps
+    /// the pointer key unique for the life of the entry.
+    replay_memo: FxHashMap<usize, (std::sync::Arc<CachedAlignment>, RewriteExtraction)>,
 }
+
+/// Arena entries above this count drop the whole arena (capacity kept) —
+/// the serving working set of distinct snippets is far smaller, this just
+/// bounds memory against adversarial streams.
+const SNIPPET_ARENA_CAP: usize = 8192;
 
 /// Per-unique-snippet preprocessing cached across one [`Scorer::score_batch`]
 /// call: the tokenization and (for term specs) the n-gram occurrences.
@@ -380,6 +413,22 @@ struct BatchEntry {
     tok: TokenizedSnippet,
     occs: Option<Vec<TermOccurrence>>,
 }
+
+/// An arena slot of the engine path: one distinct snippet's preprocessing,
+/// kept across batches (buffers keep their capacity on eviction reuse), so
+/// a warmed-up scratch scores repeat traffic without tokenizing at all.
+struct ArenaEntry {
+    /// The snippet this entry was filled from — hash-index hits are
+    /// verified against it by full equality.
+    snippet: Snippet,
+    tok: TokenizedSnippet,
+    occs: Vec<TermOccurrence>,
+    occs_ready: bool,
+}
+
+/// Replay-memo entries above this count drop the memo wholesale (same
+/// rationale as [`SNIPPET_ARENA_CAP`]).
+const REPLAY_MEMO_CAP: usize = 8192;
 
 /// A ready-to-serve scorer: deployed model + statistics database.
 ///
@@ -393,9 +442,11 @@ pub struct Scorer<'a> {
     spec: ModelSpec,
     tokenizer: Tokenizer,
     fidelity: Fidelity,
-    /// Lazily-built scratch backing the deprecated `&mut self` shims, so
-    /// legacy callers keep the old amortization across calls.
-    shim: Option<Scratch<'a>>,
+    /// Hot-path engine (compiled table + alignment cache). Present on
+    /// scorers built from a [`ServingBundle`]; `None` keeps the classic
+    /// [`StatsDb`]-probing path, which doubles as the baseline the engine
+    /// is proven bit-identical against.
+    engine: Option<&'a ScoringEngine>,
 }
 
 impl<'a> Scorer<'a> {
@@ -427,8 +478,24 @@ impl<'a> Scorer<'a> {
             spec,
             tokenizer: Tokenizer::default(),
             fidelity,
-            shim: None,
+            engine: None,
         }
+    }
+
+    /// [`Self::with_fidelity`] plus the hot-path engine: scoring routes
+    /// through the compiled feature table and the cross-batch alignment
+    /// cache instead of probing the [`StatsDb`] maps. `engine` must be
+    /// compiled from `stats` (a [`ServingBundle`] guarantees this); scores
+    /// are bit-identical to the engine-less scorer.
+    pub fn with_engine(
+        model: &'a DeployedModel,
+        stats: &'a StatsDb,
+        fidelity: Fidelity,
+        engine: &'a ScoringEngine,
+    ) -> Self {
+        let mut scorer = Self::with_fidelity(model, stats, fidelity);
+        scorer.engine = Some(engine);
+        scorer
     }
 
     /// Build a fresh scratch for this scorer: a new interner and featurizer
@@ -441,6 +508,12 @@ impl<'a> Scorer<'a> {
         Scratch {
             interner,
             featurizer,
+            sym_map: SymTableMap::new(),
+            ext_buf: RewriteExtraction::default(),
+            arena: Vec::new(),
+            arena_len: 0,
+            arena_index: FxHashMap::default(),
+            replay_memo: FxHashMap::default(),
         }
     }
 
@@ -459,9 +532,20 @@ impl<'a> Scorer<'a> {
     /// log-odds margin.
     pub fn score_pair(&self, r: &Snippet, s: &Snippet, scratch: &mut Scratch<'a>) -> f64 {
         let start = obs::now_if_enabled();
+        let score = match self.engine {
+            Some(engine) => self.score_pair_engine(engine, r, s, scratch),
+            None => self.score_pair_legacy(r, s, scratch),
+        };
+        self.record_score(start);
+        score
+    }
+
+    /// The classic single-pair path: tokenize fresh, probe the [`StatsDb`]
+    /// maps. The engine path is proven bit-identical against this.
+    fn score_pair_legacy(&self, r: &Snippet, s: &Snippet, scratch: &mut Scratch<'a>) -> f64 {
         let tok_r = r.tokenize(&self.tokenizer, &mut scratch.interner);
         let tok_s = s.tokenize(&self.tokenizer, &mut scratch.interner);
-        let score = match &self.model.classifier {
+        match &self.model.classifier {
             TrainedClassifier::Flat(lr) => {
                 let ex =
                     scratch
@@ -476,9 +560,34 @@ impl<'a> Scorer<'a> {
                         .encode_coupled(&tok_r, &tok_s, true, &mut scratch.interner);
                 cm.score(&ex)
             }
-        };
-        self.record_score(start);
-        score
+        }
+    }
+
+    /// Engine single-pair path: both sides resolve through the persistent
+    /// snippet arena, then score through the compiled table and alignment
+    /// cache.
+    fn score_pair_engine(
+        &self,
+        engine: &ScoringEngine,
+        r: &Snippet,
+        s: &Snippet,
+        scratch: &mut Scratch<'a>,
+    ) -> f64 {
+        let (ri, hr) = Self::arena_entry(r, &self.tokenizer, scratch);
+        let (si, hs) = Self::arena_entry(s, &self.tokenizer, scratch);
+        if self.spec.terms {
+            Self::ensure_arena_occs(ri, scratch);
+            Self::ensure_arena_occs(si, scratch);
+        }
+        self.score_entry_engine(
+            engine,
+            r,
+            s,
+            ri,
+            si,
+            AlignCache::combine_hashes(hr, hs),
+            scratch,
+        )
     }
 
     /// [`Self::score_pair`] with the fidelity attached: the API a serving
@@ -536,6 +645,30 @@ impl<'a> Scorer<'a> {
     /// microseconds (first-time tokenization/extraction of a snippet is
     /// attributed to the first pair that touches it).
     pub fn score_batch_timed(
+        &self,
+        pairs: &[(Snippet, Snippet)],
+        scratch: &mut Scratch<'a>,
+    ) -> (Vec<f64>, Vec<u64>) {
+        // Empty and single-pair batches skip the batch arena entirely; the
+        // single-pair path is bit-identical to the arena path (dedup is
+        // state-invariant), so the short-circuit cannot change a score.
+        if pairs.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        if let [(r, s)] = pairs {
+            let wall = std::time::Instant::now();
+            let score = self.score_pair(r, s, scratch);
+            return (vec![score], vec![wall.elapsed().as_micros() as u64]);
+        }
+        match self.engine {
+            Some(engine) => self.score_batch_engine(engine, pairs, scratch),
+            None => self.score_batch_legacy(pairs, scratch),
+        }
+    }
+
+    /// The classic batch path (no engine): per-call arena, [`StatsDb`]
+    /// probes.
+    fn score_batch_legacy(
         &self,
         pairs: &[(Snippet, Snippet)],
         scratch: &mut Scratch<'a>,
@@ -620,6 +753,202 @@ impl<'a> Scorer<'a> {
         }
     }
 
+    /// Engine batch path: persistent snippet arena in the scratch,
+    /// compiled-table evidence, cross-batch alignment cache. Per-pair
+    /// processing order matches the legacy path (tokenize r, tokenize s,
+    /// occurrences r, occurrences s, then alignment); every step the arena
+    /// or cache skips would have been a state no-op (re-interning already
+    /// interned strings), so scores match the legacy path bit for bit.
+    fn score_batch_engine(
+        &self,
+        engine: &ScoringEngine,
+        pairs: &[(Snippet, Snippet)],
+        scratch: &mut Scratch<'a>,
+    ) -> (Vec<f64>, Vec<u64>) {
+        let mut scores = Vec::with_capacity(pairs.len());
+        let mut latencies = Vec::with_capacity(pairs.len());
+        for (r, s) in pairs {
+            let wall = std::time::Instant::now();
+            let start = obs::now_if_enabled();
+            let ri = Self::arena_entry(r, &self.tokenizer, scratch);
+            let si = Self::arena_entry(s, &self.tokenizer, scratch);
+            if self.spec.terms {
+                Self::ensure_arena_occs(ri.0, scratch);
+                Self::ensure_arena_occs(si.0, scratch);
+            }
+            let pair_hash = AlignCache::combine_hashes(ri.1, si.1);
+            let score = self.score_entry_engine(engine, r, s, ri.0, si.0, pair_hash, scratch);
+            self.record_score(start);
+            scores.push(score);
+            latencies.push(wall.elapsed().as_micros() as u64);
+        }
+        (scores, latencies)
+    }
+
+    /// Arena index and hash of `snippet`, tokenizing on first encounter.
+    /// Hash-index hits are verified by full equality against the entry's
+    /// own snippet; a 64-bit collision falls through to reprocessing
+    /// (idempotent, so still bit-identical — only slower).
+    fn arena_entry(
+        snippet: &Snippet,
+        tokenizer: &Tokenizer,
+        scratch: &mut Scratch<'a>,
+    ) -> (usize, u64) {
+        let h = snippet_hash(snippet);
+        if let Some(&i) = scratch.arena_index.get(&h) {
+            if i < scratch.arena_len && scratch.arena[i].snippet == *snippet {
+                return (i, h);
+            }
+        }
+        let i = Self::arena_fill(snippet, tokenizer, scratch);
+        scratch.arena_index.insert(h, i);
+        (i, h)
+    }
+
+    /// Fill the next arena slot with `snippet`'s tokenization (reusing the
+    /// slot's buffers) and return its index. At [`SNIPPET_ARENA_CAP`] the
+    /// whole arena is logically dropped and refilled from slot 0 — entry
+    /// buffers keep their capacity, and because every cached token is
+    /// already interned, eviction has no effect on scores.
+    fn arena_fill(snippet: &Snippet, tokenizer: &Tokenizer, scratch: &mut Scratch<'a>) -> usize {
+        if scratch.arena_len >= SNIPPET_ARENA_CAP {
+            scratch.arena_index.clear();
+            scratch.arena_len = 0;
+        }
+        let i = scratch.arena_len;
+        if scratch.arena.len() == i {
+            scratch.arena.push(ArenaEntry {
+                snippet: snippet.clone(),
+                tok: TokenizedSnippet::default(),
+                occs: Vec::new(),
+                occs_ready: false,
+            });
+        }
+        let Scratch {
+            arena, interner, ..
+        } = scratch;
+        let e = &mut arena[i];
+        e.snippet.clone_from(snippet);
+        e.occs_ready = false;
+        snippet.tokenize_into(tokenizer, interner, &mut e.tok);
+        scratch.arena_len = i + 1;
+        i
+    }
+
+    /// Extract n-gram occurrences for arena entry `i` if not already cached
+    /// (into the entry's reused buffer).
+    fn ensure_arena_occs(i: usize, scratch: &mut Scratch<'a>) {
+        let Scratch {
+            arena,
+            interner,
+            featurizer,
+            ..
+        } = scratch;
+        let ArenaEntry {
+            tok,
+            occs,
+            occs_ready,
+            ..
+        } = &mut arena[i];
+        if !*occs_ready {
+            featurizer.term_occurrences_into(&*tok, interner, occs);
+            *occs_ready = true;
+        }
+    }
+
+    /// Score one pair whose sides sit in arena entries `ri`/`si`: resolve
+    /// the rewrite alignment (cache hit replays it — including the exact
+    /// interner side effects of a fresh `prepare_pair` — or compute it
+    /// against the compiled evidence table and insert), then encode through
+    /// the featurizer's reused buffers and apply the model.
+    #[allow(clippy::too_many_arguments)]
+    fn score_entry_engine(
+        &self,
+        engine: &ScoringEngine,
+        r: &Snippet,
+        s: &Snippet,
+        ri: usize,
+        si: usize,
+        pair_hash: u64,
+        scratch: &mut Scratch<'a>,
+    ) -> f64 {
+        if self.spec.rewrites {
+            if let Some(cached) = engine.align().get_hashed(pair_hash, r, s) {
+                let key = std::sync::Arc::as_ptr(&cached) as usize;
+                if let Some((_, resolved)) = scratch.replay_memo.get(&key) {
+                    // Second replay in this scratch: every phrase is already
+                    // interned, so copying the resolved extraction is
+                    // state-equivalent to a full replay.
+                    scratch.ext_buf.rewrites.clone_from(&resolved.rewrites);
+                    scratch.ext_buf.r_leftover.clone_from(&resolved.r_leftover);
+                    scratch.ext_buf.s_leftover.clone_from(&resolved.s_leftover);
+                } else {
+                    cached.replay(&mut scratch.interner, &mut scratch.ext_buf);
+                    if scratch.replay_memo.len() >= REPLAY_MEMO_CAP {
+                        scratch.replay_memo.clear();
+                    }
+                    scratch
+                        .replay_memo
+                        .insert(key, (cached, scratch.ext_buf.clone()));
+                }
+            } else {
+                let rw = scratch.featurizer.rewrite_extractor();
+                let prepared = {
+                    let (tok_r, tok_s) = (&scratch.arena[ri].tok, &scratch.arena[si].tok);
+                    prepare_pair(
+                        tok_r,
+                        tok_s,
+                        rw.config().max_phrase_len,
+                        rw.config().strategy == MatchStrategy::GreedyStats,
+                        &mut scratch.interner,
+                    )
+                };
+                let mut evidence = CompiledEvidence::new(engine.table(), &mut scratch.sym_map);
+                {
+                    let (tok_r, tok_s) = (&scratch.arena[ri].tok, &scratch.arena[si].tok);
+                    rw.extract_prepared_into(
+                        tok_r,
+                        tok_s,
+                        &prepared,
+                        &mut evidence,
+                        &scratch.interner,
+                        &mut scratch.ext_buf,
+                    );
+                }
+                engine.align().insert_hashed(
+                    pair_hash,
+                    r,
+                    s,
+                    CachedAlignment::capture(&prepared, &scratch.ext_buf, &scratch.interner),
+                );
+            }
+        }
+        let ext = self.spec.rewrites.then_some(&scratch.ext_buf);
+        let (r_occs, s_occs): (&[TermOccurrence], &[TermOccurrence]) = if self.spec.terms {
+            (&scratch.arena[ri].occs, &scratch.arena[si].occs)
+        } else {
+            (&[], &[])
+        };
+        match &self.model.classifier {
+            TrainedClassifier::Flat(lr) => {
+                let features =
+                    scratch
+                        .featurizer
+                        .encode_flat_scored(r_occs, s_occs, ext, &scratch.interner);
+                lr.score(features)
+            }
+            TrainedClassifier::Coupled(cm) => {
+                let occs = scratch.featurizer.encode_coupled_scored(
+                    r_occs,
+                    s_occs,
+                    ext,
+                    &scratch.interner,
+                );
+                cm.score_occs(occs)
+            }
+        }
+    }
+
     /// Per-score instrumentation shared by the single and batch paths.
     fn record_score(&self, start: Option<std::time::Instant>) {
         obs::counter!("microbrowse_scores_total").inc();
@@ -627,48 +956,6 @@ impl<'a> Scorer<'a> {
             obs::counter!("microbrowse_scores_degraded_total").inc();
         }
         obs::histogram!("microbrowse_score_latency_us").observe_since(start);
-    }
-
-    /// The scratch backing the deprecated `&mut self` shims, built on first
-    /// use so legacy callers keep amortizing across calls.
-    fn shim_scratch(&mut self) -> Scratch<'a> {
-        self.shim.take().unwrap_or_else(|| self.scratch())
-    }
-
-    /// Deprecated `&mut self` form of [`Self::score_pair`].
-    #[deprecated(note = "use score_pair(&self, r, s, &mut scratch) with Scorer::scratch")]
-    pub fn score_pair_mut(&mut self, r: &Snippet, s: &Snippet) -> f64 {
-        let mut scratch = self.shim_scratch();
-        let score = self.score_pair(r, s, &mut scratch);
-        self.shim = Some(scratch);
-        score
-    }
-
-    /// Deprecated `&mut self` form of [`Self::score_pair_outcome`].
-    #[deprecated(note = "use score_pair_outcome(&self, r, s, &mut scratch) with Scorer::scratch")]
-    pub fn score_pair_outcome_mut(&mut self, r: &Snippet, s: &Snippet) -> ScoreOutcome {
-        let mut scratch = self.shim_scratch();
-        let outcome = self.score_pair_outcome(r, s, &mut scratch);
-        self.shim = Some(scratch);
-        outcome
-    }
-
-    /// Deprecated `&mut self` form of [`Self::predict_pair`].
-    #[deprecated(note = "use predict_pair(&self, r, s, &mut scratch) with Scorer::scratch")]
-    pub fn predict_pair_mut(&mut self, r: &Snippet, s: &Snippet) -> bool {
-        let mut scratch = self.shim_scratch();
-        let p = self.predict_pair(r, s, &mut scratch);
-        self.shim = Some(scratch);
-        p
-    }
-
-    /// Deprecated `&mut self` form of [`Self::rank`].
-    #[deprecated(note = "use rank(&self, creatives, &mut scratch) with Scorer::scratch")]
-    pub fn rank_mut(&mut self, creatives: &[Snippet]) -> Vec<usize> {
-        let mut scratch = self.shim_scratch();
-        let order = self.rank(creatives, &mut scratch);
-        self.shim = Some(scratch);
-        order
     }
 }
 
@@ -695,6 +982,7 @@ pub struct ServingBundle {
     fidelity: Fidelity,
     model_generation: Option<u64>,
     stats_generation: Option<u64>,
+    engine: ScoringEngine,
 }
 
 impl ServingBundle {
@@ -703,12 +991,14 @@ impl ServingBundle {
     /// receive artifacts directly; generation numbers are `None` because
     /// nothing came from a slot.
     pub fn from_parts(model: DeployedModel, stats: StatsDb, fidelity: Fidelity) -> Self {
+        let engine = ScoringEngine::compile(&stats);
         Self {
             model,
             stats,
             fidelity,
             model_generation: None,
             stats_generation: None,
+            engine,
         }
     }
 
@@ -738,9 +1028,24 @@ impl ServingBundle {
         self.stats_generation
     }
 
-    /// Build a scorer over this bundle (one per serving thread).
+    /// The compiled scoring engine for this bundle: the precompiled
+    /// feature table plus the serve-time alignment cache. Replacing the
+    /// bundle on hot reload replaces the engine — and thus invalidates the
+    /// cache — atomically with the stats it was compiled from.
+    pub fn engine(&self) -> &ScoringEngine {
+        &self.engine
+    }
+
+    /// Build a scorer over this bundle (one per serving thread). Scorers
+    /// built here use the compiled hot path; scores are bit-identical to
+    /// [`Scorer::with_fidelity`] over the same artifacts.
     pub fn scorer(&self) -> Scorer<'_> {
-        Scorer::with_fidelity(&self.model, &self.stats, self.fidelity.clone())
+        Scorer::with_engine(
+            &self.model,
+            &self.stats,
+            self.fidelity.clone(),
+            &self.engine,
+        )
     }
 }
 
@@ -805,12 +1110,14 @@ impl ScorerBuilder {
         );
         let loaded = self.load_model().and_then(|(model, model_generation)| {
             let (stats, fidelity, stats_generation) = self.load_stats()?;
+            let engine = ScoringEngine::compile(&stats);
             Ok(ServingBundle {
                 model,
                 stats,
                 fidelity,
                 model_generation,
                 stats_generation,
+                engine,
             })
         });
         match &loaded {
@@ -1310,23 +1617,72 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_mut_shims_match_scratch_api() {
+    fn engine_scorer_matches_legacy_scorer() {
         let m = sample_model();
         let stats = StatsDb::new();
-        let mut scorer = Scorer::new(&m, &stats);
+        let bundle = ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full);
         let r = Snippet::creative("air", "find cheap flights", "book now");
         let s = Snippet::creative("air", "get discounts", "fees apply");
-        let via_scratch = {
-            let fresh = Scorer::new(&m, &stats);
-            let mut scratch = fresh.scratch();
-            fresh.score_pair(&r, &s, &mut scratch)
+        let legacy = {
+            let scorer = Scorer::with_fidelity(&m, &stats, Fidelity::Full);
+            let mut scratch = scorer.scratch();
+            scorer.score_pair(&r, &s, &mut scratch)
         };
-        assert_eq!(scorer.score_pair_mut(&r, &s), via_scratch);
-        assert_eq!(scorer.score_pair_outcome_mut(&r, &s).score, via_scratch);
-        assert_eq!(scorer.predict_pair_mut(&r, &s), via_scratch > 0.0);
-        let creatives = [r.clone(), s.clone()];
-        let order = scorer.rank_mut(&creatives);
-        assert_eq!(order.len(), 2);
+        let scorer = bundle.scorer();
+        let mut scratch = scorer.scratch();
+        // Twice: second call replays the cached alignment.
+        assert_eq!(
+            scorer.score_pair(&r, &s, &mut scratch).to_bits(),
+            legacy.to_bits()
+        );
+        assert_eq!(
+            scorer.score_pair(&r, &s, &mut scratch).to_bits(),
+            legacy.to_bits()
+        );
+    }
+
+    #[test]
+    fn batch_short_circuits_empty_and_single() {
+        let m = sample_model();
+        let stats = StatsDb::new();
+        let bundle = ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full);
+        let scorer = bundle.scorer();
+        let mut scratch = scorer.scratch();
+        let (scores, lat) = scorer.score_batch_timed(&[], &mut scratch);
+        assert!(scores.is_empty() && lat.is_empty());
+        let r = Snippet::creative("air", "find cheap flights", "book now");
+        let s = Snippet::creative("air", "get discounts", "fees apply");
+        let single = vec![(r.clone(), s.clone())];
+        let (scores, lat) = scorer.score_batch_timed(&single, &mut scratch);
+        assert_eq!(scores.len(), 1);
+        assert_eq!(lat.len(), 1);
+        let expected = {
+            let legacy = Scorer::with_fidelity(&m, &stats, Fidelity::Full);
+            let mut sc = legacy.scratch();
+            legacy.score_pair(&r, &s, &mut sc)
+        };
+        assert_eq!(scores[0].to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn batch_all_duplicate_pairs_matches_serial() {
+        let m = sample_model();
+        let stats = StatsDb::new();
+        let bundle = ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full);
+        let r = Snippet::creative("air", "find cheap flights", "book now");
+        let s = Snippet::creative("air", "get discounts", "fees apply");
+        let pairs: Vec<_> = (0..8).map(|_| (r.clone(), s.clone())).collect();
+        let scorer = bundle.scorer();
+        let mut scratch = scorer.scratch();
+        let batch = scorer.score_batch(&pairs, &mut scratch);
+        let legacy = Scorer::with_fidelity(&m, &stats, Fidelity::Full);
+        let mut sc = legacy.scratch();
+        let serial: Vec<f64> = pairs
+            .iter()
+            .map(|(a, b)| legacy.score_pair(a, b, &mut sc))
+            .collect();
+        for (b, s) in batch.iter().zip(&serial) {
+            assert_eq!(b.to_bits(), s.to_bits());
+        }
     }
 }

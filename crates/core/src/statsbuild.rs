@@ -26,7 +26,7 @@ use microbrowse_text::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::corpus::{AdCorpus, CreativeId, CreativePair};
+use crate::corpus::{AdCorpus, CreativeId, CreativePair, PairFilter};
 use crate::paircache::PairCache;
 use crate::rewrite::{
     canonical_rewrite_key, is_canonical_order, MatchStrategy, RewriteConfig, RewriteExtraction,
@@ -144,6 +144,22 @@ pub fn build_stats(
     let db = builder.freeze();
     span.add("features", db.len());
     db
+}
+
+/// One-call convenience for benches and tools: tokenize `corpus`, extract
+/// its qualifying pairs under `filter`, and build the statistics database
+/// over all of them. Returns the tokenized corpus and pair list alongside
+/// the stats so callers can keep working in the same symbol space without
+/// re-tokenizing.
+pub fn build_stats_from_corpus(
+    corpus: &AdCorpus,
+    filter: &PairFilter,
+    cfg: &StatsBuildConfig,
+) -> (TokenizedCorpus, Vec<CreativePair>, StatsDb) {
+    let tc = TokenizedCorpus::build(corpus);
+    let pairs = corpus.extract_pairs(filter);
+    let db = build_stats(&tc, &pairs, cfg);
+    (tc, pairs, db)
 }
 
 /// Build the statistics database over the pairs selected by `idxs` (indices

@@ -1,0 +1,242 @@
+//! Property-based tests for the compiled hot-path scoring engine: the
+//! precompiled feature table must agree with `StatsDb` lookup-for-lookup,
+//! and the engine scorer (compiled table + arena batching + alignment
+//! cache) must be bit-identical to the legacy scorer over arbitrary
+//! corpora, models, fidelities, duplicate pairs, repeated batches, and
+//! hot reloads.
+
+use microbrowse_core::compiled::CompiledFeatureTable;
+use microbrowse_core::features::{OwnedTermFeat, PositionVocab};
+use microbrowse_core::rewrite::{
+    canonical_rewrite_key, greedy_candidate_score, is_canonical_order,
+};
+use microbrowse_core::serve::{DegradeReason, DeployedModel, Fidelity, Scorer, ServingBundle};
+use microbrowse_core::{ModelSpec, TrainedClassifier};
+use microbrowse_ml::coupled::CoupledModel;
+use microbrowse_ml::LogReg;
+use microbrowse_store::key::SnippetPos;
+use microbrowse_store::{FeatureKey, FeatureStat, StatsDb};
+use microbrowse_text::Snippet;
+use proptest::prelude::*;
+
+/// A word-salad phrase over the same alphabet the snippet strategies use,
+/// so random probe keys and random snippets actually collide with the
+/// recorded statistics.
+fn arb_phrase() -> impl Strategy<Value = String> {
+    "[a-d]{1,3}( [a-d]{1,3}){0,1}"
+}
+
+fn arb_pos() -> impl Strategy<Value = (u8, u16)> {
+    (0u8..4, 0u16..8)
+}
+
+/// Any feature key the scorer can probe: term, canonical rewrite, term
+/// position, rewrite position.
+fn arb_key() -> impl Strategy<Value = FeatureKey> {
+    prop_oneof![
+        arb_phrase().prop_map(FeatureKey::term),
+        (arb_phrase(), arb_phrase()).prop_map(|(a, b)| canonical_rewrite_key(&a, &b)),
+        arb_pos().prop_map(|(l, p)| FeatureKey::term_position(l, p)),
+        (arb_pos(), arb_pos()).prop_map(|(f, t)| {
+            FeatureKey::rewrite_position(
+                SnippetPos {
+                    line: f.0,
+                    pos: f.1,
+                },
+                SnippetPos {
+                    line: t.0,
+                    pos: t.1,
+                },
+            )
+        }),
+    ]
+}
+
+fn arb_stats() -> impl Strategy<Value = StatsDb> {
+    prop::collection::vec((arb_key(), 0u8..6, 0u8..6), 0..24).prop_map(|records| {
+        StatsDb::from_records(records.into_iter().map(|(k, up, down)| {
+            (
+                k,
+                FeatureStat {
+                    up: up as u64,
+                    down: down as u64,
+                },
+            )
+        }))
+    })
+}
+
+fn arb_snippet_lines() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,5}", 1..3)
+}
+
+/// Vocabulary with term and rewrite features over the salad alphabet.
+fn vocab() -> Vec<OwnedTermFeat> {
+    vec![
+        OwnedTermFeat::Term("a".into()),
+        OwnedTermFeat::Term("b".into()),
+        OwnedTermFeat::Term("ab".into()),
+        OwnedTermFeat::Term("cd".into()),
+        OwnedTermFeat::Rewrite("a".into(), "b".into()),
+        OwnedTermFeat::Rewrite("ab".into(), "cd".into()),
+    ]
+}
+
+fn flat_model() -> DeployedModel {
+    let vocab = vocab();
+    let weights = (0..vocab.len()).map(|i| 0.3 * i as f64 - 0.7).collect();
+    DeployedModel {
+        spec: ModelSpec::m5(),
+        classifier: TrainedClassifier::Flat(LogReg::from_parts(weights, 0.1)),
+        vocab,
+    }
+}
+
+fn coupled_model() -> DeployedModel {
+    let vocab = vocab();
+    let terms = (0..vocab.len()).map(|i| 0.2 * i as f64 - 0.5).collect();
+    let pos = (0..PositionVocab::num_groups() as usize)
+        .map(|i| 1.0 - 0.1 * i as f64)
+        .collect();
+    DeployedModel {
+        spec: ModelSpec::m4(),
+        classifier: TrainedClassifier::Coupled(CoupledModel::from_parts(pos, terms, -0.2)),
+        vocab,
+    }
+}
+
+proptest! {
+    /// Every lookup the scorer can make against the compiled table returns
+    /// exactly what `StatsDb` would: same hit/miss decisions, the same
+    /// stat, and bit-identical precomputed log-odds.
+    #[test]
+    fn compiled_table_matches_statsdb(
+        db in arb_stats(),
+        probes in prop::collection::vec(arb_key(), 1..32),
+    ) {
+        let table = CompiledFeatureTable::compile(&db);
+        prop_assert_eq!(table.len(), db.len());
+        // Probe both recorded keys and random (mostly missing) keys.
+        let recorded: Vec<FeatureKey> = db.iter().map(|(k, _)| k.clone()).collect();
+        for key in recorded.iter().chain(probes.iter()) {
+            prop_assert_eq!(table.get(key), db.get(key), "key {:?}", key);
+            let expect = db.get(key).map_or(0.0, |s| s.log_odds(1.0));
+            prop_assert_eq!(
+                table.log_odds(key).to_bits(),
+                expect.to_bits(),
+                "log-odds for {:?}", key
+            );
+        }
+    }
+
+    /// Canonicalized greedy rewrite evidence through the compiled table's
+    /// interned ids agrees bit-for-bit with the string path the legacy
+    /// extractor takes, and `lex_le` agrees with string canonical order.
+    #[test]
+    fn compiled_greedy_evidence_matches_string_path(
+        db in arb_stats(),
+        pairs in prop::collection::vec((arb_phrase(), arb_phrase()), 1..16),
+    ) {
+        let table = CompiledFeatureTable::compile(&db);
+        for (a, b) in &pairs {
+            let (Some(ia), Some(ib)) = (table.phrase_id(a), table.phrase_id(b)) else {
+                continue; // phrase never recorded → legacy evidence also misses
+            };
+            prop_assert_eq!(table.lex_le(ia, ib), a <= b);
+            prop_assert_eq!(table.lex_le(ia, ib), is_canonical_order(a, b) || a == b);
+            let expect = db.get(&canonical_rewrite_key(a, b)).map(greedy_candidate_score);
+            let got = table.greedy_rewrite_score(ia, ib);
+            prop_assert_eq!(
+                got.map(f64::to_bits),
+                expect.map(f64::to_bits),
+                "greedy evidence for ({}, {})", a, b
+            );
+        }
+    }
+
+    /// The engine scorer behind `ServingBundle::scorer` is bit-identical
+    /// to the legacy `Scorer::with_fidelity` path over non-empty random
+    /// statistics — flat and coupled classifiers, full and degraded
+    /// fidelity, duplicate pairs in the batch, and a second batch over the
+    /// same scratch so cached alignments replay instead of recompute.
+    #[test]
+    fn engine_scorer_bitwise_matches_legacy(
+        db in arb_stats(),
+        raw_pairs in prop::collection::vec((arb_snippet_lines(), arb_snippet_lines()), 1..4),
+        dup_first in any::<bool>(),
+    ) {
+        let mut pairs: Vec<(Snippet, Snippet)> = raw_pairs
+            .into_iter()
+            .map(|(r, s)| (Snippet::from_lines(r), Snippet::from_lines(s)))
+            .collect();
+        if dup_first {
+            let first = pairs[0].clone();
+            pairs.push(first);
+        }
+        for model in [flat_model(), coupled_model()] {
+            for fidelity in [
+                Fidelity::Full,
+                Fidelity::Degraded(DegradeReason::StatsMissing),
+            ] {
+                let legacy = Scorer::with_fidelity(&model, &db, fidelity.clone());
+                let mut legacy_scratch = legacy.scratch();
+                let serial: Vec<u64> = (0..2)
+                    .flat_map(|_| pairs.iter().map(|(r, s)| {
+                        legacy.score_pair(r, s, &mut legacy_scratch).to_bits()
+                    }).collect::<Vec<_>>())
+                    .collect();
+                let bundle =
+                    ServingBundle::from_parts(model.clone(), db.clone(), fidelity.clone());
+                let scorer = bundle.scorer();
+                let mut scratch = scorer.scratch();
+                // Two batches over one scratch: the second replays cached
+                // alignments; scores must not move by a single bit.
+                let engine: Vec<u64> = (0..2)
+                    .flat_map(|_| scorer
+                        .score_batch(&pairs, &mut scratch)
+                        .into_iter()
+                        .map(f64::to_bits)
+                        .collect::<Vec<_>>())
+                    .collect();
+                prop_assert_eq!(&serial, &engine, "spec {:?} fidelity {:?}", model.spec, fidelity);
+            }
+        }
+    }
+
+    /// Hot reload: scoring against a *new* bundle (different statistics)
+    /// matches legacy scoring against the new statistics — nothing cached
+    /// under the old bundle leaks across the swap.
+    #[test]
+    fn hot_reload_swaps_engine_state(
+        db1 in arb_stats(),
+        db2 in arb_stats(),
+        raw_pairs in prop::collection::vec((arb_snippet_lines(), arb_snippet_lines()), 1..3),
+    ) {
+        let pairs: Vec<(Snippet, Snippet)> = raw_pairs
+            .into_iter()
+            .map(|(r, s)| (Snippet::from_lines(r), Snippet::from_lines(s)))
+            .collect();
+        let model = flat_model();
+        // Warm the first bundle's alignment cache.
+        let bundle1 = ServingBundle::from_parts(model.clone(), db1.clone(), Fidelity::Full);
+        let scorer1 = bundle1.scorer();
+        let mut scratch1 = scorer1.scratch();
+        let _ = scorer1.score_batch(&pairs, &mut scratch1);
+        // Swap: a fresh bundle compiled from different statistics.
+        let bundle2 = ServingBundle::from_parts(model.clone(), db2.clone(), Fidelity::Full);
+        let scorer2 = bundle2.scorer();
+        let mut scratch2 = scorer2.scratch();
+        let swapped: Vec<u64> = scorer2
+            .score_batch(&pairs, &mut scratch2)
+            .into_iter()
+            .map(f64::to_bits)
+            .collect();
+        let legacy = Scorer::with_fidelity(&model, &db2, Fidelity::Full);
+        let mut legacy_scratch = legacy.scratch();
+        let expect: Vec<u64> = pairs
+            .iter()
+            .map(|(r, s)| legacy.score_pair(r, s, &mut legacy_scratch).to_bits())
+            .collect();
+        prop_assert_eq!(&expect, &swapped);
+    }
+}

@@ -255,8 +255,16 @@ impl CoupledModel {
 
     /// Linear score of a factorized example.
     pub fn score(&self, ex: &CoupledExample) -> f64 {
+        self.score_occs(&ex.occs)
+    }
+
+    /// Linear score over a raw occurrence slice (bit-identical to
+    /// [`CoupledModel::score`] on an example holding the same occurrences).
+    /// Lets the serving hot path score reused occurrence buffers without
+    /// materializing a [`CoupledExample`].
+    pub fn score_occs(&self, occs: &[CoupledFeature]) -> f64 {
         let mut z = self.bias;
-        for o in &ex.occs {
+        for o in occs {
             let p = self.pos_weights.get(o.pos as usize).copied().unwrap_or(0.0);
             let t = self
                 .term_weights

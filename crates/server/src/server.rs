@@ -651,7 +651,12 @@ fn handle_healthz(bundle: &ServingBundle, shared: &Shared) -> Response {
         .raw("stats_generation", &gen_json(bundle.stats_generation()))
         .u64("queue_depth", shared.queue.len() as u64)
         .u64("epoch", shared.state.epoch())
-        .u64("reloads", shared.state.reloads());
+        .u64("reloads", shared.state.reloads())
+        .u64("compiled_features", bundle.engine().table().len() as u64)
+        .u64(
+            "align_cache_entries",
+            bundle.engine().align().entries() as u64,
+        );
     let obj = Fidelity::from(bundle.fidelity()).append_to(obj);
     let status = if draining || degraded { 503 } else { 200 };
     Response::json(status, obj.finish())

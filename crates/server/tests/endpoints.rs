@@ -166,6 +166,8 @@ fn healthz_reports_generations_queue_and_epoch() {
     assert!(body.contains("\"queue_depth\":"), "{body}");
     assert!(body.contains("\"epoch\":0"), "{body}");
     assert!(body.contains("\"reloads\":0"), "{body}");
+    assert!(body.contains("\"compiled_features\":"), "{body}");
+    assert!(body.contains("\"align_cache_entries\":"), "{body}");
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

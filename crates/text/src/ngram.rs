@@ -93,6 +93,22 @@ impl NGramExtractor {
         interner: &mut Interner,
     ) -> Vec<TermOccurrence> {
         let mut out = Vec::new();
+        self.extract_into(snippet, interner, &mut out);
+        out
+    }
+
+    /// Extract into a caller-provided buffer, reusing its capacity.
+    ///
+    /// Identical to [`NGramExtractor::extract`] — same occurrence order,
+    /// same interner side effects — but `out` is cleared and refilled in
+    /// place so a warmed-up buffer incurs no per-snippet vector allocation.
+    pub fn extract_into(
+        &self,
+        snippet: &TokenizedSnippet,
+        interner: &mut Interner,
+        out: &mut Vec<TermOccurrence>,
+    ) {
+        out.clear();
         let mut buf = String::new();
         for (li, line) in snippet.lines.iter().enumerate() {
             let li = li.min(u8::MAX as usize) as u8;
@@ -122,7 +138,6 @@ impl NGramExtractor {
                 }
             }
         }
-        out
     }
 
     /// Extract and return the distinct n-gram phrases (without positions),

@@ -91,6 +91,28 @@ impl Snippet {
             .collect();
         TokenizedSnippet { lines }
     }
+
+    /// Tokenize into a caller-provided [`TokenizedSnippet`], reusing its
+    /// per-line symbol buffers. Produces exactly what [`Snippet::tokenize`]
+    /// would — same tokens, same interner side effects — but a warmed-up
+    /// buffer avoids reallocating the `Vec<Sym>` lines on every snippet.
+    pub fn tokenize_into(
+        &self,
+        tokenizer: &Tokenizer,
+        interner: &mut Interner,
+        out: &mut TokenizedSnippet,
+    ) {
+        out.lines.truncate(self.lines.len());
+        while out.lines.len() < self.lines.len() {
+            out.lines.push(Vec::new());
+        }
+        for (line, dst) in self.lines.iter().zip(out.lines.iter_mut()) {
+            dst.clear();
+            for t in tokenizer.terms(&line.text) {
+                dst.push(interner.intern(&t));
+            }
+        }
+    }
 }
 
 impl fmt::Display for Snippet {

@@ -19,6 +19,8 @@ echo "==> no unwrap/expect on artifact load/serve paths (incl. obs + api + serve
 if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs \
     crates/core/src/error.rs crates/obs/src crates/cli/src crates/server/src \
     crates/api/src \
+    crates/core/src/compiled.rs crates/core/src/paircache.rs \
+    crates/core/src/features.rs crates/core/src/rewrite.rs \
     | python3 -c '
 import sys, re
 bad = []
@@ -45,6 +47,11 @@ echo "==> disabled-instrumentation overhead gate (< 2% of pipeline wall time)"
 cargo build --locked --release -q -p microbrowse-bench --bin obs_overhead
 ./target/release/obs_overhead --adgroups 100
 
+echo "==> hot-path scoring engine gate (>= 4x legacy throughput, bit-identical)"
+cargo build --locked --release -q -p microbrowse-bench --bin bench_score_hot
+./target/release/bench_score_hot --adgroups 120 --reps 10 --gate 4.0 \
+    --out /tmp/BENCH_score_hot.check.json
+
 echo "==> server smoke gate (serve + hot reload under load + graceful drain)"
 cargo build --locked --release -q -p microbrowse-cli --bin microbrowse \
     -p microbrowse-server --bin serve_smoke
@@ -59,4 +66,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, fault injection, unwrap audit, overhead gate, server smoke, api docs, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, overhead gate, hot-path gate, server smoke, api docs, clippy, fmt all green"
