@@ -150,7 +150,8 @@ fn main() {
         .collect();
     let pairs_per_cycle = batches * batch_size;
 
-    let bundle = ServingBundle::from_parts(model.clone(), stats.clone(), Fidelity::Full);
+    let bundle = ServingBundle::from_parts(model.clone(), stats.clone(), Fidelity::Full)
+        .expect("bundle compiles");
 
     eprintln!("timing legacy scorer…");
     let legacy_scorer = Scorer::with_fidelity(&model, &stats, Fidelity::Full);

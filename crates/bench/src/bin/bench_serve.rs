@@ -50,7 +50,7 @@ fn bundle() -> Arc<ServingBundle> {
     for (i, t) in terms.iter().enumerate() {
         stats.record(FeatureKey::term(t), i % 3 == 0);
     }
-    Arc::new(ServingBundle::from_parts(model, stats, Fidelity::Full))
+    Arc::new(ServingBundle::from_parts(model, stats, Fidelity::Full).expect("bundle compiles"))
 }
 
 /// One `{"r":…,"s":…}` pair object, varied by `i` so scoring isn't one

@@ -38,7 +38,7 @@ fn full_cli_workflow() {
         "--adgroups",
         "400",
         "--seed",
-        "8",
+        "9",
     ]);
     assert!(
         out.status.success(),

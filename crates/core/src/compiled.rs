@@ -31,6 +31,39 @@ use crate::rewrite::{greedy_candidate_score, RewriteEvidence};
 /// Sentinel for "phrase has no term entry" in the direct-indexed slice.
 const NO_ENTRY: u32 = u32::MAX;
 
+/// The statistics database exceeds the table's 32-bit id spaces.
+///
+/// Unreachable for any database that fits in memory (2^32 records is
+/// hundreds of gigabytes of keys alone) — but an impossible-size database
+/// must fail *loudly* at load time rather than silently alias the
+/// [`NO_ENTRY`] sentinel or wrap a [`SymTableMap`] slot and mis-resolve
+/// keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// More records than entry indices can address.
+    TooManyRecords(usize),
+    /// More distinct phrases than phrase ids can address.
+    TooManyPhrases(usize),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::TooManyRecords(n) => {
+                write!(
+                    f,
+                    "{n} statistics records exceed the 32-bit entry index space"
+                )
+            }
+            CompileError::TooManyPhrases(n) => {
+                write!(f, "{n} distinct phrases exceed the 32-bit phrase id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
 /// Fixed-point scale for the `i32` log-odds variant: Q16.16.
 const Q16: f64 = 65536.0;
 
@@ -116,16 +149,22 @@ pub struct CompiledFeatureTable {
 impl CompiledFeatureTable {
     /// Compile `db` into the probe-optimized form. Deterministic: the same
     /// database always produces the same table (input is
-    /// [`StatsDb::sorted_records`]).
-    pub fn compile(db: &StatsDb) -> Self {
+    /// [`StatsDb::sorted_records`]). Fails with [`CompileError`] on a
+    /// database too large for the table's 32-bit id spaces — impossible in
+    /// practice, but a load-time error beats silently mis-resolving keys.
+    pub fn compile(db: &StatsDb) -> Result<Self, CompileError> {
+        // One entry per record, so bounding the record count up front makes
+        // every entry-index cast below infallible and keeps real indices
+        // clear of the NO_ENTRY sentinel.
+        if db.len() >= NO_ENTRY as usize {
+            return Err(CompileError::TooManyRecords(db.len()));
+        }
         let mut t = Self::default();
         let mut rewrites: Vec<(u64, u32)> = Vec::new();
         let mut term_pos: Vec<(u32, u32)> = Vec::new();
         let mut rw_pos: Vec<(u64, u32)> = Vec::new();
         for (key, stat) in db.sorted_records() {
-            // A database anywhere near u32::MAX records is not loadable in
-            // practice; saturate rather than abort a serving reload.
-            let idx = u32::try_from(t.entries.len()).unwrap_or(u32::MAX);
+            let idx = t.entries.len() as u32;
             t.entries.push(CompiledStat::new(stat));
             match key {
                 FeatureKey::Term { phrase } => {
@@ -143,6 +182,11 @@ impl CompiledFeatureTable {
                 }
             }
         }
+        // Phrase ids must survive the `id + 2` encoding of `SymTableMap`
+        // without wrapping (largest id is `len - 1`).
+        if t.phrases.len() > (u32::MAX - 2) as usize {
+            return Err(CompileError::TooManyPhrases(t.phrases.len()));
+        }
         rewrites.sort_unstable_by_key(|&(k, _)| k);
         term_pos.sort_unstable_by_key(|&(k, _)| k);
         rw_pos.sort_unstable_by_key(|&(k, _)| k);
@@ -157,7 +201,7 @@ impl CompiledFeatureTable {
         for (rank, &id) in by_string.iter().enumerate() {
             t.lex_rank[id as usize] = rank as u32;
         }
-        t
+        Ok(t)
     }
 
     fn intern_phrase(&mut self, phrase: &str) -> u32 {
@@ -350,12 +394,14 @@ pub struct ScoringEngine {
 }
 
 impl ScoringEngine {
-    /// Compile `db` and pair it with an empty alignment cache.
-    pub fn compile(db: &StatsDb) -> Self {
-        Self {
-            table: CompiledFeatureTable::compile(db),
+    /// Compile `db` and pair it with an empty alignment cache. Fails only
+    /// on a database too large for the table's id spaces (see
+    /// [`CompileError`]).
+    pub fn compile(db: &StatsDb) -> Result<Self, CompileError> {
+        Ok(Self {
+            table: CompiledFeatureTable::compile(db)?,
             align: AlignCache::new(),
-        }
+        })
     }
 
     /// The compiled lookup table.
@@ -399,7 +445,7 @@ mod tests {
     #[test]
     fn get_matches_db_on_every_key_and_misses() {
         let db = demo_db();
-        let table = CompiledFeatureTable::compile(&db);
+        let table = CompiledFeatureTable::compile(&db).expect("compile");
         assert_eq!(table.len(), db.len());
         for (key, stat) in db.iter() {
             assert_eq!(table.get(key), Some(stat), "key {key:?}");
@@ -424,7 +470,7 @@ mod tests {
     #[test]
     fn greedy_rewrite_score_canonicalizes_like_strings() {
         let db = demo_db();
-        let table = CompiledFeatureTable::compile(&db);
+        let table = CompiledFeatureTable::compile(&db).expect("compile");
         let cheap = table.phrase_id("cheap").unwrap();
         let discount = table.phrase_id("discount").unwrap();
         let stat = FeatureStat { up: 6, down: 1 };
@@ -442,7 +488,7 @@ mod tests {
 
     #[test]
     fn empty_db_compiles_to_empty_table() {
-        let table = CompiledFeatureTable::compile(&StatsDb::new());
+        let table = CompiledFeatureTable::compile(&StatsDb::new()).expect("compile");
         assert!(table.is_empty());
         assert_eq!(table.num_phrases(), 0);
         assert_eq!(table.get(&FeatureKey::term("x")), None);
@@ -459,7 +505,7 @@ mod tests {
     #[test]
     fn sym_table_map_memoizes_hits_and_misses() {
         let db = demo_db();
-        let table = CompiledFeatureTable::compile(&db);
+        let table = CompiledFeatureTable::compile(&db).expect("compile");
         let mut interner = Interner::new();
         let hit = interner.intern("cheap");
         let miss = interner.intern("nope");

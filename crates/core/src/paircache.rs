@@ -126,16 +126,19 @@ impl PairCache {
 
 /// One cached serve-time alignment, stored *portably*: phrases are strings,
 /// not interner symbols, so the entry is valid for any scratch interner.
+/// Extraction itself is scratch-independent — every orientation and
+/// ordering decision inside [`prepare_pair`] and the extractor compares
+/// resolved text, never `Sym` ids — so an alignment warmed by one worker's
+/// scratch replays bit-identically in any other.
 ///
-/// Replaying an entry must be indistinguishable from recomputing it — not
-/// just in the returned extraction but in the scratch interner's evolution,
-/// because LCS diff orientation ([`prepare_pair`]'s `sb < ra`) compares
-/// symbol *ids*: if a cache hit skipped the phrase interning a fresh
-/// [`prepare_pair`] would have done, a later novel pair could number its
-/// phrases differently and flip its diff direction. [`CachedAlignment`]
-/// therefore records the multi-token candidate phrases in exact
+/// Replaying an entry is also made indistinguishable from recomputing it in
+/// the scratch interner's *evolution*, not just the returned extraction:
+/// [`CachedAlignment`] records the multi-token candidate phrases in exact
 /// prepare-time intern order and re-interns them on every hit (idempotent,
-/// so hits after the first are pure lookups).
+/// so hits after the first are pure lookups). This keeps a cache-hit
+/// scratch's symbol numbering identical to the fresh-compute scratch the
+/// bit-identity proofs compare against, closing the door on any future
+/// id-order-sensitive code downstream.
 #[derive(Debug)]
 pub struct CachedAlignment {
     /// Multi-token candidate phrases in [`prepare_pair`] intern order.
@@ -339,16 +342,23 @@ impl AlignCache {
     /// [`Self::combine_hashes`].
     pub fn insert_hashed(&self, h: u64, r: &Snippet, s: &Snippet, alignment: CachedAlignment) {
         let mut shard = lock_shard(&self.shards[(h as usize) % ALIGN_SHARDS]);
+        // Duplicate check first: racing inserts of an already-cached pair
+        // must not trigger the at-capacity wholesale eviction below.
+        if let Some(bucket) = shard.buckets.get(&h) {
+            if bucket.iter().any(|((br, bs), _)| br == r && bs == s) {
+                return;
+            }
+        }
         if shard.entries >= ALIGN_SHARD_CAP {
             shard.buckets.clear();
             shard.entries = 0;
             microbrowse_obs::counter!("microbrowse_aligncache_evictions_total").add(1);
         }
-        let bucket = shard.buckets.entry(h).or_default();
-        if bucket.iter().any(|((br, bs), _)| br == r && bs == s) {
-            return;
-        }
-        bucket.push(((r.clone(), s.clone()), StdArc::new(alignment)));
+        shard
+            .buckets
+            .entry(h)
+            .or_default()
+            .push(((r.clone(), s.clone()), StdArc::new(alignment)));
         shard.entries += 1;
     }
 

@@ -265,8 +265,12 @@ pub fn prepare_pair(
         // LCS tie-breaking depends on argument order; diff in a canonical
         // direction (and swap the spans back) so extraction — and therefore
         // every downstream feature — is exactly antisymmetric under an R/S
-        // swap.
-        let swapped = sb < ra;
+        // swap. The direction is decided on resolved token *text*, never on
+        // `Sym` ids: ids depend on each interner's history, and the serving
+        // alignment cache shares prepared extractions across scratches
+        // ([`crate::paircache::AlignCache`]), so the orientation must be a
+        // property of the snippets alone.
+        let swapped = lt_by_text(sb, ra, interner);
         let spans = if swapped {
             let ops = token_diff(sb, ra);
             changed_spans(&ops)
@@ -301,6 +305,22 @@ pub fn prepare_pair(
         });
     }
     PreparedPair { lines }
+}
+
+/// Lexicographic "less than" over two token slices, ordering tokens by
+/// their resolved text (resolution is skipped while the symbols are equal —
+/// one interner maps equal symbols to equal strings). A total order on
+/// token sequences, so exactly one direction is "less" for any unequal
+/// pair. Unlike a `Sym`-id comparison this is *scratch-independent*: two
+/// interners that met the same vocabulary in different orders number it
+/// differently but resolve it identically.
+fn lt_by_text(a: &[Sym], b: &[Sym], interner: &Interner) -> bool {
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x != y {
+            return interner.resolve(*x) < interner.resolve(*y);
+        }
+    }
+    a.len() < b.len()
 }
 
 impl PreparedPair {
@@ -655,12 +675,25 @@ fn prepared_occ(
     let phrase = if len == 1 {
         toks[start]
     } else {
-        // The whole-span candidate was interned at prepare time; fall back
-        // to the head token rather than panic on a serving path.
-        cands
-            .iter()
-            .find(|c| c.start == start && c.len == len)
-            .map_or(toks[start], |c| c.phrase)
+        match cands.iter().find(|c| c.start == start && c.len == len) {
+            Some(c) => c.phrase,
+            None => {
+                // The whole-span candidate is always interned at prepare
+                // time when the documented `prepare_pair` preconditions
+                // hold (`max_cand_len >= max_phrase_len`). Fall back to the
+                // head token rather than panic on a serving path — but
+                // loudly: assert in debug builds and count in release, so a
+                // broken invariant is observable instead of silently
+                // altering the feature phrase.
+                debug_assert!(
+                    false,
+                    "whole-span candidate missing at line={line} start={start} len={len}"
+                );
+                microbrowse_obs::counter!("microbrowse_rewrite_prepared_occ_fallbacks_total")
+                    .add(1);
+                toks[start]
+            }
+        }
     };
     PhraseOcc {
         phrase,

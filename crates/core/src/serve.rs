@@ -989,17 +989,23 @@ impl ServingBundle {
     /// Assemble a bundle from in-memory parts (no disk involved). This is
     /// the construction path for servers and load generators that build or
     /// receive artifacts directly; generation numbers are `None` because
-    /// nothing came from a slot.
-    pub fn from_parts(model: DeployedModel, stats: StatsDb, fidelity: Fidelity) -> Self {
-        let engine = ScoringEngine::compile(&stats);
-        Self {
+    /// nothing came from a slot. Fails only when `stats` cannot be compiled
+    /// into the hot-path engine (a database too large for its id spaces —
+    /// impossible for any database that fits in memory).
+    pub fn from_parts(
+        model: DeployedModel,
+        stats: StatsDb,
+        fidelity: Fidelity,
+    ) -> Result<Self, MbError> {
+        let engine = compile_engine(&stats)?;
+        Ok(Self {
             model,
             stats,
             fidelity,
             model_generation: None,
             stats_generation: None,
             engine,
-        }
+        })
     }
 
     /// The loaded model.
@@ -1110,7 +1116,7 @@ impl ScorerBuilder {
         );
         let loaded = self.load_model().and_then(|(model, model_generation)| {
             let (stats, fidelity, stats_generation) = self.load_stats()?;
-            let engine = ScoringEngine::compile(&stats);
+            let engine = compile_engine(&stats)?;
             Ok(ServingBundle {
                 model,
                 stats,
@@ -1201,6 +1207,14 @@ impl ScorerBuilder {
             }
         }
     }
+}
+
+/// Compile the hot-path engine for a bundle, mapping the (practically
+/// unreachable) too-large-database failure into the serve-path error
+/// taxonomy so a load reports it instead of serving mis-resolved keys.
+fn compile_engine(stats: &StatsDb) -> Result<ScoringEngine, MbError> {
+    ScoringEngine::compile(stats)
+        .map_err(|e| MbError::validation(format!("stats database not compilable for serving: {e}")))
 }
 
 /// One structured event + counter per degraded-fidelity fallback.
@@ -1493,11 +1507,10 @@ mod tests {
         assert_send_sync::<ServingBundle>();
         assert_send_sync::<std::sync::Arc<ServingBundle>>();
 
-        let bundle = std::sync::Arc::new(ServingBundle::from_parts(
-            sample_model(),
-            StatsDb::new(),
-            Fidelity::Full,
-        ));
+        let bundle = std::sync::Arc::new(
+            ServingBundle::from_parts(sample_model(), StatsDb::new(), Fidelity::Full)
+                .expect("bundle"),
+        );
         assert_eq!(bundle.model_generation(), None);
         let shared = std::sync::Arc::clone(&bundle);
         let handle = std::thread::spawn(move || {
@@ -1620,7 +1633,8 @@ mod tests {
     fn engine_scorer_matches_legacy_scorer() {
         let m = sample_model();
         let stats = StatsDb::new();
-        let bundle = ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full);
+        let bundle =
+            ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full).expect("bundle");
         let r = Snippet::creative("air", "find cheap flights", "book now");
         let s = Snippet::creative("air", "get discounts", "fees apply");
         let legacy = {
@@ -1645,7 +1659,8 @@ mod tests {
     fn batch_short_circuits_empty_and_single() {
         let m = sample_model();
         let stats = StatsDb::new();
-        let bundle = ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full);
+        let bundle =
+            ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full).expect("bundle");
         let scorer = bundle.scorer();
         let mut scratch = scorer.scratch();
         let (scores, lat) = scorer.score_batch_timed(&[], &mut scratch);
@@ -1668,7 +1683,8 @@ mod tests {
     fn batch_all_duplicate_pairs_matches_serial() {
         let m = sample_model();
         let stats = StatsDb::new();
-        let bundle = ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full);
+        let bundle =
+            ServingBundle::from_parts(m.clone(), stats.clone(), Fidelity::Full).expect("bundle");
         let r = Snippet::creative("air", "find cheap flights", "book now");
         let s = Snippet::creative("air", "get discounts", "fees apply");
         let pairs: Vec<_> = (0..8).map(|_| (r.clone(), s.clone())).collect();

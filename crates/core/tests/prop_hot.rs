@@ -114,7 +114,7 @@ proptest! {
         db in arb_stats(),
         probes in prop::collection::vec(arb_key(), 1..32),
     ) {
-        let table = CompiledFeatureTable::compile(&db);
+        let table = CompiledFeatureTable::compile(&db).expect("compile");
         prop_assert_eq!(table.len(), db.len());
         // Probe both recorded keys and random (mostly missing) keys.
         let recorded: Vec<FeatureKey> = db.iter().map(|(k, _)| k.clone()).collect();
@@ -137,7 +137,7 @@ proptest! {
         db in arb_stats(),
         pairs in prop::collection::vec((arb_phrase(), arb_phrase()), 1..16),
     ) {
-        let table = CompiledFeatureTable::compile(&db);
+        let table = CompiledFeatureTable::compile(&db).expect("compile");
         for (a, b) in &pairs {
             let (Some(ia), Some(ib)) = (table.phrase_id(a), table.phrase_id(b)) else {
                 continue; // phrase never recorded → legacy evidence also misses
@@ -186,7 +186,8 @@ proptest! {
                     }).collect::<Vec<_>>())
                     .collect();
                 let bundle =
-                    ServingBundle::from_parts(model.clone(), db.clone(), fidelity.clone());
+                    ServingBundle::from_parts(model.clone(), db.clone(), fidelity.clone())
+                        .expect("bundle");
                 let scorer = bundle.scorer();
                 let mut scratch = scorer.scratch();
                 // Two batches over one scratch: the second replays cached
@@ -200,6 +201,53 @@ proptest! {
                     .collect();
                 prop_assert_eq!(&serial, &engine, "spec {:?} fidelity {:?}", model.spec, fidelity);
             }
+        }
+    }
+
+    /// The alignment cache is shared across worker scratches, so an entry
+    /// warmed by one scratch must replay bit-identically in another whose
+    /// interning history *differs* (it met other snippets first). Scratch 2
+    /// scores the warmup pairs before the main pairs; the reference is a
+    /// legacy scorer driven through the exact same sequence.
+    #[test]
+    fn shared_cache_across_scratches_matches_legacy(
+        db in arb_stats(),
+        raw_warmup in prop::collection::vec((arb_snippet_lines(), arb_snippet_lines()), 0..3),
+        raw_pairs in prop::collection::vec((arb_snippet_lines(), arb_snippet_lines()), 1..4),
+    ) {
+        let to_pairs = |raw: Vec<(Vec<String>, Vec<String>)>| -> Vec<(Snippet, Snippet)> {
+            raw.into_iter()
+                .map(|(r, s)| (Snippet::from_lines(r), Snippet::from_lines(s)))
+                .collect()
+        };
+        let warmup = to_pairs(raw_warmup);
+        let pairs = to_pairs(raw_pairs);
+        for model in [flat_model(), coupled_model()] {
+            let bundle = ServingBundle::from_parts(model.clone(), db.clone(), Fidelity::Full)
+                .expect("bundle");
+            let scorer = bundle.scorer();
+            // Scratch 1 warms the bundle-shared alignment cache.
+            let mut scratch1 = scorer.scratch();
+            let _ = scorer.score_batch(&pairs, &mut scratch1);
+            // Scratch 2 diverges its interning history first, then scores
+            // the main pairs through cache hits inserted by scratch 1.
+            let mut scratch2 = scorer.scratch();
+            let _ = scorer.score_batch(&warmup, &mut scratch2);
+            let engine: Vec<u64> = scorer
+                .score_batch(&pairs, &mut scratch2)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            let legacy = Scorer::with_fidelity(&model, &db, Fidelity::Full);
+            let mut legacy_scratch = legacy.scratch();
+            for (r, s) in &warmup {
+                let _ = legacy.score_pair(r, s, &mut legacy_scratch);
+            }
+            let expect: Vec<u64> = pairs
+                .iter()
+                .map(|(r, s)| legacy.score_pair(r, s, &mut legacy_scratch).to_bits())
+                .collect();
+            prop_assert_eq!(&expect, &engine, "spec {:?}", model.spec);
         }
     }
 
@@ -218,12 +266,14 @@ proptest! {
             .collect();
         let model = flat_model();
         // Warm the first bundle's alignment cache.
-        let bundle1 = ServingBundle::from_parts(model.clone(), db1.clone(), Fidelity::Full);
+        let bundle1 = ServingBundle::from_parts(model.clone(), db1.clone(), Fidelity::Full)
+            .expect("bundle");
         let scorer1 = bundle1.scorer();
         let mut scratch1 = scorer1.scratch();
         let _ = scorer1.score_batch(&pairs, &mut scratch1);
         // Swap: a fresh bundle compiled from different statistics.
-        let bundle2 = ServingBundle::from_parts(model.clone(), db2.clone(), Fidelity::Full);
+        let bundle2 = ServingBundle::from_parts(model.clone(), db2.clone(), Fidelity::Full)
+            .expect("bundle");
         let scorer2 = bundle2.scorer();
         let mut scratch2 = scorer2.scratch();
         let swapped: Vec<u64> = scorer2
@@ -239,4 +289,62 @@ proptest! {
             .collect();
         prop_assert_eq!(&expect, &swapped);
     }
+}
+
+/// Deterministic regression for the cross-scratch orientation bug: the LCS
+/// diff direction used to be decided by comparing `Sym` ids, which for
+/// out-of-vocab tokens depend on each scratch's interning history. Scratch
+/// A (which meets "xx" before "yy") warms the bundle-shared alignment
+/// cache; scratch B (which meets "yy" first, via a warmup snippet) then
+/// hits that entry. Before the fix the cached extraction replayed with
+/// scratch A's orientation and scored differently than scratch B computing
+/// fresh — and differently than the legacy scorer.
+#[test]
+fn shared_align_cache_is_scratch_independent() {
+    // Rewrites-only model: every feature flows from the LCS extraction, so
+    // any orientation drift shows up directly in the score. The leftover of
+    // the whole-span rewrite differs per orientation ("aa" vs "bb"), and the
+    // two vocab terms carry distinct weights.
+    let model = DeployedModel {
+        spec: ModelSpec {
+            name: "rewrites-only",
+            terms: false,
+            rewrites: true,
+            positions: false,
+            init_from_stats: false,
+        },
+        classifier: TrainedClassifier::Flat(LogReg::from_parts(vec![1.0, -2.0], 0.0)),
+        vocab: vec![
+            OwnedTermFeat::Term("aa".into()),
+            OwnedTermFeat::Term("bb".into()),
+        ],
+    };
+    let db = StatsDb::from_records(std::iter::empty());
+    let r = Snippet::from_lines(["xx aa bb"]);
+    let s = Snippet::from_lines(["yy bb aa"]);
+    let warm = Snippet::from_lines(["yy"]);
+
+    let bundle =
+        ServingBundle::from_parts(model.clone(), db.clone(), Fidelity::Full).expect("bundle");
+    let scorer = bundle.scorer();
+    // Scratch A interns "xx" before "yy" and warms the shared cache.
+    let mut scratch_a = scorer.scratch();
+    let score_a = scorer.score_pair(&r, &s, &mut scratch_a);
+    // Scratch B interns "yy" first, so its id order for the out-of-vocab
+    // tokens is reversed relative to scratch A. It then hits the cache
+    // entry scratch A inserted.
+    let mut scratch_b = scorer.scratch();
+    let _ = scorer.score_pair(&warm, &warm, &mut scratch_b);
+    let score_b = scorer.score_pair(&r, &s, &mut scratch_b);
+
+    // Legacy scorer driven through the same interning history as scratch B.
+    let legacy = Scorer::with_fidelity(&model, &db, Fidelity::Full);
+    let mut legacy_scratch = legacy.scratch();
+    let _ = legacy.score_pair(&warm, &warm, &mut legacy_scratch);
+    let expect_b = legacy.score_pair(&r, &s, &mut legacy_scratch);
+
+    assert_eq!(score_b.to_bits(), expect_b.to_bits());
+    // Orientation is a property of the pair, not of the scratch: both
+    // scratches must agree bit-for-bit.
+    assert_eq!(score_a.to_bits(), score_b.to_bits());
 }

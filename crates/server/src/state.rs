@@ -179,11 +179,7 @@ mod tests {
             )),
             vocab: vec![OwnedTermFeat::Term("cheap".into())],
         };
-        Arc::new(ServingBundle::from_parts(
-            model,
-            StatsDb::new(),
-            Fidelity::Full,
-        ))
+        Arc::new(ServingBundle::from_parts(model, StatsDb::new(), Fidelity::Full).expect("bundle"))
     }
 
     #[test]

@@ -26,11 +26,9 @@ fn model(weight: f64) -> DeployedModel {
 }
 
 fn static_bundle(weight: f64) -> BundleSource {
-    BundleSource::Static(Arc::new(ServingBundle::from_parts(
-        model(weight),
-        StatsDb::new(),
-        Fidelity::Full,
-    )))
+    BundleSource::Static(Arc::new(
+        ServingBundle::from_parts(model(weight), StatsDb::new(), Fidelity::Full).expect("bundle"),
+    ))
 }
 
 fn tmp(name: &str) -> std::path::PathBuf {
