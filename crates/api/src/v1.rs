@@ -499,24 +499,56 @@ impl BatchResponse {
     }
 }
 
-/// Body of every non-2xx response: `{"error":"…"}`.
+/// Machine-readable code for a request shed because its deadline (the
+/// `X-Mb-Deadline-Ms` budget or the server default) expired before scoring.
+pub const CODE_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+/// Machine-readable code for a request refused or reaped under overload
+/// (full queue, connection cap, stale queue entry); retry after backoff.
+pub const CODE_OVERLOADED: &str = "overloaded";
+/// Machine-readable code for a request whose deadline header did not parse.
+pub const CODE_BAD_DEADLINE: &str = "bad_deadline";
+
+/// Body of every non-2xx response: `{"error":"…"}`, optionally followed by
+/// a machine-readable `"code"` (one of the `CODE_*` constants) that retry
+/// logic can branch on without parsing prose. Envelopes without a code
+/// render exactly the pre-code bytes, so the field is wire-compatible.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ErrorEnvelope {
     /// Human-readable description of what went wrong.
     pub error: String,
+    /// Machine-readable classification, when one applies (`CODE_*`).
+    pub code: Option<String>,
 }
 
 impl ErrorEnvelope {
-    /// Wrap a message.
+    /// Wrap a message with no machine-readable code.
     pub fn new(error: impl Into<String>) -> Self {
         Self {
             error: error.into(),
+            code: None,
         }
+    }
+
+    /// Wrap a message with a machine-readable code (`CODE_*`).
+    pub fn with_code(error: impl Into<String>, code: impl Into<String>) -> Self {
+        Self {
+            error: error.into(),
+            code: Some(code.into()),
+        }
+    }
+
+    /// Whether the envelope carries this machine-readable code.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.code.as_deref() == Some(code)
     }
 
     /// Render the response body.
     pub fn to_json(&self) -> String {
-        JsonObject::new().str("error", &self.error).finish()
+        let obj = JsonObject::new().str("error", &self.error);
+        match &self.code {
+            Some(code) => obj.str("code", code).finish(),
+            None => obj.finish(),
+        }
     }
 
     /// Parse a response body.
@@ -526,8 +558,10 @@ impl ErrorEnvelope {
             .get("error")
             .and_then(Json::as_str)
             .ok_or(WireError::Shape(ERROR_ENVELOPE_SHAPE))?;
+        let code = v.get("code").and_then(Json::as_str).map(str::to_string);
         Ok(Self {
             error: error.to_string(),
+            code,
         })
     }
 }
@@ -692,6 +726,23 @@ mod tests {
         assert_eq!(wire, r#"{"error":"server busy, queue full"}"#);
         assert_parses(&wire);
         assert_eq!(ErrorEnvelope::from_json(&wire).unwrap(), env);
+    }
+
+    #[test]
+    fn golden_error_envelope_with_code() {
+        let env = ErrorEnvelope::with_code("deadline expired in queue", CODE_DEADLINE_EXCEEDED);
+        let wire = env.to_json();
+        assert_eq!(
+            wire,
+            r#"{"error":"deadline expired in queue","code":"deadline_exceeded"}"#
+        );
+        assert_parses(&wire);
+        let parsed = ErrorEnvelope::from_json(&wire).unwrap();
+        assert_eq!(parsed, env);
+        assert!(parsed.has_code(CODE_DEADLINE_EXCEEDED));
+        assert!(!parsed.has_code(CODE_OVERLOADED));
+        // Envelopes without a code keep the pre-code wire bytes.
+        assert!(!ErrorEnvelope::new("x").to_json().contains("code"));
     }
 
     // ---- error strings match the server's 400 bodies -------------------

@@ -131,10 +131,11 @@ const USAGE: &str = "usage:
   microbrowse metrics  --model FILE --stats FILE [--adgroups N] [--seed S]
                        (score a held-out corpus, dump Prometheus-style metrics)
   microbrowse serve    --slot-dir DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                       [--max-batch N]
+                       [--max-batch N] [--max-conns N] [--request-deadline-ms MS]
                        (HTTP scoring server: POST /v1/score /v1/rank /v1/batch,
                         GET /healthz /metrics /version; hot-reloads new slot
-                        generations; graceful drain on stdin EOF)
+                        generations; graceful drain on stdin EOF; sheds
+                        expired work under overload — see X-Mb-Deadline-Ms)
 
   Every subcommand accepts --trace-json FILE: write structured span/event
   records as JSON lines (one object per line) while the command runs.
@@ -294,7 +295,14 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "optimize" => Some(&["base", "rewrite", "swap-lines", "move-front"]),
         "validate" => Some(&[]),
         "metrics" => Some(&["adgroups", "seed"]),
-        "serve" => Some(&["addr", "workers", "queue-depth", "max-batch"]),
+        "serve" => Some(&[
+            "addr",
+            "workers",
+            "queue-depth",
+            "max-batch",
+            "max-conns",
+            "request-deadline-ms",
+        ]),
         _ => None,
     }
 }
@@ -911,11 +919,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
         stats_path: common.stats.clone(),
         policy: common.policy,
     };
+    let request_deadline_ms: u64 = flags.parse_or("request-deadline-ms", 0)?;
     let cfg = ServerConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:8660").to_string(),
         workers: flags.parse_or("workers", 4)?,
         queue_depth: flags.parse_or("queue-depth", 128)?,
         max_batch: flags.parse_or("max-batch", 256)?,
+        // 0 = unlimited connections / no server-side default deadline.
+        max_conns: flags.parse_or("max-conns", 1024)?,
+        request_deadline: (request_deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(request_deadline_ms)),
         ..ServerConfig::default()
     };
     if cfg.workers == 0 || cfg.queue_depth == 0 || cfg.max_batch == 0 {

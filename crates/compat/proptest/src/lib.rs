@@ -523,8 +523,19 @@ pub mod prelude {
 }
 
 /// Uniform choice among heterogeneous strategies with a common value type.
+/// The weighted form (`3 => strategy`) repeats each option `weight` times in
+/// the union, approximating upstream's weighted draw.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $option:expr),+ $(,)?) => {{
+        let mut options = ::std::vec::Vec::new();
+        $(
+            for _ in 0..$weight {
+                options.push($crate::strategy::Strategy::boxed($option));
+            }
+        )+
+        $crate::strategy::Union::new(options)
+    }};
     ($($option:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($option)),+

@@ -22,11 +22,18 @@
 //!   killed process does (everything before the abort point is written,
 //!   nothing after).
 //! * [`corrupt`] — the pure-bytes form for in-memory round-trip tests.
+//! * [`SocketFault`] / [`FaultyStream`] — connection-level misbehavior over
+//!   a **real** [`TcpStream`] (stalls, partial-write-then-reset, half
+//!   close, trickled writes, plus the byte-level [`FaultPlan`] applied to
+//!   outgoing bytes), for chaos-testing live servers with the exact client
+//!   shapes they must survive.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
 
 /// One injected fault, positioned by absolute byte offset in the stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -330,6 +337,185 @@ pub fn write_killed_at(
     Ok(written)
 }
 
+/// Connection-level misbehavior, positioned by absolute byte offset in the
+/// *outgoing* stream. These are the client shapes a server's overload
+/// defenses exist for: slowloris stalls, vanishing peers, half-closed
+/// sockets, and byte-at-a-time trickles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Stop sending once `after` bytes are out, hold the connection idle
+    /// for `stall`, then resume (a slowloris client).
+    StallFor {
+        /// Bytes delivered before the stall.
+        after: usize,
+        /// How long the stall lasts.
+        stall: Duration,
+    },
+    /// Deliver `after` bytes of the request, then abort the connection.
+    /// (`TcpStream` cannot force an RST from safe std, so the abort is a
+    /// `Shutdown::Both` — the server sees the request cut off mid-stream.)
+    PartialWriteThenReset {
+        /// Bytes delivered before the abort.
+        after: usize,
+    },
+    /// Deliver `after` bytes, then close only the write side. The peer
+    /// sees EOF mid-request but the read side stays open — a shape that
+    /// catches servers conflating "client done writing" with "client gone".
+    HalfCloseAfter {
+        /// Bytes delivered before the half close.
+        after: usize,
+    },
+    /// Cap every write at `max` bytes and sleep `delay` before each one —
+    /// a client on a terrible link.
+    TrickleWrites {
+        /// Per-write byte cap (≥ 1).
+        max: usize,
+        /// Pause before each write.
+        delay: Duration,
+    },
+}
+
+/// A real [`TcpStream`] whose *outgoing* side misbehaves on schedule.
+///
+/// Reads pass straight through — the point is to watch how a live server
+/// answers a faulty client, so responses must arrive intact. Byte-level
+/// [`FaultPlan`] faults (bit flips, truncation, injected errors) apply to
+/// the outgoing bytes as well via [`FaultyStream::with_plan`].
+#[derive(Debug)]
+pub struct FaultyStream {
+    stream: TcpStream,
+    socket_faults: Vec<SocketFault>,
+    plan: FaultPlan,
+    written: usize,
+    stalled: bool,
+}
+
+impl FaultyStream {
+    /// Wrap a connected stream with no faults (transparent).
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            socket_faults: Vec::new(),
+            plan: FaultPlan::none(),
+            written: 0,
+            stalled: false,
+        }
+    }
+
+    /// Add a connection-level fault.
+    pub fn with(mut self, fault: SocketFault) -> Self {
+        self.socket_faults.push(fault);
+        self
+    }
+
+    /// Apply byte-level faults to the outgoing stream.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Bytes successfully delivered so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// The wrapped stream (e.g. to set timeouts).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Abort the connection outright (both directions shut down — the
+    /// closest safe std gets to a reset).
+    pub fn abort(&self) -> std::io::Result<()> {
+        self.stream.shutdown(Shutdown::Both)
+    }
+
+    /// Close only the write side; reads keep working.
+    pub fn half_close_write(&self) -> std::io::Result<()> {
+        self.stream.shutdown(Shutdown::Write)
+    }
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut limit = buf.len();
+        let mut stall_now = None;
+        for fault in &self.socket_faults {
+            match *fault {
+                SocketFault::TrickleWrites { max, delay } => {
+                    limit = limit.min(max.max(1));
+                    std::thread::sleep(delay);
+                }
+                SocketFault::StallFor { after, stall } => {
+                    if self.written >= after && !self.stalled {
+                        stall_now = Some(stall);
+                    } else if self.written < after {
+                        limit = limit.min(after - self.written);
+                    }
+                }
+                SocketFault::PartialWriteThenReset { after } => {
+                    if self.written >= after {
+                        let _ = self.stream.shutdown(Shutdown::Both);
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionReset,
+                            "injected reset after partial write",
+                        ));
+                    }
+                    limit = limit.min(after - self.written);
+                }
+                SocketFault::HalfCloseAfter { after } => {
+                    if self.written >= after {
+                        let _ = self.stream.shutdown(Shutdown::Write);
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::BrokenPipe,
+                            "injected half close",
+                        ));
+                    }
+                    limit = limit.min(after - self.written);
+                }
+            }
+        }
+        if let Some(stall) = stall_now {
+            self.stalled = true;
+            std::thread::sleep(stall);
+        }
+        if let Some((offset, kind)) = self.plan.error_at() {
+            if self.written >= offset {
+                return Err(std::io::Error::new(kind, "injected fault"));
+            }
+            limit = limit.min(offset - self.written);
+        }
+        let cut = self.plan.effective_len(usize::MAX);
+        if cut != usize::MAX {
+            if self.written >= cut {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected truncation",
+                ));
+            }
+            limit = limit.min(cut - self.written);
+        }
+        if limit == 0 {
+            return Ok(0);
+        }
+        let mut chunk = buf[..limit].to_vec();
+        self.plan.flip(&mut chunk, self.written);
+        let n = self.stream.write(&chunk)?;
+        self.written += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
 /// Tiny deterministic RNG (SplitMix64) for schedule generation; kept local
 /// so plans do not depend on any external randomness source.
 #[derive(Debug, Clone)]
@@ -486,6 +672,91 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A sink server on loopback: accepts one connection, reads to
+    /// EOF/error, then writes back `b"got N"` where N is the byte count.
+    fn sink_server() -> (std::net::SocketAddr, std::thread::JoinHandle<Vec<u8>>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let mut got = Vec::new();
+            let mut buf = [0u8; 256];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => got.extend_from_slice(&buf[..n]),
+                }
+            }
+            let _ = s.write_all(format!("got {}", got.len()).as_bytes());
+            got
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn faulty_stream_partial_write_then_reset() {
+        let (addr, server) = sink_server();
+        let mut fs = FaultyStream::new(TcpStream::connect(addr).unwrap())
+            .with(SocketFault::PartialWriteThenReset { after: 10 });
+        let err = fs.write_all(&[7u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert_eq!(fs.written(), 10);
+        assert_eq!(server.join().unwrap(), vec![7u8; 10]);
+    }
+
+    #[test]
+    fn faulty_stream_stall_delays_but_delivers() {
+        let (addr, server) = sink_server();
+        let mut fs =
+            FaultyStream::new(TcpStream::connect(addr).unwrap()).with(SocketFault::StallFor {
+                after: 8,
+                stall: Duration::from_millis(60),
+            });
+        let started = std::time::Instant::now();
+        fs.write_all(&[1u8; 20]).unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(60), "stalled");
+        fs.half_close_write().unwrap();
+        assert_eq!(server.join().unwrap(), vec![1u8; 20]);
+    }
+
+    #[test]
+    fn faulty_stream_half_close_keeps_reads_open() {
+        let (addr, server) = sink_server();
+        let mut fs = FaultyStream::new(TcpStream::connect(addr).unwrap())
+            .with(SocketFault::HalfCloseAfter { after: 12 });
+        let err = fs.write_all(&[9u8; 30]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        // The server saw EOF after 12 bytes and answered; the read side of
+        // this stream must still deliver that answer.
+        let mut reply = String::new();
+        fs.read_to_string(&mut reply).unwrap();
+        assert_eq!(reply, "got 12");
+        assert_eq!(server.join().unwrap(), vec![9u8; 12]);
+    }
+
+    #[test]
+    fn faulty_stream_trickles_and_flips_bytes() {
+        let (addr, server) = sink_server();
+        let mut fs = FaultyStream::new(TcpStream::connect(addr).unwrap())
+            .with(SocketFault::TrickleWrites {
+                max: 3,
+                delay: Duration::from_millis(1),
+            })
+            .with_plan(FaultPlan::none().with(Fault::BitFlip {
+                offset: 5,
+                mask: 0xFF,
+            }));
+        let n = fs.write(&[0u8; 16]).unwrap();
+        assert!(n <= 3 && n > 0, "trickle caps each write, got {n}");
+        fs.write_all(&[0u8; 16][n..]).unwrap();
+        fs.half_close_write().unwrap();
+        let got = server.join().unwrap();
+        assert_eq!(got.len(), 16);
+        assert_eq!(got[5], 0xFF, "bit flip landed on the wire");
+        assert!(got.iter().enumerate().all(|(i, &b)| i == 5 || b == 0));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Typed per-request deadlines and their wire propagation.
+//!
+//! Clients send `X-Mb-Deadline-Ms: N` — "this answer is worthless to me
+//! more than N milliseconds after I sent the request". The server anchors
+//! that budget at the earliest moment it can observe (connection accept for
+//! the first request of a session, first byte of the request otherwise),
+//! carries the resulting [`Deadline`] with the work, and **sheds** anything
+//! already expired at dequeue instead of scoring it: under overload, worker
+//! time goes to requests whose callers are still listening. Shed responses
+//! carry the v1 `deadline_exceeded` envelope code so retrying clients can
+//! distinguish "too slow" from "broken".
+//!
+//! The resilient client ([`crate::client::ResilientClient`]) populates the
+//! header from its per-call budget, so deadlines propagate end to end
+//! through every tier that uses it.
+
+use std::time::{Duration, Instant};
+
+use crate::http::HttpRequest;
+
+/// The propagation header, lowercase as the parser normalizes names.
+pub const DEADLINE_HEADER: &str = "x-mb-deadline-ms";
+
+/// Largest budget a client may declare (1 hour); beyond this is treated as
+/// malformed rather than silently saturated.
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
+/// An absolute point in time after which a request's answer is useless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` after `anchor`.
+    pub fn after(anchor: Instant, budget: Duration) -> Self {
+        Self {
+            at: anchor + budget,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// How long ago the deadline passed (zero while still live).
+    pub fn overdue(&self) -> Duration {
+        Instant::now().saturating_duration_since(self.at)
+    }
+
+    /// The deadline for `req`: the `X-Mb-Deadline-Ms` budget anchored at
+    /// `anchor` when the header is present, else the server-wide `default`
+    /// (anchored the same way), else no deadline. A header that is not a
+    /// plain integer in `(0, MAX_DEADLINE_MS]` is an error — silently
+    /// ignoring it would turn a typo'd budget into "take forever".
+    pub fn from_request(
+        req: &HttpRequest,
+        anchor: Instant,
+        default: Option<Duration>,
+    ) -> Result<Option<Self>, &'static str> {
+        match req.header(DEADLINE_HEADER) {
+            Some(raw) => {
+                let ms: u64 = raw
+                    .trim()
+                    .parse()
+                    .map_err(|_| "x-mb-deadline-ms must be a positive integer (milliseconds)")?;
+                if ms == 0 || ms > MAX_DEADLINE_MS {
+                    return Err("x-mb-deadline-ms out of range (1..=3600000)");
+                }
+                Ok(Some(Self::after(anchor, Duration::from_millis(ms))))
+            }
+            None => Ok(default.map(|budget| Self::after(anchor, budget))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{Limits, RequestReader};
+
+    fn req(extra_header: &str) -> HttpRequest {
+        let bytes = format!("GET / HTTP/1.1\r\n{extra_header}\r\n");
+        RequestReader::new(bytes.as_bytes(), Limits::default())
+            .next_request()
+            .expect("parse")
+            .expect("one request")
+    }
+
+    #[test]
+    fn header_budget_anchored_at_given_instant() {
+        let anchor = Instant::now();
+        let d = Deadline::from_request(&req("X-Mb-Deadline-Ms: 50\r\n"), anchor, None)
+            .expect("valid header")
+            .expect("deadline present");
+        assert!(!d.expired());
+        assert!(d.remaining() <= Duration::from_millis(50));
+        // Anchoring in the past consumes the budget.
+        let stale = Deadline::from_request(
+            &req("X-Mb-Deadline-Ms: 10\r\n"),
+            anchor - Duration::from_secs(1),
+            None,
+        )
+        .expect("valid header")
+        .expect("deadline present");
+        assert!(stale.expired());
+        assert!(stale.overdue() >= Duration::from_millis(900));
+        assert_eq!(stale.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn default_applies_only_without_header() {
+        let anchor = Instant::now();
+        let default = Some(Duration::from_secs(5));
+        let d = Deadline::from_request(&req(""), anchor, default)
+            .expect("no header is fine")
+            .expect("default applied");
+        assert!(!d.expired());
+        assert!(Deadline::from_request(&req(""), anchor, None)
+            .expect("no header, no default")
+            .is_none());
+        // Header wins over the default.
+        let d = Deadline::from_request(&req("X-Mb-Deadline-Ms: 1\r\n"), anchor, default)
+            .expect("valid")
+            .expect("present");
+        assert!(d.remaining() <= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn malformed_budgets_are_rejected_not_ignored() {
+        let anchor = Instant::now();
+        for bad in [
+            "X-Mb-Deadline-Ms: nope\r\n",
+            "X-Mb-Deadline-Ms: -3\r\n",
+            "X-Mb-Deadline-Ms: 0\r\n",
+            "X-Mb-Deadline-Ms: 3600001\r\n",
+            "X-Mb-Deadline-Ms: 1.5\r\n",
+        ] {
+            assert!(
+                Deadline::from_request(&req(bad), anchor, None).is_err(),
+                "{bad:?} accepted"
+            );
+        }
+    }
+}

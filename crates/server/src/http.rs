@@ -10,6 +10,7 @@
 //! `400`/`408`/`413` (or a silent close for idle timeouts and IO faults).
 
 use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Parser resource bounds. Defaults are generous for scoring payloads and
 /// small enough that a hostile peer cannot balloon per-connection memory.
@@ -21,6 +22,11 @@ pub struct Limits {
     pub max_body_bytes: usize,
     /// Maximum number of header lines.
     pub max_headers: usize,
+    /// Wall-clock cap on reading one whole request (head + body), measured
+    /// from its first byte. Per-`read` socket timeouts only bound silence;
+    /// this bounds a slowloris peer that drips one byte per timeout window
+    /// and would otherwise pin a worker indefinitely.
+    pub max_request_wall: Duration,
 }
 
 impl Default for Limits {
@@ -29,6 +35,7 @@ impl Default for Limits {
             max_head_bytes: 8 * 1024,
             max_body_bytes: 256 * 1024,
             max_headers: 64,
+            max_request_wall: Duration::from_secs(10),
         }
     }
 }
@@ -78,6 +85,10 @@ pub enum HttpError {
         /// True when bytes of an unfinished request had already arrived.
         mid_request: bool,
     },
+    /// Reading one request exceeded [`Limits::max_request_wall`] — the
+    /// slowloris shape, where bytes keep trickling in but the request never
+    /// completes. Answer `408` and close.
+    SlowRequest,
     /// The connection failed at the IO layer; close without a response.
     Io(std::io::Error),
 }
@@ -89,7 +100,7 @@ impl HttpError {
         match self {
             HttpError::BadRequest(_) => Some(400),
             HttpError::TooLarge(_) => Some(413),
-            HttpError::Timeout { mid_request: true } => Some(408),
+            HttpError::Timeout { mid_request: true } | HttpError::SlowRequest => Some(408),
             HttpError::Timeout { mid_request: false } | HttpError::Io(_) => None,
         }
     }
@@ -99,6 +110,7 @@ impl HttpError {
         match self {
             HttpError::BadRequest(d) | HttpError::TooLarge(d) => d,
             HttpError::Timeout { .. } => "request timed out",
+            HttpError::SlowRequest => "request read exceeded the wall-clock limit",
             HttpError::Io(_) => "connection error",
         }
     }
@@ -112,6 +124,7 @@ impl std::fmt::Display for HttpError {
             HttpError::Timeout { mid_request } => {
                 write!(f, "timeout (mid_request: {mid_request})")
             }
+            HttpError::SlowRequest => f.write_str("request read exceeded the wall-clock limit"),
             HttpError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -123,6 +136,12 @@ pub struct RequestReader<R> {
     inner: R,
     buf: Vec<u8>,
     limits: Limits,
+    /// When the first byte of the request currently being read arrived;
+    /// cleared once the request completes. Drives the slowloris wall cap.
+    started: Option<Instant>,
+    /// `started` of the most recently *completed* request — the anchor for
+    /// per-request deadline math in the server.
+    last_started: Option<Instant>,
 }
 
 impl<R: Read> RequestReader<R> {
@@ -132,12 +151,41 @@ impl<R: Read> RequestReader<R> {
             inner,
             buf: Vec::with_capacity(1024),
             limits,
+            started: None,
+            last_started: None,
+        }
+    }
+
+    /// When the first byte of the most recently returned request arrived
+    /// (as observed by this reader). `None` before any request completes.
+    pub fn last_request_started(&self) -> Option<Instant> {
+        self.last_started
+    }
+
+    /// Fail with [`HttpError::SlowRequest`] once the in-progress request
+    /// has been trickling in longer than the wall cap.
+    fn check_wall(&self) -> Result<(), HttpError> {
+        match self.started {
+            Some(t0) if t0.elapsed() > self.limits.max_request_wall => Err(HttpError::SlowRequest),
+            _ => Ok(()),
+        }
+    }
+
+    /// A full request just left the buffer: remember its start time and
+    /// re-anchor `started` for any pipelined bytes already buffered.
+    fn finish_request(&mut self) {
+        self.last_started = self.started.take();
+        if !self.buf.is_empty() {
+            self.started = Some(Instant::now());
         }
     }
 
     /// Read one request. `Ok(None)` means the peer closed cleanly between
     /// requests (normal end of a keep-alive session).
     pub fn next_request(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        if !self.buf.is_empty() && self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
         // Accumulate until the blank line ending the head.
         let head_end = loop {
             if let Some(i) = find(&self.buf, b"\r\n\r\n") {
@@ -146,6 +194,7 @@ impl<R: Read> RequestReader<R> {
             if self.buf.len() >= self.limits.max_head_bytes {
                 return Err(HttpError::TooLarge("request head over limit"));
             }
+            self.check_wall()?;
             if self.fill()? == 0 {
                 return if self.buf.is_empty() {
                     Ok(None)
@@ -163,6 +212,7 @@ impl<R: Read> RequestReader<R> {
         self.buf.drain(..head_end);
 
         while self.buf.len() < body_len {
+            self.check_wall()?;
             match self.fill() {
                 Ok(0) => return Err(HttpError::BadRequest("connection closed mid-body")),
                 Ok(_) => {}
@@ -173,6 +223,7 @@ impl<R: Read> RequestReader<R> {
             }
         }
         req.body = self.buf.drain(..body_len).collect();
+        self.finish_request();
         Ok(Some(req))
     }
 
@@ -207,6 +258,7 @@ impl<R: Read> RequestReader<R> {
         }
         self.buf.drain(..head_end);
         req.body = self.buf.drain(..body_len).collect();
+        self.finish_request();
         Some(req)
     }
 
@@ -218,6 +270,9 @@ impl<R: Read> RequestReader<R> {
             match self.inner.read(&mut chunk) {
                 Ok(n) => {
                     self.buf.extend_from_slice(&chunk[..n]);
+                    if n > 0 && self.started.is_none() {
+                        self.started = Some(Instant::now());
+                    }
                     return Ok(n);
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -422,6 +477,7 @@ pub fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         413 => "Content Too Large",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -586,6 +642,60 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
     }
 
+    /// Delivers `data` one byte per read, sleeping `delay` before each —
+    /// the slowloris shape over an in-memory stream.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        delay: Duration,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            std::thread::sleep(self.delay);
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn slow_request_hits_wall_clock_cap() {
+        let limits = Limits {
+            max_request_wall: Duration::from_millis(40),
+            ..Limits::default()
+        };
+        let trickle = Trickle {
+            data: b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
+            pos: 0,
+            delay: Duration::from_millis(10),
+        };
+        let mut reader = RequestReader::new(trickle, limits);
+        assert!(matches!(reader.next_request(), Err(HttpError::SlowRequest)));
+    }
+
+    #[test]
+    fn fast_request_is_untouched_by_wall_cap_and_stamps_start() {
+        let limits = Limits {
+            max_request_wall: Duration::from_millis(500),
+            ..Limits::default()
+        };
+        let trickle = Trickle {
+            data: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+            pos: 0,
+            delay: Duration::from_millis(1),
+        };
+        let mut reader = RequestReader::new(trickle, limits);
+        assert!(reader.last_request_started().is_none());
+        let req = reader.next_request().unwrap().unwrap();
+        assert_eq!(req.path(), "/");
+        let started = reader.last_request_started().expect("start stamped");
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
     #[test]
     fn error_responses_map_statuses() {
         assert_eq!(
@@ -598,6 +708,10 @@ mod tests {
         );
         assert_eq!(
             error_response(&HttpError::Timeout { mid_request: true }).map(|r| r.status),
+            Some(408)
+        );
+        assert_eq!(
+            error_response(&HttpError::SlowRequest).map(|r| r.status),
             Some(408)
         );
         assert!(error_response(&HttpError::Timeout { mid_request: false }).is_none());

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod deadline;
 pub mod http;
 pub mod queue;
 pub mod server;

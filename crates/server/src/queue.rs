@@ -103,6 +103,27 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Apply `f` to the item at the front of the queue (the next one a
+    /// worker will pop), without removing it. `None` when empty. Used to
+    /// read the age of the oldest queued request for `/healthz` and the
+    /// reaper without exposing the guard.
+    pub fn peek_front_map<U>(&self, f: impl FnOnce(&T) -> U) -> Option<U> {
+        self.lock().items.front().map(f)
+    }
+
+    /// Pop the front item only when `pred` approves it (e.g. "older than
+    /// the queue timeout"). Never blocks; leaves the queue untouched when
+    /// empty or when `pred` declines. This is how the reaper sheds stale
+    /// entries without racing workers for fresh ones.
+    pub fn pop_front_if(&self, pred: impl FnOnce(&T) -> bool) -> Option<T> {
+        let mut inner = self.lock();
+        if pred(inner.items.front()?) {
+            inner.items.pop_front()
+        } else {
+            None
+        }
+    }
+
     /// Current depth.
     pub fn len(&self) -> usize {
         self.lock().items.len()
@@ -206,5 +227,200 @@ mod tests {
         q.close();
         assert_eq!(q.drain(), vec![1, 2]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_and_conditional_pop_respect_the_front() {
+        let q = Bounded::new(4);
+        assert_eq!(q.peek_front_map(|&v: &i32| v), None);
+        q.try_push(7).ok();
+        q.try_push(8).ok();
+        assert_eq!(q.peek_front_map(|&v| v), Some(7));
+        // Declined predicate leaves the queue untouched.
+        assert_eq!(q.pop_front_if(|&v| v > 100), None);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_front_if(|&v| v == 7), Some(7));
+        assert_eq!(q.peek_front_map(|&v| v), Some(8));
+    }
+
+    /// Regression: a queue filled to capacity and then closed must still
+    /// hand every queued item to poppers and then report `Closed` — no
+    /// popper may wait forever on a full-then-closed queue.
+    #[test]
+    fn full_then_closed_never_strands_a_popper() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = Arc::new(Bounded::new(8));
+        for i in 0..8 {
+            q.try_push(i).expect("fill to cap");
+        }
+        let done = Arc::new(AtomicUsize::new(0));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let poppers: Vec<_> = (0..4)
+            .map(|_| {
+                let (q, done, popped) = (Arc::clone(&q), Arc::clone(&done), Arc::clone(&popped));
+                std::thread::spawn(move || loop {
+                    match q.pop_timeout(Duration::from_millis(20)) {
+                        Popped::Item(_) => {
+                            popped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Popped::TimedOut => {}
+                        Popped::Closed => {
+                            done.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+        q.close();
+        // Every popper must finish well within the deadline; a strand shows
+        // up as a count below 4 rather than a hung test.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::Relaxed) < 4 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 4, "stranded popper(s)");
+        assert_eq!(popped.load(Ordering::Relaxed), 8, "items lost at close");
+        for h in poppers {
+            h.join().expect("popper");
+        }
+    }
+
+    /// Close racing concurrent pushes and pops, across many interleavings
+    /// (staggered by seed-derived delays): no item is both refused and
+    /// dropped, everything pushed is either popped or drained, and every
+    /// thread terminates.
+    #[test]
+    fn close_racing_push_and_pop_loses_nothing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for seed in 0..24u64 {
+            let q = Arc::new(Bounded::new(4));
+            let accepted = Arc::new(AtomicUsize::new(0));
+            let popped = Arc::new(AtomicUsize::new(0));
+            let pushers: Vec<_> = (0..2)
+                .map(|t| {
+                    let (q, accepted) = (Arc::clone(&q), Arc::clone(&accepted));
+                    std::thread::spawn(move || {
+                        for i in 0..64 {
+                            match q.try_push((t, i)) {
+                                Ok(_) => {
+                                    accepted.fetch_add(1, Ordering::SeqCst);
+                                }
+                                Err(PushError::Full(_)) => std::thread::yield_now(),
+                                Err(PushError::Closed(_)) => return,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let poppers: Vec<_> = (0..2)
+                .map(|_| {
+                    let (q, popped) = (Arc::clone(&q), Arc::clone(&popped));
+                    std::thread::spawn(move || loop {
+                        match q.pop_timeout(Duration::from_millis(10)) {
+                            Popped::Item(_) => {
+                                popped.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Popped::TimedOut => {}
+                            Popped::Closed => return,
+                        }
+                    })
+                })
+                .collect();
+            // Stagger the close differently per seed to vary interleaving.
+            std::thread::sleep(Duration::from_micros(50 * (seed % 7)));
+            q.close();
+            for h in pushers.into_iter().chain(poppers) {
+                h.join().expect("thread");
+            }
+            let leftover = q.drain().len();
+            assert_eq!(
+                popped.load(Ordering::SeqCst) + leftover,
+                accepted.load(Ordering::SeqCst),
+                "seed {seed}: accepted items neither popped nor drained"
+            );
+            // Closed queues refuse new work and report Closed to poppers.
+            assert!(matches!(q.try_push((9, 9)), Err(PushError::Closed(_))));
+            assert!(matches!(
+                q.pop_timeout(Duration::from_millis(1)),
+                Popped::Closed
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+    use std::time::Duration;
+
+    /// One scheduled queue operation.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push(u8),
+        Pop,
+        Close,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            4 => any::<u8>().prop_map(Op::Push),
+            4 => Just(Op::Pop),
+            1 => Just(Op::Close),
+        ]
+    }
+
+    proptest! {
+        /// Model check: any single-threaded schedule of push/pop/close
+        /// behaves exactly like a VecDeque with a cap and a closed flag —
+        /// including schedules that close mid-traffic and keep operating.
+        #[test]
+        fn schedules_match_the_model(
+            cap in 1usize..5,
+            ops in proptest::collection::vec(op_strategy(), 0..64),
+        ) {
+            let q = Bounded::new(cap);
+            let mut model: VecDeque<u8> = VecDeque::new();
+            let mut closed = false;
+            for op in ops {
+                match op {
+                    Op::Push(v) => {
+                        let got = q.try_push(v);
+                        if closed {
+                            prop_assert!(matches!(got, Err(PushError::Closed(_))));
+                        } else if model.len() >= cap {
+                            prop_assert!(matches!(got, Err(PushError::Full(_))));
+                        } else {
+                            prop_assert!(got.is_ok());
+                            model.push_back(v);
+                        }
+                    }
+                    Op::Pop => {
+                        let got = q.pop_timeout(Duration::from_millis(1));
+                        match model.pop_front() {
+                            Some(want) => match got {
+                                Popped::Item(v) => prop_assert_eq!(v, want),
+                                other => prop_assert!(false, "wanted item, got {:?}", other),
+                            },
+                            None if closed => {
+                                prop_assert!(matches!(got, Popped::Closed))
+                            }
+                            None => prop_assert!(matches!(got, Popped::TimedOut)),
+                        }
+                    }
+                    Op::Close => {
+                        q.close();
+                        closed = true;
+                    }
+                }
+                prop_assert_eq!(q.len(), model.len());
+                prop_assert_eq!(
+                    q.peek_front_map(|&v| v),
+                    model.front().copied()
+                );
+            }
+        }
     }
 }

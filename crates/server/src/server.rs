@@ -16,14 +16,14 @@
 //! requests in flight finish on the bundle they started with.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use microbrowse_api::v1::{
     BatchRequest, BatchResponse, ErrorEnvelope, Fidelity, RankRequest, RankResponse, ScoreRequest,
-    ScoreResponse,
+    ScoreResponse, CODE_BAD_DEADLINE, CODE_DEADLINE_EXCEEDED, CODE_OVERLOADED,
 };
 use microbrowse_core::error::MbError;
 use microbrowse_core::serve::{Scorer, Scratch, ServingBundle};
@@ -31,7 +31,8 @@ use microbrowse_obs as obs;
 use microbrowse_obs::json::JsonObject;
 use microbrowse_text::Snippet;
 
-use crate::http::{error_response, HttpRequest, Limits, RequestReader, Response};
+use crate::deadline::{Deadline, DEADLINE_HEADER};
+use crate::http::{error_response, HttpError, HttpRequest, Limits, RequestReader, Response};
 use crate::queue::{Bounded, Popped, PushError};
 use crate::state::{reload_loop, ReloadSource, ServeState};
 
@@ -60,6 +61,18 @@ pub struct ServerConfig {
     /// many pipelined `/v1/score` requests one worker coalesces into a
     /// single engine pass. Larger batches answer `413`.
     pub max_batch: usize,
+    /// Cap on simultaneously open connections (queued + being served);
+    /// beyond it, new connections are answered `503` with the `overloaded`
+    /// code from the accept thread. `0` means unlimited.
+    pub max_conns: usize,
+    /// Deadline budget applied to scoring requests that do not carry an
+    /// `X-Mb-Deadline-Ms` header. `None` means only client-sent deadlines
+    /// are enforced.
+    pub request_deadline: Option<Duration>,
+    /// How long an accepted connection may sit in the queue before the
+    /// reaper sheds it with a `503 overloaded` instead of letting it go
+    /// stale behind pinned workers.
+    pub queue_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +87,9 @@ impl Default for ServerConfig {
             reload_poll: Duration::from_millis(200),
             drain_deadline: Duration::from_secs(5),
             max_batch: 256,
+            max_conns: 1024,
+            request_deadline: None,
+            queue_timeout: Duration::from_secs(4),
         }
     }
 }
@@ -110,6 +126,11 @@ pub const HTTP_METRIC_COUNTERS: &[&str] = &[
     "microbrowse_batch_requests_total",
     "microbrowse_batch_items_total",
     "microbrowse_batch_coalesced_total",
+    "microbrowse_http_deadline_exceeded_total",
+    "microbrowse_http_slow_requests_total",
+    "microbrowse_http_conn_limit_rejected_total",
+    "microbrowse_http_reaped_total",
+    "microbrowse_http_sock_cfg_failed_total",
 ];
 
 /// Per-endpoint latency histograms (microseconds), plus the batch-size
@@ -122,14 +143,49 @@ pub const HTTP_METRIC_HISTOGRAMS: &[&str] = &[
     "microbrowse_batch_size",
 ];
 
+/// Releases one slot of the connection cap when the connection ends, no
+/// matter which path (served, shed, drained, aborted) ends it.
+struct ConnPermit {
+    open: Arc<AtomicI64>,
+}
+
+impl ConnPermit {
+    fn acquire(open: &Arc<AtomicI64>) -> Self {
+        let now = open.fetch_add(1, Ordering::SeqCst) + 1;
+        obs::gauge!("microbrowse_http_open_conns").set(now);
+        Self {
+            open: Arc::clone(open),
+        }
+    }
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        let now = self.open.fetch_sub(1, Ordering::SeqCst) - 1;
+        obs::gauge!("microbrowse_http_open_conns").set(now);
+    }
+}
+
+/// An accepted connection waiting for (or held by) a worker, timestamped
+/// so staleness is observable at dequeue, by the reaper, and in
+/// `/healthz` (`queue_age_ms`).
+struct QueuedConn {
+    stream: TcpStream,
+    accepted: Instant,
+    _permit: ConnPermit,
+}
+
 struct Shared {
     state: ServeState,
-    queue: Bounded<TcpStream>,
+    queue: Bounded<QueuedConn>,
     cfg: ServerConfig,
     draining: AtomicBool,
     force_abort: AtomicBool,
     drained: AtomicU64,
     aborted: AtomicU64,
+    /// Connections currently open (queued + being served): the `--max-conns`
+    /// accounting and the `/healthz` `open_conns` field.
+    open_conns: Arc<AtomicI64>,
 }
 
 /// A running server. Dropping the handle does **not** stop it; call
@@ -139,6 +195,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     reload: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -155,6 +212,7 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
         registry.histogram(name);
     }
     registry.gauge("microbrowse_http_queue_depth");
+    registry.gauge("microbrowse_http_open_conns");
 
     let (bundle, reload_source) = match source {
         BundleSource::Static(bundle) => (bundle, None),
@@ -179,6 +237,7 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
         force_abort: AtomicBool::new(false),
         drained: AtomicU64::new(0),
         aborted: AtomicU64::new(0),
+        open_conns: Arc::new(AtomicI64::new(0)),
     });
 
     let workers = (0..shared.cfg.workers.max(1))
@@ -190,6 +249,10 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
     let accept = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(&shared, listener))
+    };
+    let reaper = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || reaper_loop(&shared))
     };
     let reload = reload_source.map(|src| {
         let shared = Arc::clone(&shared);
@@ -212,6 +275,7 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
         shared,
         accept: Some(accept),
         reload,
+        reaper: Some(reaper),
         workers,
     })
 }
@@ -245,6 +309,9 @@ impl ServerHandle {
         }
         self.shared.queue.close();
         if let Some(h) = self.reload.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reaper.take() {
             let _ = h.join();
         }
 
@@ -288,38 +355,112 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
         };
         obs::counter!("microbrowse_http_connections_total").inc();
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
-        match shared.queue.try_push(stream) {
+        // A socket whose timeouts cannot be configured must not be served:
+        // without them every read/write on it is unbounded IO. Refuse it
+        // loudly instead of proceeding.
+        if stream
+            .set_read_timeout(Some(shared.cfg.read_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(shared.cfg.write_timeout)))
+            .is_err()
+        {
+            obs::counter!("microbrowse_http_sock_cfg_failed_total").inc();
+            obs::trace::event("serve.sock_cfg_failed");
+            drop(stream);
+            continue;
+        }
+        if shared.cfg.max_conns > 0
+            && shared.open_conns.load(Ordering::SeqCst) >= shared.cfg.max_conns as i64
+        {
+            obs::counter!("microbrowse_http_conn_limit_rejected_total").inc();
+            reject_busy(shared, stream, "connection limit reached");
+            continue;
+        }
+        let entry = QueuedConn {
+            stream,
+            accepted: Instant::now(),
+            _permit: ConnPermit::acquire(&shared.open_conns),
+        };
+        match shared.queue.try_push(entry) {
             Ok(depth) => {
                 obs::gauge!("microbrowse_http_queue_depth").set(depth as i64);
             }
-            Err(PushError::Full(stream)) => reject_busy(stream),
+            Err(PushError::Full(entry)) => reject_busy(shared, entry.stream, "queue full"),
             Err(PushError::Closed(_)) => return,
         }
     }
 }
 
-/// The backpressure answer: an immediate `503` with `Retry-After`, written
-/// from the accept thread so a saturated worker pool cannot delay it.
-fn reject_busy(stream: TcpStream) {
+/// `Retry-After` seconds derived from live queue depth: assume each worker
+/// clears ~10 queued connections a second (scoring itself is sub-ms; the
+/// bound is slow clients), so the hinted wait tracks how far back in line a
+/// retry would land. Clamped to `[1, 30]`.
+fn retry_after_secs(depth: usize, workers: usize) -> u32 {
+    let per_sec = workers.max(1) * 10;
+    (depth.div_ceil(per_sec)).clamp(1, 30) as u32
+}
+
+/// The backpressure answer: an immediate `503` with the `overloaded`
+/// envelope code and a depth-derived `Retry-After`, written from the accept
+/// thread so a saturated worker pool cannot delay it.
+fn reject_busy(shared: &Shared, stream: TcpStream, why: &str) {
     obs::counter!("microbrowse_http_rejected_total").inc();
     obs::trace::event("serve.rejected");
-    let body = JsonObject::new()
-        .str("error", "server busy, queue full")
-        .finish();
+    let secs = retry_after_secs(shared.queue.len(), shared.cfg.workers);
+    let body = ErrorEnvelope::with_code(format!("server busy, {why}"), CODE_OVERLOADED).to_json();
     let _ = Response::json(503, body)
-        .retry_after(1)
+        .retry_after(secs)
         .closing()
         .write_to(&mut &stream);
+}
+
+/// Shed one stale queued connection: its client has been waiting longer
+/// than the queue timeout, so the connection is answered `503 overloaded`
+/// and closed rather than served long after the caller gave up.
+fn shed_stale(shared: &Shared, entry: QueuedConn) {
+    obs::counter!("microbrowse_http_reaped_total").inc();
+    obs::trace::event("serve.reaped")
+        .with("queued_ms", entry.accepted.elapsed().as_millis() as u64);
+    let secs = retry_after_secs(shared.queue.len(), shared.cfg.workers);
+    let body = ErrorEnvelope::with_code("server busy, queued too long", CODE_OVERLOADED).to_json();
+    let _ = Response::json(503, body)
+        .retry_after(secs)
+        .closing()
+        .write_to(&mut &entry.stream);
+}
+
+/// The idle/stale-connection reaper: periodically pops connections that
+/// have sat in the queue beyond [`ServerConfig::queue_timeout`] and sheds
+/// them. Workers also check at dequeue; the reaper covers the case where
+/// every worker is pinned by a slow session and nothing is dequeuing at
+/// all — queue slots reopen instead of filling with dead connections.
+fn reaper_loop(shared: &Shared) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+        while let Some(entry) = shared
+            .queue
+            .pop_front_if(|c| c.accepted.elapsed() > shared.cfg.queue_timeout)
+        {
+            shed_stale(shared, entry);
+        }
+        obs::gauge!("microbrowse_http_queue_depth").set(shared.queue.len() as i64);
+    }
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
         match shared.queue.pop_timeout(Duration::from_millis(50)) {
-            Popped::Item(stream) => {
+            Popped::Item(entry) => {
                 obs::gauge!("microbrowse_http_queue_depth").set(shared.queue.len() as i64);
-                serve_connection(shared, &stream);
+                // Dequeue-time staleness check (the reaper's fast path):
+                // don't start a session nobody is waiting on. Draining
+                // sessions are served — drain means "finish the queue".
+                if !shared.draining.load(Ordering::SeqCst)
+                    && entry.accepted.elapsed() > shared.cfg.queue_timeout
+                {
+                    shed_stale(shared, entry);
+                    continue;
+                }
+                serve_connection(shared, entry);
             }
             Popped::TimedOut => {
                 if shared.force_abort.load(Ordering::Relaxed) {
@@ -341,8 +482,10 @@ fn worker_loop(shared: &Shared) {
 /// [`Scorer::score_batch`] pass (see [`serve_score_group`]) and writes the
 /// responses back in arrival order — identical bytes, amortized engine
 /// work.
-fn serve_connection(shared: &Shared, stream: &TcpStream) {
+fn serve_connection(shared: &Shared, conn: QueuedConn) {
+    let stream = &conn.stream;
     let mut reader = RequestReader::new(stream, shared.cfg.limits.clone());
+    let mut first_request = true;
     'epoch: loop {
         let epoch = shared.state.epoch();
         let bundle = shared.state.current();
@@ -359,9 +502,69 @@ fn serve_connection(shared: &Shared, stream: &TcpStream) {
             let draining = shared.draining.load(Ordering::SeqCst);
             match reader.next_request() {
                 Ok(Some(req)) => {
+                    // Deadline check before any scoring work. The budget is
+                    // anchored at connection accept for the first request —
+                    // time spent waiting in the accept queue counts against
+                    // it, which is exactly what makes shed-at-dequeue work —
+                    // and at the request's own first byte afterwards.
+                    let anchor = if first_request {
+                        conn.accepted
+                    } else {
+                        reader.last_request_started().unwrap_or_else(Instant::now)
+                    };
+                    first_request = false;
+                    let scoring = req.method == "POST" && req.path().starts_with("/v1/");
+                    match Deadline::from_request(&req, anchor, shared.cfg.request_deadline) {
+                        Err(e) => {
+                            obs::counter!("microbrowse_http_bad_requests_total").inc();
+                            let mut resp = Response::json(
+                                400,
+                                ErrorEnvelope::with_code(e, CODE_BAD_DEADLINE).to_json(),
+                            );
+                            resp.close = draining || !req.keep_alive;
+                            let wrote = resp.write_to(&mut &*stream).is_ok();
+                            if resp.close || !wrote {
+                                return;
+                            }
+                            continue;
+                        }
+                        // Shed expired scoring work instead of doing it: the
+                        // caller already gave up on this answer. Reads
+                        // (healthz, metrics) are served regardless — they are
+                        // cheap and operators poll them under overload.
+                        Ok(Some(deadline)) if scoring && deadline.expired() => {
+                            obs::counter!("microbrowse_http_deadline_exceeded_total").inc();
+                            obs::counter!("microbrowse_http_responses_5xx_total").inc();
+                            obs::trace::event("serve.deadline_exceeded")
+                                .with("overdue_ms", deadline.overdue().as_millis() as u64);
+                            let mut resp = Response::json(
+                                504,
+                                ErrorEnvelope::with_code(
+                                    "deadline expired in queue",
+                                    CODE_DEADLINE_EXCEEDED,
+                                )
+                                .to_json(),
+                            );
+                            resp.close = draining || !req.keep_alive;
+                            let wrote = resp.write_to(&mut &*stream).is_ok();
+                            if draining {
+                                shared.aborted.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if resp.close || !wrote {
+                                return;
+                            }
+                            continue;
+                        }
+                        Ok(_) => {}
+                    }
                     let mut group = vec![req];
+                    // Requests carrying their own deadline are excluded from
+                    // coalescing so each one's budget is judged individually.
                     let coalescable = |r: &HttpRequest| {
-                        r.method == "POST" && r.path() == "/v1/score" && r.keep_alive
+                        r.method == "POST"
+                            && r.path() == "/v1/score"
+                            && r.keep_alive
+                            && r.header(DEADLINE_HEADER).is_none()
                     };
                     if !draining && coalescable(&group[0]) {
                         while group.len() < shared.cfg.max_batch {
@@ -395,7 +598,10 @@ fn serve_connection(shared: &Shared, stream: &TcpStream) {
                 }
                 Ok(None) => return, // clean close between requests
                 Err(e) => {
-                    if e.status().is_some() {
+                    if matches!(e, HttpError::SlowRequest) {
+                        obs::counter!("microbrowse_http_slow_requests_total").inc();
+                        obs::trace::event("serve.slow_request");
+                    } else if e.status().is_some() {
                         obs::counter!("microbrowse_http_bad_requests_total").inc();
                         obs::trace::event("serve.bad_request").with("error", e.to_string());
                     }
@@ -650,6 +856,17 @@ fn handle_healthz(bundle: &ServingBundle, shared: &Shared) -> Response {
         .raw("model_generation", &gen_json(bundle.model_generation()))
         .raw("stats_generation", &gen_json(bundle.stats_generation()))
         .u64("queue_depth", shared.queue.len() as u64)
+        .u64(
+            "queue_age_ms",
+            shared
+                .queue
+                .peek_front_map(|c| c.accepted.elapsed().as_millis() as u64)
+                .unwrap_or(0),
+        )
+        .u64(
+            "open_conns",
+            shared.open_conns.load(Ordering::SeqCst).max(0) as u64,
+        )
         .u64("epoch", shared.state.epoch())
         .u64("reloads", shared.state.reloads())
         .u64("compiled_features", bundle.engine().table().len() as u64)

@@ -1,0 +1,418 @@
+//! Integration tests for the overload-resilience layer: deadline
+//! propagation and shed-at-dequeue, the stale-queue reaper, the connection
+//! cap, slowloris defense, the `/healthz` overload fields, and the
+//! resilient client's retry/breaker behavior against a live server.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
+use microbrowse_core::features::OwnedTermFeat;
+use microbrowse_core::serve::{DeployedModel, Fidelity, ServingBundle};
+use microbrowse_faultinject::{FaultyStream, SocketFault};
+use microbrowse_server::client::{
+    BreakerConfig, BreakerState, CallError, Client, ResilientClient, RetryPolicy,
+};
+use microbrowse_server::{start, BundleSource, ServerConfig};
+use microbrowse_store::StatsDb;
+
+fn model(weight: f64) -> DeployedModel {
+    DeployedModel {
+        spec: ModelSpec::m1(),
+        classifier: TrainedClassifier::Flat(microbrowse_ml::LogReg::from_parts(vec![weight], 0.0)),
+        vocab: vec![OwnedTermFeat::Term("cheap".into())],
+    }
+}
+
+fn static_bundle() -> BundleSource {
+    BundleSource::Static(Arc::new(
+        ServingBundle::from_parts(model(1.0), StatsDb::new(), Fidelity::Full).expect("bundle"),
+    ))
+}
+
+const SCORE_BODY: &str = r#"{"r":"cheap flights|book now","s":"flights|book"}"#;
+
+fn metric_value(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn json_u64(body: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let rest = &body[body.find(&pat).unwrap_or_else(|| panic!("{key} in {body}")) + pat.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} not a number in {body}"))
+}
+
+#[test]
+fn expired_deadline_is_shed_with_typed_envelope() {
+    let handle = start(ServerConfig::default(), static_bundle()).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // The first request's budget is anchored at connection accept, so
+    // sitting idle consumes it: a 20ms budget spent 80ms in the past is
+    // expired on arrival and must be shed, not scored.
+    std::thread::sleep(Duration::from_millis(80));
+    let hdr = [("x-mb-deadline-ms", "20".to_string())];
+    let resp = c
+        .request_with_headers("POST", "/v1/score", &hdr, Some(SCORE_BODY))
+        .expect("shed response still arrives");
+    assert_eq!(resp.status, 504, "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("\"code\":\"deadline_exceeded\""),
+        "{}",
+        resp.body_str()
+    );
+
+    // Shedding preserves keep-alive: the same connection serves the next
+    // request, whose budget is anchored at its own first byte.
+    let hdr = [("x-mb-deadline-ms", "5000".to_string())];
+    let resp = c
+        .request_with_headers("POST", "/v1/score", &hdr, Some(SCORE_BODY))
+        .expect("follow-up");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    let metrics = c.get("/metrics").expect("metrics").body_str();
+    assert_eq!(
+        metric_value(&metrics, "microbrowse_http_deadline_exceeded_total"),
+        1,
+        "{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_deadline_answers_400_without_killing_the_connection() {
+    let handle = start(ServerConfig::default(), static_bundle()).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    for bad in ["nope", "0", "-5", "9999999999"] {
+        let hdr = [("x-mb-deadline-ms", bad.to_string())];
+        let resp = c
+            .request_with_headers("POST", "/v1/score", &hdr, Some(SCORE_BODY))
+            .expect("response");
+        assert_eq!(resp.status, 400, "{bad}: {}", resp.body_str());
+        assert!(
+            resp.body_str().contains("\"code\":\"bad_deadline\""),
+            "{bad}: {}",
+            resp.body_str()
+        );
+    }
+    let resp = c.post("/v1/score", SCORE_BODY).expect("still alive");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    handle.shutdown();
+}
+
+#[test]
+fn server_default_deadline_applies_without_header() {
+    let cfg = ServerConfig {
+        request_deadline: Some(Duration::from_millis(20)),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle()).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    std::thread::sleep(Duration::from_millis(80));
+    // Scoring work is shed under the server-wide default budget...
+    let resp = c.post("/v1/score", SCORE_BODY).expect("response");
+    assert_eq!(resp.status, 504, "{}", resp.body_str());
+    // ...but reads are served regardless: operators poll them under
+    // overload, and they are too cheap to be worth shedding.
+    let resp = c.get("/metrics").expect("metrics");
+    assert_eq!(resp.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn reaper_sheds_connections_stuck_behind_pinned_workers() {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle()).expect("start");
+
+    // Pin the single worker with a keep-alive session.
+    let mut pinned = Client::connect(handle.addr()).expect("connect pinned");
+    let resp = pinned.post("/v1/score", SCORE_BODY).expect("pin worker");
+    assert_eq!(resp.status, 200);
+
+    // A second connection sits in the queue with nobody to dequeue it.
+    // The reaper must answer it 503 instead of letting it rot.
+    let mut waiting = Client::connect(handle.addr()).expect("connect waiting");
+    let started = Instant::now();
+    let resp = waiting
+        .post("/v1/score", SCORE_BODY)
+        .expect("reaper answers");
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("\"code\":\"overloaded\""),
+        "{}",
+        resp.body_str()
+    );
+    assert!(resp.header("retry-after").is_some(), "retry-after present");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "shed promptly, not at read timeout: {:?}",
+        started.elapsed()
+    );
+
+    // The pinned session is still healthy and sees the shed in /metrics.
+    let metrics = pinned.get("/metrics").expect("metrics").body_str();
+    assert!(
+        metric_value(&metrics, "microbrowse_http_reaped_total") >= 1,
+        "{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_at_accept_with_overloaded_code() {
+    let cfg = ServerConfig {
+        workers: 1,
+        max_conns: 2,
+        queue_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle()).expect("start");
+
+    let mut c1 = Client::connect(handle.addr()).expect("c1");
+    let resp = c1.post("/v1/score", SCORE_BODY).expect("c1 served");
+    assert_eq!(resp.status, 200);
+    let _c2 = Client::connect(handle.addr()).expect("c2 queued");
+    // Give the accept thread time to queue c2 (its permit must be held
+    // before c3 arrives for the cap to be at its limit).
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut c3 = Client::connect(handle.addr()).expect("c3 connects");
+    let resp = c3.get("/healthz").expect("rejected with a response");
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("\"code\":\"overloaded\""),
+        "{}",
+        resp.body_str()
+    );
+    assert!(resp.header("retry-after").is_some());
+
+    let metrics = c1.get("/metrics").expect("metrics").body_str();
+    assert!(
+        metric_value(&metrics, "microbrowse_http_conn_limit_rejected_total") >= 1,
+        "{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn slowloris_client_is_cut_off_by_the_wall_clock_cap() {
+    let mut cfg = ServerConfig::default();
+    cfg.limits.max_request_wall = Duration::from_millis(300);
+    let handle = start(cfg, static_bundle()).expect("start");
+
+    // A client dribbling one byte every 40ms: each read makes progress,
+    // so per-read timeouts never fire — only the wall-clock cap stops it.
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut slow = FaultyStream::new(stream).with(SocketFault::TrickleWrites {
+        max: 1,
+        delay: Duration::from_millis(40),
+    });
+    let request = format!(
+        "POST /v1/score HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+        SCORE_BODY.len(),
+        SCORE_BODY
+    );
+    let started = Instant::now();
+    // The server answers 408 and closes mid-trickle; the write side then
+    // fails. Either way the trickle must not run to completion.
+    let _ = slow.write_all(request.as_bytes());
+    let mut reply = String::new();
+    use std::io::Read;
+    let _ = slow.stream().take(256).read_to_string(&mut reply);
+    assert!(
+        reply.starts_with("HTTP/1.1 408"),
+        "wanted 408 from wall cap, got {reply:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "cut off near the cap, not at trickle completion: {:?}",
+        started.elapsed()
+    );
+
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    let metrics = c.get("/metrics").expect("metrics").body_str();
+    assert!(
+        metric_value(&metrics, "microbrowse_http_slow_requests_total") >= 1,
+        "{metrics}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn healthz_reports_queue_age_and_open_conns() {
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle()).expect("start");
+    let mut c1 = Client::connect(handle.addr()).expect("c1");
+    let body = c1.get("/healthz").expect("healthz").body_str();
+    assert_eq!(json_u64(&body, "queue_age_ms"), 0, "{body}");
+    assert!(json_u64(&body, "open_conns") >= 1, "{body}");
+
+    // Park a second connection in the queue and watch its age climb.
+    let _c2 = Client::connect(handle.addr()).expect("c2 queued");
+    std::thread::sleep(Duration::from_millis(120));
+    let body = c1.get("/healthz").expect("healthz").body_str();
+    assert!(json_u64(&body, "queue_age_ms") >= 50, "{body}");
+    assert!(json_u64(&body, "open_conns") >= 2, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn resilient_client_breaker_opens_then_recovers_on_probe() {
+    // Start on an ephemeral port, remember it, and shut the server down:
+    // the client now sees connect-refused.
+    let handle = start(ServerConfig::default(), static_bundle()).expect("start");
+    let addr = handle.addr();
+    let mut rc = ResilientClient::new(addr)
+        .with_policy(RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+            treat_posts_idempotent: true,
+        })
+        .with_breaker(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+        });
+
+    let resp = rc
+        .call(
+            "POST",
+            "/v1/score",
+            Some(SCORE_BODY),
+            Duration::from_secs(2),
+        )
+        .expect("healthy server answers");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    handle.shutdown();
+
+    for i in 0..3 {
+        let got = rc.call(
+            "POST",
+            "/v1/score",
+            Some(SCORE_BODY),
+            Duration::from_secs(1),
+        );
+        assert!(
+            matches!(got, Err(CallError::Transport { .. })),
+            "call {i}: {got:?}"
+        );
+    }
+    assert_eq!(rc.breaker_state(), BreakerState::Open);
+    match rc.call(
+        "POST",
+        "/v1/score",
+        Some(SCORE_BODY),
+        Duration::from_secs(1),
+    ) {
+        Err(CallError::BreakerOpen) => {}
+        other => panic!("open breaker must reject without IO, got {other:?}"),
+    }
+
+    // Bring the server back on the same port (retry the bind: the OS may
+    // take a moment to release it) and let the cooldown elapse: the next
+    // call is the half-open probe, and its success closes the breaker.
+    std::thread::sleep(Duration::from_millis(120));
+    let cfg = ServerConfig {
+        addr: addr.to_string(),
+        ..ServerConfig::default()
+    };
+    let handle = (0..50)
+        .find_map(|_| {
+            start(cfg.clone(), static_bundle()).ok().or_else(|| {
+                std::thread::sleep(Duration::from_millis(50));
+                None
+            })
+        })
+        .expect("rebind the port");
+    let resp = rc
+        .call(
+            "POST",
+            "/v1/score",
+            Some(SCORE_BODY),
+            Duration::from_secs(2),
+        )
+        .expect("probe succeeds");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(rc.breaker_state(), BreakerState::Closed);
+    handle.shutdown();
+}
+
+#[test]
+fn resilient_client_propagates_deadline_header_end_to_end() {
+    // Prove the client's budget actually travels in X-Mb-Deadline-Ms:
+    // send a call whose budget dies while its connection is stuck behind a
+    // pinned single worker. The client gives up on its own clock; later,
+    // when the worker frees up and dequeues the stale connection, the
+    // *server* must shed it as deadline_exceeded — which it can only do by
+    // reading the propagated header (the server has no default deadline
+    // configured here).
+    let cfg = ServerConfig {
+        workers: 1,
+        read_timeout: Duration::from_millis(400),
+        queue_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle()).expect("start");
+
+    // Pin the worker: the session holds it until the 400ms idle timeout.
+    let mut pinned = Client::connect(handle.addr()).expect("pin");
+    assert_eq!(
+        pinned.post("/v1/score", SCORE_BODY).expect("pin").status,
+        200
+    );
+
+    let mut rc = ResilientClient::new(handle.addr()).with_policy(RetryPolicy {
+        max_attempts: 1,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(1),
+        treat_posts_idempotent: true,
+    });
+    let got = rc.call(
+        "POST",
+        "/v1/score",
+        Some(SCORE_BODY),
+        Duration::from_millis(100),
+    );
+    match got {
+        // Usual outcome: the budget dies in the queue; the client times
+        // out or runs out of budget on its own clock.
+        Err(CallError::DeadlineExhausted { .. }) | Err(CallError::Transport { .. }) => {}
+        // If the worker freed up just in time, the only correct answer
+        // for an expired propagated budget is a shed, never a late score.
+        Ok(resp) => assert_eq!(resp.status, 504, "{}", resp.body_str()),
+        Err(other) => panic!("unexpected: {other}"),
+    }
+
+    // Let the pinned session idle out so the worker dequeues (and sheds)
+    // the abandoned connection, then read the counter it bumped.
+    std::thread::sleep(Duration::from_millis(700));
+    let mut c = Client::connect(handle.addr()).expect("metrics conn");
+    let metrics = c.get("/metrics").expect("metrics").body_str();
+    assert!(
+        metric_value(&metrics, "microbrowse_http_deadline_exceeded_total") >= 1,
+        "server never observed the propagated deadline: {metrics}"
+    );
+    handle.shutdown();
+}

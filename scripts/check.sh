@@ -15,10 +15,10 @@ cargo test --quiet -p microbrowse-faultinject
 cargo test --quiet -p microbrowse-store --test corrupt
 cargo test --quiet -p microbrowse-core --test artifact_errors
 
-echo "==> no unwrap/expect on artifact load/serve paths (incl. obs + api + server)"
+echo "==> no unwrap/expect on artifact load/serve paths (incl. obs + api + server + faultinject)"
 if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs \
     crates/core/src/error.rs crates/obs/src crates/cli/src crates/server/src \
-    crates/api/src \
+    crates/api/src crates/faultinject/src \
     crates/core/src/compiled.rs crates/core/src/paircache.rs \
     crates/core/src/features.rs crates/core/src/rewrite.rs \
     | python3 -c '
@@ -57,6 +57,10 @@ cargo build --locked --release -q -p microbrowse-cli --bin microbrowse \
     -p microbrowse-server --bin serve_smoke
 ./target/release/serve_smoke --bin ./target/release/microbrowse
 
+echo "==> live-socket chaos gate (shed under overload, no stranded workers, full recovery)"
+cargo build --locked --release -q -p microbrowse-bench --bin chaos_serve
+./target/release/chaos_serve --seed 42 --out /tmp/BENCH_chaos.check.json
+
 echo "==> wire-API docs complete and warning-free"
 RUSTDOCFLAGS="-D warnings" cargo doc --locked --no-deps -q -p microbrowse-api
 
@@ -66,4 +70,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, fault injection, unwrap audit, overhead gate, hot-path gate, server smoke, api docs, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, overhead gate, hot-path gate, server smoke, chaos gate, api docs, clippy, fmt all green"
