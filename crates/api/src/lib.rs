@@ -14,4 +14,5 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod debug;
 pub mod v1;

@@ -30,22 +30,35 @@
 //! every caller's time-to-outcome. Everything lands in
 //! `results/BENCH_chaos.json`.
 //!
+//! Every well-behaved request is tagged with an `X-Mb-Trace-Id`, and the
+//! tallies keep the **echoed** trace-id sets for successes and sheds (the
+//! echo is authoritative: accept-thread rejects mint their own id before
+//! the request is ever parsed). That adds a sixth gate invariant: in the
+//! shedding-ON run, 100% of shed (503/504) responses must be retrievable
+//! from `GET /debug/trace` by their echoed trace id — the flight recorder
+//! may not lose an anomaly under the very overload it exists to explain.
+//! The distinct id sets land in `results/BENCH_chaos.json` for post-hoc
+//! joins against `/debug/trace` dumps and trace JSONL.
+//!
 //! Usage: `chaos_serve [--seed 42] [--workers 2] [--baseline-requests 1500]
 //! [--chaos-secs 3] [--shed-secs 2] [--p99-factor 3]
 //! [--out results/BENCH_chaos.json]`
 
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use microbrowse_api::debug::DebugTraceResponse;
 use microbrowse_bench::Args;
 use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
 use microbrowse_core::features::OwnedTermFeat;
 use microbrowse_core::serve::{DeployedModel, Fidelity, ServingBundle};
 use microbrowse_faultinject::{FaultPlan, FaultyStream, SocketFault};
-use microbrowse_server::client::{Client, ResilientClient, RetryPolicy};
+use microbrowse_obs::trace::parse_trace_id;
+use microbrowse_server::client::{Client, HttpResponse, ResilientClient, RetryPolicy};
 use microbrowse_server::{start, BundleSource, ServerConfig, ServerHandle};
 use microbrowse_store::{FeatureKey, StatsDb};
 
@@ -108,7 +121,9 @@ fn expected_status(status: u16) -> bool {
     matches!(status, 200 | 400 | 408 | 413 | 503 | 504)
 }
 
-/// Tally from one client population.
+/// Tally from one client population. The `*_traces` sets hold the trace
+/// ids the server **echoed** back (`X-Mb-Trace-Id`), which is the id the
+/// flight recorder and access log filed the request under.
 #[derive(Default, Clone)]
 struct Tally {
     calls: u64,
@@ -119,6 +134,8 @@ struct Tally {
     io_errors: u64,
     violations: u64,
     ok_latencies_us: Vec<u64>,
+    ok_traces: Vec<u128>,
+    shed_traces: Vec<u128>,
 }
 
 impl Tally {
@@ -131,17 +148,26 @@ impl Tally {
         self.io_errors += other.io_errors;
         self.violations += other.violations;
         self.ok_latencies_us.extend(other.ok_latencies_us);
+        self.ok_traces.extend(other.ok_traces);
+        self.shed_traces.extend(other.shed_traces);
     }
 
-    fn record_response(&mut self, status: u16, us: u64) {
+    fn record_response(&mut self, status: u16, us: u64, trace: Option<u128>) {
         self.calls += 1;
         match status {
             200 => {
                 self.ok += 1;
                 self.ok_latencies_us.push(us);
+                self.ok_traces.extend(trace);
             }
-            503 => self.shed_503 += 1,
-            504 => self.shed_504 += 1,
+            503 => {
+                self.shed_503 += 1;
+                self.shed_traces.extend(trace);
+            }
+            504 => {
+                self.shed_504 += 1;
+                self.shed_traces.extend(trace);
+            }
             s if expected_status(s) => self.err_4xx += 1,
             _ => self.violations += 1,
         }
@@ -163,6 +189,18 @@ impl Tally {
         self.ok_latencies_us.sort_unstable();
         quantile(&self.ok_latencies_us, 0.99)
     }
+}
+
+/// The trace id the server filed this response under, from the echoed
+/// `X-Mb-Trace-Id` header every response carries.
+fn echoed_trace(resp: &HttpResponse) -> Option<u128> {
+    resp.header("x-mb-trace-id").and_then(parse_trace_id)
+}
+
+/// A deterministic per-request trace id: unique across the run, cheap to
+/// regenerate offline from `(client, i)` for joins.
+fn tag(client: usize, i: usize) -> String {
+    format!("{:032x}", ((client as u128 + 1) << 64) | i as u128)
 }
 
 /// Run `threads` well-behaved keep-alive clients flat out until `stop`,
@@ -218,13 +256,15 @@ fn raw_good_client(
                 }
             },
         };
-        let headers: Vec<(&str, String)> = deadline_ms
-            .map(|ms| vec![("x-mb-deadline-ms", ms.to_string())])
-            .unwrap_or_default();
+        let mut headers: Vec<(&str, String)> = vec![("x-mb-trace-id", tag(id, i))];
+        if let Some(ms) = deadline_ms {
+            headers.push(("x-mb-deadline-ms", ms.to_string()));
+        }
         let t0 = Instant::now();
         match c.request_with_headers("POST", "/v1/score", &headers, Some(&score_body(i))) {
             Ok(resp) => {
-                tally.record_response(resp.status, t0.elapsed().as_micros() as u64);
+                let trace = echoed_trace(&resp);
+                tally.record_response(resp.status, t0.elapsed().as_micros() as u64, trace);
                 if resp.header("connection").is_some_and(|v| v == "close") {
                     conn = None;
                 }
@@ -256,7 +296,12 @@ fn resilient_good_client(
         i += 1;
         let t0 = Instant::now();
         match rc.call("POST", "/v1/score", Some(&score_body(i)), budget) {
-            Ok(resp) => tally.record_response(resp.status, t0.elapsed().as_micros() as u64),
+            Ok(resp) => {
+                // The resilient tier mints and propagates the trace id
+                // itself; all attempts of this call shared it.
+                let trace = Some(rc.last_trace_id()).filter(|t| *t != 0);
+                tally.record_response(resp.status, t0.elapsed().as_micros() as u64, trace);
+            }
             Err(_) => {
                 // Breaker-open and budget-exhausted are correct overload
                 // behavior, not server failures.
@@ -397,9 +442,11 @@ fn measured_phase(addr: SocketAddr, threads: usize, requests: u64) -> (Tally, f6
                     };
                     let t0 = Instant::now();
                     match c.post("/v1/score", &score_body(i)) {
-                        Ok(resp) => {
-                            tally.record_response(resp.status, t0.elapsed().as_micros() as u64)
-                        }
+                        Ok(resp) => tally.record_response(
+                            resp.status,
+                            t0.elapsed().as_micros() as u64,
+                            None,
+                        ),
                         Err(e) => {
                             tally.record_io_error(&e);
                             conn = None;
@@ -420,11 +467,63 @@ fn measured_phase(addr: SocketAddr, threads: usize, requests: u64) -> (Tally, f6
     (total, started.elapsed().as_secs_f64())
 }
 
+/// How many distinct traces the shed-run flight recorder may retain. The
+/// post-shed client backoff bounds shed volume well under this, so the
+/// "100% of sheds retrievable" join below is exact, not best-effort.
+const SHED_FLIGHT_RETAINED: usize = 16384;
+
+/// Result of joining the shed trace-id set against `GET /debug/trace`.
+struct DebugJoin {
+    /// Distinct shed (503/504) trace ids the clients observed.
+    shed_distinct: usize,
+    /// Shed trace ids retrievable from the flight recorder.
+    retrieved: usize,
+    /// Observed shed ids the recorder lost (gate requires 0).
+    missing: usize,
+}
+
+/// Pull `/debug/trace` and count how many of the client-observed shed
+/// trace ids the flight recorder can still produce, with their per-stage
+/// breakdown (the strict [`DebugTraceResponse`] parse guarantees shape).
+fn join_debug_trace(addr: SocketAddr, shed_traces: &[u128]) -> DebugJoin {
+    let shed: HashSet<u128> = shed_traces.iter().copied().collect();
+    let mut retrieved: HashSet<u128> = HashSet::new();
+    for _ in 0..50 {
+        let resp = Client::connect_with_timeout(addr, Duration::from_secs(2))
+            .ok()
+            .and_then(|mut c| {
+                c.get(&format!("/debug/trace?last={SHED_FLIGHT_RETAINED}"))
+                    .ok()
+            })
+            .filter(|r| r.status == 200);
+        if let Some(resp) = resp {
+            let parsed = DebugTraceResponse::from_json(&resp.body_str())
+                .expect("/debug/trace parses through the strict api reader");
+            retrieved = parsed
+                .traces
+                .iter()
+                .filter(|t| matches!(t.status, 503 | 504))
+                .filter_map(|t| parse_trace_id(&t.trace_id))
+                .collect();
+            break;
+        }
+        // The server may still be rejecting while the queue drains.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    DebugJoin {
+        shed_distinct: shed.len(),
+        retrieved: shed.iter().filter(|t| retrieved.contains(t)).count(),
+        missing: shed.iter().filter(|t| !retrieved.contains(t)).count(),
+    }
+}
+
 /// One shed-under-overload run: pure 4× overload of well-behaved clients,
 /// measuring every caller's **time to outcome** (success, typed shed, or
 /// error). With shedding off, queued callers starve until client timeouts;
-/// with shedding on, every outcome arrives bounded.
-fn shed_run(shed_on: bool, workers: usize, secs: u64) -> (Tally, u64, f64) {
+/// with shedding on, every outcome arrives bounded. When `shed_on`, the
+/// observed shed trace ids are joined against `/debug/trace` before the
+/// server shuts down.
+fn shed_run(shed_on: bool, workers: usize, secs: u64) -> (Tally, u64, f64, Option<DebugJoin>) {
     let cfg = ServerConfig {
         workers,
         queue_depth: 16,
@@ -435,6 +534,7 @@ fn shed_run(shed_on: bool, workers: usize, secs: u64) -> (Tally, u64, f64) {
         },
         read_timeout: Duration::from_millis(500),
         write_timeout: Duration::from_millis(500),
+        flight_retained: SHED_FLIGHT_RETAINED,
         ..ServerConfig::default()
     };
     let handle = start(cfg, BundleSource::Static(bundle())).expect("start shed server");
@@ -472,15 +572,26 @@ fn shed_run(shed_on: bool, workers: usize, secs: u64) -> (Tally, u64, f64) {
                             }
                         },
                     };
-                    let headers: Vec<(&str, String)> = deadline_ms
-                        .map(|ms: u64| vec![("x-mb-deadline-ms", ms.to_string())])
-                        .unwrap_or_default();
+                    let mut headers: Vec<(&str, String)> = vec![("x-mb-trace-id", tag(t, i))];
+                    if let Some(ms) = deadline_ms {
+                        headers.push(("x-mb-deadline-ms", ms.to_string()));
+                    }
                     let outcome =
                         c.request_with_headers("POST", "/v1/score", &headers, Some(&score_body(i)));
                     let us = t0.elapsed().as_micros() as u64;
                     max_outcome.fetch_max(us, Ordering::Relaxed);
                     match outcome {
-                        Ok(resp) => tally.record_response(resp.status, us),
+                        Ok(resp) => {
+                            let shed = matches!(resp.status, 503 | 504);
+                            tally.record_response(resp.status, us, echoed_trace(&resp));
+                            if shed {
+                                // Back off after a shed: keeps the server
+                                // saturated (4× clients per worker) while
+                                // bounding distinct sheds well under
+                                // SHED_FLIGHT_RETAINED for an exact join.
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                        }
                         Err(e) => {
                             tally.record_io_error(&e);
                             conn = None;
@@ -501,8 +612,26 @@ fn shed_run(shed_on: bool, workers: usize, secs: u64) -> (Tally, u64, f64) {
     }
     let elapsed = started.elapsed().as_secs_f64().max(secs as f64);
     stopper.join().expect("stopper");
+    let join = shed_on.then(|| join_debug_trace(addr, &total.shed_traces));
     handle.shutdown();
-    (total, max_outcome.load(Ordering::Relaxed), elapsed)
+    (total, max_outcome.load(Ordering::Relaxed), elapsed, join)
+}
+
+/// Distinct trace ids in wire form as a JSON array, capped at `cap`
+/// entries so `BENCH_chaos.json` stays a reasonable size; returns the
+/// full distinct count alongside the (possibly truncated) array.
+fn trace_set_json(ids: &[u128], cap: usize) -> (usize, String) {
+    let set: HashSet<u128> = ids.iter().copied().collect();
+    let mut sorted: Vec<u128> = set.into_iter().collect();
+    sorted.sort_unstable();
+    let distinct = sorted.len();
+    sorted.truncate(cap);
+    let body = sorted
+        .iter()
+        .map(|t| format!("\"{t:032x}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    (distinct, format!("[{body}]"))
 }
 
 fn tally_json(t: &mut Tally, elapsed_s: f64) -> String {
@@ -592,9 +721,14 @@ fn main() {
     let report = handle.shutdown();
 
     eprintln!("chaos_serve: shed-under-overload, shedding OFF ({shed_secs}s)…");
-    let (mut shed_off, off_max_us, off_s) = shed_run(false, workers, shed_secs);
+    let (mut shed_off, off_max_us, off_s, _) = shed_run(false, workers, shed_secs);
     eprintln!("chaos_serve: shed-under-overload, shedding ON ({shed_secs}s)…");
-    let (mut shed_on, on_max_us, on_s) = shed_run(true, workers, shed_secs);
+    let (mut shed_on, on_max_us, on_s, on_join) = shed_run(true, workers, shed_secs);
+    let on_join = on_join.unwrap_or(DebugJoin {
+        shed_distinct: 0,
+        retrieved: 0,
+        missing: 0,
+    });
 
     // ---- Gate verdicts -------------------------------------------------
     let mut failures: Vec<String> = Vec::new();
@@ -632,9 +766,21 @@ fn main() {
             "with shedding ON, worst time-to-outcome {on_max_us}us exceeds 1.5s"
         ));
     }
+    if on_join.shed_distinct == 0 {
+        failures.push("shedding ON produced no trace-tagged shed responses to join".to_string());
+    }
+    if on_join.missing != 0 {
+        failures.push(format!(
+            "{} of {} shed trace ids not retrievable from /debug/trace",
+            on_join.missing, on_join.shed_distinct
+        ));
+    }
 
+    let (chaos_ok_distinct, chaos_ok_ids) = trace_set_json(&chaos.ok_traces, 4096);
+    let (chaos_shed_distinct, chaos_shed_ids) = trace_set_json(&chaos.shed_traces, 4096);
+    let (on_shed_distinct, on_shed_ids) = trace_set_json(&shed_on.shed_traces, 4096);
     let json = format!(
-        "{{\n  \"seed\": {seed},\n  \"workers\": {workers},\n  \"baseline\": {},\n  \"chaos\": {},\n  \"chaos_slowloris_attempts\": {slow_attempts},\n  \"chaos_malicious_attempts\": {bad_attempts},\n  \"recovery\": {},\n  \"drain\": {{\"drained\": {}, \"aborted\": {}}},\n  \"shed_overload\": {{\n    \"before\": {},\n    \"before_max_outcome_us\": {off_max_us},\n    \"after\": {},\n    \"after_max_outcome_us\": {on_max_us}\n  }},\n  \"panics\": {panics},\n  \"gate_failures\": [{}]\n}}\n",
+        "{{\n  \"seed\": {seed},\n  \"workers\": {workers},\n  \"baseline\": {},\n  \"chaos\": {},\n  \"chaos_slowloris_attempts\": {slow_attempts},\n  \"chaos_malicious_attempts\": {bad_attempts},\n  \"recovery\": {},\n  \"drain\": {{\"drained\": {}, \"aborted\": {}}},\n  \"shed_overload\": {{\n    \"before\": {},\n    \"before_max_outcome_us\": {off_max_us},\n    \"after\": {},\n    \"after_max_outcome_us\": {on_max_us},\n    \"debug_trace_join\": {{\"shed_distinct\": {}, \"retrieved\": {}, \"missing\": {}}}\n  }},\n  \"trace_ids\": {{\n    \"recorded_cap\": 4096,\n    \"chaos_ok_distinct\": {chaos_ok_distinct},\n    \"chaos_ok\": {chaos_ok_ids},\n    \"chaos_shed_distinct\": {chaos_shed_distinct},\n    \"chaos_shed\": {chaos_shed_ids},\n    \"shed_on_distinct\": {on_shed_distinct},\n    \"shed_on_shed\": {on_shed_ids}\n  }},\n  \"panics\": {panics},\n  \"gate_failures\": [{}]\n}}\n",
         tally_json(&mut baseline, baseline_s),
         tally_json(&mut chaos, chaos_secs as f64),
         tally_json(&mut recovery, recovery_s),
@@ -642,6 +788,9 @@ fn main() {
         report.aborted,
         tally_json(&mut shed_off, off_s),
         tally_json(&mut shed_on, on_s),
+        on_join.shed_distinct,
+        on_join.retrieved,
+        on_join.missing,
         failures
             .iter()
             .map(|f| format!("\"{}\"", f.replace('"', "'")))
@@ -658,9 +807,12 @@ fn main() {
     eprintln!(
         "chaos_serve: baseline {baseline_rps:.0} rps p99 {baseline_p99}us | chaos ok {} shed {} \
          p99 {chaos_p99}us | recovery {recovery_rps:.0} rps p99 {recovery_p99}us | \
-         shed max-outcome before {off_max_us}us after {on_max_us}us",
+         shed max-outcome before {off_max_us}us after {on_max_us}us | debug-trace join \
+         {}/{} shed ids retrieved",
         chaos.ok,
         chaos.shed_503 + chaos.shed_504,
+        on_join.retrieved,
+        on_join.shed_distinct,
     );
     if failures.is_empty() {
         eprintln!("chaos_serve: GATE PASS");

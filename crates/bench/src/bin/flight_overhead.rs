@@ -1,0 +1,131 @@
+//! Flight-recorder steady-state overhead gate.
+//!
+//! The flight recorder is always on in the server — every span and event
+//! carrying a trace id is pushed into its fixed ring. This gate holds that
+//! to the observability budget (the same < 2% contract `obs_overhead`
+//! enforces for the disabled path):
+//!
+//! 1. Measure the real per-record ring-push cost in a tight loop against a
+//!    recorder of the server's default geometry.
+//! 2. Measure the skip path (records with no trace id, i.e. everything
+//!    the offline pipeline emits) the same way.
+//! 3. Start an in-process server, drive traced scoring requests over
+//!    loopback, and read the actual ring-write count from the handle.
+//! 4. Estimate the recorder's share of the serving wall time as
+//!    `ring writes × per-record cost` and fail (exit 1) above
+//!    `--max-overhead` (default 0.02). The deterministic estimate avoids
+//!    the noise of differencing two live wall-clock runs.
+//!
+//! Usage: `flight_overhead [--requests 4000] [--max-overhead 0.02]`
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use microbrowse_bench::Args;
+use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
+use microbrowse_core::features::OwnedTermFeat;
+use microbrowse_core::serve::{DeployedModel, Fidelity, ServingBundle};
+use microbrowse_obs::flight::{FlightConfig, FlightRecorder};
+use microbrowse_obs::json::JsonObject;
+use microbrowse_obs::trace::{SpanRecord, TraceSink};
+use microbrowse_server::client::Client;
+use microbrowse_server::{start, BundleSource, ServerConfig};
+use microbrowse_store::StatsDb;
+
+fn bundle() -> BundleSource {
+    let model = DeployedModel {
+        spec: ModelSpec::m1(),
+        classifier: TrainedClassifier::Flat(microbrowse_ml::LogReg::from_parts(vec![1.0], 0.0)),
+        vocab: vec![OwnedTermFeat::Term("cheap".into())],
+    };
+    BundleSource::Static(Arc::new(
+        ServingBundle::from_parts(model, StatsDb::new(), Fidelity::Full).expect("bundle"),
+    ))
+}
+
+fn sample_span(trace: u128) -> SpanRecord {
+    SpanRecord {
+        id: 7,
+        parent: 3,
+        trace,
+        name: "serve.request",
+        thread: 1,
+        start_us: 123,
+        dur_us: 456,
+        fields: vec![("endpoint", "score".into()), ("status", 200u64.into())],
+    }
+}
+
+/// ns per `on_span` delivery for records carrying `trace`.
+fn per_record_ns(recorder: &FlightRecorder, trace: u128, iters: u64) -> f64 {
+    let span = sample_span(trace);
+    let t = Instant::now();
+    for _ in 0..iters {
+        recorder.on_span(black_box(&span));
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let requests: usize = args.get("requests", 4000);
+    let max_overhead: f64 = args.get("max-overhead", 0.02);
+
+    const ITERS: u64 = 1_000_000;
+    let recorder = FlightRecorder::new(FlightConfig::default());
+    let push_ns = per_record_ns(&recorder, 0xabc, ITERS);
+    let skip_ns = per_record_ns(&recorder, 0, ITERS);
+
+    let handle = start(ServerConfig::default(), bundle()).expect("start server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let body = r#"{"r":"cheap flights|book now","s":"flights|book"}"#;
+    let t = Instant::now();
+    for i in 0..requests {
+        let trace = format!("{:032x}", (i as u128) + 1);
+        let resp = client
+            .request_tagged("POST", "/v1/score", &[("x-mb-trace-id", trace)], Some(body))
+            .expect("score request");
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    let (ring_writes, retained, evicted) = handle.flight_stats();
+    handle.shutdown();
+    assert!(
+        ring_writes > 0,
+        "traced serving must write flight-ring records"
+    );
+
+    let overhead_s = ring_writes as f64 * push_ns * 1e-9;
+    let fraction = overhead_s / wall_s;
+    let pass = fraction <= max_overhead;
+    println!(
+        "{}",
+        JsonObject::new()
+            .u64("requests", requests as u64)
+            .f64("per_record_push_ns", push_ns)
+            .f64("per_record_skip_ns", skip_ns)
+            .u64("ring_writes", ring_writes)
+            .u64("retained_traces", retained as u64)
+            .u64("retained_evicted", evicted)
+            .f64("wall_s", wall_s)
+            .f64("estimated_overhead_s", overhead_s)
+            .f64("overhead_fraction", fraction)
+            .f64("max_overhead", max_overhead)
+            .bool("pass", pass)
+            .finish()
+    );
+    if !pass {
+        eprintln!(
+            "FAIL: flight-recorder overhead {:.3}% exceeds the {:.1}% gate",
+            fraction * 100.0,
+            max_overhead * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "ok: {ring_writes} ring writes × {push_ns:.1} ns ≈ {overhead_s:.4}s over {wall_s:.2}s wall \
+         ({:.4}%); traceless skip path {skip_ns:.1} ns/record",
+        fraction * 100.0
+    );
+}

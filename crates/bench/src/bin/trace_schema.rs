@@ -1,0 +1,116 @@
+//! Trace-schema gate: every line a `--trace-json` run emits must parse
+//! through the strict `microbrowse-obs` JSON reader and carry the span or
+//! event shape the tooling scripts against — ids, names, timing fields,
+//! and (when present) a well-formed nonzero `trace` id in the
+//! `X-Mb-Trace-Id` wire form.
+//!
+//! Exits 1 naming the first offending line. Intended to run in `check.sh`
+//! against a freshly produced JSONL file.
+//!
+//! Usage: `trace_schema --file /tmp/trace.jsonl [--require-traced 1]`
+
+use microbrowse_bench::Args;
+use microbrowse_obs::json::{Json, JsonObject};
+use microbrowse_obs::trace::parse_trace_id;
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    let n = v.get(key)?.as_f64()?;
+    (n.is_finite() && n >= 0.0 && n.fract() == 0.0).then_some(n as u64)
+}
+
+fn check_common(v: &Json) -> Result<bool, String> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing/invalid name")?;
+    if name.is_empty() {
+        return Err("empty name".to_owned());
+    }
+    get_u64(v, "thread").ok_or("missing/invalid thread")?;
+    if !matches!(v.get("fields"), Some(Json::Obj(_))) {
+        return Err("missing/invalid fields object".to_owned());
+    }
+    match v.get("trace") {
+        None => Ok(false),
+        Some(t) => {
+            let s = t.as_str().ok_or("trace is not a string")?;
+            if s.len() != 32 || parse_trace_id(s).is_none() {
+                return Err(format!("malformed trace id {s:?}"));
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Validate one JSONL line; returns whether it carried a trace id.
+fn check_line(line: &str) -> Result<bool, String> {
+    let v = Json::parse(line).map_err(|pos| format!("JSON syntax error at byte {pos}"))?;
+    match v.get("type").and_then(Json::as_str) {
+        Some("span") => {
+            let id = get_u64(&v, "id").ok_or("missing/invalid id")?;
+            if id == 0 {
+                return Err("span id 0 is reserved".to_owned());
+            }
+            get_u64(&v, "parent").ok_or("missing/invalid parent")?;
+            get_u64(&v, "start_us").ok_or("missing/invalid start_us")?;
+            get_u64(&v, "dur_us").ok_or("missing/invalid dur_us")?;
+            check_common(&v)
+        }
+        Some("event") => {
+            get_u64(&v, "span").ok_or("missing/invalid span")?;
+            get_u64(&v, "at_us").ok_or("missing/invalid at_us")?;
+            check_common(&v)
+        }
+        other => Err(format!("unknown record type {other:?}")),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let file: String = args.get("file", String::new());
+    let require_traced: u64 = args.get("require-traced", 0);
+    if file.is_empty() {
+        eprintln!("usage: trace_schema --file FILE [--require-traced 1]");
+        std::process::exit(2);
+    }
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (mut lines, mut traced) = (0u64, 0u64);
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        match check_line(line) {
+            Ok(true) => traced += 1,
+            Ok(false) => {}
+            Err(why) => {
+                eprintln!("FAIL: {file}:{}: {why}: {line}", i + 1);
+                std::process::exit(1);
+            }
+        }
+    }
+    if lines == 0 {
+        eprintln!("FAIL: {file} holds no trace records");
+        std::process::exit(1);
+    }
+    if require_traced > 0 && traced < require_traced {
+        eprintln!("FAIL: only {traced} record(s) carry a trace id (need {require_traced})");
+        std::process::exit(1);
+    }
+    println!(
+        "{}",
+        JsonObject::new()
+            .str("file", &file)
+            .u64("lines", lines)
+            .u64("traced", traced)
+            .bool("pass", true)
+            .finish()
+    );
+    eprintln!("ok: {lines} record(s) validate against the trace schema ({traced} traced)");
+}

@@ -84,6 +84,14 @@ fn main() -> ExitCode {
         },
         None => false,
     };
+    // One command = one trace: give the whole run a root trace id so the
+    // JSONL joins the same tooling as served requests (trace_schema,
+    // post-hoc trace-id joins). Served requests still enter their own
+    // per-request wire contexts underneath.
+    let _root_trace = tracing.then(|| {
+        microbrowse_obs::trace::TraceContext::for_trace(microbrowse_obs::trace::new_trace_id())
+            .enter()
+    });
     let result = match command.as_str() {
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
@@ -132,10 +140,15 @@ const USAGE: &str = "usage:
                        (score a held-out corpus, dump Prometheus-style metrics)
   microbrowse serve    --slot-dir DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
                        [--max-batch N] [--max-conns N] [--request-deadline-ms MS]
+                       [--flight-recorder-slow-ms MS] [--access-log]
                        (HTTP scoring server: POST /v1/score /v1/rank /v1/batch,
-                        GET /healthz /metrics /version; hot-reloads new slot
-                        generations; graceful drain on stdin EOF; sheds
-                        expired work under overload — see X-Mb-Deadline-Ms)
+                        GET /healthz /metrics /version /debug/trace
+                        /debug/requests; hot-reloads new slot generations;
+                        graceful drain on stdin EOF; sheds expired work under
+                        overload — see X-Mb-Deadline-Ms. Requests may carry
+                        X-Mb-Trace-Id/X-Mb-Parent-Span/X-Mb-Sampled; every
+                        response echoes X-Mb-Trace-Id, and anomalous traces
+                        land in GET /debug/trace)
 
   Every subcommand accepts --trace-json FILE: write structured span/event
   records as JSON lines (one object per line) while the command runs.
@@ -246,7 +259,7 @@ const COMMON_FLAG_NAMES: &[&str] = &["model", "stats", "slot-dir", "policy", "tr
 
 /// Flags that take no value: bare presence means true (a trailing literal
 /// `true`/`false` is still accepted for compatibility).
-const BOOLEAN_FLAG_NAMES: &[&str] = &["json"];
+const BOOLEAN_FLAG_NAMES: &[&str] = &["json", "access-log"];
 
 /// Flags every artifact-consuming subcommand shares. `--slot-dir DIR` is
 /// shorthand for `--model DIR --stats DIR` (the generation-slot layout the
@@ -302,6 +315,8 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "max-batch",
             "max-conns",
             "request-deadline-ms",
+            "flight-recorder-slow-ms",
+            "access-log",
         ]),
         _ => None,
     }
@@ -920,6 +935,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
         policy: common.policy,
     };
     let request_deadline_ms: u64 = flags.parse_or("request-deadline-ms", 0)?;
+    let flight_slow_ms: u64 = flags.parse_or("flight-recorder-slow-ms", 500)?;
     let cfg = ServerConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:8660").to_string(),
         workers: flags.parse_or("workers", 4)?,
@@ -929,6 +945,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
         max_conns: flags.parse_or("max-conns", 1024)?,
         request_deadline: (request_deadline_ms > 0)
             .then(|| std::time::Duration::from_millis(request_deadline_ms)),
+        flight_slow: std::time::Duration::from_millis(flight_slow_ms),
+        access_log_stderr: flags.get("access-log") == Some("true"),
         ..ServerConfig::default()
     };
     if cfg.workers == 0 || cfg.queue_depth == 0 || cfg.max_batch == 0 {

@@ -12,6 +12,10 @@
 //!   Prometheus exposition style. Metric mutation is a relaxed atomic
 //!   RMW, so worker threads of `microbrowse-par` scoped pools aggregate
 //!   into the same instrument without locks or post-hoc merging.
+//! * [`flight`] — an always-on in-memory flight recorder: a fixed-size
+//!   ring of recent trace-tagged records with tail sampling (anomalous
+//!   requests are promoted to a retained buffer after the fact), serving
+//!   the HTTP `/debug/trace` endpoint without a file sink.
 //! * [`json`] — the tiny JSON writer backing the JSONL sink and the CLI's
 //!   machine-readable outputs.
 //!
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;

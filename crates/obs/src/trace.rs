@@ -11,8 +11,14 @@
 //! Parentage is tracked per thread. To keep spans nested across the scoped
 //! thread pools of `microbrowse-par`, capture [`current_context`] before
 //! spawning and [`TraceContext::enter`] inside each worker.
+//!
+//! A [`TraceContext`] also carries a 128-bit **trace id** and a sampling
+//! flag. The trace id groups every span and event recorded on behalf of one
+//! logical request, across threads and (via the `X-Mb-Trace-Id` wire
+//! header) across processes; the sampling flag asks downstream tail
+//! samplers to retain the trace even when nothing anomalous happened.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
@@ -90,6 +96,8 @@ pub struct SpanRecord {
     pub id: u64,
     /// Id of the enclosing span, or 0 for a root span.
     pub parent: u64,
+    /// 128-bit trace id active when the span opened (0 = no trace).
+    pub trace: u128,
     /// Span name (stage taxonomy, e.g. `"pipeline.stats"`).
     pub name: &'static str,
     /// Small per-process id of the recording thread.
@@ -107,6 +115,8 @@ pub struct SpanRecord {
 pub struct EventRecord {
     /// Id of the innermost open span on the emitting thread (0 = none).
     pub span: u64,
+    /// 128-bit trace id active when the event fired (0 = no trace).
+    pub trace: u128,
     /// Event name (e.g. `"serve.rollback"`).
     pub name: &'static str,
     /// Small per-process id of the recording thread.
@@ -135,6 +145,59 @@ static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    // (trace id, sampled) for the request the thread is currently serving.
+    static CURRENT_TRACE: Cell<(u128, bool)> = const { Cell::new((0, false)) };
+}
+
+/// Allocate a fresh, effectively-unique 128-bit trace id. Uniqueness comes
+/// from mixing wall-clock nanoseconds, a process-global counter, the pid,
+/// and the calling thread id through a SplitMix64 finalizer — good enough
+/// for correlating requests, with zero external dependencies.
+pub fn new_trace_id() -> u128 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    static CTR: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let salt = CTR.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    let hi = mix(nanos ^ salt);
+    let lo =
+        mix(hi
+            ^ mix(thread_id().wrapping_mul(0x2545_f491_4f6c_dd1d) ^ u64::from(std::process::id())));
+    let id = (u128::from(hi) << 64) | u128::from(lo);
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Render a trace id as the 32-character lowercase hex form used on the
+/// wire (`X-Mb-Trace-Id`) and in JSON dumps.
+pub fn format_trace_id(id: u128) -> String {
+    format!("{id:032x}")
+}
+
+/// Parse a wire trace id: 1–32 hex digits, case-insensitive. Returns
+/// `None` for malformed input or the reserved all-zero id.
+pub fn parse_trace_id(s: &str) -> Option<u128> {
+    let s = s.trim();
+    if s.is_empty() || s.len() > 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    match u128::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+/// The trace id active on the calling thread (0 when none is entered).
+pub fn current_trace_id() -> u128 {
+    CURRENT_TRACE.with(|t| t.get().0)
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -173,6 +236,12 @@ pub fn clear_sink() {
     *SINK.write().unwrap_or_else(PoisonError::into_inner) = None;
 }
 
+/// The currently installed sink, if any. Lets callers wrap it in a
+/// [`TeeSink`] instead of silently replacing it.
+pub fn installed_sink() -> Option<Arc<dyn TraceSink>> {
+    SINK.read().unwrap_or_else(PoisonError::into_inner).clone()
+}
+
 /// Flush the installed sink, if any.
 pub fn flush() {
     with_sink(|sink| sink.flush());
@@ -181,6 +250,7 @@ pub fn flush() {
 struct SpanInner {
     id: u64,
     parent: u64,
+    trace: u128,
     name: &'static str,
     start: Instant,
     start_us: u64,
@@ -210,6 +280,7 @@ pub fn span(name: &'static str) -> Span {
         inner: Some(SpanInner {
             id,
             parent,
+            trace: CURRENT_TRACE.with(|t| t.get().0),
             name,
             start: Instant::now(),
             start_us: micros_since_epoch(),
@@ -256,6 +327,7 @@ impl Drop for Span {
         let record = SpanRecord {
             id: inner.id,
             parent: inner.parent,
+            trace: inner.trace,
             name: inner.name,
             thread: thread_id(),
             start_us: inner.start_us,
@@ -300,6 +372,7 @@ impl Drop for EventBuilder {
         };
         let record = EventRecord {
             span: SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0)),
+            trace: CURRENT_TRACE.with(|t| t.get().0),
             name,
             thread: thread_id(),
             at_us: micros_since_epoch(),
@@ -309,40 +382,96 @@ impl Drop for EventBuilder {
     }
 }
 
-/// A captured span context: the innermost span id of the capturing thread,
-/// for re-rooting spans recorded on worker threads.
+/// A captured span context: the innermost span id of the capturing thread
+/// plus the active 128-bit trace id and sampling flag, for re-rooting
+/// spans recorded on worker threads (or stitching a request that crossed a
+/// process boundary via the `X-Mb-Trace-Id` / `X-Mb-Parent-Span` headers).
 #[derive(Debug, Clone, Copy)]
 pub struct TraceContext {
     parent: u64,
+    trace: u128,
+    sampled: bool,
 }
 
 /// Capture the calling thread's innermost open span (0 when none or when
-/// instrumentation is disabled).
+/// instrumentation is disabled) together with its trace id and sampling
+/// flag.
 pub fn current_context() -> TraceContext {
     if !crate::enabled() {
-        return TraceContext { parent: 0 };
+        return TraceContext {
+            parent: 0,
+            trace: 0,
+            sampled: false,
+        };
     }
+    let (trace, sampled) = CURRENT_TRACE.with(Cell::get);
     TraceContext {
         parent: SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0)),
+        trace,
+        sampled,
     }
 }
 
 impl TraceContext {
+    /// A context rooting a fresh local trace: no parent span, the given
+    /// trace id, sampling off.
+    pub fn for_trace(trace: u128) -> Self {
+        TraceContext {
+            parent: 0,
+            trace,
+            sampled: false,
+        }
+    }
+
+    /// A context reconstructed from wire headers: a remote parent span id
+    /// (0 = none), a propagated trace id, and the caller's sampling flag.
+    pub fn from_wire(trace: u128, parent: u64, sampled: bool) -> Self {
+        TraceContext {
+            parent,
+            trace,
+            sampled,
+        }
+    }
+
+    /// The captured parent span id (0 = none).
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+
+    /// The captured trace id (0 = none).
+    pub fn trace_id(&self) -> u128 {
+        self.trace
+    }
+
+    /// Whether the trace asked to be retained regardless of anomalies.
+    pub fn sampled(&self) -> bool {
+        self.sampled
+    }
+
     /// Make this context the parent of spans recorded on the current
-    /// thread until the returned guard drops. A context with no span (or
-    /// captured while disabled) yields an inert guard.
+    /// thread (and its trace id the thread's active trace) until the
+    /// returned guard drops. An empty context, or one entered while
+    /// instrumentation is disabled, yields an inert guard.
     pub fn enter(self) -> ContextGuard {
-        if self.parent == 0 || !crate::enabled() {
-            return ContextGuard { pushed: false };
+        if (self.parent == 0 && self.trace == 0) || !crate::enabled() {
+            return ContextGuard {
+                pushed: false,
+                prev_trace: None,
+            };
         }
         SPAN_STACK.with(|s| s.borrow_mut().push(self.parent));
-        ContextGuard { pushed: true }
+        let prev = CURRENT_TRACE.with(|t| t.replace((self.trace, self.sampled)));
+        ContextGuard {
+            pushed: true,
+            prev_trace: Some(prev),
+        }
     }
 }
 
-/// Guard restoring the thread's span parentage on drop.
+/// Guard restoring the thread's span parentage and trace id on drop.
 pub struct ContextGuard {
     pushed: bool,
+    prev_trace: Option<(u128, bool)>,
 }
 
 impl Drop for ContextGuard {
@@ -351,6 +480,9 @@ impl Drop for ContextGuard {
             SPAN_STACK.with(|s| {
                 s.borrow_mut().pop();
             });
+        }
+        if let Some(prev) = self.prev_trace.take() {
+            CURRENT_TRACE.with(|t| t.set(prev));
         }
     }
 }
@@ -362,6 +494,40 @@ pub struct NullSink;
 impl TraceSink for NullSink {
     fn on_span(&self, _span: &SpanRecord) {}
     fn on_event(&self, _event: &EventRecord) {}
+}
+
+/// Fan-out sink: delivers every record to each of its children in order.
+/// Used to run the always-on flight recorder alongside an optional file
+/// sink without widening the single process-wide sink slot.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// A tee over the given children (delivery order = vec order).
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn on_span(&self, span: &SpanRecord) {
+        for sink in &self.sinks {
+            sink.on_span(span);
+        }
+    }
+
+    fn on_event(&self, event: &EventRecord) {
+        for sink in &self.sinks {
+            sink.on_event(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
 }
 
 /// In-memory sink for tests: captures every record for later assertions.
@@ -444,10 +610,19 @@ impl JsonlSink {
         self.write_errors.load(Ordering::Relaxed)
     }
 
+    fn note_write_error(&self) {
+        self.write_errors.fetch_add(1, Ordering::Relaxed);
+        crate::counter!("microbrowse_trace_write_errors_total").inc();
+        static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+        if !WARNED.swap(true, Ordering::Relaxed) {
+            eprintln!("warning: trace JSONL write failed; further losses counted in microbrowse_trace_write_errors_total");
+        }
+    }
+
     fn write_line(&self, line: &str) {
         let mut out = lock(&self.out);
         if writeln!(out, "{line}").is_err() {
-            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            self.note_write_error();
         }
     }
 }
@@ -462,10 +637,14 @@ fn fields_json(fields: &[(&'static str, Value)]) -> String {
 
 impl TraceSink for JsonlSink {
     fn on_span(&self, span: &SpanRecord) {
-        let line = JsonObject::new()
+        let mut obj = JsonObject::new()
             .str("type", "span")
             .u64("id", span.id)
-            .u64("parent", span.parent)
+            .u64("parent", span.parent);
+        if span.trace != 0 {
+            obj = obj.str("trace", &format_trace_id(span.trace));
+        }
+        let line = obj
             .str("name", span.name)
             .u64("thread", span.thread)
             .u64("start_us", span.start_us)
@@ -476,10 +655,14 @@ impl TraceSink for JsonlSink {
     }
 
     fn on_event(&self, event: &EventRecord) {
-        let line = JsonObject::new()
+        let mut obj = JsonObject::new()
             .str("type", "event")
             .str("name", event.name)
-            .u64("span", event.span)
+            .u64("span", event.span);
+        if event.trace != 0 {
+            obj = obj.str("trace", &format_trace_id(event.trace));
+        }
+        let line = obj
             .u64("thread", event.thread)
             .u64("at_us", event.at_us)
             .raw("fields", &fields_json(&event.fields))
@@ -490,7 +673,7 @@ impl TraceSink for JsonlSink {
     fn flush(&self) {
         let mut out = lock(&self.out);
         if out.flush().is_err() {
-            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            self.note_write_error();
         }
     }
 }
@@ -604,6 +787,10 @@ pub(crate) mod tests {
                 let _s = span("stage").with("pairs", 12u64).with("label", "a\"b");
                 event("tick").with("x", 1.5f64);
             }
+            {
+                let _ctx = TraceContext::for_trace(0xabc).enter();
+                let _s = span("traced.stage");
+            }
             crate::set_enabled(false);
             clear_sink();
             sink.flush();
@@ -611,16 +798,90 @@ pub(crate) mod tests {
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("{\"type\":\"event\""), "{}", lines[0]);
         assert!(lines[1].starts_with("{\"type\":\"span\""), "{}", lines[1]);
         assert!(lines[1].contains("\"name\":\"stage\""));
         assert!(lines[1].contains("\"pairs\":12"));
         assert!(lines[1].contains("a\\\"b"));
+        assert!(
+            !lines[1].contains("\"trace\""),
+            "traceless records omit the trace field: {}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("\"trace\":\"00000000000000000000000000000abc\""),
+            "{}",
+            lines[2]
+        );
         for line in lines {
             crate::json::assert_parses(line);
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_id_wire_format_round_trips() {
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("0"), None, "all-zero id is reserved");
+        assert_eq!(parse_trace_id("not-hex"), None);
+        assert_eq!(parse_trace_id(&"f".repeat(33)), None);
+        assert_eq!(parse_trace_id("ABC"), Some(0xabc), "case-insensitive");
+        let id = new_trace_id();
+        assert_ne!(id, 0);
+        assert_ne!(new_trace_id(), id);
+        let wire = format_trace_id(id);
+        assert_eq!(wire.len(), 32);
+        assert_eq!(parse_trace_id(&wire), Some(id));
+    }
+
+    #[test]
+    fn context_carries_trace_id_across_threads() {
+        let _x = exclusive();
+        with_memory_sink(|sink| {
+            let trace = 0xabcu128;
+            let guard = TraceContext::from_wire(trace, 0, true).enter();
+            let root = span("req");
+            let root_id = root.id();
+            let ctx = current_context();
+            assert_eq!(ctx.trace_id(), trace);
+            assert!(ctx.sampled());
+            assert_eq!(ctx.parent(), root_id);
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    let _g = ctx.enter();
+                    let _child = span("worker");
+                    event("tick");
+                });
+            });
+            drop(root);
+            drop(guard);
+            assert_eq!(current_trace_id(), 0, "guard restores previous trace");
+            for recorded in sink.spans() {
+                assert_eq!(recorded.trace, trace);
+            }
+            assert_eq!(sink.events()[0].trace, trace);
+            assert_eq!(sink.spans_named("worker")[0].parent, root_id);
+        });
+    }
+
+    #[test]
+    fn tee_sink_delivers_to_all_children() {
+        let _x = exclusive();
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        install_sink(Arc::new(TeeSink::new(vec![a.clone(), b.clone()])));
+        crate::set_enabled(true);
+        {
+            let _s = span("both");
+            event("twice");
+        }
+        crate::set_enabled(false);
+        clear_sink();
+        assert_eq!(a.spans_named("both").len(), 1);
+        assert_eq!(b.spans_named("both").len(), 1);
+        assert_eq!(a.events_named("twice").len(), 1);
+        assert_eq!(b.events_named("twice").len(), 1);
     }
 
     #[test]

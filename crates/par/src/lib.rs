@@ -207,10 +207,20 @@ mod tests {
         assert!(resolve_threads(0) >= 1);
     }
 
-    // Sole test in this binary touching the process-global obs state.
+    // Tests below touch the process-global obs state (sink + enabled
+    // flag) and must not interleave: each takes this lock first.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn obs_exclusive() -> std::sync::MutexGuard<'static, ()> {
+        OBS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn trace_context_flows_into_workers() {
         use microbrowse_obs::trace;
+        let _x = obs_exclusive();
         let sink = std::sync::Arc::new(trace::MemorySink::new());
         trace::install_sink(sink.clone());
         microbrowse_obs::set_enabled(true);
@@ -236,5 +246,69 @@ mod tests {
         let chunk_spans = sink.spans_named("par.chunk");
         assert!(!chunk_spans.is_empty());
         assert!(chunk_spans.iter().all(|s| s.parent == root_id));
+    }
+
+    /// Run the nested handoff a server worker performs: a spawned thread
+    /// adopts a wire trace context (trace id + remote parent span), opens
+    /// its own request span, and fans work out through a scoped par pool.
+    /// Returns (request span id, item span ids' parents checked) via
+    /// assertions against the captured sink.
+    fn nested_handoff(trace_id: u128, remote_parent: u64, items: usize, threads: usize) {
+        use microbrowse_obs::trace;
+        let sink = std::sync::Arc::new(trace::MemorySink::new());
+        trace::install_sink(sink.clone());
+        microbrowse_obs::set_enabled(true);
+        let data: Vec<u64> = (0..items as u64).collect();
+        // The "server worker": a separate thread, as in the real pool.
+        let request_id = std::thread::spawn(move || {
+            let _ctx = trace::TraceContext::from_wire(trace_id, remote_parent, false).enter();
+            let request = trace::span("test.request");
+            let id = request.id();
+            let out = par_map(&data, threads, |_, &x| {
+                let _s = trace::span("test.item");
+                x
+            });
+            assert_eq!(out.len(), data.len());
+            id
+        })
+        .join()
+        .expect("worker thread");
+        microbrowse_obs::set_enabled(false);
+        trace::clear_sink();
+
+        let request_spans = sink.spans_named("test.request");
+        assert_eq!(request_spans.len(), 1);
+        assert_eq!(request_spans[0].parent, remote_parent);
+        assert_eq!(request_spans[0].trace, trace_id);
+        let item_spans = sink.spans_named("test.item");
+        assert_eq!(item_spans.len(), items);
+        for s in &item_spans {
+            assert_eq!(s.parent, request_id, "item span nests under request");
+            assert_eq!(s.trace, trace_id, "one trace id across both pools");
+            assert_ne!(s.id, request_id, "child spans get their own ids");
+        }
+    }
+
+    #[test]
+    fn nested_pools_share_one_trace_id() {
+        let _x = obs_exclusive();
+        nested_handoff(0xfeed_beef, 77, 32, 4);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        /// The handoff invariants hold at any pool size, including the
+        /// serial fast path (threads <= 1) that never spawns.
+        #[test]
+        fn nested_handoff_holds_for_any_pool_size(
+            threads in 1usize..9,
+            items in 1usize..40,
+            trace_lo in 1u64..u64::MAX,
+            trace_hi in 0u64..u64::MAX,
+        ) {
+            let _x = obs_exclusive();
+            let trace = (u128::from(trace_hi) << 64) | u128::from(trace_lo);
+            nested_handoff(trace, 5, items, threads);
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! Recent-request access log: a bounded in-memory ring powering
+//! `GET /debug/requests`, plus optional one-line-per-request stderr
+//! logging (`--access-log`).
+//!
+//! Every served request — including sheds that never reached a worker —
+//! pushes one [`AccessRecord`] carrying the method, path, status, trace
+//! id, and the per-stage budget breakdown (queue / parse / score / write,
+//! microseconds). The ring is a `Mutex<VecDeque>`: pushes are one short
+//! uncontended lock on the worker thread, far from the scoring hot loop.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use microbrowse_obs::trace::format_trace_id;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One completed request, as remembered by the access log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Request method (`"-"` when the request was never parsed).
+    pub method: String,
+    /// Request path, query stripped (`"-"` when never parsed).
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// 128-bit trace id of the request.
+    pub trace: u128,
+    /// Queue wait in microseconds (accept → worker dequeue).
+    pub queue_us: u64,
+    /// Request read + parse in microseconds.
+    pub parse_us: u64,
+    /// Handler / scoring time in microseconds.
+    pub score_us: u64,
+    /// Response write time in microseconds.
+    pub write_us: u64,
+}
+
+impl AccessRecord {
+    /// Total latency: the sum of the stage times.
+    pub fn total_us(&self) -> u64 {
+        self.queue_us
+            .saturating_add(self.parse_us)
+            .saturating_add(self.score_us)
+            .saturating_add(self.write_us)
+    }
+}
+
+/// Bounded ring of recent [`AccessRecord`]s, oldest evicted first.
+pub struct AccessLog {
+    ring: Mutex<VecDeque<AccessRecord>>,
+    cap: usize,
+    stderr: bool,
+}
+
+impl AccessLog {
+    /// A ring holding at most `cap` records (clamped to at least 1).
+    /// When `stderr` is set, every push also writes one log line.
+    pub fn new(cap: usize, stderr: bool) -> Self {
+        Self {
+            ring: Mutex::new(VecDeque::new()),
+            cap: cap.max(1),
+            stderr,
+        }
+    }
+
+    /// Record one completed request.
+    pub fn push(&self, record: AccessRecord) {
+        if self.stderr {
+            eprintln!(
+                "access {} {} {} trace={} total_us={} queue_us={} parse_us={} score_us={} write_us={}",
+                record.method,
+                record.path,
+                record.status,
+                format_trace_id(record.trace),
+                record.total_us(),
+                record.queue_us,
+                record.parse_us,
+                record.score_us,
+                record.write_us,
+            );
+        }
+        let mut ring = lock(&self.ring);
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// The `n` most recent records, newest first.
+    pub fn recent(&self, n: usize) -> Vec<AccessRecord> {
+        lock(&self.ring).iter().rev().take(n).cloned().collect()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        lock(&self.ring).len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.ring).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(status: u16) -> AccessRecord {
+        AccessRecord {
+            method: "POST".to_owned(),
+            path: "/v1/score".to_owned(),
+            status,
+            trace: u128::from(status),
+            queue_us: 1,
+            parse_us: 2,
+            score_us: 3,
+            write_us: 4,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_newest_first() {
+        let log = AccessLog::new(2, false);
+        assert!(log.is_empty());
+        for status in [200u16, 201, 202] {
+            log.push(record(status));
+        }
+        assert_eq!(log.len(), 2);
+        let recent = log.recent(10);
+        assert_eq!(recent[0].status, 202);
+        assert_eq!(recent[1].status, 201);
+        assert_eq!(log.recent(1).len(), 1);
+        assert_eq!(recent[0].total_us(), 10);
+    }
+}

@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 use microbrowse_obs as obs;
 
 use crate::deadline::DEADLINE_HEADER;
+use crate::http::{PARENT_SPAN_HEADER, TRACE_ID_HEADER};
 
 use microbrowse_api::v1::{
     BatchRequest, BatchResponse, ErrorEnvelope, RankRequest, RankResponse, ScoreRequest,
@@ -516,6 +517,7 @@ pub struct ResilientClient {
     io_timeout: Duration,
     conn: Option<Client>,
     rng: u64,
+    last_trace: u128,
 }
 
 impl ResilientClient {
@@ -530,7 +532,14 @@ impl ResilientClient {
             // clients hammering one server do not retry in lockstep.
             rng: 0x9E37_79B9 ^ ((addr.port() as u64) << 17),
             conn: None,
+            last_trace: 0,
         }
+    }
+
+    /// The trace id stamped on the most recent [`call`](Self::call), for
+    /// joining client-side outcomes to the server's `/debug/trace`.
+    pub fn last_trace_id(&self) -> u128 {
+        self.last_trace
     }
 
     /// Replace the retry policy.
@@ -567,6 +576,21 @@ impl ResilientClient {
         budget: Duration,
     ) -> Result<HttpResponse, CallError> {
         let deadline = Instant::now() + budget;
+        // One trace id covers every attempt of this call. Reuse the
+        // caller's trace when one is active (nested instrumentation);
+        // otherwise mint a fresh id — the wire headers go out either way,
+        // even with local instrumentation disabled.
+        let ctx = obs::trace::current_context();
+        let trace = if ctx.trace_id() != 0 {
+            ctx.trace_id()
+        } else {
+            obs::trace::new_trace_id()
+        };
+        self.last_trace = trace;
+        let _trace_guard =
+            (ctx.trace_id() == 0).then(|| obs::trace::TraceContext::for_trace(trace).enter());
+        let mut call_span = obs::trace::span("client.call").with("path", path);
+        let parent_span = call_span.id();
         let mut attempts = 0u32;
         loop {
             if !self.breaker.admit() {
@@ -583,9 +607,11 @@ impl ResilientClient {
             // A failed attempt is either a 5xx response (kept so the
             // caller can see the final envelope) or a retryable IO error.
             let failure: Result<HttpResponse, std::io::Error> =
-                match self.attempt(method, path, body, remaining) {
+                match self.attempt(method, path, body, remaining, trace, parent_span) {
                     Ok(resp) if resp.status < 500 => {
                         self.breaker.record_success();
+                        call_span.add("status", u64::from(resp.status));
+                        call_span.add("attempts", u64::from(attempts));
                         return Ok(resp);
                     }
                     Ok(resp) => {
@@ -612,8 +638,12 @@ impl ResilientClient {
                     }
                 };
             if attempts >= self.policy.max_attempts {
+                call_span.add("attempts", u64::from(attempts));
                 return match failure {
-                    Ok(resp) => Ok(resp),
+                    Ok(resp) => {
+                        call_span.add("status", u64::from(resp.status));
+                        Ok(resp)
+                    }
                     Err(error) => Err(CallError::Transport { attempts, error }),
                 };
             }
@@ -677,13 +707,16 @@ impl ResilientClient {
     }
 
     /// One attempt: (re)connect if needed, clamp IO timeouts to the
-    /// remaining budget, propagate the budget in `X-Mb-Deadline-Ms`.
+    /// remaining budget, propagate the budget in `X-Mb-Deadline-Ms` and
+    /// the trace context in `X-Mb-Trace-Id` / `X-Mb-Parent-Span`.
     fn attempt(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
         remaining: Duration,
+        trace: u128,
+        parent_span: u64,
     ) -> Result<HttpResponse, TransportError> {
         let timeout = self.io_timeout.min(remaining).max(Duration::from_millis(1));
         if self.conn.is_none() {
@@ -710,7 +743,13 @@ impl ResilientClient {
             });
         }
         let deadline_ms = remaining.as_millis().max(1) as u64;
-        let headers = [(DEADLINE_HEADER, deadline_ms.to_string())];
+        let mut headers = vec![
+            (DEADLINE_HEADER, deadline_ms.to_string()),
+            (TRACE_ID_HEADER, obs::trace::format_trace_id(trace)),
+        ];
+        if parent_span != 0 {
+            headers.push((PARENT_SPAN_HEADER, parent_span.to_string()));
+        }
         conn.request_tagged(method, path, &headers, body)
     }
 

@@ -12,6 +12,20 @@
 use std::io::{ErrorKind, Read, Write};
 use std::time::{Duration, Instant};
 
+/// Request/response header carrying the 128-bit trace id (1–32 hex chars;
+/// echoed on every response so callers can join outcomes to
+/// `/debug/trace`). Lowercase because the parser lowercases header names.
+pub const TRACE_ID_HEADER: &str = "x-mb-trace-id";
+/// Request header carrying the caller's innermost span id (decimal u64),
+/// recorded as the parent of the server's `serve.request` span.
+pub const PARENT_SPAN_HEADER: &str = "x-mb-parent-span";
+/// Request header (`1` or `true`) asking the tail sampler to retain the
+/// trace even when nothing anomalous happened.
+pub const SAMPLED_HEADER: &str = "x-mb-sampled";
+/// Request header (any value) opting into an `X-Mb-Server-Timing`
+/// response header with the queue/parse/score stage breakdown.
+pub const SERVER_TIMING_HEADER: &str = "x-mb-server-timing";
+
 /// Parser resource bounds. Defaults are generous for scoring payloads and
 /// small enough that a hostile peer cannot balloon per-connection memory.
 #[derive(Debug, Clone)]
@@ -67,6 +81,15 @@ impl HttpRequest {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// First `?key=value` query parameter with this name, unescaped as-is.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let query = self.target.split_once('?')?.1;
+        query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -405,6 +428,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Optional `Retry-After` seconds (backpressure rejections).
     pub retry_after: Option<u32>,
+    /// Extra response headers (trace id echo, `X-Mb-Server-Timing`).
+    /// Names must be valid header tokens; values must be CRLF-free.
+    pub extra_headers: Vec<(&'static str, String)>,
     /// Whether to answer `Connection: close` and end the session.
     pub close: bool,
 }
@@ -417,6 +443,7 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             retry_after: None,
+            extra_headers: Vec::new(),
             close: false,
         }
     }
@@ -428,6 +455,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into_bytes(),
             retry_after: None,
+            extra_headers: Vec::new(),
             close: false,
         }
     }
@@ -441,6 +469,18 @@ impl Response {
     /// Mark the connection for closing after this response.
     pub fn closing(mut self) -> Self {
         self.close = true;
+        self
+    }
+
+    /// Attach an extra response header. The value is sanitized: CR/LF are
+    /// replaced with spaces so a hostile echo cannot split the response.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        let value = if value.contains(['\r', '\n']) {
+            value.replace(['\r', '\n'], " ")
+        } else {
+            value
+        };
+        self.extra_headers.push((name, value));
         self
     }
 
@@ -459,6 +499,9 @@ impl Response {
         );
         if let Some(secs) = self.retry_after {
             let _ = write!(head, "Retry-After: {secs}\r\n");
+        }
+        for (name, value) in &self.extra_headers {
+            let _ = write!(head, "{name}: {value}\r\n");
         }
         head.push_str("\r\n");
         w.write_all(head.as_bytes())?;
@@ -716,5 +759,39 @@ mod tests {
         );
         assert!(error_response(&HttpError::Timeout { mid_request: false }).is_none());
         assert!(error_response(&HttpError::Io(std::io::Error::other("x"))).is_none());
+    }
+
+    #[test]
+    fn query_params_parse_without_touching_path() {
+        let req = read_all(b"GET /debug/trace?last=5&raw HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path(), "/debug/trace");
+        assert_eq!(req.query_param("last"), Some("5"));
+        assert_eq!(req.query_param("raw"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        let bare = read_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(bare.query_param("last"), None);
+    }
+
+    #[test]
+    fn extra_headers_are_written_and_sanitized() {
+        let resp = Response::json(200, "{}".to_owned())
+            .with_header("X-Mb-Trace-Id", "abc123".to_owned())
+            .with_header("X-Mb-Server-Timing", "evil\r\nInjected: 1".to_owned());
+        let mut out = Vec::new();
+        resp.write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Mb-Trace-Id: abc123\r\n"), "{text}");
+        assert!(
+            text.contains("X-Mb-Server-Timing: evil  Injected: 1\r\n"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("\r\nInjected:"),
+            "header splitting must be impossible"
+        );
     }
 }

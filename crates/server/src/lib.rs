@@ -11,7 +11,19 @@
 //!   degraded or draining.
 //! * `GET /metrics` — Prometheus text dump of the `microbrowse-obs`
 //!   registry.
-//! * `GET /version` — crate name + version.
+//! * `GET /version` — crate name, version, and enabled capabilities.
+//! * `GET /debug/trace` — recently retained anomalous traces from the
+//!   in-process flight recorder (tail sampling: slow / errored / shed /
+//!   degraded / force-sampled requests).
+//! * `GET /debug/requests` — recent access-log ring with per-stage
+//!   (queue/parse/score/write) latency breakdown.
+//!
+//! Distributed tracing: callers may send `X-Mb-Trace-Id` (32 hex chars)
+//! and `X-Mb-Parent-Span`; the server adopts them so one trace id threads
+//! client → accept → queue wait → worker → scoring engine. Every response
+//! echoes `X-Mb-Trace-Id` (minting an id when the caller sent none), so
+//! any outcome — including 503s shed from the accept thread — can be
+//! joined to `/debug/trace`.
 //!
 //! Architecture (DESIGN.md §11): a strict bounded HTTP parser feeds an
 //! accept loop that pushes connections onto a **bounded queue** drained by
@@ -33,6 +45,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod accesslog;
 pub mod client;
 pub mod deadline;
 pub mod http;

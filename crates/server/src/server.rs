@@ -21,6 +21,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use microbrowse_api::debug::{
+    DebugEvent, DebugRequestEntry, DebugRequestsResponse, DebugSpan, DebugStages, DebugTraceEntry,
+    DebugTraceResponse, VersionInfo,
+};
 use microbrowse_api::v1::{
     BatchRequest, BatchResponse, ErrorEnvelope, Fidelity, RankRequest, RankResponse, ScoreRequest,
     ScoreResponse, CODE_BAD_DEADLINE, CODE_DEADLINE_EXCEEDED, CODE_OVERLOADED,
@@ -28,11 +32,19 @@ use microbrowse_api::v1::{
 use microbrowse_core::error::MbError;
 use microbrowse_core::serve::{Scorer, Scratch, ServingBundle};
 use microbrowse_obs as obs;
+use microbrowse_obs::flight::{
+    FlightConfig, FlightRecorder, PromoteReason, RetainedTrace, TraceSummary,
+};
 use microbrowse_obs::json::JsonObject;
+use microbrowse_obs::trace::{format_trace_id, TraceContext};
 use microbrowse_text::Snippet;
 
+use crate::accesslog::{AccessLog, AccessRecord};
 use crate::deadline::{Deadline, DEADLINE_HEADER};
-use crate::http::{error_response, HttpError, HttpRequest, Limits, RequestReader, Response};
+use crate::http::{
+    error_response, HttpError, HttpRequest, Limits, RequestReader, Response, PARENT_SPAN_HEADER,
+    SAMPLED_HEADER, SERVER_TIMING_HEADER, TRACE_ID_HEADER,
+};
 use crate::queue::{Bounded, Popped, PushError};
 use crate::state::{reload_loop, ReloadSource, ServeState};
 
@@ -73,6 +85,17 @@ pub struct ServerConfig {
     /// reaper sheds it with a `503 overloaded` instead of letting it go
     /// stale behind pinned workers.
     pub queue_timeout: Duration,
+    /// Latency threshold above which the flight recorder's tail sampler
+    /// retains a request's trace (`--flight-recorder-slow-ms`).
+    pub flight_slow: Duration,
+    /// How many promoted (anomalous) traces the flight recorder keeps for
+    /// `GET /debug/trace`; oldest evicted first.
+    pub flight_retained: usize,
+    /// Capacity of the access-log ring behind `GET /debug/requests`.
+    pub access_log_size: usize,
+    /// Also print one access-log line per request to stderr
+    /// (`--access-log`).
+    pub access_log_stderr: bool,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +113,10 @@ impl Default for ServerConfig {
             max_conns: 1024,
             request_deadline: None,
             queue_timeout: Duration::from_secs(4),
+            flight_slow: Duration::from_millis(500),
+            flight_retained: 256,
+            access_log_size: 256,
+            access_log_stderr: false,
         }
     }
 }
@@ -186,6 +213,11 @@ struct Shared {
     /// Connections currently open (queued + being served): the `--max-conns`
     /// accounting and the `/healthz` `open_conns` field.
     open_conns: Arc<AtomicI64>,
+    /// Always-on flight recorder behind `GET /debug/trace` (also installed
+    /// as a trace sink).
+    flight: Arc<FlightRecorder>,
+    /// Recent-request ring behind `GET /debug/requests`.
+    access: AccessLog,
 }
 
 /// A running server. Dropping the handle does **not** stop it; call
@@ -213,6 +245,8 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
     }
     registry.gauge("microbrowse_http_queue_depth");
     registry.gauge("microbrowse_http_open_conns");
+    registry.counter("microbrowse_trace_write_errors_total");
+    registry.counter("microbrowse_flight_promoted_total");
 
     let (bundle, reload_source) = match source {
         BundleSource::Static(bundle) => (bundle, None),
@@ -229,6 +263,23 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
         .local_addr()
         .map_err(|e| MbError::io("local_addr", e))?;
 
+    // Always-on flight recorder: installed as a trace sink *alongside* any
+    // sink already in place (e.g. the CLI's `--trace-json` JSONL sink), so
+    // turning on file tracing never disables `/debug/trace` or vice versa.
+    let flight = Arc::new(FlightRecorder::new(FlightConfig {
+        retained_cap: cfg.flight_retained,
+        ..FlightConfig::default()
+    }));
+    let sink: Arc<dyn obs::trace::TraceSink> = match obs::trace::installed_sink() {
+        Some(existing) => Arc::new(obs::trace::TeeSink::new(vec![
+            existing,
+            flight.clone() as Arc<dyn obs::trace::TraceSink>,
+        ])),
+        None => flight.clone(),
+    };
+    obs::trace::install_sink(sink);
+
+    let access = AccessLog::new(cfg.access_log_size, cfg.access_log_stderr);
     let shared = Arc::new(Shared {
         state: ServeState::new(bundle),
         queue: Bounded::new(cfg.queue_depth),
@@ -238,6 +289,8 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
         drained: AtomicU64::new(0),
         aborted: AtomicU64::new(0),
         open_conns: Arc::new(AtomicI64::new(0)),
+        flight,
+        access,
     });
 
     let workers = (0..shared.cfg.workers.max(1))
@@ -294,6 +347,16 @@ impl ServerHandle {
     /// Whether the currently served bundle is degraded (term-only).
     pub fn degraded(&self) -> bool {
         self.shared.state.current().fidelity().is_degraded()
+    }
+
+    /// Flight-recorder introspection for benches and tests:
+    /// `(ring writes, retained traces, retained-buffer evictions)`.
+    pub fn flight_stats(&self) -> (u64, usize, u64) {
+        (
+            self.shared.flight.ring_writes(),
+            self.shared.flight.retained_len(),
+            self.shared.flight.evicted(),
+        )
     }
 
     /// Graceful shutdown: stop accepting, serve what is queued, give
@@ -404,13 +467,18 @@ fn retry_after_secs(depth: usize, workers: usize) -> u32 {
 /// thread so a saturated worker pool cannot delay it.
 fn reject_busy(shared: &Shared, stream: TcpStream, why: &str) {
     obs::counter!("microbrowse_http_rejected_total").inc();
-    obs::trace::event("serve.rejected");
+    let trace = obs::trace::new_trace_id();
+    let _ctx = TraceContext::for_trace(trace).enter();
+    obs::trace::event("serve.rejected").with("why", why);
     let secs = retry_after_secs(shared.queue.len(), shared.cfg.workers);
     let body = ErrorEnvelope::with_code(format!("server busy, {why}"), CODE_OVERLOADED).to_json();
+    let write_started = Instant::now();
     let _ = Response::json(503, body)
         .retry_after(secs)
         .closing()
+        .with_header("X-Mb-Trace-Id", format_trace_id(trace))
         .write_to(&mut &stream);
+    record_shed(shared, trace, 0, write_started.elapsed().as_micros() as u64);
 }
 
 /// Shed one stale queued connection: its client has been waiting longer
@@ -418,14 +486,56 @@ fn reject_busy(shared: &Shared, stream: TcpStream, why: &str) {
 /// and closed rather than served long after the caller gave up.
 fn shed_stale(shared: &Shared, entry: QueuedConn) {
     obs::counter!("microbrowse_http_reaped_total").inc();
-    obs::trace::event("serve.reaped")
-        .with("queued_ms", entry.accepted.elapsed().as_millis() as u64);
+    let trace = obs::trace::new_trace_id();
+    let _ctx = TraceContext::for_trace(trace).enter();
+    let queue_us = entry.accepted.elapsed().as_micros() as u64;
+    obs::trace::event("serve.reaped").with("queued_ms", queue_us / 1000);
     let secs = retry_after_secs(shared.queue.len(), shared.cfg.workers);
     let body = ErrorEnvelope::with_code("server busy, queued too long", CODE_OVERLOADED).to_json();
+    let write_started = Instant::now();
     let _ = Response::json(503, body)
         .retry_after(secs)
         .closing()
+        .with_header("X-Mb-Trace-Id", format_trace_id(trace))
         .write_to(&mut &entry.stream);
+    record_shed(
+        shared,
+        trace,
+        queue_us,
+        write_started.elapsed().as_micros() as u64,
+    );
+}
+
+/// Make a shed retrievable after the fact: the generated trace id (echoed
+/// to the client in `X-Mb-Trace-Id`) lands in both the access log and the
+/// flight recorder's retained buffer, so every 503 written from the accept
+/// thread or the reaper can be looked up via `GET /debug/trace`. The shed
+/// never parsed a request, hence the `"-"` method/path placeholders.
+fn record_shed(shared: &Shared, trace: u128, queue_us: u64, write_us: u64) {
+    shared.access.push(AccessRecord {
+        method: "-".to_owned(),
+        path: "-".to_owned(),
+        status: 503,
+        trace,
+        queue_us,
+        parse_us: 0,
+        score_us: 0,
+        write_us,
+    });
+    shared.flight.promote_direct(
+        trace,
+        TraceSummary {
+            reason: PromoteReason::Shed,
+            status: 503,
+            endpoint: "-".to_owned(),
+            total_us: queue_us.saturating_add(write_us),
+            queue_us,
+            parse_us: 0,
+            score_us: 0,
+            write_us,
+        },
+        Vec::new(),
+    );
 }
 
 /// The idle/stale-connection reaper: periodically pops connections that
@@ -484,6 +594,7 @@ fn worker_loop(shared: &Shared) {
 /// work.
 fn serve_connection(shared: &Shared, conn: QueuedConn) {
     let stream = &conn.stream;
+    let dequeued = Instant::now();
     let mut reader = RequestReader::new(stream, shared.cfg.limits.clone());
     let mut first_request = true;
     'epoch: loop {
@@ -491,6 +602,7 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
         let bundle = shared.state.current();
         let scorer = bundle.scorer();
         let mut scratch = scorer.scratch();
+        let degraded = bundle.fidelity().is_degraded();
         loop {
             if shared.force_abort.load(Ordering::Relaxed) {
                 shared.aborted.fetch_add(1, Ordering::Relaxed);
@@ -502,6 +614,22 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
             let draining = shared.draining.load(Ordering::SeqCst);
             match reader.next_request() {
                 Ok(Some(req)) => {
+                    let parsed_at = Instant::now();
+                    // Stage accounting: queue wait is accept → worker
+                    // dequeue and exists only for the first request of a
+                    // session; parse is the request's own first byte →
+                    // parsed (keep-alive idle time is excluded because the
+                    // reader anchors at the first byte).
+                    let queue_us = if first_request {
+                        dequeued
+                            .saturating_duration_since(conn.accepted)
+                            .as_micros() as u64
+                    } else {
+                        0
+                    };
+                    let parse_us = reader.last_request_started().map_or(0, |s| {
+                        parsed_at.saturating_duration_since(s).as_micros() as u64
+                    });
                     // Deadline check before any scoring work. The budget is
                     // anchored at connection accept for the first request —
                     // time spent waiting in the accept queue counts against
@@ -512,6 +640,17 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
                     } else {
                         reader.last_request_started().unwrap_or_else(Instant::now)
                     };
+                    // Adopt the caller's trace context (or mint a fresh id)
+                    // before any span or event for this request fires, so
+                    // the whole handling — deadline shed included — shares
+                    // one trace id.
+                    let ctx = wire_context(&req);
+                    let _ctx_guard = ctx.enter();
+                    if first_request {
+                        obs::trace::event("serve.dequeued")
+                            .with("queue_us", queue_us)
+                            .with("parse_us", parse_us);
+                    }
                     first_request = false;
                     let scoring = req.method == "POST" && req.path().starts_with("/v1/");
                     match Deadline::from_request(&req, anchor, shared.cfg.request_deadline) {
@@ -522,7 +661,14 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
                                 ErrorEnvelope::with_code(e, CODE_BAD_DEADLINE).to_json(),
                             );
                             resp.close = draining || !req.keep_alive;
-                            let wrote = resp.write_to(&mut &*stream).is_ok();
+                            let stages = Stages {
+                                queue_us,
+                                parse_us,
+                                score_us: 0,
+                            };
+                            let wrote = finish_response(
+                                shared, stream, &req, ctx, stages, degraded, &mut resp,
+                            );
                             if resp.close || !wrote {
                                 return;
                             }
@@ -546,7 +692,14 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
                                 .to_json(),
                             );
                             resp.close = draining || !req.keep_alive;
-                            let wrote = resp.write_to(&mut &*stream).is_ok();
+                            let stages = Stages {
+                                queue_us,
+                                parse_us,
+                                score_us: 0,
+                            };
+                            let wrote = finish_response(
+                                shared, stream, &req, ctx, stages, degraded, &mut resp,
+                            );
                             if draining {
                                 shared.aborted.fetch_add(1, Ordering::Relaxed);
                             }
@@ -574,16 +727,29 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
                             }
                         }
                     }
+                    let score_started = Instant::now();
                     let responses = if group.len() == 1 {
                         vec![route(&group[0], &scorer, &mut scratch, &bundle, shared)]
                     } else {
                         serve_score_group(&group, &scorer, &mut scratch)
                     };
-                    for (req, mut resp) in group.iter().zip(responses) {
+                    // A coalesced group is one engine pass: the score stage
+                    // is shared, and the queue/parse stages belong to the
+                    // group head (followers were parsed out of its buffer).
+                    let score_us = score_started.elapsed().as_micros() as u64;
+                    for (i, (req, mut resp)) in group.iter().zip(responses).enumerate() {
                         if draining || !req.keep_alive {
                             resp.close = true;
                         }
-                        let wrote = resp.write_to(&mut &*stream).is_ok();
+                        let rctx = if i == 0 { ctx } else { wire_context(req) };
+                        let _follower_guard = (i > 0).then(|| rctx.enter());
+                        let stages = Stages {
+                            queue_us: if i == 0 { queue_us } else { 0 },
+                            parse_us: if i == 0 { parse_us } else { 0 },
+                            score_us,
+                        };
+                        let wrote =
+                            finish_response(shared, stream, req, rctx, stages, degraded, &mut resp);
                         if draining {
                             if wrote {
                                 shared.drained.fetch_add(1, Ordering::Relaxed);
@@ -598,6 +764,11 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
                 }
                 Ok(None) => return, // clean close between requests
                 Err(e) => {
+                    // The request never parsed, so there is no caller trace
+                    // id to adopt — mint one so the error response, the
+                    // access log, and the flight recorder still join up.
+                    let trace = obs::trace::new_trace_id();
+                    let _ctx_guard = TraceContext::for_trace(trace).enter();
                     if matches!(e, HttpError::SlowRequest) {
                         obs::counter!("microbrowse_http_slow_requests_total").inc();
                         obs::trace::event("serve.slow_request");
@@ -606,7 +777,36 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
                         obs::trace::event("serve.bad_request").with("error", e.to_string());
                     }
                     if let Some(resp) = error_response(&e) {
-                        let _ = resp.write_to(&mut &*stream);
+                        let status = resp.status;
+                        let parse_us = reader
+                            .last_request_started()
+                            .map_or(0, |s| s.elapsed().as_micros() as u64);
+                        let _ = resp
+                            .with_header("X-Mb-Trace-Id", format_trace_id(trace))
+                            .write_to(&mut &*stream);
+                        shared.access.push(AccessRecord {
+                            method: "-".to_owned(),
+                            path: "-".to_owned(),
+                            status,
+                            trace,
+                            queue_us: 0,
+                            parse_us,
+                            score_us: 0,
+                            write_us: 0,
+                        });
+                        shared.flight.promote(
+                            trace,
+                            TraceSummary {
+                                reason: PromoteReason::Error,
+                                status,
+                                endpoint: "-".to_owned(),
+                                total_us: parse_us,
+                                queue_us: 0,
+                                parse_us,
+                                score_us: 0,
+                                write_us: 0,
+                            },
+                        );
                     }
                     // An idle keep-alive connection timing out during the
                     // drain is a clean close, not an aborted request.
@@ -619,6 +819,110 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
             }
         }
     }
+}
+
+/// Per-stage latency accounting for one request, microseconds. The write
+/// stage is measured inside [`finish_response`]; these three are the
+/// pre-write stages that can be reported in `X-Mb-Server-Timing`.
+#[derive(Clone, Copy, Default)]
+struct Stages {
+    queue_us: u64,
+    parse_us: u64,
+    score_us: u64,
+}
+
+/// Reconstruct a request's trace context from its wire headers, minting a
+/// fresh trace id when the caller did not send one (every response carries
+/// `X-Mb-Trace-Id` either way, so the caller can always join its outcome to
+/// `/debug/trace`).
+fn wire_context(req: &HttpRequest) -> TraceContext {
+    let trace = req
+        .header(TRACE_ID_HEADER)
+        .and_then(obs::trace::parse_trace_id)
+        .unwrap_or_else(obs::trace::new_trace_id);
+    let parent = req
+        .header(PARENT_SPAN_HEADER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    let sampled = matches!(
+        req.header(SAMPLED_HEADER).map(str::trim),
+        Some("1" | "true")
+    );
+    TraceContext::from_wire(trace, parent, sampled)
+}
+
+/// Write one response with its trace id echoed in `X-Mb-Trace-Id` (and the
+/// stage breakdown in `X-Mb-Server-Timing` when the caller opted in by
+/// sending that header), push the access-log record, and hand the trace to
+/// the flight recorder when the tail sampler deems it anomalous: shed
+/// (503/504), errored (other 4xx/5xx), slower than the configured
+/// threshold, served degraded, or force-sampled by the caller. Returns
+/// whether the write succeeded.
+fn finish_response(
+    shared: &Shared,
+    stream: &TcpStream,
+    req: &HttpRequest,
+    ctx: TraceContext,
+    stages: Stages,
+    degraded: bool,
+    resp: &mut Response,
+) -> bool {
+    resp.extra_headers
+        .push(("X-Mb-Trace-Id", format_trace_id(ctx.trace_id())));
+    if req.header(SERVER_TIMING_HEADER).is_some() {
+        resp.extra_headers.push((
+            "X-Mb-Server-Timing",
+            format!(
+                "queue={};parse={};score={}",
+                stages.queue_us, stages.parse_us, stages.score_us
+            ),
+        ));
+    }
+    let write_started = Instant::now();
+    let wrote = resp.write_to(&mut &*stream).is_ok();
+    let write_us = write_started.elapsed().as_micros() as u64;
+    let record = AccessRecord {
+        method: req.method.clone(),
+        path: req.path().to_owned(),
+        status: resp.status,
+        trace: ctx.trace_id(),
+        queue_us: stages.queue_us,
+        parse_us: stages.parse_us,
+        score_us: stages.score_us,
+        write_us,
+    };
+    let total_us = record.total_us();
+    let endpoint = format!("{} {}", record.method, record.path);
+    shared.access.push(record);
+    let reason = if matches!(resp.status, 503 | 504) {
+        Some(PromoteReason::Shed)
+    } else if resp.status >= 400 {
+        Some(PromoteReason::Error)
+    } else if total_us > shared.cfg.flight_slow.as_micros() as u64 {
+        Some(PromoteReason::Slow)
+    } else if degraded {
+        Some(PromoteReason::Degraded)
+    } else if ctx.sampled() {
+        Some(PromoteReason::Sampled)
+    } else {
+        None
+    };
+    if let Some(reason) = reason {
+        shared.flight.promote(
+            ctx.trace_id(),
+            TraceSummary {
+                reason,
+                status: resp.status,
+                endpoint,
+                total_us,
+                queue_us: stages.queue_us,
+                parse_us: stages.parse_us,
+                score_us: stages.score_us,
+                write_us,
+            },
+        );
+    }
+    wrote
 }
 
 /// Dispatch one request, with per-endpoint metrics and a request span.
@@ -637,9 +941,13 @@ fn route<'a>(
         ("GET", "/healthz") => "healthz",
         ("GET", "/metrics") => "metrics",
         ("GET", "/version") => "version",
-        (_, "/v1/score" | "/v1/rank" | "/v1/batch" | "/healthz" | "/metrics" | "/version") => {
-            "bad_method"
-        }
+        ("GET", "/debug/trace") => "debug_trace",
+        ("GET", "/debug/requests") => "debug_requests",
+        (
+            _,
+            "/v1/score" | "/v1/rank" | "/v1/batch" | "/healthz" | "/metrics" | "/version"
+            | "/debug/trace" | "/debug/requests",
+        ) => "bad_method",
         _ => "unknown",
     };
     let mut span = obs::trace::span("serve.request").with("endpoint", endpoint);
@@ -648,14 +956,10 @@ fn route<'a>(
         "rank" => handle_rank(req, scorer, scratch),
         "batch" => handle_batch(req, scorer, scratch, shared),
         "healthz" => handle_healthz(bundle, shared),
-        "metrics" => Response::text(200, obs::metrics::registry().render_prometheus()),
-        "version" => Response::json(
-            200,
-            JsonObject::new()
-                .str("name", "microbrowse-server")
-                .str("version", env!("CARGO_PKG_VERSION"))
-                .finish(),
-        ),
+        "metrics" => handle_metrics(),
+        "version" => handle_version(shared),
+        "debug_trace" => handle_debug_trace(req, shared),
+        "debug_requests" => handle_debug_requests(req, shared),
         "bad_method" => Response::json(405, ErrorEnvelope::new("method not allowed").to_json()),
         _ => Response::json(
             404,
@@ -877,4 +1181,122 @@ fn handle_healthz(bundle: &ServingBundle, shared: &Shared) -> Response {
     let obj = Fidelity::from(bundle.fidelity()).append_to(obj);
     let status = if draining || degraded { 503 } else { 200 };
     Response::json(status, obj.finish())
+}
+
+/// `GET /metrics` — the Prometheus dump, plus the conventional
+/// `build_info` gauge (always 1; the interesting part is the version
+/// label) that the registry's label-free model cannot express.
+fn handle_metrics() -> Response {
+    let mut text = obs::metrics::registry().render_prometheus();
+    text.push_str("# TYPE microbrowse_build_info gauge\n");
+    text.push_str(&format!(
+        "microbrowse_build_info{{version=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION")
+    ));
+    Response::text(200, text)
+}
+
+/// `GET /version` — crate version plus the capabilities this server was
+/// started with, so operators can tell from one probe what the instance
+/// can do.
+fn handle_version(shared: &Shared) -> Response {
+    let mut features = vec!["flight-recorder".to_owned()];
+    if shared.cfg.access_log_stderr {
+        features.push("access-log".to_owned());
+    }
+    if shared.cfg.request_deadline.is_some() {
+        features.push("request-deadline".to_owned());
+    }
+    if shared.cfg.max_batch > 1 {
+        features.push("coalescing".to_owned());
+    }
+    let info = VersionInfo {
+        name: "microbrowse-server".to_owned(),
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        features,
+    };
+    Response::json(200, info.to_json())
+}
+
+/// `GET /debug/trace?last=N` — the most recently retained anomalous
+/// traces (default 16), newest first, as [`DebugTraceResponse`].
+fn handle_debug_trace(req: &HttpRequest, shared: &Shared) -> Response {
+    let last = req
+        .query_param("last")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(16);
+    let traces = shared
+        .flight
+        .retained(last)
+        .iter()
+        .map(retained_to_wire)
+        .collect();
+    Response::json(200, DebugTraceResponse { traces }.to_json())
+}
+
+/// `GET /debug/requests?last=N` — the recent access-log ring (default 64),
+/// newest first, as [`DebugRequestsResponse`].
+fn handle_debug_requests(req: &HttpRequest, shared: &Shared) -> Response {
+    let last = req
+        .query_param("last")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(64);
+    let requests = shared
+        .access
+        .recent(last)
+        .iter()
+        .map(|r| DebugRequestEntry {
+            method: r.method.clone(),
+            path: r.path.clone(),
+            status: r.status,
+            trace_id: format_trace_id(r.trace),
+            total_us: r.total_us(),
+            stages: DebugStages {
+                queue_us: r.queue_us,
+                parse_us: r.parse_us,
+                score_us: r.score_us,
+                write_us: r.write_us,
+            },
+        })
+        .collect();
+    Response::json(200, DebugRequestsResponse { requests }.to_json())
+}
+
+/// A retained flight-recorder trace in its `/debug/trace` wire form.
+fn retained_to_wire(t: &RetainedTrace) -> DebugTraceEntry {
+    DebugTraceEntry {
+        trace_id: format_trace_id(t.trace),
+        reason: t.summary.reason.as_str().to_owned(),
+        status: t.summary.status,
+        endpoint: t.summary.endpoint.clone(),
+        total_us: t.summary.total_us,
+        stages: DebugStages {
+            queue_us: t.summary.queue_us,
+            parse_us: t.summary.parse_us,
+            score_us: t.summary.score_us,
+            write_us: t.summary.write_us,
+        },
+        spans: t
+            .spans
+            .iter()
+            .map(|s| DebugSpan {
+                id: s.id,
+                parent: s.parent,
+                name: s.name.to_owned(),
+                thread: s.thread,
+                start_us: s.start_us,
+                dur_us: s.dur_us,
+            })
+            .collect(),
+        events: t
+            .events
+            .iter()
+            .map(|e| DebugEvent {
+                span: e.span,
+                name: e.name.to_owned(),
+                thread: e.thread,
+                at_us: e.at_us,
+            })
+            .collect(),
+    }
 }

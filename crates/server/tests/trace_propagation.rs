@@ -1,0 +1,349 @@
+//! End-to-end distributed-tracing tests: one trace id threads
+//! `ResilientClient` → accept → queue wait → worker → scoring engine on a
+//! live server, survives a client retry, and the `/debug` surface serves
+//! back what the flight recorder retained — parsed with the strict
+//! `microbrowse-api` wire types, never ad-hoc string poking.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use microbrowse_api::debug::{DebugRequestsResponse, DebugTraceResponse, VersionInfo};
+use microbrowse_core::classifier::{ModelSpec, TrainedClassifier};
+use microbrowse_core::features::OwnedTermFeat;
+use microbrowse_core::serve::{DeployedModel, Fidelity, ServingBundle};
+use microbrowse_obs::trace::{self, MemorySink};
+use microbrowse_server::client::{Client, ResilientClient, RetryPolicy};
+use microbrowse_server::{start, BundleSource, ServerConfig};
+use microbrowse_store::StatsDb;
+
+const SCORE_BODY: &str = r#"{"r":"cheap flights|book now","s":"flights|book"}"#;
+
+fn static_bundle() -> BundleSource {
+    let model = DeployedModel {
+        spec: ModelSpec::m1(),
+        classifier: TrainedClassifier::Flat(microbrowse_ml::LogReg::from_parts(vec![1.0], 0.0)),
+        vocab: vec![OwnedTermFeat::Term("cheap".into())],
+    };
+    BundleSource::Static(Arc::new(
+        ServingBundle::from_parts(model, StatsDb::new(), Fidelity::Full).expect("bundle"),
+    ))
+}
+
+// The trace sink is process-global; tests that install one must not
+// interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_exclusive() -> MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Install a fresh [`MemorySink`] and return it. Started servers tee the
+/// flight recorder *on top of* whatever is installed, so this keeps
+/// receiving records after `start()`.
+fn memory_sink() -> Arc<MemorySink> {
+    let sink = Arc::new(MemorySink::new());
+    trace::install_sink(sink.clone());
+    sink
+}
+
+#[test]
+fn one_trace_id_threads_client_to_engine() {
+    let _x = obs_exclusive();
+    let sink = memory_sink();
+    let handle = start(ServerConfig::default(), static_bundle()).expect("start");
+
+    let mut rc = ResilientClient::new(handle.addr());
+    let resp = rc
+        .call(
+            "POST",
+            "/v1/score",
+            Some(SCORE_BODY),
+            Duration::from_secs(5),
+        )
+        .expect("call");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    let trace = rc.last_trace_id();
+    assert_ne!(trace, 0);
+    // The server echoes the propagated id on the response.
+    assert_eq!(
+        resp.header("x-mb-trace-id"),
+        Some(trace::format_trace_id(trace).as_str())
+    );
+
+    handle.shutdown();
+    trace::clear_sink();
+
+    let client_spans: Vec<_> = sink
+        .spans_named("client.call")
+        .into_iter()
+        .filter(|s| s.trace == trace)
+        .collect();
+    assert_eq!(client_spans.len(), 1, "one client.call span on the trace");
+    let server_spans: Vec<_> = sink
+        .spans_named("serve.request")
+        .into_iter()
+        .filter(|s| s.trace == trace)
+        .collect();
+    assert_eq!(server_spans.len(), 1, "one serve.request span on the trace");
+    // Wire-propagated parenting: the server's request span hangs off the
+    // client's call span even though it was recorded on another thread
+    // behind a TCP hop.
+    assert_eq!(server_spans[0].parent, client_spans[0].id);
+    // The queue-wait handoff is on the same trace.
+    let dequeued: Vec<_> = sink
+        .events_named("serve.dequeued")
+        .into_iter()
+        .filter(|e| e.trace == trace)
+        .collect();
+    assert_eq!(dequeued.len(), 1, "queue-wait event shares the trace id");
+}
+
+/// Accept one connection and answer a bare 503 (after reading the request
+/// headers), then tunnel every later connection byte-for-byte to
+/// `upstream`.
+fn flaky_proxy(upstream: SocketAddr) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        if let Ok((mut s, _)) = listener.accept() {
+            let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+            let mut buf = [0u8; 4096];
+            let mut seen = Vec::new();
+            while !seen.windows(4).any(|w| w == b"\r\n\r\n") {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => seen.extend_from_slice(&buf[..n]),
+                }
+            }
+            let _ = s.write_all(
+                b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+            );
+        }
+        while let Ok((conn, _)) = listener.accept() {
+            let up = match TcpStream::connect(upstream) {
+                Ok(up) => up,
+                Err(_) => return,
+            };
+            let (mut c_read, mut c_write) = (conn.try_clone().expect("clone"), conn);
+            let (mut u_read, mut u_write) = (up.try_clone().expect("clone"), up);
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut c_read, &mut u_write);
+            });
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut u_read, &mut c_write);
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn trace_id_survives_a_retry() {
+    let _x = obs_exclusive();
+    let sink = memory_sink();
+    let handle = start(ServerConfig::default(), static_bundle()).expect("start");
+    let proxy = flaky_proxy(handle.addr());
+
+    let mut rc = ResilientClient::new(proxy).with_policy(RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        ..RetryPolicy::default()
+    });
+    let resp = rc
+        .call(
+            "POST",
+            "/v1/score",
+            Some(SCORE_BODY),
+            Duration::from_secs(5),
+        )
+        .expect("call through flaky proxy");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    let trace = rc.last_trace_id();
+    assert_eq!(
+        resp.header("x-mb-trace-id"),
+        Some(trace::format_trace_id(trace).as_str()),
+        "the retried attempt still carries the original trace id"
+    );
+
+    handle.shutdown();
+    trace::clear_sink();
+
+    // The retry decision itself is stamped with the same trace id...
+    let retries: Vec<_> = sink
+        .events_named("client.retry")
+        .into_iter()
+        .filter(|e| e.trace == trace)
+        .collect();
+    assert!(!retries.is_empty(), "a retry event carries the trace id");
+    // ...and the server-side request span of the successful attempt still
+    // parents onto the one client.call span that covered both attempts.
+    let client_spans = sink.spans_named("client.call");
+    let call = client_spans
+        .iter()
+        .find(|s| s.trace == trace)
+        .expect("client.call span");
+    let server_spans = sink.spans_named("serve.request");
+    let served = server_spans
+        .iter()
+        .find(|s| s.trace == trace)
+        .expect("serve.request span");
+    assert_eq!(served.parent, call.id);
+}
+
+#[test]
+fn debug_surface_round_trips_through_api_types() {
+    let _x = obs_exclusive();
+    let cfg = ServerConfig {
+        flight_slow: Duration::from_millis(0),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle()).expect("start");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    // A force-sampled request is always retained, whatever its latency.
+    let resp = c
+        .request_tagged(
+            "POST",
+            "/v1/score",
+            &[
+                (
+                    "x-mb-trace-id",
+                    "00000000000000000000000000000abc".to_owned(),
+                ),
+                ("x-mb-sampled", "1".to_owned()),
+                ("x-mb-server-timing", "1".to_owned()),
+            ],
+            Some(SCORE_BODY),
+        )
+        .expect("sampled score");
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(
+        resp.header("x-mb-trace-id"),
+        Some("00000000000000000000000000000abc")
+    );
+    let timing = resp.header("x-mb-server-timing").expect("opt-in timing");
+    assert!(
+        timing.contains("queue=") && timing.contains("score="),
+        "{timing}"
+    );
+
+    let resp = c.get("/debug/trace?last=32").expect("debug trace");
+    assert_eq!(resp.status, 200);
+    let traces = DebugTraceResponse::from_json(&resp.body_str()).expect("strict parse");
+    let entry = traces
+        .traces
+        .iter()
+        .find(|t| t.trace_id == "00000000000000000000000000000abc")
+        .expect("sampled trace retained");
+    assert_eq!(entry.status, 200);
+    assert_eq!(entry.endpoint, "POST /v1/score");
+    assert!(
+        entry.spans.iter().any(|s| s.name == "serve.request"),
+        "retained trace includes the request span: {:?}",
+        entry.spans
+    );
+
+    let resp = c.get("/debug/requests").expect("debug requests");
+    assert_eq!(resp.status, 200);
+    let requests = DebugRequestsResponse::from_json(&resp.body_str()).expect("strict parse");
+    let entry = requests
+        .requests
+        .iter()
+        .find(|r| r.trace_id == "00000000000000000000000000000abc")
+        .expect("request in access log");
+    assert_eq!(entry.method, "POST");
+    assert_eq!(entry.path, "/v1/score");
+    assert_eq!(
+        entry.total_us,
+        entry.stages.queue_us
+            + entry.stages.parse_us
+            + entry.stages.score_us
+            + entry.stages.write_us
+    );
+
+    let resp = c.get("/version").expect("version");
+    let info = VersionInfo::from_json(&resp.body_str()).expect("strict parse");
+    assert_eq!(info.name, "microbrowse-server");
+    assert_eq!(info.version, env!("CARGO_PKG_VERSION"));
+    assert!(info.features.iter().any(|f| f == "flight-recorder"));
+
+    let resp = c.get("/metrics").expect("metrics");
+    let body = resp.body_str();
+    assert!(body.contains("microbrowse_build_info{version="), "{body}");
+    assert!(
+        body.contains("microbrowse_trace_write_errors_total"),
+        "{body}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn shed_responses_are_retrievable_from_debug_trace() {
+    let _x = obs_exclusive();
+    // One worker pinned by a half-sent request, one filler connection
+    // occupying the depth-1 queue: every further connection is rejected
+    // from the accept thread with an echoed trace id we can look up after.
+    let cfg = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let handle = start(cfg, static_bundle()).expect("start");
+
+    let pin = TcpStream::connect(handle.addr()).expect("pin connect");
+    let _ = (&pin).write_all(b"POST /v1/score HTTP/1.1\r\n");
+    std::thread::sleep(Duration::from_millis(50));
+    let filler = TcpStream::connect(handle.addr()).expect("filler connect");
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut shed_ids = Vec::new();
+    for _ in 0..6 {
+        let mut c = match Client::connect(handle.addr()) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        if let Ok(resp) = c.post("/v1/score", SCORE_BODY) {
+            if resp.status == 503 {
+                let id = resp
+                    .header("x-mb-trace-id")
+                    .expect("shed response echoes a trace id")
+                    .to_owned();
+                shed_ids.push(id);
+            }
+        }
+    }
+    assert!(!shed_ids.is_empty(), "at least one request was shed");
+
+    // Unpin the worker and let it burn through the dead connections.
+    drop(pin);
+    drop(filler);
+    let resp = loop {
+        let attempt = Client::connect(handle.addr())
+            .ok()
+            .and_then(|mut c| c.get("/debug/trace?last=64").ok());
+        match attempt {
+            // The GET itself can be shed while the queue recovers.
+            Some(resp) if resp.status == 200 => break resp,
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    let traces = DebugTraceResponse::from_json(&resp.body_str()).expect("strict parse");
+    for id in &shed_ids {
+        let entry = traces
+            .traces
+            .iter()
+            .find(|t| &t.trace_id == id)
+            .unwrap_or_else(|| panic!("shed trace {id} not retained"));
+        assert_eq!(entry.reason, "shed");
+        assert_eq!(entry.status, 503);
+    }
+
+    handle.shutdown();
+}

@@ -47,6 +47,17 @@ echo "==> disabled-instrumentation overhead gate (< 2% of pipeline wall time)"
 cargo build --locked --release -q -p microbrowse-bench --bin obs_overhead
 ./target/release/obs_overhead --adgroups 100
 
+echo "==> trace-schema gate (--trace-json output validates via the strict obs::json reader)"
+cargo build --locked --release -q -p microbrowse-cli --bin microbrowse
+cargo build --locked --release -q -p microbrowse-bench --bin trace_schema
+./target/release/microbrowse experiment --spec m1 --adgroups 12 --folds 2 \
+    --trace-json /tmp/trace_schema.check.jsonl >/dev/null
+./target/release/trace_schema --file /tmp/trace_schema.check.jsonl --require-traced 1
+
+echo "==> flight-recorder overhead gate (< 2% of traced serving wall time, recorder on)"
+cargo build --locked --release -q -p microbrowse-bench --bin flight_overhead
+./target/release/flight_overhead --requests 2000
+
 echo "==> hot-path scoring engine gate (>= 4x legacy throughput, bit-identical)"
 cargo build --locked --release -q -p microbrowse-bench --bin bench_score_hot
 ./target/release/bench_score_hot --adgroups 120 --reps 10 --gate 4.0 \
@@ -70,4 +81,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, fault injection, unwrap audit, overhead gate, hot-path gate, server smoke, chaos gate, api docs, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, overhead gate, trace schema, flight recorder, hot-path gate, server smoke, chaos gate, api docs, clippy, fmt all green"
