@@ -1,6 +1,6 @@
 //! Version-1 wire shapes: the bodies of `POST /v1/score`, `POST /v1/rank`,
-//! and `POST /v1/batch`, plus the error envelope every non-2xx response
-//! carries.
+//! `POST /v1/batch`, and the `POST /v1/feedback` click-ingestion surface,
+//! plus the error envelope every non-2xx response carries.
 //!
 //! Each type knows how to render itself to its exact wire bytes
 //! ([`ScoreResponse::to_json`] etc.) and how to parse itself back from a
@@ -54,6 +54,13 @@ pub const SCORE_RESPONSE_SHAPE: &str = "not a v1 score response";
 pub const RANK_RESPONSE_SHAPE: &str = "not a v1 rank response";
 /// Shape message for a malformed [`BatchResponse`].
 pub const BATCH_RESPONSE_SHAPE: &str = "not a v1 batch response";
+/// Shape message for a malformed [`FeedbackRequest`].
+pub const FEEDBACK_REQUEST_SHAPE: &str =
+    "body must have an array field \"events\" of feedback event objects";
+/// Semantic message for a [`FeedbackRequest`] with no events.
+pub const FEEDBACK_NO_EVENTS: &str = "feedback batch needs at least one event";
+/// Shape message for a malformed [`FeedbackResponse`].
+pub const FEEDBACK_RESPONSE_SHAPE: &str = "not a v1 feedback response";
 /// Shape message for a malformed [`ErrorEnvelope`].
 pub const ERROR_ENVELOPE_SHAPE: &str = "not a v1 error envelope";
 
@@ -499,6 +506,168 @@ impl BatchResponse {
     }
 }
 
+/// One aggregated impression/click observation for a creative, as it
+/// appears in a `POST /v1/feedback` batch.
+///
+/// Wire shape: `{"adgroup":G,"creative":C,"snippet":"…","position":P,
+/// "query_class":"…","impressions":N,"clicks":K}`. `snippet` uses the
+/// same `|`-separated line spelling as `/v1/score`; `position` is the
+/// 1-based SERP slot the creative was shown at; `query_class` buckets the
+/// adgroup's keyword for the per-class position model (empty is allowed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackEvent {
+    /// Adgroup the creative competed in.
+    pub adgroup: u64,
+    /// Creative the counts belong to.
+    pub creative: u64,
+    /// Creative text, `|`-separated lines (headline first).
+    pub snippet: String,
+    /// 1-based SERP position the impressions were served at.
+    pub position: u64,
+    /// Query class of the adgroup's keyword (may be empty).
+    pub query_class: String,
+    /// Impressions observed.
+    pub impressions: u64,
+    /// Clicks observed (at most `impressions`; the server clamps).
+    pub clicks: u64,
+}
+
+impl FeedbackEvent {
+    /// Render the event object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("adgroup", self.adgroup)
+            .u64("creative", self.creative)
+            .str("snippet", &self.snippet)
+            .u64("position", self.position)
+            .str("query_class", &self.query_class)
+            .u64("impressions", self.impressions)
+            .u64("clicks", self.clicks)
+            .finish()
+    }
+
+    /// Parse one event out of a parsed `events` array element.
+    pub fn from_value(v: &Json) -> Result<Self, WireError> {
+        let shape = WireError::Shape(FEEDBACK_REQUEST_SHAPE);
+        Ok(Self {
+            adgroup: get_u64(v, "adgroup").ok_or(shape.clone())?,
+            creative: get_u64(v, "creative").ok_or(shape.clone())?,
+            snippet: v
+                .get("snippet")
+                .and_then(Json::as_str)
+                .ok_or(shape.clone())?
+                .to_string(),
+            position: get_u64(v, "position").ok_or(shape.clone())?,
+            query_class: v
+                .get("query_class")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            impressions: get_u64(v, "impressions").ok_or(shape.clone())?,
+            clicks: get_u64(v, "clicks").ok_or(shape)?,
+        })
+    }
+}
+
+/// Body of `POST /v1/feedback`: a batch of observations plus an optional
+/// idempotency key.
+///
+/// Wire shape: `{"key":"…","events":[…]}`. The `X-Mb-Idempotency-Key`
+/// request header, when present, overrides `key`; one of the two must be
+/// non-empty. Batches that retry with the same key are accepted once and
+/// reported as duplicates after that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackRequest {
+    /// Idempotency key (may be empty when the header carries it instead).
+    pub key: String,
+    /// The observations, in any order.
+    pub events: Vec<FeedbackEvent>,
+}
+
+impl FeedbackRequest {
+    /// Render the request body.
+    pub fn to_json(&self) -> String {
+        let rendered: Vec<String> = self.events.iter().map(FeedbackEvent::to_json).collect();
+        JsonObject::new()
+            .str("key", &self.key)
+            .raw("events", &format!("[{}]", rendered.join(",")))
+            .finish()
+    }
+
+    /// Parse a request body. A missing `key` parses as empty.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let key = v
+            .get("key")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let arr = v
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or(WireError::Shape(FEEDBACK_REQUEST_SHAPE))?;
+        let mut events = Vec::with_capacity(arr.len());
+        for item in arr {
+            events.push(FeedbackEvent::from_value(item)?);
+        }
+        Ok(Self { key, events })
+    }
+
+    /// Semantic validation beyond shape: the batch must not be empty.
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.events.is_empty() {
+            return Err(WireError::Shape(FEEDBACK_NO_EVENTS));
+        }
+        Ok(())
+    }
+}
+
+/// Body of a 200 from `POST /v1/feedback`.
+///
+/// Wire shape: `{"accepted":N,"deduped":B,"seq":S,"latency_us":T}`.
+/// `accepted` is the number of events journaled (0 on a duplicate);
+/// `deduped` is true when the idempotency key was already in the journal
+/// window; `seq` is the journal sequence number the batch holds — the one
+/// the original append got, when deduped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackResponse {
+    /// Events journaled by this request (0 on a duplicate).
+    pub accepted: u64,
+    /// True when the idempotency key was already journaled.
+    pub deduped: bool,
+    /// Journal sequence number holding this batch.
+    pub seq: u64,
+    /// Server-side wall-clock time, in microseconds.
+    pub latency_us: u64,
+}
+
+impl FeedbackResponse {
+    /// Render the response body.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64("accepted", self.accepted)
+            .bool("deduped", self.deduped)
+            .u64("seq", self.seq)
+            .u64("latency_us", self.latency_us)
+            .finish()
+    }
+
+    /// Parse a response body.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let shape = WireError::Shape(FEEDBACK_RESPONSE_SHAPE);
+        Ok(Self {
+            accepted: get_u64(&v, "accepted").ok_or(shape.clone())?,
+            deduped: v
+                .get("deduped")
+                .and_then(Json::as_bool)
+                .ok_or(shape.clone())?,
+            seq: get_u64(&v, "seq").ok_or(shape.clone())?,
+            latency_us: get_u64(&v, "latency_us").ok_or(shape)?,
+        })
+    }
+}
+
 /// Machine-readable code for a request shed because its deadline (the
 /// `X-Mb-Deadline-Ms` budget or the server default) expired before scoring.
 pub const CODE_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
@@ -807,6 +976,81 @@ mod tests {
         assert_eq!(
             ErrorEnvelope::from_json("{}"),
             Err(WireError::Shape(ERROR_ENVELOPE_SHAPE))
+        );
+    }
+
+    #[test]
+    fn golden_feedback_request() {
+        let req = FeedbackRequest {
+            key: "w1-b0".into(),
+            events: vec![FeedbackEvent {
+                adgroup: 7,
+                creative: 70,
+                snippet: "Cheap Flights|book today".into(),
+                position: 1,
+                query_class: "travel".into(),
+                impressions: 1200,
+                clicks: 84,
+            }],
+        };
+        let wire = req.to_json();
+        assert_eq!(
+            wire,
+            r#"{"key":"w1-b0","events":[{"adgroup":7,"creative":70,"snippet":"Cheap Flights|book today","position":1,"query_class":"travel","impressions":1200,"clicks":84}]}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(FeedbackRequest::from_json(&wire).unwrap(), req);
+        assert!(req.validate().is_ok());
+    }
+
+    #[test]
+    fn golden_feedback_response() {
+        let resp = FeedbackResponse {
+            accepted: 12,
+            deduped: false,
+            seq: 40,
+            latency_us: 180,
+        };
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"accepted":12,"deduped":false,"seq":40,"latency_us":180}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(FeedbackResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn feedback_request_key_is_optional_on_parse() {
+        let req = FeedbackRequest::from_json(
+            r#"{"events":[{"adgroup":1,"creative":2,"snippet":"a|b","position":1,"query_class":"","impressions":10,"clicks":1}]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.key, "");
+        assert_eq!(req.events.len(), 1);
+    }
+
+    #[test]
+    fn feedback_shape_errors() {
+        assert_eq!(
+            FeedbackRequest::from_json("{}"),
+            Err(WireError::Shape(FEEDBACK_REQUEST_SHAPE))
+        );
+        assert_eq!(
+            FeedbackRequest::from_json(r#"{"events":[{"adgroup":1}]}"#),
+            Err(WireError::Shape(FEEDBACK_REQUEST_SHAPE))
+        );
+        assert_eq!(
+            FeedbackRequest {
+                key: "k".into(),
+                events: vec![]
+            }
+            .validate(),
+            Err(WireError::Shape(FEEDBACK_NO_EVENTS))
+        );
+        assert_eq!(
+            FeedbackResponse::from_json(r#"{"accepted":1}"#),
+            Err(WireError::Shape(FEEDBACK_RESPONSE_SHAPE))
         );
     }
 

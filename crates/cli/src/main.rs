@@ -102,6 +102,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&flags),
         "metrics" => cmd_metrics(&flags),
         "serve" => cmd_serve(&flags),
+        "replay" => cmd_replay(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -141,6 +142,8 @@ const USAGE: &str = "usage:
   microbrowse serve    --slot-dir DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
                        [--max-batch N] [--max-conns N] [--request-deadline-ms MS]
                        [--flight-recorder-slow-ms MS] [--access-log]
+                       [--feedback-journal DIR] [--refit-interval SECS]
+                       [--min-refit-batches N]
                        (HTTP scoring server: POST /v1/score /v1/rank /v1/batch,
                         GET /healthz /metrics /version /debug/trace
                         /debug/requests; hot-reloads new slot generations;
@@ -148,7 +151,16 @@ const USAGE: &str = "usage:
                         overload — see X-Mb-Deadline-Ms. Requests may carry
                         X-Mb-Trace-Id/X-Mb-Parent-Span/X-Mb-Sampled; every
                         response echoes X-Mb-Trace-Id, and anomalous traces
-                        land in GET /debug/trace)
+                        land in GET /debug/trace. --feedback-journal enables
+                        POST /v1/feedback: click batches are journalled
+                        crash-safely, folded into the statistics, and a
+                        background refit republishes the model through the
+                        slot — zero-drop hot reload, provenance in /healthz)
+  microbrowse replay   --slot-dir DIR --journal DIR
+                       (offline recovery: fold an existing feedback journal
+                        into the slot artifacts without a running server —
+                        replays unfolded batches, refits once, commits new
+                        model/stats generations, checkpoints the journal)
 
   Every subcommand accepts --trace-json FILE: write structured span/event
   records as JSON lines (one object per line) while the command runs.
@@ -317,7 +329,11 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "request-deadline-ms",
             "flight-recorder-slow-ms",
             "access-log",
+            "feedback-journal",
+            "refit-interval",
+            "min-refit-batches",
         ]),
+        "replay" => Some(&["journal"]),
         _ => None,
     }
 }
@@ -925,7 +941,7 @@ fn cmd_validate(flags: &Flags) -> Result<(), MbError> {
 /// the pipe to trigger a graceful drain, and `serve < /dev/null` exits
 /// immediately after startup.
 fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
-    use microbrowse_server::{start, BundleSource, ReloadSource, ServerConfig};
+    use microbrowse_server::{start, BundleSource, OnlineConfig, ReloadSource, ServerConfig};
     use std::io::{Read as _, Write as _};
 
     let common = CommonFlags::parse(flags)?;
@@ -936,6 +952,30 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
     };
     let request_deadline_ms: u64 = flags.parse_or("request-deadline-ms", 0)?;
     let flight_slow_ms: u64 = flags.parse_or("flight-recorder-slow-ms", 500)?;
+    let online = match flags.get("feedback-journal") {
+        Some(dir) => {
+            let refit_secs: f64 = flags.parse_or("refit-interval", 30.0)?;
+            if !(refit_secs > 0.0 && refit_secs.is_finite()) {
+                return Err(MbError::usage(
+                    "--refit-interval must be a positive number of seconds",
+                ));
+            }
+            let mut ocfg = OnlineConfig::new(PathBuf::from(dir));
+            ocfg.refit_interval = std::time::Duration::from_secs_f64(refit_secs);
+            ocfg.min_refit_batches = flags.parse_or("min-refit-batches", 1)?;
+            Some(ocfg)
+        }
+        None => {
+            for dependent in ["refit-interval", "min-refit-batches"] {
+                if flags.get(dependent).is_some() {
+                    return Err(MbError::usage(format!(
+                        "--{dependent} requires --feedback-journal DIR"
+                    )));
+                }
+            }
+            None
+        }
+    };
     let cfg = ServerConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:8660").to_string(),
         workers: flags.parse_or("workers", 4)?,
@@ -947,6 +987,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
             .then(|| std::time::Duration::from_millis(request_deadline_ms)),
         flight_slow: std::time::Duration::from_millis(flight_slow_ms),
         access_log_stderr: flags.get("access-log") == Some("true"),
+        online,
         ..ServerConfig::default()
     };
     if cfg.workers == 0 || cfg.queue_depth == 0 || cfg.max_batch == 0 {
@@ -983,6 +1024,91 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
     Ok(())
 }
 
+/// Fold a feedback journal into the slot artifacts without a running
+/// server — the disaster-recovery path: if a serving host dies, its
+/// journal directory plus the last published artifacts are enough to
+/// reconstruct every click the server ever acknowledged.
+fn cmd_replay(flags: &Flags) -> Result<(), MbError> {
+    use microbrowse_online::{Journal, OnlineError, OnlineLearner};
+    use microbrowse_server::POSCLASS_SLOT_NAME;
+
+    let common = CommonFlags::parse(flags)?;
+    let model_path = common.require_model()?.to_path_buf();
+    let stats_path = common.require_stats()?.to_path_buf();
+    if !model_path.is_dir() || !stats_path.is_dir() {
+        return Err(MbError::usage(
+            "replay commits new generations, so --slot-dir (or --model/--stats) must name slot directories",
+        ));
+    }
+    let journal_dir = PathBuf::from(flags.require("journal")?);
+
+    let bundle = ScorerBuilder::new(&model_path)
+        .stats_path(&stats_path)
+        .policy(common.policy)
+        .load()?;
+    let (mut journal, recovery) = Journal::open(&journal_dir).map_err(|e| {
+        MbError::invariant(format!(
+            "cannot open feedback journal {}: {e}",
+            journal_dir.display()
+        ))
+    })?;
+
+    let mut learner = OnlineLearner::new(bundle.stats().clone(), bundle.model().spec);
+    if let Some(state) = &recovery.state {
+        learner.restore_state(state).map_err(|e| {
+            MbError::invariant(format!("journal checkpoint state did not restore: {e}"))
+        })?;
+    }
+    let replayed = recovery.batches.len();
+    for batch in &recovery.batches {
+        learner.absorb(batch);
+    }
+    eprintln!(
+        "journal {}: {replayed} unfolded batch(es); learner at {} batch(es) / {} event(s) total",
+        journal_dir.display(),
+        learner.batches_folded(),
+        learner.events_folded()
+    );
+    if replayed == 0 {
+        // Either a pristine journal, or everything was already folded and
+        // checkpointed — the published artifacts reflect every batch, so
+        // committing another (identical) generation would only churn slots.
+        println!("no unfolded batches: nothing to fold, artifacts untouched");
+        return Ok(());
+    }
+
+    let out = match learner.refit() {
+        Ok(out) => out,
+        Err(OnlineError::NoPairs) => {
+            return Err(MbError::validation(
+                "journal replay produced no statistically significant creative pairs; \
+                 artifacts untouched (not enough feedback to refit)",
+            ))
+        }
+        Err(e) => return Err(MbError::invariant(format!("online refit failed: {e}"))),
+    };
+    let stats_gen = save_stats(&out.stats, &stats_path)?;
+    let model_gen = save_model(&out.model, &model_path)?;
+    if !out.posclass.is_empty() {
+        let slot = ArtifactSlot::new(&model_path, POSCLASS_SLOT_NAME);
+        slot.commit(&out.posclass.to_bytes())
+            .map_err(|e| MbError::slot(&model_path, e))?;
+    }
+    journal
+        .commit_checkpoint(&learner.state_bytes())
+        .map_err(|e| MbError::invariant(format!("journal checkpoint failed: {e}")))?;
+    let gen_note = |g: Option<u64>| g.map_or(String::new(), |g| format!(" [generation {g}]"));
+    println!(
+        "replayed {replayed} batch(es), refit on {} pairs: wrote {}{} and {}{}; journal checkpointed",
+        out.pairs,
+        model_path.display(),
+        gen_note(model_gen),
+        stats_path.display(),
+        gen_note(stats_gen),
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1015,6 +1141,7 @@ mod tests {
             "validate",
             "metrics",
             "serve",
+            "replay",
         ] {
             let extra = allowed_flags(cmd).expect("known command");
             f.reject_unknown(extra)

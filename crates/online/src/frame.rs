@@ -1,0 +1,93 @@
+//! Shared framing for on-disk online-learning artifacts: 8-byte magic,
+//! LE u32 format version, payload, CRC-32 trailer — the same discipline as
+//! [`microbrowse_store::file`] snapshots.
+
+use microbrowse_store::crc::crc32;
+
+use crate::error::OnlineError;
+
+/// Wrap `payload` in a magic + version header and a CRC-32 trailer.
+pub(crate) fn frame(magic: &[u8; 8], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(magic.len() + 4 + payload.len() + 4);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Validate the frame produced by [`frame`] and return the payload slice.
+/// `kind` names the artifact in error messages.
+pub(crate) fn unframe<'a>(
+    kind: &'static str,
+    magic: &[u8; 8],
+    version: u32,
+    bytes: &'a [u8],
+) -> Result<&'a [u8], OnlineError> {
+    if bytes.len() < magic.len() + 4 + 4 {
+        return Err(OnlineError::Truncated(kind));
+    }
+    if &bytes[..magic.len()] != magic {
+        return Err(OnlineError::BadMagic(kind));
+    }
+    let mut version_bytes = [0u8; 4];
+    version_bytes.copy_from_slice(&bytes[magic.len()..magic.len() + 4]);
+    let found = u32::from_le_bytes(version_bytes);
+    if found != version {
+        return Err(OnlineError::UnsupportedVersion {
+            kind,
+            version: found,
+        });
+    }
+    let payload = &bytes[magic.len() + 4..bytes.len() - 4];
+    let mut trailer = [0u8; 4];
+    trailer.copy_from_slice(&bytes[bytes.len() - 4..]);
+    let expected = u32::from_le_bytes(trailer);
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(OnlineError::ChecksumMismatch {
+            kind,
+            expected,
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 8] = b"MBTEST0\0";
+
+    #[test]
+    fn round_trip() {
+        let framed = frame(MAGIC, 1, b"hello");
+        let payload = unframe("test artifact", MAGIC, 1, &framed).unwrap();
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn rejects_every_corruption() {
+        let framed = frame(MAGIC, 1, b"hello");
+        assert!(matches!(
+            unframe("t", b"MBWRONG\0", 1, &framed),
+            Err(OnlineError::BadMagic(_))
+        ));
+        assert!(matches!(
+            unframe("t", MAGIC, 2, &framed),
+            Err(OnlineError::UnsupportedVersion { version: 1, .. })
+        ));
+        let mut flipped = framed.clone();
+        let mid = flipped.len() - 6;
+        flipped[mid] ^= 0x01;
+        assert!(matches!(
+            unframe("t", MAGIC, 1, &flipped),
+            Err(OnlineError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            unframe("t", MAGIC, 1, &framed[..10]),
+            Err(OnlineError::Truncated(_))
+        ));
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-query-class position weights learned online.
+//!
+//! The batch position model ties one examination weight to each snippet
+//! position across all queries. Following the query-specific position-bias
+//! refinement of the examination hypothesis, this model keeps separate
+//! click/impression counts per `(query class, SERP position)` cell and
+//! reports each cell's Laplace-smoothed log-odds lift relative to its
+//! class aggregate — how much more (or less) clickable a position is for
+//! that class of queries than the class average.
+
+use std::collections::BTreeMap;
+
+use bytes::BytesMut;
+use microbrowse_api::v1::FeedbackEvent;
+use microbrowse_store::codec::{get_str, get_varint, put_str, put_varint};
+
+use crate::error::OnlineError;
+use crate::frame::{frame, unframe};
+
+const MAGIC: &[u8; 8] = b"MBPOSC0\0";
+const VERSION: u32 = 1;
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Cell {
+    clicks: u64,
+    impressions: u64,
+}
+
+/// Online click/impression counts per `(query class, position)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PosClassModel {
+    classes: BTreeMap<String, BTreeMap<u64, Cell>>,
+}
+
+impl PosClassModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one event's counts into its `(class, position)` cell.
+    pub fn observe(&mut self, ev: &FeedbackEvent) {
+        let cell = self
+            .classes
+            .entry(ev.query_class.clone())
+            .or_default()
+            .entry(ev.position)
+            .or_default();
+        cell.impressions += ev.impressions;
+        cell.clicks += ev.clicks.min(ev.impressions);
+    }
+
+    /// Number of query classes with at least one observation.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of `(class, position)` cells.
+    pub fn num_cells(&self) -> usize {
+        self.classes.values().map(BTreeMap::len).sum()
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Laplace-smoothed log-odds lift of `position` within `query_class`,
+    /// relative to the class aggregate: positive means the position earns
+    /// clicks above the class average, negative below. `None` until the
+    /// class has at least one observation.
+    pub fn weight(&self, query_class: &str, position: u64, alpha: f64) -> Option<f64> {
+        let by_pos = self.classes.get(query_class)?;
+        let cell = by_pos.get(&position).copied().unwrap_or_default();
+        let (mut class_clicks, mut class_imps) = (0u64, 0u64);
+        for c in by_pos.values() {
+            class_clicks += c.clicks;
+            class_imps += c.impressions;
+        }
+        let odds = |clicks: u64, imps: u64| {
+            let down = imps.saturating_sub(clicks);
+            ((clicks as f64 + alpha) / (down as f64 + alpha)).ln()
+        };
+        Some(odds(cell.clicks, cell.impressions) - odds(class_clicks, class_imps))
+    }
+
+    /// Serialize (framed, CRC'd, deterministic byte order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = BytesMut::new();
+        put_varint(&mut payload, self.classes.len() as u64);
+        for (class, by_pos) in &self.classes {
+            put_str(&mut payload, class);
+            put_varint(&mut payload, by_pos.len() as u64);
+            for (&pos, cell) in by_pos {
+                put_varint(&mut payload, pos);
+                put_varint(&mut payload, cell.clicks);
+                put_varint(&mut payload, cell.impressions);
+            }
+        }
+        frame(MAGIC, VERSION, &payload)
+    }
+
+    /// Deserialize bytes produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, OnlineError> {
+        let payload = unframe("position-class model", MAGIC, VERSION, bytes)?;
+        let mut buf = payload;
+        let num_classes = get_varint(&mut buf)?;
+        let mut classes = BTreeMap::new();
+        for _ in 0..num_classes {
+            let class = get_str(&mut buf)?;
+            let num_pos = get_varint(&mut buf)?;
+            let mut by_pos = BTreeMap::new();
+            for _ in 0..num_pos {
+                let pos = get_varint(&mut buf)?;
+                let clicks = get_varint(&mut buf)?;
+                let impressions = get_varint(&mut buf)?;
+                by_pos.insert(
+                    pos,
+                    Cell {
+                        clicks,
+                        impressions,
+                    },
+                );
+            }
+            classes.insert(class, by_pos);
+        }
+        Ok(PosClassModel { classes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(query_class: &str, position: u64, impressions: u64, clicks: u64) -> FeedbackEvent {
+        FeedbackEvent {
+            adgroup: 1,
+            creative: 1,
+            snippet: "a|b".to_string(),
+            position,
+            query_class: query_class.to_string(),
+            impressions,
+            clicks,
+        }
+    }
+
+    #[test]
+    fn top_position_earns_positive_lift() {
+        let mut m = PosClassModel::new();
+        m.observe(&ev("travel", 1, 1000, 200));
+        m.observe(&ev("travel", 2, 1000, 50));
+        let w1 = m.weight("travel", 1, 1.0).unwrap();
+        let w2 = m.weight("travel", 2, 1.0).unwrap();
+        assert!(w1 > 0.0, "position 1 beats the class average: {w1}");
+        assert!(w2 < 0.0, "position 2 trails the class average: {w2}");
+        assert!(m.weight("finance", 1, 1.0).is_none());
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut m = PosClassModel::new();
+        m.observe(&ev("travel", 1, 1000, 300));
+        m.observe(&ev("travel", 2, 1000, 10));
+        m.observe(&ev("finance", 1, 1000, 100));
+        m.observe(&ev("finance", 2, 1000, 95));
+        let travel_gap = m.weight("travel", 1, 1.0).unwrap() - m.weight("travel", 2, 1.0).unwrap();
+        let finance_gap =
+            m.weight("finance", 1, 1.0).unwrap() - m.weight("finance", 2, 1.0).unwrap();
+        assert!(
+            travel_gap > finance_gap + 1.0,
+            "per-class bias differs: travel {travel_gap}, finance {finance_gap}"
+        );
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut m = PosClassModel::new();
+        m.observe(&ev("travel", 1, 500, 40));
+        m.observe(&ev("finance", 3, 200, 5));
+        let bytes = m.to_bytes();
+        assert_eq!(PosClassModel::from_bytes(&bytes).unwrap(), m);
+        assert_eq!(bytes, m.to_bytes(), "deterministic bytes");
+    }
+}

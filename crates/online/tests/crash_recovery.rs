@@ -1,0 +1,156 @@
+//! Fault-injection: kill the journal writer at every byte offset and
+//! prove recovery never loses an acknowledged batch, never resurrects an
+//! unacknowledged one, and keeps accepting appends afterwards.
+//!
+//! The journal's crash contract has two write points:
+//!
+//! 1. the segment file (written atomically *before* the listing commit) —
+//!    a crash here leaves a torn, unlisted file that replay must ignore;
+//! 2. the listing generation (the commit point) — a torn newest
+//!    generation must roll back to the previous one, exactly like any
+//!    other slot artifact.
+
+use std::path::PathBuf;
+
+use microbrowse_api::v1::{FeedbackEvent, FeedbackRequest};
+use microbrowse_faultinject::write_killed_at;
+use microbrowse_online::{journal::encode_segment, Append, Journal};
+use microbrowse_store::ArtifactSlot;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mb-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn batch(key: &str, adgroup: u64) -> FeedbackRequest {
+    FeedbackRequest {
+        key: key.to_string(),
+        events: vec![FeedbackEvent {
+            adgroup,
+            creative: adgroup * 10,
+            snippet: "cheap flights | book now | fly today".to_string(),
+            position: 0,
+            query_class: "travel".to_string(),
+            impressions: 1000,
+            clicks: 50,
+        }],
+    }
+}
+
+/// Replay keys after a fresh open.
+fn replay_keys(dir: &PathBuf) -> Vec<String> {
+    let (_, rec) = Journal::open(dir).expect("journal reopens");
+    rec.batches.iter().map(|b| b.key.clone()).collect()
+}
+
+#[test]
+fn torn_segment_write_at_every_offset_is_invisible() {
+    let dir = tmpdir("segment");
+    let (mut journal, _) = Journal::open(&dir).unwrap();
+    journal.append(&batch("k1", 1)).unwrap();
+    journal.append(&batch("k2", 2)).unwrap();
+    drop(journal);
+
+    // The writer dies while writing the *next* segment (seq 3), before the
+    // listing could commit. write_killed_at leaves the partial prefix in
+    // place of the final file — a strictly worse failure than the real
+    // append path (which writes a temp file first), so surviving it proves
+    // the listing really is the commit point.
+    let seg3 = dir.join("seg-3.mbj");
+    let bytes = encode_segment(3, &batch("k3", 3));
+    for abort_at in 0..bytes.len() {
+        write_killed_at(&seg3, &bytes, abort_at).expect("faulty write ran");
+        assert_eq!(
+            replay_keys(&dir),
+            ["k1", "k2"],
+            "torn segment (cut at byte {abort_at}/{}) must be ignored",
+            bytes.len()
+        );
+    }
+    let _ = std::fs::remove_file(&seg3);
+
+    // The next real append recovers cleanly and reuses the orphaned seq.
+    let (mut journal, rec) = Journal::open(&dir).unwrap();
+    assert_eq!(rec.batches.len(), 2);
+    assert_eq!(
+        journal.append(&batch("k3", 3)).unwrap(),
+        Append::Appended { seq: 3 }
+    );
+    drop(journal);
+    assert_eq!(replay_keys(&dir), ["k1", "k2", "k3"]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_listing_generation_rolls_back_at_every_offset() {
+    let dir = tmpdir("listing");
+    let (mut journal, _) = Journal::open(&dir).unwrap();
+    journal.append(&batch("k1", 1)).unwrap();
+    journal.append(&batch("k2", 2)).unwrap();
+    journal.append(&batch("k3", 3)).unwrap();
+    drop(journal);
+
+    // Tear the newest listing generation (the one listing [1,2,3]) at
+    // every offset: the loader must roll back to the previous generation,
+    // which lists [1,2] — batch k3 was mid-acknowledgement, so losing it
+    // is the allowed outcome; losing k1/k2 never is.
+    let listing = ArtifactSlot::new(&dir, "journal.list");
+    let generation = listing
+        .manifest_generation()
+        .expect("listing has generations");
+    let gen_path = dir.join(format!("journal.list.gen-{generation}"));
+    let good = std::fs::read(&gen_path).expect("read listing generation");
+    for abort_at in 0..good.len() {
+        write_killed_at(&gen_path, &good, abort_at).expect("faulty write ran");
+        assert_eq!(
+            replay_keys(&dir),
+            ["k1", "k2"],
+            "torn listing (cut at byte {abort_at}/{}) must roll back",
+            good.len()
+        );
+    }
+
+    // Restore the full generation: everything is back.
+    std::fs::write(&gen_path, &good).expect("restore listing");
+    assert_eq!(replay_keys(&dir), ["k1", "k2", "k3"]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_after_rollback_keeps_accepting_and_deduping() {
+    let dir = tmpdir("resume");
+    let (mut journal, _) = Journal::open(&dir).unwrap();
+    journal.append(&batch("k1", 1)).unwrap();
+    journal.append(&batch("k2", 2)).unwrap();
+    drop(journal);
+
+    // Crash mid-append of k3 (torn unlisted segment).
+    let bytes = encode_segment(3, &batch("k3", 3));
+    write_killed_at(&dir.join("seg-3.mbj"), &bytes, bytes.len() / 2).expect("faulty write");
+
+    let (mut journal, rec) = Journal::open(&dir).unwrap();
+    assert_eq!(rec.batches.len(), 2, "torn tail dropped");
+    // The torn batch was never acknowledged, so its key must NOT dedupe:
+    // the client's retry has to be accepted as a fresh append.
+    assert_eq!(
+        journal.append(&batch("k3", 3)).unwrap(),
+        Append::Appended { seq: 3 }
+    );
+    // ...and established keys still dedupe.
+    assert_eq!(
+        journal.append(&batch("k1", 1)).unwrap(),
+        Append::Duplicate { seq: 1 }
+    );
+    // A checkpoint bounds the replay window even after the crash.
+    journal.commit_checkpoint(b"state-after-crash").unwrap();
+    drop(journal);
+    let (_, rec) = Journal::open(&dir).unwrap();
+    assert_eq!(rec.state.as_deref(), Some(&b"state-after-crash"[..]));
+    assert!(rec.batches.is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

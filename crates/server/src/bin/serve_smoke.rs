@@ -4,11 +4,17 @@
 //! binary:
 //!
 //! 1. train artifacts into a slot directory;
-//! 2. start `microbrowse serve` on an ephemeral port;
+//! 2. start `microbrowse serve` on an ephemeral port with online feedback
+//!    enabled (`--feedback-journal`, 1-second refit cadence);
 //! 3. hit `/v1/score`, `/healthz`, `/metrics`;
 //! 4. under sustained multi-threaded load, commit a new slot generation
 //!    and assert a hot reload happens with **zero** failed requests;
-//! 5. close the server's stdin and assert graceful shutdown (drain
+//! 5. still under load, POST `/v1/feedback` click batches (plus a
+//!    duplicate idempotency key that must dedupe) and assert the
+//!    background refit publishes a new generation — provenance flips to
+//!    `online-refit` in `/healthz` and `/version` — again with zero
+//!    failed requests across the swap;
+//! 6. close the server's stdin and assert graceful shutdown (drain
 //!    report, exit 0) within the deadline.
 //!
 //! Usage: `serve_smoke --bin ./target/release/microbrowse [--dir TMPDIR]`
@@ -21,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use microbrowse_api::v1::{FeedbackEvent, FeedbackRequest};
 use microbrowse_core::serve::MODEL_SLOT_NAME;
 use microbrowse_server::client::Client;
 use microbrowse_store::ArtifactSlot;
@@ -55,6 +62,43 @@ fn flag(name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// A feedback batch with unambiguous CTR gaps, so the background refit
+/// has statistically significant pairs to train on.
+fn feedback_batch(tag: u64, key: &str) -> FeedbackRequest {
+    let contrasts = [
+        ("book instantly online", "call during office hours"),
+        ("free cancellation", "no refunds"),
+        ("price match promise", "prices may vary"),
+    ];
+    let mut events = Vec::new();
+    for i in 0..6u64 {
+        let adgroup = tag * 100 + i;
+        let (win, lose) = contrasts[(i % 3) as usize];
+        events.push(FeedbackEvent {
+            adgroup,
+            creative: adgroup * 10,
+            snippet: format!("cheap flights | {win} | trusted airline"),
+            position: 0,
+            query_class: "cheap flights".to_string(),
+            impressions: 5000,
+            clicks: 900,
+        });
+        events.push(FeedbackEvent {
+            adgroup,
+            creative: adgroup * 10 + 1,
+            snippet: format!("cheap flights | {lose} | trusted airline"),
+            position: 1,
+            query_class: "cheap flights".to_string(),
+            impressions: 5000,
+            clicks: 100,
+        });
+    }
+    FeedbackRequest {
+        key: key.to_string(),
+        events,
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -92,9 +136,13 @@ fn run() -> Result<(), String> {
                 "2",
                 "--queue-depth",
                 "64",
+                "--refit-interval",
+                "1",
             ])
             .arg("--slot-dir")
             .arg(&dir)
+            .arg("--feedback-journal")
+            .arg(dir.join("journal"))
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
@@ -210,16 +258,85 @@ fn run() -> Result<(), String> {
         }
         std::thread::sleep(Duration::from_millis(100));
     }
+    if !reloaded {
+        stop.store(true, Ordering::Relaxed);
+        return Err(format!(
+            "hot reload to generation {committed} not observed within deadline"
+        ));
+    }
+
+    // 5. Online feedback phase, still under load: ingest click batches,
+    // dedupe a retried key, and wait for the background refit to publish
+    // a new generation — the zero-drop requirement now covers the refit
+    // swap too.
+    let health = probe.get("/healthz").map_err(|e| format!("healthz: {e}"))?;
+    if !health.body_str().contains("\"provenance\":\"batch-built\"") {
+        return Err(format!(
+            "healthz should report batch-built provenance before feedback, got {}",
+            health.body_str()
+        ));
+    }
+    let first = probe
+        .feedback(&feedback_batch(1, "smoke-batch-1"), "smoke-batch-1")
+        .map_err(|e| format!("feedback: {e}"))?;
+    if first.deduped || first.accepted != 12 {
+        return Err(format!(
+            "first feedback batch: wanted 12 accepted, got {} (deduped {})",
+            first.accepted, first.deduped
+        ));
+    }
+    // An ambiguous-retry duplicate: same idempotency key, must not
+    // double-count.
+    let dup = probe
+        .feedback(&feedback_batch(1, "smoke-batch-1"), "smoke-batch-1")
+        .map_err(|e| format!("duplicate feedback: {e}"))?;
+    if !dup.deduped || dup.accepted != 0 || dup.seq != first.seq {
+        return Err(format!(
+            "duplicate key: wanted deduped echo of seq {}, got accepted {} deduped {} seq {}",
+            first.seq, dup.accepted, dup.deduped, dup.seq
+        ));
+    }
+    let second = probe
+        .feedback(&feedback_batch(2, "smoke-batch-2"), "smoke-batch-2")
+        .map_err(|e| format!("second feedback batch: {e}"))?;
+    if second.seq <= first.seq {
+        return Err(format!(
+            "sequence must advance: {} then {}",
+            first.seq, second.seq
+        ));
+    }
+
+    // Refit cadence is 1 s: wait for provenance to flip.
+    let refit_deadline = Instant::now() + Duration::from_secs(30);
+    let mut refitted = false;
+    while Instant::now() < refit_deadline {
+        let health = probe.get("/healthz").map_err(|e| format!("healthz: {e}"))?;
+        if health
+            .body_str()
+            .contains("\"provenance\":\"online-refit\"")
+        {
+            refitted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if !refitted {
+        stop.store(true, Ordering::Relaxed);
+        return Err("provenance never flipped to online-refit within deadline".into());
+    }
+    let version = probe.get("/version").map_err(|e| format!("version: {e}"))?;
+    let vbody = version.body_str();
+    if !vbody.contains("online-feedback") || !vbody.contains("model-origin:online-refit") {
+        return Err(format!(
+            "version should advertise online-feedback + model-origin:online-refit, got {vbody}"
+        ));
+    }
+
     // Keep hammering briefly across the swap, then stop.
     std::thread::sleep(Duration::from_millis(300));
     stop.store(true, Ordering::Relaxed);
     for h in loaders {
         h.join().map_err(|_| "load thread panicked")?;
-    }
-    if !reloaded {
-        return Err(format!(
-            "hot reload to generation {committed} not observed within deadline"
-        ));
     }
     let ok = ok_count.load(Ordering::Relaxed);
     let errs = err_count.load(Ordering::Relaxed);
@@ -238,9 +355,29 @@ fn run() -> Result<(), String> {
     if reloads < 1 {
         return Err("serve.reload counter did not increment".into());
     }
+    let metric = |name: &str| -> Result<u64, String> {
+        body.lines()
+            .find_map(|l| l.strip_prefix(name).map(str::trim))
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("metrics dump missing {name}"))
+    };
+    let deduped = metric("microbrowse_feedback_deduped_total ")?;
+    if deduped < 1 {
+        return Err("duplicate feedback key did not bump the dedupe counter".into());
+    }
+    let refits = metric("microbrowse_refit_total ")?;
+    if refits < 1 {
+        return Err("refit counter did not increment".into());
+    }
+    let events_total = metric("microbrowse_feedback_events_total ")?;
+    if events_total != 24 {
+        return Err(format!(
+            "feedback events counter: wanted 24 (two 12-event batches, duplicate excluded), got {events_total}"
+        ));
+    }
     drop(probe);
 
-    // 5. Graceful shutdown: close stdin, expect exit 0 within deadline.
+    // 6. Graceful shutdown: close stdin, expect exit 0 within deadline.
     drop(child.0.stdin.take());
     let exit_deadline = Instant::now() + Duration::from_secs(15);
     let status = loop {
@@ -263,7 +400,8 @@ fn run() -> Result<(), String> {
         return Err(format!("missing drain report in serve output: {rest:?}"));
     }
     println!(
-        "serve smoke: {ok} requests ok across reload (gen {current} -> {committed}), {rest}",
+        "serve smoke: {ok} requests ok across reload (gen {current} -> {committed}) and online \
+         refit ({refits} refit(s), {deduped} deduped batch(es)), {rest}",
         rest = rest.trim()
     );
     std::fs::remove_dir_all(&dir).ok();

@@ -16,7 +16,10 @@
 //! used under overload: jittered exponential-backoff retries (only for
 //! failures known to be safe — connect refused, timeouts, request never
 //! sent, 5xx answers — never for ambiguous mid-response failures of
-//! non-idempotent calls), a per-call deadline budget that bounds connects,
+//! non-idempotent calls; [`ResilientClient::feedback`] makes its POST
+//! idempotent by pinning one `X-Mb-Idempotency-Key` across every attempt,
+//! which the server's journal dedupes), a per-call deadline budget that
+//! bounds connects,
 //! IO, *and* backoff sleeps and is propagated to the server via
 //! `X-Mb-Deadline-Ms`, and a closed/open/half-open [`CircuitBreaker`] that
 //! stops hammering a peer that has stopped answering.
@@ -31,9 +34,11 @@ use crate::deadline::DEADLINE_HEADER;
 use crate::http::{PARENT_SPAN_HEADER, TRACE_ID_HEADER};
 
 use microbrowse_api::v1::{
-    BatchRequest, BatchResponse, ErrorEnvelope, RankRequest, RankResponse, ScoreRequest,
-    ScoreResponse,
+    BatchRequest, BatchResponse, ErrorEnvelope, FeedbackRequest, FeedbackResponse, RankRequest,
+    RankResponse, ScoreRequest, ScoreResponse,
 };
+
+use crate::http::IDEMPOTENCY_HEADER;
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -217,6 +222,19 @@ impl Client {
     pub fn score_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, ApiError> {
         let resp = self.post("/v1/batch", &req.to_json())?;
         Self::parse_2xx(&resp, BatchResponse::from_json)
+    }
+
+    /// `POST /v1/feedback`, typed end to end, with an explicit idempotency
+    /// key sent as `X-Mb-Idempotency-Key`.
+    pub fn feedback(
+        &mut self,
+        req: &FeedbackRequest,
+        key: &str,
+    ) -> Result<FeedbackResponse, ApiError> {
+        let headers = [(IDEMPOTENCY_HEADER, key.to_string())];
+        let resp =
+            self.request_with_headers("POST", "/v1/feedback", &headers, Some(&req.to_json()))?;
+        Self::parse_2xx(&resp, FeedbackResponse::from_json)
     }
 
     /// Map a raw response to a parsed 2xx body or a typed [`ApiError`].
@@ -575,6 +593,24 @@ impl ResilientClient {
         body: Option<&str>,
         budget: Duration,
     ) -> Result<HttpResponse, CallError> {
+        self.call_with_headers(method, path, body, budget, &[], false)
+    }
+
+    /// [`call`](Self::call) with extra request headers and an explicit
+    /// idempotency claim. When `idempotent` is true, ambiguous mid-response
+    /// failures of POSTs are retryable even without the blanket
+    /// [`RetryPolicy::treat_posts_idempotent`] opt-in — the caller promises
+    /// the server can recognise and absorb the duplicate (e.g. via an
+    /// `X-Mb-Idempotency-Key` header in `extra`).
+    pub fn call_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        budget: Duration,
+        extra: &[(&str, String)],
+        idempotent: bool,
+    ) -> Result<HttpResponse, CallError> {
         let deadline = Instant::now() + budget;
         // One trace id covers every attempt of this call. Reuse the
         // caller's trace when one is active (nested instrumentation);
@@ -607,7 +643,7 @@ impl ResilientClient {
             // A failed attempt is either a 5xx response (kept so the
             // caller can see the final envelope) or a retryable IO error.
             let failure: Result<HttpResponse, std::io::Error> =
-                match self.attempt(method, path, body, remaining, trace, parent_span) {
+                match self.attempt(method, path, body, remaining, trace, parent_span, extra) {
                     Ok(resp) if resp.status < 500 => {
                         self.breaker.record_success();
                         call_span.add("status", u64::from(resp.status));
@@ -628,7 +664,7 @@ impl ResilientClient {
                         let retryable = match e.phase {
                             TransportPhase::Connect | TransportPhase::Send => true,
                             TransportPhase::Receive => {
-                                method != "POST" || self.policy.treat_posts_idempotent
+                                idempotent || method != "POST" || self.policy.treat_posts_idempotent
                             }
                         };
                         if !retryable {
@@ -688,6 +724,48 @@ impl ResilientClient {
         Client::parse_2xx(&resp, BatchResponse::from_json)
     }
 
+    /// `POST /v1/feedback` with retries and a deadline budget.
+    ///
+    /// Unlike the scoring POSTs, feedback ingestion *mutates* server state,
+    /// so a blind retry of an ambiguous mid-response failure could double
+    /// count clicks. This helper makes the retry safe instead of forbidden:
+    /// every attempt of one logical call carries the same
+    /// `X-Mb-Idempotency-Key` (the request's `key` field, or a key minted
+    /// from the client's deterministic RNG when the field is empty), and the
+    /// server's journal dedupes on it — so the call opts in to
+    /// mid-response retries unconditionally.
+    pub fn feedback(
+        &mut self,
+        req: &FeedbackRequest,
+        budget: Duration,
+    ) -> Result<FeedbackResponse, ApiError> {
+        let key = if req.key.is_empty() {
+            format!("{:016x}{:016x}", self.next_u64(), self.next_u64())
+        } else {
+            req.key.clone()
+        };
+        let headers = [(IDEMPOTENCY_HEADER, key)];
+        let resp = self
+            .call_with_headers(
+                "POST",
+                "/v1/feedback",
+                Some(&req.to_json()),
+                budget,
+                &headers,
+                true,
+            )
+            .map_err(|e| match e {
+                CallError::Transport { error, .. } | CallError::Ambiguous { error } => {
+                    ApiError::Io(error)
+                }
+                other => ApiError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    other.to_string(),
+                )),
+            })?;
+        Client::parse_2xx(&resp, FeedbackResponse::from_json)
+    }
+
     fn post_json(
         &mut self,
         path: &str,
@@ -709,6 +787,7 @@ impl ResilientClient {
     /// One attempt: (re)connect if needed, clamp IO timeouts to the
     /// remaining budget, propagate the budget in `X-Mb-Deadline-Ms` and
     /// the trace context in `X-Mb-Trace-Id` / `X-Mb-Parent-Span`.
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &mut self,
         method: &str,
@@ -717,6 +796,7 @@ impl ResilientClient {
         remaining: Duration,
         trace: u128,
         parent_span: u64,
+        extra: &[(&str, String)],
     ) -> Result<HttpResponse, TransportError> {
         let timeout = self.io_timeout.min(remaining).max(Duration::from_millis(1));
         if self.conn.is_none() {
@@ -749,6 +829,9 @@ impl ResilientClient {
         ];
         if parent_span != 0 {
             headers.push((PARENT_SPAN_HEADER, parent_span.to_string()));
+        }
+        for (name, value) in extra {
+            headers.push((name, value.clone()));
         }
         conn.request_tagged(method, path, &headers, body)
     }
@@ -881,6 +964,116 @@ mod tests {
             started.elapsed() < Duration::from_millis(500),
             "gave up promptly instead of sleeping through the budget"
         );
+    }
+
+    #[test]
+    fn feedback_retries_ambiguous_mid_response_failure_with_same_key() {
+        use microbrowse_api::v1::FeedbackEvent;
+        use std::io::{Read as _, Write as _};
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Fake server: first connection reads the request then dies
+        // mid-response (ambiguous Receive failure); second connection
+        // answers a full FeedbackResponse. Both request heads are captured
+        // so the test can assert the idempotency key was pinned.
+        let server = std::thread::spawn(move || {
+            let mut heads = Vec::new();
+            let read_head = |stream: &mut std::net::TcpStream| {
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    let n = stream.read(&mut chunk).expect("read request");
+                    buf.extend_from_slice(&chunk[..n]);
+                    if n == 0 || buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                String::from_utf8_lossy(&buf).into_owned()
+            };
+            {
+                let (mut stream, _) = listener.accept().expect("accept 1");
+                heads.push(read_head(&mut stream));
+                // Partial response: head promises a body that never comes.
+                stream
+                    .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 60\r\n\r\n{")
+                    .expect("partial write");
+                // Drop closes the socket mid-body.
+            }
+            {
+                let (mut stream, _) = listener.accept().expect("accept 2");
+                heads.push(read_head(&mut stream));
+                let body = r#"{"accepted":1,"deduped":true,"seq":7,"latency_us":10}"#;
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                stream.write_all(resp.as_bytes()).expect("full write");
+            }
+            heads
+        });
+
+        let mut c = ResilientClient::new(addr).with_policy(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            treat_posts_idempotent: false,
+        });
+        let req = FeedbackRequest {
+            key: String::new(),
+            events: vec![FeedbackEvent {
+                adgroup: 1,
+                creative: 2,
+                snippet: "cheap flights | book now".to_string(),
+                position: 0,
+                query_class: "travel".to_string(),
+                impressions: 10,
+                clicks: 1,
+            }],
+        };
+        let resp = c
+            .feedback(&req, Duration::from_secs(5))
+            .expect("retry should recover the ambiguous failure");
+        assert_eq!(resp.seq, 7);
+        assert!(resp.deduped, "fake server says the journal deduped it");
+
+        let heads = server.join().expect("server thread");
+        assert_eq!(heads.len(), 2, "exactly one retry");
+        let key_of = |head: &str| {
+            head.lines()
+                .find_map(|l| l.strip_prefix("x-mb-idempotency-key: "))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("no idempotency key in request head: {head}"))
+        };
+        let (k1, k2) = (key_of(&heads[0]), key_of(&heads[1]));
+        assert_eq!(k1, k2, "the same key must cover every attempt");
+        assert_eq!(k1.len(), 32, "minted keys are 128-bit hex");
+    }
+
+    #[test]
+    fn plain_post_still_refuses_ambiguous_retry() {
+        use std::io::Write as _;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut chunk = [0u8; 1024];
+            let _ = std::io::Read::read(&mut stream, &mut chunk);
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 60\r\n\r\n{")
+                .expect("partial write");
+        });
+        let mut c = ResilientClient::new(addr).with_policy(RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            treat_posts_idempotent: false,
+        });
+        match c.call("POST", "/v1/score", Some("{}"), Duration::from_secs(5)) {
+            Err(CallError::Ambiguous { .. }) => {}
+            other => panic!("wanted Ambiguous (no retry), got {other:?}"),
+        }
+        server.join().expect("server thread");
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub const SAMPLED_HEADER: &str = "x-mb-sampled";
 /// Request header (any value) opting into an `X-Mb-Server-Timing`
 /// response header with the queue/parse/score stage breakdown.
 pub const SERVER_TIMING_HEADER: &str = "x-mb-server-timing";
+/// Request header carrying the idempotency key of a `POST /v1/feedback`
+/// batch. The server dedupes by key within the journal window, so a client
+/// may safely retry an ambiguous mid-response failure. Overrides the
+/// body's `"key"` field when present.
+pub const IDEMPOTENCY_HEADER: &str = "x-mb-idempotency-key";
 
 /// Parser resource bounds. Defaults are generous for scoring payloads and
 /// small enough that a hostile peer cannot balloon per-connection memory.

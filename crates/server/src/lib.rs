@@ -54,7 +54,7 @@ pub mod server;
 pub mod state;
 
 pub use server::{
-    start, BundleSource, DrainReport, ServerConfig, ServerHandle, HTTP_METRIC_COUNTERS,
-    HTTP_METRIC_HISTOGRAMS,
+    start, BundleSource, DrainReport, OnlineConfig, ServerConfig, ServerHandle,
+    HTTP_METRIC_COUNTERS, HTTP_METRIC_HISTOGRAMS, POSCLASS_SLOT_NAME,
 };
 pub use state::{ReloadSource, ServeState};

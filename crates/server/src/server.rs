@@ -16,8 +16,9 @@
 //! requests in flight finish on the bundle they started with.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -26,24 +27,27 @@ use microbrowse_api::debug::{
     DebugTraceResponse, VersionInfo,
 };
 use microbrowse_api::v1::{
-    BatchRequest, BatchResponse, ErrorEnvelope, Fidelity, RankRequest, RankResponse, ScoreRequest,
-    ScoreResponse, CODE_BAD_DEADLINE, CODE_DEADLINE_EXCEEDED, CODE_OVERLOADED,
+    BatchRequest, BatchResponse, ErrorEnvelope, FeedbackRequest, FeedbackResponse, Fidelity,
+    RankRequest, RankResponse, ScoreRequest, ScoreResponse, CODE_BAD_DEADLINE,
+    CODE_DEADLINE_EXCEEDED, CODE_OVERLOADED,
 };
 use microbrowse_core::error::MbError;
-use microbrowse_core::serve::{Scorer, Scratch, ServingBundle};
+use microbrowse_core::serve::{Scorer, Scratch, ServingBundle, MODEL_SLOT_NAME, STATS_SLOT_NAME};
 use microbrowse_obs as obs;
 use microbrowse_obs::flight::{
     FlightConfig, FlightRecorder, PromoteReason, RetainedTrace, TraceSummary,
 };
 use microbrowse_obs::json::JsonObject;
 use microbrowse_obs::trace::{format_trace_id, TraceContext};
+use microbrowse_online::{Append, Journal, OnlineError, OnlineLearner};
+use microbrowse_store::{file as stats_file, ArtifactSlot};
 use microbrowse_text::Snippet;
 
 use crate::accesslog::{AccessLog, AccessRecord};
 use crate::deadline::{Deadline, DEADLINE_HEADER};
 use crate::http::{
-    error_response, HttpError, HttpRequest, Limits, RequestReader, Response, PARENT_SPAN_HEADER,
-    SAMPLED_HEADER, SERVER_TIMING_HEADER, TRACE_ID_HEADER,
+    error_response, HttpError, HttpRequest, Limits, RequestReader, Response, IDEMPOTENCY_HEADER,
+    PARENT_SPAN_HEADER, SAMPLED_HEADER, SERVER_TIMING_HEADER, TRACE_ID_HEADER,
 };
 use crate::queue::{Bounded, Popped, PushError};
 use crate::state::{reload_loop, ReloadSource, ServeState};
@@ -96,6 +100,35 @@ pub struct ServerConfig {
     /// Also print one access-log line per request to stderr
     /// (`--access-log`).
     pub access_log_stderr: bool,
+    /// Online-learning configuration; `None` disables `POST /v1/feedback`
+    /// and the background refitter.
+    pub online: Option<OnlineConfig>,
+}
+
+/// Online-learning knobs (`--feedback-journal`, `--refit-interval`).
+/// Requires slot-directory artifacts, because refits publish new
+/// generations through the same slots the hot-reload poller watches.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Directory holding the crash-safe feedback journal.
+    pub journal_dir: PathBuf,
+    /// How often the background refitter wakes up to consider a refit.
+    pub refit_interval: Duration,
+    /// Minimum feedback batches folded since the last refit before a new
+    /// refit is attempted (avoids retraining on an unchanged corpus).
+    pub min_refit_batches: u64,
+}
+
+impl OnlineConfig {
+    /// Config with the default cadence (refit every 30 s when at least one
+    /// new batch arrived).
+    pub fn new(journal_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            journal_dir: journal_dir.into(),
+            refit_interval: Duration::from_secs(30),
+            min_refit_batches: 1,
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -117,6 +150,7 @@ impl Default for ServerConfig {
             flight_retained: 256,
             access_log_size: 256,
             access_log_stderr: false,
+            online: None,
         }
     }
 }
@@ -158,6 +192,11 @@ pub const HTTP_METRIC_COUNTERS: &[&str] = &[
     "microbrowse_http_conn_limit_rejected_total",
     "microbrowse_http_reaped_total",
     "microbrowse_http_sock_cfg_failed_total",
+    "microbrowse_feedback_requests_total",
+    "microbrowse_feedback_events_total",
+    "microbrowse_feedback_deduped_total",
+    "microbrowse_refit_total",
+    "microbrowse_refit_failures_total",
 ];
 
 /// Per-endpoint latency histograms (microseconds), plus the batch-size
@@ -168,6 +207,8 @@ pub const HTTP_METRIC_HISTOGRAMS: &[&str] = &[
     "microbrowse_http_batch_latency_us",
     "microbrowse_http_other_latency_us",
     "microbrowse_batch_size",
+    "microbrowse_http_feedback_latency_us",
+    "microbrowse_refit_duration_us",
 ];
 
 /// Releases one slot of the connection cap when the connection ends, no
@@ -218,6 +259,55 @@ struct Shared {
     flight: Arc<FlightRecorder>,
     /// Recent-request ring behind `GET /debug/requests`.
     access: AccessLog,
+    /// Online-learning state (`POST /v1/feedback` + the refit thread);
+    /// `None` when started without [`OnlineConfig`].
+    online: Option<Arc<OnlineState>>,
+}
+
+/// Everything the feedback endpoint and the refit thread share. The mutex
+/// guards the journal + learner pair; provenance counters are atomics so
+/// `/healthz` and `/version` read them without touching the lock.
+struct OnlineState {
+    inner: Mutex<OnlineInner>,
+    /// Slot directory the refitter commits model generations into.
+    model_dir: PathBuf,
+    /// Slot directory the refitter commits folded-stats generations into.
+    stats_dir: PathBuf,
+    refit_interval: Duration,
+    min_refit_batches: u64,
+    /// False until the first online refit publishes — the provenance bit.
+    origin_online: AtomicBool,
+    /// Completed online refits.
+    refits: AtomicU64,
+    /// Feedback batches folded (including journal replay on restart).
+    batches: AtomicU64,
+    /// Feedback events folded.
+    events: AtomicU64,
+    /// Query classes in the per-class position model at the last refit.
+    position_classes: AtomicU64,
+    /// Model-slot generation the last online refit published.
+    last_refit_generation: AtomicU64,
+}
+
+struct OnlineInner {
+    journal: Journal,
+    learner: OnlineLearner,
+    /// Batches folded since the refitter last snapshot the learner.
+    pending: u64,
+}
+
+impl OnlineState {
+    fn lock(&self) -> std::sync::MutexGuard<'_, OnlineInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn origin(&self) -> &'static str {
+        if self.origin_online.load(Ordering::Relaxed) {
+            "online-refit"
+        } else {
+            "batch-built"
+        }
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop it; call
@@ -228,6 +318,7 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     reload: Option<JoinHandle<()>>,
     reaper: Option<JoinHandle<()>>,
+    refit: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -255,6 +346,10 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
             let reloadable = src.reloadable();
             (bundle, reloadable.then_some(src))
         }
+    };
+    let online = match &cfg.online {
+        None => None,
+        Some(ocfg) => Some(open_online(ocfg, &bundle, reload_source.as_ref())?),
     };
 
     let listener =
@@ -291,6 +386,7 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
         open_conns: Arc::new(AtomicI64::new(0)),
         flight,
         access,
+        online,
     });
 
     let workers = (0..shared.cfg.workers.max(1))
@@ -318,6 +414,10 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
             )
         })
     });
+    let refit = shared.online.is_some().then(|| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || refit_loop(&shared))
+    });
 
     obs::trace::event("serve.start")
         .with("addr", addr.to_string())
@@ -329,9 +429,187 @@ pub fn start(cfg: ServerConfig, source: BundleSource) -> Result<ServerHandle, Mb
         accept: Some(accept),
         reload,
         reaper: Some(reaper),
+        refit,
         workers,
     })
 }
+
+/// Open the feedback journal, restore the learner from its checkpoint plus
+/// the journaled tail, and package the shared online state. Fails loudly
+/// when the artifacts are not slot directories — without slots there is
+/// nowhere for a refit to publish a generation.
+fn open_online(
+    ocfg: &OnlineConfig,
+    bundle: &Arc<ServingBundle>,
+    reload_source: Option<&ReloadSource>,
+) -> Result<Arc<OnlineState>, MbError> {
+    let src = reload_source.ok_or_else(|| {
+        MbError::usage(
+            "--feedback-journal requires slot-directory artifacts (--slot-dir) \
+             so refits can publish new generations",
+        )
+    })?;
+    if !src.model_path.is_dir() {
+        return Err(MbError::usage(
+            "--feedback-journal requires the model path to be a slot directory",
+        ));
+    }
+    let stats_dir = src
+        .stats_path
+        .clone()
+        .filter(|p| p.is_dir())
+        .ok_or_else(|| {
+            MbError::usage("--feedback-journal requires the stats path to be a slot directory")
+        })?;
+
+    let (journal, recovery) = Journal::open(&ocfg.journal_dir)
+        .map_err(|e| MbError::invariant(format!("feedback journal open failed: {e}")))?;
+    let mut learner = OnlineLearner::new(bundle.stats().clone(), bundle.model().spec);
+    if let Some(state) = &recovery.state {
+        learner
+            .restore_state(state)
+            .map_err(|e| MbError::invariant(format!("learner checkpoint restore failed: {e}")))?;
+    }
+    for batch in &recovery.batches {
+        learner.absorb(batch);
+    }
+    let replayed = recovery.batches.len() as u64;
+    if replayed > 0 || recovery.state.is_some() {
+        obs::trace::event("online.journal_replayed")
+            .with("replayed_batches", replayed)
+            .with("total_batches", learner.batches_folded());
+    }
+    let batches = learner.batches_folded();
+    let events = learner.events_folded();
+    let position_classes = learner.posclass().num_classes() as u64;
+    Ok(Arc::new(OnlineState {
+        inner: Mutex::new(OnlineInner {
+            journal,
+            learner,
+            pending: replayed,
+        }),
+        model_dir: src.model_path.clone(),
+        stats_dir,
+        refit_interval: ocfg.refit_interval,
+        min_refit_batches: ocfg.min_refit_batches.max(1),
+        origin_online: AtomicBool::new(false),
+        refits: AtomicU64::new(0),
+        batches: AtomicU64::new(batches),
+        events: AtomicU64::new(events),
+        position_classes: AtomicU64::new(position_classes),
+        last_refit_generation: AtomicU64::new(0),
+    }))
+}
+
+/// The background refitter: every `refit_interval`, snapshot the learner
+/// (cheaply, under the ingest lock), retrain **off** the lock, publish the
+/// new generation through the artifact slots the hot-reload poller
+/// watches, then checkpoint the journal so replay stays bounded.
+fn refit_loop(shared: &Shared) {
+    let Some(online) = shared.online.as_ref() else {
+        return;
+    };
+    let step = Duration::from_millis(20).min(online.refit_interval.max(Duration::from_millis(1)));
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < online.refit_interval {
+            if shared.draining.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(step);
+            slept += step;
+        }
+        if shared.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        run_refit(online);
+    }
+}
+
+/// One refit attempt; all failure paths leave the previous generation
+/// serving untouched.
+fn run_refit(online: &OnlineState) {
+    let (learner, pending_at_snapshot) = {
+        let inner = online.lock();
+        if inner.pending < online.min_refit_batches {
+            return;
+        }
+        (inner.learner.clone(), inner.pending)
+    };
+    let started = obs::now_if_enabled();
+    let out = match learner.refit() {
+        Ok(out) => out,
+        Err(OnlineError::NoPairs) => {
+            // Expected while the online corpus is still below the pair
+            // filter's significance floor; try again next interval.
+            obs::trace::event("online.refit_skipped").with("reason", "no_pairs");
+            return;
+        }
+        Err(e) => {
+            obs::counter!("microbrowse_refit_failures_total").inc();
+            obs::trace::event("online.refit_failed").with("error", e.to_string());
+            return;
+        }
+    };
+
+    // Stats first, then model: the reload poller keys on the manifests, and
+    // committing the folded stats before the model that was fit against
+    // them means whichever poll observes the new model also sees its stats.
+    let stats_slot = ArtifactSlot::new(&online.stats_dir, STATS_SLOT_NAME);
+    if let Err(e) = stats_slot.commit(&stats_file::to_bytes(&out.stats)) {
+        obs::counter!("microbrowse_refit_failures_total").inc();
+        obs::trace::event("online.refit_failed").with("error", format!("stats commit: {e}"));
+        return;
+    }
+    let model_slot = ArtifactSlot::new(&online.model_dir, MODEL_SLOT_NAME);
+    let generation = match out.model.commit_to_slot(&model_slot) {
+        Ok(g) => g,
+        Err(e) => {
+            obs::counter!("microbrowse_refit_failures_total").inc();
+            obs::trace::event("online.refit_failed").with("error", format!("model commit: {e}"));
+            return;
+        }
+    };
+    let posclass_slot = ArtifactSlot::new(&online.model_dir, POSCLASS_SLOT_NAME);
+    if let Err(e) = posclass_slot.commit(&out.posclass.to_bytes()) {
+        // The scoring generation is already live; the position-class
+        // artifact is advisory, so record the failure and keep going.
+        obs::trace::event("online.posclass_commit_failed").with("error", e.to_string());
+    }
+    let _ = stats_slot.prune(4);
+    let _ = model_slot.prune(4);
+    let _ = posclass_slot.prune(4);
+
+    {
+        let mut inner = online.lock();
+        let state = inner.learner.state_bytes();
+        if let Err(e) = inner.journal.commit_checkpoint(&state) {
+            // Replay will redo a little extra work after a restart, but
+            // the published generation is unaffected.
+            obs::trace::event("online.checkpoint_failed").with("error", e.to_string());
+        }
+        inner.pending = inner.pending.saturating_sub(pending_at_snapshot);
+        online.position_classes.store(
+            inner.learner.posclass().num_classes() as u64,
+            Ordering::Relaxed,
+        );
+    }
+    online.origin_online.store(true, Ordering::Relaxed);
+    online.refits.fetch_add(1, Ordering::Relaxed);
+    online
+        .last_refit_generation
+        .store(generation, Ordering::Relaxed);
+    obs::counter!("microbrowse_refit_total").inc();
+    obs::histogram!("microbrowse_refit_duration_us").observe_since(started);
+    obs::trace::event("online.refit_published")
+        .with("generation", generation)
+        .with("pairs", out.pairs as u64)
+        .with("batches", learner.batches_folded());
+}
+
+/// Slot name for the per-query-class position model the refitter publishes
+/// next to the model artifact.
+pub const POSCLASS_SLOT_NAME: &str = "posclass.mbo";
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
@@ -375,6 +653,9 @@ impl ServerHandle {
             let _ = h.join();
         }
         if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.refit.take() {
             let _ = h.join();
         }
 
@@ -938,6 +1219,7 @@ fn route<'a>(
         ("POST", "/v1/score") => "score",
         ("POST", "/v1/rank") => "rank",
         ("POST", "/v1/batch") => "batch",
+        ("POST", "/v1/feedback") => "feedback",
         ("GET", "/healthz") => "healthz",
         ("GET", "/metrics") => "metrics",
         ("GET", "/version") => "version",
@@ -945,8 +1227,8 @@ fn route<'a>(
         ("GET", "/debug/requests") => "debug_requests",
         (
             _,
-            "/v1/score" | "/v1/rank" | "/v1/batch" | "/healthz" | "/metrics" | "/version"
-            | "/debug/trace" | "/debug/requests",
+            "/v1/score" | "/v1/rank" | "/v1/batch" | "/v1/feedback" | "/healthz" | "/metrics"
+            | "/version" | "/debug/trace" | "/debug/requests",
         ) => "bad_method",
         _ => "unknown",
     };
@@ -955,6 +1237,7 @@ fn route<'a>(
         "score" => handle_score(req, scorer, scratch),
         "rank" => handle_rank(req, scorer, scratch),
         "batch" => handle_batch(req, scorer, scratch, shared),
+        "feedback" => handle_feedback(req, shared),
         "healthz" => handle_healthz(bundle, shared),
         "metrics" => handle_metrics(),
         "version" => handle_version(shared),
@@ -973,6 +1256,9 @@ fn route<'a>(
         "score" => obs::histogram!("microbrowse_http_score_latency_us").observe_since(started),
         "rank" => obs::histogram!("microbrowse_http_rank_latency_us").observe_since(started),
         "batch" => obs::histogram!("microbrowse_http_batch_latency_us").observe_since(started),
+        "feedback" => {
+            obs::histogram!("microbrowse_http_feedback_latency_us").observe_since(started)
+        }
         _ => obs::histogram!("microbrowse_http_other_latency_us").observe_since(started),
     }
     match resp.status {
@@ -1080,6 +1366,88 @@ fn handle_batch<'a>(
     Response::json(200, resp.to_json())
 }
 
+/// `POST /v1/feedback` — body `{"key":"…","events":[…]}`. Journals the
+/// batch durably (segment + listing committed before the 200), folds it
+/// into the learner, and dedupes by idempotency key: the
+/// `X-Mb-Idempotency-Key` header overrides the body's `"key"`, and a
+/// repeat of an already-journaled key answers `deduped:true` without
+/// double-counting, which is what makes ambiguous client retries safe.
+fn handle_feedback(req: &HttpRequest, shared: &Shared) -> Response {
+    let Some(online) = shared.online.as_ref() else {
+        return Response::json(
+            503,
+            ErrorEnvelope::new("feedback ingestion disabled (start with --feedback-journal)")
+                .to_json(),
+        );
+    };
+    let freq = match body_str(req).and_then(|t| FeedbackRequest::from_json(t).map_err(bad_request))
+    {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if let Err(e) = freq.validate() {
+        return bad_request(e);
+    }
+    let header_key = req
+        .header(IDEMPOTENCY_HEADER)
+        .map(str::trim)
+        .filter(|k| !k.is_empty());
+    let key = match header_key {
+        Some(k) => k.to_string(),
+        None if !freq.key.is_empty() => freq.key.clone(),
+        None => {
+            return bad_request(
+                "feedback needs an idempotency key \
+                 (X-Mb-Idempotency-Key header or \"key\" field)",
+            )
+        }
+    };
+    obs::counter!("microbrowse_feedback_requests_total").inc();
+    let started = Instant::now();
+    let batch = FeedbackRequest {
+        key,
+        events: freq.events,
+    };
+    let mut inner = online.lock();
+    match inner.journal.append(&batch) {
+        Ok(Append::Duplicate { seq }) => {
+            drop(inner);
+            obs::counter!("microbrowse_feedback_deduped_total").inc();
+            let resp = FeedbackResponse {
+                accepted: 0,
+                deduped: true,
+                seq,
+                latency_us: started.elapsed().as_micros() as u64,
+            };
+            Response::json(200, resp.to_json())
+        }
+        Ok(Append::Appended { seq }) => {
+            inner.learner.absorb(&batch);
+            inner.pending += 1;
+            drop(inner);
+            online.batches.fetch_add(1, Ordering::Relaxed);
+            online
+                .events
+                .fetch_add(batch.events.len() as u64, Ordering::Relaxed);
+            obs::counter!("microbrowse_feedback_events_total").add(batch.events.len() as u64);
+            let resp = FeedbackResponse {
+                accepted: batch.events.len() as u64,
+                deduped: false,
+                seq,
+                latency_us: started.elapsed().as_micros() as u64,
+            };
+            Response::json(200, resp.to_json())
+        }
+        Err(e) => {
+            drop(inner);
+            Response::json(
+                500,
+                ErrorEnvelope::new(format!("feedback journal append failed: {e}")).to_json(),
+            )
+        }
+    }
+}
+
 /// Serve a coalesced group of pipelined `/v1/score` requests through one
 /// [`Scorer::score_batch`] pass. Each request still gets its own response
 /// with exactly the bytes the single-request path would have produced —
@@ -1178,6 +1546,20 @@ fn handle_healthz(bundle: &ServingBundle, shared: &Shared) -> Response {
             "align_cache_entries",
             bundle.engine().align().entries() as u64,
         );
+    // Provenance: whether the generation being served came from the batch
+    // build or an online refit, and how much feedback has been folded.
+    let obj = match shared.online.as_ref() {
+        Some(online) => obj
+            .str("provenance", online.origin())
+            .u64("refits", online.refits.load(Ordering::Relaxed))
+            .u64("feedback_batches", online.batches.load(Ordering::Relaxed))
+            .u64("feedback_events", online.events.load(Ordering::Relaxed))
+            .u64(
+                "position_classes",
+                online.position_classes.load(Ordering::Relaxed),
+            ),
+        None => obj.str("provenance", "batch-built"),
+    };
     let obj = Fidelity::from(bundle.fidelity()).append_to(obj);
     let status = if draining || degraded { 503 } else { 200 };
     Response::json(status, obj.finish())
@@ -1209,6 +1591,14 @@ fn handle_version(shared: &Shared) -> Response {
     }
     if shared.cfg.max_batch > 1 {
         features.push("coalescing".to_owned());
+    }
+    if let Some(online) = shared.online.as_ref() {
+        features.push("online-feedback".to_owned());
+        features.push(format!("model-origin:{}", online.origin()));
+        let gen = online.last_refit_generation.load(Ordering::Relaxed);
+        if gen > 0 {
+            features.push(format!("refit-generation:{gen}"));
+        }
     }
     let info = VersionInfo {
         name: "microbrowse-server".to_owned(),

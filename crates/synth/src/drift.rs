@@ -1,0 +1,156 @@
+//! Lexicon drift: the ground-truth user changes its mind over time.
+//!
+//! Online learning only matters if the world moves. This module produces
+//! *drifted* salience tables for [`crate::generator::generate_with_salience`]:
+//! at `phase = 0.0` the tables equal the built-in ones, and as `phase`
+//! grows toward `1.0` each pool's preference ordering rotates — the phrase
+//! that used to win hands its salience to its neighbour ("free shipping"
+//! stops selling, "2-day delivery" starts). Rotation of a centered vector
+//! keeps every pool zero-sum, so drift changes *which* phrases win without
+//! inventing a global CTR trend that would confound the evaluation.
+//!
+//! A frozen model trained at phase 0 degrades as phase grows; a model that
+//! keeps folding click feedback tracks the rotation. `bench_online` gates
+//! on exactly that gap.
+
+use microbrowse_text::hash::FxHashMap;
+
+use crate::generator::domain_salience;
+use crate::lexicon::{Domain, DOMAINS};
+
+/// The built-in salience tables of every domain, rotated by `phase`.
+///
+/// `phase` is clamped to `[0, 1]`. At `0.0` this is identical to
+/// [`crate::generator::all_domain_salience`]; at `1.0` every pool's
+/// centered salience vector has rotated one full slot.
+pub fn drifted_salience(phase: f64) -> FxHashMap<String, FxHashMap<String, f64>> {
+    DOMAINS
+        .iter()
+        .map(|d| (d.name.to_string(), drifted_domain_salience(d, phase)))
+        .collect()
+}
+
+/// One domain's salience table, rotated by `phase`.
+///
+/// Per pool: center the option saliences (as [`domain_salience`] does),
+/// then linearly interpolate each option toward its successor's centered
+/// value: `new[i] = (1 - phase) * cent[i] + phase * cent[(i + 1) % n]`.
+/// Rotation is a permutation and interpolation is linear, so every
+/// intermediate table stays zero-sum per pool.
+pub fn drifted_domain_salience(domain: &Domain, phase: f64) -> FxHashMap<String, f64> {
+    let phase = phase.clamp(0.0, 1.0);
+    if phase == 0.0 {
+        return domain_salience(domain);
+    }
+    let mut map = FxHashMap::default();
+    for pool in domain.pools {
+        let n = pool.options.len().max(1);
+        let mean: f64 = pool.options.iter().map(|o| o.salience).sum::<f64>() / n as f64;
+        let cent: Vec<f64> = pool.options.iter().map(|o| o.salience - mean).collect();
+        for (i, opt) in pool.options.iter().enumerate() {
+            let rotated = (1.0 - phase) * cent[i] + phase * cent[(i + 1) % n];
+            map.insert(opt.text.to_string(), rotated);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{all_domain_salience, generate, generate_with_salience};
+    use crate::GeneratorConfig;
+
+    #[test]
+    fn phase_zero_is_identity() {
+        let drifted = drifted_salience(0.0);
+        let builtin = all_domain_salience();
+        assert_eq!(drifted.len(), builtin.len());
+        for (name, table) in &builtin {
+            let d = &drifted[name];
+            assert_eq!(d.len(), table.len());
+            for (phrase, &s) in table {
+                assert!(
+                    (d[phrase] - s).abs() < 1e-12,
+                    "{name}/{phrase}: {} vs {s}",
+                    d[phrase]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pools_stay_zero_sum_at_every_phase() {
+        for &phase in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            for domain in DOMAINS {
+                let table = drifted_domain_salience(domain, phase);
+                for pool in domain.pools {
+                    let sum: f64 = pool.options.iter().map(|o| table[o.text]).sum();
+                    assert!(
+                        sum.abs() < 1e-9,
+                        "pool {} of {} drifted off zero-sum at phase {phase}: {sum}",
+                        pool.name,
+                        domain.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_rotation_moves_salience_to_the_neighbour() {
+        let table = drifted_domain_salience(&DOMAINS[0], 1.0);
+        let pool = DOMAINS[0]
+            .pools
+            .iter()
+            .find(|p| p.options.len() >= 2)
+            .expect("some multi-option pool");
+        let n = pool.options.len();
+        let mean: f64 = pool.options.iter().map(|o| o.salience).sum::<f64>() / n as f64;
+        for (i, opt) in pool.options.iter().enumerate() {
+            let successor = &pool.options[(i + 1) % n];
+            assert!(
+                (table[opt.text] - (successor.salience - mean)).abs() < 1e-12,
+                "option {i} should carry its successor's centered salience"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_changes_click_counts_but_not_texts() {
+        let cfg = GeneratorConfig {
+            num_adgroups: 40,
+            ctr_noise: 0.0,
+            seed: 11,
+            ..Default::default()
+        };
+        let before = generate(&cfg);
+        let after = generate_with_salience(&cfg, drifted_salience(1.0));
+        // Same seed, same structural draws: texts and impressions match...
+        let flat = |sc: &crate::SynthCorpus| -> Vec<(String, u64)> {
+            sc.corpus
+                .adgroups
+                .iter()
+                .flat_map(|g| {
+                    g.creatives
+                        .iter()
+                        .map(|c| (c.snippet.to_string(), c.impressions))
+                })
+                .collect()
+        };
+        assert_eq!(flat(&before), flat(&after), "drift must not touch texts");
+        // ...but the clicking user disagrees about which creatives win.
+        let clicks = |sc: &crate::SynthCorpus| -> Vec<u64> {
+            sc.corpus
+                .adgroups
+                .iter()
+                .flat_map(|g| g.creatives.iter().map(|c| c.clicks))
+                .collect()
+        };
+        assert_ne!(
+            clicks(&before),
+            clicks(&after),
+            "full rotation must change click outcomes"
+        );
+    }
+}

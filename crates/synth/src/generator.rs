@@ -175,10 +175,24 @@ fn render_creative(
     Snippet::creative(line1, line2, line3)
 }
 
-/// Generate a corpus.
+/// Generate a corpus with the built-in (phase-zero) salience tables.
 pub fn generate(cfg: &GeneratorConfig) -> SynthCorpus {
+    generate_with_salience(cfg, all_domain_salience())
+}
+
+/// Generate a corpus whose clicking user runs on *custom* salience tables
+/// (domain name → phrase → salience).
+///
+/// This is the seam the drift machinery uses: [`crate::drift`] interpolates
+/// the built-in tables toward a rotated preference and feeds the result
+/// here, so "the market changed its mind about which phrases sell" is a
+/// pure data change — template text, adgroup structure, and all other RNG
+/// draws stay identical for identical seeds.
+pub fn generate_with_salience(
+    cfg: &GeneratorConfig,
+    salience_by_domain: FxHashMap<String, FxHashMap<String, f64>>,
+) -> SynthCorpus {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let salience_by_domain = all_domain_salience();
     let attention = placement_profile(cfg.placement);
     let users: FxHashMap<&str, MicroUser> = DOMAINS
         .iter()
@@ -187,7 +201,7 @@ pub fn generate(cfg: &GeneratorConfig) -> SynthCorpus {
                 d.name,
                 MicroUser {
                     attention: attention.clone(),
-                    salience: domain_salience(d),
+                    salience: salience_by_domain.get(d.name).cloned().unwrap_or_default(),
                     base_logit: cfg.base_logit,
                 },
             )

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod drift;
 pub mod generator;
 pub mod lexicon;
 pub mod placement;
@@ -32,7 +33,11 @@ pub mod sessions;
 pub mod user;
 pub mod util;
 
-pub use generator::{generate, GeneratorConfig, GroundTruth, SynthCorpus};
+pub use drift::{drifted_domain_salience, drifted_salience};
+pub use generator::{
+    all_domain_salience, generate, generate_with_salience, GeneratorConfig, GroundTruth,
+    SynthCorpus,
+};
 pub use lexicon::{Domain, Phrase, DOMAINS};
 pub use placement::placement_profile;
 pub use user::{AttentionProfile, MicroUser};

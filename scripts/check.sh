@@ -18,7 +18,7 @@ cargo test --quiet -p microbrowse-core --test artifact_errors
 echo "==> no unwrap/expect on artifact load/serve paths (incl. obs + api + server + faultinject)"
 if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs \
     crates/core/src/error.rs crates/obs/src crates/cli/src crates/server/src \
-    crates/api/src crates/faultinject/src \
+    crates/api/src crates/faultinject/src crates/online/src \
     crates/core/src/compiled.rs crates/core/src/paircache.rs \
     crates/core/src/features.rs crates/core/src/rewrite.rs \
     | python3 -c '
@@ -68,6 +68,11 @@ cargo build --locked --release -q -p microbrowse-cli --bin microbrowse \
     -p microbrowse-server --bin serve_smoke
 ./target/release/serve_smoke --bin ./target/release/microbrowse
 
+echo "==> online-learning drift gate (post-drift online margin >= 0.10 over frozen model)"
+cargo build --locked --release -q -p microbrowse-bench --bin bench_online
+./target/release/bench_online --train-adgroups 160 --adgroups 80 --windows 4 \
+    --drift-at 3 --seed 42 --gate 0.10 --out /tmp/BENCH_online.check.json >/dev/null
+
 echo "==> live-socket chaos gate (shed under overload, no stranded workers, full recovery)"
 cargo build --locked --release -q -p microbrowse-bench --bin chaos_serve
 ./target/release/chaos_serve --seed 42 --out /tmp/BENCH_chaos.check.json
@@ -81,4 +86,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, fault injection, unwrap audit, overhead gate, trace schema, flight recorder, hot-path gate, server smoke, chaos gate, api docs, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, overhead gate, trace schema, flight recorder, hot-path gate, server smoke, online drift gate, chaos gate, api docs, clippy, fmt all green"
