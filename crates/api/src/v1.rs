@@ -1,6 +1,14 @@
 //! Version-1 wire shapes: the bodies of `POST /v1/score`, `POST /v1/rank`,
-//! `POST /v1/batch`, and the `POST /v1/feedback` click-ingestion surface,
-//! plus the error envelope every non-2xx response carries.
+//! `POST /v1/batch`, the `POST /v1/feedback` click-ingestion surface, the
+//! generative `POST /v1/suggest` / `POST /v1/explain` pair, plus the error
+//! envelope every non-2xx response carries.
+//!
+//! Uniform response contract (the v1 surface audit): every scoring-family
+//! response (`score`, `rank`, `batch`, `suggest`, `explain`) reports the
+//! `fidelity` it was computed at (plus `degrade_reason` when degraded) and,
+//! when the serving bundle knows it, the model `generation` that produced
+//! it; every non-2xx body on every endpoint is an [`ErrorEnvelope`] with a
+//! stable machine-readable `code` (one of the `CODE_*` constants).
 //!
 //! Each type knows how to render itself to its exact wire bytes
 //! ([`ScoreResponse::to_json`] etc.) and how to parse itself back from a
@@ -63,6 +71,12 @@ pub const FEEDBACK_NO_EVENTS: &str = "feedback batch needs at least one event";
 pub const FEEDBACK_RESPONSE_SHAPE: &str = "not a v1 feedback response";
 /// Shape message for a malformed [`ErrorEnvelope`].
 pub const ERROR_ENVELOPE_SHAPE: &str = "not a v1 error envelope";
+/// Shape message for a malformed [`SuggestRequest`].
+pub const SUGGEST_REQUEST_SHAPE: &str = "body must have a string field \"creative\"";
+/// Shape message for a malformed [`SuggestResponse`].
+pub const SUGGEST_RESPONSE_SHAPE: &str = "not a v1 suggest response";
+/// Shape message for a malformed [`ExplainResponse`].
+pub const EXPLAIN_RESPONSE_SHAPE: &str = "not a v1 explain response";
 
 fn parse_body(body: &str) -> Result<Json, WireError> {
     Json::parse(body).map_err(WireError::Syntax)
@@ -74,6 +88,25 @@ fn get_u64(v: &Json, key: &str) -> Option<u64> {
         Some(n as u64)
     } else {
         None
+    }
+}
+
+/// Read an *optional* non-negative integer field: absent is `None`, present
+/// but non-integral is a shape error.
+fn opt_u64(v: &Json, key: &str, shape: &'static str) -> Result<Option<u64>, WireError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(_) => get_u64(v, key).map(Some).ok_or(WireError::Shape(shape)),
+    }
+}
+
+/// Append `"generation":N` when the serving bundle reported one — the shared
+/// optional field every scoring-family response places between its fidelity
+/// fields and `"latency_us"`.
+fn append_generation(obj: JsonObject, generation: Option<u64>) -> JsonObject {
+    match generation {
+        Some(g) => obj.u64("generation", g),
+        None => obj,
     }
 }
 
@@ -305,7 +338,9 @@ impl BatchRequest {
 ///
 /// Wire shape (field order is contractual):
 /// `{"score":…,"winner":"R","fidelity":"full","latency_us":…}` — degraded
-/// responses insert `"degrade_reason":"…"` directly after `"fidelity"`.
+/// responses insert `"degrade_reason":"…"` directly after `"fidelity"`, and
+/// responses from a bundle that knows its model generation insert
+/// `"generation":N` directly before `"latency_us"`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoreResponse {
     /// Log-odds margin, Eq. 5 orientation (positive ⇒ `r` out-clicks `s`).
@@ -314,19 +349,29 @@ pub struct ScoreResponse {
     pub winner: Winner,
     /// Fidelity the score was computed at.
     pub fidelity: Fidelity,
+    /// Generation of the model snapshot that served the score, when known.
+    pub generation: Option<u64>,
     /// Wall-clock time spent scoring, in microseconds.
     pub latency_us: u64,
 }
 
 impl ScoreResponse {
-    /// Build a response from a raw score, deriving the winner.
+    /// Build a response from a raw score, deriving the winner. No model
+    /// generation; chain [`ScoreResponse::with_generation`] to add one.
     pub fn new(score: f64, fidelity: Fidelity, latency_us: u64) -> Self {
         Self {
             score,
             winner: Winner::from_score(score),
             fidelity,
+            generation: None,
             latency_us,
         }
+    }
+
+    /// Attach (or clear) the serving model generation.
+    pub fn with_generation(mut self, generation: Option<u64>) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// Build a response from the engine's [`ScoreOutcome`].
@@ -340,8 +385,7 @@ impl ScoreResponse {
         let obj = obj
             .f64("score", self.score)
             .str("winner", self.winner.as_str());
-        self.fidelity
-            .append_to(obj)
+        append_generation(self.fidelity.append_to(obj), self.generation)
             .u64("latency_us", self.latency_us)
     }
 
@@ -376,11 +420,13 @@ impl ScoreResponse {
             _ => return Err(WireError::Shape(SCORE_RESPONSE_SHAPE)),
         };
         let fidelity = Fidelity::from_response(v, SCORE_RESPONSE_SHAPE)?;
+        let generation = opt_u64(v, "generation", SCORE_RESPONSE_SHAPE)?;
         let latency_us = get_u64(v, "latency_us").ok_or(WireError::Shape(SCORE_RESPONSE_SHAPE))?;
         Ok(Self {
             score,
             winner,
             fidelity,
+            generation,
             latency_us,
         })
     }
@@ -391,33 +437,43 @@ impl ScoreResponse {
 /// Wire shape: `{"order":[2,1,…],"fidelity":"full","latency_us":…}` — the
 /// `order` entries are **1-based** positions into the request's `creatives`
 /// array, best first. Degraded responses insert `"degrade_reason"` after
-/// `"fidelity"`, as in [`ScoreResponse`].
+/// `"fidelity"`, and a known model generation inserts `"generation":N`
+/// before `"latency_us"`, as in [`ScoreResponse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RankResponse {
     /// 1-based indices into the request's creatives, best first.
     pub order: Vec<usize>,
     /// Fidelity the ranking was computed at.
     pub fidelity: Fidelity,
+    /// Generation of the model snapshot that ranked, when known.
+    pub generation: Option<u64>,
     /// Wall-clock time spent ranking, in microseconds.
     pub latency_us: u64,
 }
 
 impl RankResponse {
     /// Build from the engine's zero-based ranking (shifts every index up
-    /// by one for the wire).
+    /// by one for the wire). No model generation; chain
+    /// [`RankResponse::with_generation`] to add one.
     pub fn from_zero_based(order: &[usize], fidelity: Fidelity, latency_us: u64) -> Self {
         Self {
             order: order.iter().map(|i| i + 1).collect(),
             fidelity,
+            generation: None,
             latency_us,
         }
+    }
+
+    /// Attach (or clear) the serving model generation.
+    pub fn with_generation(mut self, generation: Option<u64>) -> Self {
+        self.generation = generation;
+        self
     }
 
     fn fill(&self, obj: JsonObject) -> JsonObject {
         let rendered: Vec<String> = self.order.iter().map(|i| i.to_string()).collect();
         let obj = obj.raw("order", &format!("[{}]", rendered.join(",")));
-        self.fidelity
-            .append_to(obj)
+        append_generation(self.fidelity.append_to(obj), self.generation)
             .u64("latency_us", self.latency_us)
     }
 
@@ -448,10 +504,12 @@ impl RankResponse {
             order.push(n as usize);
         }
         let fidelity = Fidelity::from_response(&v, RANK_RESPONSE_SHAPE)?;
+        let generation = opt_u64(&v, "generation", RANK_RESPONSE_SHAPE)?;
         let latency_us = get_u64(&v, "latency_us").ok_or(WireError::Shape(RANK_RESPONSE_SHAPE))?;
         Ok(Self {
             order,
             fidelity,
+            generation,
             latency_us,
         })
     }
@@ -459,15 +517,22 @@ impl RankResponse {
 
 /// Body of a 200 from `POST /v1/batch`.
 ///
-/// Wire shape: `{"results":[…],"count":N,"latency_us":T}` — `results` holds
-/// one [`ScoreResponse`] object per request item, in request order, each
-/// with its **own** per-item latency; `count` is `results.len()` (redundant
-/// but cheap for clients that stream); `latency_us` is the wall-clock time
-/// for the whole batch.
+/// Wire shape: `{"results":[…],"count":N,"fidelity":"full","latency_us":T}`
+/// — `results` holds one [`ScoreResponse`] object per request item, in
+/// request order, each with its **own** per-item latency; `count` is
+/// `results.len()` (redundant but cheap for clients that stream);
+/// `fidelity` (plus `degrade_reason` when degraded) is the batch-level
+/// fidelity every item was scored at; a known model generation inserts
+/// `"generation":N` before `"latency_us"`, which is the wall-clock time for
+/// the whole batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchResponse {
     /// Per-item results, in request order.
     pub results: Vec<ScoreResponse>,
+    /// Fidelity the whole batch was scored at.
+    pub fidelity: Fidelity,
+    /// Generation of the model snapshot that scored, when known.
+    pub generation: Option<u64>,
     /// Wall-clock time for the whole batch, in microseconds.
     pub latency_us: u64,
 }
@@ -476,9 +541,10 @@ impl BatchResponse {
     /// Render the response body.
     pub fn to_json(&self) -> String {
         let rendered: Vec<String> = self.results.iter().map(ScoreResponse::to_json).collect();
-        JsonObject::new()
+        let obj = JsonObject::new()
             .raw("results", &format!("[{}]", rendered.join(",")))
-            .u64("count", self.results.len() as u64)
+            .u64("count", self.results.len() as u64);
+        append_generation(self.fidelity.append_to(obj), self.generation)
             .u64("latency_us", self.latency_us)
             .finish()
     }
@@ -498,9 +564,13 @@ impl BatchResponse {
                     .map_err(|_| WireError::Shape(BATCH_RESPONSE_SHAPE))?,
             );
         }
+        let fidelity = Fidelity::from_response(&v, BATCH_RESPONSE_SHAPE)?;
+        let generation = opt_u64(&v, "generation", BATCH_RESPONSE_SHAPE)?;
         let latency_us = get_u64(&v, "latency_us").ok_or(WireError::Shape(BATCH_RESPONSE_SHAPE))?;
         Ok(Self {
             results,
+            fidelity,
+            generation,
             latency_us,
         })
     }
@@ -668,6 +738,518 @@ impl FeedbackResponse {
     }
 }
 
+/// Body of `POST /v1/suggest`: one creative to improve, plus optional beam
+/// knobs.
+///
+/// Wire shape: `{"creative":"…","beam_width":B,"max_depth":D,"top_k":K}` —
+/// only `creative` is required; absent knobs fall back to the server's
+/// defaults, and requested values are capped by the server's `--max-beam` /
+/// `--max-suggestions` limits (413 over the cap).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SuggestRequest {
+    /// Creative to improve, `|`-separated lines (headline first).
+    pub creative: String,
+    /// Beam width override (candidates kept per depth).
+    pub beam_width: Option<u64>,
+    /// Maximum rewrite-chain depth override.
+    pub max_depth: Option<u64>,
+    /// Number of suggestions to return.
+    pub top_k: Option<u64>,
+}
+
+impl SuggestRequest {
+    /// Build a request with server-default beam knobs.
+    pub fn new(creative: impl Into<String>) -> Self {
+        Self {
+            creative: creative.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Render the request body (absent knobs are omitted).
+    pub fn to_json(&self) -> String {
+        let obj = JsonObject::new().str("creative", &self.creative);
+        let obj = match self.beam_width {
+            Some(b) => obj.u64("beam_width", b),
+            None => obj,
+        };
+        let obj = match self.max_depth {
+            Some(d) => obj.u64("max_depth", d),
+            None => obj,
+        };
+        match self.top_k {
+            Some(k) => obj.u64("top_k", k),
+            None => obj,
+        }
+        .finish()
+    }
+
+    /// Parse a request body. Knobs that are present but not non-negative
+    /// integers are shape errors, not silently dropped.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let creative = v
+            .get("creative")
+            .and_then(Json::as_str)
+            .ok_or(WireError::Shape(SUGGEST_REQUEST_SHAPE))?
+            .to_string();
+        Ok(Self {
+            creative,
+            beam_width: opt_u64(&v, "beam_width", SUGGEST_REQUEST_SHAPE)?,
+            max_depth: opt_u64(&v, "max_depth", SUGGEST_REQUEST_SHAPE)?,
+            top_k: opt_u64(&v, "top_k", SUGGEST_REQUEST_SHAPE)?,
+        })
+    }
+}
+
+/// One applied phrase substitution inside a [`SuggestedVariant`].
+///
+/// Wire shape: `{"from":"…","to":"…","line":L,"pos":P,"delta":D}` — `line` /
+/// `pos` locate the replaced phrase in the variant the step was applied to
+/// (zero-based), `delta` is the score gained by this single step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuggestedRewrite {
+    /// Phrase that was replaced.
+    pub from: String,
+    /// Phrase it was replaced with.
+    pub to: String,
+    /// Zero-based line of the replaced phrase.
+    pub line: u64,
+    /// Zero-based token offset of the replaced phrase within its line.
+    pub pos: u64,
+    /// Score delta contributed by this step.
+    pub delta: f64,
+}
+
+impl SuggestedRewrite {
+    fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("from", &self.from)
+            .str("to", &self.to)
+            .u64("line", self.line)
+            .u64("pos", self.pos)
+            .f64("delta", self.delta)
+            .finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        let shape = WireError::Shape(SUGGEST_RESPONSE_SHAPE);
+        Ok(Self {
+            from: v
+                .get("from")
+                .and_then(Json::as_str)
+                .ok_or(shape.clone())?
+                .to_string(),
+            to: v
+                .get("to")
+                .and_then(Json::as_str)
+                .ok_or(shape.clone())?
+                .to_string(),
+            line: get_u64(v, "line").ok_or(shape.clone())?,
+            pos: get_u64(v, "pos").ok_or(shape.clone())?,
+            delta: v.get("delta").and_then(Json::as_f64).ok_or(shape)?,
+        })
+    }
+}
+
+impl From<&microbrowse_core::suggest::RewriteStep> for SuggestedRewrite {
+    fn from(step: &microbrowse_core::suggest::RewriteStep) -> Self {
+        Self {
+            from: step.from.clone(),
+            to: step.to.clone(),
+            line: step.line as u64,
+            pos: step.pos as u64,
+            delta: step.delta,
+        }
+    }
+}
+
+/// One rewritten variant inside a [`SuggestResponse`].
+///
+/// Wire shape: `{"creative":"…","score":S,"rewrites":[…]}` — `creative` is
+/// the rewritten text in the `|`-separated line spelling, `score` its margin
+/// over the input creative (positive ⇒ the variant is predicted to
+/// out-click the input), `rewrites` the substitution chain that produced it
+/// in application order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuggestedVariant {
+    /// Rewritten creative, `|`-separated lines.
+    pub creative: String,
+    /// Margin of the variant over the input creative.
+    pub score: f64,
+    /// Substitution chain, in application order.
+    pub rewrites: Vec<SuggestedRewrite>,
+}
+
+impl SuggestedVariant {
+    fn to_json(&self) -> String {
+        let rendered: Vec<String> = self
+            .rewrites
+            .iter()
+            .map(SuggestedRewrite::to_json)
+            .collect();
+        JsonObject::new()
+            .str("creative", &self.creative)
+            .f64("score", self.score)
+            .raw("rewrites", &format!("[{}]", rendered.join(",")))
+            .finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        let shape = WireError::Shape(SUGGEST_RESPONSE_SHAPE);
+        let creative = v
+            .get("creative")
+            .and_then(Json::as_str)
+            .ok_or(shape.clone())?
+            .to_string();
+        let score = v.get("score").and_then(Json::as_f64).ok_or(shape.clone())?;
+        let arr = v.get("rewrites").and_then(Json::as_array).ok_or(shape)?;
+        let mut rewrites = Vec::with_capacity(arr.len());
+        for item in arr {
+            rewrites.push(SuggestedRewrite::from_value(item)?);
+        }
+        Ok(Self {
+            creative,
+            score,
+            rewrites,
+        })
+    }
+}
+
+/// Body of a 200 from `POST /v1/suggest`.
+///
+/// Wire shape:
+/// `{"suggestions":[…],"count":N,"fidelity":"full","latency_us":T}` —
+/// `suggestions` holds [`SuggestedVariant`] objects best-first; `count` is
+/// `suggestions.len()`; fidelity/generation placement matches every other
+/// scoring response. An empty `suggestions` array is a valid 200: the
+/// beam found no variant that out-scores the input (or the scorer is
+/// degraded and rewrites are off).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuggestResponse {
+    /// Suggested variants, best first.
+    pub suggestions: Vec<SuggestedVariant>,
+    /// Fidelity the beam search scored at.
+    pub fidelity: Fidelity,
+    /// Generation of the model snapshot that scored, when known.
+    pub generation: Option<u64>,
+    /// Wall-clock time for the whole beam search, in microseconds.
+    pub latency_us: u64,
+}
+
+impl SuggestResponse {
+    fn fill(&self, obj: JsonObject) -> JsonObject {
+        let rendered: Vec<String> = self
+            .suggestions
+            .iter()
+            .map(SuggestedVariant::to_json)
+            .collect();
+        let obj = obj
+            .raw("suggestions", &format!("[{}]", rendered.join(",")))
+            .u64("count", self.suggestions.len() as u64);
+        append_generation(self.fidelity.append_to(obj), self.generation)
+            .u64("latency_us", self.latency_us)
+    }
+
+    /// Render the server response body.
+    pub fn to_json(&self) -> String {
+        self.fill(JsonObject::new()).finish()
+    }
+
+    /// Render the CLI's `--json` line, `"command"`-prefixed.
+    pub fn to_json_with_command(&self, command: &str) -> String {
+        self.fill(JsonObject::new().str("command", command))
+            .finish()
+    }
+
+    /// Parse a response body. `count` is ignored on read.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let arr = v
+            .get("suggestions")
+            .and_then(Json::as_array)
+            .ok_or(WireError::Shape(SUGGEST_RESPONSE_SHAPE))?;
+        let mut suggestions = Vec::with_capacity(arr.len());
+        for item in arr {
+            suggestions.push(SuggestedVariant::from_value(item)?);
+        }
+        let fidelity = Fidelity::from_response(&v, SUGGEST_RESPONSE_SHAPE)?;
+        let generation = opt_u64(&v, "generation", SUGGEST_RESPONSE_SHAPE)?;
+        let latency_us =
+            get_u64(&v, "latency_us").ok_or(WireError::Shape(SUGGEST_RESPONSE_SHAPE))?;
+        Ok(Self {
+            suggestions,
+            fidelity,
+            generation,
+            latency_us,
+        })
+    }
+}
+
+/// Body of `POST /v1/explain`: the same two-creative pair as a
+/// [`ScoreRequest`], scored *and* decomposed span by span.
+///
+/// Wire shape: `{"r":"…","s":"…"}`; malformed bodies report
+/// [`SCORE_REQUEST_SHAPE`], which describes this shape too.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainRequest {
+    /// Candidate creative (the "R" side).
+    pub r: String,
+    /// Reference creative (the "S" side).
+    pub s: String,
+}
+
+impl ExplainRequest {
+    /// Render the request body.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .str("r", &self.r)
+            .str("s", &self.s)
+            .finish()
+    }
+
+    /// Parse a request body.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let req = ScoreRequest::from_json(body)?;
+        Ok(Self { r: req.r, s: req.s })
+    }
+}
+
+/// What kind of model feature a wire span attribution prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// `"kind":"term"` — an n-gram occurrence on one side.
+    Term,
+    /// `"kind":"rewrite"` — an aligned phrase substitution.
+    Rewrite,
+}
+
+impl SpanKind {
+    /// The wire spelling: `"term"` or `"rewrite"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Term => "term",
+            SpanKind::Rewrite => "rewrite",
+        }
+    }
+}
+
+/// Which creative a wire span attribution anchors to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSide {
+    /// `"side":"R"` — the candidate creative.
+    R,
+    /// `"side":"S"` — the reference creative.
+    S,
+}
+
+impl SpanSide {
+    /// The wire spelling: `"R"` or `"S"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanSide::R => "R",
+            SpanSide::S => "S",
+        }
+    }
+}
+
+/// One span of an [`ExplainResponse`]: a term or rewrite occurrence with
+/// its trained weight and score contribution.
+///
+/// Wire shape (field order is contractual):
+/// `{"kind":"term","side":"R","text":"…","line":L,"pos":P,"value":V,
+/// "weight":W,"contribution":C}` — rewrite spans insert `"to":"…"` after
+/// `"text"` and `"to_line":L,"to_pos":P` after `"pos"`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAttribution {
+    /// Term or rewrite.
+    pub kind: SpanKind,
+    /// Side the anchoring span lives in (rewrites anchor R).
+    pub side: SpanSide,
+    /// The span's phrase (for rewrites, in the observed direction).
+    pub text: String,
+    /// For rewrites: the S-side replacement phrase.
+    pub to: Option<String>,
+    /// Zero-based line of the anchoring span.
+    pub line: u64,
+    /// Zero-based token offset within the line.
+    pub pos: u64,
+    /// For rewrites: `(line, pos)` of the S-side occurrence.
+    pub to_span: Option<(u64, u64)>,
+    /// Antisymmetric feature value (+1 R-side, −1 S-side).
+    pub value: f64,
+    /// Trained weight the value is priced at (0 outside the vocabulary).
+    pub weight: f64,
+    /// `value × weight` — this span's share of the margin.
+    pub contribution: f64,
+}
+
+impl SpanAttribution {
+    fn to_json(&self) -> String {
+        let obj = JsonObject::new()
+            .str("kind", self.kind.as_str())
+            .str("side", self.side.as_str())
+            .str("text", &self.text);
+        let obj = match &self.to {
+            Some(to) => obj.str("to", to),
+            None => obj,
+        };
+        let obj = obj.u64("line", self.line).u64("pos", self.pos);
+        let obj = match self.to_span {
+            Some((l, p)) => obj.u64("to_line", l).u64("to_pos", p),
+            None => obj,
+        };
+        obj.f64("value", self.value)
+            .f64("weight", self.weight)
+            .f64("contribution", self.contribution)
+            .finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        let shape = WireError::Shape(EXPLAIN_RESPONSE_SHAPE);
+        let kind = match v.get("kind").and_then(Json::as_str) {
+            Some("term") => SpanKind::Term,
+            Some("rewrite") => SpanKind::Rewrite,
+            _ => return Err(shape),
+        };
+        let side = match v.get("side").and_then(Json::as_str) {
+            Some("R") => SpanSide::R,
+            Some("S") => SpanSide::S,
+            _ => return Err(shape),
+        };
+        let text = v
+            .get("text")
+            .and_then(Json::as_str)
+            .ok_or(shape.clone())?
+            .to_string();
+        let to = v.get("to").and_then(Json::as_str).map(str::to_string);
+        let line = get_u64(v, "line").ok_or(shape.clone())?;
+        let pos = get_u64(v, "pos").ok_or(shape.clone())?;
+        let to_span = match (
+            opt_u64(v, "to_line", EXPLAIN_RESPONSE_SHAPE)?,
+            opt_u64(v, "to_pos", EXPLAIN_RESPONSE_SHAPE)?,
+        ) {
+            (Some(l), Some(p)) => Some((l, p)),
+            (None, None) => None,
+            _ => return Err(shape),
+        };
+        let value = v.get("value").and_then(Json::as_f64).ok_or(shape.clone())?;
+        let weight = v
+            .get("weight")
+            .and_then(Json::as_f64)
+            .ok_or(shape.clone())?;
+        let contribution = v.get("contribution").and_then(Json::as_f64).ok_or(shape)?;
+        Ok(Self {
+            kind,
+            side,
+            text,
+            to,
+            line,
+            pos,
+            to_span,
+            value,
+            weight,
+            contribution,
+        })
+    }
+}
+
+impl From<&microbrowse_core::explain::SpanAttribution> for SpanAttribution {
+    fn from(a: &microbrowse_core::explain::SpanAttribution) -> Self {
+        Self {
+            kind: match a.kind {
+                microbrowse_core::explain::SpanKind::Term => SpanKind::Term,
+                microbrowse_core::explain::SpanKind::Rewrite => SpanKind::Rewrite,
+            },
+            side: match a.side {
+                microbrowse_core::features::SpanSide::R => SpanSide::R,
+                microbrowse_core::features::SpanSide::S => SpanSide::S,
+            },
+            text: a.text.clone(),
+            to: a.to.clone(),
+            line: a.line as u64,
+            pos: a.pos as u64,
+            to_span: a.to_span.map(|(l, p)| (l as u64, p as u64)),
+            value: a.value,
+            weight: a.weight,
+            contribution: a.contribution,
+        }
+    }
+}
+
+/// Body of a 200 from `POST /v1/explain`.
+///
+/// Wire shape: `{"score":S,"bias":B,"spans":[…],"count":N,
+/// "fidelity":"full","latency_us":T}` — `score` is exactly what
+/// `/v1/score` would serve for the pair, `bias` the classifier intercept,
+/// `spans` the per-span decomposition (`bias + Σ contribution ≈ score`),
+/// `count` is `spans.len()`; fidelity/generation placement matches every
+/// other scoring response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainResponse {
+    /// The pair's margin, as `/v1/score` would serve it.
+    pub score: f64,
+    /// The classifier intercept.
+    pub bias: f64,
+    /// Per-span attributions, in featurizer emission order.
+    pub spans: Vec<SpanAttribution>,
+    /// Fidelity the explanation was computed at.
+    pub fidelity: Fidelity,
+    /// Generation of the model snapshot that scored, when known.
+    pub generation: Option<u64>,
+    /// Server-side wall-clock time, in microseconds.
+    pub latency_us: u64,
+}
+
+impl ExplainResponse {
+    fn fill(&self, obj: JsonObject) -> JsonObject {
+        let rendered: Vec<String> = self.spans.iter().map(SpanAttribution::to_json).collect();
+        let obj = obj
+            .f64("score", self.score)
+            .f64("bias", self.bias)
+            .raw("spans", &format!("[{}]", rendered.join(",")))
+            .u64("count", self.spans.len() as u64);
+        append_generation(self.fidelity.append_to(obj), self.generation)
+            .u64("latency_us", self.latency_us)
+    }
+
+    /// Render the server response body.
+    pub fn to_json(&self) -> String {
+        self.fill(JsonObject::new()).finish()
+    }
+
+    /// Render the CLI's `--json` line, `"command"`-prefixed.
+    pub fn to_json_with_command(&self, command: &str) -> String {
+        self.fill(JsonObject::new().str("command", command))
+            .finish()
+    }
+
+    /// Parse a response body. `count` is ignored on read.
+    pub fn from_json(body: &str) -> Result<Self, WireError> {
+        let v = parse_body(body)?;
+        let shape = WireError::Shape(EXPLAIN_RESPONSE_SHAPE);
+        let score = v.get("score").and_then(Json::as_f64).ok_or(shape.clone())?;
+        let bias = v.get("bias").and_then(Json::as_f64).ok_or(shape.clone())?;
+        let arr = v.get("spans").and_then(Json::as_array).ok_or(shape)?;
+        let mut spans = Vec::with_capacity(arr.len());
+        for item in arr {
+            spans.push(SpanAttribution::from_value(item)?);
+        }
+        let fidelity = Fidelity::from_response(&v, EXPLAIN_RESPONSE_SHAPE)?;
+        let generation = opt_u64(&v, "generation", EXPLAIN_RESPONSE_SHAPE)?;
+        let latency_us =
+            get_u64(&v, "latency_us").ok_or(WireError::Shape(EXPLAIN_RESPONSE_SHAPE))?;
+        Ok(Self {
+            score,
+            bias,
+            spans,
+            fidelity,
+            generation,
+            latency_us,
+        })
+    }
+}
+
 /// Machine-readable code for a request shed because its deadline (the
 /// `X-Mb-Deadline-Ms` budget or the server default) expired before scoring.
 pub const CODE_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
@@ -676,6 +1258,21 @@ pub const CODE_DEADLINE_EXCEEDED: &str = "deadline_exceeded";
 pub const CODE_OVERLOADED: &str = "overloaded";
 /// Machine-readable code for a request whose deadline header did not parse.
 pub const CODE_BAD_DEADLINE: &str = "bad_deadline";
+/// Machine-readable code for a 400: the body failed to parse or validate.
+pub const CODE_BAD_REQUEST: &str = "bad_request";
+/// Machine-readable code for a 404: no such v1 endpoint.
+pub const CODE_NOT_FOUND: &str = "not_found";
+/// Machine-readable code for a 405: the endpoint exists, the method is wrong.
+pub const CODE_METHOD_NOT_ALLOWED: &str = "method_not_allowed";
+/// Machine-readable code for a 413: body, batch, or beam over the cap.
+pub const CODE_TOO_LARGE: &str = "too_large";
+/// Machine-readable code for a 408: the client sent bytes too slowly.
+pub const CODE_TIMEOUT: &str = "request_timeout";
+/// Machine-readable code for a 503 with no retry cure: the endpoint is
+/// disabled or has no backing state (distinct from [`CODE_OVERLOADED`]).
+pub const CODE_UNAVAILABLE: &str = "unavailable";
+/// Machine-readable code for a 500: the server broke, not the request.
+pub const CODE_INTERNAL: &str = "internal";
 
 /// Body of every non-2xx response: `{"error":"…"}`, optionally followed by
 /// a machine-readable `"code"` (one of the `CODE_*` constants) that retry
@@ -877,15 +1474,259 @@ mod tests {
                 ScoreResponse::new(1.0, Fidelity::Full, 5),
                 ScoreResponse::new(-0.5, Fidelity::Full, 4),
             ],
+            fidelity: Fidelity::Full,
+            generation: None,
             latency_us: 11,
         };
         let wire = resp.to_json();
         assert_eq!(
             wire,
-            r#"{"results":[{"score":1.0,"winner":"R","fidelity":"full","latency_us":5},{"score":-0.5,"winner":"S","fidelity":"full","latency_us":4}],"count":2,"latency_us":11}"#
+            r#"{"results":[{"score":1.0,"winner":"R","fidelity":"full","latency_us":5},{"score":-0.5,"winner":"S","fidelity":"full","latency_us":4}],"count":2,"fidelity":"full","latency_us":11}"#
         );
         assert_parses(&wire);
         assert_eq!(BatchResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_batch_response_with_generation() {
+        let resp = BatchResponse {
+            results: vec![ScoreResponse::new(1.0, Fidelity::Full, 5).with_generation(Some(3))],
+            fidelity: Fidelity::Full,
+            generation: Some(3),
+            latency_us: 9,
+        };
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"results":[{"score":1.0,"winner":"R","fidelity":"full","generation":3,"latency_us":5}],"count":1,"fidelity":"full","generation":3,"latency_us":9}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(BatchResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_score_response_with_generation() {
+        let resp = ScoreResponse::new(1.5, Fidelity::Full, 42).with_generation(Some(7));
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"score":1.5,"winner":"R","fidelity":"full","generation":7,"latency_us":42}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(ScoreResponse::from_json(&wire).unwrap(), resp);
+        // Generation slots between the fidelity fields and latency when
+        // degraded, too.
+        let deg = ScoreResponse::new(
+            -1.0,
+            Fidelity::Degraded {
+                reason: "stats snapshot missing".into(),
+            },
+            3,
+        )
+        .with_generation(Some(2));
+        assert_eq!(
+            deg.to_json(),
+            r#"{"score":-1.0,"winner":"S","fidelity":"degraded","degrade_reason":"stats snapshot missing","generation":2,"latency_us":3}"#
+        );
+    }
+
+    #[test]
+    fn golden_rank_response_with_generation() {
+        let resp =
+            RankResponse::from_zero_based(&[1, 0], Fidelity::Full, 8).with_generation(Some(4));
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"order":[2,1],"fidelity":"full","generation":4,"latency_us":8}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(RankResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn golden_suggest_request() {
+        let req = SuggestRequest {
+            creative: "book pricey flights|fees apply".into(),
+            beam_width: Some(4),
+            max_depth: Some(2),
+            top_k: Some(3),
+        };
+        let wire = req.to_json();
+        assert_eq!(
+            wire,
+            r#"{"creative":"book pricey flights|fees apply","beam_width":4,"max_depth":2,"top_k":3}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(SuggestRequest::from_json(&wire).unwrap(), req);
+        // The minimal request carries only the creative.
+        let min = SuggestRequest::new("a|b");
+        assert_eq!(min.to_json(), r#"{"creative":"a|b"}"#);
+        assert_eq!(SuggestRequest::from_json(&min.to_json()).unwrap(), min);
+    }
+
+    #[test]
+    fn golden_suggest_response() {
+        let resp = SuggestResponse {
+            suggestions: vec![SuggestedVariant {
+                creative: "book cheap flights".into(),
+                score: 3.5,
+                rewrites: vec![SuggestedRewrite {
+                    from: "pricey".into(),
+                    to: "cheap".into(),
+                    line: 0,
+                    pos: 1,
+                    delta: 3.5,
+                }],
+            }],
+            fidelity: Fidelity::Full,
+            generation: Some(2),
+            latency_us: 120,
+        };
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"suggestions":[{"creative":"book cheap flights","score":3.5,"rewrites":[{"from":"pricey","to":"cheap","line":0,"pos":1,"delta":3.5}]}],"count":1,"fidelity":"full","generation":2,"latency_us":120}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(SuggestResponse::from_json(&wire).unwrap(), resp);
+        // Empty suggestion lists are a valid 200.
+        let empty = SuggestResponse {
+            suggestions: vec![],
+            fidelity: Fidelity::Full,
+            generation: None,
+            latency_us: 5,
+        };
+        assert_eq!(
+            empty.to_json(),
+            r#"{"suggestions":[],"count":0,"fidelity":"full","latency_us":5}"#
+        );
+        assert_eq!(SuggestResponse::from_json(&empty.to_json()).unwrap(), empty);
+        // The CLI line is the same fields, command-prefixed.
+        assert!(resp
+            .to_json_with_command("suggest")
+            .starts_with(r#"{"command":"suggest","suggestions":"#));
+    }
+
+    #[test]
+    fn golden_explain_request() {
+        let req = ExplainRequest {
+            r: "a|b".into(),
+            s: "c".into(),
+        };
+        let wire = req.to_json();
+        assert_eq!(wire, r#"{"r":"a|b","s":"c"}"#);
+        assert_eq!(ExplainRequest::from_json(&wire).unwrap(), req);
+        assert_eq!(
+            ExplainRequest::from_json("{}"),
+            Err(WireError::Shape(SCORE_REQUEST_SHAPE))
+        );
+    }
+
+    #[test]
+    fn golden_explain_response() {
+        let resp = ExplainResponse {
+            score: 3.75,
+            bias: 0.25,
+            spans: vec![
+                SpanAttribution {
+                    kind: SpanKind::Term,
+                    side: SpanSide::R,
+                    text: "cheap".into(),
+                    to: None,
+                    line: 0,
+                    pos: 1,
+                    to_span: None,
+                    value: 1.0,
+                    weight: 2.0,
+                    contribution: 2.0,
+                },
+                SpanAttribution {
+                    kind: SpanKind::Rewrite,
+                    side: SpanSide::R,
+                    text: "cheap".into(),
+                    to: Some("pricey".into()),
+                    line: 0,
+                    pos: 1,
+                    to_span: Some((0, 1)),
+                    value: 1.0,
+                    weight: 1.5,
+                    contribution: 1.5,
+                },
+            ],
+            fidelity: Fidelity::Full,
+            generation: Some(1),
+            latency_us: 33,
+        };
+        let wire = resp.to_json();
+        assert_eq!(
+            wire,
+            r#"{"score":3.75,"bias":0.25,"spans":[{"kind":"term","side":"R","text":"cheap","line":0,"pos":1,"value":1.0,"weight":2.0,"contribution":2.0},{"kind":"rewrite","side":"R","text":"cheap","to":"pricey","line":0,"pos":1,"to_line":0,"to_pos":1,"value":1.0,"weight":1.5,"contribution":1.5}],"count":2,"fidelity":"full","generation":1,"latency_us":33}"#
+        );
+        assert_parses(&wire);
+        assert_eq!(ExplainResponse::from_json(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn suggest_and_explain_shape_errors() {
+        assert_eq!(
+            SuggestRequest::from_json("{}"),
+            Err(WireError::Shape(SUGGEST_REQUEST_SHAPE))
+        );
+        assert_eq!(
+            SuggestRequest::from_json(r#"{"creative":"a","beam_width":-1}"#),
+            Err(WireError::Shape(SUGGEST_REQUEST_SHAPE))
+        );
+        assert_eq!(
+            SuggestResponse::from_json(
+                r#"{"suggestions":[{"creative":"a"}],"count":1,"fidelity":"full","latency_us":1}"#
+            ),
+            Err(WireError::Shape(SUGGEST_RESPONSE_SHAPE))
+        );
+        assert_eq!(
+            SuggestResponse::from_json(r#"{"count":0,"fidelity":"full","latency_us":1}"#),
+            Err(WireError::Shape(SUGGEST_RESPONSE_SHAPE))
+        );
+        assert_eq!(
+            ExplainResponse::from_json(
+                r#"{"score":1.0,"bias":0.0,"spans":[{"kind":"nope"}],"count":1,"fidelity":"full","latency_us":1}"#
+            ),
+            Err(WireError::Shape(EXPLAIN_RESPONSE_SHAPE))
+        );
+        assert_eq!(
+            ExplainResponse::from_json(
+                r#"{"bias":0.0,"spans":[],"fidelity":"full","latency_us":1}"#
+            ),
+            Err(WireError::Shape(EXPLAIN_RESPONSE_SHAPE))
+        );
+        // A generation that is not a non-negative integer is a shape error.
+        assert_eq!(
+            ScoreResponse::from_json(
+                r#"{"score":1.0,"winner":"R","fidelity":"full","generation":1.5,"latency_us":1}"#
+            ),
+            Err(WireError::Shape(SCORE_RESPONSE_SHAPE))
+        );
+    }
+
+    #[test]
+    fn span_attribution_converts_from_core() {
+        let core_span = microbrowse_core::explain::SpanAttribution {
+            kind: microbrowse_core::explain::SpanKind::Rewrite,
+            side: microbrowse_core::features::SpanSide::R,
+            text: "cheap".into(),
+            to: Some("pricey".into()),
+            line: 1,
+            pos: 2,
+            to_span: Some((1, 3)),
+            value: -1.0,
+            weight: 0.5,
+            contribution: -0.5,
+        };
+        let wire = SpanAttribution::from(&core_span);
+        assert_eq!(wire.kind, SpanKind::Rewrite);
+        assert_eq!(wire.side, SpanSide::R);
+        assert_eq!(wire.to.as_deref(), Some("pricey"));
+        assert_eq!(wire.to_span, Some((1, 3)));
+        assert_eq!(wire.contribution, -0.5);
     }
 
     #[test]

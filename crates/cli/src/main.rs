@@ -34,10 +34,14 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use microbrowse_api::v1::{RankResponse, ScoreResponse, Winner};
+use microbrowse_api::v1::{
+    ExplainResponse, RankResponse, ScoreResponse, SpanAttribution, SuggestResponse,
+    SuggestedRewrite, SuggestedVariant, Winner,
+};
 use microbrowse_core::classifier::{ModelSpec, TrainConfig, TrainedClassifier};
 use microbrowse_core::error::MbError;
-use microbrowse_core::features::{Featurizer, PositionVocab};
+use microbrowse_core::explain::{explain_pair, SpanKind};
+use microbrowse_core::features::{Featurizer, PositionVocab, SpanSide};
 use microbrowse_core::optimize::{optimize_creative, Edit, OptimizeConfig};
 use microbrowse_core::pipeline::{run_experiments, ExperimentConfig};
 use microbrowse_core::serve::{
@@ -45,6 +49,7 @@ use microbrowse_core::serve::{
     ServingBundle, MODEL_SLOT_NAME, STATS_SLOT_NAME,
 };
 use microbrowse_core::statsbuild::{build_stats, StatsBuildConfig, TokenizedCorpus};
+use microbrowse_core::suggest::{suggest, SuggestConfig};
 use microbrowse_core::{PairFilter, Placement};
 use microbrowse_store::{ArtifactSlot, SnapshotError, StatsDb};
 use microbrowse_synth::{generate, GeneratorConfig};
@@ -98,6 +103,8 @@ fn main() -> ExitCode {
         "experiment" => cmd_experiment(&flags),
         "score" => cmd_score(&flags),
         "rank" => cmd_rank(&flags),
+        "suggest" => cmd_suggest(&flags),
+        "explain" => cmd_explain(&flags),
         "optimize" => cmd_optimize(&flags),
         "validate" => cmd_validate(&flags),
         "metrics" => cmd_metrics(&flags),
@@ -134,6 +141,11 @@ const USAGE: &str = "usage:
                        [--threads T]  (cross-validated engine run, no artifacts written)
   microbrowse score    --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3' [--json]
   microbrowse rank     --model FILE --stats FILE --creative '…' --creative '…' [...] [--json]
+  microbrowse suggest  --model FILE --stats FILE --creative 'l1|l2|l3'
+                       [--beam-width N] [--max-depth N] [--top-k N] [--json]
+                       (beam-search corpus rewrites for higher-scoring variants)
+  microbrowse explain  --model FILE --stats FILE --r 'l1|l2|l3' --s 'l1|l2|l3' [--json]
+                       (attribute the pair's score span by span)
   microbrowse optimize --model FILE --stats FILE --base 'l1|l2|l3'
                        [--rewrite 'from=to']... [--swap-lines A,B]... [--move-front 'phrase']...
   microbrowse validate --model FILE [--stats FILE]
@@ -141,10 +153,12 @@ const USAGE: &str = "usage:
                        (score a held-out corpus, dump Prometheus-style metrics)
   microbrowse serve    --slot-dir DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
                        [--max-batch N] [--max-conns N] [--request-deadline-ms MS]
+                       [--max-beam N] [--max-suggestions N]
                        [--flight-recorder-slow-ms MS] [--access-log]
                        [--feedback-journal DIR] [--refit-interval SECS]
                        [--min-refit-batches N]
-                       (HTTP scoring server: POST /v1/score /v1/rank /v1/batch,
+                       (HTTP scoring server: POST /v1/score /v1/rank /v1/batch
+                        /v1/suggest /v1/explain,
                         GET /healthz /metrics /version /debug/trace
                         /debug/requests; hot-reloads new slot generations;
                         graceful drain on stdin EOF; sheds expired work under
@@ -317,6 +331,8 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
         "experiment" => Some(&["spec", "adgroups", "seed", "folds", "threads"]),
         "score" => Some(&["r", "s", "json"]),
         "rank" => Some(&["creative", "json"]),
+        "suggest" => Some(&["creative", "beam-width", "max-depth", "top-k", "json"]),
+        "explain" => Some(&["r", "s", "json"]),
         "optimize" => Some(&["base", "rewrite", "swap-lines", "move-front"]),
         "validate" => Some(&[]),
         "metrics" => Some(&["adgroups", "seed"]),
@@ -325,6 +341,8 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "workers",
             "queue-depth",
             "max-batch",
+            "max-beam",
+            "max-suggestions",
             "max-conns",
             "request-deadline-ms",
             "flight-recorder-slow-ms",
@@ -665,6 +683,123 @@ fn cmd_score(flags: &Flags) -> Result<(), MbError> {
     Ok(())
 }
 
+/// A snippet back in the CLI/wire spelling: lines joined with `|`.
+fn render_snippet(s: &Snippet) -> String {
+    let lines: Vec<&str> = s.lines().iter().map(|l| l.text.as_str()).collect();
+    lines.join("|")
+}
+
+fn cmd_suggest(flags: &Flags) -> Result<(), MbError> {
+    let json: bool = flags.parse_or("json", false)?;
+    let bundle = load_bundle(flags)?;
+    let creative = parse_snippet(flags.require("creative")?);
+    let base = SuggestConfig::default();
+    let cfg = SuggestConfig {
+        beam_width: flags.parse_or("beam-width", base.beam_width)?,
+        max_depth: flags.parse_or("max-depth", base.max_depth)?,
+        top_k: flags.parse_or("top-k", base.top_k)?,
+        ..base
+    };
+    if cfg.beam_width == 0 || cfg.max_depth == 0 || cfg.top_k == 0 {
+        return Err(MbError::usage(
+            "--beam-width, --max-depth, and --top-k must be >= 1",
+        ));
+    }
+    let scorer = bundle.scorer();
+    let mut scratch = scorer.scratch();
+    let started = Instant::now();
+    let out = suggest(&scorer, &creative, &cfg, &mut scratch);
+    let latency_us = started.elapsed().as_micros() as u64;
+    if json {
+        let resp = SuggestResponse {
+            suggestions: out
+                .iter()
+                .map(|s| SuggestedVariant {
+                    creative: render_snippet(&s.creative),
+                    score: s.score,
+                    rewrites: s.steps.iter().map(SuggestedRewrite::from).collect(),
+                })
+                .collect(),
+            fidelity: scorer.fidelity().into(),
+            generation: bundle.model_generation(),
+            latency_us,
+        };
+        println!("{}", resp.to_json_with_command("suggest"));
+        return Ok(());
+    }
+    if out.is_empty() {
+        println!(
+            "no improving rewrites found (the model has no rewrite features, \
+             or no corpus substitution beats the input)"
+        );
+        return Ok(());
+    }
+    println!("suggestions (best first):");
+    for (place, s) in out.iter().enumerate() {
+        println!(
+            "  #{}: {:+.4}  {:?}",
+            place + 1,
+            s.score,
+            render_snippet(&s.creative)
+        );
+        for step in &s.steps {
+            println!(
+                "       {:?} → {:?} (line {}, pos {}): {:+.4}",
+                step.from, step.to, step.line, step.pos, step.delta
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_explain(flags: &Flags) -> Result<(), MbError> {
+    let json: bool = flags.parse_or("json", false)?;
+    let bundle = load_bundle(flags)?;
+    let r = parse_snippet(flags.require("r")?);
+    let s = parse_snippet(flags.require("s")?);
+    let scorer = bundle.scorer();
+    let mut scratch = scorer.scratch();
+    let started = Instant::now();
+    let exp = explain_pair(&scorer, &r, &s, &mut scratch);
+    let latency_us = started.elapsed().as_micros() as u64;
+    if json {
+        let resp = ExplainResponse {
+            score: exp.score,
+            bias: exp.bias,
+            spans: exp.spans.iter().map(SpanAttribution::from).collect(),
+            fidelity: (&exp.fidelity).into(),
+            generation: bundle.model_generation(),
+            latency_us,
+        };
+        println!("{}", resp.to_json_with_command("explain"));
+        return Ok(());
+    }
+    println!(
+        "score(R→S) = {:+.4} (bias {:+.4}; positive ⇒ R expected to out-click S)",
+        exp.score, exp.bias
+    );
+    if let Fidelity::Degraded(reason) = &exp.fidelity {
+        println!("fidelity: degraded — {reason}");
+    }
+    for a in &exp.spans {
+        let side = match a.side {
+            SpanSide::R => "R",
+            SpanSide::S => "S",
+        };
+        match (a.kind, &a.to) {
+            (SpanKind::Rewrite, Some(to)) => println!(
+                "  [{side}] rewrite {:?} → {to:?} (line {}, pos {}): {:+.4}",
+                a.text, a.line, a.pos, a.contribution
+            ),
+            _ => println!(
+                "  [{side}] term {:?} (line {}, pos {}): {:+.4} (weight {:+.4})",
+                a.text, a.line, a.pos, a.contribution, a.weight
+            ),
+        }
+    }
+    Ok(())
+}
+
 fn cmd_rank(flags: &Flags) -> Result<(), MbError> {
     let json: bool = flags.parse_or("json", false)?;
     let bundle = load_bundle(flags)?;
@@ -981,6 +1116,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
         workers: flags.parse_or("workers", 4)?,
         queue_depth: flags.parse_or("queue-depth", 128)?,
         max_batch: flags.parse_or("max-batch", 256)?,
+        max_beam: flags.parse_or("max-beam", 32)?,
+        max_suggestions: flags.parse_or("max-suggestions", 32)?,
         // 0 = unlimited connections / no server-side default deadline.
         max_conns: flags.parse_or("max-conns", 1024)?,
         request_deadline: (request_deadline_ms > 0)
@@ -993,6 +1130,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), MbError> {
     if cfg.workers == 0 || cfg.queue_depth == 0 || cfg.max_batch == 0 {
         return Err(MbError::usage(
             "--workers, --queue-depth, and --max-batch must be >= 1",
+        ));
+    }
+    if cfg.max_beam == 0 || cfg.max_suggestions == 0 {
+        return Err(MbError::usage(
+            "--max-beam and --max-suggestions must be >= 1",
         ));
     }
     let handle = start(cfg, BundleSource::Artifacts(source))?;

@@ -114,6 +114,22 @@ impl CompiledStat {
     }
 }
 
+/// One edge of the per-phrase rewrite adjacency: a partner phrase this
+/// phrase has rewrite evidence with, plus the evidence the beam search
+/// ranks candidates by.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewriteNeighbor {
+    /// Table phrase id of the partner phrase.
+    pub other: u32,
+    /// Precomputed α=1 log-odds of the stored rewrite record.
+    pub log_odds: f64,
+    /// Total observation count of the stored record (evidence mass).
+    pub total: u64,
+    /// Whether the queried phrase is the `from` side of the stored record
+    /// (the direction the database observed the substitution in).
+    pub stored_from: bool,
+}
+
 /// An immutable, probe-optimized compilation of a [`StatsDb`].
 ///
 /// Built once per [`crate::serve::ServingBundle`]; shared read-only across
@@ -144,6 +160,13 @@ pub struct CompiledFeatureTable {
     rw_pos_entries: Vec<u32>,
     /// All compiled entries, in [`StatsDb::sorted_records`] order.
     entries: Vec<CompiledStat>,
+    /// Phrase id → start offset into `rw_adj` (length `num_phrases + 1`;
+    /// empty when the database holds no rewrite records).
+    rw_adj_start: Vec<u32>,
+    /// Per-phrase rewrite neighbor lists, concatenated in phrase-id order;
+    /// each list is in sorted packed-key order, so enumeration is
+    /// deterministic for a given database.
+    rw_adj: Vec<RewriteNeighbor>,
 }
 
 impl CompiledFeatureTable {
@@ -201,6 +224,51 @@ impl CompiledFeatureTable {
         for (rank, &id) in by_string.iter().enumerate() {
             t.lex_rank[id as usize] = rank as u32;
         }
+
+        // Per-phrase rewrite adjacency, built by counting sort over the
+        // sorted key slice: each stored record contributes one edge to its
+        // `from` phrase and one to its `to` phrase (one edge total for the
+        // degenerate self-rewrite). Filling in sorted-key order keeps every
+        // neighbor list deterministic for a given database.
+        let n = t.phrases.len();
+        let mut start = vec![0u32; n + 1];
+        for &key in &t.rewrite_keys {
+            let (from, to) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+            start[from + 1] += 1;
+            if to != from {
+                start[to + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            start[i + 1] += start[i];
+        }
+        let mut cursor = start.clone();
+        t.rw_adj = vec![
+            RewriteNeighbor {
+                other: 0,
+                log_odds: 0.0,
+                total: 0,
+                stored_from: false,
+            };
+            start[n] as usize
+        ];
+        for (i, &key) in t.rewrite_keys.iter().enumerate() {
+            let (from, to) = ((key >> 32) as u32, (key & 0xFFFF_FFFF) as u32);
+            let entry = &t.entries[t.rewrite_entries[i] as usize];
+            let edge = |other, stored_from| RewriteNeighbor {
+                other,
+                log_odds: entry.log_odds,
+                total: entry.stat.total(),
+                stored_from,
+            };
+            t.rw_adj[cursor[from as usize] as usize] = edge(to, true);
+            cursor[from as usize] += 1;
+            if to != from {
+                t.rw_adj[cursor[to as usize] as usize] = edge(from, false);
+                cursor[to as usize] += 1;
+            }
+        }
+        t.rw_adj_start = start;
         Ok(t)
     }
 
@@ -230,6 +298,24 @@ impl CompiledFeatureTable {
     /// The table's private id for `phrase`, if any key mentions it.
     pub fn phrase_id(&self, phrase: &str) -> Option<u32> {
         self.phrases.get(phrase).map(|s| s.0)
+    }
+
+    /// The phrase string for a table id previously returned by
+    /// [`Self::phrase_id`] or found in a [`RewriteNeighbor`].
+    pub fn resolve_phrase(&self, id: u32) -> Option<&str> {
+        self.phrases.try_resolve(Sym(id))
+    }
+
+    /// Every phrase the rewrite database pairs with `phrase` (a table id),
+    /// with the stored record's evidence. Deterministic order (sorted
+    /// packed-key order of the stored records); empty for ids without
+    /// rewrite evidence.
+    pub fn rewrite_neighbors(&self, phrase: u32) -> &[RewriteNeighbor] {
+        let i = phrase as usize;
+        match (self.rw_adj_start.get(i), self.rw_adj_start.get(i + 1)) {
+            (Some(&a), Some(&b)) => &self.rw_adj[a as usize..b as usize],
+            _ => &[],
+        }
     }
 
     /// Whether phrase `a` precedes-or-equals phrase `b` lexicographically,
@@ -484,6 +570,32 @@ mod tests {
         let zz = table.phrase_id("zz").unwrap();
         let aa = table.phrase_id("aa").unwrap();
         assert_eq!(table.greedy_rewrite_score(zz, aa), None);
+    }
+
+    #[test]
+    fn rewrite_neighbors_cover_both_directions() {
+        let db = demo_db();
+        let table = CompiledFeatureTable::compile(&db).expect("compile");
+        let cheap = table.phrase_id("cheap").unwrap();
+        let discount = table.phrase_id("discount").unwrap();
+        let flights = table.phrase_id("flights").unwrap();
+
+        let from_side = table.rewrite_neighbors(cheap);
+        assert_eq!(from_side.len(), 1);
+        assert_eq!(from_side[0].other, discount);
+        assert!(from_side[0].stored_from);
+        assert_eq!(from_side[0].total, 7);
+        let want = FeatureStat { up: 6, down: 1 }.log_odds(1.0);
+        assert_eq!(from_side[0].log_odds.to_bits(), want.to_bits());
+
+        let to_side = table.rewrite_neighbors(discount);
+        assert_eq!(to_side.len(), 1);
+        assert_eq!(to_side[0].other, cheap);
+        assert!(!to_side[0].stored_from);
+        assert_eq!(table.resolve_phrase(to_side[0].other), Some("cheap"));
+
+        assert!(table.rewrite_neighbors(flights).is_empty());
+        assert!(table.rewrite_neighbors(u32::MAX - 1).is_empty());
     }
 
     #[test]

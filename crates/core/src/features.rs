@@ -131,6 +131,48 @@ struct RawFeature {
     value: f64,
 }
 
+/// Which creative of the scored pair a span attribution anchors to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSide {
+    /// The R (first) creative.
+    R,
+    /// The S (second) creative.
+    S,
+}
+
+/// One feature occurrence with its source span, produced by
+/// [`Featurizer::explain_features`] for the attribution path
+/// (`crate::explain`).
+///
+/// The `(feat, feat_id, pos_group, value)` projection of the record stream
+/// is exactly what [`Featurizer::encode_flat`] /
+/// [`Featurizer::encode_coupled`] collect for the same pair, in the same
+/// emission order — the span fields are the only addition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplainRecord {
+    /// The vocabulary feature (canonical lexicographic order for rewrites).
+    pub feat: TermFeat,
+    /// The feature's vocabulary id, assigned with the same
+    /// encounter-ordered rule as every encoding path.
+    pub feat_id: u32,
+    /// The coupled-model position group of the occurrence.
+    pub pos_group: u32,
+    /// Antisymmetric feature value (+1 R-side, −1 S-side). For rewrites the
+    /// sign additionally encodes the observed direction: `+1` means the
+    /// observed `from` phrase is the canonical first phrase, `-1` that it
+    /// is the canonical second.
+    pub value: f64,
+    /// Which creative the anchoring span lives in. Rewrites anchor to
+    /// [`SpanSide::R`]: the observed `from` occurrence.
+    pub side: SpanSide,
+    /// Zero-based line of the anchoring span.
+    pub line: u8,
+    /// Zero-based token offset of the anchoring span within its line.
+    pub pos: u16,
+    /// For rewrites only: `(line, pos)` of the S-side (`to`) occurrence.
+    pub to_span: Option<(u8, u16)>,
+}
+
 /// Encoded data for one model spec: exactly one of the two encodings.
 #[derive(Debug, Clone)]
 pub enum EncodedData {
@@ -291,6 +333,117 @@ impl<'a> Featurizer<'a> {
         }
 
         raw
+    }
+
+    /// Collect one pair's feature occurrences *with their source spans*,
+    /// for the attribution path.
+    ///
+    /// Emission order, position groups, values, and vocabulary-id
+    /// assignment are identical to [`Self::encode_flat`] /
+    /// [`Self::encode_coupled`] over the same pair, so per-record
+    /// contributions computed against the trained weights sum to the score
+    /// the serving paths produce (within float-summation tolerance).
+    /// Identity rewrites (a phrase that only *moved*) surface as the same
+    /// two positional term records the encoders emit.
+    pub fn explain_features(
+        &mut self,
+        r: &TokenizedSnippet,
+        s: &TokenizedSnippet,
+        interner: &mut Interner,
+    ) -> Vec<ExplainRecord> {
+        let mut recs = Vec::new();
+
+        if self.spec.terms {
+            for (snippet, sign, side) in [(r, 1.0, SpanSide::R), (s, -1.0, SpanSide::S)] {
+                for occ in self.ngram.extract(snippet, interner) {
+                    let pos = SnippetPos::new(occ.line, occ.pos);
+                    recs.push(ExplainRecord {
+                        feat: TermFeat::Term(occ.ngram.phrase),
+                        feat_id: 0,
+                        pos_group: PositionVocab::term_group(pos),
+                        value: sign,
+                        side,
+                        line: occ.line,
+                        pos: occ.pos,
+                        to_span: None,
+                    });
+                }
+            }
+        }
+
+        if self.spec.rewrites {
+            let ext = self.rewriter.extract(r, s, self.stats, interner);
+            for rw in &ext.rewrites {
+                if rw.from.phrase == rw.to.phrase {
+                    for (occ, sign, side) in
+                        [(&rw.from, 1.0, SpanSide::R), (&rw.to, -1.0, SpanSide::S)]
+                    {
+                        recs.push(ExplainRecord {
+                            feat: TermFeat::Term(occ.phrase),
+                            feat_id: 0,
+                            pos_group: PositionVocab::term_group(occ.pos),
+                            value: sign,
+                            side,
+                            line: occ.pos.line,
+                            pos: occ.pos.pos,
+                            to_span: None,
+                        });
+                    }
+                    continue;
+                }
+                let from_str = interner.resolve(rw.from.phrase);
+                let to_str = interner.resolve(rw.to.phrase);
+                let (feat, value, pos_group) = if is_canonical_order(from_str, to_str) {
+                    (
+                        TermFeat::Rewrite(rw.from.phrase, rw.to.phrase),
+                        1.0,
+                        PositionVocab::rewrite_group(rw.from.pos, rw.to.pos),
+                    )
+                } else {
+                    (
+                        TermFeat::Rewrite(rw.to.phrase, rw.from.phrase),
+                        -1.0,
+                        PositionVocab::rewrite_group(rw.to.pos, rw.from.pos),
+                    )
+                };
+                recs.push(ExplainRecord {
+                    feat,
+                    feat_id: 0,
+                    pos_group,
+                    value,
+                    side: SpanSide::R,
+                    line: rw.from.pos.line,
+                    pos: rw.from.pos.pos,
+                    to_span: Some((rw.to.pos.line, rw.to.pos.pos)),
+                });
+            }
+            if !self.spec.terms {
+                for (leftovers, sign, side) in [
+                    (&ext.r_leftover, 1.0, SpanSide::R),
+                    (&ext.s_leftover, -1.0, SpanSide::S),
+                ] {
+                    for occ in leftovers {
+                        recs.push(ExplainRecord {
+                            feat: TermFeat::Term(occ.phrase),
+                            feat_id: 0,
+                            pos_group: PositionVocab::term_group(occ.pos),
+                            value: sign,
+                            side,
+                            line: occ.pos.line,
+                            pos: occ.pos.pos,
+                            to_span: None,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Second pass: vocabulary ids, assigned in emission order so they
+        // match what the encoding paths would allocate for the same pair.
+        for rec in &mut recs {
+            rec.feat_id = self.feat_id(rec.feat);
+        }
+        recs
     }
 
     /// The n-gram term occurrences [`Self::collect`] would extract for one
@@ -862,6 +1015,47 @@ mod tests {
             .term_feats
             .iter()
             .any(|f| matches!(f, TermFeat::Rewrite(_, _))));
+    }
+
+    #[test]
+    fn explain_records_project_to_the_flat_encoding() {
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["find cheap flights", "best deals"]);
+        let s = snip(&mut interner, &["get discounts flights", "best deals"]);
+        for spec in [m(true, true, false), m(false, true, false)] {
+            let mut enc_fz = Featurizer::new(spec, &stats);
+            let ex = enc_fz.encode_flat(&r, &s, true, &mut interner);
+            let mut exp_fz = Featurizer::new(spec, &stats);
+            let recs = exp_fz.explain_features(&r, &s, &mut interner);
+            assert_eq!(enc_fz.vocab_len(), exp_fz.vocab_len(), "{}", spec.name);
+            let mut sums: std::collections::BTreeMap<u32, f64> = Default::default();
+            for rec in &recs {
+                *sums.entry(rec.feat_id).or_insert(0.0) += rec.value;
+            }
+            sums.retain(|_, v| *v != 0.0);
+            let want: std::collections::BTreeMap<u32, f64> = ex.features.iter().collect();
+            assert_eq!(sums, want, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn explain_rewrite_records_carry_both_spans() {
+        let stats = StatsDb::new();
+        let mut interner = Interner::new();
+        let r = snip(&mut interner, &["find cheap flights"]);
+        let s = snip(&mut interner, &["find pricey flights"]);
+        let mut fz = Featurizer::new(m(false, true, false), &stats);
+        let recs = fz.explain_features(&r, &s, &mut interner);
+        let rewrite = recs
+            .iter()
+            .find(|rec| matches!(rec.feat, TermFeat::Rewrite(_, _)))
+            .expect("one rewrite record");
+        assert_eq!(rewrite.side, SpanSide::R);
+        assert!(rewrite.to_span.is_some());
+        // "cheap" -> "pricey" is canonical order, so the observed
+        // direction keeps value +1.
+        assert_eq!(rewrite.value, 1.0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod classifier;
 pub mod compiled;
 pub mod corpus;
 pub mod error;
+pub mod explain;
 pub mod features;
 pub mod model;
 pub mod optimize;
@@ -48,6 +49,7 @@ pub mod rewrite;
 pub mod serve;
 pub mod serveweight;
 pub mod statsbuild;
+pub mod suggest;
 
 pub use classifier::{ModelSpec, TrainedClassifier};
 pub use compiled::{CompiledFeatureTable, ScoringEngine, SymTableMap};
@@ -55,7 +57,8 @@ pub use corpus::{
     AdCorpus, AdGroup, AdGroupId, Creative, CreativeId, CreativePair, PairFilter, Placement,
 };
 pub use error::{with_retry, MbError, RetryPolicy};
-pub use features::{Featurizer, PositionVocab};
+pub use explain::{explain_pair, Explanation, SpanAttribution, SpanKind};
+pub use features::{Featurizer, PositionVocab, SpanSide};
 pub use model::{score_factored, score_flat, snippet_relevance, TermJudgment};
 pub use optimize::{apply_edit, optimize_creative, Edit, OptimizeConfig, OptimizeOutcome};
 pub use paircache::{AlignCache, PairCache};
@@ -69,3 +72,4 @@ pub use serve::{
 };
 pub use serveweight::{delta_sw, serve_weights, sw_diff};
 pub use statsbuild::{build_stats, build_stats_for, build_stats_from_corpus, StatsBuildConfig};
+pub use suggest::{suggest, RewriteStep, SuggestConfig, Suggestion};

@@ -402,6 +402,15 @@ pub struct Scratch<'a> {
     replay_memo: FxHashMap<usize, (std::sync::Arc<CachedAlignment>, RewriteExtraction)>,
 }
 
+impl<'a> Scratch<'a> {
+    /// Split borrow of the interner and featurizer, for the in-crate
+    /// attribution path (`crate::explain`) which needs both mutably at
+    /// once.
+    pub(crate) fn explain_parts(&mut self) -> (&mut Interner, &mut Featurizer<'a>) {
+        (&mut self.interner, &mut self.featurizer)
+    }
+}
+
 /// Arena entries above this count drop the whole arena (capacity kept) —
 /// the serving working set of distinct snippets is far smaller, this just
 /// bounds memory against adversarial streams.
@@ -525,6 +534,31 @@ impl<'a> Scorer<'a> {
     /// The fidelity this scorer serves at.
     pub fn fidelity(&self) -> &Fidelity {
         &self.fidelity
+    }
+
+    /// The *effective* spec this scorer encodes with — degraded fidelity
+    /// switches the rewrite family off, so this can differ from
+    /// [`Self::spec`] (the deployed model's original spec).
+    pub fn effective_spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The trained classifier, exposed for the attribution path
+    /// (`crate::explain`), which walks its weights feature by feature.
+    pub fn classifier(&self) -> &'a TrainedClassifier {
+        &self.model.classifier
+    }
+
+    /// The tokenizer every scoring path tokenizes with.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// The hot-path engine, when this scorer was built with one (see
+    /// [`Self::with_engine`]). The suggestion path (`crate::suggest`)
+    /// enumerates rewrite candidates from its compiled table.
+    pub fn engine(&self) -> Option<&'a ScoringEngine> {
+        self.engine
     }
 
     /// Score a creative pair: positive means `r` is expected to out-click

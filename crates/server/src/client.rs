@@ -7,10 +7,12 @@
 //! across requests.
 //!
 //! The typed helpers ([`Client::score`], [`Client::rank`],
-//! [`Client::score_batch`]) speak the [`microbrowse_api::v1`] wire types,
-//! so callers never assemble or pick apart JSON by hand; 2xx bodies parse
-//! into the response structs and everything else comes back as the typed
-//! [`ApiError`].
+//! [`Client::score_batch`], [`Client::suggest`], [`Client::explain`])
+//! speak the [`microbrowse_api::v1`] wire types, so callers never assemble
+//! or pick apart JSON by hand; 2xx bodies parse into the response structs
+//! and everything else comes back as the typed [`ApiError`]. Each is a
+//! one-liner over the generic [`Client::call_typed`], which owns the
+//! encode → POST → parse round trip once for every endpoint.
 //!
 //! [`ResilientClient`] wraps the raw client into the failover-ready tier
 //! used under overload: jittered exponential-backoff retries (only for
@@ -34,8 +36,9 @@ use crate::deadline::DEADLINE_HEADER;
 use crate::http::{PARENT_SPAN_HEADER, TRACE_ID_HEADER};
 
 use microbrowse_api::v1::{
-    BatchRequest, BatchResponse, ErrorEnvelope, FeedbackRequest, FeedbackResponse, RankRequest,
-    RankResponse, ScoreRequest, ScoreResponse,
+    BatchRequest, BatchResponse, ErrorEnvelope, ExplainRequest, ExplainResponse, FeedbackRequest,
+    FeedbackResponse, RankRequest, RankResponse, ScoreRequest, ScoreResponse, SuggestRequest,
+    SuggestResponse,
 };
 
 use crate::http::IDEMPOTENCY_HEADER;
@@ -206,22 +209,42 @@ impl Client {
         self.request("POST", path, Some(body))
     }
 
+    /// One typed endpoint round trip: `POST` the encoded request, then
+    /// map the response through [`Client::parse_2xx`]. Every per-endpoint
+    /// helper is a one-liner over this.
+    fn call_typed<T>(
+        &mut self,
+        path: &str,
+        body: &str,
+        parse: impl FnOnce(&str) -> Result<T, microbrowse_api::v1::WireError>,
+    ) -> Result<T, ApiError> {
+        let resp = self.post(path, body)?;
+        Self::parse_2xx(&resp, parse)
+    }
+
     /// `POST /v1/score`, typed end to end.
     pub fn score(&mut self, req: &ScoreRequest) -> Result<ScoreResponse, ApiError> {
-        let resp = self.post("/v1/score", &req.to_json())?;
-        Self::parse_2xx(&resp, ScoreResponse::from_json)
+        self.call_typed("/v1/score", &req.to_json(), ScoreResponse::from_json)
     }
 
     /// `POST /v1/rank`, typed end to end.
     pub fn rank(&mut self, req: &RankRequest) -> Result<RankResponse, ApiError> {
-        let resp = self.post("/v1/rank", &req.to_json())?;
-        Self::parse_2xx(&resp, RankResponse::from_json)
+        self.call_typed("/v1/rank", &req.to_json(), RankResponse::from_json)
     }
 
     /// `POST /v1/batch`, typed end to end.
     pub fn score_batch(&mut self, req: &BatchRequest) -> Result<BatchResponse, ApiError> {
-        let resp = self.post("/v1/batch", &req.to_json())?;
-        Self::parse_2xx(&resp, BatchResponse::from_json)
+        self.call_typed("/v1/batch", &req.to_json(), BatchResponse::from_json)
+    }
+
+    /// `POST /v1/suggest`, typed end to end.
+    pub fn suggest(&mut self, req: &SuggestRequest) -> Result<SuggestResponse, ApiError> {
+        self.call_typed("/v1/suggest", &req.to_json(), SuggestResponse::from_json)
+    }
+
+    /// `POST /v1/explain`, typed end to end.
+    pub fn explain(&mut self, req: &ExplainRequest) -> Result<ExplainResponse, ApiError> {
+        self.call_typed("/v1/explain", &req.to_json(), ExplainResponse::from_json)
     }
 
     /// `POST /v1/feedback`, typed end to end, with an explicit idempotency
@@ -698,20 +721,39 @@ impl ResilientClient {
         }
     }
 
+    /// One typed endpoint round trip through the retry/breaker/deadline
+    /// machinery: `POST` the encoded request with a budget, then map the
+    /// final response through [`Client::parse_2xx`]. Every read-only
+    /// per-endpoint helper is a one-liner over this (feedback differs: it
+    /// pins an idempotency key across attempts).
+    fn call_typed<T>(
+        &mut self,
+        path: &str,
+        body: &str,
+        budget: Duration,
+        parse: impl FnOnce(&str) -> Result<T, microbrowse_api::v1::WireError>,
+    ) -> Result<T, ApiError> {
+        let resp = self.post_json(path, body, budget)?;
+        Client::parse_2xx(&resp, parse)
+    }
+
     /// `POST /v1/score` with retries and a deadline budget.
     pub fn score(
         &mut self,
         req: &ScoreRequest,
         budget: Duration,
     ) -> Result<ScoreResponse, ApiError> {
-        let resp = self.post_json("/v1/score", &req.to_json(), budget)?;
-        Client::parse_2xx(&resp, ScoreResponse::from_json)
+        self.call_typed(
+            "/v1/score",
+            &req.to_json(),
+            budget,
+            ScoreResponse::from_json,
+        )
     }
 
     /// `POST /v1/rank` with retries and a deadline budget.
     pub fn rank(&mut self, req: &RankRequest, budget: Duration) -> Result<RankResponse, ApiError> {
-        let resp = self.post_json("/v1/rank", &req.to_json(), budget)?;
-        Client::parse_2xx(&resp, RankResponse::from_json)
+        self.call_typed("/v1/rank", &req.to_json(), budget, RankResponse::from_json)
     }
 
     /// `POST /v1/batch` with retries and a deadline budget.
@@ -720,8 +762,40 @@ impl ResilientClient {
         req: &BatchRequest,
         budget: Duration,
     ) -> Result<BatchResponse, ApiError> {
-        let resp = self.post_json("/v1/batch", &req.to_json(), budget)?;
-        Client::parse_2xx(&resp, BatchResponse::from_json)
+        self.call_typed(
+            "/v1/batch",
+            &req.to_json(),
+            budget,
+            BatchResponse::from_json,
+        )
+    }
+
+    /// `POST /v1/suggest` with retries and a deadline budget.
+    pub fn suggest(
+        &mut self,
+        req: &SuggestRequest,
+        budget: Duration,
+    ) -> Result<SuggestResponse, ApiError> {
+        self.call_typed(
+            "/v1/suggest",
+            &req.to_json(),
+            budget,
+            SuggestResponse::from_json,
+        )
+    }
+
+    /// `POST /v1/explain` with retries and a deadline budget.
+    pub fn explain(
+        &mut self,
+        req: &ExplainRequest,
+        budget: Duration,
+    ) -> Result<ExplainResponse, ApiError> {
+        self.call_typed(
+            "/v1/explain",
+            &req.to_json(),
+            budget,
+            ExplainResponse::from_json,
+        )
     }
 
     /// `POST /v1/feedback` with retries and a deadline budget.

@@ -531,11 +531,18 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// The response (if any) for a parse error: `None` means close silently.
+/// Bodies are coded [`ErrorEnvelope`]s like every other non-2xx response.
+///
+/// [`ErrorEnvelope`]: microbrowse_api::v1::ErrorEnvelope
 pub fn error_response(err: &HttpError) -> Option<Response> {
+    use microbrowse_api::v1::{self, ErrorEnvelope};
     let status = err.status()?;
-    let body = microbrowse_obs::json::JsonObject::new()
-        .str("error", err.detail())
-        .finish();
+    let code = match status {
+        400 => v1::CODE_BAD_REQUEST,
+        413 => v1::CODE_TOO_LARGE,
+        _ => v1::CODE_TIMEOUT,
+    };
+    let body = ErrorEnvelope::with_code(err.detail(), code).to_json();
     Some(Response::json(status, body).closing())
 }
 
@@ -764,6 +771,12 @@ mod tests {
         );
         assert!(error_response(&HttpError::Timeout { mid_request: false }).is_none());
         assert!(error_response(&HttpError::Io(std::io::Error::other("x"))).is_none());
+        // Every answered parse error carries a machine-readable code.
+        let body = error_response(&HttpError::SlowRequest).unwrap().body;
+        let env =
+            microbrowse_api::v1::ErrorEnvelope::from_json(std::str::from_utf8(&body).unwrap())
+                .unwrap();
+        assert!(env.has_code(microbrowse_api::v1::CODE_TIMEOUT));
     }
 
     #[test]

@@ -27,12 +27,16 @@ use microbrowse_api::debug::{
     DebugTraceResponse, VersionInfo,
 };
 use microbrowse_api::v1::{
-    BatchRequest, BatchResponse, ErrorEnvelope, FeedbackRequest, FeedbackResponse, Fidelity,
-    RankRequest, RankResponse, ScoreRequest, ScoreResponse, CODE_BAD_DEADLINE,
-    CODE_DEADLINE_EXCEEDED, CODE_OVERLOADED,
+    BatchRequest, BatchResponse, ErrorEnvelope, ExplainRequest, ExplainResponse, FeedbackRequest,
+    FeedbackResponse, Fidelity, RankRequest, RankResponse, ScoreRequest, ScoreResponse,
+    SpanAttribution, SuggestRequest, SuggestResponse, SuggestedRewrite, SuggestedVariant,
+    CODE_BAD_DEADLINE, CODE_BAD_REQUEST, CODE_DEADLINE_EXCEEDED, CODE_INTERNAL,
+    CODE_METHOD_NOT_ALLOWED, CODE_NOT_FOUND, CODE_OVERLOADED, CODE_TOO_LARGE, CODE_UNAVAILABLE,
 };
 use microbrowse_core::error::MbError;
+use microbrowse_core::explain::explain_pair;
 use microbrowse_core::serve::{Scorer, Scratch, ServingBundle, MODEL_SLOT_NAME, STATS_SLOT_NAME};
+use microbrowse_core::suggest::{suggest as beam_suggest, SuggestConfig, Suggestion};
 use microbrowse_obs as obs;
 use microbrowse_obs::flight::{
     FlightConfig, FlightRecorder, PromoteReason, RetainedTrace, TraceSummary,
@@ -103,6 +107,12 @@ pub struct ServerConfig {
     /// Online-learning configuration; `None` disables `POST /v1/feedback`
     /// and the background refitter.
     pub online: Option<OnlineConfig>,
+    /// Largest `beam_width` / `max_depth` a `/v1/suggest` request may ask
+    /// for (`--max-beam`). Requests over the cap answer `413`.
+    pub max_beam: usize,
+    /// Largest `top_k` a `/v1/suggest` request may ask for
+    /// (`--max-suggestions`). Requests over the cap answer `413`.
+    pub max_suggestions: usize,
 }
 
 /// Online-learning knobs (`--feedback-journal`, `--refit-interval`).
@@ -151,6 +161,8 @@ impl Default for ServerConfig {
             access_log_size: 256,
             access_log_stderr: false,
             online: None,
+            max_beam: 32,
+            max_suggestions: 32,
         }
     }
 }
@@ -205,6 +217,8 @@ pub const HTTP_METRIC_HISTOGRAMS: &[&str] = &[
     "microbrowse_http_score_latency_us",
     "microbrowse_http_rank_latency_us",
     "microbrowse_http_batch_latency_us",
+    "microbrowse_http_suggest_latency_us",
+    "microbrowse_http_explain_latency_us",
     "microbrowse_http_other_latency_us",
     "microbrowse_batch_size",
     "microbrowse_http_feedback_latency_us",
@@ -1012,7 +1026,7 @@ fn serve_connection(shared: &Shared, conn: QueuedConn) {
                     let responses = if group.len() == 1 {
                         vec![route(&group[0], &scorer, &mut scratch, &bundle, shared)]
                     } else {
-                        serve_score_group(&group, &scorer, &mut scratch)
+                        serve_score_group(&group, &scorer, &mut scratch, bundle.model_generation())
                     };
                     // A coalesced group is one engine pass: the score stage
                     // is shared, and the queue/parse stages belong to the
@@ -1219,6 +1233,8 @@ fn route<'a>(
         ("POST", "/v1/score") => "score",
         ("POST", "/v1/rank") => "rank",
         ("POST", "/v1/batch") => "batch",
+        ("POST", "/v1/suggest") => "suggest",
+        ("POST", "/v1/explain") => "explain",
         ("POST", "/v1/feedback") => "feedback",
         ("GET", "/healthz") => "healthz",
         ("GET", "/metrics") => "metrics",
@@ -1227,26 +1243,33 @@ fn route<'a>(
         ("GET", "/debug/requests") => "debug_requests",
         (
             _,
-            "/v1/score" | "/v1/rank" | "/v1/batch" | "/v1/feedback" | "/healthz" | "/metrics"
-            | "/version" | "/debug/trace" | "/debug/requests",
+            "/v1/score" | "/v1/rank" | "/v1/batch" | "/v1/suggest" | "/v1/explain" | "/v1/feedback"
+            | "/healthz" | "/metrics" | "/version" | "/debug/trace" | "/debug/requests",
         ) => "bad_method",
         _ => "unknown",
     };
     let mut span = obs::trace::span("serve.request").with("endpoint", endpoint);
+    let generation = bundle.model_generation();
     let resp = match endpoint {
-        "score" => handle_score(req, scorer, scratch),
-        "rank" => handle_rank(req, scorer, scratch),
-        "batch" => handle_batch(req, scorer, scratch, shared),
+        "score" => handle_score(req, scorer, scratch, generation),
+        "rank" => handle_rank(req, scorer, scratch, generation),
+        "batch" => handle_batch(req, scorer, scratch, shared, generation),
+        "suggest" => handle_suggest(req, scorer, scratch, shared, generation),
+        "explain" => handle_explain(req, scorer, scratch, generation),
         "feedback" => handle_feedback(req, shared),
         "healthz" => handle_healthz(bundle, shared),
         "metrics" => handle_metrics(),
         "version" => handle_version(shared),
         "debug_trace" => handle_debug_trace(req, shared),
         "debug_requests" => handle_debug_requests(req, shared),
-        "bad_method" => Response::json(405, ErrorEnvelope::new("method not allowed").to_json()),
+        "bad_method" => Response::json(
+            405,
+            ErrorEnvelope::with_code("method not allowed", CODE_METHOD_NOT_ALLOWED).to_json(),
+        ),
         _ => Response::json(
             404,
-            ErrorEnvelope::new(format!("no such endpoint: {}", req.path())).to_json(),
+            ErrorEnvelope::with_code(format!("no such endpoint: {}", req.path()), CODE_NOT_FOUND)
+                .to_json(),
         ),
     };
     span.add("status", resp.status as u64);
@@ -1256,6 +1279,8 @@ fn route<'a>(
         "score" => obs::histogram!("microbrowse_http_score_latency_us").observe_since(started),
         "rank" => obs::histogram!("microbrowse_http_rank_latency_us").observe_since(started),
         "batch" => obs::histogram!("microbrowse_http_batch_latency_us").observe_since(started),
+        "suggest" => obs::histogram!("microbrowse_http_suggest_latency_us").observe_since(started),
+        "explain" => obs::histogram!("microbrowse_http_explain_latency_us").observe_since(started),
         "feedback" => {
             obs::histogram!("microbrowse_http_feedback_latency_us").observe_since(started)
         }
@@ -1269,9 +1294,17 @@ fn route<'a>(
     resp
 }
 
-/// 400 with the v1 error envelope.
+/// 400 with the coded v1 error envelope.
 fn bad_request(e: impl std::fmt::Display) -> Response {
-    Response::json(400, ErrorEnvelope::new(e.to_string()).to_json())
+    Response::json(
+        400,
+        ErrorEnvelope::with_code(e.to_string(), CODE_BAD_REQUEST).to_json(),
+    )
+}
+
+/// 413 with the coded v1 error envelope.
+fn too_large(msg: String) -> Response {
+    Response::json(413, ErrorEnvelope::with_code(msg, CODE_TOO_LARGE).to_json())
 }
 
 /// The request body as UTF-8, or the 400 that says it is not.
@@ -1285,7 +1318,12 @@ fn parse_snippet(text: &str) -> Snippet {
 }
 
 /// `POST /v1/score` — body `{"r": "l1|l2|l3", "s": "l1|l2|l3"}`.
-fn handle_score<'a>(req: &HttpRequest, scorer: &Scorer<'a>, scratch: &mut Scratch<'a>) -> Response {
+fn handle_score<'a>(
+    req: &HttpRequest,
+    scorer: &Scorer<'a>,
+    scratch: &mut Scratch<'a>,
+    generation: Option<u64>,
+) -> Response {
     let sreq = match body_str(req).and_then(|t| ScoreRequest::from_json(t).map_err(bad_request)) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -1293,12 +1331,112 @@ fn handle_score<'a>(req: &HttpRequest, scorer: &Scorer<'a>, scratch: &mut Scratc
     let started = Instant::now();
     let outcome =
         scorer.score_pair_outcome(&parse_snippet(&sreq.r), &parse_snippet(&sreq.s), scratch);
-    let resp = ScoreResponse::from_outcome(&outcome, started.elapsed().as_micros() as u64);
+    let resp = ScoreResponse::from_outcome(&outcome, started.elapsed().as_micros() as u64)
+        .with_generation(generation);
+    Response::json(200, resp.to_json())
+}
+
+/// Render a snippet back to the `|`-separated line form of the wire.
+fn render_snippet(s: &Snippet) -> String {
+    let lines: Vec<&str> = s.lines().iter().map(|l| l.text.as_str()).collect();
+    lines.join("|")
+}
+
+/// A beam-searched [`Suggestion`] in its `/v1/suggest` wire form.
+fn suggestion_to_wire(s: &Suggestion) -> SuggestedVariant {
+    SuggestedVariant {
+        creative: render_snippet(&s.creative),
+        score: s.score,
+        rewrites: s.steps.iter().map(SuggestedRewrite::from).collect(),
+    }
+}
+
+/// `POST /v1/suggest` — body `{"creative":"l1|l2","beam_width":…,
+/// "max_depth":…,"top_k":…}` (knobs optional). Enumerates corpus-observed
+/// phrase substitutions, beam-searches the top-k rewritten variants, and
+/// reports each with its score margin over the input and its substitution
+/// chain. Knobs over `--max-beam` / `--max-suggestions` answer `413`.
+fn handle_suggest<'a>(
+    req: &HttpRequest,
+    scorer: &Scorer<'a>,
+    scratch: &mut Scratch<'a>,
+    shared: &Shared,
+    generation: Option<u64>,
+) -> Response {
+    let sreq = match body_str(req).and_then(|t| SuggestRequest::from_json(t).map_err(bad_request)) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let mut cfg = SuggestConfig::default();
+    let beam_cap = shared.cfg.max_beam;
+    if let Some(b) = sreq.beam_width {
+        if b == 0 || b as usize > beam_cap {
+            return too_large(format!("beam_width {b} outside [1, {beam_cap}]"));
+        }
+        cfg.beam_width = b as usize;
+    }
+    if let Some(d) = sreq.max_depth {
+        if d == 0 || d as usize > beam_cap {
+            return too_large(format!("max_depth {d} outside [1, {beam_cap}]"));
+        }
+        cfg.max_depth = d as usize;
+    }
+    let k_cap = shared.cfg.max_suggestions;
+    if let Some(k) = sreq.top_k {
+        if k == 0 || k as usize > k_cap {
+            return too_large(format!("top_k {k} outside [1, {k_cap}]"));
+        }
+        cfg.top_k = k as usize;
+    }
+    let started = Instant::now();
+    let suggestions = beam_suggest(scorer, &parse_snippet(&sreq.creative), &cfg, scratch);
+    let resp = SuggestResponse {
+        suggestions: suggestions.iter().map(suggestion_to_wire).collect(),
+        fidelity: scorer.fidelity().into(),
+        generation,
+        latency_us: started.elapsed().as_micros() as u64,
+    };
+    Response::json(200, resp.to_json())
+}
+
+/// `POST /v1/explain` — body `{"r":"l1|l2","s":"l1|l2"}`. Scores the pair
+/// through the normal path, then decomposes the served margin into per-span
+/// log-odds contributions (`bias + Σ contribution ≈ score`).
+fn handle_explain<'a>(
+    req: &HttpRequest,
+    scorer: &Scorer<'a>,
+    scratch: &mut Scratch<'a>,
+    generation: Option<u64>,
+) -> Response {
+    let ereq = match body_str(req).and_then(|t| ExplainRequest::from_json(t).map_err(bad_request)) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let started = Instant::now();
+    let exp = explain_pair(
+        scorer,
+        &parse_snippet(&ereq.r),
+        &parse_snippet(&ereq.s),
+        scratch,
+    );
+    let resp = ExplainResponse {
+        score: exp.score,
+        bias: exp.bias,
+        spans: exp.spans.iter().map(SpanAttribution::from).collect(),
+        fidelity: (&exp.fidelity).into(),
+        generation,
+        latency_us: started.elapsed().as_micros() as u64,
+    };
     Response::json(200, resp.to_json())
 }
 
 /// `POST /v1/rank` — body `{"creatives": ["l1|l2|l3", ...]}` (≥ 2).
-fn handle_rank<'a>(req: &HttpRequest, scorer: &Scorer<'a>, scratch: &mut Scratch<'a>) -> Response {
+fn handle_rank<'a>(
+    req: &HttpRequest,
+    scorer: &Scorer<'a>,
+    scratch: &mut Scratch<'a>,
+    generation: Option<u64>,
+) -> Response {
     let rreq = match body_str(req).and_then(|t| RankRequest::from_json(t).map_err(bad_request)) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -1313,7 +1451,8 @@ fn handle_rank<'a>(req: &HttpRequest, scorer: &Scorer<'a>, scratch: &mut Scratch
         &order,
         scorer.fidelity().into(),
         started.elapsed().as_micros() as u64,
-    );
+    )
+    .with_generation(generation);
     Response::json(200, resp.to_json())
 }
 
@@ -1326,21 +1465,18 @@ fn handle_batch<'a>(
     scorer: &Scorer<'a>,
     scratch: &mut Scratch<'a>,
     shared: &Shared,
+    generation: Option<u64>,
 ) -> Response {
     let breq = match body_str(req).and_then(|t| BatchRequest::from_json(t).map_err(bad_request)) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
     if breq.items.len() > shared.cfg.max_batch {
-        return Response::json(
-            413,
-            ErrorEnvelope::new(format!(
-                "batch of {} items over the limit of {}",
-                breq.items.len(),
-                shared.cfg.max_batch
-            ))
-            .to_json(),
-        );
+        return too_large(format!(
+            "batch of {} items over the limit of {}",
+            breq.items.len(),
+            shared.cfg.max_batch
+        ));
     }
     obs::counter!("microbrowse_batch_requests_total").inc();
     obs::counter!("microbrowse_batch_items_total").add(breq.items.len() as u64);
@@ -1357,10 +1493,14 @@ fn handle_batch<'a>(
     let results: Vec<ScoreResponse> = scores
         .iter()
         .zip(&latencies)
-        .map(|(&score, &lat)| ScoreResponse::new(score, fidelity.clone(), lat))
+        .map(|(&score, &lat)| {
+            ScoreResponse::new(score, fidelity.clone(), lat).with_generation(generation)
+        })
         .collect();
     let resp = BatchResponse {
         results,
+        fidelity,
+        generation,
         latency_us: started.elapsed().as_micros() as u64,
     };
     Response::json(200, resp.to_json())
@@ -1376,8 +1516,11 @@ fn handle_feedback(req: &HttpRequest, shared: &Shared) -> Response {
     let Some(online) = shared.online.as_ref() else {
         return Response::json(
             503,
-            ErrorEnvelope::new("feedback ingestion disabled (start with --feedback-journal)")
-                .to_json(),
+            ErrorEnvelope::with_code(
+                "feedback ingestion disabled (start with --feedback-journal)",
+                CODE_UNAVAILABLE,
+            )
+            .to_json(),
         );
     };
     let freq = match body_str(req).and_then(|t| FeedbackRequest::from_json(t).map_err(bad_request))
@@ -1442,7 +1585,11 @@ fn handle_feedback(req: &HttpRequest, shared: &Shared) -> Response {
             drop(inner);
             Response::json(
                 500,
-                ErrorEnvelope::new(format!("feedback journal append failed: {e}")).to_json(),
+                ErrorEnvelope::with_code(
+                    format!("feedback journal append failed: {e}"),
+                    CODE_INTERNAL,
+                )
+                .to_json(),
             )
         }
     }
@@ -1457,6 +1604,7 @@ fn serve_score_group<'a>(
     group: &[HttpRequest],
     scorer: &Scorer<'a>,
     scratch: &mut Scratch<'a>,
+    generation: Option<u64>,
 ) -> Vec<Response> {
     let mut span = obs::trace::span("serve.coalesced").with("size", group.len() as u64);
     obs::counter!("microbrowse_batch_coalesced_total").add(group.len() as u64);
@@ -1483,13 +1631,16 @@ fn serve_score_group<'a>(
                     obs::histogram!("microbrowse_http_score_latency_us").observe_us(lat);
                     Response::json(
                         200,
-                        ScoreResponse::new(score, fidelity.clone(), lat).to_json(),
+                        ScoreResponse::new(score, fidelity.clone(), lat)
+                            .with_generation(generation)
+                            .to_json(),
                     )
                 }
                 // Unreachable: score_batch returns one score per parsed pair.
                 None => Response::json(
                     500,
-                    ErrorEnvelope::new("batch scoring dropped a result".to_string()).to_json(),
+                    ErrorEnvelope::with_code("batch scoring dropped a result", CODE_INTERNAL)
+                        .to_json(),
                 ),
             },
             Err(resp) => resp,
@@ -1582,7 +1733,11 @@ fn handle_metrics() -> Response {
 /// started with, so operators can tell from one probe what the instance
 /// can do.
 fn handle_version(shared: &Shared) -> Response {
-    let mut features = vec!["flight-recorder".to_owned()];
+    let mut features = vec![
+        "flight-recorder".to_owned(),
+        "suggest".to_owned(),
+        "explain".to_owned(),
+    ];
     if shared.cfg.access_log_stderr {
         features.push("access-log".to_owned());
     }

@@ -21,6 +21,7 @@ if grep -rn 'unwrap()\|expect(' crates/store/src crates/core/src/serve.rs \
     crates/api/src crates/faultinject/src crates/online/src \
     crates/core/src/compiled.rs crates/core/src/paircache.rs \
     crates/core/src/features.rs crates/core/src/rewrite.rs \
+    crates/core/src/suggest.rs crates/core/src/explain.rs \
     | python3 -c '
 import sys, re
 bad = []
@@ -73,6 +74,11 @@ cargo build --locked --release -q -p microbrowse-bench --bin bench_online
 ./target/release/bench_online --train-adgroups 160 --adgroups 80 --windows 4 \
     --drift-at 3 --seed 42 --gate 0.10 --out /tmp/BENCH_online.check.json >/dev/null
 
+echo "==> suggestion beam gate (beam finds improving rewrites; top-1 beats input; deterministic)"
+cargo build --locked --release -q -p microbrowse-bench --bin bench_suggest
+./target/release/bench_suggest --adgroups 80 --creatives 48 --reps 2 --seed 42 \
+    --gate 0.5 --out /tmp/BENCH_suggest.check.json >/dev/null
+
 echo "==> live-socket chaos gate (shed under overload, no stranded workers, full recovery)"
 cargo build --locked --release -q -p microbrowse-bench --bin chaos_serve
 ./target/release/chaos_serve --seed 42 --out /tmp/BENCH_chaos.check.json
@@ -86,4 +92,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
-echo "OK: build, tests, fault injection, unwrap audit, overhead gate, trace schema, flight recorder, hot-path gate, server smoke, online drift gate, chaos gate, api docs, clippy, fmt all green"
+echo "OK: build, tests, fault injection, unwrap audit, overhead gate, trace schema, flight recorder, hot-path gate, server smoke, online drift gate, suggest gate, chaos gate, api docs, clippy, fmt all green"
